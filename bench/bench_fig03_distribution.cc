@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Figure 3: activation distributions of several LLMs, with
+ * a small set of channels carrying order-of-magnitude outliers.
+ *
+ * Using the synthetic activation profiles (the substitution for real
+ * checkpoints), the bench reports, per model: channel count, detected
+ * outlier channels, their share, and the magnitude ratio between
+ * outlier and median channels — the quantities Figure 3 visualizes.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "comet/common/rng.h"
+#include "comet/common/table.h"
+#include "comet/model/synthetic.h"
+#include "comet/quant/outlier.h"
+
+using namespace comet;
+
+int
+main()
+{
+    std::printf("=== Figure 3: activation outlier structure ===\n\n");
+
+    struct Profile {
+        const char *model;
+        SyntheticActivationConfig config;
+    };
+    const Profile profiles[] = {
+        {"LLaMA-7B (a,b)", llama7bActivationProfile()},
+        {"OPT-13B (c)", opt13bActivationProfile()},
+        {"Qwen2-72B (d)", qwen72bActivationProfile()},
+    };
+
+    Table table({"model", "channels", "outlier channels", "share",
+                 "max|x| outlier", "median channel |x|", "ratio"});
+    for (const Profile &profile : profiles) {
+        const SyntheticActivationModel model(profile.config);
+        Rng rng(7);
+        const Tensor acts = model.sample(256, rng);
+        const ChannelStats stats = computeChannelStats(acts);
+        const OutlierReport report = detectOutliers(stats);
+
+        float outlier_max = 0.0f;
+        for (int64_t c : report.outlier_channels) {
+            outlier_max = std::max(
+                outlier_max, stats.abs_max[static_cast<size_t>(c)]);
+        }
+        table.addRow(
+            {profile.model, std::to_string(profile.config.channels),
+             std::to_string(report.outlier_channels.size()),
+             formatPercent(
+                 static_cast<double>(report.outlier_channels.size()) /
+                 static_cast<double>(profile.config.channels)),
+             formatDouble(outlier_max, 1),
+             formatDouble(stats.median_abs_max, 2),
+             formatSpeedup(outlier_max /
+                           std::max(stats.median_abs_max, 1e-6f))});
+    }
+    table.print();
+
+    // A compact per-channel magnitude sketch for one model (the
+    // "spikes over a flat floor" picture of Figure 3).
+    std::printf("\nLLaMA-7B channel |x|_max sketch (every 64th "
+                "channel; * marks detected outliers):\n");
+    const SyntheticActivationModel model(llama7bActivationProfile());
+    Rng rng(7);
+    const ChannelStats stats =
+        computeChannelStats(model.sample(256, rng));
+    const OutlierReport report = detectOutliers(stats);
+    for (size_t c = 0; c < stats.abs_max.size(); c += 64) {
+        const int bar = std::min(
+            60, static_cast<int>(stats.abs_max[c] /
+                                 stats.median_abs_max));
+        std::printf("  ch %5zu |%-60s| %7.2f%s\n", c,
+                    std::string(static_cast<size_t>(bar), '#')
+                        .c_str(),
+                    stats.abs_max[c], report.is_outlier[c] ? " *" : "");
+    }
+    std::printf("\nPaper-shape checks: <1%% of channels are outliers; "
+                "outlier magnitudes are 10-100x the median channel.\n");
+    return 0;
+}

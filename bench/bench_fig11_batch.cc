@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Figure 11: throughput vs batch size for LLaMA-3-8B at
+ * input/output 1024/512, comparing COMET against the TRT-LLM
+ * configurations at the *same pinned batch*, plus each system's
+ * maximum achievable batch.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "comet/common/table.h"
+#include "comet/serve/engine.h"
+
+using namespace comet;
+
+int
+main()
+{
+    std::printf("=== Figure 11: throughput vs batch size, "
+                "LLaMA-3-8B, 1024/512 ===\n\n");
+
+    const ServingMode modes[] = {
+        ServingMode::kTrtFp16, ServingMode::kTrtW4A16,
+        ServingMode::kTrtW8A8, ServingMode::kCometW4AxKv4};
+
+    std::vector<ServingEngine> engines;
+    for (ServingMode mode : modes) {
+        EngineConfig config;
+        config.model = LlmConfig::llama3_8b();
+        config.mode = mode;
+        config.input_tokens = 1024;
+        config.output_tokens = 512;
+        engines.emplace_back(config);
+    }
+
+    Table table({"batch", "TRT-LLM-FP16", "TRT-LLM-W4A16",
+                 "TRT-LLM-W8A8", "COMET", "COMET vs best TRT"});
+    double fp16_at_4 = 0.0, fp16_at_64 = 0.0;
+    double comet_over_best_sum = 0.0;
+    int rows = 0;
+    for (int64_t batch : {4, 8, 16, 32, 64, 128, 256}) {
+        std::vector<double> tps;
+        for (const ServingEngine &engine : engines) {
+            const int64_t feasible =
+                std::min<int64_t>(batch, engine.maxBatchSize());
+            tps.push_back(feasible == batch
+                              ? engine.measureThroughputAtBatch(batch)
+                                    .tokens_per_second
+                              : 0.0);
+        }
+        if (batch == 4)
+            fp16_at_4 = tps[0];
+        if (batch == 64)
+            fp16_at_64 = tps[0];
+        const double best_trt = std::max({tps[0], tps[1], tps[2]});
+        std::vector<std::string> row{std::to_string(batch)};
+        for (double t : tps) {
+            row.push_back(t > 0.0 ? formatDouble(t, 0)
+                                  : std::string("OOM"));
+        }
+        row.push_back(best_trt > 0.0
+                          ? formatSpeedup(tps[3] / best_trt)
+                          : std::string("-"));
+        if (best_trt > 0.0) {
+            comet_over_best_sum += tps[3] / best_trt;
+            ++rows;
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    std::printf("\nMax achievable batch per system: ");
+    const char *names[] = {"FP16", "W4A16", "W8A8", "COMET"};
+    for (size_t i = 0; i < engines.size(); ++i) {
+        std::printf("%s=%lld  ", names[i],
+                    static_cast<long long>(
+                        engines[i].maxBatchSize()));
+    }
+    std::printf("\n\nPaper-shape checks: TRT-FP16 batch 64 is ~7.5x "
+                "its batch 4 (measured %.2fx); COMET beats the best "
+                "TRT config at every same batch (avg %s; paper "
+                "1.37x).\n",
+                fp16_at_4 > 0 ? fp16_at_64 / fp16_at_4 : 0.0,
+                formatSpeedup(comet_over_best_sum / rows).c_str());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Figure 15: end-to-end ablation separating the two halves
+ * of the COMET system — weight-activation quantization only
+ * (COMET-W4Ax, FP16 KV cache) and KV-cache quantization only
+ * (COMET-KV4, FP16 GEMMs) — against the TRT-LLM-W4A16 baseline and
+ * the combined system (paper: 1.32x, 1.17x, and 1.82x on average).
+ */
+#include <cstdio>
+#include <vector>
+
+#include "comet/common/table.h"
+#include "comet/serve/engine.h"
+
+using namespace comet;
+
+int
+main()
+{
+    std::printf("=== Figure 15: end-to-end ablation, 1024/512 "
+                "(normalized to TRT-LLM-W4A16) ===\n\n");
+
+    const ServingMode modes[] = {
+        ServingMode::kTrtW4A16, ServingMode::kCometW4AxOnly,
+        ServingMode::kCometKv4Only, ServingMode::kCometW4AxKv4};
+
+    Table table({"model", "TRT-LLM-W4A16", "COMET-W4Ax (GEMM only)",
+                 "COMET-KV4 (cache only)", "COMET (full)"});
+
+    const std::vector<std::string> model_names{
+        "Mistral-7B",  "LLaMA-3-8B",  "LLaMA-2-13B",
+        "LLaMA-1-30B", "LLaMA-3-70B", "Qwen2-72B"};
+
+    double sums[4] = {0, 0, 0, 0};
+    int counted = 0;
+    for (const std::string &name : model_names) {
+        EngineConfig config;
+        config.model = LlmConfig::byName(name);
+        config.input_tokens = 1024;
+        config.output_tokens = 512;
+
+        double tps[4];
+        for (size_t mi = 0; mi < 4; ++mi) {
+            config.mode = modes[mi];
+            tps[mi] = ServingEngine(config)
+                          .measureThroughput()
+                          .tokens_per_second;
+        }
+        std::vector<std::string> row{name};
+        for (size_t mi = 0; mi < 4; ++mi) {
+            row.push_back(tps[0] > 0.0 && tps[mi] > 0.0
+                              ? formatDouble(tps[mi] / tps[0], 2)
+                              : std::string("OOM"));
+        }
+        table.addRow(std::move(row));
+        if (tps[0] > 0.0) {
+            for (size_t mi = 0; mi < 4; ++mi)
+                sums[mi] += tps[mi] / tps[0];
+            ++counted;
+        }
+    }
+    table.print();
+
+    std::printf("\nAverages over models that fit the baseline:\n");
+    std::printf("  COMET-W4Ax only: %s (paper: 1.32x)\n",
+                formatSpeedup(sums[1] / counted).c_str());
+    std::printf("  COMET-KV4 only:  %s (paper: 1.17x)\n",
+                formatSpeedup(sums[2] / counted).c_str());
+    std::printf("  COMET combined:  %s (paper: 1.82x)\n",
+                formatSpeedup(sums[3] / counted).c_str());
+    std::printf("\nPaper-shape checks: each half helps on its own; "
+                "KV4-only is the weaker half (it cuts no compute and "
+                "no weight storage); the combination dominates.\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reproduces Table 1: language-modeling perplexity of every
+ * quantization configuration, across a family of teacher models.
+ *
+ * Substitution (see DESIGN.md): real checkpoints and WikiText2 are
+ * unavailable, so each paper model is represented by a tiny
+ * transformer whose activation-outlier structure scales with the
+ * original's (bigger models -> more pronounced outliers), evaluated on
+ * sequences sampled from itself. Absolute perplexities differ from the
+ * paper; the deliverable is the *row ordering and relative
+ * degradation*: FP16 <= W8A8 ~ W4A16 ~ FMPQ-W4Ax << full W4A4, with
+ * QoQ comparable to (slightly behind) FMPQ.
+ *
+ * The bench also reports the Section 6.2 deployment statistic: the
+ * fraction of GEMM compute FMPQ runs as W4A4 (paper: >84%, and ~92%
+ * for LLaMA-1-30B).
+ */
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "comet/common/table.h"
+#include "comet/model/perplexity.h"
+
+using namespace comet;
+
+namespace {
+
+/** A tiny stand-in transformer for one paper model. */
+struct ModelEntry {
+    const char *name;
+    TinyTransformerConfig config;
+};
+
+std::vector<ModelEntry>
+modelFamily()
+{
+    // Larger paper models get stronger outlier structure (the
+    // empirical trend of Section 3.1) and a distinct seed; dimensions
+    // stay tiny so the full table runs in seconds.
+    auto base = [](uint64_t seed, double outlier_scale) {
+        TinyTransformerConfig config;
+        config.vocab_size = 96;
+        config.hidden_size = 64;
+        config.num_heads = 4;
+        config.num_kv_heads = 4;
+        config.num_layers = 2;
+        config.intermediate_size = 128;
+        config.outlier_fraction = 0.06;
+        config.outlier_scale = outlier_scale;
+        config.seed = seed;
+        return config;
+    };
+    auto opt = base(104, 26.0);
+    opt.gated_mlp = false; // OPT uses a plain ReLU MLP
+    return {
+        {"LLaMA-1-13B-t", base(101, 18.0)},
+        {"LLaMA-2-7B-t", base(102, 16.0)},
+        {"LLaMA-3-8B-t", base(103, 20.0)},
+        {"OPT-13B-t", opt},
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 1: perplexity of quantized models "
+                "(synthetic-teacher substitution; lower is better) "
+                "===\n\n");
+
+    std::vector<std::string> headers{"Precision", "Method"};
+    std::vector<ModelEntry> models = modelFamily();
+    for (const ModelEntry &model : models)
+        headers.push_back(model.name);
+    Table table(headers);
+
+    std::map<std::pair<int, size_t>, double> results;
+    std::map<size_t, double> int4_fraction;
+
+    for (size_t mi = 0; mi < models.size(); ++mi) {
+        const auto teacher =
+            TinyTransformer::random(models[mi].config);
+        Rng rng(41);
+        const Dataset eval = sampleDataset(teacher, 4, 28, rng);
+        const Dataset calib = sampleDataset(teacher, 3, 28, rng);
+        const CalibrationData calibration =
+            CalibrationData::collect(teacher, calib);
+        for (QuantScheme scheme : table1Schemes()) {
+            FmpqModelStats stats;
+            const QuantizedModel quantized = buildQuantizedModel(
+                teacher, scheme, calibration, &stats);
+            results[{static_cast<int>(scheme), mi}] =
+                evaluatePerplexity(quantized.model, quantized.sim(),
+                                   eval);
+            if (scheme == QuantScheme::kFmpqW4AxKv4)
+                int4_fraction[mi] = stats.w4a4_compute_fraction;
+        }
+    }
+
+    for (QuantScheme scheme : table1Schemes()) {
+        std::vector<std::string> row{quantSchemePrecision(scheme),
+                                     quantSchemeName(scheme)};
+        for (size_t mi = 0; mi < models.size(); ++mi) {
+            row.push_back(formatDouble(
+                results.at({static_cast<int>(scheme), mi}), 2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    std::printf("\nFMPQ deployment statistics (Section 6.2):\n");
+    for (size_t mi = 0; mi < models.size(); ++mi) {
+        std::printf("  %-14s W4A4 compute fraction = %s (paper: "
+                    ">84%% typical)\n",
+                    models[mi].name,
+                    formatPercent(int4_fraction.at(mi)).c_str());
+    }
+    std::printf("\nPaper-shape checks: FMPQ tracks the W8A8/W4A16 "
+                "rows; full W4A4 collapses (paper: PPL > 9.9 vs "
+                "~3.5); QoQ lands near FMPQ.\n");
+    return 0;
+}

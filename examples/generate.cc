@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Example: token generation through the incremental decoder session —
+ * the W4A4KV4 inference path end to end on the tiny model.
+ *
+ * Compares an FP16-cache session against an INT4-cache session on the
+ * same prompt: generated continuations, KV cache footprints, and the
+ * logit perturbation the 4-bit cache introduces.
+ *
+ * Build & run:  ./build/examples/generate
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "comet/model/decoder_session.h"
+
+using namespace comet;
+
+int
+main()
+{
+    TinyTransformerConfig config;
+    config.vocab_size = 96;
+    config.hidden_size = 64;
+    config.num_heads = 4;
+    config.num_kv_heads = 2;
+    config.num_layers = 2;
+    config.intermediate_size = 128;
+    config.outlier_fraction = 0.05;
+    config.outlier_scale = 15.0;
+    config.seed = 99;
+    const auto model = TinyTransformer::random(config);
+    const std::vector<int32_t> prompt{5, 23, 41, 7, 66, 12};
+
+    DecoderSession fp16(model);
+    DecoderSession kv4(model, KvQuantConfig{4, 32, true});
+
+    const std::vector<float> fp16_logits = fp16.prefill(prompt);
+    const std::vector<float> kv4_logits = kv4.prefill(prompt);
+    double max_diff = 0.0;
+    for (size_t v = 0; v < fp16_logits.size(); ++v) {
+        max_diff = std::max(
+            max_diff, std::fabs(static_cast<double>(fp16_logits[v]) -
+                                kv4_logits[v]));
+    }
+    std::printf("prompt of %zu tokens prefilled through both "
+                "sessions\n",
+                prompt.size());
+    std::printf("next-token logit perturbation from the INT4 cache: "
+                "max |delta| = %.4f\n\n",
+                max_diff);
+
+    Rng rng_a(7), rng_b(7);
+    DecoderSession gen_fp(model);
+    DecoderSession gen_kv4(model, KvQuantConfig{4, 32, true});
+    const auto seq_fp = gen_fp.generate(prompt, 12, rng_a);
+    const auto seq_kv4 = gen_kv4.generate(prompt, 12, rng_b);
+
+    auto print_seq = [](const char *label,
+                        const std::vector<int32_t> &seq) {
+        std::printf("%-12s", label);
+        for (int32_t token : seq)
+            std::printf(" %2d", token);
+        std::printf("\n");
+    };
+    print_seq("FP16 cache:", seq_fp);
+    print_seq("INT4 cache:", seq_kv4);
+
+    std::printf("\nKV cache footprints after generation: FP16 %.0f B, "
+                "INT4 %.0f B (4x smaller)\n",
+                gen_fp.kvCacheBytes(), gen_kv4.kvCacheBytes());
+    std::printf("(identical sampling seeds; divergence, if any, is "
+                "pure KV-quantization effect)\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Example: latency-oriented serving under bursty arrivals.
+ *
+ * Replays the same Poisson request trace through COMET and the
+ * TRT-LLM-style baselines and reports TTFT/TPOT percentiles — the
+ * serving-quality dimension the paper's Section 7 connects to
+ * scheduler work like Sarathi-Serve.
+ *
+ * Build & run:  ./build/examples/latency_trace
+ */
+#include <cstdio>
+
+#include "comet/common/table.h"
+#include "comet/serve/trace.h"
+
+using namespace comet;
+
+int
+main()
+{
+    TraceConfig trace_config;
+    trace_config.request_rate_per_s = 8.0;
+    trace_config.num_requests = 48;
+    trace_config.mean_prompt_tokens = 512;
+    trace_config.mean_output_tokens = 128;
+    const auto trace = generateTrace(trace_config);
+    std::printf("trace: %d requests, Poisson %.1f req/s, mean "
+                "prompt/output %lld/%lld tokens, LLaMA-3-8B\n\n",
+                trace_config.num_requests,
+                trace_config.request_rate_per_s,
+                static_cast<long long>(
+                    trace_config.mean_prompt_tokens),
+                static_cast<long long>(
+                    trace_config.mean_output_tokens));
+
+    Table table({"system", "TTFT p50 (ms)", "TTFT p95 (ms)",
+                 "TPOT p50 (ms)", "TPOT p95 (ms)", "tokens/s"});
+    for (ServingMode mode :
+         {ServingMode::kTrtFp16, ServingMode::kTrtW4A16,
+          ServingMode::kQserveW4A8Kv4, ServingMode::kCometW4AxKv4}) {
+        EngineConfig config;
+        config.model = LlmConfig::llama3_8b();
+        config.mode = mode;
+        config.input_tokens = trace_config.mean_prompt_tokens;
+        config.output_tokens = trace_config.mean_output_tokens;
+        const ServingEngine engine(config);
+        const TraceMetrics metrics = replayTrace(engine, trace);
+        table.addRow(
+            {servingModeName(mode),
+             formatDouble(metrics.ttftPercentileUs(50) / 1e3, 1),
+             formatDouble(metrics.ttftPercentileUs(95) / 1e3, 1),
+             formatDouble(metrics.tpotPercentileUs(50) / 1e3, 2),
+             formatDouble(metrics.tpotPercentileUs(95) / 1e3, 2),
+             formatDouble(metrics.throughput_tokens_per_s, 0)});
+    }
+    table.print();
+    std::printf("\nReading: quantization helps tail latency twice — "
+                "faster decode steps lower TPOT directly, and the "
+                "smaller KV footprint admits queued requests sooner, "
+                "lowering TTFT under load.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Example: serving an LLM with the COMET engine — memory budgeting,
+ * paged KV cache, continuous batching, and the resulting throughput,
+ * compared against the baseline serving configurations.
+ *
+ * Usage:  ./build/examples/serving_throughput [model-name]
+ *         (default LLaMA-3-8B; names as in the paper, e.g.
+ *          "LLaMA-2-70B", "Qwen2-72B")
+ */
+#include <cstdio>
+#include <string>
+
+#include "comet/common/table.h"
+#include "comet/serve/engine.h"
+
+using namespace comet;
+
+int
+main(int argc, char **argv)
+{
+    const std::string model_name =
+        argc > 1 ? argv[1] : "LLaMA-3-8B";
+    const LlmConfig model = LlmConfig::byName(model_name);
+    std::printf("serving %s on a simulated %s (input 1024 / output "
+                "512)\n\n",
+                model.name.c_str(),
+                GpuSpec::a100Sxm480G().name.c_str());
+
+    Table table({"system", "weights (GB)", "KV budget (GB)",
+                 "KV/seq (MB)", "max batch", "decode step (ms)",
+                 "tokens/s"});
+    for (ServingMode mode :
+         {ServingMode::kTrtFp16, ServingMode::kTrtW4A16,
+          ServingMode::kTrtW8A8, ServingMode::kQserveW4A8Kv4,
+          ServingMode::kCometW4AxKv4}) {
+        EngineConfig config;
+        config.model = model;
+        config.mode = mode;
+        config.input_tokens = 1024;
+        config.output_tokens = 512;
+        const ServingEngine engine(config);
+        const ThroughputResult result = engine.measureThroughput();
+        table.addRow(
+            {servingModeName(mode),
+             formatDouble(engine.weightBytes() / 1e9, 1),
+             formatDouble(engine.kvBudgetBytes() / 1e9, 1),
+             formatDouble(result.kv_bytes_per_seq / 1e6, 1),
+             result.batch > 0 ? std::to_string(result.batch)
+                              : std::string("OOM"),
+             result.batch > 0
+                 ? formatDouble(result.decode_step_us / 1e3, 2)
+                 : std::string("-"),
+             result.batch > 0
+                 ? formatDouble(result.tokens_per_second, 0)
+                 : std::string("-")});
+    }
+    table.print();
+
+    std::printf("\nReading the table: INT4 weights free tens of GB "
+                "for the KV cache, and the INT4 KV cache multiplies "
+                "how many sequences fit — larger batches amortize "
+                "the weight traffic, which is where COMET's "
+                "end-to-end gain comes from.\n");
+    return 0;
+}

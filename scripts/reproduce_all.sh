@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, full test suite, every table/figure
+# bench, and the examples. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "================================================================" >> bench_output.txt
+    echo "== $(basename "$b")" >> bench_output.txt
+    echo "================================================================" >> bench_output.txt
+    "$b" >> bench_output.txt 2>&1
+    echo >> bench_output.txt
+done
+
+echo "== examples =="
+for e in build/examples/*; do
+    [ -x "$e" ] && [ -f "$e" ] || continue
+    echo "--- $(basename "$e")"
+    "$e" > /dev/null || echo "    FAILED: $e"
+done
+echo "done; see test_output.txt and bench_output.txt"

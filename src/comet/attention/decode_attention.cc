@@ -1,0 +1,209 @@
+#include "comet/attention/decode_attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comet {
+
+namespace {
+
+void
+validate(const AttentionConfig &config, const std::vector<float> &q,
+         int64_t k_cols, int64_t v_cols)
+{
+    COMET_CHECK(config.num_heads > 0 && config.num_kv_heads > 0 &&
+                config.head_dim > 0);
+    COMET_CHECK(config.num_heads % config.num_kv_heads == 0);
+    COMET_CHECK(static_cast<int64_t>(q.size()) == config.qDim());
+    COMET_CHECK(k_cols == config.kvDim());
+    COMET_CHECK(v_cols == config.kvDim());
+}
+
+} // namespace
+
+std::vector<float>
+decodeAttentionReference(const AttentionConfig &config,
+                         const std::vector<float> &q, const Tensor &k,
+                         const Tensor &v)
+{
+    validate(config, q, k.cols(), v.cols());
+    COMET_CHECK(k.rows() == v.rows());
+    const int64_t tokens = k.rows();
+    const int64_t group = config.num_heads / config.num_kv_heads;
+    const double inv_sqrt =
+        1.0 / std::sqrt(static_cast<double>(config.head_dim));
+
+    std::vector<float> out(static_cast<size_t>(config.qDim()), 0.0f);
+    std::vector<double> scores(static_cast<size_t>(tokens));
+    for (int64_t h = 0; h < config.num_heads; ++h) {
+        const int64_t q_base = h * config.head_dim;
+        const int64_t kv_base = (h / group) * config.head_dim;
+        double max_score = -1e300;
+        for (int64_t t = 0; t < tokens; ++t) {
+            double dot = 0.0;
+            for (int64_t d = 0; d < config.head_dim; ++d) {
+                dot += static_cast<double>(
+                           q[static_cast<size_t>(q_base + d)]) *
+                       k.at(t, kv_base + d);
+            }
+            scores[static_cast<size_t>(t)] = dot * inv_sqrt;
+            max_score = std::max(max_score,
+                                 scores[static_cast<size_t>(t)]);
+        }
+        double sum = 0.0;
+        for (int64_t t = 0; t < tokens; ++t) {
+            scores[static_cast<size_t>(t)] =
+                std::exp(scores[static_cast<size_t>(t)] - max_score);
+            sum += scores[static_cast<size_t>(t)];
+        }
+        for (int64_t d = 0; d < config.head_dim; ++d) {
+            double acc = 0.0;
+            for (int64_t t = 0; t < tokens; ++t) {
+                acc += scores[static_cast<size_t>(t)] *
+                       v.at(t, kv_base + d);
+            }
+            out[static_cast<size_t>(q_base + d)] =
+                static_cast<float>(acc / sum);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Shared online-softmax core: streams tokens [0, tokens) in chunks,
+ * reading cache values through @p read_k / @p read_v so the same code
+ * serves the float and quantized paths.
+ */
+template <typename ReadK, typename ReadV>
+std::vector<float>
+onlineCore(const AttentionConfig &config, const std::vector<float> &q,
+           int64_t tokens, ReadK read_k, ReadV read_v)
+{
+    COMET_CHECK(config.chunk_tokens > 0);
+    const int64_t group = config.num_heads / config.num_kv_heads;
+    const double inv_sqrt =
+        1.0 / std::sqrt(static_cast<double>(config.head_dim));
+
+    std::vector<float> out(static_cast<size_t>(config.qDim()), 0.0f);
+    std::vector<double> acc(static_cast<size_t>(config.head_dim));
+    std::vector<double> chunk_scores(
+        static_cast<size_t>(config.chunk_tokens));
+
+    for (int64_t h = 0; h < config.num_heads; ++h) {
+        const int64_t q_base = h * config.head_dim;
+        const int64_t kv_base = (h / group) * config.head_dim;
+
+        // Running state of the online softmax.
+        double running_max = -1e300;
+        double running_sum = 0.0;
+        std::fill(acc.begin(), acc.end(), 0.0);
+
+        for (int64_t t0 = 0; t0 < tokens;
+             t0 += config.chunk_tokens) {
+            const int64_t t1 =
+                std::min(t0 + config.chunk_tokens, tokens);
+
+            // Chunk scores and chunk max.
+            double chunk_max = -1e300;
+            for (int64_t t = t0; t < t1; ++t) {
+                double dot = 0.0;
+                for (int64_t d = 0; d < config.head_dim; ++d) {
+                    dot += static_cast<double>(
+                               q[static_cast<size_t>(q_base + d)]) *
+                           read_k(t, kv_base + d);
+                }
+                const double s = dot * inv_sqrt;
+                chunk_scores[static_cast<size_t>(t - t0)] = s;
+                chunk_max = std::max(chunk_max, s);
+            }
+
+            // Rescale the running state to the new max.
+            const double new_max = std::max(running_max, chunk_max);
+            const double rescale = std::exp(running_max - new_max);
+            running_sum *= rescale;
+            for (double &a : acc)
+                a *= rescale;
+
+            // Fold the chunk in.
+            for (int64_t t = t0; t < t1; ++t) {
+                const double w = std::exp(
+                    chunk_scores[static_cast<size_t>(t - t0)] -
+                    new_max);
+                running_sum += w;
+                for (int64_t d = 0; d < config.head_dim; ++d) {
+                    acc[static_cast<size_t>(d)] +=
+                        w * read_v(t, kv_base + d);
+                }
+            }
+            running_max = new_max;
+        }
+
+        COMET_CHECK(running_sum > 0.0);
+        for (int64_t d = 0; d < config.head_dim; ++d) {
+            out[static_cast<size_t>(q_base + d)] = static_cast<float>(
+                acc[static_cast<size_t>(d)] / running_sum);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<float>
+decodeAttentionOnline(const AttentionConfig &config,
+                      const std::vector<float> &q, const Tensor &k,
+                      const Tensor &v)
+{
+    validate(config, q, k.cols(), v.cols());
+    COMET_CHECK(k.rows() == v.rows());
+    return onlineCore(
+        config, q, k.rows(),
+        [&](int64_t t, int64_t c) {
+            return static_cast<double>(k.at(t, c));
+        },
+        [&](int64_t t, int64_t c) {
+            return static_cast<double>(v.at(t, c));
+        });
+}
+
+std::vector<float>
+decodeAttentionQuantized(const AttentionConfig &config,
+                         const std::vector<float> &q,
+                         const QuantizedKv &k, const QuantizedKv &v,
+                         const KvCacheQuantizer &quantizer)
+{
+    validate(config, q, k.channels, v.channels);
+    COMET_CHECK(k.tokens == v.tokens);
+    COMET_CHECK(quantizer.config().group_size == k.group_size);
+
+    // On-the-fly dequantization of one cache value: look up the
+    // (token-group, channel) affine parameters and widen the packed
+    // INT value — exactly what a fused KV4 attention kernel's inner
+    // loop does.
+    auto dequant = [](const QuantizedKv &cache, int64_t t, int64_t c) {
+        const int64_t group = t / cache.group_size;
+        const QuantParams &params =
+            cache.params[static_cast<size_t>(group * cache.channels +
+                                             c)];
+        return static_cast<double>(
+            params.dequantize(cache.data.get(t, c)));
+    };
+    return onlineCore(
+        config, q, k.tokens,
+        [&](int64_t t, int64_t c) { return dequant(k, t, c); },
+        [&](int64_t t, int64_t c) { return dequant(v, t, c); });
+}
+
+double
+decodeAttentionKvBytes(const AttentionConfig &config, int64_t tokens,
+                       double bits_per_value)
+{
+    COMET_CHECK(tokens >= 0);
+    // K and V, every kv head, every channel, every cached token.
+    return 2.0 * static_cast<double>(tokens) *
+           static_cast<double>(config.kvDim()) * bits_per_value / 8.0;
+}
+
+} // namespace comet

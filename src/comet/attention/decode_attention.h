@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Decode-phase attention over a (quantized) KV cache.
+ *
+ * The paper's Section 7 names attention-kernel optimization as the
+ * next step after the W4Ax GEMM work, and its Figure 2 analysis shows
+ * the decode attention (activation-activation) operator is memory-
+ * bound — the reason the KV cache can be quantized to 4 bits "without
+ * considering the quantized granularity". This module implements that
+ * operator for real:
+ *
+ *  - a reference float implementation (naive softmax),
+ *  - an online-softmax (FlashDecoding-style) blocked implementation
+ *    that streams the KV cache in chunks with running max/sum rescaling
+ *    — the algorithmic transformation the paper cites ([9], [52]) —
+ *    numerically equivalent to the reference, and
+ *  - a quantized-cache path that consumes QuantizedKv directly,
+ *    dequantizing each streamed value on the fly (what a fused KV4
+ *    attention kernel does).
+ *
+ * Layouts: Q is [heads * head_dim] for one token; K and V are
+ * [tokens, kv_heads * head_dim] (the cache), GQA maps query head h to
+ * kv head h / (heads / kv_heads).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/quant/kv_quant.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** Geometry of one attention invocation. */
+struct AttentionConfig {
+    int64_t num_heads = 8;
+    int64_t num_kv_heads = 8;
+    int64_t head_dim = 64;
+    /** KV chunk length for the online-softmax path. */
+    int64_t chunk_tokens = 64;
+
+    int64_t
+    qDim() const
+    {
+        return num_heads * head_dim;
+    }
+
+    int64_t
+    kvDim() const
+    {
+        return num_kv_heads * head_dim;
+    }
+};
+
+/**
+ * Reference decode attention for one query token: full scores,
+ * two-pass softmax in double precision. O(tokens * heads * head_dim).
+ *
+ * @param q  query vector [heads * head_dim] (RoPE already applied)
+ * @param k  key cache [tokens, kv_heads * head_dim]
+ * @param v  value cache, same shape as k
+ * @return   attention output [heads * head_dim]
+ */
+std::vector<float> decodeAttentionReference(
+    const AttentionConfig &config, const std::vector<float> &q,
+    const Tensor &k, const Tensor &v);
+
+/**
+ * Online-softmax decode attention: streams the cache in
+ * config.chunk_tokens chunks keeping a running (max, sum, accumulator)
+ * per head — one pass over the KV cache, constant extra memory.
+ * Numerically equivalent to the reference up to float rounding.
+ */
+std::vector<float> decodeAttentionOnline(const AttentionConfig &config,
+                                         const std::vector<float> &q,
+                                         const Tensor &k,
+                                         const Tensor &v);
+
+/**
+ * Online-softmax decode attention reading *quantized* K and V caches:
+ * each streamed cache value is dequantized on the fly from its packed
+ * INT form (the fused-KV4-attention data path). The result
+ * approximates the float-cache output with KV-quantization error
+ * only.
+ */
+std::vector<float> decodeAttentionQuantized(
+    const AttentionConfig &config, const std::vector<float> &q,
+    const QuantizedKv &k, const QuantizedKv &v,
+    const KvCacheQuantizer &quantizer);
+
+/** Bytes of KV cache read by one decode-attention invocation at the
+ * given storage precision (the Figure 2 traffic term). */
+double decodeAttentionKvBytes(const AttentionConfig &config,
+                              int64_t tokens, double bits_per_value);
+
+} // namespace comet

@@ -1,0 +1,55 @@
+#include "comet/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace comet {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kDebug: return "DEBUG";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &message)
+{
+    // Strip directories so records stay short.
+    const char *base = file;
+    for (const char *p = file; *p; ++p) {
+        if (*p == '/')
+            base = p + 1;
+    }
+    std::fprintf(stderr, "[comet %s %s:%d] %s\n", levelName(level), base,
+                 line, message.c_str());
+}
+
+} // namespace detail
+} // namespace comet

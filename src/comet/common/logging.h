@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal leveled logging for the COMET library.
+ *
+ * Logging goes to stderr so bench binaries can keep stdout clean for
+ * paper-style result tables. The global level defaults to kWarn; tests and
+ * examples can raise it to kInfo/kDebug for narration.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace comet {
+
+/** Severity of a log record, in increasing verbosity order. */
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/** Sets the global log level; records above this level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Returns the current global log level. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emits one formatted record to stderr. Not for direct use. */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &message);
+
+/**
+ * Stream-style log record builder; emits on destruction.
+ *
+ * Used via the COMET_LOG macro so the file/line of the call site is
+ * captured.
+ */
+class LogStream
+{
+  public:
+    LogStream(LogLevel level, const char *file, int line)
+        : level_(level), file_(file), line_(line)
+    {
+    }
+
+    ~LogStream()
+    {
+        logMessage(level_, file_, line_, stream_.str());
+    }
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    const char *file_;
+    int line_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+} // namespace comet
+
+/** Stream-style logging: COMET_LOG(kInfo) << "batch=" << b; */
+#define COMET_LOG(level)                                                   \
+    if (::comet::LogLevel::level > ::comet::logLevel()) {                  \
+    } else                                                                 \
+        ::comet::detail::LogStream(::comet::LogLevel::level, __FILE__,     \
+                                   __LINE__)

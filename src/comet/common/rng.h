@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * All synthetic data in the reproduction (activations, weights, token
+ * streams) is generated through Rng so every bench and test is bit-stable
+ * across runs and platforms. The generator is SplitMix64-seeded
+ * xoshiro256**, implemented locally to avoid std::mt19937 implementation
+ * differences.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace comet {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * Not cryptographically secure; intended for synthetic workload
+ * generation only.
+ */
+class Rng
+{
+  public:
+    /** Seeds the generator; the same seed always produces the same
+     * stream. */
+    explicit Rng(uint64_t seed = 0x434f4d4554ull); // "COMET"
+
+    /** Returns the next raw 64-bit value. */
+    uint64_t nextU64();
+
+    /** Returns a uniform double in [0, 1). */
+    double uniform();
+
+    /** Returns a uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Returns a uniform integer in [0, n). @pre n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Returns a standard normal sample (Box–Muller, cached pair). */
+    double gaussian();
+
+    /** Returns a normal sample with the given mean and stddev. */
+    double gaussian(double mean, double stddev);
+
+    /** Fills @p out with iid N(mean, stddev) samples. */
+    void fillGaussian(std::vector<float> &out, double mean, double stddev);
+
+    /** Returns a sample from a heavy-tailed (log-normal) distribution;
+     * used to synthesize activation outliers. */
+    double logNormal(double mu, double sigma);
+
+    /** Shuffles @p v in place (Fisher–Yates). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derives an independent child generator; handy for per-layer
+     * streams that must not depend on generation order elsewhere. */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+    bool have_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+} // namespace comet

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Streaming statistics accumulators.
+ *
+ * Used by the serving-trace metrics and available to downstream users:
+ * Welford mean/variance in one pass, plus an exact small-sample
+ * percentile helper shared by the latency reports.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace comet {
+
+/**
+ * One-pass mean/variance/min/max accumulator (Welford's algorithm —
+ * numerically stable for long streams).
+ */
+class StreamingStats
+{
+  public:
+    /** Feeds one sample. */
+    void add(double value);
+
+    int64_t count() const { return count_; }
+    double mean() const { return mean_; }
+
+    /** Sample variance (n-1 denominator); 0 with fewer than two
+     * samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const;
+    double max() const;
+
+    /** Merges another accumulator (parallel reduction). */
+    void merge(const StreamingStats &other);
+
+  private:
+    int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Exact percentile of a sample set with linear interpolation between
+ * order statistics (the definition used by the latency reports).
+ * @pre !values.empty(), 0 <= p <= 100.
+ */
+double exactPercentile(std::vector<double> values, double p);
+
+} // namespace comet

@@ -1,0 +1,43 @@
+#include "comet/common/status.h"
+
+namespace comet {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "OK";
+    std::string out = statusCodeName(code_);
+    out += ": ";
+    out += message_;
+    return out;
+}
+
+namespace detail {
+
+void
+checkFailed(const char *file, int line, const char *expr, const char *msg)
+{
+    std::fprintf(stderr, "comet: CHECK failed at %s:%d: %s%s%s\n", file,
+                 line, expr, msg[0] ? " — " : "", msg);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace comet

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Error handling primitives for the COMET library.
+ *
+ * COMET uses value-based error handling at module boundaries: operations
+ * that can fail for reasons a caller may want to handle return a Status
+ * (or Result<T>), while programming errors use COMET_CHECK which aborts.
+ * This mirrors the gem5 fatal()/panic() split: Status is for conditions a
+ * user of the library can cause (bad configuration, out-of-memory budget),
+ * COMET_CHECK for internal invariants.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace comet {
+
+/** Coarse error category carried by a Status. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfRange,
+    kResourceExhausted,
+    kFailedPrecondition,
+    kUnimplemented,
+    kInternal,
+};
+
+/** Returns a stable human-readable name for a StatusCode. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * A success-or-error value.
+ *
+ * Default-constructed Status is OK. Error statuses carry a code and a
+ * message. Statuses are cheap to copy in the error-free case.
+ */
+class Status
+{
+  public:
+    /** Constructs an OK status. */
+    Status() = default;
+
+    /** Constructs an error status with the given code and message. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    /** Factory helpers, one per error category. @{ */
+    static Status ok() { return Status(); }
+    static Status invalidArgument(std::string msg)
+    {
+        return Status(StatusCode::kInvalidArgument, std::move(msg));
+    }
+    static Status outOfRange(std::string msg)
+    {
+        return Status(StatusCode::kOutOfRange, std::move(msg));
+    }
+    static Status resourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::kResourceExhausted, std::move(msg));
+    }
+    static Status failedPrecondition(std::string msg)
+    {
+        return Status(StatusCode::kFailedPrecondition, std::move(msg));
+    }
+    static Status unimplemented(std::string msg)
+    {
+        return Status(StatusCode::kUnimplemented, std::move(msg));
+    }
+    static Status internal(std::string msg)
+    {
+        return Status(StatusCode::kInternal, std::move(msg));
+    }
+    /** @} */
+
+    /** True when the status represents success. */
+    bool isOk() const { return code_ == StatusCode::kOk; }
+
+    /** The error category (kOk on success). */
+    StatusCode code() const { return code_; }
+
+    /** The error message (empty on success). */
+    const std::string &message() const { return message_; }
+
+    /** Renders "OK" or "<code>: <message>". */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * A value-or-error return type.
+ *
+ * On success holds a T; on failure holds a non-OK Status. Accessing the
+ * value of a failed Result aborts, so callers must test isOk() first when
+ * failure is possible.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Constructs a successful result holding @p value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Constructs a failed result from a non-OK @p status. */
+    Result(Status status) : status_(std::move(status))
+    {
+        if (status_.isOk()) {
+            std::fprintf(stderr,
+                         "comet: Result constructed from OK status\n");
+            std::abort();
+        }
+    }
+
+    /** True when a value is present. */
+    bool isOk() const { return value_.has_value(); }
+
+    /** The status: OK when a value is present. */
+    const Status &status() const { return status_; }
+
+    /** Returns the contained value; aborts if the result is an error. @{ */
+    const T &
+    value() const &
+    {
+        ensureOk();
+        return *value_;
+    }
+
+    T &
+    value() &
+    {
+        ensureOk();
+        return *value_;
+    }
+
+    T &&
+    value() &&
+    {
+        ensureOk();
+        return std::move(*value_);
+    }
+    /** @} */
+
+  private:
+    void
+    ensureOk() const
+    {
+        if (!value_.has_value()) {
+            std::fprintf(stderr, "comet: Result::value() on error: %s\n",
+                         status_.toString().c_str());
+            std::abort();
+        }
+    }
+
+    std::optional<T> value_;
+    Status status_ = Status::ok();
+};
+
+namespace detail {
+
+[[noreturn]] void
+checkFailed(const char *file, int line, const char *expr, const char *msg);
+
+} // namespace detail
+
+} // namespace comet
+
+/**
+ * Aborts with a diagnostic when @p expr is false.
+ *
+ * Use for internal invariants (programming errors), not user-recoverable
+ * conditions. Enabled in all build types.
+ */
+#define COMET_CHECK(expr)                                                  \
+    do {                                                                   \
+        if (!(expr)) {                                                     \
+            ::comet::detail::checkFailed(__FILE__, __LINE__, #expr, "");   \
+        }                                                                  \
+    } while (0)
+
+/** COMET_CHECK with an explanatory message. */
+#define COMET_CHECK_MSG(expr, msg)                                         \
+    do {                                                                   \
+        if (!(expr)) {                                                     \
+            ::comet::detail::checkFailed(__FILE__, __LINE__, #expr, msg);  \
+        }                                                                  \
+    } while (0)

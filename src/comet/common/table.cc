@@ -1,0 +1,100 @@
+#include "comet/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "comet/common/status.h"
+
+namespace comet {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    COMET_CHECK(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    COMET_CHECK_MSG(cells.size() == headers_.size(),
+                    "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    separator_after_.push_back(rows_.size());
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += "| ";
+            line += row[c];
+            line += std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    auto render_separator = [&]() {
+        std::string line;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            line += "|";
+            line += std::string(widths[c] + 2, '-');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string out = render_row(headers_);
+    out += render_separator();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        for (size_t s : separator_after_) {
+            if (s == r)
+                out += render_separator();
+        }
+        out += render_row(rows_[r]);
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+formatSpeedup(double value, int digits)
+{
+    return formatDouble(value, digits) + "x";
+}
+
+std::string
+formatPercent(double fraction, int digits)
+{
+    return formatDouble(100.0 * fraction, digits) + "%";
+}
+
+} // namespace comet

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output.
+ *
+ * Every bench binary reproduces a table or figure from the paper; Table
+ * renders the rows/series in aligned monospace so the output can be
+ * compared against the paper side by side and diffed between runs.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace comet {
+
+/**
+ * An aligned monospace table builder.
+ *
+ * Columns are sized to the widest cell. Numeric cells should be
+ * pre-formatted by the caller (see formatDouble below) so precision is
+ * controlled per column.
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Inserts a horizontal separator after the current last row. */
+    void addSeparator();
+
+    /** Renders the table, including a header separator, as a string. */
+    std::string render() const;
+
+    /** Renders and writes the table to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separator_after_;
+};
+
+/** Formats a double with @p digits fractional digits. */
+std::string formatDouble(double value, int digits = 2);
+
+/** Formats a ratio as e.g. "2.88x". */
+std::string formatSpeedup(double value, int digits = 2);
+
+/** Formats a fraction as e.g. "84.0%". */
+std::string formatPercent(double fraction, int digits = 1);
+
+} // namespace comet

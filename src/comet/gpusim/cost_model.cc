@@ -1,0 +1,341 @@
+#include "comet/gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comet {
+
+const char *
+gemmKernelKindName(GemmKernelKind kind)
+{
+    switch (kind) {
+      case GemmKernelKind::kCublasW16A16: return "cuBLAS-W16A16";
+      case GemmKernelKind::kTrtLlmW4A16: return "TRT-LLM-W4A16";
+      case GemmKernelKind::kTrtLlmW8A8: return "TRT-LLM-W8A8";
+      case GemmKernelKind::kQserveW4A8: return "QServe-W4A8";
+      case GemmKernelKind::kCometW4Ax: return "COMET-W4Ax";
+      case GemmKernelKind::kOracleW4A4: return "Oracle-W4A4";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Storage bytes per value for each operand precision. */
+double
+bytesPerValue(int bits)
+{
+    return static_cast<double>(bits) / 8.0;
+}
+
+/** Shared-memory fragment reuse factor: with a 2-D warp tiling each
+ * fragment byte is read from shared memory by several warps. */
+constexpr double kSmemReuse = 4.0;
+
+/** Extra serialized weight-fragment traffic without interleaving:
+ * 2x ldmatrix issues x 2x bank-conflict wavefronts (Figure 6). */
+constexpr double kInterleavePenalty = 7.0;
+
+} // namespace
+
+GemmCostModel::GemmCostModel(GpuSpec spec,
+                             CostModelCalibration calibration)
+    : spec_(std::move(spec)), calibration_(calibration)
+{
+    COMET_CHECK(spec_.num_sms > 0);
+}
+
+double
+GemmCostModel::effectiveBandwidth(int active_sms) const
+{
+    const double saturation = std::min(
+        1.0, static_cast<double>(active_sms) /
+                 static_cast<double>(
+                     calibration_.bandwidth_saturation_sms));
+    return spec_.hbm_bandwidth * calibration_.memory_efficiency *
+           saturation;
+}
+
+double
+GemmCostModel::computeTime(const GemmShape &shape, int precision_bits,
+                           double efficiency,
+                           double parallel_fraction) const
+{
+    const double peak = spec_.tensorOps(precision_bits) * efficiency *
+                        parallel_fraction;
+    return shape.ops() / peak * 1e6;
+}
+
+double
+GemmCostModel::scheduledComputeTime(const GemmShape &shape,
+                                    const CometKernelFeatures &features,
+                                    double efficiency,
+                                    double *utilization) const
+{
+    const auto &cal = calibration_;
+    const int64_t k_blocks =
+        (shape.k + cal.tile_k - 1) / cal.tile_k;
+
+    // Precision pattern over k blocks: the INT8 blocks are spread
+    // evenly through the k range, mirroring the interleaved pattern of
+    // Figure 8 (FMPQ's permutation clusters outliers into the leading
+    // blocks of the *channel* order, but tiles of both precisions are
+    // co-resident in every kernel wave).
+    std::vector<BlockPrecision> pattern(
+        static_cast<size_t>(k_blocks), BlockPrecision::kInt4);
+    const int64_t int8_blocks = std::llround(
+        (1.0 - features.w4a4_fraction) * static_cast<double>(k_blocks));
+    if (int8_blocks > 0) {
+        const double stride = static_cast<double>(k_blocks) /
+                              static_cast<double>(int8_blocks);
+        for (int64_t i = 0; i < int8_blocks; ++i) {
+            // Deterministic jitter keeps the INT8 positions from
+            // resonating with the SM count (a perfectly periodic
+            // pattern makes the cyclic binding maximally
+            // pathological, which real layer shapes are not).
+            const int64_t jitter = (i * 7) % 3;
+            const auto idx = static_cast<size_t>(std::clamp<int64_t>(
+                std::llround(i * stride) + jitter, 0, k_blocks - 1));
+            pattern[idx] = BlockPrecision::kInt8;
+        }
+    }
+
+    // Per-tile stage times. Edge tiles are smaller than the nominal
+    // extents (decode GEMMs have m << tile_m), so durations use the
+    // *average effective* extent per dimension.
+    const double m_tiles =
+        std::ceil(shape.m / static_cast<double>(cal.tile_m));
+    const double n_tiles =
+        std::ceil(shape.n / static_cast<double>(cal.tile_n));
+    const double k_tiles_d =
+        std::ceil(shape.k / static_cast<double>(cal.tile_k));
+    const double tm_eff = static_cast<double>(shape.m) / m_tiles;
+    const double tn_eff = static_cast<double>(shape.n) / n_tiles;
+    const double tk_eff = static_cast<double>(shape.k) / k_tiles_d;
+    const double tile_ops = 2.0 * tm_eff * tn_eff * tk_eff;
+    const double sms = static_cast<double>(spec_.num_sms);
+    const double mma4 =
+        tile_ops / (spec_.int4_tensor_ops * efficiency / sms) * 1e6;
+    const double mma8 =
+        tile_ops / (spec_.int8_tensor_ops * efficiency / sms) * 1e6;
+
+    // CUDA-core conversion of the weight fragment (INT8 tiles only).
+    const double conv_values = tn_eff * tk_eff;
+    const double conv_ops_per_value = features.fast_conversion
+                                          ? cal.fast_conv_ops_per_value
+                                          : cal.naive_conv_ops_per_value;
+    const double conv8 = conv_values * conv_ops_per_value /
+                         (spec_.cuda_core_ops / sms) * 1e6;
+
+    // Shared-memory fragment traffic (store + reuse-amplified reads).
+    auto smem_time = [&](double act_bytes_per_value,
+                         double weight_traffic_scale) {
+        const double act_bytes = tm_eff * tk_eff * act_bytes_per_value;
+        const double w_bytes = tn_eff * tk_eff * bytesPerValue(4) *
+                               weight_traffic_scale;
+        return (act_bytes + w_bytes) * kSmemReuse /
+               (spec_.smem_bandwidth / sms) * 1e6;
+    };
+    const double smem4 = smem_time(bytesPerValue(4), 1.0);
+    const double smem8 = smem_time(
+        bytesPerValue(8),
+        features.weight_interleaving ? 1.0 : kInterleavePenalty);
+
+    // Per-tile HBM load: the weight fragment is always cold; the
+    // activation tile is reused across the n dimension, so about half
+    // its traffic hits L2.
+    auto load_time = [&](double act_bytes_per_value) {
+        const double bytes = tn_eff * tk_eff * bytesPerValue(4) +
+                             0.5 * tm_eff * tk_eff *
+                                 act_bytes_per_value;
+        return bytes / (effectiveBandwidth(spec_.num_sms) / sms) * 1e6;
+    };
+    const double load4 = load_time(bytesPerValue(4));
+    const double load8 = load_time(bytesPerValue(8));
+
+    const PipelineMode mode = features.software_pipeline
+                                  ? PipelineMode::kSimtEnhanced
+                                  : PipelineMode::kSerial;
+    // Conversion instructions issue on the SM's CUDA cores and
+    // compete with the warps feeding the tensor core. The pipeline
+    // hides conversion work up to a budget proportional to the mma
+    // duration; the excess spills onto the tile's critical path —
+    // negligible for the 2-instruction fast conversion, dominant for
+    // the naive one (the Figure 13 "w/o fast conversion" effect).
+    const double exposed_conv =
+        features.software_pipeline
+            ? std::max(0.0, conv8 - cal.conv_hide_budget * mma8)
+            : conv8;
+    const double tile4 = pipelineIterationTime(
+        StageTimes{load4, smem4, 0.0, mma4}, mode);
+    const double tile8 = pipelineIterationTime(
+        StageTimes{load8, smem8, 0.0, mma8 + exposed_conv}, mode);
+
+    std::vector<TileWork> tiles = buildGemmTiles(
+        shape.m, shape.n, shape.k, cal.tile_m, cal.tile_n, cal.tile_k,
+        pattern, cal.tile_k, tile4, tile8);
+
+    SchedulerConfig sched_config;
+    sched_config.num_sms = spec_.num_sms;
+    sched_config.steal_split = cal.steal_split;
+    sched_config.steal_overhead = cal.steal_overhead;
+    const ScheduleResult schedule =
+        scheduleTiles(tiles, sched_config, features.scheduling);
+    if (utilization != nullptr)
+        *utilization = schedule.utilization();
+    return schedule.makespan +
+           static_cast<double>(schedule.barriers) * cal.barrier_us;
+}
+
+KernelCost
+GemmCostModel::estimate(const GemmShape &shape, GemmKernelKind kind,
+                        const CometKernelFeatures &features) const
+{
+    COMET_CHECK(shape.m > 0 && shape.n > 0 && shape.k > 0);
+    const auto &cal = calibration_;
+    const double m = static_cast<double>(shape.m);
+    const double n = static_cast<double>(shape.n);
+    const double k = static_cast<double>(shape.k);
+
+    // Operand precisions (bits) per kernel kind.
+    int act_bits = 16, weight_bits = 16;
+    switch (kind) {
+      case GemmKernelKind::kCublasW16A16: break;
+      case GemmKernelKind::kTrtLlmW4A16:
+        weight_bits = 4;
+        break;
+      case GemmKernelKind::kTrtLlmW8A8:
+        act_bits = 8;
+        weight_bits = 8;
+        break;
+      case GemmKernelKind::kQserveW4A8:
+        act_bits = 8;
+        weight_bits = 4;
+        break;
+      case GemmKernelKind::kCometW4Ax:
+        act_bits = 0; // mixed, handled below
+        weight_bits = 4;
+        break;
+      case GemmKernelKind::kOracleW4A4:
+        act_bits = 4;
+        weight_bits = 4;
+        break;
+    }
+    const double act_bytes =
+        kind == GemmKernelKind::kCometW4Ax
+            ? features.w4a4_fraction * bytesPerValue(4) +
+                  (1.0 - features.w4a4_fraction) * bytesPerValue(8)
+            : bytesPerValue(act_bits);
+
+    // Tile-level parallelism: (m, n, k) tiles are independent thread
+    // blocks (split-k feeds a reduction).
+    const int64_t tiles_mnk =
+        ((shape.m + cal.tile_m - 1) / cal.tile_m) *
+        ((shape.n + cal.tile_n - 1) / cal.tile_n) *
+        ((shape.k + cal.tile_k - 1) / cal.tile_k);
+    const int active_sms = static_cast<int>(
+        std::min<int64_t>(spec_.num_sms, tiles_mnk));
+    const double parallel_fraction =
+        static_cast<double>(active_sms) /
+        static_cast<double>(spec_.num_sms);
+
+    KernelCost cost;
+    cost.launch_us = cal.launch_overhead_us;
+
+    // HBM traffic: activations + weights once each (L2 captures tile
+    // reuse at these shapes) + FP16 output.
+    const double hbm_bytes = m * k * act_bytes +
+                             n * k * bytesPerValue(weight_bits) +
+                             m * n * 2.0;
+    cost.memory_us =
+        hbm_bytes / effectiveBandwidth(active_sms) * 1e6;
+
+    // CUDA-core side work per kernel kind.
+    double convert_ops = 0.0;
+    switch (kind) {
+      case GemmKernelKind::kTrtLlmW4A16:
+        // Every weight value is dequantized once per m-tile pass.
+        convert_ops = n * k * cal.dequant_ops_per_value *
+                      std::ceil(m / static_cast<double>(cal.tile_m));
+        break;
+      case GemmKernelKind::kTrtLlmW8A8:
+        convert_ops = m * k; // per-token activation quantization
+        break;
+      case GemmKernelKind::kQserveW4A8:
+        convert_ops = n * k * cal.qserve_conv_ops_per_value +
+                      m * k;
+        break;
+      case GemmKernelKind::kCometW4Ax:
+        convert_ops = m * k * cal.permute_ops_per_value; // permutation
+        break;
+      default:
+        break;
+    }
+    cost.convert_us = convert_ops /
+                      (spec_.cuda_core_ops * parallel_fraction) * 1e6;
+
+    double compute_us = 0.0;
+    double smem_us = 0.0;
+    if (kind == GemmKernelKind::kCometW4Ax) {
+        compute_us = scheduledComputeTime(shape, features,
+                                          cal.efficiency_comet,
+                                          &cost.sm_utilization);
+        // Shared-memory traffic of the COMET tiles is already inside
+        // the per-tile pipeline times.
+        cost.total_us = cost.launch_us +
+                        std::max({cost.memory_us, cost.convert_us,
+                                  compute_us});
+    } else {
+        double efficiency = cal.efficiency_trtllm;
+        int compute_bits = 16;
+        switch (kind) {
+          case GemmKernelKind::kCublasW16A16:
+            efficiency = cal.efficiency_cublas;
+            compute_bits = 16;
+            break;
+          case GemmKernelKind::kTrtLlmW4A16:
+            compute_bits = 16; // dequantized to FP16 tensor cores
+            break;
+          case GemmKernelKind::kTrtLlmW8A8:
+            compute_bits = 8;
+            break;
+          case GemmKernelKind::kQserveW4A8:
+            efficiency = cal.efficiency_qserve;
+            compute_bits = 8;
+            break;
+          case GemmKernelKind::kOracleW4A4:
+            efficiency = cal.efficiency_oracle;
+            compute_bits = 4;
+            break;
+          default:
+            break;
+        }
+        compute_us = computeTime(shape, compute_bits, efficiency,
+                                 parallel_fraction);
+        // Fragment traffic counts every shared-memory pass: the
+        // activation tile re-stages once per n-tile column and the
+        // weight tile once per m-tile row, each read kSmemReuse times
+        // by the warp grid — the same accounting the COMET per-tile
+        // model uses, so baselines and COMET are comparable.
+        const double n_tiles =
+            std::ceil(n / static_cast<double>(cal.tile_n));
+        const double m_tiles =
+            std::ceil(m / static_cast<double>(cal.tile_m));
+        const double smem_bytes =
+            (m * k * act_bytes * n_tiles +
+             n * k * bytesPerValue(weight_bits) * m_tiles) *
+            kSmemReuse;
+        smem_us = smem_bytes /
+                  (spec_.smem_bandwidth * parallel_fraction) * 1e6;
+        // Mature kernels are fully software-pipelined: the slowest
+        // resource bounds throughput.
+        cost.total_us =
+            cost.launch_us + std::max({cost.memory_us, cost.convert_us,
+                                       compute_us + smem_us});
+    }
+    cost.compute_us = compute_us;
+    cost.smem_us = smem_us;
+    return cost;
+}
+
+} // namespace comet

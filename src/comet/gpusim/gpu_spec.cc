@@ -1,0 +1,58 @@
+#include "comet/gpusim/gpu_spec.h"
+
+#include "comet/common/status.h"
+
+namespace comet {
+
+double
+GpuSpec::tensorOps(int precision_bits) const
+{
+    switch (precision_bits) {
+      case 4: return int4_tensor_ops;
+      case 8: return int8_tensor_ops;
+      case 16: return fp16_tensor_ops;
+      default:
+        COMET_CHECK_MSG(false, "unsupported tensor-core precision");
+        return 0.0;
+    }
+}
+
+GpuSpec
+GpuSpec::a100Sxm480G()
+{
+    GpuSpec spec;
+    spec.name = "NVIDIA A100-80GB-SXM4";
+    spec.num_sms = 108;
+    spec.hbm_capacity_bytes = 80.0e9;
+    spec.hbm_bandwidth = 2.0e12;      // 2.0 TB/s (paper Section 2.3)
+    spec.fp16_tensor_ops = 312.0e12;  // 312 TFLOPS
+    spec.int8_tensor_ops = 624.0e12;  // 624 TOPS
+    spec.int4_tensor_ops = 1248.0e12; // 1248 TOPS
+    // Paper Section 4.3: INT8 tensor core is 32x the CUDA cores.
+    spec.cuda_core_ops = spec.int8_tensor_ops / 32.0;
+    // 108 SMs x ~128 B/clk x 1.41 GHz.
+    spec.smem_bandwidth = 19.5e12;
+    spec.nvlink_bandwidth = 600.0e9; // NVLink 3
+    return spec;
+}
+
+GpuSpec
+GpuSpec::h100Sxm80G()
+{
+    GpuSpec spec;
+    spec.name = "NVIDIA H100-80GB-SXM5";
+    spec.num_sms = 132;
+    spec.hbm_capacity_bytes = 80.0e9;
+    spec.hbm_bandwidth = 3.35e12;
+    spec.fp16_tensor_ops = 989.0e12;  // dense FP16/BF16 tensor core
+    spec.int8_tensor_ops = 1979.0e12; // dense INT8/FP8
+    // No INT4 tensor cores on Hopper: 4-bit operands convert to INT8
+    // (or FP8) and run at the INT8 rate.
+    spec.int4_tensor_ops = spec.int8_tensor_ops;
+    spec.cuda_core_ops = spec.int8_tensor_ops / 32.0;
+    spec.smem_bandwidth = 33.0e12;
+    spec.nvlink_bandwidth = 900.0e9; // NVLink 4
+    return spec;
+}
+
+} // namespace comet

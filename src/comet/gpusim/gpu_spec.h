@@ -1,0 +1,64 @@
+/**
+ * @file
+ * GPU hardware specification used by the performance model.
+ *
+ * The reproduction has no physical GPU, so every performance experiment
+ * runs against an analytic/discrete-event model parameterized by this
+ * spec. Numbers for the A100-80G-SXM4 follow the paper's Section 2.3:
+ * 80 GB HBM at 2.0 TB/s, 312 TFLOPS FP16 / 624 TOPS INT8 / 1248 TOPS
+ * INT4 tensor cores, and CUDA cores roughly 32x slower than the INT8
+ * tensor cores for scalar integer work.
+ */
+#pragma once
+
+#include <string>
+
+namespace comet {
+
+/** Static description of one GPU model. */
+struct GpuSpec {
+    std::string name;
+
+    int num_sms = 0;
+
+    /** HBM capacity in bytes. */
+    double hbm_capacity_bytes = 0.0;
+
+    /** Sustained HBM bandwidth, bytes/second. */
+    double hbm_bandwidth = 0.0;
+
+    /** Tensor-core peak throughput per precision, ops/second (one
+     * multiply-accumulate counts as two ops). @{ */
+    double fp16_tensor_ops = 0.0;
+    double int8_tensor_ops = 0.0;
+    double int4_tensor_ops = 0.0;
+    /** @} */
+
+    /** CUDA-core scalar integer throughput, ops/second; bounds data
+     * conversion and permutation work. */
+    double cuda_core_ops = 0.0;
+
+    /** Aggregate shared-memory bandwidth, bytes/second (all SMs). */
+    double smem_bandwidth = 0.0;
+
+    /** Per-GPU interconnect (NVLink) bandwidth, bytes/second; used by
+     * the tensor-parallel all-reduce model. */
+    double nvlink_bandwidth = 0.0;
+
+    /** Tensor-core throughput for @p precision_bits (4, 8 or 16). */
+    double tensorOps(int precision_bits) const;
+
+    /** The NVIDIA A100-80G-SXM4, the paper's evaluation platform. */
+    static GpuSpec a100Sxm480G();
+
+    /**
+     * An H100-SXM5-80G-class GPU (the paper's Section 4.3
+     * "next-generation" target). Hopper drops the INT4 tensor cores,
+     * so 4-bit operands execute on the INT8 units after conversion —
+     * modeled by int4_tensor_ops == int8_tensor_ops. Numbers are the
+     * public dense (non-sparse) figures.
+     */
+    static GpuSpec h100Sxm80G();
+};
+
+} // namespace comet

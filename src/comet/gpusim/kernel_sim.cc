@@ -1,0 +1,77 @@
+#include "comet/gpusim/kernel_sim.h"
+
+namespace comet {
+
+std::vector<W4AxVariant>
+figure13Variants()
+{
+    std::vector<W4AxVariant> variants;
+    variants.push_back({"COMET-W4Ax (full)", CometKernelFeatures{}});
+
+    CometKernelFeatures no_pipe;
+    no_pipe.software_pipeline = false;
+    variants.push_back({"W4Ax w/o software pipeline", no_pipe});
+
+    CometKernelFeatures no_interleave;
+    no_interleave.weight_interleaving = false;
+    variants.push_back({"W4Ax w/o weight interleaving", no_interleave});
+
+    CometKernelFeatures no_fast;
+    no_fast.fast_conversion = false;
+    variants.push_back({"W4Ax w/o fast conversion", no_fast});
+    return variants;
+}
+
+std::vector<W4AxVariant>
+figure14Variants()
+{
+    std::vector<W4AxVariant> variants;
+
+    CometKernelFeatures naive;
+    naive.scheduling = SchedulingStrategy::kNaiveSync;
+    variants.push_back({"W4Ax w/o optimization", naive});
+
+    CometKernelFeatures barrier_min;
+    barrier_min.scheduling = SchedulingStrategy::kBarrierMinimized;
+    variants.push_back({"W4Ax w/ barrier minimization", barrier_min});
+
+    CometKernelFeatures remap;
+    remap.scheduling = SchedulingStrategy::kTileRemapping;
+    variants.push_back({"W4Ax w/ remapping", remap});
+
+    variants.push_back({"COMET-W4Ax (task stealing)",
+                        CometKernelFeatures{}});
+    return variants;
+}
+
+KernelSimulator::KernelSimulator(GpuSpec spec,
+                                 CostModelCalibration calibration)
+    : model_(std::move(spec), calibration)
+{
+}
+
+double
+KernelSimulator::latencyUs(const GemmShape &shape, GemmKernelKind kind,
+                           const CometKernelFeatures &features) const
+{
+    return model_.estimate(shape, kind, features).total_us;
+}
+
+double
+KernelSimulator::speedup(const GemmShape &shape, GemmKernelKind baseline,
+                         GemmKernelKind kind,
+                         const CometKernelFeatures &features) const
+{
+    return latencyUs(shape, baseline) /
+           latencyUs(shape, kind, features);
+}
+
+double
+KernelSimulator::variantLatencyUs(const GemmShape &shape,
+                                  const W4AxVariant &variant) const
+{
+    return latencyUs(shape, GemmKernelKind::kCometW4Ax,
+                     variant.features);
+}
+
+} // namespace comet

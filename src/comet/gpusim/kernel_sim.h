@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Whole-kernel simulation conveniences built on the cost model.
+ *
+ * The Figure 9 / 13 / 14 benches need the same operations: estimate a
+ * set of kernels on a GEMM shape, normalize against a baseline, and
+ * enumerate the named ablation variants of the W4Ax kernel. This
+ * header packages those so benches stay declarative.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comet/gpusim/cost_model.h"
+
+namespace comet {
+
+/** A named W4Ax kernel variant used by the ablation studies. */
+struct W4AxVariant {
+    std::string name;
+    CometKernelFeatures features;
+};
+
+/** The Figure 13 ablation set: full kernel plus one feature removed at
+ * a time. */
+std::vector<W4AxVariant> figure13Variants();
+
+/** The Figure 14 progression: naive mapping, +remapping, +tile
+ * decomposition (the full kernel). */
+std::vector<W4AxVariant> figure14Variants();
+
+/**
+ * Facade over GemmCostModel for comparative experiments.
+ */
+class KernelSimulator
+{
+  public:
+    explicit KernelSimulator(GpuSpec spec = GpuSpec::a100Sxm480G(),
+                             CostModelCalibration calibration = {});
+
+    const GemmCostModel &model() const { return model_; }
+
+    /** Latency of one kernel on one shape, microseconds. */
+    double latencyUs(const GemmShape &shape, GemmKernelKind kind,
+                     const CometKernelFeatures &features = {}) const;
+
+    /** Speedup of @p kind over @p baseline on @p shape (>1 = faster). */
+    double speedup(const GemmShape &shape, GemmKernelKind baseline,
+                   GemmKernelKind kind,
+                   const CometKernelFeatures &features = {}) const;
+
+    /** Latency of a W4Ax variant, microseconds. */
+    double variantLatencyUs(const GemmShape &shape,
+                            const W4AxVariant &variant) const;
+
+  private:
+    GemmCostModel model_;
+};
+
+} // namespace comet

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Compile-time kernel planning (paper Sections 4.4 and 5).
+ *
+ * The paper applies its fine-grained SM scheduling "during LLM
+ * compilation stages": before serving, every linear layer's
+ * mixed-precision tile grid is examined and a tile-to-SM mapping is
+ * fixed. This module is that compilation pass: given a model, a batch
+ * size and the deployed W4A4 fraction, it enumerates each decoder
+ * GEMM, evaluates all four scheduling strategies on its tile grid,
+ * picks the fastest, and emits a per-layer plan plus a human-readable
+ * report (predicted step latency, utilization, bottleneck layer).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comet/gpusim/cost_model.h"
+#include "comet/model/llm_config.h"
+
+namespace comet {
+
+/** The compiled plan of one linear layer's GEMM. */
+struct LayerPlan {
+    std::string name;                 ///< e.g. "gate_up_proj"
+    GemmShape shape;
+    int64_t total_tiles = 0;
+    double w4a4_tile_fraction = 0.0;
+    SchedulingStrategy strategy =
+        SchedulingStrategy::kTaskStealing; ///< chosen mapping
+    double predicted_us = 0.0;             ///< with the chosen strategy
+    double naive_us = 0.0;                 ///< naive-sync reference
+    double sm_utilization = 0.0;
+};
+
+/** The compiled plan of a whole decoder step. */
+struct ModelPlan {
+    std::string model_name;
+    int64_t batch = 0;
+    std::vector<LayerPlan> layers;    ///< one per distinct layer GEMM
+    double step_gemm_us = 0.0;        ///< per decode step, all layers
+    size_t bottleneck_layer = 0;      ///< index of the costliest GEMM
+    double speedup_over_naive = 1.0;  ///< scheduling gain of the plan
+};
+
+/**
+ * The compilation pass.
+ */
+class CompilePlanner
+{
+  public:
+    explicit CompilePlanner(GpuSpec spec = GpuSpec::a100Sxm480G(),
+                            CostModelCalibration calibration = {});
+
+    /**
+     * Plans every decoder-layer GEMM of @p model at decode batch
+     * @p batch. @p w4a4_fraction is the deployed FMPQ statistic
+     * (Section 6.2; defaults to the paper's measured 84%).
+     */
+    ModelPlan plan(const LlmConfig &model, int64_t batch,
+                   double w4a4_fraction = 0.84) const;
+
+    /** Renders a plan as an aligned text report. */
+    static std::string report(const ModelPlan &plan);
+
+  private:
+    GemmCostModel model_;
+};
+
+} // namespace comet

@@ -1,0 +1,62 @@
+#include "comet/gpusim/roofline.h"
+
+#include <algorithm>
+
+#include "comet/common/status.h"
+
+namespace comet {
+
+double
+rooflineAttainable(double peak_ops, double bandwidth, double intensity)
+{
+    COMET_CHECK(peak_ops > 0 && bandwidth > 0 && intensity > 0);
+    return std::min(peak_ops, intensity * bandwidth);
+}
+
+OperatorPoint
+analyzeActActOperator(const GpuSpec &spec, int kv_bits)
+{
+    OperatorPoint point;
+    point.name = "act-act (attention)";
+    point.act_bits = kv_bits;
+    point.weight_bits = 0;
+    const double kv_bytes = static_cast<double>(kv_bits) / 8.0;
+    point.intensity = 2.0 / kv_bytes;
+    // Attention score/value products run on whatever unit matches the
+    // dequantized operand precision; FP16 tensor cores are the ceiling.
+    const double peak = spec.fp16_tensor_ops;
+    point.attainable_ops =
+        rooflineAttainable(peak, spec.hbm_bandwidth, point.intensity);
+    point.memory_bound = point.attainable_ops < peak;
+    return point;
+}
+
+OperatorPoint
+analyzeWeightActOperator(const GpuSpec &spec, int act_bits,
+                         int weight_bits, int64_t batch)
+{
+    COMET_CHECK(batch > 0);
+    OperatorPoint point;
+    point.name = "weight-act (GEMM, batch " + std::to_string(batch) +
+                 ")";
+    point.act_bits = act_bits;
+    point.weight_bits = weight_bits;
+    const double w_bytes = static_cast<double>(weight_bits) / 8.0;
+    point.intensity = 2.0 * static_cast<double>(batch) / w_bytes;
+    const int compute_bits = std::max(act_bits, weight_bits);
+    const double peak = spec.tensorOps(compute_bits >= 16 ? 16
+                                       : compute_bits >= 8 ? 8
+                                                           : 4);
+    point.attainable_ops =
+        rooflineAttainable(peak, spec.hbm_bandwidth, point.intensity);
+    point.memory_bound = point.attainable_ops < peak;
+    return point;
+}
+
+double
+ridgeIntensity(const GpuSpec &spec, int precision_bits)
+{
+    return spec.tensorOps(precision_bits) / spec.hbm_bandwidth;
+}
+
+} // namespace comet

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Roofline analysis of LLM operators (paper Section 2.3, Figure 2).
+ *
+ * The paper motivates W4A4KV4 with a roofline argument: the
+ * activation-activation operators of attention have a fixed arithmetic
+ * intensity around 1 op/byte (memory-bound at any batch size, so KV
+ * quantization translates directly into speedup), while weight-
+ * activation GEMMs have intensity proportional to the batched token
+ * count (compute-bound at large batch, so low-precision tensor cores
+ * translate directly into speedup).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comet/gpusim/gpu_spec.h"
+
+namespace comet {
+
+/** Attainable throughput (ops/s) at a given arithmetic intensity under
+ * the classic roofline: min(peak, intensity * bandwidth). */
+double rooflineAttainable(double peak_ops, double bandwidth,
+                          double intensity);
+
+/** One analyzed operator point on the roofline. */
+struct OperatorPoint {
+    std::string name;
+    int act_bits = 16;       ///< activation / KV precision
+    int weight_bits = 16;    ///< weight precision (weight-act only)
+    double intensity = 0.0;  ///< ops per HBM byte
+    double attainable_ops = 0.0;
+    bool memory_bound = false;
+};
+
+/**
+ * Analyzes the attention activation-activation operator (e.g. Q*K^T)
+ * at the given KV precision: per output element one MAC reads one KV
+ * value, so intensity = 2 / kv_bytes.
+ */
+OperatorPoint analyzeActActOperator(const GpuSpec &spec, int kv_bits);
+
+/**
+ * Analyzes a decode-phase weight-activation GEMM at the given batch
+ * size and precisions: weights dominate traffic, so intensity is
+ * approximately 2 * batch / weight_bytes.
+ */
+OperatorPoint analyzeWeightActOperator(const GpuSpec &spec, int act_bits,
+                                       int weight_bits, int64_t batch);
+
+/** The ridge intensity where an operator transitions from memory- to
+ * compute-bound for the given compute precision. */
+double ridgeIntensity(const GpuSpec &spec, int precision_bits);
+
+} // namespace comet

@@ -1,0 +1,94 @@
+#include "comet/kernel/convert.h"
+
+#include "comet/kernel/int4_pack.h"
+
+namespace comet {
+
+namespace {
+
+/** Adds to the counter if one is attached. */
+inline void
+count(InstructionCounter *counter, int64_t n)
+{
+    if (counter != nullptr)
+        counter->add(n);
+}
+
+} // namespace
+
+ConvertedPair
+naiveInt4ToInt8(uint32_t word, InstructionCounter *counter)
+{
+    // Emulates the instruction-by-instruction naive widening. PTX has
+    // no 4-bit funnel shift or sign extension, so each nibble is
+    // extracted, tested, extended and re-inserted individually. The
+    // counter mirrors the per-value cost the paper cites (~10).
+    uint32_t lo = 0, hi = 0;
+    for (int i = 0; i < 8; ++i) {
+        uint32_t nibble = word >> (4 * i); // shr
+        nibble &= 0xf;                     // and
+        count(counter, 2);
+
+        uint32_t sign = nibble & 0x8;      // and
+        uint32_t ext = sign ? 0xf0u : 0u;  // setp + sel
+        uint32_t byte = nibble | ext;      // or
+        count(counter, 4);
+
+        // Insert into the destination byte lane: shift + or, plus the
+        // lane bookkeeping (mask of the target byte, register select)
+        // that a real SASS sequence spends on sub-word placement.
+        const int lane = i % 4;
+        uint32_t placed = byte << (8 * lane); // shl
+        if (i < 4)
+            lo |= placed;                     // or
+        else
+            hi |= placed;                     // or
+        count(counter, 4);
+    }
+    return ConvertedPair{lo, hi};
+}
+
+uint32_t
+locationSwitch(uint32_t word)
+{
+    // Storage nibble 2k   <- logical nibble k      (k = 0..3)
+    // Storage nibble 2k+1 <- logical nibble k + 4
+    uint32_t out = 0;
+    for (int k = 0; k < 4; ++k) {
+        const uint32_t even = (word >> (4 * k)) & 0xf;
+        const uint32_t odd = (word >> (4 * (k + 4))) & 0xf;
+        out |= even << (4 * (2 * k));
+        out |= odd << (4 * (2 * k + 1));
+    }
+    return out;
+}
+
+uint32_t
+locationSwitchInverse(uint32_t word)
+{
+    uint32_t out = 0;
+    for (int k = 0; k < 4; ++k) {
+        const uint32_t even = (word >> (4 * (2 * k))) & 0xf;
+        const uint32_t odd = (word >> (4 * (2 * k + 1))) & 0xf;
+        out |= even << (4 * k);
+        out |= odd << (4 * (k + 4));
+    }
+    return out;
+}
+
+ConvertedPair
+fastInt4ToInt8(uint32_t switched_word, InstructionCounter *counter)
+{
+    // Zero extension into the high nibble of each byte: a signed INT8
+    // byte whose high nibble is the INT4 value and whose low nibble is
+    // zero equals exactly 16x the INT4 value. The location switch has
+    // already placed logical values 0..3 in even nibble slots and 4..7
+    // in odd slots, so two masks produce both registers in order.
+    const uint32_t lo = (switched_word << 4) & 0xf0f0f0f0u; // shl + and
+    count(counter, 2);
+    const uint32_t hi = switched_word & 0xf0f0f0f0u;        // and
+    count(counter, 1);
+    return ConvertedPair{lo, hi};
+}
+
+} // namespace comet

@@ -1,0 +1,116 @@
+#include "comet/kernel/fp4.h"
+
+#include <cmath>
+
+#include "comet/common/status.h"
+#include "comet/kernel/int4_pack.h"
+
+namespace comet {
+
+namespace {
+
+/** The eight non-negative E2M1 magnitudes, indexed by (exp << 1) |
+ * mantissa. */
+constexpr float kMagnitudes[8] = {0.0f, 0.5f, 1.0f, 1.5f,
+                                  2.0f, 3.0f, 4.0f, 6.0f};
+
+inline void
+count(InstructionCounter *counter, int64_t n)
+{
+    if (counter != nullptr)
+        counter->add(n);
+}
+
+} // namespace
+
+float
+decodeFp4(uint8_t code)
+{
+    COMET_CHECK(code <= 0xf);
+    const float magnitude = kMagnitudes[code & 0x7];
+    return (code & 0x8) ? -magnitude : magnitude;
+}
+
+uint8_t
+encodeFp4(float value)
+{
+    const uint8_t sign = value < 0.0f ? 0x8 : 0x0;
+    const float magnitude = std::fabs(value);
+    // Nearest representable magnitude; ties round to the larger one
+    // (matches round-half-away for this monotone table).
+    uint8_t best = 0;
+    float best_err = magnitude; // distance to 0
+    for (uint8_t i = 1; i < 8; ++i) {
+        const float err = std::fabs(magnitude - kMagnitudes[i]);
+        if (err < best_err ||
+            (err == best_err && kMagnitudes[i] < kMagnitudes[best])) {
+            best = i;
+            best_err = err;
+        }
+    }
+    return sign | best;
+}
+
+int8_t
+fp4ToInt8(uint8_t code, InstructionCounter *counter)
+{
+    COMET_CHECK(code <= 0xf);
+    const uint8_t exponent = (code >> 1) & 0x3; // extract: shr + and
+    const uint8_t mantissa = code & 0x1;
+    count(counter, 2);
+
+    // 2x the decoded magnitude as an integer. Subnormal (e = 0):
+    // 2 * m * 0.5 = m. Normal (e > 0): 2 * (2 + m) * 2^(e-1) / 2 =
+    // (2 + m) << (e - 1) — the "exponent bits become shift amounts"
+    // scheme the paper describes.
+    int32_t magnitude;
+    if (exponent == 0) {
+        magnitude = mantissa;
+    } else {
+        magnitude = (2 + mantissa) << (exponent - 1); // or + shl
+    }
+    count(counter, 1);
+
+    // Sign select (one predicated negate).
+    const int32_t value = (code & 0x8) ? -magnitude : magnitude;
+    count(counter, 1);
+    return static_cast<int8_t>(value);
+}
+
+uint32_t
+packFp4x8(const std::array<uint8_t, 8> &codes)
+{
+    uint32_t word = 0;
+    for (int i = 0; i < 8; ++i) {
+        COMET_CHECK(codes[static_cast<size_t>(i)] <= 0xf);
+        word |= static_cast<uint32_t>(codes[static_cast<size_t>(i)])
+                << (4 * i);
+    }
+    return word;
+}
+
+std::array<uint8_t, 8>
+unpackFp4x8(uint32_t word)
+{
+    std::array<uint8_t, 8> codes{};
+    for (int i = 0; i < 8; ++i)
+        codes[static_cast<size_t>(i)] =
+            static_cast<uint8_t>((word >> (4 * i)) & 0xf);
+    return codes;
+}
+
+ConvertedPair
+fp4RegisterToInt8(uint32_t word, InstructionCounter *counter)
+{
+    const std::array<uint8_t, 8> codes = unpackFp4x8(word);
+    std::array<int8_t, 4> lo{}, hi{};
+    for (int i = 0; i < 4; ++i) {
+        lo[static_cast<size_t>(i)] =
+            fp4ToInt8(codes[static_cast<size_t>(i)], counter);
+        hi[static_cast<size_t>(i)] =
+            fp4ToInt8(codes[static_cast<size_t>(i + 4)], counter);
+    }
+    return ConvertedPair{packInt8x4(lo), packInt8x4(hi)};
+}
+
+} // namespace comet

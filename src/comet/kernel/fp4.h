@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FP4 (E2M1) support and fast FP4->INT8 conversion (paper Section 4.3,
+ * last paragraph).
+ *
+ * The paper notes its conversion design "is also adaptable for
+ * efficient FP4-to-INT8 conversion on next-generation GPUs such as
+ * H100": the sign and mantissa bits stay in place while the exponent
+ * bits become shift amounts. This module implements the E2M1 format
+ * and that conversion for real:
+ *
+ *  - E2M1 encodes sign (1 bit), exponent (2 bits, bias 1), mantissa
+ *    (1 bit). Representable magnitudes: 0, 0.5, 1, 1.5, 2, 3, 4, 6.
+ *  - Doubling every representable value yields an integer
+ *    (0,1,2,3,4,6,8,12), so FP4 widens *exactly* to INT8 as
+ *    2x(value); the factor 2 folds into the scale just like the x16
+ *    factor of the INT4 zero-extension trick.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "comet/kernel/convert.h"
+
+namespace comet {
+
+/** Multiplier introduced by the exact FP4->INT8 widening. */
+inline constexpr int32_t kFp4ConvMultiplier = 2;
+
+/** Largest representable E2M1 magnitude. */
+inline constexpr float kFp4Max = 6.0f;
+
+/** Decodes one 4-bit E2M1 code (low nibble) to its float value. */
+float decodeFp4(uint8_t code);
+
+/** Encodes @p value to the nearest representable E2M1 code
+ * (round-to-nearest magnitude, saturating at +-6). */
+uint8_t encodeFp4(float value);
+
+/**
+ * Widens one E2M1 code to a signed INT8 equal to exactly
+ * kFp4ConvMultiplier * decodeFp4(code), using the paper's scheme:
+ * place the mantissa (with implicit leading one for normals) and
+ * shift by the exponent. The optional counter records the emulated
+ * instructions (2-3: extract, shift, sign select).
+ */
+int8_t fp4ToInt8(uint8_t code, InstructionCounter *counter = nullptr);
+
+/** Packs eight E2M1 codes into a register word (code i -> bits
+ * [4i, 4i+4)). */
+uint32_t packFp4x8(const std::array<uint8_t, 8> &codes);
+
+/** Unpacks a register word into eight E2M1 codes. */
+std::array<uint8_t, 8> unpackFp4x8(uint32_t word);
+
+/**
+ * Converts a packed FP4 register word (8 codes) into two packed INT8
+ * register words holding 2x the decoded values, in order
+ * (lo = codes 0..3, hi = codes 4..7).
+ */
+ConvertedPair fp4RegisterToInt8(uint32_t word,
+                                InstructionCounter *counter = nullptr);
+
+} // namespace comet

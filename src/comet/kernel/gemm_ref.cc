@@ -1,0 +1,72 @@
+#include "comet/kernel/gemm_ref.h"
+
+namespace comet {
+
+Tensor
+gemmFloat(const Tensor &x, const Tensor &w)
+{
+    COMET_CHECK(x.shape().rank() == 2 && w.shape().rank() == 2);
+    COMET_CHECK_MSG(x.cols() == w.cols(),
+                    "inner dimensions must match (X [M,K], W [N,K])");
+    const int64_t m_dim = x.rows(), n_dim = w.rows(), k_dim = x.cols();
+    Tensor out(m_dim, n_dim);
+    for (int64_t m = 0; m < m_dim; ++m) {
+        for (int64_t n = 0; n < n_dim; ++n) {
+            double sum = 0.0;
+            for (int64_t k = 0; k < k_dim; ++k)
+                sum += static_cast<double>(x.at(m, k)) * w.at(n, k);
+            out.at(m, n) = static_cast<float>(sum);
+        }
+    }
+    return out;
+}
+
+Tensor
+gemmInt8(const QuantizedInt8 &a, const QuantizedInt8 &w)
+{
+    COMET_CHECK(a.data.cols() == w.data.cols());
+    const int64_t m_dim = a.data.rows();
+    const int64_t n_dim = w.data.rows();
+    const int64_t k_dim = a.data.cols();
+    Tensor out(m_dim, n_dim);
+    for (int64_t m = 0; m < m_dim; ++m) {
+        for (int64_t n = 0; n < n_dim; ++n) {
+            int64_t acc = 0;
+            for (int64_t k = 0; k < k_dim; ++k) {
+                acc += static_cast<int64_t>(a.data.get(m, k)) *
+                       w.data.get(n, k);
+            }
+            out.at(m, n) =
+                static_cast<float>(acc) *
+                a.row_params[static_cast<size_t>(m)].scale *
+                w.row_params[static_cast<size_t>(n)].scale;
+        }
+    }
+    return out;
+}
+
+Tensor
+gemmInt4(const QuantizedInt4 &a, const QuantizedInt4 &w)
+{
+    COMET_CHECK(a.data.cols() == w.data.cols());
+    const int64_t m_dim = a.data.rows();
+    const int64_t n_dim = w.data.rows();
+    const int64_t k_dim = a.data.cols();
+    Tensor out(m_dim, n_dim);
+    for (int64_t m = 0; m < m_dim; ++m) {
+        for (int64_t n = 0; n < n_dim; ++n) {
+            int64_t acc = 0;
+            for (int64_t k = 0; k < k_dim; ++k) {
+                acc += static_cast<int64_t>(a.data.get(m, k)) *
+                       w.data.get(n, k);
+            }
+            out.at(m, n) =
+                static_cast<float>(acc) *
+                a.row_params[static_cast<size_t>(m)].scale *
+                w.row_params[static_cast<size_t>(n)].scale;
+        }
+    }
+    return out;
+}
+
+} // namespace comet

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reference GEMM implementations.
+ *
+ * Convention everywhere in comet: activations X are [M, K] = [tokens,
+ * in_channels], weights W are [N, K] = [out_features, in_channels], and
+ * a linear layer computes O = X * W^T, i.e. O[m][n] = dot(X[m], W[n]).
+ *
+ * gemmFloat is the golden model the packed-integer kernels are verified
+ * against; the integer references implement the plain (non-interleaved,
+ * naively-converted) quantized GEMMs used as baselines.
+ */
+#pragma once
+
+#include "comet/quant/quantizer.h"
+#include "comet/tensor/packed.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** O = X * W^T in float. X: [M, K], W: [N, K], O: [M, N]. */
+Tensor gemmFloat(const Tensor &x, const Tensor &w);
+
+/**
+ * W8A8 reference: integer accumulation of per-row-quantized operands,
+ * dequantized with out[m][n] = acc * scale_a[m] * scale_w[n].
+ */
+Tensor gemmInt8(const QuantizedInt8 &a, const QuantizedInt8 &w);
+
+/** W4A4 reference with per-row scales. */
+Tensor gemmInt4(const QuantizedInt4 &a, const QuantizedInt4 &w);
+
+} // namespace comet

@@ -1,0 +1,192 @@
+#include "comet/kernel/gemm_w4ax.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "comet/kernel/int4_pack.h"
+#include "comet/kernel/interleave.h"
+#include "comet/kernel/mma.h"
+
+namespace comet {
+
+W4AxGemm::W4AxGemm(BlockQuantizedWeight weight,
+                   std::vector<BlockPrecision> precisions,
+                   W4AxGemmConfig config)
+    : weight_(std::move(weight)), precisions_(std::move(precisions)),
+      config_(config), prepared_(prepareWeightsForW4A8(weight_.data))
+{
+    COMET_CHECK(weight_.block_size > 0);
+    COMET_CHECK_MSG(static_cast<int64_t>(precisions_.size()) ==
+                        weight_.in_channels / weight_.block_size,
+                    "precision map must have one entry per k block");
+    COMET_CHECK(config_.tile_m > 0 && config_.tile_n > 0 &&
+                config_.tile_k > 0);
+    COMET_CHECK_MSG(weight_.block_size % config_.tile_k == 0,
+                    "tile_k must divide the quantization block size so "
+                    "every tile has a single precision");
+    COMET_CHECK_MSG(config_.tile_k % kInterleaveUnit == 0,
+                    "tile_k must be a multiple of the interleave unit");
+}
+
+Tensor
+W4AxGemm::run(const MixedQuantizedActivation &activation,
+              W4AxGemmStats *stats) const
+{
+    COMET_CHECK(activation.channels == weight_.in_channels);
+    COMET_CHECK(activation.block_size == weight_.block_size);
+    COMET_CHECK_MSG(activation.precisions == precisions_,
+                    "activation block precisions must match the map the "
+                    "operator was built for");
+
+    const int64_t m_dim = activation.tokens;
+    const int64_t n_dim = weight_.out_features;
+    const int64_t k_dim = weight_.in_channels;
+
+    Tensor out(m_dim, n_dim);
+
+    // The n dimension partitions across host threads: every thread
+    // owns a disjoint set of output columns, so the emulation is
+    // race-free and bit-identical for any thread count (tile
+    // iteration order within a column set is unchanged).
+    COMET_CHECK(config_.threads >= 1);
+    const auto worker = [&](int64_t n_begin, int64_t n_end,
+                            W4AxGemmStats *thread_stats,
+                            InstructionCounter *counter) {
+    for (int64_t m0 = 0; m0 < m_dim; m0 += config_.tile_m) {
+        const int64_t mm = std::min(config_.tile_m, m_dim - m0);
+        for (int64_t n0 = n_begin; n0 < n_end; n0 += config_.tile_n) {
+            const int64_t nn = std::min(config_.tile_n, n_dim - n0);
+            for (int64_t k0 = 0; k0 < k_dim; k0 += config_.tile_k) {
+                const int64_t kk = std::min(config_.tile_k, k_dim - k0);
+                const int64_t block = k0 / weight_.block_size;
+                const bool is_int4 =
+                    precisions_[static_cast<size_t>(block)] ==
+                    BlockPrecision::kInt4;
+
+                AccumTile acc(mm, nn);
+                float conv_fixup = 1.0f;
+                if (is_int4) {
+                    mmaInt4(acc, activation.int4_data, m0, weight_.data,
+                            n0, k0, kk);
+                } else if (config_.use_fast_conversion) {
+                    mmaW4A8Prepared(acc, activation.int8_data, m0,
+                                    prepared_, n0, k0, kk, counter);
+                    conv_fixup =
+                        1.0f / static_cast<float>(kFastConvMultiplier);
+                } else {
+                    // Ablation path: widen the plain-layout weights with
+                    // the naive per-nibble conversion, then run the
+                    // INT8 mma. Numerically identical, far costlier.
+                    Int8Tensor widened(nn, kk);
+                    for (int64_t j = 0; j < nn; ++j) {
+                        for (int64_t k = 0; k < kk; k += 8) {
+                            const ConvertedPair pair = naiveInt4ToInt8(
+                                weight_.data.loadWord(n0 + j, k0 + k),
+                                counter);
+                            widened.storeWord(j, k, pair.lo);
+                            widened.storeWord(j, k + 4, pair.hi);
+                        }
+                    }
+                    // The widened tile is indexed from local k 0 while
+                    // the activation stays at global k0, so contract
+                    // manually with the same dp4a path mmaInt8 uses.
+                    for (int64_t i = 0; i < mm; ++i) {
+                        for (int64_t j = 0; j < nn; ++j) {
+                            int32_t sum = 0;
+                            for (int64_t k = 0; k < kk; k += 4) {
+                                sum = dp4a(activation.int8_data.loadWord(
+                                               m0 + i, k0 + k),
+                                           widened.loadWord(j, k), sum);
+                            }
+                            acc.at(i, j) = sum;
+                        }
+                    }
+                }
+
+                if (thread_stats != nullptr) {
+                    (is_int4 ? thread_stats->int4_tiles
+                             : thread_stats->int8_tiles) += 1;
+                    (is_int4 ? thread_stats->int4_mac_ops
+                             : thread_stats->int8_mac_ops) +=
+                        mm * nn * kk;
+                }
+
+                for (int64_t i = 0; i < mm; ++i) {
+                    const float a_scale =
+                        activation.scales.at(m0 + i, block) * conv_fixup;
+                    for (int64_t j = 0; j < nn; ++j) {
+                        out.at(m0 + i, n0 + j) +=
+                            static_cast<float>(acc.at(i, j)) * a_scale *
+                            weight_.scales.at(n0 + j, block);
+                    }
+                }
+            }
+        }
+    }
+    }; // worker
+
+    if (config_.threads == 1) {
+        InstructionCounter counter;
+        worker(0, n_dim, stats, &counter);
+        if (stats != nullptr)
+            stats->conversion_instructions = counter.count();
+        return out;
+    }
+
+    // Partition whole n-tiles across threads.
+    const int64_t n_tiles =
+        (n_dim + config_.tile_n - 1) / config_.tile_n;
+    const int64_t num_threads = std::min<int64_t>(
+        config_.threads, std::max<int64_t>(n_tiles, 1));
+    std::vector<W4AxGemmStats> thread_stats(
+        static_cast<size_t>(num_threads));
+    std::vector<InstructionCounter> counters(
+        static_cast<size_t>(num_threads));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(num_threads));
+    for (int64_t t = 0; t < num_threads; ++t) {
+        const int64_t first_tile = t * n_tiles / num_threads;
+        const int64_t last_tile = (t + 1) * n_tiles / num_threads;
+        pool.emplace_back(worker, first_tile * config_.tile_n,
+                          std::min(last_tile * config_.tile_n, n_dim),
+                          &thread_stats[static_cast<size_t>(t)],
+                          &counters[static_cast<size_t>(t)]);
+    }
+    for (std::thread &thread : pool)
+        thread.join();
+    if (stats != nullptr) {
+        for (int64_t t = 0; t < num_threads; ++t) {
+            const W4AxGemmStats &ts =
+                thread_stats[static_cast<size_t>(t)];
+            stats->int4_tiles += ts.int4_tiles;
+            stats->int8_tiles += ts.int8_tiles;
+            stats->int4_mac_ops += ts.int4_mac_ops;
+            stats->int8_mac_ops += ts.int8_mac_ops;
+            stats->conversion_instructions +=
+                counters[static_cast<size_t>(t)].count();
+        }
+    }
+    return out;
+}
+
+Tensor
+gemmW4AxReference(const MixedQuantizedActivation &activation,
+                  const BlockQuantizedWeight &weight)
+{
+    const Tensor a = dequantize(activation);
+    const Tensor w = dequantize(weight);
+    COMET_CHECK(a.cols() == w.cols());
+    const int64_t m_dim = a.rows(), n_dim = w.rows(), k_dim = a.cols();
+    Tensor out(m_dim, n_dim);
+    for (int64_t m = 0; m < m_dim; ++m) {
+        for (int64_t n = 0; n < n_dim; ++n) {
+            double sum = 0.0;
+            for (int64_t k = 0; k < k_dim; ++k)
+                sum += static_cast<double>(a.at(m, k)) * w.at(n, k);
+            out.at(m, n) = static_cast<float>(sum);
+        }
+    }
+    return out;
+}
+
+} // namespace comet

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The COMET-W4Ax mixed-precision GEMM (paper Section 4), emulated
+ * bit-exactly.
+ *
+ * The kernel multiplies FMPQ-quantized activations (a mix of INT4 and
+ * INT8 channel blocks) against block-wise INT4 weights:
+ *
+ *  - INT4 activation blocks run the W4A4 path (INT4 mma directly);
+ *  - INT8 activation blocks run the W4A8 path: the weights of those
+ *    blocks are stored in the prepared (interleaved + location-switched)
+ *    layout and widened on the fly with the 2-instruction fast
+ *    conversion, whose x16 factor is folded into the block scale.
+ *
+ * Computation is organized in (tile_m x tile_n x tile_k) tiles exactly
+ * like the GPU kernel (128^3 in the paper); each tile's precision is
+ * decided by the activation block covering its k-range. The class also
+ * reports per-run statistics (tile precision mix, conversion
+ * instructions) consumed by tests and the ablation benches.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/kernel/convert.h"
+#include "comet/quant/fmpq.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** Tile configuration of the W4Ax kernel. */
+struct W4AxGemmConfig {
+    int64_t tile_m = 128;
+    int64_t tile_n = 128;
+    int64_t tile_k = 128;
+    /** When false the W4A8 path widens weights with the naive
+     * conversion (numerically identical; only the instruction count
+     * changes). Exists for the Figure 13 ablation. */
+    bool use_fast_conversion = true;
+    /** Host threads used by the emulation (the GPU analogy: thread
+     * blocks run concurrently). Output tiles are partitioned along
+     * the n dimension, so results and statistics are bit-identical
+     * for any thread count. */
+    int threads = 1;
+};
+
+/** Observed execution statistics of one W4Ax GEMM run. */
+struct W4AxGemmStats {
+    int64_t int4_tiles = 0;  ///< tiles executed on the W4A4 path
+    int64_t int8_tiles = 0;  ///< tiles executed on the W4A8 path
+    int64_t conversion_instructions = 0;
+    int64_t int4_mac_ops = 0; ///< multiply-accumulates, W4A4 path
+    int64_t int8_mac_ops = 0; ///< multiply-accumulates, W4A8 path
+
+    double
+    w4a4TileFraction() const
+    {
+        const int64_t total = int4_tiles + int8_tiles;
+        return total == 0 ? 1.0
+                          : static_cast<double>(int4_tiles) /
+                                static_cast<double>(total);
+    }
+};
+
+/**
+ * A W4Ax GEMM operator bound to one quantized weight matrix.
+ *
+ * Construction performs the offline layout work (packing the W4A8
+ * blocks into the prepared layout); run() executes the kernel against
+ * runtime activations.
+ */
+class W4AxGemm
+{
+  public:
+    /**
+     * Binds the operator to a quantized weight and the activation
+     * block-precision map it will be used with.
+     *
+     * @pre weight block size matches the precision map
+     *      (weight.in_channels / weight.block_size precisions).
+     */
+    W4AxGemm(BlockQuantizedWeight weight,
+             std::vector<BlockPrecision> precisions,
+             W4AxGemmConfig config = {});
+
+    const W4AxGemmConfig &config() const { return config_; }
+
+    /**
+     * Executes the mixed-precision GEMM and returns the dequantized
+     * float output [tokens, out_features].
+     *
+     * @pre activation block structure (size, count, precisions) matches
+     *      the one this operator was built for.
+     */
+    Tensor run(const MixedQuantizedActivation &activation,
+               W4AxGemmStats *stats = nullptr) const;
+
+  private:
+    BlockQuantizedWeight weight_;
+    std::vector<BlockPrecision> precisions_;
+    W4AxGemmConfig config_;
+    /** Weights in prepared layout, used by INT8 blocks. */
+    Int4Tensor prepared_;
+};
+
+/**
+ * Golden model for W4AxGemm::run — dequantizes both operands to float
+ * and multiplies. Bit-level kernels are verified against this.
+ */
+Tensor gemmW4AxReference(const MixedQuantizedActivation &activation,
+                         const BlockQuantizedWeight &weight);
+
+} // namespace comet

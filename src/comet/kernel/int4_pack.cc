@@ -1,0 +1,75 @@
+#include "comet/kernel/int4_pack.h"
+
+namespace comet {
+
+uint32_t
+packInt4x8(const std::array<int8_t, 8> &values)
+{
+    uint32_t word = 0;
+    for (int i = 0; i < 8; ++i) {
+        const uint32_t nibble = static_cast<uint32_t>(values[static_cast<size_t>(i)]) & 0xf;
+        word |= nibble << (4 * i);
+    }
+    return word;
+}
+
+std::array<int8_t, 8>
+unpackInt4x8(uint32_t word)
+{
+    std::array<int8_t, 8> values{};
+    for (int i = 0; i < 8; ++i) {
+        const uint32_t nibble = (word >> (4 * i)) & 0xf;
+        values[static_cast<size_t>(i)] = static_cast<int8_t>(
+            nibble >= 8 ? static_cast<int>(nibble) - 16
+                        : static_cast<int>(nibble));
+    }
+    return values;
+}
+
+uint32_t
+packInt8x4(const std::array<int8_t, 4> &values)
+{
+    uint32_t word = 0;
+    for (int i = 0; i < 4; ++i) {
+        word |= (static_cast<uint32_t>(values[static_cast<size_t>(i)]) &
+                 0xff)
+                << (8 * i);
+    }
+    return word;
+}
+
+std::array<int8_t, 4>
+unpackInt8x4(uint32_t word)
+{
+    std::array<int8_t, 4> values{};
+    for (int i = 0; i < 4; ++i)
+        values[static_cast<size_t>(i)] =
+            static_cast<int8_t>((word >> (8 * i)) & 0xff);
+    return values;
+}
+
+int32_t
+dp4a(uint32_t a, uint32_t b, int32_t acc)
+{
+    const auto av = unpackInt8x4(a);
+    const auto bv = unpackInt8x4(b);
+    for (int i = 0; i < 4; ++i) {
+        acc += static_cast<int32_t>(av[static_cast<size_t>(i)]) *
+               static_cast<int32_t>(bv[static_cast<size_t>(i)]);
+    }
+    return acc;
+}
+
+int32_t
+dp8a4(uint32_t a, uint32_t b, int32_t acc)
+{
+    const auto av = unpackInt4x8(a);
+    const auto bv = unpackInt4x8(b);
+    for (int i = 0; i < 8; ++i) {
+        acc += static_cast<int32_t>(av[static_cast<size_t>(i)]) *
+               static_cast<int32_t>(bv[static_cast<size_t>(i)]);
+    }
+    return acc;
+}
+
+} // namespace comet

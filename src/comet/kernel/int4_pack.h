@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Register-level packing of sub-byte integers (paper Section 4.3).
+ *
+ * The W4Ax kernel moves data through 32-bit registers exactly as the GPU
+ * does: eight INT4 values or four INT8 values per register. These
+ * helpers pack/unpack such register words and are the substrate for the
+ * fast-conversion and interleaving code. Nibble/byte order is
+ * little-endian: value i occupies bits [4*i, 4*i+4) (INT4) or
+ * [8*i, 8*i+8) (INT8).
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace comet {
+
+/** Packs eight signed INT4 values (each in [-8, 7]) into one register
+ * word; value i lands in bits [4i, 4i+4). */
+uint32_t packInt4x8(const std::array<int8_t, 8> &values);
+
+/** Unpacks a register word into eight sign-extended INT4 values. */
+std::array<int8_t, 8> unpackInt4x8(uint32_t word);
+
+/** Packs four signed INT8 values into one register word; value i lands
+ * in bits [8i, 8i+8). */
+uint32_t packInt8x4(const std::array<int8_t, 4> &values);
+
+/** Unpacks a register word into four INT8 values. */
+std::array<int8_t, 4> unpackInt8x4(uint32_t word);
+
+/**
+ * Emulates the CUDA dp4a instruction: per-byte signed multiply of two
+ * packed INT8 register words, accumulated into @p acc.
+ */
+int32_t dp4a(uint32_t a, uint32_t b, int32_t acc);
+
+/**
+ * Emulates the INT4 dot-product path of the INT4 tensor core: per-nibble
+ * signed multiply of two packed INT4 register words (8 products),
+ * accumulated into @p acc.
+ */
+int32_t dp8a4(uint32_t a, uint32_t b, int32_t acc);
+
+} // namespace comet

@@ -1,0 +1,136 @@
+#include "comet/kernel/interleave.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "comet/kernel/convert.h"
+#include "comet/kernel/int4_pack.h"
+
+namespace comet {
+
+int64_t
+interleavedIndex(int64_t logical_index)
+{
+    const int64_t unit = logical_index / kInterleaveUnit;
+    const int64_t offset = logical_index % kInterleaveUnit;
+    // Within a unit: v0..v3 -> slots 0..3, v8..v11 -> slots 4..7,
+    // v4..v7 -> slots 8..11, v12..v15 -> slots 12..15. Applying the
+    // same mapping twice returns the original index (self-inverse):
+    // the mapping swaps the two middle quads.
+    int64_t slot;
+    if (offset < 4)
+        slot = offset;            // v0..v3   stay
+    else if (offset < 8)
+        slot = offset + 4;        // v4..v7   -> 8..11
+    else if (offset < 12)
+        slot = offset - 4;        // v8..v11  -> 4..7
+    else
+        slot = offset;            // v12..v15 stay
+    return unit * kInterleaveUnit + slot;
+}
+
+Int4Tensor
+interleaveWeights(const Int4Tensor &weights)
+{
+    COMET_CHECK_MSG(weights.cols() % kInterleaveUnit == 0,
+                    "columns must be a multiple of the interleave unit");
+    Int4Tensor out(weights.rows(), weights.cols());
+    for (int64_t r = 0; r < weights.rows(); ++r) {
+        for (int64_t c = 0; c < weights.cols(); ++c)
+            out.set(r, interleavedIndex(c), weights.get(r, c));
+    }
+    return out;
+}
+
+Int4Tensor
+deinterleaveWeights(const Int4Tensor &weights)
+{
+    // interleavedIndex is self-inverse, so the same transform undoes it.
+    return interleaveWeights(weights);
+}
+
+Int4Tensor
+prepareWeightsForW4A8(const Int4Tensor &weights)
+{
+    Int4Tensor interleaved = interleaveWeights(weights);
+    Int4Tensor out(interleaved.rows(), interleaved.cols());
+    for (int64_t r = 0; r < interleaved.rows(); ++r) {
+        for (int64_t c = 0; c < interleaved.cols(); c += 8) {
+            out.storeWord(r, c,
+                          locationSwitch(interleaved.loadWord(r, c)));
+        }
+    }
+    return out;
+}
+
+SmemSimResult
+simulateWarpLoad(const std::vector<WarpAccess> &accesses)
+{
+    constexpr int64_t kBanks = 32;
+    constexpr int64_t kWordBytes = 4;
+
+    SmemSimResult result;
+    // bank -> set of distinct word addresses requested in that bank.
+    std::map<int64_t, std::set<int64_t>> bank_words;
+    for (const WarpAccess &access : accesses) {
+        COMET_CHECK(access.bytes > 0);
+        const int64_t first_word = access.byte_address / kWordBytes;
+        const int64_t last_word =
+            (access.byte_address + access.bytes - 1) / kWordBytes;
+        for (int64_t w = first_word; w <= last_word; ++w) {
+            ++result.word_touches;
+            bank_words[w % kBanks].insert(w);
+        }
+    }
+    result.wavefronts = 1;
+    for (const auto &[bank, words] : bank_words) {
+        result.wavefronts = std::max(
+            result.wavefronts, static_cast<int64_t>(words.size()));
+    }
+    result.conflicts = result.wavefronts - 1;
+    return result;
+}
+
+std::vector<WarpAccess>
+naiveW4A8AccessPattern(int threads)
+{
+    // Thread t needs INT4 values 4t .. 4t+7, i.e. 4 bytes starting at
+    // byte 2t: misaligned for odd t and overlapping its neighbours
+    // (paper Figure 6(a): T0 loads b0~b7 while T1 loads b4~b11).
+    std::vector<WarpAccess> accesses;
+    accesses.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        accesses.push_back(WarpAccess{t, 2 * t, 4});
+    return accesses;
+}
+
+std::vector<WarpAccess>
+interleavedW4A8AccessPattern(int threads)
+{
+    // Thread t reads its whole 8-value group as the aligned word t
+    // (paper Figure 6(b): T0 uses addresses 0~3 and 8~11, stored
+    // contiguously after interleaving).
+    std::vector<WarpAccess> accesses;
+    accesses.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        accesses.push_back(WarpAccess{t, 4 * t, 4});
+    return accesses;
+}
+
+int
+naiveW4A8LdmatrixCount()
+{
+    // The overlapping ranges cannot be fetched as one ldmatrix: the
+    // instruction hands each thread one aligned 32-bit word, so the
+    // naive layout needs two issues (one per half of the fragment).
+    return 2;
+}
+
+int
+interleavedW4A8LdmatrixCount()
+{
+    return 1;
+}
+
+} // namespace comet

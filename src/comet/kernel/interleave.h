@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Weight interleaving for W4A8 GEMM (paper Section 4.3, Figure 6) and a
+ * shared-memory bank-conflict simulator to verify its effect.
+ *
+ * In a typical W8A8 kernel, `ldmatrix` hands each thread a contiguous
+ * 32-bit word of weights. When the weights are INT4, a thread feeding
+ * the same INT8 mma needs *eight* values (still 32 bits after widening,
+ * but only 16 bits in storage), and consecutive threads' value ranges
+ * overlap (T0 needs v0..v7, T1 needs v4..v11, ...), producing misaligned
+ * accesses, shared-memory bank conflicts, and two ldmatrix issues per
+ * thread.
+ *
+ * COMET rearranges each 16-value unit so that thread t's eight values
+ * are stored contiguously as one aligned 32-bit word:
+ *   unit word 0 = v0..v3, v8..v11   (thread T0)
+ *   unit word 1 = v4..v7, v12..v15  (thread T1)
+ * This removes all conflicts and halves the ldmatrix count. The
+ * interleaving here is the exact byte-level transform, and the simulator
+ * reproduces the conflict counts on a 32-bank shared memory model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/tensor/packed.h"
+
+namespace comet {
+
+/** Number of INT4 values per interleave unit (two 32-bit words). */
+inline constexpr int64_t kInterleaveUnit = 16;
+
+/**
+ * Maps a logical value index within a row to its storage index in the
+ * interleaved layout. Self-inverse within each 16-value unit.
+ */
+int64_t interleavedIndex(int64_t logical_index);
+
+/** Interleaves every row of an INT4 weight tensor.
+ * @pre cols % kInterleaveUnit == 0. */
+Int4Tensor interleaveWeights(const Int4Tensor &weights);
+
+/** Undoes interleaveWeights (the mapping is self-inverse). */
+Int4Tensor deinterleaveWeights(const Int4Tensor &weights);
+
+/**
+ * Fully prepares an INT4 weight tensor for the W4A8 fast path: applies
+ * the 16-value interleave, then the per-register location switch
+ * required by fastInt4ToInt8(). This is the offline layout COMET stores
+ * W4A8-destined weights in.
+ */
+Int4Tensor prepareWeightsForW4A8(const Int4Tensor &weights);
+
+/** One thread's shared-memory access within a warp-synchronous load. */
+struct WarpAccess {
+    int thread = 0;
+    int64_t byte_address = 0;
+    int bytes = 4;
+};
+
+/** Outcome of simulating one warp-wide shared-memory load. */
+struct SmemSimResult {
+    /** 4-byte shared-memory words touched, summed over threads (an
+     * unaligned 4-byte access touches two words). */
+    int64_t word_touches = 0;
+    /** Serialized wavefronts = max over banks of distinct word rows
+     * addressed in that bank; 1 means conflict-free. */
+    int64_t wavefronts = 0;
+    /** wavefronts - 1: extra serialized passes caused by conflicts. */
+    int64_t conflicts = 0;
+};
+
+/**
+ * Simulates one warp-synchronous load against a 32-bank x 4-byte
+ * shared memory. Threads accessing the same word are broadcast
+ * (no conflict); distinct words in the same bank serialize.
+ */
+SmemSimResult simulateWarpLoad(const std::vector<WarpAccess> &accesses);
+
+/** Access pattern of the *naive* W4A8 weight load for @p threads
+ * threads: thread t reads 4 bytes at byte offset 2t (overlapping,
+ * misaligned). */
+std::vector<WarpAccess> naiveW4A8AccessPattern(int threads);
+
+/** Access pattern of the *interleaved* W4A8 weight load: thread t reads
+ * the aligned 32-bit word t. */
+std::vector<WarpAccess> interleavedW4A8AccessPattern(int threads);
+
+/** Number of ldmatrix issues per thread needed to gather its eight
+ * INT4 values under each layout. @{ */
+int naiveW4A8LdmatrixCount();
+int interleavedW4A8LdmatrixCount();
+/** @} */
+
+} // namespace comet

@@ -1,0 +1,74 @@
+#include "comet/kernel/mma.h"
+
+#include "comet/kernel/int4_pack.h"
+#include "comet/kernel/interleave.h"
+
+namespace comet {
+
+void
+mmaInt8(AccumTile &acc, const Int8Tensor &a, int64_t a_row0,
+        const Int8Tensor &b, int64_t b_row0, int64_t k0, int64_t k_len)
+{
+    COMET_CHECK(k0 % 4 == 0 && k_len % 4 == 0);
+    for (int64_t i = 0; i < acc.m(); ++i) {
+        for (int64_t j = 0; j < acc.n(); ++j) {
+            int32_t sum = acc.at(i, j);
+            for (int64_t k = k0; k < k0 + k_len; k += 4) {
+                sum = dp4a(a.loadWord(a_row0 + i, k),
+                           b.loadWord(b_row0 + j, k), sum);
+            }
+            acc.at(i, j) = sum;
+        }
+    }
+}
+
+void
+mmaInt4(AccumTile &acc, const Int4Tensor &a, int64_t a_row0,
+        const Int4Tensor &b, int64_t b_row0, int64_t k0, int64_t k_len)
+{
+    COMET_CHECK(k0 % 8 == 0 && k_len % 8 == 0);
+    for (int64_t i = 0; i < acc.m(); ++i) {
+        for (int64_t j = 0; j < acc.n(); ++j) {
+            int32_t sum = acc.at(i, j);
+            for (int64_t k = k0; k < k0 + k_len; k += 8) {
+                sum = dp8a4(a.loadWord(a_row0 + i, k),
+                            b.loadWord(b_row0 + j, k), sum);
+            }
+            acc.at(i, j) = sum;
+        }
+    }
+}
+
+void
+mmaW4A8Prepared(AccumTile &acc, const Int8Tensor &a, int64_t a_row0,
+                const Int4Tensor &w_prepared, int64_t w_row0, int64_t k0,
+                int64_t k_len, InstructionCounter *counter)
+{
+    COMET_CHECK(k0 % kInterleaveUnit == 0 &&
+                k_len % kInterleaveUnit == 0);
+    for (int64_t j = 0; j < acc.n(); ++j) {
+        // Widen this weight row's k-chunk once per unit; the converted
+        // registers are reused across all m rows of the accumulator, so
+        // conversion cost amortizes exactly as it does on the GPU
+        // (conversion happens once per shared-memory tile).
+        for (int64_t k = k0; k < k0 + k_len; k += kInterleaveUnit) {
+            // Unit storage words 0 and 1.
+            const ConvertedPair w0 = fastInt4ToInt8(
+                w_prepared.loadWord(w_row0 + j, k), counter);
+            const ConvertedPair w1 = fastInt4ToInt8(
+                w_prepared.loadWord(w_row0 + j, k + 8), counter);
+            // Interleaved layout: word0 = v[k..k+3], v[k+8..k+11];
+            //                     word1 = v[k+4..k+7], v[k+12..k+15].
+            for (int64_t i = 0; i < acc.m(); ++i) {
+                int32_t sum = acc.at(i, j);
+                sum = dp4a(a.loadWord(a_row0 + i, k), w0.lo, sum);
+                sum = dp4a(a.loadWord(a_row0 + i, k + 4), w1.lo, sum);
+                sum = dp4a(a.loadWord(a_row0 + i, k + 8), w0.hi, sum);
+                sum = dp4a(a.loadWord(a_row0 + i, k + 12), w1.hi, sum);
+                acc.at(i, j) = sum;
+            }
+        }
+    }
+}
+
+} // namespace comet

@@ -1,0 +1,40 @@
+#include "comet/kernel/pipeline.h"
+
+#include <algorithm>
+
+#include "comet/common/status.h"
+
+namespace comet {
+
+double
+pipelineIterationTime(const StageTimes &stages, PipelineMode mode)
+{
+    const double serial = stages.global_load + stages.smem_load +
+                          stages.convert + stages.mma;
+    if (mode == PipelineMode::kSerial)
+        return serial;
+    // Steady state of the two-level overlap: the async-copy engine
+    // streams the next buffer (global_load), the CUDA cores transform
+    // the current one (convert), and the warps issue ldmatrix + mma
+    // from the previous one. Each resource works concurrently, so the
+    // slowest one sets the cadence.
+    return std::max({stages.global_load, stages.convert,
+                     stages.smem_load + stages.mma});
+}
+
+double
+pipelineTime(const StageTimes &stages, PipelineMode mode,
+             int64_t iterations)
+{
+    COMET_CHECK(iterations >= 1);
+    const double iter = pipelineIterationTime(stages, mode);
+    if (mode == PipelineMode::kSerial)
+        return static_cast<double>(iterations) * iter;
+    // Fill: the first fragment must traverse every stage before the
+    // overlap is established.
+    const double fill = stages.global_load + stages.smem_load +
+                        stages.convert + stages.mma;
+    return fill + static_cast<double>(iterations - 1) * iter;
+}
+
+} // namespace comet

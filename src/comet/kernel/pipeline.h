@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Timing model of the SIMT-enhanced software pipeline (paper
+ * Section 4.2, Figure 5(c)).
+ *
+ * A W4Ax tile iterates over k-steps; each step (1) loads the next
+ * activation/weight fragments from global memory into a shared-memory
+ * buffer, (2) optionally converts/permutes them on the CUDA cores,
+ * (3) moves fragments to registers (ldmatrix), and (4) issues the mma.
+ * COMET overlaps these with two levels of double buffering so that in
+ * steady state the slowest *resource* — the memory system, the CUDA
+ * cores, or the tensor cores — bounds throughput, rather than the sum
+ * of all stages.
+ *
+ * This header contains only the closed-form stage algebra; the gpusim
+ * cost model supplies the stage times for concrete tiles and GPUs.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace comet {
+
+/** Per-k-step stage durations of one tile, in arbitrary time units
+ * (the cost model uses microseconds). */
+struct StageTimes {
+    double global_load = 0.0; ///< HBM -> shared memory
+    double smem_load = 0.0;   ///< ldmatrix, shared memory -> registers
+    double convert = 0.0;     ///< CUDA-core dequant / permutation
+    double mma = 0.0;         ///< tensor-core compute
+};
+
+/** Pipelining strategy of the kernel. */
+enum class PipelineMode {
+    /** No overlap: stages run back-to-back each iteration (the
+     * "w/o software pipeline" ablation of Figure 13). */
+    kSerial,
+    /** COMET's two-level overlap: global loads run under
+     * transform+compute, and double buffering overlaps the CUDA-core
+     * transform with tensor-core compute. */
+    kSimtEnhanced,
+};
+
+/** Duration of one steady-state iteration under the given mode. */
+double pipelineIterationTime(const StageTimes &stages, PipelineMode mode);
+
+/**
+ * Total duration of @p iterations k-steps, including pipeline fill
+ * (one full serial pass) for the overlapped mode.
+ * @pre iterations >= 1.
+ */
+double pipelineTime(const StageTimes &stages, PipelineMode mode,
+                    int64_t iterations);
+
+} // namespace comet

@@ -1,0 +1,54 @@
+#include "comet/kvcache/block_allocator.h"
+
+namespace comet {
+
+BlockAllocator::BlockAllocator(int64_t num_blocks) : total_(num_blocks)
+{
+    COMET_CHECK(num_blocks > 0);
+    ref_counts_.assign(static_cast<size_t>(num_blocks), 0);
+    free_list_.reserve(static_cast<size_t>(num_blocks));
+    // Hand out low block ids first (LIFO free list, reversed fill).
+    for (int64_t b = num_blocks - 1; b >= 0; --b)
+        free_list_.push_back(b);
+}
+
+Result<int64_t>
+BlockAllocator::allocate()
+{
+    if (free_list_.empty()) {
+        return Status::resourceExhausted(
+            "KV cache block pool exhausted");
+    }
+    const int64_t block = free_list_.back();
+    free_list_.pop_back();
+    ref_counts_[static_cast<size_t>(block)] = 1;
+    return block;
+}
+
+void
+BlockAllocator::addRef(int64_t block)
+{
+    COMET_CHECK(block >= 0 && block < total_);
+    COMET_CHECK_MSG(ref_counts_[static_cast<size_t>(block)] > 0,
+                    "addRef on a free block");
+    ++ref_counts_[static_cast<size_t>(block)];
+}
+
+void
+BlockAllocator::release(int64_t block)
+{
+    COMET_CHECK(block >= 0 && block < total_);
+    int &count = ref_counts_[static_cast<size_t>(block)];
+    COMET_CHECK_MSG(count > 0, "release on a free block");
+    if (--count == 0)
+        free_list_.push_back(block);
+}
+
+int
+BlockAllocator::refCount(int64_t block) const
+{
+    COMET_CHECK(block >= 0 && block < total_);
+    return ref_counts_[static_cast<size_t>(block)];
+}
+
+} // namespace comet

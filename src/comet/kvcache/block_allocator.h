@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Paged KV-cache block allocator (vLLM-style; paper Section 5 adopts
+ * PagedAttention's memory management).
+ *
+ * The KV cache is carved into fixed-size blocks of block_tokens tokens;
+ * sequences own chains of blocks allocated on demand, and blocks are
+ * reference-counted so shared prefixes can be mapped copy-on-write.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/common/status.h"
+
+namespace comet {
+
+/**
+ * Fixed-pool block allocator with reference counting.
+ */
+class BlockAllocator
+{
+  public:
+    /** Creates a pool of @p num_blocks blocks, all free. */
+    explicit BlockAllocator(int64_t num_blocks);
+
+    int64_t totalBlocks() const { return total_; }
+    int64_t freeBlocks() const
+    {
+        return static_cast<int64_t>(free_list_.size());
+    }
+    int64_t
+    usedBlocks() const
+    {
+        return total_ - freeBlocks();
+    }
+
+    /** Allocates one block (refcount 1); fails when the pool is
+     * exhausted. */
+    Result<int64_t> allocate();
+
+    /** Increments the refcount of an allocated block (prefix
+     * sharing). */
+    void addRef(int64_t block);
+
+    /** Decrements the refcount; the block returns to the free list at
+     * zero. */
+    void release(int64_t block);
+
+    /** Current refcount (0 = free). */
+    int refCount(int64_t block) const;
+
+  private:
+    int64_t total_;
+    std::vector<int> ref_counts_;
+    std::vector<int64_t> free_list_;
+};
+
+} // namespace comet

@@ -1,0 +1,186 @@
+#include "comet/kvcache/kv_cache.h"
+
+#include <cmath>
+
+namespace comet {
+
+namespace {
+
+int64_t
+poolBlocks(const LlmConfig &model, const KvCacheConfig &config,
+           double block_bytes)
+{
+    COMET_CHECK(config.memory_budget_bytes > 0.0);
+    (void)model;
+    const double blocks = config.memory_budget_bytes / block_bytes;
+    COMET_CHECK_MSG(blocks >= 1.0,
+                    "KV budget smaller than a single block");
+    return static_cast<int64_t>(blocks);
+}
+
+double
+computeBlockBytes(const LlmConfig &model, const KvCacheConfig &config)
+{
+    // K and V, every layer, kv_heads * head_dim channels, block_tokens
+    // tokens, at bits_per_value — plus per-channel-group quantization
+    // metadata for sub-byte caches.
+    const double values = 2.0 *
+                          static_cast<double>(model.num_layers) *
+                          static_cast<double>(model.num_kv_heads) *
+                          static_cast<double>(model.headDim()) *
+                          static_cast<double>(config.block_tokens);
+    double bytes = values * config.bits_per_value / 8.0;
+    if (config.bits_per_value < 16.0) {
+        // One (scale, zero) pair per channel per quant_group_tokens
+        // tokens; a block holds block_tokens/quant_group_tokens of a
+        // group per channel.
+        const double channels =
+            2.0 * static_cast<double>(model.num_layers) *
+            static_cast<double>(model.num_kv_heads) *
+            static_cast<double>(model.headDim());
+        bytes += channels * config.quant_metadata_bytes *
+                 static_cast<double>(config.block_tokens) /
+                 static_cast<double>(config.quant_group_tokens);
+    }
+    return bytes;
+}
+
+} // namespace
+
+PagedKvCache::PagedKvCache(const LlmConfig &model, KvCacheConfig config)
+    : model_(model), config_(config),
+      block_bytes_(computeBlockBytes(model, config)),
+      allocator_(poolBlocks(model, config, block_bytes_))
+{
+    COMET_CHECK(config_.block_tokens > 0);
+}
+
+int64_t
+PagedKvCache::blocksForTokens(int64_t tokens) const
+{
+    return (tokens + config_.block_tokens - 1) / config_.block_tokens;
+}
+
+bool
+PagedKvCache::canAdmit(int64_t tokens) const
+{
+    return blocksForTokens(tokens) <= freeBlocks();
+}
+
+Status
+PagedKvCache::addSequence(int64_t seq_id, int64_t prompt_tokens)
+{
+    COMET_CHECK(prompt_tokens > 0);
+    if (sequences_.count(seq_id) != 0) {
+        return Status::invalidArgument("sequence id already present");
+    }
+    const int64_t needed = blocksForTokens(prompt_tokens);
+    if (needed > freeBlocks()) {
+        return Status::resourceExhausted(
+            "not enough free KV blocks for the prompt");
+    }
+    SequenceState state;
+    state.tokens = prompt_tokens;
+    state.blocks.reserve(static_cast<size_t>(needed));
+    for (int64_t i = 0; i < needed; ++i) {
+        Result<int64_t> block = allocator_.allocate();
+        COMET_CHECK(block.isOk()); // guaranteed by the check above
+        state.blocks.push_back(block.value());
+    }
+    sequences_.emplace(seq_id, std::move(state));
+    return Status::ok();
+}
+
+Status
+PagedKvCache::appendToken(int64_t seq_id)
+{
+    const auto it = sequences_.find(seq_id);
+    if (it == sequences_.end())
+        return Status::invalidArgument("unknown sequence id");
+    SequenceState &state = it->second;
+    if (blocksForTokens(state.tokens + 1) >
+        static_cast<int64_t>(state.blocks.size())) {
+        Result<int64_t> block = allocator_.allocate();
+        if (!block.isOk())
+            return block.status();
+        state.blocks.push_back(block.value());
+    } else if (!state.blocks.empty() &&
+               allocator_.refCount(state.blocks.back()) > 1) {
+        // Copy-on-write: the trailing block is shared with a fork and
+        // is about to be written; give this sequence its own copy.
+        Result<int64_t> copy = allocator_.allocate();
+        if (!copy.isOk())
+            return copy.status();
+        allocator_.release(state.blocks.back());
+        state.blocks.back() = copy.value();
+    }
+    ++state.tokens;
+    return Status::ok();
+}
+
+Status
+PagedKvCache::forkSequence(int64_t parent_id, int64_t child_id)
+{
+    const auto parent_it = sequences_.find(parent_id);
+    if (parent_it == sequences_.end())
+        return Status::invalidArgument("unknown parent sequence");
+    if (sequences_.count(child_id) != 0)
+        return Status::invalidArgument("child id already present");
+    const SequenceState &parent = parent_it->second;
+    COMET_CHECK(!parent.blocks.empty());
+
+    // Full blocks are shared; a partially filled trailing block is
+    // copied so parent and child can append independently.
+    const bool tail_partial =
+        parent.tokens % config_.block_tokens != 0;
+    const size_t shared =
+        parent.blocks.size() - (tail_partial ? 1 : 0);
+
+    SequenceState child;
+    child.tokens = parent.tokens;
+    child.blocks.reserve(parent.blocks.size());
+    if (tail_partial && freeBlocks() < 1) {
+        return Status::resourceExhausted(
+            "no free block for the copy-on-write tail");
+    }
+    for (size_t i = 0; i < shared; ++i) {
+        allocator_.addRef(parent.blocks[i]);
+        child.blocks.push_back(parent.blocks[i]);
+    }
+    if (tail_partial) {
+        Result<int64_t> copy = allocator_.allocate();
+        COMET_CHECK(copy.isOk()); // guaranteed by the check above
+        child.blocks.push_back(copy.value());
+    }
+    sequences_.emplace(child_id, std::move(child));
+    return Status::ok();
+}
+
+int64_t
+PagedKvCache::logicalBlocksInUse() const
+{
+    int64_t total = 0;
+    for (const auto &[id, state] : sequences_)
+        total += static_cast<int64_t>(state.blocks.size());
+    return total;
+}
+
+void
+PagedKvCache::removeSequence(int64_t seq_id)
+{
+    const auto it = sequences_.find(seq_id);
+    COMET_CHECK_MSG(it != sequences_.end(), "unknown sequence id");
+    for (int64_t block : it->second.blocks)
+        allocator_.release(block);
+    sequences_.erase(it);
+}
+
+int64_t
+PagedKvCache::sequenceTokens(int64_t seq_id) const
+{
+    const auto it = sequences_.find(seq_id);
+    COMET_CHECK_MSG(it != sequences_.end(), "unknown sequence id");
+    return it->second.tokens;
+}
+
+} // namespace comet

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Paged, precision-aware KV cache for one model instance.
+ *
+ * Tracks per-sequence block chains over a BlockAllocator sized from a
+ * byte budget and the cache precision. Halving the KV precision (FP16
+ * -> INT8 -> INT4) proportionally multiplies the number of sequences x
+ * tokens that fit — the mechanism behind COMET's end-to-end batch-size
+ * and throughput gains (Figure 15's COMET-KV4 ablation).
+ *
+ * The cache accounts memory and block residency exactly; the numeric
+ * content of the cache is exercised separately by KvCacheQuantizer.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "comet/common/status.h"
+#include "comet/kvcache/block_allocator.h"
+#include "comet/model/llm_config.h"
+
+namespace comet {
+
+/** Sizing parameters of a paged KV cache. */
+struct KvCacheConfig {
+    double bits_per_value = 16.0; ///< 4 for the COMET KV4 cache
+    int64_t block_tokens = 16;    ///< tokens per page
+    /** Quantization metadata (scale + zero point) bytes per
+     * (channel, token-group); zero-cost for FP16 caches. */
+    double quant_metadata_bytes = 4.0;
+    /** Tokens sharing one quantization group per channel (the
+     * channel-wise group quantizer's group size). */
+    int64_t quant_group_tokens = 64;
+    double memory_budget_bytes = 0.0;
+};
+
+/**
+ * The paged KV cache.
+ */
+class PagedKvCache
+{
+  public:
+    /** Sizes the block pool from the budget and model geometry. */
+    PagedKvCache(const LlmConfig &model, KvCacheConfig config);
+
+    /** Bytes of one block (all layers, K and V, plus quantization
+     * metadata). */
+    double blockBytes() const { return block_bytes_; }
+
+    int64_t totalBlocks() const { return allocator_.totalBlocks(); }
+    int64_t freeBlocks() const { return allocator_.freeBlocks(); }
+
+    /** Blocks needed to hold @p tokens tokens. */
+    int64_t blocksForTokens(int64_t tokens) const;
+
+    /** True when a new sequence of @p tokens tokens fits right now. */
+    bool canAdmit(int64_t tokens) const;
+
+    /** Registers a sequence holding @p prompt_tokens tokens.
+     * Fails (without side effects) when the pool cannot hold it. */
+    Status addSequence(int64_t seq_id, int64_t prompt_tokens);
+
+    /** Extends a sequence by one generated token, allocating a new
+     * block at page boundaries. If the sequence's last block is
+     * shared (copy-on-write from a fork) and must grow, it is
+     * duplicated first. */
+    Status appendToken(int64_t seq_id);
+
+    /**
+     * Forks a sequence: the child shares the parent's prompt blocks
+     * copy-on-write (vLLM-style prefix sharing, e.g. parallel
+     * sampling from one prompt). Only full blocks are shared; a
+     * partially filled trailing block is copied so the two sequences
+     * can diverge. Fails without side effects when the copy cannot
+     * be allocated.
+     */
+    Status forkSequence(int64_t parent_id, int64_t child_id);
+
+    /** Blocks physically allocated (shared blocks counted once). */
+    int64_t
+    physicalBlocksInUse() const
+    {
+        return allocator_.usedBlocks();
+    }
+
+    /** Sum of per-sequence block chain lengths (shared blocks counted
+     * once per sequence) — the footprint without sharing. */
+    int64_t logicalBlocksInUse() const;
+
+    /** Releases all blocks of a sequence. */
+    void removeSequence(int64_t seq_id);
+
+    /** Tokens currently cached for a sequence. */
+    int64_t sequenceTokens(int64_t seq_id) const;
+
+    int64_t numSequences() const
+    {
+        return static_cast<int64_t>(sequences_.size());
+    }
+
+  private:
+    struct SequenceState {
+        int64_t tokens = 0;
+        std::vector<int64_t> blocks;
+    };
+
+    LlmConfig model_;
+    KvCacheConfig config_;
+    double block_bytes_;
+    BlockAllocator allocator_;
+    std::map<int64_t, SequenceState> sequences_;
+};
+
+} // namespace comet

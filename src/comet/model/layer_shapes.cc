@@ -1,0 +1,52 @@
+#include "comet/model/layer_shapes.h"
+
+namespace comet {
+
+std::vector<LayerGemm>
+decoderLayerGemms(const LlmConfig &config, int64_t m_tokens)
+{
+    COMET_CHECK(m_tokens > 0);
+    const int64_t head_dim = config.headDim();
+    std::vector<LayerGemm> gemms;
+    // Fused QKV projection: hidden -> (q + k + v) heads.
+    const int64_t qkv_out =
+        (config.num_heads + 2 * config.num_kv_heads) * head_dim;
+    gemms.push_back(
+        {"qkv_proj", {m_tokens, qkv_out, config.hidden_size}});
+    gemms.push_back(
+        {"o_proj",
+         {m_tokens, config.hidden_size, config.hidden_size}});
+    if (config.gated_mlp) {
+        // Fused gate+up projection.
+        gemms.push_back({"gate_up_proj",
+                         {m_tokens, 2 * config.intermediate_size,
+                          config.hidden_size}});
+    } else {
+        gemms.push_back({"up_proj",
+                         {m_tokens, config.intermediate_size,
+                          config.hidden_size}});
+    }
+    gemms.push_back({"down_proj",
+                     {m_tokens, config.hidden_size,
+                      config.intermediate_size}});
+    return gemms;
+}
+
+std::vector<LayerGemm>
+figure9Shapes(int64_t m_tokens)
+{
+    // Representative LLaMA projection shapes (N x K), labeled the way
+    // the paper's Figure 9 x-axis abbreviates them.
+    return {
+        {"4Kx4K", {m_tokens, 4096, 4096}},
+        {"5Kx5K", {m_tokens, 5120, 5120}},
+        {"13.5Kx5K", {m_tokens, 13824, 5120}},
+        {"5Kx13.5K", {m_tokens, 5120, 13824}},
+        {"8Kx8K", {m_tokens, 8192, 8192}},
+        {"28Kx8K", {m_tokens, 28672, 8192}},
+        {"8Kx28K", {m_tokens, 8192, 28672}},
+        {"12Kx4K", {m_tokens, 12288, 4096}},
+    };
+}
+
+} // namespace comet

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * GEMM shape enumeration for transformer layers.
+ *
+ * The kernel benches and the serving engine both need the exact linear
+ * layer shapes of each model: QKV / output projections and the MLP
+ * matrices, for prefill (M = batch * seq) and decode (M = batch).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comet/gpusim/cost_model.h"
+#include "comet/model/llm_config.h"
+
+namespace comet {
+
+/** One linear layer's GEMM, with a label for reporting. */
+struct LayerGemm {
+    std::string name;   ///< e.g. "qkv_proj"
+    GemmShape shape;
+};
+
+/** The per-decoder-layer GEMMs at the given batched token count
+ * (M = tokens processed together: batch for decode, batch * seqlen for
+ * prefill). */
+std::vector<LayerGemm> decoderLayerGemms(const LlmConfig &config,
+                                         int64_t m_tokens);
+
+/** The weight-activation GEMM shapes used by the Figure 9 kernel
+ * sweep: representative LLaMA projection shapes, labeled as in the
+ * paper (e.g. "13.5Kx5K"). M is supplied by the bench per batch. */
+std::vector<LayerGemm> figure9Shapes(int64_t m_tokens);
+
+} // namespace comet

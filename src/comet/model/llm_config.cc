@@ -1,0 +1,147 @@
+#include "comet/model/llm_config.h"
+
+#include "comet/common/status.h"
+
+namespace comet {
+
+namespace {
+
+LlmConfig
+make(std::string name, int64_t hidden, int64_t inter, int64_t layers,
+     int64_t heads, int64_t kv_heads, int64_t vocab, bool gated)
+{
+    LlmConfig config;
+    config.name = std::move(name);
+    config.hidden_size = hidden;
+    config.intermediate_size = inter;
+    config.num_layers = layers;
+    config.num_heads = heads;
+    config.num_kv_heads = kv_heads;
+    config.vocab_size = vocab;
+    config.gated_mlp = gated;
+    return config;
+}
+
+} // namespace
+
+int64_t
+LlmConfig::parameterCount() const
+{
+    const int64_t head_dim = headDim();
+    // Attention: Q and O are hidden x hidden; K and V are
+    // (kv_heads * head_dim) x hidden.
+    const int64_t attn = 2 * hidden_size * hidden_size +
+                         2 * num_kv_heads * head_dim * hidden_size;
+    // MLP: gated models have gate + up + down, plain models up + down.
+    const int64_t mlp_mats = gated_mlp ? 3 : 2;
+    const int64_t mlp = mlp_mats * hidden_size * intermediate_size;
+    const int64_t per_layer = attn + mlp + 2 * hidden_size; // + norms
+    const int64_t embeddings = 2 * vocab_size * hidden_size;
+    return num_layers * per_layer + embeddings + hidden_size;
+}
+
+double
+LlmConfig::weightBytes(double bits_per_weight) const
+{
+    return static_cast<double>(parameterCount()) * bits_per_weight /
+           8.0;
+}
+
+double
+LlmConfig::kvBytesPerSequence(int64_t tokens,
+                              double bits_per_value) const
+{
+    // K and V, per layer, kv_heads * head_dim channels each.
+    const double values = 2.0 * static_cast<double>(num_layers) *
+                          static_cast<double>(num_kv_heads) *
+                          static_cast<double>(headDim()) *
+                          static_cast<double>(tokens);
+    return values * bits_per_value / 8.0;
+}
+
+LlmConfig
+LlmConfig::llama1_13b()
+{
+    return make("LLaMA-1-13B", 5120, 13824, 40, 40, 40, 32000, true);
+}
+
+LlmConfig
+LlmConfig::llama1_30b()
+{
+    return make("LLaMA-1-30B", 6656, 17920, 60, 52, 52, 32000, true);
+}
+
+LlmConfig
+LlmConfig::llama1_65b()
+{
+    return make("LLaMA-1-65B", 8192, 22016, 80, 64, 64, 32000, true);
+}
+
+LlmConfig
+LlmConfig::llama2_7b()
+{
+    return make("LLaMA-2-7B", 4096, 11008, 32, 32, 32, 32000, true);
+}
+
+LlmConfig
+LlmConfig::llama2_13b()
+{
+    return make("LLaMA-2-13B", 5120, 13824, 40, 40, 40, 32000, true);
+}
+
+LlmConfig
+LlmConfig::llama2_70b()
+{
+    return make("LLaMA-2-70B", 8192, 28672, 80, 64, 8, 32000, true);
+}
+
+LlmConfig
+LlmConfig::llama3_8b()
+{
+    return make("LLaMA-3-8B", 4096, 14336, 32, 32, 8, 128256, true);
+}
+
+LlmConfig
+LlmConfig::llama3_70b()
+{
+    return make("LLaMA-3-70B", 8192, 28672, 80, 64, 8, 128256, true);
+}
+
+LlmConfig
+LlmConfig::mistral_7b()
+{
+    return make("Mistral-7B", 4096, 14336, 32, 32, 8, 32000, true);
+}
+
+LlmConfig
+LlmConfig::opt_13b()
+{
+    return make("OPT-13B", 5120, 20480, 40, 40, 40, 50272, false);
+}
+
+LlmConfig
+LlmConfig::qwen2_72b()
+{
+    return make("Qwen2-72B", 8192, 29568, 80, 64, 8, 152064, true);
+}
+
+std::vector<LlmConfig>
+LlmConfig::paperModels()
+{
+    return {llama1_13b(), llama1_30b(), llama1_65b(), llama2_7b(),
+            llama2_13b(), llama2_70b(), llama3_8b(), llama3_70b(),
+            mistral_7b(), opt_13b(), qwen2_72b()};
+}
+
+LlmConfig
+LlmConfig::byName(const std::string &name)
+{
+    for (const LlmConfig &config : paperModels()) {
+        if (config.name == name)
+            return config;
+    }
+    COMET_CHECK_MSG(false, ("unknown model: " + name).c_str());
+    return {};
+}
+
+} // namespace comet

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Architectures of the LLMs evaluated in the paper.
+ *
+ * Only the structural parameters matter for the reproduction: they
+ * determine the GEMM shapes (kernel benches), the weight/KV memory
+ * footprints (serving benches), and the model labels in the output
+ * tables. Parameters follow the public model cards.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comet {
+
+/** Structural description of one transformer LLM. */
+struct LlmConfig {
+    std::string name;
+    int64_t hidden_size = 0;
+    int64_t intermediate_size = 0;
+    int64_t num_layers = 0;
+    int64_t num_heads = 0;
+    int64_t num_kv_heads = 0;  ///< < num_heads for GQA models
+    int64_t vocab_size = 0;
+    bool gated_mlp = true;     ///< SwiGLU (LLaMA-style) vs plain (OPT)
+
+    int64_t
+    headDim() const
+    {
+        return hidden_size / num_heads;
+    }
+
+    /** Total parameter count (weights only, embeddings included). */
+    int64_t parameterCount() const;
+
+    /** Bytes of weight storage at the given precision. */
+    double weightBytes(double bits_per_weight) const;
+
+    /** Bytes of KV cache for one sequence of @p tokens at the given
+     * precision. */
+    double kvBytesPerSequence(int64_t tokens, double bits_per_value) const;
+
+    /** @name The paper's model zoo @{ */
+    static LlmConfig llama1_13b();
+    static LlmConfig llama1_30b();
+    static LlmConfig llama1_65b();
+    static LlmConfig llama2_7b();
+    static LlmConfig llama2_13b();
+    static LlmConfig llama2_70b();
+    static LlmConfig llama3_8b();
+    static LlmConfig llama3_70b();
+    static LlmConfig mistral_7b();
+    static LlmConfig opt_13b();
+    static LlmConfig qwen2_72b();
+    /** @} */
+
+    /** All eleven models of Table 1, in the paper's column order. */
+    static std::vector<LlmConfig> paperModels();
+
+    /** Looks a model up by its table name (e.g. "LLaMA-3-8B"). */
+    static LlmConfig byName(const std::string &name);
+};
+
+} // namespace comet

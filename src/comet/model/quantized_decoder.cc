@@ -1,0 +1,262 @@
+#include "comet/model/quantized_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comet {
+
+namespace {
+
+/** RoPE on one row at absolute position @p pos (matches
+ * tiny_transformer.cc). */
+void
+ropeRow(Tensor &row, int64_t heads, int64_t head_dim, int64_t pos)
+{
+    for (int64_t h = 0; h < heads; ++h) {
+        for (int64_t d = 0; d < head_dim / 2; ++d) {
+            const double theta =
+                static_cast<double>(pos) *
+                std::pow(10000.0, -2.0 * static_cast<double>(d) /
+                                      static_cast<double>(head_dim));
+            const double c = std::cos(theta), s = std::sin(theta);
+            const int64_t base = h * head_dim;
+            const float x0 = row.at(0, base + 2 * d);
+            const float x1 = row.at(0, base + 2 * d + 1);
+            row.at(0, base + 2 * d) =
+                static_cast<float>(x0 * c - x1 * s);
+            row.at(0, base + 2 * d + 1) =
+                static_cast<float>(x0 * s + x1 * c);
+        }
+    }
+}
+
+float
+silu(float x)
+{
+    return static_cast<float>(x / (1.0 + std::exp(-x)));
+}
+
+} // namespace
+
+QuantizedDecoder::QuantizedDecoder(const TinyTransformer &model,
+                                   const CalibrationData &calibration,
+                                   QuantizedDecoderConfig config)
+    : model_(model), config_(config),
+      kv_quantizer_(config.kv)
+{
+    const auto &mc = model_.config();
+    attn_config_.num_heads = mc.num_heads;
+    attn_config_.num_kv_heads = mc.num_kv_heads;
+    attn_config_.head_dim = mc.headDim();
+    attn_config_.chunk_tokens = 64;
+    caches_.resize(static_cast<size_t>(mc.num_layers));
+
+    W4AxGemmConfig gemm_config;
+    gemm_config.tile_m = config_.tile_m;
+    gemm_config.tile_n = config_.tile_n;
+    gemm_config.tile_k = config_.tile_k;
+
+    // Calibrate one FMPQ quantizer per (layer, site), then pack every
+    // weight in its feeding site's permuted block layout.
+    for (int64_t l = 0; l < mc.num_layers; ++l) {
+        for (int site = 0; site < kNumActSites; ++site) {
+            sites_.push_back(SiteOps{
+                FmpqActivationQuantizer::calibrate(
+                    calibration.activations(
+                        l, static_cast<ActSite>(site)),
+                    config_.fmpq)});
+        }
+    }
+    for (int64_t l = 0; l < mc.num_layers; ++l) {
+        LayerOps ops;
+        const auto &qkv = site(l, ActSite::kQkv);
+        for (WeightKind kind :
+             {WeightKind::kQ, WeightKind::kK, WeightKind::kV}) {
+            ops.attn.emplace_back(
+                qkv.quantizeWeight(model_.weight({l, kind})),
+                qkv.blockPrecisions(), gemm_config);
+        }
+        const auto &o_site = site(l, ActSite::kO);
+        ops.o.emplace_back(
+            o_site.quantizeWeight(model_.weight({l, WeightKind::kO})),
+            o_site.blockPrecisions(), gemm_config);
+        const auto &mlp_site = site(l, ActSite::kMlp);
+        if (mc.gated_mlp) {
+            ops.mlp.emplace_back(
+                mlp_site.quantizeWeight(
+                    model_.weight({l, WeightKind::kGate})),
+                mlp_site.blockPrecisions(), gemm_config);
+        }
+        ops.mlp.emplace_back(
+            mlp_site.quantizeWeight(
+                model_.weight({l, WeightKind::kUp})),
+            mlp_site.blockPrecisions(), gemm_config);
+        const auto &down_site = site(l, ActSite::kDown);
+        ops.down.emplace_back(
+            down_site.quantizeWeight(
+                model_.weight({l, WeightKind::kDown})),
+            down_site.blockPrecisions(), gemm_config);
+        layers_.push_back(std::move(ops));
+    }
+    ensureCapacity(16);
+}
+
+const FmpqActivationQuantizer &
+QuantizedDecoder::site(int64_t layer, ActSite act_site) const
+{
+    return sites_[static_cast<size_t>(layer * kNumActSites +
+                                      static_cast<int>(act_site))]
+        .quantizer;
+}
+
+double
+QuantizedDecoder::w4a4ComputeFraction() const
+{
+    double sum = 0.0;
+    for (const SiteOps &ops : sites_)
+        sum += ops.quantizer.w4a4ComputeFraction();
+    return sum / static_cast<double>(sites_.size());
+}
+
+Tensor
+QuantizedDecoder::runLinear(int64_t layer, ActSite act_site,
+                            const W4AxGemm &gemm,
+                            const Tensor &h) const
+{
+    return gemm.run(site(layer, act_site).quantize(h));
+}
+
+void
+QuantizedDecoder::ensureCapacity(int64_t tokens)
+{
+    if (tokens <= capacity_)
+        return;
+    int64_t new_capacity = std::max<int64_t>(capacity_, 16);
+    while (new_capacity < tokens)
+        new_capacity *= 2;
+    const int64_t kv_dim = attn_config_.kvDim();
+    for (LayerCache &cache : caches_) {
+        Tensor k(new_capacity, kv_dim);
+        Tensor v(new_capacity, kv_dim);
+        for (int64_t t = 0; t < position_; ++t) {
+            for (int64_t c = 0; c < kv_dim; ++c) {
+                k.at(t, c) = cache.k.at(t, c);
+                v.at(t, c) = cache.v.at(t, c);
+            }
+        }
+        cache.k = std::move(k);
+        cache.v = std::move(v);
+    }
+    capacity_ = new_capacity;
+}
+
+std::vector<float>
+QuantizedDecoder::step(int32_t token)
+{
+    const auto &mc = model_.config();
+    COMET_CHECK(token >= 0 && token < mc.vocab_size);
+    ensureCapacity(position_ + 1);
+
+    const int64_t d = mc.hidden_size;
+    const int64_t kv_dim = attn_config_.kvDim();
+
+    Tensor x(1, d);
+    for (int64_t c = 0; c < d; ++c)
+        x.at(0, c) = model_.embedding().at(token, c);
+
+    for (int64_t l = 0; l < mc.num_layers; ++l) {
+        LayerCache &cache = caches_[static_cast<size_t>(l)];
+        const LayerOps &ops = layers_[static_cast<size_t>(l)];
+
+        // --- Attention block (packed W4Ax projections) ---
+        const Tensor h =
+            model_.rmsNormRows(x, model_.attnNormGain(l));
+        Tensor q = runLinear(l, ActSite::kQkv, ops.attn[0], h);
+        Tensor k_row = runLinear(l, ActSite::kQkv, ops.attn[1], h);
+        const Tensor v_row =
+            runLinear(l, ActSite::kQkv, ops.attn[2], h);
+        ropeRow(q, mc.num_heads, mc.headDim(), position_);
+        ropeRow(k_row, mc.num_kv_heads, mc.headDim(), position_);
+        for (int64_t c = 0; c < kv_dim; ++c) {
+            cache.k.at(position_, c) = k_row.at(0, c);
+            cache.v.at(position_, c) = v_row.at(0, c);
+        }
+
+        const int64_t tokens = position_ + 1;
+        Tensor k_view(tokens, kv_dim);
+        Tensor v_view(tokens, kv_dim);
+        for (int64_t t = 0; t < tokens; ++t) {
+            for (int64_t c = 0; c < kv_dim; ++c) {
+                k_view.at(t, c) = cache.k.at(t, c);
+                v_view.at(t, c) = cache.v.at(t, c);
+            }
+        }
+        std::vector<float> q_vec(static_cast<size_t>(d));
+        for (int64_t c = 0; c < d; ++c)
+            q_vec[static_cast<size_t>(c)] = q.at(0, c);
+        const std::vector<float> attn = decodeAttentionQuantized(
+            attn_config_, q_vec, kv_quantizer_.quantize(k_view),
+            kv_quantizer_.quantize(v_view), kv_quantizer_);
+
+        Tensor attn_row(1, d);
+        for (int64_t c = 0; c < d; ++c)
+            attn_row.at(0, c) = attn[static_cast<size_t>(c)];
+        const Tensor o =
+            runLinear(l, ActSite::kO, ops.o[0], attn_row);
+        for (int64_t c = 0; c < d; ++c)
+            x.at(0, c) += o.at(0, c);
+
+        // --- MLP block ---
+        const Tensor m = model_.rmsNormRows(x, model_.mlpNormGain(l));
+        Tensor inter(1, mc.intermediate_size);
+        if (mc.gated_mlp) {
+            const Tensor gate =
+                runLinear(l, ActSite::kMlp, ops.mlp[0], m);
+            const Tensor up =
+                runLinear(l, ActSite::kMlp, ops.mlp[1], m);
+            for (int64_t c = 0; c < mc.intermediate_size; ++c)
+                inter.at(0, c) = silu(gate.at(0, c)) * up.at(0, c);
+        } else {
+            const Tensor up =
+                runLinear(l, ActSite::kMlp, ops.mlp[0], m);
+            for (int64_t c = 0; c < mc.intermediate_size; ++c)
+                inter.at(0, c) = std::max(up.at(0, c), 0.0f);
+        }
+        const Tensor down =
+            runLinear(l, ActSite::kDown, ops.down[0], inter);
+        for (int64_t c = 0; c < d; ++c)
+            x.at(0, c) += down.at(0, c);
+    }
+
+    const Tensor normed =
+        model_.rmsNormRows(x, model_.finalNormGain());
+    // The LM head stays FP16 in every configuration (engine
+    // convention).
+    Tensor logits(1, mc.vocab_size);
+    for (int64_t v = 0; v < mc.vocab_size; ++v) {
+        double sum = 0.0;
+        for (int64_t c = 0; c < d; ++c) {
+            sum += static_cast<double>(normed.at(0, c)) *
+                   model_.embedding().at(v, c);
+        }
+        logits.at(0, v) = static_cast<float>(sum);
+    }
+    ++position_;
+
+    std::vector<float> out(static_cast<size_t>(mc.vocab_size));
+    for (int64_t v = 0; v < mc.vocab_size; ++v)
+        out[static_cast<size_t>(v)] = logits.at(0, v);
+    return out;
+}
+
+std::vector<float>
+QuantizedDecoder::prefill(const std::vector<int32_t> &tokens)
+{
+    COMET_CHECK(!tokens.empty());
+    std::vector<float> logits;
+    for (int32_t token : tokens)
+        logits = step(token);
+    return logits;
+}
+
+} // namespace comet

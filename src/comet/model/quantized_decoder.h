@@ -1,0 +1,108 @@
+/**
+ * @file
+ * W4A4KV4 inference through the real packed kernels.
+ *
+ * Everything the paper's system does at serving time, executed for
+ * real on the tiny model: every linear layer runs as a packed
+ * mixed-precision W4Ax GEMM (FMPQ-calibrated per activation site,
+ * INT4 weights in the interleaved layout, runtime per-token
+ * activation quantization), and the KV cache is held in channel-wise
+ * asymmetric INT4 with on-the-fly dequantizing attention. Only the
+ * norms, the nonlinearity, RoPE and the softmax stay in float —
+ * exactly the precision boundary of the paper's framework.
+ *
+ * Verified (tests) against the fake-quantization reference: the
+ * packed integer path and the dequantize-then-float-GEMM path agree
+ * to float rounding.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comet/attention/decode_attention.h"
+#include "comet/kernel/gemm_w4ax.h"
+#include "comet/model/perplexity.h"
+#include "comet/model/tiny_transformer.h"
+#include "comet/quant/fmpq.h"
+#include "comet/quant/kv_quant.h"
+
+namespace comet {
+
+/** Build options for the quantized decoder. */
+struct QuantizedDecoderConfig {
+    FmpqConfig fmpq{/*block_size=*/16};
+    KvQuantConfig kv{4, 32, true};
+    /** Tile extents of the packed GEMMs (must satisfy the W4AxGemm
+     * constraints against fmpq.block_size). */
+    int64_t tile_m = 16;
+    int64_t tile_n = 16;
+    int64_t tile_k = 16;
+};
+
+/**
+ * An incremental decoder whose linear layers execute as packed W4Ax
+ * GEMMs.
+ */
+class QuantizedDecoder
+{
+  public:
+    /**
+     * Quantizes @p model: calibrates one FMPQ quantizer per
+     * activation site from @p calibration and packs every weight
+     * matrix into its site's layout.
+     */
+    QuantizedDecoder(const TinyTransformer &model,
+                     const CalibrationData &calibration,
+                     QuantizedDecoderConfig config = {});
+
+    int64_t position() const { return position_; }
+
+    /** Mean W4A4 compute fraction across all sites (Section 6.2). */
+    double w4a4ComputeFraction() const;
+
+    /** Feeds one token; returns next-token logits [vocab]. */
+    std::vector<float> step(int32_t token);
+
+    /** Feeds a prompt; returns the logits after its last token. */
+    std::vector<float> prefill(const std::vector<int32_t> &tokens);
+
+  private:
+    struct SiteOps {
+        FmpqActivationQuantizer quantizer;
+    };
+
+    struct LayerOps {
+        std::vector<W4AxGemm> attn; ///< q, k, v (QKV-site layout)
+        std::vector<W4AxGemm> o;    ///< o (O-site layout)
+        std::vector<W4AxGemm> mlp;  ///< [gate,] up (MLP-site layout)
+        std::vector<W4AxGemm> down; ///< down (Down-site layout)
+    };
+
+    /** Quantizes the 1-row activation at @p site and runs @p gemm. */
+    Tensor runLinear(int64_t layer, ActSite site,
+                     const W4AxGemm &gemm, const Tensor &h) const;
+
+    const FmpqActivationQuantizer &site(int64_t layer,
+                                        ActSite act_site) const;
+
+    const TinyTransformer &model_;
+    QuantizedDecoderConfig config_;
+    std::vector<SiteOps> sites_; ///< [layer * kNumActSites + site]
+    std::vector<LayerOps> layers_;
+    KvCacheQuantizer kv_quantizer_;
+    AttentionConfig attn_config_;
+
+    struct LayerCache {
+        Tensor k{1, 1};
+        Tensor v{1, 1};
+    };
+    std::vector<LayerCache> caches_;
+    int64_t capacity_ = 0;
+    int64_t position_ = 0;
+
+    void ensureCapacity(int64_t tokens);
+};
+
+} // namespace comet

@@ -1,0 +1,103 @@
+#include "comet/model/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace comet {
+
+SyntheticActivationModel::SyntheticActivationModel(
+    SyntheticActivationConfig config)
+    : config_(config)
+{
+    COMET_CHECK(config_.channels > 0);
+    COMET_CHECK(config_.outlier_fraction >= 0.0 &&
+                config_.outlier_fraction < 1.0);
+
+    Rng rng(config_.seed);
+    const auto num_outliers = static_cast<int64_t>(
+        std::llround(config_.outlier_fraction *
+                     static_cast<double>(config_.channels)));
+
+    // Choose the outlier channel set by shuffling channel ids.
+    std::vector<int64_t> ids(static_cast<size_t>(config_.channels));
+    std::iota(ids.begin(), ids.end(), 0);
+    rng.shuffle(ids);
+    outlier_channels_.assign(ids.begin(),
+                             ids.begin() + num_outliers);
+    std::sort(outlier_channels_.begin(), outlier_channels_.end());
+
+    gains_.assign(static_cast<size_t>(config_.channels), 1.0f);
+    for (int64_t c : outlier_channels_) {
+        // Log-normal around the configured scale: some channels reach
+        // the "hundredfold" regime the paper describes.
+        const double gain =
+            config_.outlier_scale *
+            rng.logNormal(0.0, config_.outlier_log_sigma);
+        gains_[static_cast<size_t>(c)] = static_cast<float>(gain);
+    }
+}
+
+Tensor
+SyntheticActivationModel::sample(int64_t tokens, Rng &rng) const
+{
+    COMET_CHECK(tokens > 0);
+    Tensor x(tokens, config_.channels);
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (int64_t c = 0; c < config_.channels; ++c) {
+            x.at(t, c) = static_cast<float>(
+                rng.gaussian(0.0, config_.base_std) *
+                gains_[static_cast<size_t>(c)]);
+        }
+    }
+    return x;
+}
+
+SyntheticActivationConfig
+llama7bActivationProfile()
+{
+    SyntheticActivationConfig config;
+    config.channels = 4096;
+    config.outlier_fraction = 0.006;
+    config.outlier_scale = 40.0;
+    config.seed = 0x11a3a7;
+    return config;
+}
+
+SyntheticActivationConfig
+opt13bActivationProfile()
+{
+    // OPT models show denser, larger outliers (LLM.int8 observations).
+    SyntheticActivationConfig config;
+    config.channels = 5120;
+    config.outlier_fraction = 0.01;
+    config.outlier_scale = 60.0;
+    config.seed = 0x0913b;
+    return config;
+}
+
+SyntheticActivationConfig
+qwen72bActivationProfile()
+{
+    SyntheticActivationConfig config;
+    config.channels = 8192;
+    config.outlier_fraction = 0.004;
+    config.outlier_scale = 35.0;
+    config.seed = 0x9e272;
+    return config;
+}
+
+Tensor
+sampleWeights(int64_t out, int64_t in, Rng &rng)
+{
+    COMET_CHECK(out > 0 && in > 0);
+    Tensor w(out, in);
+    const double std = 1.0 / std::sqrt(static_cast<double>(in));
+    for (int64_t i = 0; i < out; ++i) {
+        for (int64_t j = 0; j < in; ++j)
+            w.at(i, j) = static_cast<float>(rng.gaussian(0.0, std));
+    }
+    return w;
+}
+
+} // namespace comet

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synthetic activation and weight generation with planted outlier
+ * structure.
+ *
+ * The paper's algorithm rests on an empirical property of LLM
+ * activations (Section 3.1, Figure 3): a small set of channels (<1%)
+ * carries values 10-100x larger than typical, and the set is stable
+ * across tokens. No model checkpoints are available here, so the
+ * reproduction *plants* exactly that structure: a fixed set of outlier
+ * channels per "layer", each with a large per-channel gain, on top of
+ * an iid Gaussian base. Profiles for the models shown in Figure 3 set
+ * the outlier density and magnitude per model family.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comet/common/rng.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** Parameters of one synthetic activation distribution. */
+struct SyntheticActivationConfig {
+    int64_t channels = 4096;
+    /** Fraction of channels that are outliers (paper: usually <1%). */
+    double outlier_fraction = 0.006;
+    /** Mean magnitude ratio of outlier channels to normal ones
+     * (paper: tenfold to a hundredfold). */
+    double outlier_scale = 40.0;
+    /** Stddev of the log-gain of outlier channels (heavy tail). */
+    double outlier_log_sigma = 0.4;
+    /** Base per-value standard deviation. */
+    double base_std = 1.0;
+    uint64_t seed = 1;
+};
+
+/**
+ * A fixed synthetic activation distribution: the outlier channel set
+ * and per-channel gains are chosen once from the seed, then any number
+ * of token batches can be sampled from it.
+ */
+class SyntheticActivationModel
+{
+  public:
+    explicit SyntheticActivationModel(SyntheticActivationConfig config);
+
+    const SyntheticActivationConfig &config() const { return config_; }
+
+    /** The planted outlier channel indices, ascending. */
+    const std::vector<int64_t> &
+    outlierChannels() const
+    {
+        return outlier_channels_;
+    }
+
+    /** Per-channel gains (1.0 for normal channels). */
+    const std::vector<float> &gains() const { return gains_; }
+
+    /** Samples a [tokens, channels] activation matrix. */
+    Tensor sample(int64_t tokens, Rng &rng) const;
+
+  private:
+    SyntheticActivationConfig config_;
+    std::vector<int64_t> outlier_channels_;
+    std::vector<float> gains_;
+};
+
+/** Figure 3 activation profiles for the models shown there. @{ */
+SyntheticActivationConfig llama7bActivationProfile();
+SyntheticActivationConfig opt13bActivationProfile();
+SyntheticActivationConfig qwen72bActivationProfile();
+/** @} */
+
+/** Samples a Gaussian weight matrix [out, in] with stddev
+ * 1/sqrt(in) (roughly unit-gain initialization). */
+Tensor sampleWeights(int64_t out, int64_t in, Rng &rng);
+
+} // namespace comet

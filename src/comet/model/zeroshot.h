@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic zero-shot task suite (Table 2).
+ *
+ * The paper evaluates five common-sense benchmarks (PIQA, ARC-e,
+ * ARC-c, HellaSwag, WinoGrande). With no benchmark data available, the
+ * substitute generates multiple-choice tasks *from the teacher model*:
+ * a context is sampled from the teacher, the label candidate is a
+ * continuation token sampled from the teacher's next-token
+ * distribution, and distractors are drawn either uniformly (easy
+ * tasks) or from the teacher's own high-probability alternatives (hard
+ * tasks, standing in for ARC-c). A model scores each candidate by its
+ * log-likelihood as the continuation — exactly the lm-eval-harness
+ * protocol — so quantization-induced likelihood distortion lowers
+ * accuracy, preserving the relative ordering Table 2 reports.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comet/common/rng.h"
+#include "comet/model/tiny_transformer.h"
+
+namespace comet {
+
+/** One multiple-choice example. */
+struct ZeroshotExample {
+    std::vector<int32_t> context;
+    std::vector<int32_t> candidates; ///< single-token continuations
+    int label = 0;                   ///< index into candidates
+};
+
+/** A named task (one synthetic analogue of a Table 2 benchmark). */
+struct ZeroshotTask {
+    std::string name;
+    std::vector<ZeroshotExample> examples;
+};
+
+/** Generation parameters of one synthetic task. */
+struct ZeroshotTaskConfig {
+    std::string name;
+    int num_examples = 60;
+    int64_t context_length = 24;
+    int num_candidates = 4;
+    /** Distractors from the teacher's top-k (hard) vs uniform (easy). */
+    bool hard_distractors = false;
+    uint64_t seed = 99;
+};
+
+/** Builds one task by sampling from the teacher. */
+ZeroshotTask buildZeroshotTask(const TinyTransformer &teacher,
+                               const ZeroshotTaskConfig &config);
+
+/** The five-task suite mirroring Table 2's columns. */
+std::vector<ZeroshotTask> buildZeroshotSuite(
+    const TinyTransformer &teacher, uint64_t seed = 1234);
+
+/** Accuracy of a model (+ optional simulator) on one task. */
+double evaluateZeroshotAccuracy(const TinyTransformer &model,
+                                QuantSimulator *sim,
+                                const ZeroshotTask &task);
+
+} // namespace comet

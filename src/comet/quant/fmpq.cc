@@ -1,0 +1,256 @@
+#include "comet/quant/fmpq.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comet {
+
+const char *
+blockPrecisionName(BlockPrecision precision)
+{
+    return precision == BlockPrecision::kInt4 ? "INT4" : "INT8";
+}
+
+FmpqActivationQuantizer
+FmpqActivationQuantizer::calibrate(const Tensor &calibration,
+                                   const FmpqConfig &config)
+{
+    COMET_CHECK(calibration.shape().rank() == 2);
+    const int64_t channels = calibration.cols();
+    COMET_CHECK_MSG(config.block_size > 0 &&
+                        channels % config.block_size == 0,
+                    "block size must divide the channel count");
+    COMET_CHECK(config.low_bits >= 2 &&
+                config.high_bits > config.low_bits);
+
+    const ChannelStats stats = computeChannelStats(calibration);
+    const OutlierReport report = detectOutliers(stats, config.outlier);
+
+    ChannelPermutation permutation =
+        config.enable_permutation
+            ? buildOutlierClusteringPermutation(stats, report)
+            : ChannelPermutation::identity(channels);
+
+    const int64_t num_blocks = channels / config.block_size;
+    std::vector<BlockPrecision> precisions(
+        static_cast<size_t>(num_blocks), BlockPrecision::kInt4);
+    for (int64_t b = 0; b < num_blocks; ++b) {
+        for (int64_t i = 0; i < config.block_size; ++i) {
+            const int64_t src = permutation.order()[static_cast<size_t>(
+                b * config.block_size + i)];
+            if (report.is_outlier[static_cast<size_t>(src)]) {
+                precisions[static_cast<size_t>(b)] = BlockPrecision::kInt8;
+                break;
+            }
+        }
+    }
+    return FmpqActivationQuantizer(config, std::move(permutation),
+                                   std::move(precisions));
+}
+
+FmpqActivationQuantizer
+FmpqActivationQuantizer::fromParts(
+    const FmpqConfig &config, ChannelPermutation permutation,
+    std::vector<BlockPrecision> precisions)
+{
+    COMET_CHECK(config.block_size > 0);
+    COMET_CHECK_MSG(permutation.channels() % config.block_size == 0,
+                    "block size must divide the channel count");
+    COMET_CHECK_MSG(static_cast<int64_t>(precisions.size()) ==
+                        permutation.channels() / config.block_size,
+                    "precision map must have one entry per block");
+    COMET_CHECK(config.low_bits >= 2 &&
+                config.high_bits > config.low_bits);
+    return FmpqActivationQuantizer(config, std::move(permutation),
+                                   std::move(precisions));
+}
+
+double
+FmpqActivationQuantizer::int4BlockFraction() const
+{
+    if (precisions_.empty())
+        return 1.0;
+    int64_t int4 = 0;
+    for (BlockPrecision p : precisions_) {
+        if (p == BlockPrecision::kInt4)
+            ++int4;
+    }
+    return static_cast<double>(int4) /
+           static_cast<double>(precisions_.size());
+}
+
+Tensor
+FmpqActivationQuantizer::fakeQuantize(const Tensor &x) const
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    COMET_CHECK(x.cols() == channels());
+    const int64_t tokens = x.rows();
+    const int64_t k = config_.block_size;
+    Tensor out(tokens, x.cols());
+    const auto &order = permutation_.order();
+
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (int64_t b = 0; b < numBlocks(); ++b) {
+            const int bits = precisions_[static_cast<size_t>(b)] ==
+                                     BlockPrecision::kInt4
+                                 ? config_.low_bits
+                                 : config_.high_bits;
+            float abs_max = 0.0f;
+            for (int64_t i = 0; i < k; ++i) {
+                const int64_t src =
+                    order[static_cast<size_t>(b * k + i)];
+                abs_max = std::max(abs_max, std::fabs(x.at(t, src)));
+            }
+            const QuantParams params = chooseSymmetric(abs_max, bits);
+            for (int64_t i = 0; i < k; ++i) {
+                const int64_t src =
+                    order[static_cast<size_t>(b * k + i)];
+                out.at(t, src) = fakeQuantValue(x.at(t, src), params,
+                                                bits);
+            }
+        }
+    }
+    return out;
+}
+
+MixedQuantizedActivation
+FmpqActivationQuantizer::quantize(const Tensor &x) const
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    COMET_CHECK(x.cols() == channels());
+    const int64_t tokens = x.rows();
+    const int64_t k = config_.block_size;
+    const auto &order = permutation_.order();
+
+    MixedQuantizedActivation qa{
+        tokens,
+        channels(),
+        k,
+        precisions_,
+        Int4Tensor(tokens, channels()),
+        Int8Tensor(tokens, channels()),
+        Tensor(tokens, numBlocks()),
+    };
+
+    const QuantRange r4 = signedRange(config_.low_bits);
+    const QuantRange r8 = signedRange(config_.high_bits);
+
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (int64_t b = 0; b < numBlocks(); ++b) {
+            const bool is_int4 = precisions_[static_cast<size_t>(b)] ==
+                                 BlockPrecision::kInt4;
+            const int bits = is_int4 ? config_.low_bits
+                                     : config_.high_bits;
+            float abs_max = 0.0f;
+            for (int64_t i = 0; i < k; ++i) {
+                const int64_t src =
+                    order[static_cast<size_t>(b * k + i)];
+                abs_max = std::max(abs_max, std::fabs(x.at(t, src)));
+            }
+            const QuantParams params = chooseSymmetric(abs_max, bits);
+            qa.scales.at(t, b) = params.scale;
+            for (int64_t i = 0; i < k; ++i) {
+                const int64_t dst = b * k + i;
+                const int64_t src =
+                    order[static_cast<size_t>(dst)];
+                const int32_t q = params.quantize(x.at(t, src));
+                if (is_int4) {
+                    qa.int4_data.set(
+                        t, dst,
+                        static_cast<int8_t>(
+                            std::clamp(q, r4.qmin, r4.qmax)));
+                } else {
+                    qa.int8_data.set(
+                        t, dst,
+                        static_cast<int8_t>(
+                            std::clamp(q, r8.qmin, r8.qmax)));
+                }
+            }
+        }
+    }
+    return qa;
+}
+
+BlockQuantizedWeight
+FmpqActivationQuantizer::quantizeWeight(const Tensor &w) const
+{
+    COMET_CHECK(w.shape().rank() == 2);
+    COMET_CHECK_MSG(w.cols() == channels(),
+                    "weight in_channels must match activation channels");
+    const int64_t out_features = w.rows();
+    const int64_t k = config_.block_size;
+    const auto &order = permutation_.order();
+    const QuantRange r4 = signedRange(4);
+
+    BlockQuantizedWeight qw{
+        out_features,
+        channels(),
+        k,
+        Int4Tensor(out_features, channels()),
+        Tensor(out_features, numBlocks()),
+    };
+
+    for (int64_t n = 0; n < out_features; ++n) {
+        for (int64_t b = 0; b < numBlocks(); ++b) {
+            float abs_max = 0.0f;
+            for (int64_t i = 0; i < k; ++i) {
+                const int64_t src =
+                    order[static_cast<size_t>(b * k + i)];
+                abs_max = std::max(abs_max, std::fabs(w.at(n, src)));
+            }
+            const QuantParams params = chooseSymmetric(abs_max, 4);
+            qw.scales.at(n, b) = params.scale;
+            for (int64_t i = 0; i < k; ++i) {
+                const int64_t dst = b * k + i;
+                const int64_t src =
+                    order[static_cast<size_t>(dst)];
+                const int32_t q = params.quantize(w.at(n, src));
+                qw.data.set(n, dst,
+                            static_cast<int8_t>(
+                                std::clamp(q, r4.qmin, r4.qmax)));
+            }
+        }
+    }
+    return qw;
+}
+
+Tensor
+dequantize(const MixedQuantizedActivation &qa)
+{
+    Tensor out(qa.tokens, qa.channels);
+    for (int64_t t = 0; t < qa.tokens; ++t) {
+        for (int64_t b = 0; b < qa.numBlocks(); ++b) {
+            const float scale = qa.scales.at(t, b);
+            const bool is_int4 =
+                qa.precisions[static_cast<size_t>(b)] ==
+                BlockPrecision::kInt4;
+            for (int64_t i = 0; i < qa.block_size; ++i) {
+                const int64_t c = b * qa.block_size + i;
+                const int8_t q = is_int4 ? qa.int4_data.get(t, c)
+                                         : qa.int8_data.get(t, c);
+                out.at(t, c) = static_cast<float>(q) * scale;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+dequantize(const BlockQuantizedWeight &qw)
+{
+    Tensor out(qw.out_features, qw.in_channels);
+    const int64_t num_blocks = qw.in_channels / qw.block_size;
+    for (int64_t n = 0; n < qw.out_features; ++n) {
+        for (int64_t b = 0; b < num_blocks; ++b) {
+            const float scale = qw.scales.at(n, b);
+            for (int64_t i = 0; i < qw.block_size; ++i) {
+                const int64_t c = b * qw.block_size + i;
+                out.at(n, c) =
+                    static_cast<float>(qw.data.get(n, c)) * scale;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace comet

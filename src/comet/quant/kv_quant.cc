@@ -1,0 +1,96 @@
+#include "comet/quant/kv_quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comet {
+
+KvCacheQuantizer::KvCacheQuantizer(KvQuantConfig config) : config_(config)
+{
+    COMET_CHECK(config_.bits >= 2 && config_.bits <= 8);
+    COMET_CHECK(config_.group_size > 0);
+}
+
+namespace {
+
+/** Derives the quantizer for one (channel, token-group) span. */
+QuantParams
+spanParams(const Tensor &kv, int64_t c, int64_t t0, int64_t t1,
+           const KvQuantConfig &config)
+{
+    float min_val = kv.at(t0, c), max_val = kv.at(t0, c);
+    for (int64_t t = t0; t < t1; ++t) {
+        min_val = std::min(min_val, kv.at(t, c));
+        max_val = std::max(max_val, kv.at(t, c));
+    }
+    if (config.asymmetric)
+        return chooseAsymmetric(min_val, max_val, config.bits);
+    const float abs_max = std::max(std::fabs(min_val),
+                                   std::fabs(max_val));
+    return chooseSymmetric(abs_max, config.bits);
+}
+
+} // namespace
+
+Tensor
+KvCacheQuantizer::fakeQuantize(const Tensor &kv) const
+{
+    COMET_CHECK(kv.shape().rank() == 2);
+    const int64_t tokens = kv.rows(), channels = kv.cols();
+    Tensor out(tokens, channels);
+    for (int64_t c = 0; c < channels; ++c) {
+        for (int64_t t0 = 0; t0 < tokens; t0 += config_.group_size) {
+            const int64_t t1 = std::min(t0 + config_.group_size, tokens);
+            const QuantParams params = spanParams(kv, c, t0, t1, config_);
+            for (int64_t t = t0; t < t1; ++t)
+                out.at(t, c) = fakeQuantValue(kv.at(t, c), params,
+                                              config_.bits);
+        }
+    }
+    return out;
+}
+
+QuantizedKv
+KvCacheQuantizer::quantize(const Tensor &kv) const
+{
+    COMET_CHECK(kv.shape().rank() == 2);
+    const int64_t tokens = kv.rows(), channels = kv.cols();
+    const int64_t num_groups =
+        (tokens + config_.group_size - 1) / config_.group_size;
+    QuantizedKv q{tokens, channels, config_.group_size,
+                  Int8Tensor(tokens, channels),
+                  std::vector<QuantParams>(
+                      static_cast<size_t>(num_groups * channels))};
+    const QuantRange range = signedRange(config_.bits);
+    for (int64_t c = 0; c < channels; ++c) {
+        for (int64_t g = 0; g < num_groups; ++g) {
+            const int64_t t0 = g * config_.group_size;
+            const int64_t t1 = std::min(t0 + config_.group_size, tokens);
+            const QuantParams params = spanParams(kv, c, t0, t1, config_);
+            q.params[static_cast<size_t>(g * channels + c)] = params;
+            for (int64_t t = t0; t < t1; ++t) {
+                const int32_t v = std::clamp(params.quantize(kv.at(t, c)),
+                                             range.qmin, range.qmax);
+                q.data.set(t, c, static_cast<int8_t>(v));
+            }
+        }
+    }
+    return q;
+}
+
+Tensor
+KvCacheQuantizer::dequantize(const QuantizedKv &q) const
+{
+    Tensor out(q.tokens, q.channels);
+    for (int64_t t = 0; t < q.tokens; ++t) {
+        const int64_t g = t / q.group_size;
+        for (int64_t c = 0; c < q.channels; ++c) {
+            const QuantParams &params =
+                q.params[static_cast<size_t>(g * q.channels + c)];
+            out.at(t, c) = params.dequantize(q.data.get(t, c));
+        }
+    }
+    return out;
+}
+
+} // namespace comet

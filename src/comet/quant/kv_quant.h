@@ -1,0 +1,71 @@
+/**
+ * @file
+ * KV-cache quantization (paper Section 3.2, last paragraph).
+ *
+ * The attention (activation-activation) operator is memory-bound, so the
+ * KV cache can be quantized aggressively without regard to tensor-core
+ * granularity. COMET uses channel-wise *asymmetric* INT4 group
+ * quantization: each channel of the K/V tensors gets its own affine
+ * quantizer, re-derived per group of consecutive tokens so scales track
+ * the evolving cache. RoPE and softmax regularize K's outliers and V has
+ * few, which is why 4 bits suffice.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/quant/quantizer.h"
+#include "comet/tensor/packed.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** Configuration of the KV-cache quantizer. */
+struct KvQuantConfig {
+    int bits = 4;             ///< precision of the stored cache
+    int64_t group_size = 64;  ///< tokens per scale group
+    bool asymmetric = true;   ///< affine (true) vs symmetric (false)
+};
+
+/** Packed quantized KV tensor: data plus per-(group, channel) params. */
+struct QuantizedKv {
+    int64_t tokens = 0;
+    int64_t channels = 0;
+    int64_t group_size = 0;
+    Int8Tensor data;          ///< values in [-8,7] for 4-bit configs
+    std::vector<QuantParams> params; ///< [num_groups * channels]
+
+    int64_t
+    numGroups() const
+    {
+        return (tokens + group_size - 1) / group_size;
+    }
+};
+
+/**
+ * The KV-cache quantizer. Stateless: parameters are derived from the
+ * data being quantized (the cache is quantized as it is appended, so no
+ * calibration pass exists).
+ */
+class KvCacheQuantizer
+{
+  public:
+    explicit KvCacheQuantizer(KvQuantConfig config = {});
+
+    const KvQuantConfig &config() const { return config_; }
+
+    /** Fake-quantizes a [tokens, channels] K or V tensor. */
+    Tensor fakeQuantize(const Tensor &kv) const;
+
+    /** Real quantization to packed form. */
+    QuantizedKv quantize(const Tensor &kv) const;
+
+    /** Dequantizes a packed KV tensor back to float. */
+    Tensor dequantize(const QuantizedKv &q) const;
+
+  private:
+    KvQuantConfig config_;
+};
+
+} // namespace comet

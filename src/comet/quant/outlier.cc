@@ -1,0 +1,112 @@
+#include "comet/quant/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comet/common/stats.h"
+
+namespace comet {
+
+ChannelStats
+computeChannelStats(const Tensor &calibration)
+{
+    COMET_CHECK(calibration.shape().rank() == 2);
+    const int64_t tokens = calibration.rows();
+    const int64_t channels = calibration.cols();
+    ChannelStats stats;
+    stats.abs_max.assign(static_cast<size_t>(channels), 0.0f);
+    stats.abs_mean.assign(static_cast<size_t>(channels), 0.0f);
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (int64_t c = 0; c < channels; ++c) {
+            const float a = std::fabs(calibration.at(t, c));
+            auto ci = static_cast<size_t>(c);
+            stats.abs_max[ci] = std::max(stats.abs_max[ci], a);
+            stats.abs_mean[ci] += a;
+        }
+    }
+    for (auto &m : stats.abs_mean)
+        m /= static_cast<float>(tokens);
+
+    std::vector<float> sorted = stats.abs_max;
+    std::sort(sorted.begin(), sorted.end());
+    stats.median_abs_max = sorted[sorted.size() / 2];
+    return stats;
+}
+
+ChannelStats
+computeChannelStatsPercentile(const Tensor &calibration,
+                              double percentile)
+{
+    COMET_CHECK(calibration.shape().rank() == 2);
+    COMET_CHECK(percentile > 0.0 && percentile <= 100.0);
+    const int64_t tokens = calibration.rows();
+    const int64_t channels = calibration.cols();
+    ChannelStats stats;
+    stats.abs_max.assign(static_cast<size_t>(channels), 0.0f);
+    stats.abs_mean.assign(static_cast<size_t>(channels), 0.0f);
+    std::vector<double> column(static_cast<size_t>(tokens));
+    for (int64_t c = 0; c < channels; ++c) {
+        double sum = 0.0;
+        for (int64_t t = 0; t < tokens; ++t) {
+            const double a = std::fabs(calibration.at(t, c));
+            column[static_cast<size_t>(t)] = a;
+            sum += a;
+        }
+        stats.abs_max[static_cast<size_t>(c)] = static_cast<float>(
+            exactPercentile(column, percentile));
+        stats.abs_mean[static_cast<size_t>(c)] =
+            static_cast<float>(sum / static_cast<double>(tokens));
+    }
+    std::vector<float> sorted = stats.abs_max;
+    std::sort(sorted.begin(), sorted.end());
+    stats.median_abs_max = sorted[sorted.size() / 2];
+    return stats;
+}
+
+ChannelStats
+mergeChannelStats(const std::vector<ChannelStats> &parts)
+{
+    COMET_CHECK(!parts.empty());
+    const size_t channels = parts.front().abs_max.size();
+    ChannelStats merged;
+    merged.abs_max.assign(channels, 0.0f);
+    merged.abs_mean.assign(channels, 0.0f);
+    for (const auto &part : parts) {
+        COMET_CHECK_MSG(part.abs_max.size() == channels,
+                        "channel counts must match across batches");
+        for (size_t c = 0; c < channels; ++c) {
+            merged.abs_max[c] = std::max(merged.abs_max[c],
+                                         part.abs_max[c]);
+            merged.abs_mean[c] += part.abs_mean[c];
+        }
+    }
+    for (auto &m : merged.abs_mean)
+        m /= static_cast<float>(parts.size());
+
+    std::vector<float> sorted = merged.abs_max;
+    std::sort(sorted.begin(), sorted.end());
+    merged.median_abs_max = sorted[sorted.size() / 2];
+    return merged;
+}
+
+OutlierReport
+detectOutliers(const ChannelStats &stats, const OutlierConfig &config)
+{
+    COMET_CHECK(config.threshold_ratio > 1.0f);
+    OutlierReport report;
+    const size_t channels = stats.abs_max.size();
+    report.is_outlier.assign(channels, 0);
+    // Guard against all-zero calibration: threshold of 0 would flag
+    // every channel with any signal.
+    const float base = std::max(stats.median_abs_max, 1e-12f);
+    report.threshold = config.threshold_ratio * base;
+    for (size_t c = 0; c < channels; ++c) {
+        if (stats.abs_max[c] > report.threshold) {
+            report.is_outlier[c] = 1;
+            report.outlier_channels.push_back(static_cast<int64_t>(c));
+        }
+    }
+    return report;
+}
+
+} // namespace comet

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Outlier-channel analysis for LLM activations (paper Section 3.1).
+ *
+ * LLMs past ~6B parameters develop a small set of channels whose
+ * magnitudes exceed typical hidden-state values by 10-100x. FMPQ's
+ * precision decisions hinge on locating those channels from a calibration
+ * set; this header provides the statistics and the detector.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** Per-channel calibration statistics of an activation matrix
+ * [tokens, channels]. */
+struct ChannelStats {
+    std::vector<float> abs_max;  ///< per-channel max |x|
+    std::vector<float> abs_mean; ///< per-channel mean |x|
+    float median_abs_max = 0.0f; ///< median over channels of abs_max
+};
+
+/** Computes per-channel statistics over the calibration matrix. */
+ChannelStats computeChannelStats(const Tensor &calibration);
+
+/**
+ * Percentile-robust variant: abs_max is replaced by the per-channel
+ * @p percentile of |x| (e.g. 99.5), so a single corrupt calibration
+ * token cannot promote a normal channel to outlier status — a common
+ * PTQ-calibration hardening. @pre 0 < percentile <= 100.
+ */
+ChannelStats computeChannelStatsPercentile(const Tensor &calibration,
+                                           double percentile);
+
+/** Merges statistics from multiple calibration batches (elementwise max
+ * of abs_max, mean of abs_mean). @pre equal channel counts. */
+ChannelStats mergeChannelStats(const std::vector<ChannelStats> &parts);
+
+/** Configuration of the outlier detector. */
+struct OutlierConfig {
+    /** A channel is an outlier when abs_max > ratio * median(abs_max). */
+    float threshold_ratio = 6.0f;
+};
+
+/** Result of outlier detection. */
+struct OutlierReport {
+    std::vector<int64_t> outlier_channels; ///< sorted ascending
+    std::vector<uint8_t> is_outlier;       ///< bitmap, one per channel
+    float threshold = 0.0f;                ///< absolute magnitude cutoff
+};
+
+/** Flags channels whose calibration abs-max exceeds the configured
+ * multiple of the median channel magnitude. */
+OutlierReport detectOutliers(const ChannelStats &stats,
+                             const OutlierConfig &config = {});
+
+} // namespace comet

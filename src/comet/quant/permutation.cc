@@ -1,0 +1,100 @@
+#include "comet/quant/permutation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace comet {
+
+ChannelPermutation
+ChannelPermutation::identity(int64_t channels)
+{
+    std::vector<int64_t> order(static_cast<size_t>(channels));
+    std::iota(order.begin(), order.end(), 0);
+    return ChannelPermutation(std::move(order));
+}
+
+ChannelPermutation::ChannelPermutation(std::vector<int64_t> order)
+    : order_(std::move(order))
+{
+    std::vector<uint8_t> seen(order_.size(), 0);
+    for (int64_t src : order_) {
+        COMET_CHECK_MSG(src >= 0 &&
+                            src < static_cast<int64_t>(order_.size()),
+                        "permutation index out of range");
+        auto si = static_cast<size_t>(src);
+        COMET_CHECK_MSG(!seen[si], "permutation has a repeated index");
+        seen[si] = 1;
+    }
+}
+
+ChannelPermutation
+ChannelPermutation::inverse() const
+{
+    std::vector<int64_t> inv(order_.size());
+    for (size_t i = 0; i < order_.size(); ++i)
+        inv[static_cast<size_t>(order_[i])] = static_cast<int64_t>(i);
+    return ChannelPermutation(std::move(inv));
+}
+
+Tensor
+ChannelPermutation::applyToColumns(const Tensor &x) const
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    COMET_CHECK_MSG(x.cols() == channels(),
+                    "permutation size must match column count");
+    Tensor out(x.rows(), x.cols());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+        for (int64_t c = 0; c < x.cols(); ++c)
+            out.at(r, c) = x.at(r, order_[static_cast<size_t>(c)]);
+    }
+    return out;
+}
+
+std::vector<float>
+ChannelPermutation::applyToVector(const std::vector<float> &v) const
+{
+    COMET_CHECK(static_cast<int64_t>(v.size()) == channels());
+    std::vector<float> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = v[static_cast<size_t>(order_[i])];
+    return out;
+}
+
+bool
+ChannelPermutation::isIdentity() const
+{
+    for (size_t i = 0; i < order_.size(); ++i) {
+        if (order_[i] != static_cast<int64_t>(i))
+            return false;
+    }
+    return true;
+}
+
+ChannelPermutation
+buildOutlierClusteringPermutation(const ChannelStats &stats,
+                                  const OutlierReport &report)
+{
+    const size_t channels = stats.abs_max.size();
+    COMET_CHECK(report.is_outlier.size() == channels);
+
+    std::vector<int64_t> outliers = report.outlier_channels;
+    std::sort(outliers.begin(), outliers.end(),
+              [&](int64_t a, int64_t b) {
+                  const float ma = stats.abs_max[static_cast<size_t>(a)];
+                  const float mb = stats.abs_max[static_cast<size_t>(b)];
+                  if (ma != mb)
+                      return ma > mb;
+                  return a < b; // deterministic tie-break
+              });
+
+    std::vector<int64_t> order;
+    order.reserve(channels);
+    order.insert(order.end(), outliers.begin(), outliers.end());
+    for (size_t c = 0; c < channels; ++c) {
+        if (!report.is_outlier[c])
+            order.push_back(static_cast<int64_t>(c));
+    }
+    return ChannelPermutation(std::move(order));
+}
+
+} // namespace comet

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Channel permutation for outlier clustering (paper Section 3.2,
+ * Figure 4(d)).
+ *
+ * FMPQ partitions the activation channel dimension into blocks of k
+ * channels; any block containing an outlier channel must be quantized to
+ * INT8. Without reordering, outliers scattered across many blocks force
+ * a large INT8 fraction. The permutation gathers outlier channels into
+ * as few leading blocks as possible, and the same permutation is applied
+ * to the weight matrix's input dimension so the GEMM result is unchanged
+ * (computational equivalence).
+ *
+ * GEMM convention used throughout comet: activations X are
+ * [tokens, in_channels], weights W are [out_features, in_channels], and
+ * the layer computes O = X * W^T. Permuting the in_channels axis of both
+ * X and W by the same permutation leaves O bit-identical in exact
+ * arithmetic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/quant/outlier.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/**
+ * A permutation of channel indices.
+ *
+ * order[i] is the source channel placed at position i, i.e. permuted
+ * column i of a matrix is original column order[i].
+ */
+class ChannelPermutation
+{
+  public:
+    /** Identity permutation over @p channels channels. */
+    static ChannelPermutation identity(int64_t channels);
+
+    /** Builds a permutation from an explicit order; validates it is a
+     * bijection. */
+    explicit ChannelPermutation(std::vector<int64_t> order);
+
+    int64_t channels() const
+    {
+        return static_cast<int64_t>(order_.size());
+    }
+
+    const std::vector<int64_t> &order() const { return order_; }
+
+    /** The inverse permutation. */
+    ChannelPermutation inverse() const;
+
+    /** Returns X with columns reordered: out[:, i] = x[:, order[i]]. */
+    Tensor applyToColumns(const Tensor &x) const;
+
+    /** Applies the permutation to a per-channel stat vector. */
+    std::vector<float> applyToVector(const std::vector<float> &v) const;
+
+    /** True when this is the identity. */
+    bool isIdentity() const;
+
+  private:
+    std::vector<int64_t> order_;
+};
+
+/**
+ * Builds the outlier-clustering permutation: channels flagged as outliers
+ * come first (in descending calibration magnitude, so the very largest
+ * values share scales with similarly large ones), followed by the
+ * remaining channels in their original order (stable, to minimally
+ * perturb locality).
+ */
+ChannelPermutation buildOutlierClusteringPermutation(
+    const ChannelStats &stats, const OutlierReport &report);
+
+} // namespace comet

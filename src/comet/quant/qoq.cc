@@ -1,0 +1,114 @@
+#include "comet/quant/qoq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comet/quant/quantizer.h"
+
+namespace comet {
+
+QoqLayer
+QoqLayer::calibrate(const Tensor &weight,
+                    const Tensor &act_calibration,
+                    const QoqConfig &config)
+{
+    COMET_CHECK(act_calibration.shape().rank() == 2);
+    COMET_CHECK(act_calibration.cols() == weight.cols());
+    const int64_t in = weight.cols(), out = weight.rows();
+
+    std::vector<float> a_max(static_cast<size_t>(in), 0.0f);
+    for (int64_t t = 0; t < act_calibration.rows(); ++t) {
+        for (int64_t c = 0; c < in; ++c) {
+            a_max[static_cast<size_t>(c)] =
+                std::max(a_max[static_cast<size_t>(c)],
+                         std::fabs(act_calibration.at(t, c)));
+        }
+    }
+    std::vector<float> w_max(static_cast<size_t>(in), 0.0f);
+    for (int64_t n = 0; n < out; ++n) {
+        for (int64_t c = 0; c < in; ++c) {
+            w_max[static_cast<size_t>(c)] =
+                std::max(w_max[static_cast<size_t>(c)],
+                         std::fabs(weight.at(n, c)));
+        }
+    }
+    Tensor scaled(out, in);
+    std::vector<float> s(static_cast<size_t>(in), 1.0f);
+    for (size_t c = 0; c < s.size(); ++c) {
+        const float a = std::max(a_max[c], 1e-5f);
+        const float w = std::max(w_max[c], 1e-5f);
+        s[c] = std::max(std::sqrt(a / w), 1e-4f);
+    }
+    for (int64_t n = 0; n < out; ++n) {
+        for (int64_t c = 0; c < in; ++c)
+            scaled.at(n, c) = weight.at(n, c) *
+                              s[static_cast<size_t>(c)];
+    }
+    QoqLayer layer = calibrate(scaled, config);
+    for (int64_t n = 0; n < out; ++n) {
+        for (int64_t c = 0; c < in; ++c)
+            layer.quantized_weight_.at(n, c) /=
+                s[static_cast<size_t>(c)];
+    }
+    return layer;
+}
+
+QoqLayer
+QoqLayer::calibrate(const Tensor &weight, const QoqConfig &config)
+{
+    COMET_CHECK(weight.shape().rank() == 2);
+    COMET_CHECK(config.group_size > 0 &&
+                weight.cols() % config.group_size == 0);
+    const int64_t out = weight.rows(), in = weight.cols();
+    const QuantRange inner_range = signedRange(config.weight_bits);
+
+    Tensor result(out, in);
+    for (int64_t n = 0; n < out; ++n) {
+        // Outer per-channel INT8 scale.
+        float chan_abs_max = 0.0f;
+        for (int64_t c = 0; c < in; ++c)
+            chan_abs_max = std::max(chan_abs_max,
+                                    std::fabs(weight.at(n, c)));
+        const float s_outer = chan_abs_max > 0
+                                  ? chan_abs_max / 127.0f
+                                  : 1.0f;
+
+        for (int64_t g = 0; g < in; g += config.group_size) {
+            float group_abs_max = 0.0f;
+            for (int64_t c = g; c < g + config.group_size; ++c)
+                group_abs_max = std::max(group_abs_max,
+                                         std::fabs(weight.at(n, c)));
+            // Inner INT4 scale constrained to an integer multiple of
+            // the outer INT8 scale (progressive quantization): the
+            // group scale is s_int * s_outer with s_int a small int.
+            const float ideal =
+                group_abs_max /
+                (static_cast<float>(inner_range.qmax) * s_outer);
+            const int32_t s_int = std::max(
+                1, static_cast<int32_t>(std::lround(std::ceil(ideal))));
+            const float scale = static_cast<float>(s_int) * s_outer;
+            const QuantParams params{scale, 0};
+            for (int64_t c = g; c < g + config.group_size; ++c) {
+                const int32_t q =
+                    std::clamp(params.quantize(weight.at(n, c)),
+                               inner_range.qmin, inner_range.qmax);
+                result.at(n, c) = params.dequantize(q);
+            }
+        }
+    }
+    return QoqLayer(config, std::move(result));
+}
+
+Tensor
+QoqLayer::fakeQuantActivations(const Tensor &x) const
+{
+    return fakeQuantPerRow(x, config_.act_bits);
+}
+
+Tensor
+QoqLayer::fakeQuantKv(const Tensor &kv) const
+{
+    return KvCacheQuantizer(config_.kv).fakeQuantize(kv);
+}
+
+} // namespace comet

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * QoQ baseline (QServe, Lin et al. 2024) — the paper's W4A8KV4
+ * comparison point.
+ *
+ * QoQ uses *progressive group quantization* for weights: an outer
+ * per-output-channel INT8 quantizer and, nested inside it, per-group
+ * INT4 quantizers whose scales are themselves small integers in units of
+ * the outer scale (so dequantization to INT8 is cheap on the GPU).
+ * Activations are per-token INT8 and the KV cache is INT4.
+ */
+#pragma once
+
+#include "comet/quant/kv_quant.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** QoQ configuration. */
+struct QoqConfig {
+    int64_t group_size = 128; ///< channels per inner INT4 group
+    int weight_bits = 4;
+    int act_bits = 8;
+    KvQuantConfig kv{4, 64, true};
+};
+
+/** QoQ applied to one linear layer. */
+class QoqLayer
+{
+  public:
+    /** Quantizes the weight with progressive group quantization. */
+    static QoqLayer calibrate(const Tensor &weight,
+                              const QoqConfig &config = {});
+
+    /**
+     * Quantizes with QServe's smoothing stage first: per-channel
+     * scales s_c = sqrt(max|X_c| / max|W_c|) migrate precision toward
+     * high-activation channels (folded back after quantization), then
+     * progressive group quantization runs on the smoothed weight.
+     */
+    static QoqLayer calibrate(const Tensor &weight,
+                              const Tensor &act_calibration,
+                              const QoqConfig &config = {});
+
+    const QoqConfig &config() const { return config_; }
+
+    /** The fake-quantized weight on the progressive INT4 grid. */
+    const Tensor &quantizedWeight() const { return quantized_weight_; }
+
+    /** Per-token INT8 fake quantization of runtime activations. */
+    Tensor fakeQuantActivations(const Tensor &x) const;
+
+    /** INT4 fake quantization of a KV tensor. */
+    Tensor fakeQuantKv(const Tensor &kv) const;
+
+  private:
+    QoqLayer(QoqConfig config, Tensor quantized_weight)
+        : config_(config), quantized_weight_(std::move(quantized_weight))
+    {
+    }
+
+    QoqConfig config_;
+    Tensor quantized_weight_;
+};
+
+} // namespace comet

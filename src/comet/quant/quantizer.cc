@@ -1,0 +1,219 @@
+#include "comet/quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comet {
+
+QuantRange
+signedRange(int bits)
+{
+    COMET_CHECK(bits >= 2 && bits <= 16);
+    const int32_t qmax = (1 << (bits - 1)) - 1;
+    return QuantRange{-qmax - 1, qmax};
+}
+
+QuantParams
+chooseSymmetric(float abs_max, int bits)
+{
+    const QuantRange range = signedRange(bits);
+    QuantParams params;
+    params.zero_point = 0;
+    params.scale = abs_max > 0
+                       ? abs_max / static_cast<float>(range.qmax)
+                       : 1.0f;
+    return params;
+}
+
+QuantParams
+chooseAsymmetric(float min_val, float max_val, int bits)
+{
+    const QuantRange range = signedRange(bits);
+    min_val = std::min(min_val, 0.0f);
+    max_val = std::max(max_val, 0.0f);
+    QuantParams params;
+    const float span = max_val - min_val;
+    if (span <= 0.0f) {
+        params.scale = 1.0f;
+        params.zero_point = 0;
+        return params;
+    }
+    params.scale = span / static_cast<float>(range.qmax - range.qmin);
+    const float zp = static_cast<float>(range.qmin) -
+                     min_val / params.scale;
+    params.zero_point = static_cast<int32_t>(std::lround(zp));
+    params.zero_point = std::clamp(params.zero_point, range.qmin,
+                                   range.qmax);
+    return params;
+}
+
+float
+fakeQuantValue(float x, const QuantParams &params, int bits)
+{
+    const QuantRange range = signedRange(bits);
+    int32_t q = params.quantize(x);
+    q = std::clamp(q, range.qmin, range.qmax);
+    return params.dequantize(q);
+}
+
+Tensor
+fakeQuantPerTensor(const Tensor &x, int bits)
+{
+    const QuantParams params = chooseSymmetric(x.absMax(), bits);
+    Tensor out(x.shape());
+    const int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i)
+        out[i] = fakeQuantValue(x[i], params, bits);
+    return out;
+}
+
+Tensor
+fakeQuantPerRow(const Tensor &x, int bits)
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    const int64_t rows = x.rows(), cols = x.cols();
+    Tensor out(rows, cols);
+    for (int64_t r = 0; r < rows; ++r) {
+        float abs_max = 0.0f;
+        for (int64_t c = 0; c < cols; ++c)
+            abs_max = std::max(abs_max, std::fabs(x.at(r, c)));
+        const QuantParams params = chooseSymmetric(abs_max, bits);
+        for (int64_t c = 0; c < cols; ++c)
+            out.at(r, c) = fakeQuantValue(x.at(r, c), params, bits);
+    }
+    return out;
+}
+
+Tensor
+fakeQuantPerColumn(const Tensor &x, int bits)
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    const int64_t rows = x.rows(), cols = x.cols();
+    std::vector<float> abs_max(static_cast<size_t>(cols), 0.0f);
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+            abs_max[static_cast<size_t>(c)] =
+                std::max(abs_max[static_cast<size_t>(c)],
+                         std::fabs(x.at(r, c)));
+        }
+    }
+    Tensor out(rows, cols);
+    for (int64_t c = 0; c < cols; ++c) {
+        const QuantParams params =
+            chooseSymmetric(abs_max[static_cast<size_t>(c)], bits);
+        for (int64_t r = 0; r < rows; ++r)
+            out.at(r, c) = fakeQuantValue(x.at(r, c), params, bits);
+    }
+    return out;
+}
+
+Tensor
+fakeQuantPerGroup(const Tensor &x, int bits, int64_t group_size)
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    COMET_CHECK(group_size > 0 && x.cols() % group_size == 0);
+    const int64_t rows = x.rows(), cols = x.cols();
+    Tensor out(rows, cols);
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t g = 0; g < cols; g += group_size) {
+            float abs_max = 0.0f;
+            for (int64_t c = g; c < g + group_size; ++c)
+                abs_max = std::max(abs_max, std::fabs(x.at(r, c)));
+            const QuantParams params = chooseSymmetric(abs_max, bits);
+            for (int64_t c = g; c < g + group_size; ++c)
+                out.at(r, c) = fakeQuantValue(x.at(r, c), params, bits);
+        }
+    }
+    return out;
+}
+
+QuantizedInt8
+quantizeInt8PerRow(const Tensor &x)
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    const int64_t rows = x.rows(), cols = x.cols();
+    QuantizedInt8 q{Int8Tensor(rows, cols), {}};
+    q.row_params.reserve(static_cast<size_t>(rows));
+    const QuantRange range = signedRange(8);
+    for (int64_t r = 0; r < rows; ++r) {
+        float abs_max = 0.0f;
+        for (int64_t c = 0; c < cols; ++c)
+            abs_max = std::max(abs_max, std::fabs(x.at(r, c)));
+        const QuantParams params = chooseSymmetric(abs_max, 8);
+        q.row_params.push_back(params);
+        for (int64_t c = 0; c < cols; ++c) {
+            const int32_t v = std::clamp(params.quantize(x.at(r, c)),
+                                         range.qmin, range.qmax);
+            q.data.set(r, c, static_cast<int8_t>(v));
+        }
+    }
+    return q;
+}
+
+QuantizedInt4
+quantizeInt4PerRow(const Tensor &x)
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    const int64_t rows = x.rows(), cols = x.cols();
+    QuantizedInt4 q{Int4Tensor(rows, cols), {}};
+    q.row_params.reserve(static_cast<size_t>(rows));
+    const QuantRange range = signedRange(4);
+    for (int64_t r = 0; r < rows; ++r) {
+        float abs_max = 0.0f;
+        for (int64_t c = 0; c < cols; ++c)
+            abs_max = std::max(abs_max, std::fabs(x.at(r, c)));
+        const QuantParams params = chooseSymmetric(abs_max, 4);
+        q.row_params.push_back(params);
+        for (int64_t c = 0; c < cols; ++c) {
+            const int32_t v = std::clamp(params.quantize(x.at(r, c)),
+                                         range.qmin, range.qmax);
+            q.data.set(r, c, static_cast<int8_t>(v));
+        }
+    }
+    return q;
+}
+
+Tensor
+dequantize(const QuantizedInt8 &q)
+{
+    const int64_t rows = q.data.rows(), cols = q.data.cols();
+    Tensor out(rows, cols);
+    for (int64_t r = 0; r < rows; ++r) {
+        const QuantParams &params = q.row_params[static_cast<size_t>(r)];
+        for (int64_t c = 0; c < cols; ++c)
+            out.at(r, c) = params.dequantize(q.data.get(r, c));
+    }
+    return out;
+}
+
+Tensor
+dequantize(const QuantizedInt4 &q)
+{
+    const int64_t rows = q.data.rows(), cols = q.data.cols();
+    Tensor out(rows, cols);
+    for (int64_t r = 0; r < rows; ++r) {
+        const QuantParams &params = q.row_params[static_cast<size_t>(r)];
+        for (int64_t c = 0; c < cols; ++c)
+            out.at(r, c) = params.dequantize(q.data.get(r, c));
+    }
+    return out;
+}
+
+double
+sqnrDb(const Tensor &reference, const Tensor &quantized)
+{
+    COMET_CHECK(reference.shape() == quantized.shape());
+    double sig = 0.0, err = 0.0;
+    const int64_t n = reference.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        const double s = reference[i];
+        const double e = s - quantized[i];
+        sig += s * s;
+        err += e * e;
+    }
+    if (err <= 0.0)
+        return 300.0; // effectively lossless
+    return 10.0 * std::log10(sig / err);
+}
+
+} // namespace comet

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Uniform integer quantization primitives.
+ *
+ * Everything in comet/quant builds on these: symmetric and asymmetric
+ * uniform quantizers at arbitrary bit widths, applied per-tensor,
+ * per-channel (column), per-token (row), or per-block (contiguous channel
+ * groups — the granularity FMPQ uses).
+ *
+ * Two styles of API are provided:
+ *  - *fake quantization* (quantize-then-dequantize in float), used by the
+ *    accuracy experiments, mirroring how PTQ literature simulates
+ *    low-precision inference; and
+ *  - *real quantization* to packed integer tensors, used by the kernel
+ *    path so the bit-exact GEMM can be verified against float references.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/tensor/packed.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** Parameters of one uniform affine quantizer: q = round(x/scale) + zp. */
+struct QuantParams {
+    float scale = 1.0f;
+    int32_t zero_point = 0;
+
+    /** Quantizes one value to the integer grid (unclamped). */
+    int32_t
+    quantize(float x) const
+    {
+        // Round half away from zero, matching CUDA's rounding of the
+        // cvt.rni path closely enough for PTQ purposes.
+        const float t = x / scale;
+        return static_cast<int32_t>(t >= 0 ? t + 0.5f : t - 0.5f) +
+               zero_point;
+    }
+
+    /** Dequantizes one integer back to float. */
+    float
+    dequantize(int32_t q) const
+    {
+        return static_cast<float>(q - zero_point) * scale;
+    }
+};
+
+/** Integer range of a signed @p bits-wide quantizer, e.g. 4 -> [-8, 7]. */
+struct QuantRange {
+    int32_t qmin;
+    int32_t qmax;
+};
+
+/** Returns the signed two's-complement range for a bit width. */
+QuantRange signedRange(int bits);
+
+/** Chooses a symmetric quantizer for values with the given absolute
+ * maximum. A zero absmax yields scale 1 (all values quantize to 0). */
+QuantParams chooseSymmetric(float abs_max, int bits);
+
+/** Chooses an asymmetric quantizer covering [min, max]. */
+QuantParams chooseAsymmetric(float min_val, float max_val, int bits);
+
+/** Fake-quantizes one value: quantize, clamp to range, dequantize. */
+float fakeQuantValue(float x, const QuantParams &params, int bits);
+
+/** Fake-quantizes a whole tensor with a single symmetric quantizer. */
+Tensor fakeQuantPerTensor(const Tensor &x, int bits);
+
+/**
+ * Fake-quantizes a rank-2 tensor [rows, cols] with one symmetric
+ * quantizer per row ("per-token" for activations laid out as
+ * [tokens, channels]).
+ */
+Tensor fakeQuantPerRow(const Tensor &x, int bits);
+
+/**
+ * Fake-quantizes a rank-2 tensor with one symmetric quantizer per column
+ * ("per-channel").
+ */
+Tensor fakeQuantPerColumn(const Tensor &x, int bits);
+
+/**
+ * Fake-quantizes a rank-2 tensor [rows, cols] with one symmetric
+ * quantizer per (row, channel-group) where channel groups are contiguous
+ * runs of @p group_size columns ("group-wise", as used by AWQ/QoQ).
+ * @pre cols % group_size == 0.
+ */
+Tensor fakeQuantPerGroup(const Tensor &x, int bits, int64_t group_size);
+
+/** Result of a real per-row INT8 quantization. */
+struct QuantizedInt8 {
+    Int8Tensor data;
+    std::vector<QuantParams> row_params; ///< one per row
+};
+
+/** Result of a real per-row INT4 quantization (packed). */
+struct QuantizedInt4 {
+    Int4Tensor data;
+    std::vector<QuantParams> row_params; ///< one per row
+};
+
+/** Quantizes [rows, cols] floats to INT8, one symmetric scale per row. */
+QuantizedInt8 quantizeInt8PerRow(const Tensor &x);
+
+/** Quantizes [rows, cols] floats to packed INT4, one symmetric scale per
+ * row. @pre cols is even. */
+QuantizedInt4 quantizeInt4PerRow(const Tensor &x);
+
+/** Dequantizes a per-row INT8 tensor back to float. */
+Tensor dequantize(const QuantizedInt8 &q);
+
+/** Dequantizes a per-row packed INT4 tensor back to float. */
+Tensor dequantize(const QuantizedInt4 &q);
+
+/** Signal-to-quantization-noise ratio in dB: 10 log10(P_sig / P_err). */
+double sqnrDb(const Tensor &reference, const Tensor &quantized);
+
+} // namespace comet

@@ -1,0 +1,105 @@
+#include "comet/quant/rotation.h"
+
+#include <cmath>
+
+#include "comet/common/rng.h"
+#include "comet/quant/quantizer.h"
+
+namespace comet {
+
+void
+fastWalshHadamard(std::vector<float> &data)
+{
+    const size_t n = data.size();
+    COMET_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                    "FWHT length must be a power of two");
+    for (size_t h = 1; h < n; h <<= 1) {
+        for (size_t i = 0; i < n; i += h << 1) {
+            for (size_t j = i; j < i + h; ++j) {
+                const float a = data[j];
+                const float b = data[j + h];
+                data[j] = a + b;
+                data[j + h] = a - b;
+            }
+        }
+    }
+    const float norm =
+        1.0f / std::sqrt(static_cast<float>(n));
+    for (float &x : data)
+        x *= norm;
+}
+
+HadamardRotation::HadamardRotation(int64_t channels, uint64_t seed)
+    : channels_(channels)
+{
+    COMET_CHECK_MSG(channels > 0 &&
+                        (channels & (channels - 1)) == 0,
+                    "rotation requires a power-of-two channel count");
+    Rng rng(seed);
+    signs_.resize(static_cast<size_t>(channels));
+    for (auto &s : signs_)
+        s = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+}
+
+Tensor
+HadamardRotation::apply(const Tensor &x) const
+{
+    COMET_CHECK(x.shape().rank() == 2 && x.cols() == channels_);
+    Tensor out(x.rows(), channels_);
+    std::vector<float> row(static_cast<size_t>(channels_));
+    for (int64_t r = 0; r < x.rows(); ++r) {
+        // x R = x D H / sqrt(n): scale by D, then FWHT.
+        for (int64_t c = 0; c < channels_; ++c) {
+            row[static_cast<size_t>(c)] =
+                x.at(r, c) * signs_[static_cast<size_t>(c)];
+        }
+        fastWalshHadamard(row);
+        for (int64_t c = 0; c < channels_; ++c)
+            out.at(r, c) = row[static_cast<size_t>(c)];
+    }
+    return out;
+}
+
+Tensor
+HadamardRotation::applyInverse(const Tensor &x) const
+{
+    COMET_CHECK(x.shape().rank() == 2 && x.cols() == channels_);
+    Tensor out(x.rows(), channels_);
+    std::vector<float> row(static_cast<size_t>(channels_));
+    for (int64_t r = 0; r < x.rows(); ++r) {
+        // x R^T = x (H / sqrt(n)) D: FWHT (H is symmetric), then D.
+        for (int64_t c = 0; c < channels_; ++c)
+            row[static_cast<size_t>(c)] = x.at(r, c);
+        fastWalshHadamard(row);
+        for (int64_t c = 0; c < channels_; ++c) {
+            out.at(r, c) = row[static_cast<size_t>(c)] *
+                           signs_[static_cast<size_t>(c)];
+        }
+    }
+    return out;
+}
+
+Tensor
+rotatedQuantizeWeight(const Tensor &weight,
+                      const RotatedQuantConfig &config)
+{
+    COMET_CHECK(weight.shape().rank() == 2);
+    const HadamardRotation rotation(weight.cols(), config.seed);
+    const Tensor rotated = rotation.apply(weight);
+    const Tensor quantized = fakeQuantPerGroup(
+        rotated, config.weight_bits, config.weight_group_size);
+    return rotation.applyInverse(quantized);
+}
+
+Tensor
+rotatedFakeQuantActivations(const Tensor &x,
+                            const RotatedQuantConfig &config)
+{
+    COMET_CHECK(x.shape().rank() == 2);
+    const HadamardRotation rotation(x.cols(), config.seed);
+    const Tensor rotated = rotation.apply(x);
+    const Tensor quantized = fakeQuantPerRow(rotated, config.act_bits);
+    return rotation.applyInverse(quantized);
+}
+
+} // namespace comet

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hadamard-rotation outlier suppression (QuaRot/SpinQuant-lite — the
+ * paper's references [4] and [32]).
+ *
+ * The competing line of work the paper discusses in Section 2.2
+ * attacks activation outliers not by mixed precision but by rotating
+ * the channel basis: multiplying activations (and, inversely, the
+ * weights) by a random orthogonal matrix spreads each outlier
+ * channel's energy across all channels, after which uniform low-bit
+ * quantization becomes viable. The canonical cheap rotation is a
+ * randomized Hadamard transform R = D * H / sqrt(n) with D a random
+ * +-1 diagonal and H the Walsh-Hadamard matrix — O(n log n) to apply
+ * and exactly orthogonal, so (x R)(w R)^T == x w^T.
+ *
+ * This module implements the fast Walsh-Hadamard transform, the seeded
+ * rotation, and a rotation-based W4A4 fake quantizer used as an extra
+ * comparison point against FMPQ (`bench_ablation_rotation`).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/**
+ * In-place orthonormal fast Walsh-Hadamard transform of @p data
+ * (H / sqrt(n)); applying it twice returns the input.
+ * @pre data.size() is a power of two.
+ */
+void fastWalshHadamard(std::vector<float> &data);
+
+/**
+ * A seeded randomized Hadamard rotation over a fixed channel count.
+ *
+ * R = D * H / sqrt(n). apply() maps row vectors x -> x R;
+ * applyInverse() maps x -> x R^T. Both are O(n log n) per row.
+ */
+class HadamardRotation
+{
+  public:
+    /** @pre channels is a power of two. */
+    HadamardRotation(int64_t channels, uint64_t seed);
+
+    int64_t channels() const { return channels_; }
+
+    /** Rotates every row of a [rows, channels] matrix: X -> X R. */
+    Tensor apply(const Tensor &x) const;
+
+    /** Applies the inverse rotation: X -> X R^T. */
+    Tensor applyInverse(const Tensor &x) const;
+
+  private:
+    int64_t channels_;
+    std::vector<float> signs_; ///< the +-1 diagonal D
+};
+
+/**
+ * QuaRot-lite W4A4 fake quantization of one linear layer:
+ * activations quantize per token and weights per group *in the
+ * rotated basis*, and both come back expressed in the original basis
+ * so the layer composes unchanged:
+ *
+ *   x' = quant(x R) R^T,   w' = quant(w R) R^T
+ *   =>  x' w'^T = quant(x R) quant(w R)^T  ~=  x w^T.
+ */
+struct RotatedQuantConfig {
+    int act_bits = 4;
+    int weight_bits = 4;
+    int64_t weight_group_size = 16;
+    uint64_t seed = 0x40ad;
+};
+
+/** Rotation-quantizes a weight matrix [out, in] (in original basis). */
+Tensor rotatedQuantizeWeight(const Tensor &weight,
+                             const RotatedQuantConfig &config = {});
+
+/** Rotation-quantizes activations [tokens, in] (in original basis). */
+Tensor rotatedFakeQuantActivations(const Tensor &x,
+                                   const RotatedQuantConfig &config = {});
+
+} // namespace comet

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SmoothQuant baseline (Xiao et al., ICML'23) — the paper's W8A8
+ * weight-activation comparison point.
+ *
+ * SmoothQuant migrates quantization difficulty from activations to
+ * weights with a per-channel equivalent transformation: activations are
+ * divided by s_c and the corresponding weight column is multiplied by
+ * s_c, where s_c = max|X_c|^alpha / max|W_c|^(1-alpha). Both sides are
+ * then quantized to INT8 (per-token activations, per-channel weights).
+ */
+#pragma once
+
+#include <vector>
+
+#include "comet/quant/outlier.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** SmoothQuant configuration. */
+struct SmoothQuantConfig {
+    float alpha = 0.5f; ///< migration strength
+    int weight_bits = 8;
+    int act_bits = 8;
+};
+
+/**
+ * SmoothQuant applied to one linear layer (X [tokens, in],
+ * W [out, in]).
+ */
+class SmoothQuantLayer
+{
+  public:
+    /** Calibrates smoothing factors from activation statistics and the
+     * weight matrix. */
+    static SmoothQuantLayer calibrate(const Tensor &act_calibration,
+                                      const Tensor &weight,
+                                      const SmoothQuantConfig &config = {});
+
+    const SmoothQuantConfig &config() const { return config_; }
+
+    /** Per-channel smoothing divisors s_c (all >= a small epsilon). */
+    const std::vector<float> &
+    smoothingFactors() const
+    {
+        return factors_;
+    }
+
+    /** The fake-quantized, smoothed weight W' = quant(W * s). */
+    const Tensor &quantizedWeight() const { return quantized_weight_; }
+
+    /**
+     * Simulates the quantized layer: smooths X, fake-quantizes per
+     * token, and returns the dequantized smoothed activations X' such
+     * that X' * quantizedWeight()^T approximates X * W^T.
+     */
+    Tensor fakeQuantActivations(const Tensor &x) const;
+
+  private:
+    SmoothQuantLayer(SmoothQuantConfig config, std::vector<float> factors,
+                     Tensor quantized_weight)
+        : config_(config), factors_(std::move(factors)),
+          quantized_weight_(std::move(quantized_weight))
+    {
+    }
+
+    SmoothQuantConfig config_;
+    std::vector<float> factors_;
+    Tensor quantized_weight_;
+};
+
+} // namespace comet

@@ -1,0 +1,372 @@
+#include "comet/quant/weight_quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "comet/quant/quantizer.h"
+
+namespace comet {
+
+namespace {
+
+/** Group-wise symmetric fake quantization with per-group clip ratio 1. */
+Tensor
+rtnImpl(const Tensor &weight, int bits, int64_t group_size)
+{
+    COMET_CHECK(weight.shape().rank() == 2);
+    COMET_CHECK(group_size > 0 && weight.cols() % group_size == 0);
+    return fakeQuantPerGroup(weight, bits, group_size);
+}
+
+/**
+ * Cholesky decomposition of a symmetric positive-definite matrix stored
+ * row-major in @p a (n x n). On return the lower triangle holds L.
+ * Aborts on a non-PD matrix (damping should prevent that).
+ */
+void
+choleskyInPlace(std::vector<double> &a, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j <= i; ++j) {
+            double sum = a[static_cast<size_t>(i * n + j)];
+            for (int64_t k = 0; k < j; ++k) {
+                sum -= a[static_cast<size_t>(i * n + k)] *
+                       a[static_cast<size_t>(j * n + k)];
+            }
+            if (i == j) {
+                COMET_CHECK_MSG(sum > 0.0,
+                                "Hessian is not positive definite; "
+                                "increase damping");
+                a[static_cast<size_t>(i * n + i)] = std::sqrt(sum);
+            } else {
+                a[static_cast<size_t>(i * n + j)] =
+                    sum / a[static_cast<size_t>(j * n + j)];
+            }
+        }
+    }
+}
+
+/**
+ * Inverts a symmetric positive-definite matrix via Cholesky.
+ * @p a is row-major n x n and is replaced by its inverse.
+ */
+void
+spdInverseInPlace(std::vector<double> &a, int64_t n)
+{
+    choleskyInPlace(a, n);
+    // Invert L in place (lower triangular inverse).
+    for (int64_t i = 0; i < n; ++i) {
+        a[static_cast<size_t>(i * n + i)] =
+            1.0 / a[static_cast<size_t>(i * n + i)];
+        for (int64_t j = i + 1; j < n; ++j) {
+            double sum = 0.0;
+            for (int64_t k = i; k < j; ++k) {
+                sum -= a[static_cast<size_t>(j * n + k)] *
+                       a[static_cast<size_t>(k * n + i)];
+            }
+            a[static_cast<size_t>(j * n + i)] =
+                sum / a[static_cast<size_t>(j * n + j)];
+        }
+    }
+    // inverse(H) = Linv^T * Linv; fill the full symmetric result.
+    std::vector<double> inv(static_cast<size_t>(n * n), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j <= i; ++j) {
+            double sum = 0.0;
+            for (int64_t k = i; k < n; ++k) {
+                sum += a[static_cast<size_t>(k * n + i)] *
+                       a[static_cast<size_t>(k * n + j)];
+            }
+            inv[static_cast<size_t>(i * n + j)] = sum;
+            inv[static_cast<size_t>(j * n + i)] = sum;
+        }
+    }
+    a.swap(inv);
+}
+
+/** Squared error of X*(W - Wq)^T over the calibration matrix. */
+double
+reconstructionError(const Tensor &x, const Tensor &w, const Tensor &wq)
+{
+    const int64_t tokens = x.rows();
+    const int64_t out = w.rows();
+    const int64_t in = w.cols();
+    double err = 0.0;
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (int64_t n = 0; n < out; ++n) {
+            double d = 0.0;
+            for (int64_t c = 0; c < in; ++c) {
+                d += static_cast<double>(x.at(t, c)) *
+                     (w.at(n, c) - wq.at(n, c));
+            }
+            err += d * d;
+        }
+    }
+    return err;
+}
+
+} // namespace
+
+Tensor
+rtnQuantizeWeight(const Tensor &weight, const WeightQuantConfig &config)
+{
+    return rtnImpl(weight, config.bits, config.group_size);
+}
+
+Tensor
+gptqQuantizeWeight(const Tensor &weight, const Tensor &act_calibration,
+                   const WeightQuantConfig &config, float hessian_damping)
+{
+    COMET_CHECK(weight.shape().rank() == 2);
+    COMET_CHECK(act_calibration.shape().rank() == 2);
+    COMET_CHECK(act_calibration.cols() == weight.cols());
+    const int64_t in = weight.cols();
+    const int64_t out = weight.rows();
+    COMET_CHECK(config.group_size > 0 && in % config.group_size == 0);
+
+    // Hessian H = X^T X, damped by lambda * mean(diag).
+    std::vector<double> hessian(static_cast<size_t>(in * in), 0.0);
+    for (int64_t t = 0; t < act_calibration.rows(); ++t) {
+        for (int64_t i = 0; i < in; ++i) {
+            const double xi = act_calibration.at(t, i);
+            if (xi == 0.0)
+                continue;
+            for (int64_t j = i; j < in; ++j) {
+                hessian[static_cast<size_t>(i * in + j)] +=
+                    xi * act_calibration.at(t, j);
+            }
+        }
+    }
+    for (int64_t i = 0; i < in; ++i) {
+        for (int64_t j = 0; j < i; ++j) {
+            hessian[static_cast<size_t>(i * in + j)] =
+                hessian[static_cast<size_t>(j * in + i)];
+        }
+    }
+    double diag_mean = 0.0;
+    for (int64_t i = 0; i < in; ++i)
+        diag_mean += hessian[static_cast<size_t>(i * in + i)];
+    diag_mean /= static_cast<double>(in);
+    const double damp =
+        std::max(static_cast<double>(hessian_damping) * diag_mean, 1e-8);
+    for (int64_t i = 0; i < in; ++i)
+        hessian[static_cast<size_t>(i * in + i)] += damp;
+
+    spdInverseInPlace(hessian, in);
+    const std::vector<double> &hinv = hessian;
+
+    // Working copy of the weights; columns are quantized in order and
+    // the rounding error of each column is propagated into later ones.
+    Tensor work = weight;
+    Tensor result(out, in);
+    const QuantRange range = signedRange(config.bits);
+
+    std::vector<QuantParams> row_group_params(static_cast<size_t>(out));
+    for (int64_t c = 0; c < in; ++c) {
+        if (c % config.group_size == 0) {
+            // Refresh per-row scales from the *current* (compensated)
+            // weights of this group, as GPTQ's grouped variant does.
+            for (int64_t n = 0; n < out; ++n) {
+                float abs_max = 0.0f;
+                for (int64_t g = c;
+                     g < c + config.group_size; ++g) {
+                    abs_max = std::max(abs_max,
+                                       std::fabs(work.at(n, g)));
+                }
+                row_group_params[static_cast<size_t>(n)] =
+                    chooseSymmetric(abs_max, config.bits);
+            }
+        }
+        const double d = hinv[static_cast<size_t>(c * in + c)];
+        for (int64_t n = 0; n < out; ++n) {
+            const QuantParams &params =
+                row_group_params[static_cast<size_t>(n)];
+            const float w = work.at(n, c);
+            const int32_t q = std::clamp(params.quantize(w), range.qmin,
+                                         range.qmax);
+            const float wq = params.dequantize(q);
+            result.at(n, c) = wq;
+            const double err = (static_cast<double>(w) - wq) / d;
+            // Propagate into not-yet-quantized columns.
+            for (int64_t j = c + 1; j < in; ++j) {
+                work.at(n, j) -= static_cast<float>(
+                    err * hinv[static_cast<size_t>(c * in + j)]);
+            }
+        }
+    }
+    return result;
+}
+
+Tensor
+awqQuantizeWeight(const Tensor &weight, const Tensor &act_calibration,
+                  const WeightQuantConfig &config)
+{
+    COMET_CHECK(weight.shape().rank() == 2);
+    COMET_CHECK(act_calibration.shape().rank() == 2);
+    COMET_CHECK(act_calibration.cols() == weight.cols());
+    const int64_t in = weight.cols();
+    const int64_t out = weight.rows();
+
+    // Per-channel activation magnitude (the AWQ "importance" signal).
+    std::vector<double> act_mag(static_cast<size_t>(in), 0.0);
+    for (int64_t t = 0; t < act_calibration.rows(); ++t) {
+        for (int64_t c = 0; c < in; ++c) {
+            act_mag[static_cast<size_t>(c)] +=
+                std::fabs(act_calibration.at(t, c));
+        }
+    }
+    for (auto &m : act_mag)
+        m = std::max(m / act_calibration.rows(), 1e-8);
+
+    // Cap the calibration tokens used for candidate scoring; AWQ's grid
+    // search only needs a relative ranking.
+    const int64_t score_tokens = std::min<int64_t>(
+        act_calibration.rows(), 32);
+    Tensor score_x(score_tokens, in);
+    for (int64_t t = 0; t < score_tokens; ++t) {
+        for (int64_t c = 0; c < in; ++c)
+            score_x.at(t, c) = act_calibration.at(t, c);
+    }
+
+    Tensor best = rtnQuantizeWeight(weight, config);
+    double best_err = reconstructionError(score_x, weight, best);
+
+    for (int step = 1; step <= 10; ++step) {
+        const double alpha = 0.1 * step;
+        // Candidate per-channel scales, normalized to geometric mean 1
+        // so the overall weight magnitude is preserved.
+        std::vector<double> scales(static_cast<size_t>(in));
+        double log_sum = 0.0;
+        for (int64_t c = 0; c < in; ++c) {
+            scales[static_cast<size_t>(c)] =
+                std::pow(act_mag[static_cast<size_t>(c)], alpha);
+            log_sum += std::log(scales[static_cast<size_t>(c)]);
+        }
+        const double norm = std::exp(log_sum / static_cast<double>(in));
+        for (auto &s : scales)
+            s = std::max(s / norm, 1e-4);
+
+        Tensor scaled(out, in);
+        for (int64_t n = 0; n < out; ++n) {
+            for (int64_t c = 0; c < in; ++c) {
+                scaled.at(n, c) = static_cast<float>(
+                    weight.at(n, c) * scales[static_cast<size_t>(c)]);
+            }
+        }
+        Tensor q = rtnQuantizeWeight(scaled, config);
+        for (int64_t n = 0; n < out; ++n) {
+            for (int64_t c = 0; c < in; ++c) {
+                q.at(n, c) = static_cast<float>(
+                    q.at(n, c) / scales[static_cast<size_t>(c)]);
+            }
+        }
+        const double err = reconstructionError(score_x, weight, q);
+        if (err < best_err) {
+            best_err = err;
+            best = std::move(q);
+        }
+    }
+    return best;
+}
+
+Tensor
+omniquantQuantizeWeightLet(const Tensor &weight,
+                           const Tensor &act_calibration,
+                           const WeightQuantConfig &config)
+{
+    COMET_CHECK(weight.shape().rank() == 2);
+    COMET_CHECK(act_calibration.shape().rank() == 2);
+    COMET_CHECK(act_calibration.cols() == weight.cols());
+    const int64_t in = weight.cols();
+    const int64_t out = weight.rows();
+
+    // Per-channel activation and weight magnitudes.
+    std::vector<float> a_max(static_cast<size_t>(in), 0.0f);
+    for (int64_t t = 0; t < act_calibration.rows(); ++t) {
+        for (int64_t c = 0; c < in; ++c) {
+            a_max[static_cast<size_t>(c)] =
+                std::max(a_max[static_cast<size_t>(c)],
+                         std::fabs(act_calibration.at(t, c)));
+        }
+    }
+    std::vector<float> w_max(static_cast<size_t>(in), 0.0f);
+    for (int64_t n = 0; n < out; ++n) {
+        for (int64_t c = 0; c < in; ++c) {
+            w_max[static_cast<size_t>(c)] =
+                std::max(w_max[static_cast<size_t>(c)],
+                         std::fabs(weight.at(n, c)));
+        }
+    }
+    std::vector<float> s(static_cast<size_t>(in), 1.0f);
+    for (size_t c = 0; c < s.size(); ++c) {
+        const float a = std::max(a_max[c], 1e-5f);
+        const float w = std::max(w_max[c], 1e-5f);
+        s[c] = std::max(std::sqrt(a / w), 1e-4f);
+    }
+
+    Tensor scaled(out, in);
+    for (int64_t n = 0; n < out; ++n) {
+        for (int64_t c = 0; c < in; ++c)
+            scaled.at(n, c) = weight.at(n, c) *
+                              s[static_cast<size_t>(c)];
+    }
+    Tensor q = omniquantQuantizeWeight(scaled, config);
+    for (int64_t n = 0; n < out; ++n) {
+        for (int64_t c = 0; c < in; ++c)
+            q.at(n, c) /= s[static_cast<size_t>(c)];
+    }
+    return q;
+}
+
+Tensor
+omniquantQuantizeWeight(const Tensor &weight,
+                        const WeightQuantConfig &config)
+{
+    COMET_CHECK(weight.shape().rank() == 2);
+    const int64_t in = weight.cols();
+    const int64_t out = weight.rows();
+    COMET_CHECK(config.group_size > 0 && in % config.group_size == 0);
+    const QuantRange range = signedRange(config.bits);
+
+    Tensor result(out, in);
+    for (int64_t n = 0; n < out; ++n) {
+        for (int64_t g = 0; g < in; g += config.group_size) {
+            float abs_max = 0.0f;
+            for (int64_t c = g; c < g + config.group_size; ++c)
+                abs_max = std::max(abs_max, std::fabs(weight.at(n, c)));
+
+            double best_mse = -1.0;
+            float best_clip = 1.0f;
+            for (int step = 0; step <= 10; ++step) {
+                const float clip = 1.0f - 0.05f * step; // 1.00 .. 0.50
+                const QuantParams params =
+                    chooseSymmetric(abs_max * clip, config.bits);
+                double mse = 0.0;
+                for (int64_t c = g; c < g + config.group_size; ++c) {
+                    const float w = weight.at(n, c);
+                    const int32_t q = std::clamp(params.quantize(w),
+                                                 range.qmin, range.qmax);
+                    const double d = static_cast<double>(w) -
+                                     params.dequantize(q);
+                    mse += d * d;
+                }
+                if (best_mse < 0.0 || mse < best_mse) {
+                    best_mse = mse;
+                    best_clip = clip;
+                }
+            }
+            const QuantParams params =
+                chooseSymmetric(abs_max * best_clip, config.bits);
+            for (int64_t c = g; c < g + config.group_size; ++c) {
+                const int32_t q =
+                    std::clamp(params.quantize(weight.at(n, c)),
+                               range.qmin, range.qmax);
+                result.at(n, c) = params.dequantize(q);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace comet

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Weight-only quantization baselines (paper Section 6.2).
+ *
+ * The paper compares FMPQ against W4A16 weight-only methods: GPTQ, AWQ
+ * and OmniQuant. This header implements each from scratch at the level
+ * of fidelity the comparison needs:
+ *
+ *  - RTN: round-to-nearest group-wise quantization (the common
+ *    substrate of the other methods).
+ *  - GPTQ: exact layer-wise error compensation using the calibration
+ *    Hessian H = X^T X with Cholesky-based column elimination (Frantar
+ *    et al., 2022), column-serial variant.
+ *  - AWQ: activation-aware per-channel scaling with a grid-searched
+ *    migration exponent (Lin et al., 2023).
+ *  - OmniQuant (lite): learnable weight clipping realized as a per-group
+ *    grid search over clip ratios (Shao et al., 2023, the weight-only
+ *    part).
+ *
+ * All functions return *fake-quantized* weights (float tensors on the
+ * INT grid) since the accuracy experiments run the transformer in float.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+
+/** Shared settings for weight-only quantizers. */
+struct WeightQuantConfig {
+    int bits = 4;
+    int64_t group_size = 128; ///< channels per scale group (along in dim)
+};
+
+/** Round-to-nearest group-wise symmetric quantization of W [out, in]. */
+Tensor rtnQuantizeWeight(const Tensor &weight,
+                         const WeightQuantConfig &config = {});
+
+/**
+ * GPTQ quantization of W [out, in] using calibration activations
+ * X [tokens, in].
+ *
+ * Minimizes || (W - Wq) X^T ||^2 by quantizing input channels in order
+ * and propagating the rounding error of each channel into the not-yet
+ * quantized ones via the inverse Hessian (H = X^T X + lambda I).
+ */
+Tensor gptqQuantizeWeight(const Tensor &weight,
+                          const Tensor &act_calibration,
+                          const WeightQuantConfig &config = {},
+                          float hessian_damping = 0.01f);
+
+/**
+ * AWQ quantization of W [out, in] guided by calibration activations.
+ *
+ * Searches a migration exponent alpha over a fixed grid; each candidate
+ * scales weight column c by s_c = mean|X_c|^alpha before group-wise RTN
+ * and unscales after, keeping the candidate whose reconstructed output
+ * X * Wq^T has the lowest error on the calibration set.
+ */
+Tensor awqQuantizeWeight(const Tensor &weight,
+                         const Tensor &act_calibration,
+                         const WeightQuantConfig &config = {});
+
+/**
+ * OmniQuant-style quantization of W [out, in]: per-group grid search
+ * over clipping ratios in (0, 1], keeping the ratio minimizing the
+ * within-group quantization MSE. This realizes "learned weight
+ * clipping" without gradient descent.
+ */
+Tensor omniquantQuantizeWeight(const Tensor &weight,
+                               const WeightQuantConfig &config = {});
+
+/**
+ * OmniQuant with its learnable-equivalent-transformation stage: per
+ * input channel, precision is migrated toward channels that carry
+ * large activations (s_c = sqrt(max|X_c| / max|W_c|)), realized as a
+ * scale/quantize/unscale weight transform — so the high-activation
+ * columns that dominate the layer output get proportionally smaller
+ * quantization error. This is the configuration the paper's
+ * "Omniquant W4A16" rows (and FMPQ's weight path) correspond to.
+ */
+Tensor omniquantQuantizeWeightLet(const Tensor &weight,
+                                  const Tensor &act_calibration,
+                                  const WeightQuantConfig &config = {});
+
+} // namespace comet

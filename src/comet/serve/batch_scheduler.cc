@@ -1,0 +1,83 @@
+#include "comet/serve/batch_scheduler.h"
+
+#include <algorithm>
+
+namespace comet {
+
+BatchScheduler::BatchScheduler(PagedKvCache *cache,
+                               BatchSchedulerConfig config)
+    : cache_(cache), config_(config)
+{
+    COMET_CHECK(cache_ != nullptr);
+    COMET_CHECK(config_.max_batch > 0);
+}
+
+void
+BatchScheduler::submit(const Request &request)
+{
+    COMET_CHECK(request.state == RequestState::kQueued);
+    COMET_CHECK(request.prompt_tokens > 0 &&
+                request.max_output_tokens > 0);
+    queue_.push_back(request);
+}
+
+int64_t
+BatchScheduler::admit()
+{
+    // Blocks the running batch will still claim as it decodes; new
+    // admissions must leave this headroom untouched or the decode
+    // loop could exhaust the pool mid-step.
+    int64_t reserved = 0;
+    for (const Request &request : running_) {
+        reserved += cache_->blocksForTokens(
+                        request.prompt_tokens +
+                        request.max_output_tokens) -
+                    cache_->blocksForTokens(request.contextTokens());
+    }
+
+    int64_t admitted = 0;
+    while (!queue_.empty() &&
+           runningCount() < config_.max_batch) {
+        Request &head = queue_.front();
+        const int64_t need = cache_->blocksForTokens(
+            head.prompt_tokens + head.max_output_tokens);
+        if (need + reserved > cache_->freeBlocks())
+            break; // FCFS: do not skip ahead of the head
+        const Status status =
+            cache_->addSequence(head.id, head.prompt_tokens);
+        COMET_CHECK(status.isOk());
+        reserved += need - cache_->blocksForTokens(head.prompt_tokens);
+        head.state = RequestState::kRunning;
+        running_.push_back(head);
+        queue_.pop_front();
+        ++admitted;
+    }
+    return admitted;
+}
+
+int64_t
+BatchScheduler::step()
+{
+    int64_t generated = 0;
+    std::vector<Request> still_running;
+    still_running.reserve(running_.size());
+    for (Request &request : running_) {
+        const Status status = cache_->appendToken(request.id);
+        COMET_CHECK_MSG(status.isOk(),
+                        "KV pool exhausted mid-step despite admission "
+                        "reservation");
+        ++request.generated_tokens;
+        ++generated;
+        if (request.done()) {
+            request.state = RequestState::kFinished;
+            cache_->removeSequence(request.id);
+            ++finished_;
+        } else {
+            still_running.push_back(request);
+        }
+    }
+    running_ = std::move(still_running);
+    return generated;
+}
+
+} // namespace comet

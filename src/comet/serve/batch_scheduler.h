@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Continuous batching scheduler.
+ *
+ * Implements the iteration-level scheduling used by modern serving
+ * systems (and by COMET, Section 5): at every decode step, finished
+ * sequences leave the batch, and queued requests are admitted as long
+ * as the KV cache can hold their prompt and the batch is below its
+ * cap. Admission is FCFS.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "comet/kvcache/kv_cache.h"
+#include "comet/serve/request.h"
+
+namespace comet {
+
+/** Scheduler limits. */
+struct BatchSchedulerConfig {
+    int64_t max_batch = 256; ///< hard cap on concurrent sequences
+};
+
+/**
+ * FCFS continuous-batching scheduler over a paged KV cache.
+ */
+class BatchScheduler
+{
+  public:
+    BatchScheduler(PagedKvCache *cache, BatchSchedulerConfig config = {});
+
+    /** Enqueues a request (takes a copy; state must be kQueued). */
+    void submit(const Request &request);
+
+    /**
+     * Admits queued requests into the running batch while capacity
+     * lasts; returns the number admitted. Call once per decode step.
+     */
+    int64_t admit();
+
+    /**
+     * Advances every running request by one generated token,
+     * retiring finished ones (their KV blocks are released).
+     * Returns the number of tokens generated this step.
+     */
+    int64_t step();
+
+    /** Currently running requests (the decode batch). */
+    const std::vector<Request> &running() const { return running_; }
+
+    int64_t queuedCount() const
+    {
+        return static_cast<int64_t>(queue_.size());
+    }
+    int64_t runningCount() const
+    {
+        return static_cast<int64_t>(running_.size());
+    }
+    int64_t finishedCount() const { return finished_; }
+
+    /** True when no work remains anywhere. */
+    bool
+    idle() const
+    {
+        return queue_.empty() && running_.empty();
+    }
+
+  private:
+    PagedKvCache *cache_;
+    BatchSchedulerConfig config_;
+    std::deque<Request> queue_;
+    std::vector<Request> running_;
+    int64_t finished_ = 0;
+};
+
+} // namespace comet

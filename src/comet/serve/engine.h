@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The COMET serving engine and its baseline configurations
+ * (paper Section 5 / Figures 10-12, 15).
+ *
+ * The engine combines the pieces: model geometry (GEMM shapes and
+ * weight bytes), the paged KV cache (which sets the achievable batch
+ * under the 80 GB budget), the continuous-batching scheduler, and the
+ * GEMM cost model (per-step latency). Throughput is measured by
+ * simulating full prefill+decode generations, step by step, through
+ * the real scheduler — exactly the quantity the paper's end-to-end
+ * evaluation reports.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comet/gpusim/cost_model.h"
+#include "comet/gpusim/gpu_spec.h"
+#include "comet/model/llm_config.h"
+
+namespace comet {
+
+/** The serving configurations compared in Figures 10-12 and 15. */
+enum class ServingMode {
+    kTrtFp16 = 0,      ///< TRT-LLM FP16 (W16A16, FP16 KV)
+    kTrtW4A16,         ///< TRT-LLM weight-only INT4 (FP16 KV)
+    kTrtW8A8,          ///< TRT-LLM SmoothQuant (INT8 KV)
+    kQserveW4A8Kv4,    ///< QServe (W4A8, INT4 KV)
+    kCometW4AxKv4,     ///< COMET, full configuration
+    kCometW4AxOnly,    ///< ablation: W4Ax GEMMs, FP16 KV (Figure 15)
+    kCometKv4Only,     ///< ablation: FP16 GEMMs, INT4 KV (Figure 15)
+};
+
+/** Display name matching the paper's legends. */
+const char *servingModeName(ServingMode mode);
+
+/** Precision profile a serving mode implies. */
+struct ServingPrecision {
+    double weight_bits = 16.0;
+    double kv_bits = 16.0;
+    GemmKernelKind gemm_kind = GemmKernelKind::kCublasW16A16;
+};
+
+/** Resolves the precision profile of a mode. */
+ServingPrecision servingPrecision(ServingMode mode);
+
+/** Engine construction parameters. */
+struct EngineConfig {
+    LlmConfig model;
+    ServingMode mode = ServingMode::kCometW4AxKv4;
+    GpuSpec gpu = GpuSpec::a100Sxm480G();
+    CostModelCalibration calibration{};
+    /** Workload shape. */
+    int64_t input_tokens = 1024;
+    int64_t output_tokens = 512;
+    /** Hard batch cap (the paper's systems cap at 256). */
+    int64_t max_batch = 256;
+    /** Fraction of HBM usable for weights + KV (the rest holds
+     * activations, workspace and runtime). */
+    double usable_memory_fraction = 0.90;
+    /** KV page size in tokens. */
+    int64_t kv_block_tokens = 16;
+    /** When > 0, trace replay processes prompts in chunks of this
+     * many tokens, interleaved with decode iterations of the running
+     * batch (Sarathi-Serve-style chunked prefill; the scheduling
+     * integration the paper's Section 7 points at). 0 = stall-free
+     * whole-prompt prefill. */
+    int64_t chunked_prefill_tokens = 0;
+    /** Tensor-parallel degree (Megatron-style sharding): weights, KV
+     * heads and GEMM extents split across this many identical GPUs;
+     * two ring all-reduces per decoder layer join the partial sums.
+     * The paper serves on a single GPU (degree 1, the default); the
+     * extension quantifies COMET's one-GPU-vs-many-GPU value. */
+    int tensor_parallel = 1;
+};
+
+/** Outcome of a throughput measurement. */
+struct ThroughputResult {
+    double tokens_per_second = 0.0;  ///< generated tokens / wall time
+    int64_t batch = 0;               ///< steady-state batch size
+    double decode_step_us = 0.0;     ///< mean decode iteration latency
+    double prefill_us = 0.0;         ///< per-sequence prefill latency
+    double kv_bytes_per_seq = 0.0;
+};
+
+/**
+ * The serving engine / performance simulator.
+ */
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(EngineConfig config);
+
+    const EngineConfig &config() const { return config_; }
+
+    /** Bytes of weight storage at this mode's precision, per GPU
+     * (total divided by the tensor-parallel degree). */
+    double weightBytes() const;
+
+    /** Per-decode-step all-reduce time across the TP group,
+     * microseconds (0 at degree 1). */
+    double allReduceLatencyUs(int64_t m_tokens) const;
+
+    /** Bytes of KV budget left after weights. Fails (returns 0) when
+     * the weights alone exceed usable memory. */
+    double kvBudgetBytes() const;
+
+    /** Largest batch the KV budget admits for the configured
+     * input+output length (capped at max_batch); 0 when the model
+     * does not fit at all. */
+    int64_t maxBatchSize() const;
+
+    /** Latency of one decode iteration at the given batch and mean
+     * context length, microseconds. */
+    double decodeStepLatencyUs(int64_t batch,
+                               int64_t context_tokens) const;
+
+    /** Latency of one sequence's prefill at the given batch,
+     * microseconds (per-iteration, the batch prefills together). */
+    double prefillLatencyUs(int64_t batch) const;
+
+    /** GEMM-only latency of processing @p m_tokens tokens through one
+     * decode step's linear layers (exposed for chunked prefill). */
+    double gemmLatencyUs(int64_t m_tokens) const;
+
+    /** Memory-bound attention time for @p batch sequences with mean
+     * context @p context_tokens (exposed for chunked prefill). */
+    double attentionReadLatencyUs(int64_t batch,
+                                  int64_t context_tokens) const;
+
+    /**
+     * Simulates serving `batches * batch` requests of the configured
+     * shape through the continuous-batching scheduler and returns the
+     * steady-state throughput at the engine's maximum batch size.
+     */
+    ThroughputResult measureThroughput() const;
+
+    /** Throughput when the batch is pinned to @p batch (Figure 11). */
+    ThroughputResult measureThroughputAtBatch(int64_t batch) const;
+
+  private:
+    /** Sum of kernel latencies of all decoder-layer GEMMs plus the
+     * attention and LM-head contributions for one step. */
+    double stepGemmLatencyUs(int64_t m_tokens) const;
+
+    /** Memory-bound attention (act-act) time for one decode step. */
+    double attentionLatencyUs(int64_t batch,
+                              int64_t context_tokens) const;
+
+    EngineConfig config_;
+    ServingPrecision precision_;
+    GemmCostModel cost_model_;
+    CometKernelFeatures comet_features_;
+};
+
+} // namespace comet

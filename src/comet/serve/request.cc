@@ -1,0 +1,16 @@
+#include "comet/serve/request.h"
+
+namespace comet {
+
+const char *
+requestStateName(RequestState state)
+{
+    switch (state) {
+      case RequestState::kQueued: return "queued";
+      case RequestState::kRunning: return "running";
+      case RequestState::kFinished: return "finished";
+    }
+    return "?";
+}
+
+} // namespace comet

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Serving request abstraction.
+ *
+ * A request carries a prompt length and a generation target; the batch
+ * scheduler moves it through queued -> running -> finished as the
+ * continuous-batching loop admits it and generates its tokens.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace comet {
+
+/** Lifecycle of a request inside the engine. */
+enum class RequestState {
+    kQueued = 0,
+    kRunning,
+    kFinished,
+};
+
+/** Returns "queued" / "running" / "finished". */
+const char *requestStateName(RequestState state);
+
+/** One generation request. */
+struct Request {
+    int64_t id = 0;
+    int64_t prompt_tokens = 0;
+    int64_t max_output_tokens = 0;
+    int64_t generated_tokens = 0;
+    RequestState state = RequestState::kQueued;
+
+    /** Context length currently attended over. */
+    int64_t
+    contextTokens() const
+    {
+        return prompt_tokens + generated_tokens;
+    }
+
+    bool
+    done() const
+    {
+        return generated_tokens >= max_output_tokens;
+    }
+};
+
+} // namespace comet

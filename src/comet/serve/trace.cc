@@ -1,0 +1,250 @@
+#include "comet/serve/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "comet/common/stats.h"
+#include "comet/kvcache/kv_cache.h"
+
+namespace comet {
+
+namespace {
+
+/** Geometric-ish length around a mean, clamped to [16, 4 * mean]. */
+int64_t
+sampleLength(Rng &rng, int64_t mean)
+{
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double value = -std::log(u) * static_cast<double>(mean);
+    return std::clamp<int64_t>(static_cast<int64_t>(value), 16,
+                               4 * mean);
+}
+
+} // namespace
+
+std::vector<TracedRequest>
+generateTrace(const TraceConfig &config)
+{
+    COMET_CHECK(config.request_rate_per_s > 0.0);
+    COMET_CHECK(config.num_requests > 0);
+    Rng rng(config.seed);
+    std::vector<TracedRequest> trace;
+    trace.reserve(static_cast<size_t>(config.num_requests));
+    double clock_us = 0.0;
+    for (int i = 0; i < config.num_requests; ++i) {
+        // Exponential inter-arrival gaps (Poisson process).
+        const double u = std::max(rng.uniform(), 1e-12);
+        clock_us += -std::log(u) / config.request_rate_per_s * 1e6;
+        TracedRequest request;
+        request.id = i;
+        request.arrival_us = clock_us;
+        request.prompt_tokens =
+            sampleLength(rng, config.mean_prompt_tokens);
+        request.output_tokens =
+            sampleLength(rng, config.mean_output_tokens);
+        trace.push_back(request);
+    }
+    return trace;
+}
+
+double
+TraceMetrics::ttftPercentileUs(double p) const
+{
+    std::vector<double> values;
+    values.reserve(per_request.size());
+    for (const RequestLatency &latency : per_request)
+        values.push_back(latency.ttft_us);
+    return exactPercentile(std::move(values), p);
+}
+
+double
+TraceMetrics::tpotPercentileUs(double p) const
+{
+    std::vector<double> values;
+    values.reserve(per_request.size());
+    for (const RequestLatency &latency : per_request)
+        values.push_back(latency.tpot_us);
+    return exactPercentile(std::move(values), p);
+}
+
+TraceMetrics
+replayTrace(const ServingEngine &engine,
+            const std::vector<TracedRequest> &trace)
+{
+    COMET_CHECK(!trace.empty());
+    const EngineConfig &config = engine.config();
+    const ServingPrecision precision =
+        servingPrecision(config.mode);
+    const int64_t chunk = config.chunked_prefill_tokens;
+
+    KvCacheConfig cache_config;
+    cache_config.bits_per_value = precision.kv_bits;
+    cache_config.block_tokens = config.kv_block_tokens;
+    cache_config.memory_budget_bytes =
+        std::max(engine.kvBudgetBytes(), 1.0);
+    PagedKvCache cache(config.model, cache_config);
+
+    struct Running {
+        TracedRequest request;
+        int64_t prefilled = 0; ///< prompt tokens processed so far
+        int64_t generated = 0;
+        double first_token_us = 0.0;
+
+        bool
+        decoding() const
+        {
+            return prefilled >= request.prompt_tokens;
+        }
+    };
+
+    std::deque<TracedRequest> pending(trace.begin(), trace.end());
+    std::vector<Running> running;
+    TraceMetrics metrics;
+    double clock_us = 0.0;
+    int64_t generated_total = 0;
+
+    while (!pending.empty() || !running.empty()) {
+        // Admit arrived requests while capacity lasts (FCFS,
+        // reserving full prompt+output like the engine scheduler).
+        int64_t reserved = 0;
+        for (const Running &r : running) {
+            reserved +=
+                cache.blocksForTokens(r.request.prompt_tokens +
+                                      r.request.output_tokens) -
+                cache.blocksForTokens(r.request.prompt_tokens +
+                                      r.generated);
+        }
+        int64_t admitted = 0;
+        while (!pending.empty() &&
+               pending.front().arrival_us <= clock_us &&
+               static_cast<int64_t>(running.size()) <
+                   config.max_batch) {
+            const TracedRequest &head = pending.front();
+            const int64_t need = cache.blocksForTokens(
+                head.prompt_tokens + head.output_tokens);
+            if (need + reserved > cache.freeBlocks())
+                break;
+            COMET_CHECK(cache
+                            .addSequence(head.id,
+                                         head.prompt_tokens)
+                            .isOk());
+            reserved +=
+                need - cache.blocksForTokens(head.prompt_tokens);
+            Running r;
+            r.request = head;
+            // Non-chunked mode: the whole prompt is processed as one
+            // blocking prefill at admission.
+            if (chunk <= 0)
+                r.prefilled = head.prompt_tokens;
+            running.push_back(r);
+            pending.pop_front();
+            ++admitted;
+        }
+        if (admitted > 0 && chunk <= 0)
+            clock_us += engine.prefillLatencyUs(admitted);
+
+        if (running.empty()) {
+            // Idle until the next arrival.
+            COMET_CHECK(!pending.empty());
+            clock_us =
+                std::max(clock_us, pending.front().arrival_us);
+            continue;
+        }
+
+        // --- One fused iteration ---
+        // Decode tokens for every decoding request, plus (in chunked
+        // mode) a budget of prompt tokens taken FCFS from prefilling
+        // requests and piggybacked onto the same GEMM launches.
+        int64_t decode_batch = 0;
+        double context_sum = 0.0;
+        for (const Running &r : running) {
+            if (r.decoding()) {
+                ++decode_batch;
+                context_sum += static_cast<double>(
+                    r.request.prompt_tokens + r.generated);
+            }
+        }
+        int64_t chunk_tokens = 0;
+        double chunk_attention_us = 0.0;
+        if (chunk > 0) {
+            int64_t budget = chunk;
+            for (Running &r : running) {
+                if (budget <= 0)
+                    break;
+                if (r.decoding())
+                    continue;
+                const int64_t take = std::min(
+                    budget, r.request.prompt_tokens - r.prefilled);
+                r.prefilled += take;
+                budget -= take;
+                chunk_tokens += take;
+                // The chunk attends over this request's growing
+                // prefix (memory-bound read of its partial cache).
+                chunk_attention_us += engine.attentionReadLatencyUs(
+                    1, std::max<int64_t>(r.prefilled, 1));
+            }
+        }
+
+        double step_us = 0.0;
+        const int64_t gemm_tokens = decode_batch + chunk_tokens;
+        if (gemm_tokens > 0)
+            step_us += engine.gemmLatencyUs(gemm_tokens);
+        if (decode_batch > 0) {
+            step_us += engine.attentionReadLatencyUs(
+                decode_batch,
+                static_cast<int64_t>(
+                    context_sum /
+                    static_cast<double>(decode_batch)));
+        }
+        step_us += chunk_attention_us;
+        if (gemm_tokens == 0) {
+            // Nothing to do (should not happen, defensive).
+            clock_us += 1.0;
+            continue;
+        }
+        clock_us += step_us;
+
+        // Advance decoding requests by one token each.
+        std::vector<Running> still_running;
+        still_running.reserve(running.size());
+        for (Running &r : running) {
+            if (!r.decoding()) {
+                still_running.push_back(std::move(r));
+                continue;
+            }
+            COMET_CHECK(cache.appendToken(r.request.id).isOk());
+            ++r.generated;
+            ++generated_total;
+            if (r.generated == 1)
+                r.first_token_us = clock_us;
+            if (r.generated >= r.request.output_tokens) {
+                cache.removeSequence(r.request.id);
+                RequestLatency latency;
+                latency.id = r.request.id;
+                latency.output_tokens = r.generated;
+                latency.ttft_us =
+                    r.first_token_us - r.request.arrival_us;
+                latency.total_us = clock_us - r.request.arrival_us;
+                latency.tpot_us =
+                    r.generated > 1
+                        ? (clock_us - r.first_token_us) /
+                              static_cast<double>(r.generated - 1)
+                        : 0.0;
+                metrics.per_request.push_back(latency);
+            } else {
+                still_running.push_back(std::move(r));
+            }
+        }
+        running = std::move(still_running);
+    }
+
+    metrics.makespan_us = clock_us;
+    metrics.throughput_tokens_per_s =
+        clock_us > 0.0 ? static_cast<double>(generated_total) /
+                             (clock_us * 1e-6)
+                       : 0.0;
+    return metrics;
+}
+
+} // namespace comet

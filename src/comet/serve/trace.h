@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Request-trace workloads and latency metrics for the serving engine.
+ *
+ * The paper's end-to-end numbers are steady-state max-throughput runs;
+ * production serving additionally cares about time-to-first-token
+ * (TTFT) and time-per-output-token (TPOT) under bursty arrivals — the
+ * scheduling-integration direction Section 7 points at (Sarathi-Serve,
+ * DistServe). This module adds that dimension: a Poisson arrival
+ * generator with length distributions, a trace-driven simulation loop
+ * over the engine's step model, and percentile latency metrics.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/common/rng.h"
+#include "comet/serve/engine.h"
+
+namespace comet {
+
+/** One request arrival in a workload trace. */
+struct TracedRequest {
+    int64_t id = 0;
+    double arrival_us = 0.0;
+    int64_t prompt_tokens = 0;
+    int64_t output_tokens = 0;
+};
+
+/** Parameters of the synthetic arrival process. */
+struct TraceConfig {
+    double request_rate_per_s = 2.0; ///< Poisson arrival rate
+    int num_requests = 64;
+    int64_t mean_prompt_tokens = 512;
+    int64_t mean_output_tokens = 128;
+    /** Lengths are geometric-ish around the means, clamped to
+     * [16, 4 * mean]. */
+    uint64_t seed = 1;
+};
+
+/** Samples a trace (arrivals sorted by time). */
+std::vector<TracedRequest> generateTrace(const TraceConfig &config);
+
+/** Completed-request latency record. */
+struct RequestLatency {
+    int64_t id = 0;
+    double ttft_us = 0.0;      ///< arrival -> first output token
+    double tpot_us = 0.0;      ///< mean time per subsequent token
+    double total_us = 0.0;     ///< arrival -> completion
+    int64_t output_tokens = 0;
+};
+
+/** Aggregate latency metrics of a trace run. */
+struct TraceMetrics {
+    std::vector<RequestLatency> per_request;
+    double makespan_us = 0.0;
+    double throughput_tokens_per_s = 0.0;
+
+    /** Percentile over per-request TTFT (p in [0, 100]). */
+    double ttftPercentileUs(double p) const;
+
+    /** Percentile over per-request TPOT. */
+    double tpotPercentileUs(double p) const;
+};
+
+/**
+ * Replays a trace through the serving engine: a discrete-event loop
+ * where each iteration admits newly arrived requests (subject to KV
+ * capacity and the batch cap), then advances every running request by
+ * one token at the engine's modeled step latency.
+ */
+TraceMetrics replayTrace(const ServingEngine &engine,
+                         const std::vector<TracedRequest> &trace);
+
+} // namespace comet

@@ -1,0 +1,94 @@
+#include "comet/tensor/packed.h"
+
+namespace comet {
+
+Int4Tensor::Int4Tensor(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols)
+{
+    COMET_CHECK(rows > 0 && cols > 0);
+    COMET_CHECK_MSG(cols % 2 == 0, "Int4Tensor requires an even column "
+                                   "count (two nibbles per byte)");
+    data_.assign(static_cast<size_t>(rows_ * rowBytes()), 0);
+}
+
+int8_t
+Int4Tensor::get(int64_t r, int64_t c) const
+{
+    COMET_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    const uint8_t byte = data_[static_cast<size_t>(r * rowBytes() + c / 2)];
+    const uint8_t nibble = (c % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+    // Sign-extend the 4-bit two's-complement value.
+    return static_cast<int8_t>(nibble >= 8 ? static_cast<int>(nibble) - 16
+                                           : static_cast<int>(nibble));
+}
+
+void
+Int4Tensor::set(int64_t r, int64_t c, int8_t v)
+{
+    COMET_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    COMET_CHECK_MSG(v >= -8 && v <= 7, "value outside INT4 range");
+    const uint8_t nibble = static_cast<uint8_t>(v) & 0x0f;
+    uint8_t &byte = data_[static_cast<size_t>(r * rowBytes() + c / 2)];
+    if (c % 2 == 0)
+        byte = static_cast<uint8_t>((byte & 0xf0) | nibble);
+    else
+        byte = static_cast<uint8_t>((byte & 0x0f) | (nibble << 4));
+}
+
+uint32_t
+Int4Tensor::loadWord(int64_t r, int64_t c) const
+{
+    COMET_CHECK(r >= 0 && r < rows_ && c >= 0 && c + 8 <= cols_);
+    COMET_CHECK_MSG(c % 8 == 0, "word loads must be 8-element aligned");
+    const size_t base = static_cast<size_t>(r * rowBytes() + c / 2);
+    uint32_t word = 0;
+    for (int i = 3; i >= 0; --i)
+        word = (word << 8) | data_[base + static_cast<size_t>(i)];
+    return word;
+}
+
+void
+Int4Tensor::storeWord(int64_t r, int64_t c, uint32_t word)
+{
+    COMET_CHECK(r >= 0 && r < rows_ && c >= 0 && c + 8 <= cols_);
+    COMET_CHECK_MSG(c % 8 == 0, "word stores must be 8-element aligned");
+    const size_t base = static_cast<size_t>(r * rowBytes() + c / 2);
+    for (int i = 0; i < 4; ++i)
+        data_[base + static_cast<size_t>(i)] =
+            static_cast<uint8_t>(word >> (8 * i));
+}
+
+Int8Tensor::Int8Tensor(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols)
+{
+    COMET_CHECK(rows > 0 && cols > 0);
+    data_.assign(static_cast<size_t>(rows_ * cols_), 0);
+}
+
+uint32_t
+Int8Tensor::loadWord(int64_t r, int64_t c) const
+{
+    COMET_CHECK(r >= 0 && r < rows_ && c >= 0 && c + 4 <= cols_);
+    COMET_CHECK_MSG(c % 4 == 0, "word loads must be 4-element aligned");
+    const size_t base = static_cast<size_t>(r * cols_ + c);
+    uint32_t word = 0;
+    for (int i = 3; i >= 0; --i) {
+        word = (word << 8) |
+               static_cast<uint8_t>(data_[base + static_cast<size_t>(i)]);
+    }
+    return word;
+}
+
+void
+Int8Tensor::storeWord(int64_t r, int64_t c, uint32_t word)
+{
+    COMET_CHECK(r >= 0 && r < rows_ && c >= 0 && c + 4 <= cols_);
+    COMET_CHECK_MSG(c % 4 == 0, "word stores must be 4-element aligned");
+    const size_t base = static_cast<size_t>(r * cols_ + c);
+    for (int i = 0; i < 4; ++i) {
+        data_[base + static_cast<size_t>(i)] =
+            static_cast<int8_t>(word >> (8 * i));
+    }
+}
+
+} // namespace comet

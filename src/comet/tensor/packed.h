@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Packed low-precision tensor storage.
+ *
+ * COMET's kernel operates on INT4 and INT8 data exactly as it is laid out
+ * on the GPU: INT4 values are packed two-per-byte (eight per 32-bit
+ * register word), INT8 values one-per-byte. These types store the packed
+ * bytes plus the logical 2-D extent, so layout transformations such as
+ * weight interleaving (Section 4.3 of the paper) can be expressed as real
+ * byte-level operations and verified bit-exactly.
+ *
+ * Conventions:
+ *  - INT4 values are signed, range [-8, 7], two's complement in a nibble.
+ *  - Within a byte, the element with the lower column index occupies the
+ *    low nibble (little-endian nibble order), matching CUDA's sub-byte
+ *    packing.
+ *  - Rows are padded to a whole number of bytes; columns must be even for
+ *    Int4Tensor to keep addressing simple (all COMET tiles satisfy this).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comet/common/status.h"
+
+namespace comet {
+
+/** Clamps a signed integer to the INT4 range [-8, 7]. */
+inline int8_t
+clampInt4(int32_t v)
+{
+    if (v < -8)
+        return -8;
+    if (v > 7)
+        return 7;
+    return static_cast<int8_t>(v);
+}
+
+/** Clamps a signed integer to the INT8 range [-128, 127]. */
+inline int8_t
+clampInt8(int32_t v)
+{
+    if (v < -128)
+        return -128;
+    if (v > 127)
+        return 127;
+    return static_cast<int8_t>(v);
+}
+
+/**
+ * Row-major 2-D tensor of signed INT4 values, packed two per byte.
+ */
+class Int4Tensor
+{
+  public:
+    /** Creates a zero-filled tensor. @pre cols is even. */
+    Int4Tensor(int64_t rows, int64_t cols);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+
+    /** Reads the element at (r, c), sign-extended to int8. */
+    int8_t get(int64_t r, int64_t c) const;
+
+    /** Writes @p v (must already be in [-8, 7]) at (r, c). */
+    void set(int64_t r, int64_t c, int8_t v);
+
+    /** Bytes of packed storage for one row. */
+    int64_t rowBytes() const { return cols_ / 2; }
+
+    /** Raw packed bytes, rows() * rowBytes() long. @{ */
+    const uint8_t *data() const { return data_.data(); }
+    uint8_t *data() { return data_.data(); }
+    /** @} */
+
+    /** Reads 8 consecutive INT4 values starting at column @p c of row
+     * @p r as one packed 32-bit register word. @pre c % 8 == 0. */
+    uint32_t loadWord(int64_t r, int64_t c) const;
+
+    /** Stores a packed register word (8 INT4 values) at (r, c).
+     * @pre c % 8 == 0. */
+    void storeWord(int64_t r, int64_t c, uint32_t word);
+
+  private:
+    int64_t rows_;
+    int64_t cols_;
+    std::vector<uint8_t> data_;
+};
+
+/**
+ * Row-major 2-D tensor of signed INT8 values.
+ */
+class Int8Tensor
+{
+  public:
+    /** Creates a zero-filled tensor. */
+    Int8Tensor(int64_t rows, int64_t cols);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+
+    int8_t
+    get(int64_t r, int64_t c) const
+    {
+        return data_[checkedIndex(r, c)];
+    }
+
+    void
+    set(int64_t r, int64_t c, int8_t v)
+    {
+        data_[checkedIndex(r, c)] = v;
+    }
+
+    /** Raw storage, rows() * cols() bytes. @{ */
+    const int8_t *data() const { return data_.data(); }
+    int8_t *data() { return data_.data(); }
+    /** @} */
+
+    /** Reads 4 consecutive INT8 values starting at column @p c of row
+     * @p r as one packed 32-bit register word (little-endian byte
+     * order). @pre c % 4 == 0. */
+    uint32_t loadWord(int64_t r, int64_t c) const;
+
+    /** Stores a packed register word (4 INT8 values) at (r, c).
+     * @pre c % 4 == 0. */
+    void storeWord(int64_t r, int64_t c, uint32_t word);
+
+  private:
+    size_t
+    checkedIndex(int64_t r, int64_t c) const
+    {
+        COMET_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return static_cast<size_t>(r * cols_ + c);
+    }
+
+    int64_t rows_;
+    int64_t cols_;
+    std::vector<int8_t> data_;
+};
+
+} // namespace comet

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the continuous-batching scheduler.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/serve/batch_scheduler.h"
+
+namespace comet {
+namespace {
+
+PagedKvCache
+makeCache(double budget_gb)
+{
+    KvCacheConfig config;
+    config.bits_per_value = 16.0;
+    config.block_tokens = 16;
+    config.memory_budget_bytes = budget_gb * 1e9;
+    return PagedKvCache(LlmConfig::llama3_8b(), config);
+}
+
+Request
+makeRequest(int64_t id, int64_t prompt, int64_t output)
+{
+    Request request;
+    request.id = id;
+    request.prompt_tokens = prompt;
+    request.max_output_tokens = output;
+    return request;
+}
+
+TEST(RequestState, Names)
+{
+    EXPECT_STREQ(requestStateName(RequestState::kQueued), "queued");
+    EXPECT_STREQ(requestStateName(RequestState::kRunning), "running");
+    EXPECT_STREQ(requestStateName(RequestState::kFinished),
+                 "finished");
+}
+
+TEST(Request, ContextAndDone)
+{
+    Request request = makeRequest(1, 100, 10);
+    EXPECT_EQ(request.contextTokens(), 100);
+    EXPECT_FALSE(request.done());
+    request.generated_tokens = 10;
+    EXPECT_TRUE(request.done());
+    EXPECT_EQ(request.contextTokens(), 110);
+}
+
+TEST(BatchScheduler, AdmitsUpToMaxBatch)
+{
+    PagedKvCache cache = makeCache(10.0);
+    BatchSchedulerConfig config;
+    config.max_batch = 3;
+    BatchScheduler scheduler(&cache, config);
+    for (int64_t i = 0; i < 5; ++i)
+        scheduler.submit(makeRequest(i, 32, 8));
+    EXPECT_EQ(scheduler.admit(), 3);
+    EXPECT_EQ(scheduler.runningCount(), 3);
+    EXPECT_EQ(scheduler.queuedCount(), 2);
+}
+
+TEST(BatchScheduler, StepGeneratesAndRetires)
+{
+    PagedKvCache cache = makeCache(10.0);
+    BatchScheduler scheduler(&cache);
+    scheduler.submit(makeRequest(1, 16, 2));
+    scheduler.submit(makeRequest(2, 16, 3));
+    scheduler.admit();
+    EXPECT_EQ(scheduler.step(), 2);
+    EXPECT_EQ(scheduler.finishedCount(), 0);
+    EXPECT_EQ(scheduler.step(), 2); // request 1 finishes here
+    EXPECT_EQ(scheduler.finishedCount(), 1);
+    EXPECT_EQ(scheduler.runningCount(), 1);
+    EXPECT_EQ(scheduler.step(), 1);
+    EXPECT_TRUE(scheduler.idle());
+    EXPECT_EQ(scheduler.finishedCount(), 2);
+}
+
+TEST(BatchScheduler, FinishedRequestsFreeKvBlocks)
+{
+    PagedKvCache cache = makeCache(10.0);
+    BatchScheduler scheduler(&cache);
+    scheduler.submit(makeRequest(1, 64, 1));
+    scheduler.admit();
+    EXPECT_LT(cache.freeBlocks(), cache.totalBlocks());
+    scheduler.step();
+    EXPECT_EQ(cache.freeBlocks(), cache.totalBlocks());
+}
+
+TEST(BatchScheduler, AdmissionReservesDecodeHeadroom)
+{
+    // A pool that can hold the prompts of two sequences but not their
+    // full generations must only admit one.
+    KvCacheConfig config;
+    config.bits_per_value = 16.0;
+    config.block_tokens = 16;
+    config.memory_budget_bytes = 0.0; // set below
+    const LlmConfig model = LlmConfig::llama3_8b();
+    // Size the pool to exactly 10 blocks.
+    PagedKvCache probe(model, [&] {
+        KvCacheConfig c = config;
+        c.memory_budget_bytes = 1e9;
+        return c;
+    }());
+    config.memory_budget_bytes = probe.blockBytes() * 10;
+    PagedKvCache cache(model, config);
+    ASSERT_EQ(cache.totalBlocks(), 10);
+
+    BatchScheduler scheduler(&cache);
+    // Each request needs 2 prompt blocks + 4 more while decoding.
+    scheduler.submit(makeRequest(1, 32, 64));
+    scheduler.submit(makeRequest(2, 32, 64));
+    EXPECT_EQ(scheduler.admit(), 1);
+
+    // Decode to completion never exhausts the pool.
+    while (!scheduler.idle()) {
+        scheduler.admit();
+        if (scheduler.runningCount() == 0)
+            break;
+        scheduler.step();
+    }
+    EXPECT_EQ(scheduler.finishedCount(), 2);
+}
+
+TEST(BatchScheduler, FcfsDoesNotSkipTheHead)
+{
+    PagedKvCache cache = makeCache(10.0);
+    const int64_t huge_tokens = cache.totalBlocks() * 16 * 2;
+    BatchScheduler scheduler(&cache);
+    scheduler.submit(makeRequest(1, huge_tokens, 1)); // never fits
+    scheduler.submit(makeRequest(2, 16, 1));          // would fit
+    EXPECT_EQ(scheduler.admit(), 0);
+    EXPECT_EQ(scheduler.queuedCount(), 2);
+}
+
+TEST(BatchScheduler, ContinuousAdmissionAfterRetirement)
+{
+    PagedKvCache cache = makeCache(10.0);
+    BatchSchedulerConfig config;
+    config.max_batch = 1;
+    BatchScheduler scheduler(&cache, config);
+    scheduler.submit(makeRequest(1, 16, 1));
+    scheduler.submit(makeRequest(2, 16, 1));
+    EXPECT_EQ(scheduler.admit(), 1);
+    scheduler.step(); // request 1 finishes
+    EXPECT_EQ(scheduler.admit(), 1);
+    scheduler.step();
+    EXPECT_TRUE(scheduler.idle());
+    EXPECT_EQ(scheduler.finishedCount(), 2);
+}
+
+TEST(BatchSchedulerDeathTest, InvalidSubmissions)
+{
+    PagedKvCache cache = makeCache(1.0);
+    BatchScheduler scheduler(&cache);
+    Request bad = makeRequest(1, 0, 4);
+    EXPECT_DEATH(scheduler.submit(bad), "CHECK failed");
+    Request running = makeRequest(2, 4, 4);
+    running.state = RequestState::kRunning;
+    EXPECT_DEATH(scheduler.submit(running), "CHECK failed");
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for INT4->INT8 conversion — correctness of both paths,
+ * the x16 zero-extension factor, and the instruction-count claims of
+ * paper Section 4.3.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/convert.h"
+#include "comet/kernel/int4_pack.h"
+
+namespace comet {
+namespace {
+
+std::array<int8_t, 8>
+randomInt4(Rng &rng)
+{
+    std::array<int8_t, 8> values{};
+    for (auto &v : values) {
+        v = static_cast<int8_t>(static_cast<int>(rng.uniformInt(16)) -
+                                8);
+    }
+    return values;
+}
+
+TEST(NaiveConvert, ProducesTrueValues)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto values = randomInt4(rng);
+        const ConvertedPair pair =
+            naiveInt4ToInt8(packInt4x8(values));
+        const auto lo = unpackInt8x4(pair.lo);
+        const auto hi = unpackInt8x4(pair.hi);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(lo[static_cast<size_t>(i)],
+                      values[static_cast<size_t>(i)]);
+            EXPECT_EQ(hi[static_cast<size_t>(i)],
+                      values[static_cast<size_t>(i + 4)]);
+        }
+    }
+}
+
+TEST(LocationSwitch, IsSelfInverse)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 100; ++trial) {
+        const uint32_t word = static_cast<uint32_t>(rng.nextU64());
+        EXPECT_EQ(locationSwitchInverse(locationSwitch(word)), word);
+        EXPECT_EQ(locationSwitch(locationSwitchInverse(word)), word);
+    }
+}
+
+TEST(FastConvert, ProducesSixteenTimesValues)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto values = randomInt4(rng);
+        const uint32_t switched =
+            locationSwitch(packInt4x8(values));
+        const ConvertedPair pair = fastInt4ToInt8(switched);
+        const auto lo = unpackInt8x4(pair.lo);
+        const auto hi = unpackInt8x4(pair.hi);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(lo[static_cast<size_t>(i)],
+                      kFastConvMultiplier *
+                          values[static_cast<size_t>(i)]);
+            EXPECT_EQ(hi[static_cast<size_t>(i)],
+                      kFastConvMultiplier *
+                          values[static_cast<size_t>(i + 4)]);
+        }
+    }
+}
+
+TEST(FastConvert, ZeroExtensionSignHandling)
+{
+    // The critical property: placing a negative nibble in the high
+    // half of a byte yields exactly 16x the signed value.
+    std::array<int8_t, 8> values{-8, -1, 7, 0, -4, 3, -7, 1};
+    const ConvertedPair pair =
+        fastInt4ToInt8(locationSwitch(packInt4x8(values)));
+    const auto lo = unpackInt8x4(pair.lo);
+    EXPECT_EQ(lo[0], -128); // 16 * -8
+    EXPECT_EQ(lo[1], -16);  // 16 * -1
+    EXPECT_EQ(lo[2], 112);  // 16 * 7
+    EXPECT_EQ(lo[3], 0);
+}
+
+TEST(InstructionCount, FastIsAtMostThreePerRegister)
+{
+    InstructionCounter counter;
+    fastInt4ToInt8(0x12345678u, &counter);
+    EXPECT_LE(counter.count(), 3);
+    EXPECT_GE(counter.count(), 2); // paper: "2 instructions"
+}
+
+TEST(InstructionCount, NaiveIsAboutTenPerValue)
+{
+    InstructionCounter counter;
+    naiveInt4ToInt8(0x12345678u, &counter);
+    // 8 values per register word, ~10 instructions each.
+    EXPECT_GE(counter.count(), 8 * 8);
+    EXPECT_LE(counter.count(), 8 * 12);
+}
+
+TEST(InstructionCount, FastAtLeastTenTimesCheaper)
+{
+    InstructionCounter naive_counter, fast_counter;
+    naiveInt4ToInt8(0xdeadbeefu, &naive_counter);
+    fastInt4ToInt8(0xdeadbeefu, &fast_counter);
+    EXPECT_GE(naive_counter.count(), 10 * fast_counter.count());
+}
+
+TEST(InstructionCounter, ResetsAndAccumulates)
+{
+    InstructionCounter counter;
+    counter.add(5);
+    counter.add(3);
+    EXPECT_EQ(counter.count(), 8);
+    counter.reset();
+    EXPECT_EQ(counter.count(), 0);
+}
+
+TEST(Convert, PathsAgreeUpToScale)
+{
+    // fast(switch(w)) == 16 * naive(w), lane for lane.
+    Rng rng(4);
+    for (int trial = 0; trial < 100; ++trial) {
+        const uint32_t word =
+            packInt4x8(randomInt4(rng));
+        const ConvertedPair naive = naiveInt4ToInt8(word);
+        const ConvertedPair fast =
+            fastInt4ToInt8(locationSwitch(word));
+        const auto nl = unpackInt8x4(naive.lo);
+        const auto fl = unpackInt8x4(fast.lo);
+        const auto nh = unpackInt8x4(naive.hi);
+        const auto fh = unpackInt8x4(fast.hi);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(static_cast<int>(fl[static_cast<size_t>(i)]),
+                      16 * nl[static_cast<size_t>(i)]);
+            EXPECT_EQ(static_cast<int>(fh[static_cast<size_t>(i)]),
+                      16 * nh[static_cast<size_t>(i)]);
+        }
+    }
+}
+
+} // namespace
+} // namespace comet

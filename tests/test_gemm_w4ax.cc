@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Unit and integration tests for the COMET-W4Ax mixed-precision GEMM:
+ * bit-exact agreement with the dequantized reference, the ablation
+ * path, and the execution statistics.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/gemm_ref.h"
+#include "comet/kernel/gemm_w4ax.h"
+#include "comet/model/synthetic.h"
+
+namespace comet {
+namespace {
+
+struct W4AxFixture {
+    FmpqActivationQuantizer quantizer;
+    MixedQuantizedActivation activation;
+    BlockQuantizedWeight weight;
+    Tensor x;
+    Tensor w;
+};
+
+W4AxFixture
+makeFixture(int64_t tokens, int64_t out_features, int64_t channels,
+          int64_t block_size, uint64_t seed)
+{
+    Rng rng(seed);
+    SyntheticActivationConfig act_config;
+    act_config.channels = channels;
+    act_config.outlier_fraction = 0.03;
+    act_config.outlier_scale = 30.0;
+    act_config.seed = seed + 1;
+    const SyntheticActivationModel model(act_config);
+
+    FmpqConfig fmpq_config;
+    fmpq_config.block_size = block_size;
+    const Tensor calib = model.sample(64, rng);
+    auto quantizer =
+        FmpqActivationQuantizer::calibrate(calib, fmpq_config);
+
+    Tensor x = model.sample(tokens, rng);
+    Tensor w = sampleWeights(out_features, channels, rng);
+    auto activation = quantizer.quantize(x);
+    auto weight = quantizer.quantizeWeight(w);
+    return {std::move(quantizer), std::move(activation),
+            std::move(weight), std::move(x), std::move(w)};
+}
+
+TEST(W4AxGemm, MatchesDequantizedReference)
+{
+    W4AxFixture s = makeFixture(8, 16, 128, 32, 1);
+    W4AxGemmConfig config;
+    config.tile_m = 4;
+    config.tile_n = 8;
+    config.tile_k = 32;
+    const W4AxGemm gemm(s.weight, s.quantizer.blockPrecisions(),
+                        config);
+    const Tensor out = gemm.run(s.activation);
+    const Tensor reference =
+        gemmW4AxReference(s.activation, s.weight);
+    EXPECT_LT(relativeError(reference, out), 1e-5);
+}
+
+TEST(W4AxGemm, MixedBlocksActuallyPresent)
+{
+    W4AxFixture s = makeFixture(8, 16, 128, 32, 2);
+    int int4 = 0, int8 = 0;
+    for (BlockPrecision p : s.quantizer.blockPrecisions())
+        (p == BlockPrecision::kInt4 ? int4 : int8) += 1;
+    ASSERT_GT(int4, 0) << "fixture must exercise the W4A4 path";
+    ASSERT_GT(int8, 0) << "fixture must exercise the W4A8 path";
+}
+
+TEST(W4AxGemm, ApproximatesFloatGemm)
+{
+    W4AxFixture s = makeFixture(16, 24, 128, 32, 3);
+    W4AxGemmConfig config;
+    config.tile_m = 16;
+    config.tile_n = 16;
+    config.tile_k = 32;
+    const W4AxGemm gemm(s.weight, s.quantizer.blockPrecisions(),
+                        config);
+    const Tensor out = gemm.run(s.activation);
+    const Tensor reference = gemmFloat(s.x, s.w);
+    // End-to-end quantization error, not emulation error.
+    EXPECT_LT(relativeError(reference, out), 0.25);
+}
+
+TEST(W4AxGemm, NaiveConversionIsNumericallyIdentical)
+{
+    W4AxFixture s = makeFixture(8, 16, 128, 32, 4);
+    W4AxGemmConfig fast;
+    fast.tile_m = 8;
+    fast.tile_n = 8;
+    fast.tile_k = 32;
+    W4AxGemmConfig naive = fast;
+    naive.use_fast_conversion = false;
+
+    const W4AxGemm gemm_fast(s.weight, s.quantizer.blockPrecisions(),
+                             fast);
+    const W4AxGemm gemm_naive(s.weight, s.quantizer.blockPrecisions(),
+                              naive);
+    const Tensor out_fast = gemm_fast.run(s.activation);
+    const Tensor out_naive = gemm_naive.run(s.activation);
+    EXPECT_LT(maxAbsError(out_fast, out_naive), 1e-4);
+}
+
+TEST(W4AxGemm, StatsCountTilesAndInstructions)
+{
+    W4AxFixture s = makeFixture(8, 16, 128, 32, 5);
+    W4AxGemmConfig config;
+    config.tile_m = 8;
+    config.tile_n = 8;
+    config.tile_k = 32;
+    const W4AxGemm gemm(s.weight, s.quantizer.blockPrecisions(),
+                        config);
+    W4AxGemmStats stats;
+    gemm.run(s.activation, &stats);
+
+    int int8_blocks = 0;
+    for (BlockPrecision p : s.quantizer.blockPrecisions())
+        int8_blocks += p == BlockPrecision::kInt8 ? 1 : 0;
+    const int64_t mn_tiles = (8 / 8) * (16 / 8);
+    EXPECT_EQ(stats.int8_tiles, mn_tiles * int8_blocks);
+    EXPECT_EQ(stats.int4_tiles,
+              mn_tiles * (4 - int8_blocks));
+    EXPECT_GT(stats.conversion_instructions, 0);
+    EXPECT_EQ(stats.int4_mac_ops + stats.int8_mac_ops,
+              8LL * 16 * 128);
+}
+
+TEST(W4AxGemm, FastConversionUsesFarFewerInstructions)
+{
+    W4AxFixture s = makeFixture(8, 16, 128, 32, 6);
+    W4AxGemmConfig fast;
+    fast.tile_m = 8;
+    fast.tile_n = 8;
+    fast.tile_k = 32;
+    W4AxGemmConfig naive = fast;
+    naive.use_fast_conversion = false;
+
+    W4AxGemmStats fast_stats, naive_stats;
+    W4AxGemm(s.weight, s.quantizer.blockPrecisions(), fast)
+        .run(s.activation, &fast_stats);
+    W4AxGemm(s.weight, s.quantizer.blockPrecisions(), naive)
+        .run(s.activation, &naive_stats);
+    EXPECT_GT(naive_stats.conversion_instructions,
+              5 * fast_stats.conversion_instructions);
+}
+
+TEST(W4AxGemm, PartialEdgeTiles)
+{
+    // M not a multiple of tile_m exercises the edge-tile handling.
+    W4AxFixture s = makeFixture(5, 12, 64, 32, 7);
+    W4AxGemmConfig config;
+    config.tile_m = 4;
+    config.tile_n = 8;
+    config.tile_k = 32;
+    const W4AxGemm gemm(s.weight, s.quantizer.blockPrecisions(),
+                        config);
+    const Tensor out = gemm.run(s.activation);
+    const Tensor reference =
+        gemmW4AxReference(s.activation, s.weight);
+    EXPECT_LT(relativeError(reference, out), 1e-5);
+}
+
+TEST(W4AxGemmDeathTest, MismatchedPrecisionMapRejected)
+{
+    W4AxFixture s = makeFixture(4, 8, 64, 32, 8);
+    std::vector<BlockPrecision> wrong(1, BlockPrecision::kInt4);
+    EXPECT_DEATH(W4AxGemm(s.weight, wrong), "one entry per k block");
+}
+
+TEST(W4AxGemmDeathTest, TileKMustDivideBlock)
+{
+    W4AxFixture s = makeFixture(4, 8, 64, 32, 9);
+    W4AxGemmConfig config;
+    config.tile_k = 48;
+    EXPECT_DEATH(
+        W4AxGemm(s.weight, s.quantizer.blockPrecisions(), config),
+        "tile_k");
+}
+
+/** Property sweep across GEMM extents: the packed kernel always
+ * matches its dequantized reference. */
+struct SweepParam {
+    int64_t tokens;
+    int64_t out_features;
+    int64_t channels;
+};
+
+class W4AxShapeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(W4AxShapeSweep, BitExactAgainstReference)
+{
+    const SweepParam param = GetParam();
+    W4AxFixture s = makeFixture(param.tokens, param.out_features,
+                        param.channels, 32,
+                        static_cast<uint64_t>(param.tokens * 131 +
+                                              param.channels));
+    W4AxGemmConfig config;
+    config.tile_m = 8;
+    config.tile_n = 8;
+    config.tile_k = 32;
+    const W4AxGemm gemm(s.weight, s.quantizer.blockPrecisions(),
+                        config);
+    const Tensor out = gemm.run(s.activation);
+    const Tensor reference =
+        gemmW4AxReference(s.activation, s.weight);
+    EXPECT_LT(relativeError(reference, out), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, W4AxShapeSweep,
+    ::testing::Values(SweepParam{1, 8, 64}, SweepParam{3, 24, 96},
+                      SweepParam{16, 16, 128}, SweepParam{9, 17, 160},
+                      SweepParam{32, 8, 256}));
+
+TEST(W4AxGemm, MultithreadedRunIsBitIdentical)
+{
+    W4AxFixture s = makeFixture(16, 40, 128, 32, 10);
+    W4AxGemmConfig serial;
+    serial.tile_m = 8;
+    serial.tile_n = 8;
+    serial.tile_k = 32;
+    W4AxGemmConfig parallel = serial;
+    parallel.threads = 4;
+
+    W4AxGemmStats serial_stats, parallel_stats;
+    const Tensor a = W4AxGemm(s.weight, s.quantizer.blockPrecisions(),
+                              serial)
+                         .run(s.activation, &serial_stats);
+    const Tensor b = W4AxGemm(s.weight, s.quantizer.blockPrecisions(),
+                              parallel)
+                         .run(s.activation, &parallel_stats);
+    EXPECT_DOUBLE_EQ(maxAbsError(a, b), 0.0);
+    EXPECT_EQ(serial_stats.int4_tiles, parallel_stats.int4_tiles);
+    EXPECT_EQ(serial_stats.int8_tiles, parallel_stats.int8_tiles);
+    EXPECT_EQ(serial_stats.int4_mac_ops, parallel_stats.int4_mac_ops);
+    EXPECT_EQ(serial_stats.conversion_instructions,
+              parallel_stats.conversion_instructions);
+}
+
+TEST(W4AxGemm, MoreThreadsThanTilesStillCorrect)
+{
+    W4AxFixture s = makeFixture(4, 8, 64, 32, 11);
+    W4AxGemmConfig config;
+    config.tile_m = 4;
+    config.tile_n = 8;
+    config.tile_k = 32;
+    config.threads = 16; // only 1 n-tile exists
+    const W4AxGemm gemm(s.weight, s.quantizer.blockPrecisions(),
+                        config);
+    const Tensor out = gemm.run(s.activation);
+    EXPECT_LT(relativeError(gemmW4AxReference(s.activation, s.weight),
+                            out),
+              1e-5);
+}
+
+/** Fuzz: arbitrary (non-calibrated) permutations and precision maps
+ * through fromParts must still produce a packed GEMM that matches its
+ * dequantized reference bit-for-bit. */
+class W4AxFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(W4AxFuzz, RandomLayoutsStayExact)
+{
+    const auto seed = static_cast<uint64_t>(GetParam());
+    Rng rng(seed * 7919 + 13);
+    const int64_t channels = 64 * (1 + static_cast<int64_t>(
+                                           rng.uniformInt(3)));
+    const int64_t block = 32;
+    const int64_t tokens = 1 + static_cast<int64_t>(rng.uniformInt(20));
+    const int64_t out_features =
+        8 + static_cast<int64_t>(rng.uniformInt(24));
+
+    // Random bijection + random precisions.
+    std::vector<int64_t> order(static_cast<size_t>(channels));
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int64_t>(i);
+    rng.shuffle(order);
+    std::vector<BlockPrecision> precisions;
+    for (int64_t b = 0; b < channels / block; ++b) {
+        precisions.push_back(rng.uniform() < 0.5
+                                 ? BlockPrecision::kInt4
+                                 : BlockPrecision::kInt8);
+    }
+    FmpqConfig config;
+    config.block_size = block;
+    auto quantizer = FmpqActivationQuantizer::fromParts(
+        config, ChannelPermutation(std::move(order)),
+        std::move(precisions));
+
+    Tensor x(tokens, channels);
+    Tensor w(out_features, channels);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian(0, 3));
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w[i] = static_cast<float>(rng.gaussian(0, 0.2));
+
+    const auto qa = quantizer.quantize(x);
+    const auto qw = quantizer.quantizeWeight(w);
+    W4AxGemmConfig kernel_config;
+    kernel_config.tile_m = 8;
+    kernel_config.tile_n = 16;
+    kernel_config.tile_k = 32;
+    kernel_config.threads = 1 + static_cast<int>(seed % 3);
+    const W4AxGemm gemm(qw, quantizer.blockPrecisions(),
+                        kernel_config);
+    EXPECT_LT(relativeError(gemmW4AxReference(qa, qw),
+                            gemm.run(qa)),
+              1e-5)
+        << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, W4AxFuzz, ::testing::Range(0, 10));
+
+} // namespace
+} // namespace comet
+
+

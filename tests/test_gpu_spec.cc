@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for the GPU spec (paper Section 2.3 numbers).
+ */
+#include <gtest/gtest.h>
+
+#include "comet/gpusim/gpu_spec.h"
+
+namespace comet {
+namespace {
+
+TEST(GpuSpec, A100NumbersMatchPaper)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    EXPECT_EQ(spec.num_sms, 108);
+    EXPECT_DOUBLE_EQ(spec.hbm_capacity_bytes, 80.0e9);
+    EXPECT_DOUBLE_EQ(spec.hbm_bandwidth, 2.0e12);
+    EXPECT_DOUBLE_EQ(spec.fp16_tensor_ops, 312.0e12);
+    EXPECT_DOUBLE_EQ(spec.int8_tensor_ops, 624.0e12);
+    EXPECT_DOUBLE_EQ(spec.int4_tensor_ops, 1248.0e12);
+}
+
+TEST(GpuSpec, PrecisionDoublingLadder)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    EXPECT_DOUBLE_EQ(spec.int8_tensor_ops, 2.0 * spec.fp16_tensor_ops);
+    EXPECT_DOUBLE_EQ(spec.int4_tensor_ops, 2.0 * spec.int8_tensor_ops);
+}
+
+TEST(GpuSpec, CudaCoresThirtyTwoTimesSlowerThanInt8)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    EXPECT_NEAR(spec.int8_tensor_ops / spec.cuda_core_ops, 32.0, 1e-9);
+}
+
+TEST(GpuSpec, TensorOpsDispatch)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    EXPECT_DOUBLE_EQ(spec.tensorOps(4), spec.int4_tensor_ops);
+    EXPECT_DOUBLE_EQ(spec.tensorOps(8), spec.int8_tensor_ops);
+    EXPECT_DOUBLE_EQ(spec.tensorOps(16), spec.fp16_tensor_ops);
+}
+
+TEST(GpuSpecDeathTest, UnsupportedPrecision)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    EXPECT_DEATH(spec.tensorOps(2), "unsupported");
+}
+
+} // namespace
+} // namespace comet

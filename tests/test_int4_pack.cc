@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for register-word packing and the dp4a/dp8a4 emulation.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/int4_pack.h"
+
+namespace comet {
+namespace {
+
+TEST(PackInt4, RoundTripAllValues)
+{
+    const std::array<int8_t, 8> values{-8, -1, 0, 1, 7, -5, 3, -2};
+    const uint32_t word = packInt4x8(values);
+    EXPECT_EQ(unpackInt4x8(word), values);
+}
+
+TEST(PackInt4, NibbleOrderLittleEndian)
+{
+    std::array<int8_t, 8> values{};
+    values[0] = 5;
+    EXPECT_EQ(packInt4x8(values) & 0xfu, 5u);
+    values[0] = 0;
+    values[7] = -1; // 0xF in the top nibble
+    EXPECT_EQ(packInt4x8(values) >> 28, 0xfu);
+}
+
+TEST(PackInt8, RoundTripExtremes)
+{
+    const std::array<int8_t, 4> values{-128, 127, -1, 0};
+    EXPECT_EQ(unpackInt8x4(packInt8x4(values)), values);
+}
+
+TEST(Dp4a, MatchesScalarDotProduct)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::array<int8_t, 4> a{}, b{};
+        int32_t expected = 0;
+        for (int i = 0; i < 4; ++i) {
+            a[static_cast<size_t>(i)] = static_cast<int8_t>(
+                static_cast<int>(rng.uniformInt(256)) - 128);
+            b[static_cast<size_t>(i)] = static_cast<int8_t>(
+                static_cast<int>(rng.uniformInt(256)) - 128);
+            expected += static_cast<int32_t>(a[static_cast<size_t>(i)]) *
+                        b[static_cast<size_t>(i)];
+        }
+        const int32_t acc0 = static_cast<int32_t>(
+            static_cast<int64_t>(rng.uniformInt(1000)) - 500);
+        EXPECT_EQ(dp4a(packInt8x4(a), packInt8x4(b), acc0),
+                  expected + acc0);
+    }
+}
+
+TEST(Dp8a4, MatchesScalarDotProduct)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::array<int8_t, 8> a{}, b{};
+        int32_t expected = 0;
+        for (int i = 0; i < 8; ++i) {
+            a[static_cast<size_t>(i)] = static_cast<int8_t>(
+                static_cast<int>(rng.uniformInt(16)) - 8);
+            b[static_cast<size_t>(i)] = static_cast<int8_t>(
+                static_cast<int>(rng.uniformInt(16)) - 8);
+            expected += static_cast<int32_t>(a[static_cast<size_t>(i)]) *
+                        b[static_cast<size_t>(i)];
+        }
+        EXPECT_EQ(dp8a4(packInt4x8(a), packInt4x8(b), 0), expected);
+    }
+}
+
+TEST(Dp4a, AccumulatorChains)
+{
+    const std::array<int8_t, 4> ones{1, 1, 1, 1};
+    const uint32_t w = packInt8x4(ones);
+    int32_t acc = 0;
+    for (int i = 0; i < 10; ++i)
+        acc = dp4a(w, w, acc);
+    EXPECT_EQ(acc, 40);
+}
+
+TEST(Dp8a4, ExtremeValuesDoNotOverflow)
+{
+    // 8 * (-8 * -8) = 512 per call; far below INT32 limits even when
+    // chained over a full 128-deep k block.
+    const std::array<int8_t, 8> min_vals{-8, -8, -8, -8, -8, -8, -8,
+                                         -8};
+    const uint32_t w = packInt4x8(min_vals);
+    int32_t acc = 0;
+    for (int i = 0; i < 16; ++i)
+        acc = dp8a4(w, w, acc);
+    EXPECT_EQ(acc, 16 * 8 * 64);
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cross-module integration tests: the full FMPQ -> packed layout ->
+ * W4Ax kernel path against float references, and algorithm/system
+ * consistency checks spanning quant, kernel, gpusim and serve.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/rng.h"
+#include "comet/gpusim/kernel_sim.h"
+#include "comet/kernel/gemm_ref.h"
+#include "comet/kernel/gemm_w4ax.h"
+#include "comet/model/layer_shapes.h"
+#include "comet/model/synthetic.h"
+#include "comet/serve/engine.h"
+
+namespace comet {
+namespace {
+
+TEST(Integration, FullQuantizeComputePath)
+{
+    // Calibrate FMPQ on synthetic LLM-like activations, quantize a
+    // linear layer for real (packed nibbles, interleaved W4A8 layout,
+    // fast conversion), run the emulated kernel, and confirm the
+    // result approximates the float GEMM with INT4-level error while
+    // matching the dequantized reference bit-for-bit.
+    Rng rng(1);
+    SyntheticActivationConfig act_config;
+    act_config.channels = 256;
+    act_config.outlier_fraction = 0.02;
+    act_config.outlier_scale = 35.0;
+    act_config.seed = 2;
+    const SyntheticActivationModel activations(act_config);
+
+    FmpqConfig fmpq_config;
+    fmpq_config.block_size = 64;
+    const Tensor calib = activations.sample(128, rng);
+    const auto quantizer =
+        FmpqActivationQuantizer::calibrate(calib, fmpq_config);
+
+    const Tensor x = activations.sample(24, rng);
+    const Tensor w = sampleWeights(32, 256, rng);
+    const auto qa = quantizer.quantize(x);
+    const auto qw = quantizer.quantizeWeight(w);
+
+    W4AxGemmConfig kernel_config;
+    kernel_config.tile_m = 16;
+    kernel_config.tile_n = 16;
+    kernel_config.tile_k = 64;
+    const W4AxGemm kernel(qw, quantizer.blockPrecisions(),
+                          kernel_config);
+    W4AxGemmStats stats;
+    const Tensor out = kernel.run(qa, &stats);
+
+    EXPECT_LT(relativeError(gemmW4AxReference(qa, qw), out), 1e-5);
+    EXPECT_LT(relativeError(gemmFloat(x, w), out), 0.3);
+    EXPECT_GT(stats.w4a4TileFraction(), 0.5);
+}
+
+TEST(Integration, FmpqBeatsNaiveInt4OnLayerOutput)
+{
+    // The algorithm-level claim behind Table 1, measured at a single
+    // layer: mixed-precision activations preserve the GEMM output far
+    // better than uniform INT4.
+    Rng rng(3);
+    SyntheticActivationConfig act_config;
+    act_config.channels = 256;
+    act_config.outlier_fraction = 0.02;
+    act_config.seed = 4;
+    const SyntheticActivationModel activations(act_config);
+    const Tensor calib = activations.sample(128, rng);
+    FmpqConfig fmpq_config;
+    fmpq_config.block_size = 64;
+    const auto quantizer =
+        FmpqActivationQuantizer::calibrate(calib, fmpq_config);
+
+    const Tensor x = activations.sample(16, rng);
+    const Tensor w = sampleWeights(32, 256, rng);
+    const Tensor reference = gemmFloat(x, w);
+
+    const Tensor fmpq_out =
+        gemmFloat(quantizer.fakeQuantize(x), w);
+    const Tensor naive_out = gemmFloat(fakeQuantPerRow(x, 4), w);
+    EXPECT_LT(relativeError(reference, fmpq_out) * 2.0,
+              relativeError(reference, naive_out));
+}
+
+TEST(Integration, KernelStatsMatchSchedulerInputs)
+{
+    // The W4A4 fraction the emulated kernel observes equals the
+    // fraction the cost model's scheduler is configured with.
+    Rng rng(5);
+    SyntheticActivationConfig act_config;
+    act_config.channels = 512;
+    act_config.outlier_fraction = 0.01;
+    act_config.seed = 6;
+    const SyntheticActivationModel activations(act_config);
+    const Tensor calib = activations.sample(64, rng);
+    FmpqConfig fmpq_config;
+    fmpq_config.block_size = 128;
+    const auto quantizer =
+        FmpqActivationQuantizer::calibrate(calib, fmpq_config);
+
+    const Tensor x = activations.sample(8, rng);
+    const Tensor w = sampleWeights(16, 512, rng);
+    const auto qa = quantizer.quantize(x);
+    const auto qw = quantizer.quantizeWeight(w);
+    W4AxGemmConfig kernel_config;
+    kernel_config.tile_m = 8;
+    kernel_config.tile_n = 16;
+    kernel_config.tile_k = 128;
+    W4AxGemmStats stats;
+    W4AxGemm(qw, quantizer.blockPrecisions(), kernel_config)
+        .run(qa, &stats);
+    EXPECT_DOUBLE_EQ(stats.w4a4TileFraction(),
+                     quantizer.int4BlockFraction());
+}
+
+TEST(Integration, LayerShapesDriveKernelSimulator)
+{
+    // Every decoder GEMM of every paper model is accepted by the
+    // cost model and keeps the COMET-beats-cuBLAS property at decode
+    // batch 16.
+    const KernelSimulator sim;
+    for (const LlmConfig &model : LlmConfig::paperModels()) {
+        for (const LayerGemm &gemm : decoderLayerGemms(model, 16)) {
+            const double cublas = sim.latencyUs(
+                gemm.shape, GemmKernelKind::kCublasW16A16);
+            const double comet = sim.latencyUs(
+                gemm.shape, GemmKernelKind::kCometW4Ax);
+            EXPECT_GT(cublas, comet)
+                << model.name << " " << gemm.name;
+        }
+    }
+}
+
+TEST(Integration, EndToEndSpeedupInPaperBallpark)
+{
+    // COMET vs TRT-LLM-W4A16 at 1024/512 across mid-size models:
+    // the paper reports 2.02x on average; accept a generous band.
+    double ratio_sum = 0.0;
+    int count = 0;
+    for (const char *name :
+         {"LLaMA-3-8B", "LLaMA-2-13B", "Mistral-7B"}) {
+        EngineConfig base;
+        base.model = LlmConfig::byName(name);
+        base.input_tokens = 1024;
+        base.output_tokens = 512;
+        base.mode = ServingMode::kTrtW4A16;
+        const double baseline = ServingEngine(base)
+                                    .measureThroughput()
+                                    .tokens_per_second;
+        base.mode = ServingMode::kCometW4AxKv4;
+        const double comet = ServingEngine(base)
+                                 .measureThroughput()
+                                 .tokens_per_second;
+        ASSERT_GT(baseline, 0.0) << name;
+        ratio_sum += comet / baseline;
+        ++count;
+    }
+    const double mean_ratio = ratio_sum / count;
+    EXPECT_GT(mean_ratio, 1.3);
+    EXPECT_LT(mean_ratio, 4.0);
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the kernel simulator facade and ablation variant
+ * sets.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/gpusim/kernel_sim.h"
+
+namespace comet {
+namespace {
+
+TEST(KernelSim, SpeedupDefinition)
+{
+    const KernelSimulator sim;
+    const GemmShape shape{64, 8192, 8192};
+    const double cublas =
+        sim.latencyUs(shape, GemmKernelKind::kCublasW16A16);
+    const double comet =
+        sim.latencyUs(shape, GemmKernelKind::kCometW4Ax);
+    EXPECT_NEAR(sim.speedup(shape, GemmKernelKind::kCublasW16A16,
+                            GemmKernelKind::kCometW4Ax),
+                cublas / comet, 1e-9);
+}
+
+TEST(KernelSim, Figure13VariantsCoverEachFeature)
+{
+    const auto variants = figure13Variants();
+    ASSERT_EQ(variants.size(), 4u);
+    EXPECT_TRUE(variants[0].features.software_pipeline);
+    EXPECT_FALSE(variants[1].features.software_pipeline);
+    EXPECT_FALSE(variants[2].features.weight_interleaving);
+    EXPECT_FALSE(variants[3].features.fast_conversion);
+}
+
+TEST(KernelSim, Figure14VariantsFollowTheLadder)
+{
+    const auto variants = figure14Variants();
+    ASSERT_EQ(variants.size(), 4u);
+    EXPECT_EQ(variants[0].features.scheduling,
+              SchedulingStrategy::kNaiveSync);
+    EXPECT_EQ(variants[1].features.scheduling,
+              SchedulingStrategy::kBarrierMinimized);
+    EXPECT_EQ(variants[2].features.scheduling,
+              SchedulingStrategy::kTileRemapping);
+    EXPECT_EQ(variants[3].features.scheduling,
+              SchedulingStrategy::kTaskStealing);
+}
+
+TEST(KernelSim, FullVariantIsFastestOfFigure13)
+{
+    const KernelSimulator sim;
+    const GemmShape shape{64, 8192, 8192};
+    const auto variants = figure13Variants();
+    const double full = sim.variantLatencyUs(shape, variants[0]);
+    for (size_t i = 1; i < variants.size(); ++i) {
+        EXPECT_GT(sim.variantLatencyUs(shape, variants[i]), full)
+            << variants[i].name;
+    }
+}
+
+TEST(KernelSim, Figure14LadderImprovesMonotonically)
+{
+    const KernelSimulator sim;
+    const GemmShape shape{256, 8192, 8192};
+    const auto variants = figure14Variants();
+    double previous = 1e30;
+    for (const auto &variant : variants) {
+        const double t = sim.variantLatencyUs(shape, variant);
+        EXPECT_LE(t, previous + 1e-9) << variant.name;
+        previous = t;
+    }
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the paged KV cache — block math, admission, and the
+ * precision/capacity relationship that drives Figure 15.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/kvcache/kv_cache.h"
+
+namespace comet {
+namespace {
+
+KvCacheConfig
+makeConfig(double bits, double budget_gb)
+{
+    KvCacheConfig config;
+    config.bits_per_value = bits;
+    config.block_tokens = 16;
+    config.memory_budget_bytes = budget_gb * 1e9;
+    return config;
+}
+
+TEST(PagedKvCache, BlockBytesMatchGeometry)
+{
+    const LlmConfig model = LlmConfig::llama3_8b();
+    const PagedKvCache cache(model, makeConfig(16.0, 10.0));
+    // 2 * 32 layers * 8 heads * 128 dim * 16 tokens * 2 bytes.
+    EXPECT_DOUBLE_EQ(cache.blockBytes(),
+                     2.0 * 32 * 8 * 128 * 16 * 2.0);
+}
+
+TEST(PagedKvCache, QuantizedBlocksAreSmaller)
+{
+    const LlmConfig model = LlmConfig::llama3_8b();
+    const PagedKvCache fp16(model, makeConfig(16.0, 10.0));
+    const PagedKvCache int4(model, makeConfig(4.0, 10.0));
+    // INT4 + metadata is a bit over 1/4 the FP16 block size.
+    EXPECT_LT(int4.blockBytes(), fp16.blockBytes() / 3.0);
+    EXPECT_GT(int4.totalBlocks(), fp16.totalBlocks() * 3);
+}
+
+TEST(PagedKvCache, BlocksForTokensRoundsUp)
+{
+    const LlmConfig model = LlmConfig::llama3_8b();
+    const PagedKvCache cache(model, makeConfig(16.0, 10.0));
+    EXPECT_EQ(cache.blocksForTokens(1), 1);
+    EXPECT_EQ(cache.blocksForTokens(16), 1);
+    EXPECT_EQ(cache.blocksForTokens(17), 2);
+}
+
+TEST(PagedKvCache, AddAppendRemoveLifecycle)
+{
+    const LlmConfig model = LlmConfig::llama3_8b();
+    PagedKvCache cache(model, makeConfig(16.0, 1.0));
+    ASSERT_TRUE(cache.addSequence(1, 30).isOk());
+    EXPECT_EQ(cache.sequenceTokens(1), 30);
+    const int64_t used_before = cache.totalBlocks() -
+                                cache.freeBlocks();
+    EXPECT_EQ(used_before, 2);
+
+    // Appending to 32 fills block 2; token 33 allocates block 3.
+    ASSERT_TRUE(cache.appendToken(1).isOk());
+    ASSERT_TRUE(cache.appendToken(1).isOk());
+    EXPECT_EQ(cache.totalBlocks() - cache.freeBlocks(), 2);
+    ASSERT_TRUE(cache.appendToken(1).isOk());
+    EXPECT_EQ(cache.totalBlocks() - cache.freeBlocks(), 3);
+
+    cache.removeSequence(1);
+    EXPECT_EQ(cache.freeBlocks(), cache.totalBlocks());
+}
+
+TEST(PagedKvCache, DuplicateSequenceRejected)
+{
+    PagedKvCache cache(LlmConfig::llama3_8b(),
+                       makeConfig(16.0, 1.0));
+    ASSERT_TRUE(cache.addSequence(7, 10).isOk());
+    const Status status = cache.addSequence(7, 10);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PagedKvCache, AdmissionFailsCleanlyWhenFull)
+{
+    const LlmConfig model = LlmConfig::llama3_8b();
+    KvCacheConfig config = makeConfig(16.0, 0.01); // tiny pool
+    PagedKvCache cache(model, config);
+    const int64_t capacity_tokens =
+        cache.totalBlocks() * 16;
+    const Status status =
+        cache.addSequence(1, capacity_tokens + 16);
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(cache.freeBlocks(), cache.totalBlocks()); // no leak
+}
+
+TEST(PagedKvCache, CanAdmitAgreesWithAddSequence)
+{
+    PagedKvCache cache(LlmConfig::llama3_8b(),
+                       makeConfig(16.0, 0.01));
+    const int64_t fit_tokens = cache.totalBlocks() * 16;
+    EXPECT_TRUE(cache.canAdmit(fit_tokens));
+    EXPECT_FALSE(cache.canAdmit(fit_tokens + 16));
+}
+
+TEST(PagedKvCache, Kv4QuadruplesTokenCapacityApproximately)
+{
+    // The end-to-end mechanism of Figure 15: 4-bit cache ~4x the
+    // sequences (slightly less due to scale metadata).
+    const LlmConfig model = LlmConfig::llama3_70b();
+    const PagedKvCache fp16(model, makeConfig(16.0, 40.0));
+    const PagedKvCache int4(model, makeConfig(4.0, 40.0));
+    const double ratio =
+        static_cast<double>(int4.totalBlocks()) /
+        static_cast<double>(fp16.totalBlocks());
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 4.1);
+}
+
+TEST(PagedKvCacheDeathTest, UnknownSequence)
+{
+    PagedKvCache cache(LlmConfig::llama3_8b(),
+                       makeConfig(16.0, 1.0));
+    EXPECT_DEATH(cache.sequenceTokens(99), "unknown");
+    EXPECT_DEATH(cache.removeSequence(99), "unknown");
+}
+
+TEST(PagedKvCache, ForkSharesFullBlocksCopyOnWrite)
+{
+    const LlmConfig model = LlmConfig::llama3_8b();
+    PagedKvCache cache(model, makeConfig(16.0, 1.0));
+    // 32 tokens = exactly 2 full blocks.
+    ASSERT_TRUE(cache.addSequence(1, 32).isOk());
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
+
+    ASSERT_TRUE(cache.forkSequence(1, 2).isOk());
+    // Both sequences see 2 blocks, but only 2 are physical.
+    EXPECT_EQ(cache.sequenceTokens(2), 32);
+    EXPECT_EQ(cache.logicalBlocksInUse(), 4);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
+
+    // Each side appends into a fresh private block.
+    ASSERT_TRUE(cache.appendToken(1).isOk());
+    ASSERT_TRUE(cache.appendToken(2).isOk());
+    EXPECT_EQ(cache.physicalBlocksInUse(), 4);
+
+    // Removing the parent keeps the shared blocks alive for the
+    // child.
+    cache.removeSequence(1);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 3);
+    cache.removeSequence(2);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 0);
+}
+
+TEST(PagedKvCache, ForkCopiesPartialTail)
+{
+    const LlmConfig model = LlmConfig::llama3_8b();
+    PagedKvCache cache(model, makeConfig(16.0, 1.0));
+    // 20 tokens = 1 full block + 1 partial block.
+    ASSERT_TRUE(cache.addSequence(1, 20).isOk());
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
+    ASSERT_TRUE(cache.forkSequence(1, 2).isOk());
+    // The full block is shared, the partial tail duplicated.
+    EXPECT_EQ(cache.physicalBlocksInUse(), 3);
+    EXPECT_EQ(cache.logicalBlocksInUse(), 4);
+}
+
+TEST(PagedKvCache, ForkErrorsAreClean)
+{
+    const LlmConfig model = LlmConfig::llama3_8b();
+    PagedKvCache cache(model, makeConfig(16.0, 1.0));
+    ASSERT_TRUE(cache.addSequence(1, 16).isOk());
+    EXPECT_EQ(cache.forkSequence(9, 10).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(cache.forkSequence(1, 1).code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(PagedKvCache, ManyForksShareOnePrompt)
+{
+    // Parallel sampling: n completions over one prompt cost one
+    // prompt's worth of physical blocks plus per-branch tails.
+    const LlmConfig model = LlmConfig::llama3_8b();
+    PagedKvCache cache(model, makeConfig(16.0, 1.0));
+    ASSERT_TRUE(cache.addSequence(0, 64).isOk()); // 4 full blocks
+    for (int64_t child = 1; child <= 8; ++child)
+        ASSERT_TRUE(cache.forkSequence(0, child).isOk());
+    EXPECT_EQ(cache.logicalBlocksInUse(), 9 * 4);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 4);
+}
+
+} // namespace
+} // namespace comet
+

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the KV-cache quantizer.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comet/common/rng.h"
+#include "comet/quant/kv_quant.h"
+
+namespace comet {
+namespace {
+
+Tensor
+makeKv(int64_t tokens, int64_t channels, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor kv(tokens, channels);
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (int64_t c = 0; c < channels; ++c) {
+            // Per-channel offsets emulate the post-RoPE structure: V
+            // has mild channel-dependent means.
+            kv.at(t, c) = static_cast<float>(
+                rng.gaussian(0.2 * static_cast<double>(c % 5), 1.0));
+        }
+    }
+    return kv;
+}
+
+TEST(KvQuant, FakeQuantErrorBoundedPerGroup)
+{
+    const Tensor kv = makeKv(100, 16, 1);
+    KvQuantConfig config;
+    config.bits = 4;
+    config.group_size = 32;
+    const KvCacheQuantizer quantizer(config);
+    const Tensor q = quantizer.fakeQuantize(kv);
+    // Per (channel, group) the error is bounded by the group's scale.
+    for (int64_t c = 0; c < 16; ++c) {
+        for (int64_t g0 = 0; g0 < 100; g0 += 32) {
+            const int64_t g1 = std::min<int64_t>(g0 + 32, 100);
+            float min_v = kv.at(g0, c), max_v = kv.at(g0, c);
+            for (int64_t t = g0; t < g1; ++t) {
+                min_v = std::min(min_v, kv.at(t, c));
+                max_v = std::max(max_v, kv.at(t, c));
+            }
+            const float scale = (max_v - min_v) / 15.0f;
+            for (int64_t t = g0; t < g1; ++t) {
+                EXPECT_LE(std::fabs(q.at(t, c) - kv.at(t, c)),
+                          scale + 1e-5f);
+            }
+        }
+    }
+}
+
+TEST(KvQuant, AsymmetricBeatsSymmetricOnShiftedData)
+{
+    // V-cache values with a strong positive mean favor affine
+    // quantization.
+    Rng rng(2);
+    Tensor kv(64, 8);
+    for (int64_t i = 0; i < kv.numel(); ++i)
+        kv[i] = static_cast<float>(rng.gaussian(3.0, 0.5));
+
+    KvQuantConfig asym{4, 64, true};
+    KvQuantConfig sym{4, 64, false};
+    const Tensor qa = KvCacheQuantizer(asym).fakeQuantize(kv);
+    const Tensor qs = KvCacheQuantizer(sym).fakeQuantize(kv);
+    EXPECT_LT(meanSquaredError(kv, qa), meanSquaredError(kv, qs));
+}
+
+TEST(KvQuant, PackedMatchesFakeQuant)
+{
+    const Tensor kv = makeKv(70, 12, 3); // partial trailing group
+    const KvCacheQuantizer quantizer(KvQuantConfig{4, 32, true});
+    const QuantizedKv packed = quantizer.quantize(kv);
+    EXPECT_EQ(packed.numGroups(), 3);
+    const Tensor deq = quantizer.dequantize(packed);
+    const Tensor fake = quantizer.fakeQuantize(kv);
+    EXPECT_LT(maxAbsError(deq, fake), 1e-5);
+}
+
+TEST(KvQuant, PackedValuesInRange)
+{
+    const Tensor kv = makeKv(32, 8, 4);
+    const KvCacheQuantizer quantizer(KvQuantConfig{4, 16, true});
+    const QuantizedKv packed = quantizer.quantize(kv);
+    for (int64_t t = 0; t < 32; ++t) {
+        for (int64_t c = 0; c < 8; ++c) {
+            EXPECT_GE(packed.data.get(t, c), -8);
+            EXPECT_LE(packed.data.get(t, c), 7);
+        }
+    }
+}
+
+TEST(KvQuant, ChannelwiseIsolatesHotChannel)
+{
+    // One hot channel must not destroy the precision of others —
+    // the reason the paper uses channel-wise KV quantization.
+    Rng rng(5);
+    Tensor kv(64, 4);
+    for (int64_t t = 0; t < 64; ++t) {
+        for (int64_t c = 0; c < 4; ++c)
+            kv.at(t, c) = static_cast<float>(rng.gaussian(0, 1));
+        kv.at(t, 0) *= 100.0f;
+    }
+    const KvCacheQuantizer quantizer(KvQuantConfig{4, 64, true});
+    const Tensor q = quantizer.fakeQuantize(kv);
+    double cold_mse = 0.0;
+    for (int64_t t = 0; t < 64; ++t) {
+        for (int64_t c = 1; c < 4; ++c) {
+            const double d = q.at(t, c) - kv.at(t, c);
+            cold_mse += d * d;
+        }
+    }
+    cold_mse /= 64.0 * 3.0;
+    EXPECT_LT(cold_mse, 0.05); // cold channels keep ~INT4 fidelity
+}
+
+TEST(KvQuant, HigherBitsLowerError)
+{
+    const Tensor kv = makeKv(128, 16, 6);
+    const Tensor q4 =
+        KvCacheQuantizer(KvQuantConfig{4, 64, true}).fakeQuantize(kv);
+    const Tensor q8 =
+        KvCacheQuantizer(KvQuantConfig{8, 64, true}).fakeQuantize(kv);
+    EXPECT_LT(meanSquaredError(kv, q8),
+              meanSquaredError(kv, q4) / 10.0);
+}
+
+TEST(KvQuantDeathTest, InvalidConfigRejected)
+{
+    EXPECT_DEATH(KvCacheQuantizer(KvQuantConfig{1, 64, true}),
+                 "CHECK failed");
+    EXPECT_DEATH(KvCacheQuantizer(KvQuantConfig{4, 0, true}),
+                 "CHECK failed");
+}
+
+/** Sweep: smaller groups track drifting statistics better. */
+class KvGroupSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(KvGroupSweep, ErrorDecreasesWithGroupSize)
+{
+    // Values drift over time (as a growing KV cache does).
+    Rng rng(7);
+    Tensor kv(256, 4);
+    for (int64_t t = 0; t < 256; ++t) {
+        for (int64_t c = 0; c < 4; ++c) {
+            kv.at(t, c) = static_cast<float>(
+                rng.gaussian(0, 1.0 + static_cast<double>(t) / 32.0));
+        }
+    }
+    const int64_t group = GetParam();
+    const double mse =
+        meanSquaredError(kv, KvCacheQuantizer(KvQuantConfig{4, group,
+                                                            true})
+                                 .fakeQuantize(kv));
+    const double mse_whole = meanSquaredError(
+        kv, KvCacheQuantizer(KvQuantConfig{4, 256, true})
+                .fakeQuantize(kv));
+    EXPECT_LE(mse, mse_whole * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, KvGroupSweep,
+                         ::testing::Values(16, 32, 64, 128));
+
+} // namespace
+} // namespace comet

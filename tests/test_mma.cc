@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the emulated tensor-core mma tiles, including the
+ * full W4A8 prepared-weight path.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/interleave.h"
+#include "comet/kernel/mma.h"
+
+namespace comet {
+namespace {
+
+Int8Tensor
+randomInt8(int64_t rows, int64_t cols, Rng &rng)
+{
+    Int8Tensor t(rows, cols);
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+            t.set(r, c,
+                  static_cast<int8_t>(
+                      static_cast<int>(rng.uniformInt(256)) - 128));
+        }
+    }
+    return t;
+}
+
+Int4Tensor
+randomInt4(int64_t rows, int64_t cols, Rng &rng)
+{
+    Int4Tensor t(rows, cols);
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+            t.set(r, c,
+                  static_cast<int8_t>(
+                      static_cast<int>(rng.uniformInt(16)) - 8));
+        }
+    }
+    return t;
+}
+
+template <typename TensorT>
+int64_t
+scalarDot(const TensorT &a, int64_t ar, const TensorT &b, int64_t br,
+          int64_t k0, int64_t k_len)
+{
+    int64_t sum = 0;
+    for (int64_t k = k0; k < k0 + k_len; ++k) {
+        sum += static_cast<int64_t>(a.get(ar, k)) * b.get(br, k);
+    }
+    return sum;
+}
+
+TEST(AccumTile, AccessAndReset)
+{
+    AccumTile tile(2, 3);
+    tile.at(1, 2) = 42;
+    EXPECT_EQ(tile.at(1, 2), 42);
+    tile.reset();
+    EXPECT_EQ(tile.at(1, 2), 0);
+}
+
+TEST(AccumTileDeathTest, BoundsChecked)
+{
+    AccumTile tile(2, 2);
+    EXPECT_DEATH(tile.at(2, 0), "CHECK failed");
+}
+
+TEST(MmaInt8, MatchesScalarReference)
+{
+    Rng rng(1);
+    const Int8Tensor a = randomInt8(4, 32, rng);
+    const Int8Tensor b = randomInt8(6, 32, rng);
+    AccumTile acc(4, 6);
+    mmaInt8(acc, a, 0, b, 0, 0, 32);
+    for (int64_t i = 0; i < 4; ++i) {
+        for (int64_t j = 0; j < 6; ++j)
+            EXPECT_EQ(acc.at(i, j), scalarDot(a, i, b, j, 0, 32));
+    }
+}
+
+TEST(MmaInt8, RespectsRowAndKOffsets)
+{
+    Rng rng(2);
+    const Int8Tensor a = randomInt8(8, 64, rng);
+    const Int8Tensor b = randomInt8(8, 64, rng);
+    AccumTile acc(2, 2);
+    mmaInt8(acc, a, 4, b, 2, 16, 32);
+    for (int64_t i = 0; i < 2; ++i) {
+        for (int64_t j = 0; j < 2; ++j) {
+            EXPECT_EQ(acc.at(i, j),
+                      scalarDot(a, 4 + i, b, 2 + j, 16, 32));
+        }
+    }
+}
+
+TEST(MmaInt8, AccumulatesAcrossCalls)
+{
+    Rng rng(3);
+    const Int8Tensor a = randomInt8(2, 64, rng);
+    const Int8Tensor b = randomInt8(2, 64, rng);
+    AccumTile split(2, 2), whole(2, 2);
+    mmaInt8(split, a, 0, b, 0, 0, 32);
+    mmaInt8(split, a, 0, b, 0, 32, 32);
+    mmaInt8(whole, a, 0, b, 0, 0, 64);
+    for (int64_t i = 0; i < 2; ++i) {
+        for (int64_t j = 0; j < 2; ++j)
+            EXPECT_EQ(split.at(i, j), whole.at(i, j));
+    }
+}
+
+TEST(MmaInt4, MatchesScalarReference)
+{
+    Rng rng(4);
+    const Int4Tensor a = randomInt4(4, 64, rng);
+    const Int4Tensor b = randomInt4(6, 64, rng);
+    AccumTile acc(4, 6);
+    mmaInt4(acc, a, 0, b, 0, 0, 64);
+    for (int64_t i = 0; i < 4; ++i) {
+        for (int64_t j = 0; j < 6; ++j)
+            EXPECT_EQ(acc.at(i, j), scalarDot(a, i, b, j, 0, 64));
+    }
+}
+
+TEST(MmaW4A8Prepared, MatchesScalarTimesSixteen)
+{
+    Rng rng(5);
+    const Int8Tensor a = randomInt8(4, 64, rng);
+    const Int4Tensor w = randomInt4(6, 64, rng);
+    const Int4Tensor prepared = prepareWeightsForW4A8(w);
+
+    AccumTile acc(4, 6);
+    mmaW4A8Prepared(acc, a, 0, prepared, 0, 0, 64);
+    for (int64_t i = 0; i < 4; ++i) {
+        for (int64_t j = 0; j < 6; ++j) {
+            int64_t expected = 0;
+            for (int64_t k = 0; k < 64; ++k) {
+                expected += static_cast<int64_t>(a.get(i, k)) *
+                            w.get(j, k);
+            }
+            EXPECT_EQ(acc.at(i, j), kFastConvMultiplier * expected)
+                << "(" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(MmaW4A8Prepared, CountsConversionInstructions)
+{
+    Rng rng(6);
+    const Int8Tensor a = randomInt8(2, 32, rng);
+    const Int4Tensor w = randomInt4(2, 32, rng);
+    const Int4Tensor prepared = prepareWeightsForW4A8(w);
+    InstructionCounter counter;
+    AccumTile acc(2, 2);
+    mmaW4A8Prepared(acc, a, 0, prepared, 0, 0, 32, &counter);
+    // 2 rows x 2 units x 2 words x <=3 instructions.
+    EXPECT_GT(counter.count(), 0);
+    EXPECT_LE(counter.count(), 2 * 2 * 2 * 3);
+}
+
+TEST(MmaW4A8Prepared, KOffsetWithinRow)
+{
+    Rng rng(7);
+    const Int8Tensor a = randomInt8(2, 96, rng);
+    const Int4Tensor w = randomInt4(2, 96, rng);
+    const Int4Tensor prepared = prepareWeightsForW4A8(w);
+    AccumTile acc(2, 2);
+    mmaW4A8Prepared(acc, a, 0, prepared, 0, 32, 48);
+    for (int64_t i = 0; i < 2; ++i) {
+        for (int64_t j = 0; j < 2; ++j) {
+            int64_t expected = 0;
+            for (int64_t k = 32; k < 80; ++k) {
+                expected += static_cast<int64_t>(a.get(i, k)) *
+                            w.get(j, k);
+            }
+            EXPECT_EQ(acc.at(i, j), 16 * expected);
+        }
+    }
+}
+
+TEST(MmaDeathTest, AlignmentEnforced)
+{
+    Rng rng(8);
+    const Int8Tensor a8 = randomInt8(2, 32, rng);
+    const Int4Tensor a4 = randomInt4(2, 32, rng);
+    AccumTile acc(2, 2);
+    EXPECT_DEATH(mmaInt8(acc, a8, 0, a8, 0, 2, 4), "CHECK failed");
+    EXPECT_DEATH(mmaInt4(acc, a4, 0, a4, 0, 4, 8), "CHECK failed");
+    EXPECT_DEATH(mmaW4A8Prepared(acc, a8, 0, a4, 0, 8, 16),
+                 "CHECK failed");
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for outlier-channel detection.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/rng.h"
+#include "comet/model/synthetic.h"
+#include "comet/quant/outlier.h"
+
+namespace comet {
+namespace {
+
+Tensor
+makeActivations(const std::vector<int64_t> &outliers, int64_t tokens,
+                int64_t channels, float scale, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor x(tokens, channels);
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (int64_t c = 0; c < channels; ++c)
+            x.at(t, c) = static_cast<float>(rng.gaussian(0, 1));
+    }
+    for (int64_t c : outliers) {
+        for (int64_t t = 0; t < tokens; ++t)
+            x.at(t, c) *= scale;
+    }
+    return x;
+}
+
+TEST(ChannelStats, ComputesPerChannelMax)
+{
+    Tensor x(2, 3);
+    x.at(0, 0) = 1.0f;
+    x.at(1, 0) = -4.0f;
+    x.at(0, 1) = 2.0f;
+    x.at(1, 2) = 0.5f;
+    const ChannelStats stats = computeChannelStats(x);
+    EXPECT_FLOAT_EQ(stats.abs_max[0], 4.0f);
+    EXPECT_FLOAT_EQ(stats.abs_max[1], 2.0f);
+    EXPECT_FLOAT_EQ(stats.abs_max[2], 0.5f);
+    EXPECT_FLOAT_EQ(stats.abs_mean[0], 2.5f);
+}
+
+TEST(ChannelStats, MedianIsRobustToFewOutliers)
+{
+    const Tensor x = makeActivations({0, 1}, 64, 100, 100.0f, 1);
+    const ChannelStats stats = computeChannelStats(x);
+    // Two outlier channels cannot move the median of 100 channels.
+    EXPECT_LT(stats.median_abs_max, 10.0f);
+}
+
+TEST(MergeChannelStats, TakesElementwiseMax)
+{
+    Tensor a(1, 2), b(1, 2);
+    a.at(0, 0) = 5.0f;
+    b.at(0, 1) = 7.0f;
+    const ChannelStats merged = mergeChannelStats(
+        {computeChannelStats(a), computeChannelStats(b)});
+    EXPECT_FLOAT_EQ(merged.abs_max[0], 5.0f);
+    EXPECT_FLOAT_EQ(merged.abs_max[1], 7.0f);
+}
+
+TEST(DetectOutliers, FindsPlantedChannels)
+{
+    const std::vector<int64_t> planted{3, 17, 42};
+    const Tensor x = makeActivations(planted, 128, 64, 50.0f, 2);
+    const OutlierReport report =
+        detectOutliers(computeChannelStats(x));
+    EXPECT_EQ(report.outlier_channels, planted);
+    for (int64_t c = 0; c < 64; ++c) {
+        const bool expected =
+            std::find(planted.begin(), planted.end(), c) !=
+            planted.end();
+        EXPECT_EQ(report.is_outlier[static_cast<size_t>(c)] != 0,
+                  expected)
+            << "channel " << c;
+    }
+}
+
+TEST(DetectOutliers, NoOutliersInUniformData)
+{
+    const Tensor x = makeActivations({}, 128, 64, 1.0f, 3);
+    const OutlierReport report =
+        detectOutliers(computeChannelStats(x));
+    EXPECT_TRUE(report.outlier_channels.empty());
+}
+
+TEST(DetectOutliers, ThresholdRatioControlsSensitivity)
+{
+    const Tensor x = makeActivations({5}, 128, 64, 8.0f, 4);
+    OutlierConfig loose;
+    loose.threshold_ratio = 3.0f;
+    OutlierConfig strict;
+    strict.threshold_ratio = 50.0f;
+    EXPECT_FALSE(detectOutliers(computeChannelStats(x), loose)
+                     .outlier_channels.empty());
+    EXPECT_TRUE(detectOutliers(computeChannelStats(x), strict)
+                    .outlier_channels.empty());
+}
+
+TEST(DetectOutliers, SyntheticModelChannelsRecovered)
+{
+    // End-to-end with the Figure 3 generator: the detector must
+    // recover exactly the planted channel set.
+    SyntheticActivationConfig config;
+    config.channels = 512;
+    config.outlier_fraction = 0.01;
+    config.outlier_scale = 40.0;
+    const SyntheticActivationModel model(config);
+    Rng rng(5);
+    const Tensor x = model.sample(256, rng);
+    const OutlierReport report =
+        detectOutliers(computeChannelStats(x));
+    EXPECT_EQ(report.outlier_channels, model.outlierChannels());
+}
+
+TEST(DetectOutliers, AllZeroCalibrationFlagsNothing)
+{
+    Tensor x(8, 16); // all zeros
+    const OutlierReport report =
+        detectOutliers(computeChannelStats(x));
+    EXPECT_TRUE(report.outlier_channels.empty());
+}
+
+} // namespace
+} // namespace comet

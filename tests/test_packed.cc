@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for packed INT4/INT8 tensors, including the full signed
+ * value ranges and register-word round trips.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/tensor/packed.h"
+
+namespace comet {
+namespace {
+
+TEST(ClampHelpers, Int4Range)
+{
+    EXPECT_EQ(clampInt4(-100), -8);
+    EXPECT_EQ(clampInt4(-8), -8);
+    EXPECT_EQ(clampInt4(0), 0);
+    EXPECT_EQ(clampInt4(7), 7);
+    EXPECT_EQ(clampInt4(100), 7);
+}
+
+TEST(ClampHelpers, Int8Range)
+{
+    EXPECT_EQ(clampInt8(-1000), -128);
+    EXPECT_EQ(clampInt8(127), 127);
+    EXPECT_EQ(clampInt8(1000), 127);
+}
+
+TEST(Int4Tensor, RoundTripsAllValues)
+{
+    Int4Tensor t(2, 16);
+    int8_t v = -8;
+    for (int64_t c = 0; c < 16; ++c) {
+        t.set(0, c, v);
+        v = static_cast<int8_t>(v == 7 ? -8 : v + 1);
+    }
+    v = -8;
+    for (int64_t c = 0; c < 16; ++c) {
+        EXPECT_EQ(t.get(0, c), v) << "column " << c;
+        v = static_cast<int8_t>(v == 7 ? -8 : v + 1);
+    }
+}
+
+TEST(Int4Tensor, NeighboringNibblesDoNotInterfere)
+{
+    Int4Tensor t(1, 4);
+    t.set(0, 0, -1); // 0xF nibble
+    t.set(0, 1, 3);
+    EXPECT_EQ(t.get(0, 0), -1);
+    EXPECT_EQ(t.get(0, 1), 3);
+    t.set(0, 0, 0);
+    EXPECT_EQ(t.get(0, 1), 3); // untouched
+}
+
+TEST(Int4Tensor, RowBytes)
+{
+    Int4Tensor t(3, 10);
+    EXPECT_EQ(t.rowBytes(), 5);
+}
+
+TEST(Int4Tensor, WordRoundTrip)
+{
+    Int4Tensor t(1, 16);
+    const uint32_t word = 0x89abcdefu;
+    t.storeWord(0, 8, word);
+    EXPECT_EQ(t.loadWord(0, 8), word);
+    // Individual nibbles decode as signed INT4.
+    EXPECT_EQ(t.get(0, 8), 0xf - 16);  // low nibble of 0xef
+    EXPECT_EQ(t.get(0, 15), 0x8 - 16); // high nibble of 0x89
+}
+
+TEST(Int4TensorDeathTest, OddColumnsRejected)
+{
+    EXPECT_DEATH(Int4Tensor(1, 3), "even column");
+}
+
+TEST(Int4TensorDeathTest, RangeChecked)
+{
+    Int4Tensor t(1, 4);
+    EXPECT_DEATH(t.set(0, 0, 8), "INT4 range");
+    EXPECT_DEATH(t.get(0, 4), "CHECK failed");
+    // Out of bounds trips the range check...
+    EXPECT_DEATH(t.loadWord(0, 4), "CHECK failed");
+    // ...and an in-bounds but misaligned word trips the alignment
+    // check.
+    Int4Tensor wide(1, 16);
+    EXPECT_DEATH(wide.loadWord(0, 4), "aligned");
+}
+
+TEST(Int8Tensor, RoundTripsExtremes)
+{
+    Int8Tensor t(2, 4);
+    t.set(0, 0, -128);
+    t.set(0, 1, 127);
+    t.set(1, 3, -1);
+    EXPECT_EQ(t.get(0, 0), -128);
+    EXPECT_EQ(t.get(0, 1), 127);
+    EXPECT_EQ(t.get(1, 3), -1);
+}
+
+TEST(Int8Tensor, WordRoundTrip)
+{
+    Int8Tensor t(1, 8);
+    const uint32_t word = 0x80ff7f01u;
+    t.storeWord(0, 4, word);
+    EXPECT_EQ(t.loadWord(0, 4), word);
+    EXPECT_EQ(t.get(0, 4), 0x01);
+    EXPECT_EQ(t.get(0, 5), 0x7f);
+    EXPECT_EQ(t.get(0, 6), -1);
+    EXPECT_EQ(t.get(0, 7), -128);
+}
+
+TEST(Int8TensorDeathTest, WordAlignment)
+{
+    Int8Tensor t(1, 8);
+    EXPECT_DEATH(t.loadWord(0, 2), "aligned");
+}
+
+/** Property sweep: every (row, col) position stores independently. */
+class Int4TensorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Int4TensorSweep, IndependentPositions)
+{
+    const int8_t value = static_cast<int8_t>(GetParam());
+    Int4Tensor t(4, 8);
+    for (int64_t r = 0; r < 4; ++r) {
+        for (int64_t c = 0; c < 8; ++c)
+            t.set(r, c, static_cast<int8_t>((value + r + c) % 16 - 8));
+    }
+    for (int64_t r = 0; r < 4; ++r) {
+        for (int64_t c = 0; c < 8; ++c) {
+            EXPECT_EQ(t.get(r, c),
+                      static_cast<int8_t>((value + r + c) % 16 - 8));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInt4Values, Int4TensorSweep,
+                         ::testing::Range(0, 16));
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for channel permutation, including the computational-
+ * equivalence property (paper Section 3.2).
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/gemm_ref.h"
+#include "comet/model/synthetic.h"
+#include "comet/quant/permutation.h"
+
+namespace comet {
+namespace {
+
+TEST(ChannelPermutation, IdentityIsIdentity)
+{
+    const auto perm = ChannelPermutation::identity(8);
+    EXPECT_TRUE(perm.isIdentity());
+    EXPECT_EQ(perm.channels(), 8);
+}
+
+TEST(ChannelPermutation, ApplyToColumnsReorders)
+{
+    Tensor x(1, 3);
+    x.at(0, 0) = 10.0f;
+    x.at(0, 1) = 20.0f;
+    x.at(0, 2) = 30.0f;
+    const ChannelPermutation perm({2, 0, 1});
+    const Tensor y = perm.applyToColumns(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 30.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 10.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 20.0f);
+}
+
+TEST(ChannelPermutation, InverseUndoes)
+{
+    Rng rng(1);
+    Tensor x(4, 16);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian(0, 1));
+    std::vector<int64_t> order(16);
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int64_t>(i);
+    rng.shuffle(order);
+    const ChannelPermutation perm(order);
+    const Tensor round_trip =
+        perm.inverse().applyToColumns(perm.applyToColumns(x));
+    EXPECT_DOUBLE_EQ(maxAbsError(x, round_trip), 0.0);
+}
+
+TEST(ChannelPermutation, ApplyToVector)
+{
+    const ChannelPermutation perm({1, 2, 0});
+    const std::vector<float> v{10.0f, 20.0f, 30.0f};
+    const std::vector<float> p = perm.applyToVector(v);
+    EXPECT_FLOAT_EQ(p[0], 20.0f);
+    EXPECT_FLOAT_EQ(p[1], 30.0f);
+    EXPECT_FLOAT_EQ(p[2], 10.0f);
+}
+
+TEST(ChannelPermutationDeathTest, RejectsNonBijections)
+{
+    EXPECT_DEATH(ChannelPermutation({0, 0, 1}), "repeated");
+    EXPECT_DEATH(ChannelPermutation({0, 3}), "out of range");
+}
+
+TEST(OutlierClustering, OutliersComeFirstByMagnitude)
+{
+    ChannelStats stats;
+    stats.abs_max = {1.0f, 50.0f, 2.0f, 90.0f, 1.5f};
+    stats.abs_mean = stats.abs_max;
+    stats.median_abs_max = 1.5f;
+    OutlierReport report;
+    report.is_outlier = {0, 1, 0, 1, 0};
+    report.outlier_channels = {1, 3};
+    const ChannelPermutation perm =
+        buildOutlierClusteringPermutation(stats, report);
+    // Largest outlier first, then the other outlier, then the normal
+    // channels in original order.
+    const std::vector<int64_t> expected{3, 1, 0, 2, 4};
+    EXPECT_EQ(perm.order(), expected);
+}
+
+TEST(OutlierClustering, GemmEquivalenceUnderCoPermutation)
+{
+    // Permuting the K axis of both activations and weights leaves
+    // X * W^T unchanged — the paper's computational-equivalence
+    // requirement.
+    Rng rng(7);
+    SyntheticActivationConfig config;
+    config.channels = 64;
+    config.outlier_fraction = 0.05;
+    const SyntheticActivationModel model(config);
+    const Tensor x = model.sample(8, rng);
+    const Tensor w = sampleWeights(12, 64, rng);
+
+    const ChannelStats stats = computeChannelStats(x);
+    const OutlierReport report = detectOutliers(stats);
+    const ChannelPermutation perm =
+        buildOutlierClusteringPermutation(stats, report);
+
+    const Tensor reference = gemmFloat(x, w);
+    const Tensor permuted = gemmFloat(perm.applyToColumns(x),
+                                      perm.applyToColumns(w));
+    EXPECT_LT(maxAbsError(reference, permuted), 1e-4);
+}
+
+TEST(OutlierClustering, ClustersIntoFewerBlocks)
+{
+    // Scattered outliers touch many 16-channel blocks before
+    // permutation and exactly one after.
+    ChannelStats stats;
+    stats.abs_max.assign(64, 1.0f);
+    stats.median_abs_max = 1.0f;
+    OutlierReport report;
+    report.is_outlier.assign(64, 0);
+    for (int64_t c : {3, 19, 35, 51}) {
+        stats.abs_max[static_cast<size_t>(c)] = 50.0f;
+        report.is_outlier[static_cast<size_t>(c)] = 1;
+        report.outlier_channels.push_back(c);
+    }
+    stats.abs_mean = stats.abs_max;
+    const ChannelPermutation perm =
+        buildOutlierClusteringPermutation(stats, report);
+
+    auto blocks_with_outliers = [&](const ChannelPermutation &p) {
+        int count = 0;
+        for (int64_t b = 0; b < 4; ++b) {
+            for (int64_t i = 0; i < 16; ++i) {
+                const int64_t src =
+                    p.order()[static_cast<size_t>(b * 16 + i)];
+                if (report.is_outlier[static_cast<size_t>(src)]) {
+                    ++count;
+                    break;
+                }
+            }
+        }
+        return count;
+    };
+    EXPECT_EQ(blocks_with_outliers(ChannelPermutation::identity(64)),
+              4);
+    EXPECT_EQ(blocks_with_outliers(perm), 1);
+}
+
+} // namespace
+} // namespace comet

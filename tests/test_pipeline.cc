@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the software-pipeline timing algebra.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/kernel/pipeline.h"
+
+namespace comet {
+namespace {
+
+TEST(Pipeline, SerialIsSumOfStages)
+{
+    const StageTimes stages{2.0, 1.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(
+        pipelineIterationTime(stages, PipelineMode::kSerial), 10.0);
+}
+
+TEST(Pipeline, OverlappedIsBoundedByBottleneckResource)
+{
+    // mma + smem dominates.
+    const StageTimes compute_bound{1.0, 0.5, 0.2, 4.0};
+    EXPECT_DOUBLE_EQ(pipelineIterationTime(compute_bound,
+                                           PipelineMode::kSimtEnhanced),
+                     4.5);
+    // Global loads dominate.
+    const StageTimes memory_bound{9.0, 0.5, 0.2, 4.0};
+    EXPECT_DOUBLE_EQ(pipelineIterationTime(memory_bound,
+                                           PipelineMode::kSimtEnhanced),
+                     9.0);
+    // CUDA-core conversion dominates (the naive-conversion regime).
+    const StageTimes convert_bound{1.0, 0.5, 12.0, 4.0};
+    EXPECT_DOUBLE_EQ(pipelineIterationTime(convert_bound,
+                                           PipelineMode::kSimtEnhanced),
+                     12.0);
+}
+
+TEST(Pipeline, OverlapNeverSlowerThanSerial)
+{
+    const StageTimes stages{3.0, 1.0, 2.0, 5.0};
+    EXPECT_LE(pipelineIterationTime(stages,
+                                    PipelineMode::kSimtEnhanced),
+              pipelineIterationTime(stages, PipelineMode::kSerial));
+}
+
+TEST(Pipeline, TotalTimeIncludesFill)
+{
+    const StageTimes stages{1.0, 1.0, 1.0, 1.0};
+    // Serial: n * 4. Overlapped: fill 4 + (n-1) * 2.
+    EXPECT_DOUBLE_EQ(pipelineTime(stages, PipelineMode::kSerial, 10),
+                     40.0);
+    EXPECT_DOUBLE_EQ(
+        pipelineTime(stages, PipelineMode::kSimtEnhanced, 10),
+        4.0 + 9.0 * 2.0);
+}
+
+TEST(Pipeline, SingleIterationHasNoOverlapBenefit)
+{
+    const StageTimes stages{2.0, 1.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(
+        pipelineTime(stages, PipelineMode::kSimtEnhanced, 1),
+        pipelineTime(stages, PipelineMode::kSerial, 1));
+}
+
+TEST(PipelineDeathTest, RequiresAtLeastOneIteration)
+{
+    const StageTimes stages{1.0, 1.0, 1.0, 1.0};
+    EXPECT_DEATH(pipelineTime(stages, PipelineMode::kSerial, 0),
+                 "CHECK failed");
+}
+
+TEST(Pipeline, AsymptoticSpeedupApproachesSumOverMax)
+{
+    const StageTimes stages{2.0, 0.5, 1.0, 2.5};
+    const double serial =
+        pipelineTime(stages, PipelineMode::kSerial, 1000);
+    const double overlapped =
+        pipelineTime(stages, PipelineMode::kSimtEnhanced, 1000);
+    EXPECT_NEAR(serial / overlapped, 6.0 / 3.0, 0.05);
+}
+
+} // namespace
+} // namespace comet

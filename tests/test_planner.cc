@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the compile-time kernel planner.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/gpusim/planner.h"
+
+namespace comet {
+namespace {
+
+TEST(Planner, CoversEveryDecoderGemm)
+{
+    const CompilePlanner planner;
+    const ModelPlan plan =
+        planner.plan(LlmConfig::llama3_8b(), 64);
+    ASSERT_EQ(plan.layers.size(), 4u); // qkv, o, gate_up, down
+    EXPECT_EQ(plan.model_name, "LLaMA-3-8B");
+    EXPECT_EQ(plan.batch, 64);
+    for (const LayerPlan &layer : plan.layers) {
+        EXPECT_GT(layer.total_tiles, 0);
+        EXPECT_GT(layer.predicted_us, 0.0);
+        EXPECT_GE(layer.naive_us, layer.predicted_us - 1e-9);
+    }
+}
+
+TEST(Planner, ChosenStrategyIsArgmin)
+{
+    const CompilePlanner planner;
+    const GemmCostModel model(GpuSpec::a100Sxm480G());
+    const ModelPlan plan =
+        planner.plan(LlmConfig::llama2_13b(), 128);
+    for (const LayerPlan &layer : plan.layers) {
+        for (SchedulingStrategy strategy :
+             {SchedulingStrategy::kNaiveSync,
+              SchedulingStrategy::kBarrierMinimized,
+              SchedulingStrategy::kTileRemapping,
+              SchedulingStrategy::kTaskStealing}) {
+            CometKernelFeatures features;
+            features.scheduling = strategy;
+            features.w4a4_fraction = 0.84;
+            const double t = model
+                                 .estimate(layer.shape,
+                                           GemmKernelKind::kCometW4Ax,
+                                           features)
+                                 .total_us;
+            EXPECT_GE(t, layer.predicted_us - 1e-9)
+                << layer.name << " "
+                << schedulingStrategyName(strategy);
+        }
+    }
+}
+
+TEST(Planner, StepTimeIsSumOfLayers)
+{
+    const CompilePlanner planner;
+    const ModelPlan plan =
+        planner.plan(LlmConfig::mistral_7b(), 32);
+    double sum = 0.0;
+    for (const LayerPlan &layer : plan.layers)
+        sum += layer.predicted_us;
+    EXPECT_NEAR(plan.step_gemm_us, sum, 1e-9);
+}
+
+TEST(Planner, BottleneckIsTheCostliestLayer)
+{
+    const CompilePlanner planner;
+    const ModelPlan plan =
+        planner.plan(LlmConfig::llama3_8b(), 64);
+    for (const LayerPlan &layer : plan.layers) {
+        EXPECT_LE(layer.predicted_us,
+                  plan.layers[plan.bottleneck_layer].predicted_us +
+                      1e-9);
+    }
+    // For LLaMA-style models the fused gate+up projection is the
+    // largest GEMM.
+    EXPECT_EQ(plan.layers[plan.bottleneck_layer].name,
+              "gate_up_proj");
+}
+
+TEST(Planner, SchedulingBuysSpeedupOverNaive)
+{
+    const CompilePlanner planner;
+    const ModelPlan plan =
+        planner.plan(LlmConfig::llama3_70b(), 128);
+    EXPECT_GT(plan.speedup_over_naive, 1.1);
+}
+
+TEST(Planner, HigherW4A4FractionLowersStepTime)
+{
+    const CompilePlanner planner;
+    const LlmConfig model = LlmConfig::llama3_8b();
+    const double lo =
+        planner.plan(model, 128, 0.5).step_gemm_us;
+    const double hi =
+        planner.plan(model, 128, 1.0).step_gemm_us;
+    EXPECT_LT(hi, lo);
+}
+
+TEST(Planner, ReportMentionsEveryLayerAndTheBottleneck)
+{
+    const CompilePlanner planner;
+    const ModelPlan plan = planner.plan(LlmConfig::opt_13b(), 16);
+    const std::string report = CompilePlanner::report(plan);
+    for (const LayerPlan &layer : plan.layers)
+        EXPECT_NE(report.find(layer.name), std::string::npos);
+    EXPECT_NE(report.find("*"), std::string::npos);
+    EXPECT_NE(report.find("OPT-13B"), std::string::npos);
+}
+
+TEST(PlannerDeathTest, RejectsBadInputs)
+{
+    const CompilePlanner planner;
+    EXPECT_DEATH(planner.plan(LlmConfig::llama3_8b(), 0),
+                 "CHECK failed");
+    EXPECT_DEATH(planner.plan(LlmConfig::llama3_8b(), 8, 1.5),
+                 "CHECK failed");
+}
+
+/** Sweep batch sizes: plans stay internally consistent. */
+class PlannerBatchSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PlannerBatchSweep, ConsistentAcrossBatches)
+{
+    const CompilePlanner planner;
+    const ModelPlan plan =
+        planner.plan(LlmConfig::llama2_7b(), GetParam());
+    EXPECT_GT(plan.step_gemm_us, 0.0);
+    EXPECT_GE(plan.speedup_over_naive, 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, PlannerBatchSweep,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the QoQ (QServe) baseline.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/gemm_ref.h"
+#include "comet/model/synthetic.h"
+#include "comet/quant/qoq.h"
+#include "comet/quant/quantizer.h"
+#include "comet/quant/weight_quant.h"
+
+namespace comet {
+namespace {
+
+TEST(Qoq, ProgressiveScalesAreMultiplesOfOuter)
+{
+    Rng rng(1);
+    const Tensor w = sampleWeights(4, 128, rng);
+    const auto layer = QoqLayer::calibrate(w, QoqConfig{});
+    const Tensor &q = layer.quantizedWeight();
+
+    // Every quantized value must sit on a grid whose step is an
+    // integer multiple of the outer per-channel INT8 scale.
+    for (int64_t n = 0; n < 4; ++n) {
+        float abs_max = 0.0f;
+        for (int64_t c = 0; c < 128; ++c)
+            abs_max = std::max(abs_max, std::fabs(w.at(n, c)));
+        const float s_outer = abs_max / 127.0f;
+        for (int64_t c = 0; c < 128; ++c) {
+            const float steps = q.at(n, c) / s_outer;
+            EXPECT_NEAR(steps, std::round(steps), 1e-2f)
+                << "value off the progressive grid at (" << n << ","
+                << c << ")";
+        }
+    }
+}
+
+TEST(Qoq, QuantizationErrorBounded)
+{
+    Rng rng(2);
+    const Tensor w = sampleWeights(8, 128, rng);
+    QoqConfig config;
+    config.group_size = 32;
+    const auto layer = QoqLayer::calibrate(w, config);
+    // Progressive INT4 is slightly coarser than plain group INT4, but
+    // must stay within 2x its MSE.
+    WeightQuantConfig rtn_config;
+    rtn_config.bits = 4;
+    rtn_config.group_size = 32;
+    const double rtn_mse =
+        meanSquaredError(w, rtnQuantizeWeight(w, rtn_config));
+    const double qoq_mse =
+        meanSquaredError(w, layer.quantizedWeight());
+    EXPECT_LT(qoq_mse, rtn_mse * 2.5);
+}
+
+TEST(Qoq, ActivationQuantIsPerTokenInt8)
+{
+    Rng rng(3);
+    SyntheticActivationConfig config;
+    config.channels = 64;
+    const SyntheticActivationModel model(config);
+    const Tensor x = model.sample(16, rng);
+    Tensor w(1, 64);
+    const auto layer = QoqLayer::calibrate(w, QoqConfig{64});
+    const Tensor q = layer.fakeQuantActivations(x);
+    const Tensor expected = fakeQuantPerRow(x, 8);
+    EXPECT_LT(maxAbsError(q, expected), 1e-6);
+}
+
+TEST(Qoq, KvQuantIsInt4)
+{
+    Rng rng(4);
+    Tensor kv(64, 16);
+    for (int64_t i = 0; i < kv.numel(); ++i)
+        kv[i] = static_cast<float>(rng.gaussian(0, 1));
+    Tensor w(1, 64);
+    const auto layer = QoqLayer::calibrate(w, QoqConfig{64});
+    const Tensor q = layer.fakeQuantKv(kv);
+    // INT4: at most 16 distinct values per (channel, group).
+    std::set<float> distinct;
+    for (int64_t t = 0; t < 64; ++t)
+        distinct.insert(q.at(t, 0));
+    EXPECT_LE(distinct.size(), 16u);
+}
+
+TEST(Qoq, EndToEndGemmReasonable)
+{
+    Rng rng(5);
+    SyntheticActivationConfig act_config;
+    act_config.channels = 128;
+    act_config.outlier_fraction = 0.03;
+    const SyntheticActivationModel model(act_config);
+    const Tensor x = model.sample(32, rng);
+    const Tensor w = sampleWeights(16, 128, rng);
+
+    const auto layer = QoqLayer::calibrate(w, QoqConfig{});
+    const Tensor out = gemmFloat(layer.fakeQuantActivations(x),
+                                 layer.quantizedWeight());
+    const Tensor reference = gemmFloat(x, w);
+    EXPECT_LT(relativeError(reference, out), 0.15);
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the uniform quantization primitives.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comet/common/rng.h"
+#include "comet/quant/quantizer.h"
+
+namespace comet {
+namespace {
+
+TEST(SignedRange, MatchesTwosComplement)
+{
+    EXPECT_EQ(signedRange(4).qmin, -8);
+    EXPECT_EQ(signedRange(4).qmax, 7);
+    EXPECT_EQ(signedRange(8).qmin, -128);
+    EXPECT_EQ(signedRange(8).qmax, 127);
+}
+
+TEST(ChooseSymmetric, ScaleMapsAbsMaxToQmax)
+{
+    const QuantParams params = chooseSymmetric(14.0f, 4);
+    EXPECT_FLOAT_EQ(params.scale, 2.0f);
+    EXPECT_EQ(params.zero_point, 0);
+    EXPECT_EQ(params.quantize(14.0f), 7);
+    EXPECT_EQ(params.quantize(-14.0f), -7);
+}
+
+TEST(ChooseSymmetric, ZeroTensorDoesNotDivideByZero)
+{
+    const QuantParams params = chooseSymmetric(0.0f, 8);
+    EXPECT_FLOAT_EQ(params.scale, 1.0f);
+    EXPECT_EQ(params.quantize(0.0f), 0);
+}
+
+TEST(ChooseAsymmetric, CoversRangeEndpoints)
+{
+    const QuantParams params = chooseAsymmetric(-1.0f, 3.0f, 8);
+    const QuantRange range = signedRange(8);
+    const int32_t q_min = params.quantize(-1.0f);
+    const int32_t q_max = params.quantize(3.0f);
+    EXPECT_GE(q_min, range.qmin);
+    EXPECT_LE(q_max, range.qmax);
+    EXPECT_NEAR(params.dequantize(q_min), -1.0f, params.scale);
+    EXPECT_NEAR(params.dequantize(q_max), 3.0f, params.scale);
+}
+
+TEST(ChooseAsymmetric, AllPositiveRangeStillRepresentsZero)
+{
+    // Asymmetric quantizers must represent 0 exactly enough for
+    // padding; the range is extended to include it.
+    const QuantParams params = chooseAsymmetric(2.0f, 6.0f, 4);
+    const int32_t q0 = params.quantize(0.0f);
+    EXPECT_NEAR(params.dequantize(q0), 0.0f, params.scale);
+}
+
+TEST(FakeQuantValue, ClampsToRange)
+{
+    const QuantParams params = chooseSymmetric(7.0f, 4);
+    // 100 quantizes far beyond qmax; must clamp to 7 * scale.
+    EXPECT_FLOAT_EQ(fakeQuantValue(100.0f, params, 4), 7.0f);
+}
+
+TEST(FakeQuantValue, RoundTripErrorBounded)
+{
+    const QuantParams params = chooseSymmetric(10.0f, 8);
+    for (float x = -10.0f; x <= 10.0f; x += 0.37f) {
+        const float q = fakeQuantValue(x, params, 8);
+        EXPECT_LE(std::fabs(q - x), params.scale / 2.0f + 1e-6f);
+    }
+}
+
+TEST(FakeQuantPerTensor, ErrorBoundedByScale)
+{
+    Rng rng(1);
+    Tensor x(16, 32);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian(0, 3));
+    const Tensor q = fakeQuantPerTensor(x, 8);
+    const float scale = x.absMax() / 127.0f;
+    EXPECT_LE(maxAbsError(x, q), scale / 2.0 + 1e-6);
+}
+
+TEST(FakeQuantPerRow, RowsQuantizedIndependently)
+{
+    Tensor x(2, 4);
+    // Row 0 tiny values, row 1 huge values: per-row scaling must keep
+    // row 0 precise.
+    for (int64_t c = 0; c < 4; ++c) {
+        x.at(0, c) = 0.01f * static_cast<float>(c + 1);
+        x.at(1, c) = 100.0f * static_cast<float>(c + 1);
+    }
+    const Tensor q = fakeQuantPerRow(x, 8);
+    EXPECT_NEAR(q.at(0, 3), x.at(0, 3), 0.01f);
+    EXPECT_NEAR(q.at(1, 3), x.at(1, 3), 2.0f);
+}
+
+TEST(FakeQuantPerColumn, ColumnsQuantizedIndependently)
+{
+    Tensor x(4, 2);
+    for (int64_t r = 0; r < 4; ++r) {
+        x.at(r, 0) = 0.01f * static_cast<float>(r + 1);
+        x.at(r, 1) = 100.0f * static_cast<float>(r + 1);
+    }
+    const Tensor q = fakeQuantPerColumn(x, 8);
+    EXPECT_NEAR(q.at(3, 0), x.at(3, 0), 0.01f);
+}
+
+TEST(FakeQuantPerGroup, GroupsIsolateOutliers)
+{
+    Tensor x(1, 8);
+    for (int64_t c = 0; c < 4; ++c)
+        x.at(0, c) = 0.1f;
+    for (int64_t c = 4; c < 8; ++c)
+        x.at(0, c) = 50.0f;
+    const Tensor q_grouped = fakeQuantPerGroup(x, 4, 4);
+    const Tensor q_whole = fakeQuantPerRow(x, 4);
+    // Grouped keeps the small half representable; whole-row does not.
+    EXPECT_NEAR(q_grouped.at(0, 0), 0.1f, 0.02f);
+    EXPECT_GT(std::fabs(q_whole.at(0, 0) - 0.1f), 0.05f);
+}
+
+TEST(QuantizeInt8PerRow, RoundTripMatchesFakeQuant)
+{
+    Rng rng(3);
+    Tensor x(8, 16);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian(0, 2));
+    const QuantizedInt8 q = quantizeInt8PerRow(x);
+    const Tensor deq = dequantize(q);
+    const Tensor fake = fakeQuantPerRow(x, 8);
+    EXPECT_LT(maxAbsError(deq, fake), 1e-5);
+}
+
+TEST(QuantizeInt4PerRow, RoundTripMatchesFakeQuant)
+{
+    Rng rng(5);
+    Tensor x(8, 16);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian(0, 2));
+    const QuantizedInt4 q = quantizeInt4PerRow(x);
+    const Tensor deq = dequantize(q);
+    const Tensor fake = fakeQuantPerRow(x, 4);
+    EXPECT_LT(maxAbsError(deq, fake), 1e-5);
+}
+
+TEST(Sqnr, HigherBitsGiveHigherSqnr)
+{
+    Rng rng(7);
+    Tensor x(32, 64);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian(0, 1));
+    const double sqnr4 = sqnrDb(x, fakeQuantPerRow(x, 4));
+    const double sqnr8 = sqnrDb(x, fakeQuantPerRow(x, 8));
+    EXPECT_GT(sqnr8, sqnr4 + 15.0); // ~6 dB per bit in theory
+}
+
+TEST(Sqnr, IdenticalTensorsSaturate)
+{
+    Tensor x(2, 2);
+    x.fill(1.0f);
+    EXPECT_GE(sqnrDb(x, x), 300.0);
+}
+
+/** Property sweep: per-row INT quantization error is bounded by half a
+ * scale step at every bit width. */
+class QuantErrorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantErrorSweep, ErrorWithinHalfStep)
+{
+    const int bits = GetParam();
+    Rng rng(100 + static_cast<uint64_t>(bits));
+    Tensor x(4, 32);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.gaussian(0, 5));
+    const Tensor q = fakeQuantPerRow(x, bits);
+    for (int64_t r = 0; r < x.rows(); ++r) {
+        float abs_max = 0.0f;
+        for (int64_t c = 0; c < x.cols(); ++c)
+            abs_max = std::max(abs_max, std::fabs(x.at(r, c)));
+        const float scale =
+            abs_max / static_cast<float>(signedRange(bits).qmax);
+        for (int64_t c = 0; c < x.cols(); ++c) {
+            EXPECT_LE(std::fabs(q.at(r, c) - x.at(r, c)),
+                      scale / 2.0f + 1e-5f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, QuantErrorSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the roofline analysis (paper Figure 2).
+ */
+#include <gtest/gtest.h>
+
+#include "comet/gpusim/roofline.h"
+
+namespace comet {
+namespace {
+
+TEST(Roofline, AttainableBelowRidgeIsBandwidthBound)
+{
+    EXPECT_DOUBLE_EQ(rooflineAttainable(100.0, 10.0, 2.0), 20.0);
+}
+
+TEST(Roofline, AttainableAboveRidgeIsPeak)
+{
+    EXPECT_DOUBLE_EQ(rooflineAttainable(100.0, 10.0, 50.0), 100.0);
+}
+
+TEST(Roofline, ActActOperatorIsMemoryBoundAtAnyKvPrecision)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    for (int bits : {4, 8, 16}) {
+        const OperatorPoint point = analyzeActActOperator(spec, bits);
+        EXPECT_TRUE(point.memory_bound) << bits << " bits";
+    }
+}
+
+TEST(Roofline, Kv4QuadruplesActActThroughput)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    const OperatorPoint fp16 = analyzeActActOperator(spec, 16);
+    const OperatorPoint int4 = analyzeActActOperator(spec, 4);
+    EXPECT_NEAR(int4.attainable_ops / fp16.attainable_ops, 4.0, 1e-9);
+}
+
+TEST(Roofline, Fp16ActActIntensityIsOne)
+{
+    // The paper states the act-act operator's intensity is fixed at
+    // 1.0 (FP16 KV: 2 ops per 2 bytes).
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    EXPECT_DOUBLE_EQ(analyzeActActOperator(spec, 16).intensity, 1.0);
+}
+
+TEST(Roofline, WeightActTransitionsWithBatch)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    const OperatorPoint small =
+        analyzeWeightActOperator(spec, 16, 16, 1);
+    const OperatorPoint large =
+        analyzeWeightActOperator(spec, 16, 16, 512);
+    EXPECT_TRUE(small.memory_bound);
+    EXPECT_FALSE(large.memory_bound);
+}
+
+TEST(Roofline, CrossoverNearRidgeBatch)
+{
+    // FP16 ridge = 312e12 / 2e12 = 156 ops/byte = batch 156 at 2B
+    // weights: batch 128 still memory-bound, batch 256 compute-bound.
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    EXPECT_TRUE(
+        analyzeWeightActOperator(spec, 16, 16, 128).memory_bound);
+    EXPECT_FALSE(
+        analyzeWeightActOperator(spec, 16, 16, 256).memory_bound);
+}
+
+TEST(Roofline, LowerWeightPrecisionRaisesIntensity)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    const OperatorPoint w16 =
+        analyzeWeightActOperator(spec, 16, 16, 8);
+    const OperatorPoint w4 = analyzeWeightActOperator(spec, 16, 4, 8);
+    EXPECT_NEAR(w4.intensity / w16.intensity, 4.0, 1e-9);
+}
+
+TEST(Roofline, RidgeIntensityLadder)
+{
+    const GpuSpec spec = GpuSpec::a100Sxm480G();
+    EXPECT_DOUBLE_EQ(ridgeIntensity(spec, 16), 156.0);
+    EXPECT_DOUBLE_EQ(ridgeIntensity(spec, 8), 312.0);
+    EXPECT_DOUBLE_EQ(ridgeIntensity(spec, 4), 624.0);
+}
+
+TEST(RooflineDeathTest, RejectsNonPositiveInputs)
+{
+    EXPECT_DEATH(rooflineAttainable(0.0, 1.0, 1.0), "CHECK failed");
+    EXPECT_DEATH(
+        analyzeWeightActOperator(GpuSpec::a100Sxm480G(), 16, 16, 0),
+        "CHECK failed");
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the fine-grained SM scheduler (paper Figure 8).
+ */
+#include <gtest/gtest.h>
+
+#include "comet/gpusim/sm_scheduler.h"
+
+namespace comet {
+namespace {
+
+/** Alternating INT8/INT4 tile list, the Figure 8 pattern. */
+std::vector<TileWork>
+alternatingTiles(int64_t count, double int4_us, double int8_us)
+{
+    std::vector<TileWork> tiles;
+    for (int64_t i = 0; i < count; ++i) {
+        const bool is_int8 = i % 2 == 0;
+        tiles.push_back(TileWork{is_int8 ? int8_us : int4_us,
+                                 is_int8 ? BlockPrecision::kInt8
+                                         : BlockPrecision::kInt4});
+    }
+    return tiles;
+}
+
+SchedulerConfig
+fourSms()
+{
+    SchedulerConfig config;
+    config.num_sms = 4;
+    return config;
+}
+
+TEST(Scheduler, NaiveSyncWavesBoundByslowestTile)
+{
+    // 8 alternating tiles on 4 SMs: 2 waves, each lasting the INT8
+    // duration (Figure 8(b)).
+    const auto tiles = alternatingTiles(8, 1.0, 2.0);
+    const ScheduleResult result =
+        scheduleTiles(tiles, fourSms(), SchedulingStrategy::kNaiveSync);
+    EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+    EXPECT_EQ(result.barriers, 2);
+}
+
+TEST(Scheduler, BarrierMinimizedKeepsCyclicPathology)
+{
+    // With the alternating pattern and cyclic binding, SM0 and SM2
+    // receive every INT8 tile: makespan = all INT8 work on one SM
+    // (Figure 8(c)).
+    const auto tiles = alternatingTiles(8, 1.0, 2.0);
+    const ScheduleResult result = scheduleTiles(
+        tiles, fourSms(), SchedulingStrategy::kBarrierMinimized);
+    EXPECT_DOUBLE_EQ(result.makespan, 4.0); // 2 INT8 tiles x 2.0
+    EXPECT_EQ(result.barriers, 1);
+}
+
+TEST(Scheduler, RemappingBalancesPrecisions)
+{
+    const auto tiles = alternatingTiles(8, 1.0, 2.0);
+    const ScheduleResult result = scheduleTiles(
+        tiles, fourSms(), SchedulingStrategy::kTileRemapping);
+    // LPT: each SM gets one INT8 (2.0) + one INT4 (1.0) = 3.0.
+    EXPECT_DOUBLE_EQ(result.makespan, 3.0);
+}
+
+TEST(Scheduler, TaskStealingApproachesIdeal)
+{
+    // 2 tiles on 4 SMs: one-to-one binding strands half the SMs;
+    // stealing splits the tiles (Figure 8(e)).
+    std::vector<TileWork> tiles(2,
+                                TileWork{4.0, BlockPrecision::kInt4});
+    const double remap =
+        scheduleTiles(tiles, fourSms(),
+                      SchedulingStrategy::kTileRemapping)
+            .makespan;
+    const double steal =
+        scheduleTiles(tiles, fourSms(),
+                      SchedulingStrategy::kTaskStealing)
+            .makespan;
+    EXPECT_DOUBLE_EQ(remap, 4.0);
+    EXPECT_LT(steal, remap * 0.65);
+}
+
+TEST(Scheduler, ProgressionNeverRegresses)
+{
+    // The paper's optimization ladder must be monotone on the
+    // alternating workload.
+    const auto tiles = alternatingTiles(42, 0.6, 1.2);
+    SchedulerConfig config;
+    config.num_sms = 8;
+    const double naive =
+        scheduleTiles(tiles, config, SchedulingStrategy::kNaiveSync)
+            .makespan;
+    const double barrier_min =
+        scheduleTiles(tiles, config,
+                      SchedulingStrategy::kBarrierMinimized)
+            .makespan;
+    const double remap =
+        scheduleTiles(tiles, config,
+                      SchedulingStrategy::kTileRemapping)
+            .makespan;
+    const double steal =
+        scheduleTiles(tiles, config,
+                      SchedulingStrategy::kTaskStealing)
+            .makespan;
+    EXPECT_LE(barrier_min, naive + 1e-9);
+    EXPECT_LE(remap, barrier_min + 1e-9);
+    EXPECT_LE(steal, remap + 1e-9);
+}
+
+TEST(Scheduler, MakespanNeverBelowWorkOverSms)
+{
+    const auto tiles = alternatingTiles(31, 0.7, 1.9);
+    SchedulerConfig config;
+    config.num_sms = 6;
+    for (SchedulingStrategy strategy :
+         {SchedulingStrategy::kNaiveSync,
+          SchedulingStrategy::kBarrierMinimized,
+          SchedulingStrategy::kTileRemapping,
+          SchedulingStrategy::kTaskStealing}) {
+        const ScheduleResult result =
+            scheduleTiles(tiles, config, strategy);
+        EXPECT_GE(result.makespan,
+                  result.total_work / 6.0 - 1e-9)
+            << schedulingStrategyName(strategy);
+    }
+}
+
+TEST(Scheduler, UtilizationBetweenZeroAndOne)
+{
+    const auto tiles = alternatingTiles(10, 1.0, 2.0);
+    const ScheduleResult result = scheduleTiles(
+        tiles, fourSms(), SchedulingStrategy::kTileRemapping);
+    EXPECT_GT(result.utilization(), 0.0);
+    EXPECT_LE(result.utilization(), 1.0 + 1e-9);
+}
+
+TEST(Scheduler, EmptyTileListIsZero)
+{
+    const ScheduleResult result = scheduleTiles(
+        {}, fourSms(), SchedulingStrategy::kTaskStealing);
+    EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(BuildGemmTiles, CountsAndPattern)
+{
+    // The paper's running example: 256x256x384 GEMM, 128^3 tiles,
+    // alternating k-block precision.
+    const std::vector<BlockPrecision> pattern{
+        BlockPrecision::kInt8, BlockPrecision::kInt4,
+        BlockPrecision::kInt8};
+    const auto tiles = buildGemmTiles(256, 256, 384, 128, 128, 128,
+                                      pattern, 128, 1.0, 2.0);
+    EXPECT_EQ(tiles.size(), 12u); // 2 x 2 x 3
+    // k is innermost: tiles alternate per the k pattern.
+    EXPECT_EQ(tiles[0].precision, BlockPrecision::kInt8);
+    EXPECT_EQ(tiles[1].precision, BlockPrecision::kInt4);
+    EXPECT_EQ(tiles[2].precision, BlockPrecision::kInt8);
+    EXPECT_EQ(tiles[3].precision, BlockPrecision::kInt8);
+}
+
+TEST(BuildGemmTiles, RaggedShapesRoundUp)
+{
+    const std::vector<BlockPrecision> pattern{BlockPrecision::kInt4};
+    const auto tiles = buildGemmTiles(100, 100, 100, 128, 128, 128,
+                                      pattern, 128, 1.0, 2.0);
+    EXPECT_EQ(tiles.size(), 1u);
+}
+
+TEST(Scheduler, StealOverheadChargedOnTransferredWorkOnly)
+{
+    // Two 4.0 tiles on 4 SMs: half the work (4.0) migrates to the
+    // idle SMs and pays the reduction overhead.
+    std::vector<TileWork> tiles(2,
+                                TileWork{4.0, BlockPrecision::kInt4});
+    SchedulerConfig config;
+    config.num_sms = 4;
+    config.steal_split = 4;
+    config.steal_overhead = 0.10;
+    const ScheduleResult result = scheduleTiles(
+        tiles, config, SchedulingStrategy::kTaskStealing);
+    EXPECT_NEAR(result.total_work, 8.0 + 4.0 * 0.10, 1e-9);
+    EXPECT_NEAR(result.makespan, 8.4 / 4.0, 1e-9);
+}
+
+TEST(Scheduler, StealingIsOpportunistic)
+{
+    // An already-balanced schedule is left untouched: stealing never
+    // regresses and charges no overhead.
+    std::vector<TileWork> tiles(4,
+                                TileWork{1.0, BlockPrecision::kInt4});
+    SchedulerConfig config;
+    config.num_sms = 4;
+    config.steal_overhead = 0.10;
+    const ScheduleResult result = scheduleTiles(
+        tiles, config, SchedulingStrategy::kTaskStealing);
+    EXPECT_NEAR(result.total_work, 4.0, 1e-9);
+    EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the SmoothQuant baseline.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/gemm_ref.h"
+#include "comet/model/synthetic.h"
+#include "comet/quant/smooth_quant.h"
+
+namespace comet {
+namespace {
+
+struct LayerFixture {
+    Tensor acts;
+    Tensor weight;
+};
+
+LayerFixture
+makeLayer(uint64_t seed)
+{
+    Rng rng(seed);
+    SyntheticActivationConfig config;
+    config.channels = 64;
+    config.outlier_fraction = 0.05;
+    config.outlier_scale = 30.0;
+    config.seed = seed;
+    const SyntheticActivationModel model(config);
+    return {model.sample(64, rng), sampleWeights(16, 64, rng)};
+}
+
+TEST(SmoothQuant, FactorsArePositive)
+{
+    const LayerFixture f = makeLayer(1);
+    const auto layer = SmoothQuantLayer::calibrate(f.acts, f.weight);
+    for (float s : layer.smoothingFactors())
+        EXPECT_GT(s, 0.0f);
+}
+
+TEST(SmoothQuant, OutlierChannelsGetLargerFactors)
+{
+    const LayerFixture f = makeLayer(2);
+    const auto layer = SmoothQuantLayer::calibrate(f.acts, f.weight);
+    const ChannelStats stats = computeChannelStats(f.acts);
+    const OutlierReport report = detectOutliers(stats);
+    ASSERT_FALSE(report.outlier_channels.empty());
+
+    double outlier_mean = 0.0, normal_mean = 0.0;
+    int64_t normals = 0;
+    for (int64_t c = 0; c < 64; ++c) {
+        if (report.is_outlier[static_cast<size_t>(c)]) {
+            outlier_mean +=
+                layer.smoothingFactors()[static_cast<size_t>(c)];
+        } else {
+            normal_mean +=
+                layer.smoothingFactors()[static_cast<size_t>(c)];
+            ++normals;
+        }
+    }
+    outlier_mean /= static_cast<double>(
+        report.outlier_channels.size());
+    normal_mean /= static_cast<double>(normals);
+    EXPECT_GT(outlier_mean, 3.0 * normal_mean);
+}
+
+TEST(SmoothQuant, SmoothedActivationsHaveFlatterRange)
+{
+    const LayerFixture f = makeLayer(3);
+    SmoothQuantConfig config;
+    config.act_bits = 16; // isolate the smoothing effect
+    const auto layer =
+        SmoothQuantLayer::calibrate(f.acts, f.weight, config);
+    // Apply the smoothing division manually via the factors.
+    Tensor smoothed(f.acts.rows(), f.acts.cols());
+    for (int64_t t = 0; t < f.acts.rows(); ++t) {
+        for (int64_t c = 0; c < f.acts.cols(); ++c) {
+            smoothed.at(t, c) =
+                f.acts.at(t, c) /
+                layer.smoothingFactors()[static_cast<size_t>(c)];
+        }
+    }
+    const ChannelStats before = computeChannelStats(f.acts);
+    const ChannelStats after = computeChannelStats(smoothed);
+    auto spread = [](const ChannelStats &stats) {
+        float max_v = 0.0f;
+        for (float v : stats.abs_max)
+            max_v = std::max(max_v, v);
+        return max_v / std::max(stats.median_abs_max, 1e-6f);
+    };
+    EXPECT_LT(spread(after), spread(before) / 3.0);
+}
+
+TEST(SmoothQuant, EndToEndGemmErrorBeatsNaiveW8A8)
+{
+    const LayerFixture f = makeLayer(4);
+    const Tensor reference = gemmFloat(f.acts, f.weight);
+
+    // SmoothQuant W8A8.
+    const auto layer = SmoothQuantLayer::calibrate(f.acts, f.weight);
+    const Tensor sq_out = gemmFloat(layer.fakeQuantActivations(f.acts),
+                                    layer.quantizedWeight());
+
+    // Naive W8A8 (per-token act, per-channel weight, no smoothing).
+    const Tensor naive_out = gemmFloat(fakeQuantPerRow(f.acts, 8),
+                                       fakeQuantPerRow(f.weight, 8));
+
+    EXPECT_LT(relativeError(reference, sq_out),
+              relativeError(reference, naive_out));
+    EXPECT_LT(relativeError(reference, sq_out), 0.05);
+}
+
+TEST(SmoothQuantDeathTest, MismatchedChannelsRejected)
+{
+    Tensor acts(4, 32);
+    Tensor weight(8, 64);
+    EXPECT_DEATH(SmoothQuantLayer::calibrate(acts, weight), "match");
+}
+
+/** Sweep over alpha: all migration strengths must stay numerically
+ * sane (positive factors, bounded reconstruction error). */
+class SmoothQuantAlphaSweep
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmoothQuantAlphaSweep, StableAcrossAlpha)
+{
+    const LayerFixture f = makeLayer(5);
+    SmoothQuantConfig config;
+    config.alpha = static_cast<float>(GetParam());
+    const auto layer =
+        SmoothQuantLayer::calibrate(f.acts, f.weight, config);
+    const Tensor reference = gemmFloat(f.acts, f.weight);
+    const Tensor out = gemmFloat(layer.fakeQuantActivations(f.acts),
+                                 layer.quantizedWeight());
+    EXPECT_LT(relativeError(reference, out), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, SmoothQuantAlphaSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+} // namespace
+} // namespace comet

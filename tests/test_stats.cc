@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the streaming statistics accumulators and the
+ * percentile-robust calibration.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comet/common/rng.h"
+#include "comet/common/stats.h"
+#include "comet/quant/outlier.h"
+
+namespace comet {
+namespace {
+
+TEST(StreamingStats, MatchesClosedForms)
+{
+    StreamingStats stats;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 8);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StreamingStats, SingleSampleHasZeroVariance)
+{
+    StreamingStats stats;
+    stats.add(3.5);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+}
+
+TEST(StreamingStats, MergeEqualsConcatenation)
+{
+    Rng rng(1);
+    StreamingStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(3.0, 2.0);
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmptyIsIdentity)
+{
+    StreamingStats stats, empty;
+    stats.add(1.0);
+    stats.add(2.0);
+    stats.merge(empty);
+    EXPECT_EQ(stats.count(), 2);
+    StreamingStats other;
+    other.merge(stats);
+    EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+}
+
+TEST(StreamingStatsDeathTest, EmptyMinMaxAbort)
+{
+    StreamingStats stats;
+    EXPECT_DEATH(stats.min(), "empty");
+}
+
+TEST(ExactPercentile, Endpoints)
+{
+    EXPECT_DOUBLE_EQ(exactPercentile({3.0, 1.0, 2.0}, 0), 1.0);
+    EXPECT_DOUBLE_EQ(exactPercentile({3.0, 1.0, 2.0}, 100), 3.0);
+    EXPECT_DOUBLE_EQ(exactPercentile({3.0, 1.0, 2.0}, 50), 2.0);
+}
+
+TEST(ExactPercentile, Interpolates)
+{
+    EXPECT_DOUBLE_EQ(exactPercentile({0.0, 10.0}, 25), 2.5);
+}
+
+TEST(PercentileCalibration, IgnoresASingleCorruptToken)
+{
+    // 256 calibration tokens of unit Gaussian plus ONE corrupt token
+    // with a 100x spike in a normal channel: abs-max calibration
+    // flags the channel as an outlier, 99th-percentile calibration
+    // does not.
+    Rng rng(2);
+    Tensor calib(256, 32);
+    for (int64_t i = 0; i < calib.numel(); ++i)
+        calib[i] = static_cast<float>(rng.gaussian(0, 1));
+    calib.at(17, 5) = 100.0f; // the corrupt sample
+
+    const OutlierReport absmax_report =
+        detectOutliers(computeChannelStats(calib));
+    const OutlierReport robust_report = detectOutliers(
+        computeChannelStatsPercentile(calib, 99.0));
+    EXPECT_TRUE(absmax_report.is_outlier[5]);
+    EXPECT_FALSE(robust_report.is_outlier[5]);
+}
+
+TEST(PercentileCalibration, StillFindsPersistentOutliers)
+{
+    // A channel that is large on EVERY token survives the percentile.
+    Rng rng(3);
+    Tensor calib(256, 32);
+    for (int64_t i = 0; i < calib.numel(); ++i)
+        calib[i] = static_cast<float>(rng.gaussian(0, 1));
+    for (int64_t t = 0; t < 256; ++t)
+        calib.at(t, 9) *= 50.0f;
+    const OutlierReport report = detectOutliers(
+        computeChannelStatsPercentile(calib, 99.0));
+    EXPECT_TRUE(report.is_outlier[9]);
+    // And only that channel.
+    EXPECT_EQ(report.outlier_channels.size(), 1u);
+}
+
+TEST(PercentileCalibration, HundredPercentEqualsAbsMax)
+{
+    Rng rng(4);
+    Tensor calib(64, 8);
+    for (int64_t i = 0; i < calib.numel(); ++i)
+        calib[i] = static_cast<float>(rng.gaussian(0, 2));
+    const ChannelStats a = computeChannelStats(calib);
+    const ChannelStats b =
+        computeChannelStatsPercentile(calib, 100.0);
+    for (size_t c = 0; c < a.abs_max.size(); ++c)
+        EXPECT_FLOAT_EQ(a.abs_max[c], b.abs_max[c]);
+}
+
+} // namespace
+} // namespace comet

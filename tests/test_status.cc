@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for Status / Result error handling.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/status.h"
+
+namespace comet {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status status;
+    EXPECT_TRUE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::kOk);
+    EXPECT_EQ(status.toString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    const Status status = Status::invalidArgument("bad block size");
+    EXPECT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(status.message(), "bad block size");
+    EXPECT_EQ(status.toString(), "INVALID_ARGUMENT: bad block size");
+}
+
+TEST(Status, FactoriesProduceDistinctCodes)
+{
+    EXPECT_EQ(Status::outOfRange("x").code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(Status::resourceExhausted("x").code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(Status::unimplemented("x").code(),
+              StatusCode::kUnimplemented);
+    EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::kOk), "OK");
+    EXPECT_STREQ(statusCodeName(StatusCode::kResourceExhausted),
+                 "RESOURCE_EXHAUSTED");
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> result(42);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), 42);
+    EXPECT_TRUE(result.status().isOk());
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> result(Status::resourceExhausted("pool empty"));
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Result, MoveOutValue)
+{
+    Result<std::string> result(std::string("payload"));
+    const std::string moved = std::move(result).value();
+    EXPECT_EQ(moved, "payload");
+}
+
+TEST(CheckMacro, PassingCheckIsSilent)
+{
+    COMET_CHECK(1 + 1 == 2);
+    COMET_CHECK_MSG(true, "never fires");
+    SUCCEED();
+}
+
+TEST(CheckMacroDeathTest, FailingCheckAborts)
+{
+    EXPECT_DEATH(COMET_CHECK(false), "CHECK failed");
+    EXPECT_DEATH(COMET_CHECK_MSG(false, "context"), "context");
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the synthetic activation/weight generators.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comet/model/synthetic.h"
+
+namespace comet {
+namespace {
+
+TEST(SyntheticActivations, OutlierCountMatchesFraction)
+{
+    SyntheticActivationConfig config;
+    config.channels = 1000;
+    config.outlier_fraction = 0.01;
+    const SyntheticActivationModel model(config);
+    EXPECT_EQ(model.outlierChannels().size(), 10u);
+}
+
+TEST(SyntheticActivations, OutlierChannelsHaveLargeGains)
+{
+    SyntheticActivationConfig config;
+    config.channels = 256;
+    config.outlier_fraction = 0.02;
+    config.outlier_scale = 40.0;
+    const SyntheticActivationModel model(config);
+    for (int64_t c : model.outlierChannels())
+        EXPECT_GT(model.gains()[static_cast<size_t>(c)], 10.0f);
+    // Normal channels stay at gain 1.
+    int64_t normals = 0;
+    for (int64_t c = 0; c < 256; ++c) {
+        if (model.gains()[static_cast<size_t>(c)] == 1.0f)
+            ++normals;
+    }
+    EXPECT_EQ(normals, 256 - static_cast<int64_t>(
+                                 model.outlierChannels().size()));
+}
+
+TEST(SyntheticActivations, SamplesReflectGains)
+{
+    SyntheticActivationConfig config;
+    config.channels = 128;
+    config.outlier_fraction = 0.05;
+    config.outlier_scale = 50.0;
+    const SyntheticActivationModel model(config);
+    Rng rng(1);
+    const Tensor x = model.sample(512, rng);
+
+    // Empirical per-channel stddev tracks the planted gain.
+    for (int64_t c : model.outlierChannels()) {
+        double ss = 0.0;
+        for (int64_t t = 0; t < 512; ++t)
+            ss += static_cast<double>(x.at(t, c)) * x.at(t, c);
+        const double stddev = std::sqrt(ss / 512.0);
+        EXPECT_GT(stddev, 10.0) << "outlier channel " << c;
+    }
+}
+
+TEST(SyntheticActivations, DeterministicForFixedSeed)
+{
+    SyntheticActivationConfig config;
+    config.seed = 42;
+    const SyntheticActivationModel a(config), b(config);
+    EXPECT_EQ(a.outlierChannels(), b.outlierChannels());
+    Rng rng_a(7), rng_b(7);
+    const Tensor xa = a.sample(4, rng_a);
+    const Tensor xb = b.sample(4, rng_b);
+    EXPECT_DOUBLE_EQ(maxAbsError(xa, xb), 0.0);
+}
+
+TEST(SyntheticActivations, ProfilesDiffer)
+{
+    const auto llama = llama7bActivationProfile();
+    const auto opt = opt13bActivationProfile();
+    const auto qwen = qwen72bActivationProfile();
+    EXPECT_EQ(llama.channels, 4096);
+    EXPECT_EQ(opt.channels, 5120);
+    EXPECT_EQ(qwen.channels, 8192);
+    // OPT is known for denser/larger outliers.
+    EXPECT_GT(opt.outlier_fraction, llama.outlier_fraction);
+    EXPECT_GT(opt.outlier_scale, llama.outlier_scale);
+}
+
+TEST(SampleWeights, UnitGainScaling)
+{
+    Rng rng(3);
+    const Tensor w = sampleWeights(64, 256, rng);
+    // Mean square ~ 1/in.
+    EXPECT_NEAR(w.meanSquare(), 1.0 / 256.0, 0.2 / 256.0);
+}
+
+TEST(SyntheticActivationsDeathTest, InvalidConfigRejected)
+{
+    SyntheticActivationConfig config;
+    config.channels = 0;
+    EXPECT_DEATH(SyntheticActivationModel{config}, "CHECK failed");
+}
+
+} // namespace
+} // namespace comet

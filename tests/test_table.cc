@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the text table renderer.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/common/table.h"
+
+namespace comet {
+namespace {
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table table({"Model", "PPL"});
+    table.addRow({"LLaMA-1-13B", "5.09"});
+    table.addRow({"OPT-13B", "10.13"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Model"), std::string::npos);
+    EXPECT_NE(out.find("LLaMA-1-13B"), std::string::npos);
+    EXPECT_NE(out.find("10.13"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    Table table({"A", "B"});
+    table.addRow({"short", "x"});
+    table.addRow({"much-longer-cell", "y"});
+    const std::string out = table.render();
+    // Every line must have equal length (aligned columns).
+    size_t line_len = 0;
+    size_t start = 0;
+    while (start < out.size()) {
+        const size_t end = out.find('\n', start);
+        const size_t len = end - start;
+        if (line_len == 0)
+            line_len = len;
+        EXPECT_EQ(len, line_len);
+        start = end + 1;
+    }
+}
+
+TEST(Table, SeparatorInsertedBetweenGroups)
+{
+    Table table({"K"});
+    table.addRow({"group1"});
+    table.addSeparator();
+    table.addRow({"group2"});
+    const std::string out = table.render();
+    // Header separator + group separator = at least two dashed lines.
+    size_t dashes = 0, start = 0;
+    while ((start = out.find("|--", start)) != std::string::npos) {
+        ++dashes;
+        start += 3;
+    }
+    EXPECT_GE(dashes, 2u);
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts)
+{
+    Table table({"A", "B"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+TEST(Format, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Format, FormatSpeedup)
+{
+    EXPECT_EQ(formatSpeedup(2.875, 2), "2.88x");
+}
+
+TEST(Format, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.84, 1), "84.0%");
+}
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for Shape and Tensor.
+ */
+#include <gtest/gtest.h>
+
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+namespace {
+
+TEST(Shape, NumelAndRank)
+{
+    const Shape shape({4, 128});
+    EXPECT_EQ(shape.rank(), 2);
+    EXPECT_EQ(shape.dim(0), 4);
+    EXPECT_EQ(shape.dim(1), 128);
+    EXPECT_EQ(shape.numel(), 512);
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(Shape({4, 128}).toString(), "[4, 128]");
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(ShapeDeathTest, NonPositiveDimAborts)
+{
+    EXPECT_DEATH(Shape({0, 4}), "positive");
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(3, 5);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RowMajor2dIndexing)
+{
+    Tensor t(2, 3);
+    t.at(1, 2) = 7.0f;
+    EXPECT_EQ(t[1 * 3 + 2], 7.0f);
+    EXPECT_EQ(t.rows(), 2);
+    EXPECT_EQ(t.cols(), 3);
+}
+
+TEST(Tensor, RowMajor3dIndexing)
+{
+    Tensor t(Shape({2, 3, 4}));
+    t.at(1, 2, 3) = 9.0f;
+    EXPECT_EQ(t[(1 * 3 + 2) * 4 + 3], 9.0f);
+}
+
+TEST(Tensor, FillAndAbsMax)
+{
+    Tensor t(2, 2);
+    t.fill(-3.0f);
+    t.at(0, 1) = 5.0f;
+    EXPECT_EQ(t.absMax(), 5.0f);
+}
+
+TEST(Tensor, MeanSquare)
+{
+    Tensor t(1, 4);
+    t.at(0, 0) = 2.0f;
+    t.at(0, 1) = -2.0f;
+    EXPECT_DOUBLE_EQ(t.meanSquare(), (4.0 + 4.0) / 4.0);
+}
+
+TEST(TensorDeathTest, OutOfBoundsAborts)
+{
+    Tensor t(2, 2);
+    EXPECT_DEATH(t.at(2, 0), "CHECK failed");
+    EXPECT_DEATH(t.at(0, -1), "CHECK failed");
+}
+
+TEST(TensorErrors, MseAndMaxAbs)
+{
+    Tensor a(1, 2), b(1, 2);
+    a.at(0, 0) = 1.0f;
+    a.at(0, 1) = 2.0f;
+    b.at(0, 0) = 1.5f;
+    b.at(0, 1) = 2.0f;
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, b), 0.25 / 2.0);
+    EXPECT_DOUBLE_EQ(maxAbsError(a, b), 0.5);
+}
+
+TEST(TensorErrors, RelativeErrorOfIdenticalIsZero)
+{
+    Tensor a(2, 2);
+    a.fill(3.0f);
+    EXPECT_DOUBLE_EQ(relativeError(a, a), 0.0);
+}
+
+TEST(TensorErrors, RelativeErrorScalesCorrectly)
+{
+    Tensor a(1, 1), b(1, 1);
+    a.at(0, 0) = 10.0f;
+    b.at(0, 0) = 9.0f;
+    EXPECT_NEAR(relativeError(a, b), 0.1, 1e-6);
+}
+
+} // namespace
+} // namespace comet

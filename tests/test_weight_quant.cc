@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the weight-only quantization baselines (RTN, GPTQ,
+ * AWQ, OmniQuant-lite).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/gemm_ref.h"
+#include "comet/model/synthetic.h"
+#include "comet/quant/quantizer.h"
+#include "comet/quant/weight_quant.h"
+
+namespace comet {
+namespace {
+
+struct Fixture {
+    Tensor weight;
+    Tensor acts;
+};
+
+Fixture
+makeFixture(int64_t out, int64_t in, uint64_t seed)
+{
+    Rng rng(seed);
+    SyntheticActivationConfig config;
+    config.channels = in;
+    config.outlier_fraction = 0.04;
+    config.outlier_scale = 25.0;
+    config.seed = seed + 1;
+    const SyntheticActivationModel model(config);
+    return {sampleWeights(out, in, rng), model.sample(96, rng)};
+}
+
+double
+outputError(const Fixture &f, const Tensor &wq)
+{
+    return relativeError(gemmFloat(f.acts, f.weight),
+                         gemmFloat(f.acts, wq));
+}
+
+TEST(Rtn, ErrorBoundedByGroupScale)
+{
+    const Fixture f = makeFixture(8, 64, 1);
+    WeightQuantConfig config;
+    config.bits = 4;
+    config.group_size = 32;
+    const Tensor q = rtnQuantizeWeight(f.weight, config);
+    for (int64_t n = 0; n < 8; ++n) {
+        for (int64_t g = 0; g < 64; g += 32) {
+            float abs_max = 0.0f;
+            for (int64_t c = g; c < g + 32; ++c)
+                abs_max = std::max(abs_max,
+                                   std::fabs(f.weight.at(n, c)));
+            const float scale = abs_max / 7.0f;
+            for (int64_t c = g; c < g + 32; ++c) {
+                EXPECT_LE(std::fabs(q.at(n, c) - f.weight.at(n, c)),
+                          scale / 2.0f + 1e-6f);
+            }
+        }
+    }
+}
+
+TEST(Gptq, BeatsRtnOnOutputError)
+{
+    const Fixture f = makeFixture(16, 64, 2);
+    WeightQuantConfig config;
+    config.bits = 4;
+    config.group_size = 32;
+    const double rtn_err =
+        outputError(f, rtnQuantizeWeight(f.weight, config));
+    const double gptq_err = outputError(
+        f, gptqQuantizeWeight(f.weight, f.acts, config));
+    EXPECT_LT(gptq_err, rtn_err);
+}
+
+TEST(Gptq, ExactlyRepresentableWeightsAreLossless)
+{
+    // Weights already on the INT4 grid with a shared scale quantize
+    // without error, so GPTQ must return them unchanged.
+    Tensor w(2, 32);
+    for (int64_t n = 0; n < 2; ++n) {
+        for (int64_t c = 0; c < 32; ++c)
+            w.at(n, c) = static_cast<float>((c % 15) - 7) * 0.5f;
+    }
+    Rng rng(3);
+    Tensor acts(64, 32);
+    for (int64_t i = 0; i < acts.numel(); ++i)
+        acts[i] = static_cast<float>(rng.gaussian(0, 1));
+    WeightQuantConfig config;
+    config.bits = 4;
+    config.group_size = 32;
+    const Tensor q = gptqQuantizeWeight(w, acts, config);
+    EXPECT_LT(maxAbsError(w, q), 1e-4);
+}
+
+TEST(Gptq, HandlesMultipleGroups)
+{
+    const Fixture f = makeFixture(8, 128, 4);
+    WeightQuantConfig config;
+    config.bits = 4;
+    config.group_size = 32;
+    const Tensor q = gptqQuantizeWeight(f.weight, f.acts, config);
+    EXPECT_EQ(q.rows(), 8);
+    EXPECT_EQ(q.cols(), 128);
+    EXPECT_LT(outputError(f, q), 0.1);
+}
+
+TEST(Awq, BeatsOrMatchesRtn)
+{
+    const Fixture f = makeFixture(16, 64, 5);
+    WeightQuantConfig config;
+    config.bits = 4;
+    config.group_size = 32;
+    const double rtn_err =
+        outputError(f, rtnQuantizeWeight(f.weight, config));
+    const double awq_err = outputError(
+        f, awqQuantizeWeight(f.weight, f.acts, config));
+    EXPECT_LE(awq_err, rtn_err + 1e-9);
+}
+
+TEST(Omniquant, ClippingNeverWorseThanRtnMse)
+{
+    const Fixture f = makeFixture(8, 64, 6);
+    WeightQuantConfig config;
+    config.bits = 4;
+    config.group_size = 32;
+    const Tensor rtn = rtnQuantizeWeight(f.weight, config);
+    const Tensor omni = omniquantQuantizeWeight(f.weight, config);
+    // OmniQuant's grid includes clip = 1.0 (= RTN), so its per-weight
+    // MSE cannot be worse.
+    EXPECT_LE(meanSquaredError(f.weight, omni),
+              meanSquaredError(f.weight, rtn) + 1e-12);
+}
+
+TEST(Omniquant, ClipsModerateTails)
+{
+    // A group of well-spread values plus one moderate outlier: the
+    // MSE-optimal clip is interior (sacrificing a little of the
+    // outlier buys precision for everything else), and the grid
+    // search must find it.
+    Tensor w(1, 256);
+    Rng rng(7);
+    for (int64_t c = 0; c < 256; ++c)
+        w.at(0, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    w.at(0, 5) = 5.0f;
+    WeightQuantConfig config;
+    config.bits = 4;
+    config.group_size = 256;
+    const Tensor omni = omniquantQuantizeWeight(w, config);
+    const Tensor rtn = rtnQuantizeWeight(w, config);
+    EXPECT_LT(meanSquaredError(w, omni), meanSquaredError(w, rtn));
+    // The clip actually engaged: the outlier is represented below
+    // its true value.
+    EXPECT_LT(omni.at(0, 5), 5.0f - 1e-3f);
+}
+
+TEST(WeightQuantDeathTest, GroupMustDivideColumns)
+{
+    Tensor w(2, 100);
+    WeightQuantConfig config;
+    config.group_size = 64;
+    EXPECT_DEATH(rtnQuantizeWeight(w, config), "CHECK failed");
+}
+
+/** Sweep: every method degrades gracefully as bits decrease. */
+class WeightBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightBitsSweep, MoreBitsNeverHurt)
+{
+    const int bits = GetParam();
+    const Fixture f = makeFixture(8, 64, 8);
+    WeightQuantConfig lo;
+    lo.bits = bits;
+    lo.group_size = 32;
+    WeightQuantConfig hi = lo;
+    hi.bits = bits + 2;
+    EXPECT_LE(meanSquaredError(f.weight,
+                               rtnQuantizeWeight(f.weight, hi)),
+              meanSquaredError(f.weight,
+                               rtnQuantizeWeight(f.weight, lo)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, WeightBitsSweep,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+} // namespace
+} // namespace comet

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the synthetic zero-shot suite (Table 2 harness).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "comet/model/perplexity.h"
+#include "comet/model/zeroshot.h"
+
+namespace comet {
+namespace {
+
+TinyTransformer &
+teacher()
+{
+    static TinyTransformer *model = [] {
+        TinyTransformerConfig config;
+        config.vocab_size = 96;
+        config.hidden_size = 64;
+        config.num_heads = 4;
+        config.num_kv_heads = 4;
+        config.num_layers = 2;
+        config.intermediate_size = 128;
+        config.outlier_fraction = 0.06;
+        config.outlier_scale = 25.0;
+        config.seed = 77;
+        return new TinyTransformer(TinyTransformer::random(config));
+    }();
+    return *model;
+}
+
+TEST(Zeroshot, TaskGenerationShape)
+{
+    ZeroshotTaskConfig config;
+    config.name = "toy";
+    config.num_examples = 10;
+    config.context_length = 12;
+    config.num_candidates = 4;
+    const ZeroshotTask task = buildZeroshotTask(teacher(), config);
+    EXPECT_EQ(task.name, "toy");
+    ASSERT_EQ(task.examples.size(), 10u);
+    for (const auto &example : task.examples) {
+        EXPECT_EQ(example.context.size(), 12u);
+        EXPECT_EQ(example.candidates.size(), 4u);
+        EXPECT_GE(example.label, 0);
+        EXPECT_LT(example.label, 4);
+        // Candidates are distinct.
+        std::set<int32_t> unique(example.candidates.begin(),
+                                 example.candidates.end());
+        EXPECT_EQ(unique.size(), example.candidates.size());
+    }
+}
+
+TEST(Zeroshot, LabelsNotAlwaysFirst)
+{
+    ZeroshotTaskConfig config;
+    config.name = "shuffle";
+    config.num_examples = 30;
+    config.num_candidates = 4;
+    config.context_length = 8;
+    const ZeroshotTask task = buildZeroshotTask(teacher(), config);
+    int nonzero = 0;
+    for (const auto &example : task.examples)
+        nonzero += example.label != 0 ? 1 : 0;
+    EXPECT_GT(nonzero, 5);
+}
+
+TEST(Zeroshot, SuiteHasFiveNamedTasks)
+{
+    const auto suite = buildZeroshotSuite(teacher(), 5);
+    ASSERT_EQ(suite.size(), 5u);
+    EXPECT_EQ(suite[0].name, "PIQA-syn");
+    EXPECT_EQ(suite[2].name, "ARC-c-syn");
+    EXPECT_EQ(suite[4].name, "Winogrande-syn");
+}
+
+TEST(Zeroshot, TeacherBeatsChance)
+{
+    ZeroshotTaskConfig config;
+    config.name = "teacher-check";
+    config.num_examples = 40;
+    config.num_candidates = 4;
+    config.context_length = 10;
+    const ZeroshotTask task = buildZeroshotTask(teacher(), config);
+    const double accuracy =
+        evaluateZeroshotAccuracy(teacher(), nullptr, task);
+    EXPECT_GT(accuracy, 0.4); // chance is 0.25
+}
+
+TEST(Zeroshot, HardDistractorsAreHarder)
+{
+    ZeroshotTaskConfig easy;
+    easy.name = "easy";
+    easy.num_examples = 40;
+    easy.num_candidates = 4;
+    easy.context_length = 10;
+    easy.seed = 9;
+    ZeroshotTaskConfig hard = easy;
+    hard.name = "hard";
+    hard.hard_distractors = true;
+    const double easy_acc = evaluateZeroshotAccuracy(
+        teacher(), nullptr, buildZeroshotTask(teacher(), easy));
+    const double hard_acc = evaluateZeroshotAccuracy(
+        teacher(), nullptr, buildZeroshotTask(teacher(), hard));
+    EXPECT_LE(hard_acc, easy_acc);
+}
+
+TEST(Zeroshot, QuantizationDegradesAccuracyOrder)
+{
+    // FMPQ stays near FP16; full W4A4 falls furthest — the Table 2
+    // ordering.
+    ZeroshotTaskConfig config;
+    config.name = "order";
+    config.num_examples = 40;
+    config.num_candidates = 4;
+    config.context_length = 10;
+    config.seed = 13;
+    const ZeroshotTask task = buildZeroshotTask(teacher(), config);
+
+    Rng rng(15);
+    const Dataset calib_data = sampleDataset(teacher(), 3, 24, rng);
+    const CalibrationData calibration =
+        CalibrationData::collect(teacher(), calib_data);
+
+    const double fp16 =
+        evaluateZeroshotAccuracy(teacher(), nullptr, task);
+    const QuantizedModel fmpq = buildQuantizedModel(
+        teacher(), QuantScheme::kFmpqW4AxKv4, calibration);
+    const double fmpq_acc =
+        evaluateZeroshotAccuracy(fmpq.model, fmpq.sim(), task);
+    const QuantizedModel w4a4 = buildQuantizedModel(
+        teacher(), QuantScheme::kOmniquantW4A4, calibration);
+    const double w4a4_acc =
+        evaluateZeroshotAccuracy(w4a4.model, w4a4.sim(), task);
+
+    EXPECT_GE(fmpq_acc, fp16 - 0.15);
+    EXPECT_LT(w4a4_acc, fmpq_acc + 0.05);
+}
+
+} // namespace
+} // namespace comet
