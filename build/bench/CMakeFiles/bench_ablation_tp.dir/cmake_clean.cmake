@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tp.dir/bench_ablation_tp.cc.o"
+  "CMakeFiles/bench_ablation_tp.dir/bench_ablation_tp.cc.o.d"
+  "bench_ablation_tp"
+  "bench_ablation_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_roofline.dir/bench_fig02_roofline.cc.o"
+  "CMakeFiles/bench_fig02_roofline.dir/bench_fig02_roofline.cc.o.d"
+  "bench_fig02_roofline"
+  "bench_fig02_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

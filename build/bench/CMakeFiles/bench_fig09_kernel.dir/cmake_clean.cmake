@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_kernel.dir/bench_fig09_kernel.cc.o"
+  "CMakeFiles/bench_fig09_kernel.dir/bench_fig09_kernel.cc.o.d"
+  "bench_fig09_kernel"
+  "bench_fig09_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_perplexity.dir/bench_tab1_perplexity.cc.o"
+  "CMakeFiles/bench_tab1_perplexity.dir/bench_tab1_perplexity.cc.o.d"
+  "bench_tab1_perplexity"
+  "bench_tab1_perplexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

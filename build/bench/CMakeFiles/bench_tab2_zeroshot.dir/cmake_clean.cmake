@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_zeroshot.dir/bench_tab2_zeroshot.cc.o"
+  "CMakeFiles/bench_tab2_zeroshot.dir/bench_tab2_zeroshot.cc.o.d"
+  "bench_tab2_zeroshot"
+  "bench_tab2_zeroshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_zeroshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_plan.dir/compile_plan.cc.o"
+  "CMakeFiles/compile_plan.dir/compile_plan.cc.o.d"
+  "compile_plan"
+  "compile_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

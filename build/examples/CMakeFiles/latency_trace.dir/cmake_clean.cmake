@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_trace.dir/latency_trace.cc.o"
+  "CMakeFiles/latency_trace.dir/latency_trace.cc.o.d"
+  "latency_trace"
+  "latency_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_deploy.dir/offline_deploy.cc.o"
+  "CMakeFiles/offline_deploy.dir/offline_deploy.cc.o.d"
+  "offline_deploy"
+  "offline_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

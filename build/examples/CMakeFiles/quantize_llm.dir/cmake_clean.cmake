@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantize_llm.dir/quantize_llm.cc.o"
+  "CMakeFiles/quantize_llm.dir/quantize_llm.cc.o.d"
+  "quantize_llm"
+  "quantize_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantize_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comet/attention/decode_attention.cc" "src/comet/CMakeFiles/comet.dir/attention/decode_attention.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/attention/decode_attention.cc.o.d"
+  "/root/repo/src/comet/common/logging.cc" "src/comet/CMakeFiles/comet.dir/common/logging.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/common/logging.cc.o.d"
+  "/root/repo/src/comet/common/rng.cc" "src/comet/CMakeFiles/comet.dir/common/rng.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/common/rng.cc.o.d"
+  "/root/repo/src/comet/common/stats.cc" "src/comet/CMakeFiles/comet.dir/common/stats.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/common/stats.cc.o.d"
+  "/root/repo/src/comet/common/status.cc" "src/comet/CMakeFiles/comet.dir/common/status.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/common/status.cc.o.d"
+  "/root/repo/src/comet/common/table.cc" "src/comet/CMakeFiles/comet.dir/common/table.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/common/table.cc.o.d"
+  "/root/repo/src/comet/gpusim/cost_model.cc" "src/comet/CMakeFiles/comet.dir/gpusim/cost_model.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/gpusim/cost_model.cc.o.d"
+  "/root/repo/src/comet/gpusim/gpu_spec.cc" "src/comet/CMakeFiles/comet.dir/gpusim/gpu_spec.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/gpusim/gpu_spec.cc.o.d"
+  "/root/repo/src/comet/gpusim/kernel_sim.cc" "src/comet/CMakeFiles/comet.dir/gpusim/kernel_sim.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/gpusim/kernel_sim.cc.o.d"
+  "/root/repo/src/comet/gpusim/planner.cc" "src/comet/CMakeFiles/comet.dir/gpusim/planner.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/gpusim/planner.cc.o.d"
+  "/root/repo/src/comet/gpusim/roofline.cc" "src/comet/CMakeFiles/comet.dir/gpusim/roofline.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/gpusim/roofline.cc.o.d"
+  "/root/repo/src/comet/gpusim/sm_scheduler.cc" "src/comet/CMakeFiles/comet.dir/gpusim/sm_scheduler.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/gpusim/sm_scheduler.cc.o.d"
+  "/root/repo/src/comet/io/serialize.cc" "src/comet/CMakeFiles/comet.dir/io/serialize.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/io/serialize.cc.o.d"
+  "/root/repo/src/comet/kernel/convert.cc" "src/comet/CMakeFiles/comet.dir/kernel/convert.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kernel/convert.cc.o.d"
+  "/root/repo/src/comet/kernel/fp4.cc" "src/comet/CMakeFiles/comet.dir/kernel/fp4.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kernel/fp4.cc.o.d"
+  "/root/repo/src/comet/kernel/gemm_ref.cc" "src/comet/CMakeFiles/comet.dir/kernel/gemm_ref.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kernel/gemm_ref.cc.o.d"
+  "/root/repo/src/comet/kernel/gemm_w4ax.cc" "src/comet/CMakeFiles/comet.dir/kernel/gemm_w4ax.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kernel/gemm_w4ax.cc.o.d"
+  "/root/repo/src/comet/kernel/int4_pack.cc" "src/comet/CMakeFiles/comet.dir/kernel/int4_pack.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kernel/int4_pack.cc.o.d"
+  "/root/repo/src/comet/kernel/interleave.cc" "src/comet/CMakeFiles/comet.dir/kernel/interleave.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kernel/interleave.cc.o.d"
+  "/root/repo/src/comet/kernel/mma.cc" "src/comet/CMakeFiles/comet.dir/kernel/mma.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kernel/mma.cc.o.d"
+  "/root/repo/src/comet/kernel/pipeline.cc" "src/comet/CMakeFiles/comet.dir/kernel/pipeline.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kernel/pipeline.cc.o.d"
+  "/root/repo/src/comet/kvcache/block_allocator.cc" "src/comet/CMakeFiles/comet.dir/kvcache/block_allocator.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kvcache/block_allocator.cc.o.d"
+  "/root/repo/src/comet/kvcache/kv_cache.cc" "src/comet/CMakeFiles/comet.dir/kvcache/kv_cache.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/kvcache/kv_cache.cc.o.d"
+  "/root/repo/src/comet/model/decoder_session.cc" "src/comet/CMakeFiles/comet.dir/model/decoder_session.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/model/decoder_session.cc.o.d"
+  "/root/repo/src/comet/model/layer_shapes.cc" "src/comet/CMakeFiles/comet.dir/model/layer_shapes.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/model/layer_shapes.cc.o.d"
+  "/root/repo/src/comet/model/llm_config.cc" "src/comet/CMakeFiles/comet.dir/model/llm_config.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/model/llm_config.cc.o.d"
+  "/root/repo/src/comet/model/perplexity.cc" "src/comet/CMakeFiles/comet.dir/model/perplexity.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/model/perplexity.cc.o.d"
+  "/root/repo/src/comet/model/quantized_decoder.cc" "src/comet/CMakeFiles/comet.dir/model/quantized_decoder.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/model/quantized_decoder.cc.o.d"
+  "/root/repo/src/comet/model/synthetic.cc" "src/comet/CMakeFiles/comet.dir/model/synthetic.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/model/synthetic.cc.o.d"
+  "/root/repo/src/comet/model/tiny_transformer.cc" "src/comet/CMakeFiles/comet.dir/model/tiny_transformer.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/model/tiny_transformer.cc.o.d"
+  "/root/repo/src/comet/model/zeroshot.cc" "src/comet/CMakeFiles/comet.dir/model/zeroshot.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/model/zeroshot.cc.o.d"
+  "/root/repo/src/comet/quant/fmpq.cc" "src/comet/CMakeFiles/comet.dir/quant/fmpq.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/fmpq.cc.o.d"
+  "/root/repo/src/comet/quant/kv_quant.cc" "src/comet/CMakeFiles/comet.dir/quant/kv_quant.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/kv_quant.cc.o.d"
+  "/root/repo/src/comet/quant/outlier.cc" "src/comet/CMakeFiles/comet.dir/quant/outlier.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/outlier.cc.o.d"
+  "/root/repo/src/comet/quant/permutation.cc" "src/comet/CMakeFiles/comet.dir/quant/permutation.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/permutation.cc.o.d"
+  "/root/repo/src/comet/quant/qoq.cc" "src/comet/CMakeFiles/comet.dir/quant/qoq.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/qoq.cc.o.d"
+  "/root/repo/src/comet/quant/quantizer.cc" "src/comet/CMakeFiles/comet.dir/quant/quantizer.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/quantizer.cc.o.d"
+  "/root/repo/src/comet/quant/rotation.cc" "src/comet/CMakeFiles/comet.dir/quant/rotation.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/rotation.cc.o.d"
+  "/root/repo/src/comet/quant/smooth_quant.cc" "src/comet/CMakeFiles/comet.dir/quant/smooth_quant.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/smooth_quant.cc.o.d"
+  "/root/repo/src/comet/quant/weight_quant.cc" "src/comet/CMakeFiles/comet.dir/quant/weight_quant.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/quant/weight_quant.cc.o.d"
+  "/root/repo/src/comet/serve/batch_scheduler.cc" "src/comet/CMakeFiles/comet.dir/serve/batch_scheduler.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/serve/batch_scheduler.cc.o.d"
+  "/root/repo/src/comet/serve/engine.cc" "src/comet/CMakeFiles/comet.dir/serve/engine.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/serve/engine.cc.o.d"
+  "/root/repo/src/comet/serve/request.cc" "src/comet/CMakeFiles/comet.dir/serve/request.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/serve/request.cc.o.d"
+  "/root/repo/src/comet/serve/trace.cc" "src/comet/CMakeFiles/comet.dir/serve/trace.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/serve/trace.cc.o.d"
+  "/root/repo/src/comet/tensor/packed.cc" "src/comet/CMakeFiles/comet.dir/tensor/packed.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/tensor/packed.cc.o.d"
+  "/root/repo/src/comet/tensor/tensor.cc" "src/comet/CMakeFiles/comet.dir/tensor/tensor.cc.o" "gcc" "src/comet/CMakeFiles/comet.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_scheduler.dir/test_batch_scheduler.cc.o"
+  "CMakeFiles/test_batch_scheduler.dir/test_batch_scheduler.cc.o.d"
+  "test_batch_scheduler"
+  "test_batch_scheduler.pdb"
+  "test_batch_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

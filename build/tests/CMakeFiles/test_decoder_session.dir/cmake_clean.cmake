@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decoder_session.dir/test_decoder_session.cc.o"
+  "CMakeFiles/test_decoder_session.dir/test_decoder_session.cc.o.d"
+  "test_decoder_session"
+  "test_decoder_session.pdb"
+  "test_decoder_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decoder_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

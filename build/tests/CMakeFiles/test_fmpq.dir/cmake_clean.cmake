@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmpq.dir/test_fmpq.cc.o"
+  "CMakeFiles/test_fmpq.dir/test_fmpq.cc.o.d"
+  "test_fmpq"
+  "test_fmpq.pdb"
+  "test_fmpq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp4.dir/test_fp4.cc.o"
+  "CMakeFiles/test_fp4.dir/test_fp4.cc.o.d"
+  "test_fp4"
+  "test_fp4.pdb"
+  "test_fp4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_ref.dir/test_gemm_ref.cc.o"
+  "CMakeFiles/test_gemm_ref.dir/test_gemm_ref.cc.o.d"
+  "test_gemm_ref"
+  "test_gemm_ref.pdb"
+  "test_gemm_ref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

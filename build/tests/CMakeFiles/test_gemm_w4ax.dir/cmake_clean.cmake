@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_w4ax.dir/test_gemm_w4ax.cc.o"
+  "CMakeFiles/test_gemm_w4ax.dir/test_gemm_w4ax.cc.o.d"
+  "test_gemm_w4ax"
+  "test_gemm_w4ax.pdb"
+  "test_gemm_w4ax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_w4ax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

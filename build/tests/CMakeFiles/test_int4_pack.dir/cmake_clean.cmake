@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_int4_pack.dir/test_int4_pack.cc.o"
+  "CMakeFiles/test_int4_pack.dir/test_int4_pack.cc.o.d"
+  "test_int4_pack"
+  "test_int4_pack.pdb"
+  "test_int4_pack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_int4_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

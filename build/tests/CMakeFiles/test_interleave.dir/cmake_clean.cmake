@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interleave.dir/test_interleave.cc.o"
+  "CMakeFiles/test_interleave.dir/test_interleave.cc.o.d"
+  "test_interleave"
+  "test_interleave.pdb"
+  "test_interleave[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_sim.dir/test_kernel_sim.cc.o"
+  "CMakeFiles/test_kernel_sim.dir/test_kernel_sim.cc.o.d"
+  "test_kernel_sim"
+  "test_kernel_sim.pdb"
+  "test_kernel_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_cache.dir/test_kv_cache.cc.o"
+  "CMakeFiles/test_kv_cache.dir/test_kv_cache.cc.o.d"
+  "test_kv_cache"
+  "test_kv_cache.pdb"
+  "test_kv_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_quant.dir/test_kv_quant.cc.o"
+  "CMakeFiles/test_kv_quant.dir/test_kv_quant.cc.o.d"
+  "test_kv_quant"
+  "test_kv_quant.pdb"
+  "test_kv_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer_shapes.dir/test_layer_shapes.cc.o"
+  "CMakeFiles/test_layer_shapes.dir/test_layer_shapes.cc.o.d"
+  "test_layer_shapes"
+  "test_layer_shapes.pdb"
+  "test_layer_shapes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

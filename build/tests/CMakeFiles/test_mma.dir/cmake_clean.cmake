@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mma.dir/test_mma.cc.o"
+  "CMakeFiles/test_mma.dir/test_mma.cc.o.d"
+  "test_mma"
+  "test_mma.pdb"
+  "test_mma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

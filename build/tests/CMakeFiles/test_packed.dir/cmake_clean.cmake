@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packed.dir/test_packed.cc.o"
+  "CMakeFiles/test_packed.dir/test_packed.cc.o.d"
+  "test_packed"
+  "test_packed.pdb"
+  "test_packed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perplexity.dir/test_perplexity.cc.o"
+  "CMakeFiles/test_perplexity.dir/test_perplexity.cc.o.d"
+  "test_perplexity"
+  "test_perplexity.pdb"
+  "test_perplexity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

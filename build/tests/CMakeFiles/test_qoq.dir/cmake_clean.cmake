@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qoq.dir/test_qoq.cc.o"
+  "CMakeFiles/test_qoq.dir/test_qoq.cc.o.d"
+  "test_qoq"
+  "test_qoq.pdb"
+  "test_qoq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qoq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

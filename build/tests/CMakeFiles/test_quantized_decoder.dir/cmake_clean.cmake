@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantized_decoder.dir/test_quantized_decoder.cc.o"
+  "CMakeFiles/test_quantized_decoder.dir/test_quantized_decoder.cc.o.d"
+  "test_quantized_decoder"
+  "test_quantized_decoder.pdb"
+  "test_quantized_decoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantized_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotation.dir/test_rotation.cc.o"
+  "CMakeFiles/test_rotation.dir/test_rotation.cc.o.d"
+  "test_rotation"
+  "test_rotation.pdb"
+  "test_rotation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm_scheduler.dir/test_sm_scheduler.cc.o"
+  "CMakeFiles/test_sm_scheduler.dir/test_sm_scheduler.cc.o.d"
+  "test_sm_scheduler"
+  "test_sm_scheduler.pdb"
+  "test_sm_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

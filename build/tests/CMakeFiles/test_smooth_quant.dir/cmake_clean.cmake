@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smooth_quant.dir/test_smooth_quant.cc.o"
+  "CMakeFiles/test_smooth_quant.dir/test_smooth_quant.cc.o.d"
+  "test_smooth_quant"
+  "test_smooth_quant.pdb"
+  "test_smooth_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smooth_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiny_transformer.dir/test_tiny_transformer.cc.o"
+  "CMakeFiles/test_tiny_transformer.dir/test_tiny_transformer.cc.o.d"
+  "test_tiny_transformer"
+  "test_tiny_transformer.pdb"
+  "test_tiny_transformer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiny_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

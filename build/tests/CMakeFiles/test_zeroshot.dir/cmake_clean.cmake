@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zeroshot.dir/test_zeroshot.cc.o"
+  "CMakeFiles/test_zeroshot.dir/test_zeroshot.cc.o.d"
+  "test_zeroshot"
+  "test_zeroshot.pdb"
+  "test_zeroshot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zeroshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
