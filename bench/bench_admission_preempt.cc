@@ -1,0 +1,119 @@
+/**
+ * @file
+ * KV admission policy comparison: pessimistic full-output
+ * reservation vs optimistic prompt-only admission with
+ * preemption-based recovery (the vLLM/QServe-style scheduler the
+ * paper's serving evaluation builds on).
+ *
+ * Both policies run the same oversubscribed workload against the
+ * same KV budget. Full reservation never preempts but idles KV
+ * capacity on output tokens that have not been generated yet;
+ * optimistic admission packs more concurrent requests into the same
+ * pool and pays for it with occasional recompute-style preemptions.
+ * The interesting question is whether the extra steady-state batch
+ * outweighs the wasted re-prefill work.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "comet/common/table.h"
+#include "comet/kvcache/kv_cache.h"
+#include "comet/serve/engine.h"
+
+using namespace comet;
+
+namespace {
+
+/** Shrinks usable memory so the KV pool holds exactly @p blocks —
+ * making the cache, not the 256-request cap, the batch limit (an
+ * 80 GB A100 fits the whole cap at KV4; the policy question only
+ * appears when memory binds). */
+EngineConfig
+withKvBlocks(EngineConfig config, int64_t blocks)
+{
+    KvCacheConfig probe_config;
+    probe_config.bits_per_value =
+        servingPrecision(config.mode).kv_bits;
+    probe_config.block_tokens = config.kv_block_tokens;
+    probe_config.memory_budget_bytes = 1e9;
+    const PagedKvCache probe(config.model, probe_config);
+    const double weights = ServingEngine(config).weightBytes();
+    config.usable_memory_fraction =
+        (weights + probe.blockBytes() * static_cast<double>(blocks)) /
+        config.gpu.hbm_capacity_bytes;
+    return config;
+}
+
+std::vector<std::string>
+policyRow(const EngineConfig &config, int64_t offered_batch)
+{
+    const ServingEngine engine(config);
+    const ThroughputResult result =
+        engine.measureThroughputAtBatch(offered_batch);
+    return {
+        admissionPolicyName(config.admission),
+        std::to_string(config.kv_watermark_blocks),
+        std::to_string(offered_batch),
+        formatDouble(result.mean_batch, 1),
+        std::to_string(result.peak_batch),
+        std::to_string(result.preemptions),
+        std::to_string(result.reprefill_tokens),
+        formatPercent(result.mean_kv_utilization),
+        formatPercent(result.peak_kv_utilization),
+        formatDouble(result.tokens_per_second, 0),
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== KV admission: full reservation vs optimistic "
+                "preemption (LLaMA-3-8B, COMET W4A4KV4) ===\n\n");
+
+    EngineConfig base;
+    base.model = LlmConfig::llama3_8b();
+    base.mode = ServingMode::kCometW4AxKv4;
+    base.input_tokens = 1024;
+    base.output_tokens = 512;
+    // The declared/actual gap of real serving: clients ask for up to
+    // 2048 tokens, generation hits EOS at 512. Full reservation must
+    // budget the declared bound; only the actual tokens ever occupy
+    // KV.
+    base.declared_output_tokens = 2048;
+    // A pool of 6144 KV4 pages = 96 Ki tokens: a KV-limited regime
+    // (~64 actually-full-length sequences) oversubscribed 2x.
+    base = withKvBlocks(base, 6144);
+    const int64_t kv_limited = ServingEngine(base).maxBatchSize();
+    const int64_t offered = 2 * kv_limited;
+    std::printf("Sequences the pool fits at actual full context: "
+                "%lld; offered load: %lld concurrent requests "
+                "(declared max_tokens %lld, EOS at %lld)\n\n",
+                static_cast<long long>(kv_limited),
+                static_cast<long long>(offered),
+                static_cast<long long>(base.declared_output_tokens),
+                static_cast<long long>(base.output_tokens));
+
+    Table table({"policy", "watermark", "offered", "mean batch",
+                 "peak batch", "preempt", "re-prefill tok",
+                 "mean KV", "peak KV", "tok/s"});
+    base.admission = AdmissionPolicy::kReserveFullOutput;
+    table.addRow(policyRow(base, offered));
+    base.admission = AdmissionPolicy::kOptimisticPreempt;
+    for (const int64_t watermark : {0, 256, 1024}) {
+        base.kv_watermark_blocks = watermark;
+        table.addRow(policyRow(base, offered));
+    }
+    table.print();
+
+    std::printf(
+        "\nReading the table: full reservation caps the concurrent "
+        "batch at the pessimistic bound and never preempts; "
+        "optimistic admission sustains a strictly larger mean batch "
+        "from the same pool, at the price of preemptions and their "
+        "re-prefill recompute. A larger watermark keeps more decode "
+        "headroom free, trading admitted batch for fewer "
+        "preemptions.\n");
+    return 0;
+}

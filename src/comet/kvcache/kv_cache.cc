@@ -129,28 +129,16 @@ PagedKvCache::forkSequence(int64_t parent_id, int64_t child_id)
     const SequenceState &parent = parent_it->second;
     COMET_CHECK(!parent.blocks.empty());
 
-    // Full blocks are shared; a partially filled trailing block is
-    // copied so parent and child can append independently.
-    const bool tail_partial =
-        parent.tokens % config_.block_tokens != 0;
-    const size_t shared =
-        parent.blocks.size() - (tail_partial ? 1 : 0);
-
+    // Every block is shared, including a partially filled tail; the
+    // first writer into the shared tail pays for the divergence copy
+    // (appendToken's copy-on-write branch). Forking therefore never
+    // allocates and cannot fail on exhaustion.
     SequenceState child;
     child.tokens = parent.tokens;
     child.blocks.reserve(parent.blocks.size());
-    if (tail_partial && freeBlocks() < 1) {
-        return Status::resourceExhausted(
-            "no free block for the copy-on-write tail");
-    }
-    for (size_t i = 0; i < shared; ++i) {
-        allocator_.addRef(parent.blocks[i]);
-        child.blocks.push_back(parent.blocks[i]);
-    }
-    if (tail_partial) {
-        Result<int64_t> copy = allocator_.allocate();
-        COMET_CHECK(copy.isOk()); // guaranteed by the check above
-        child.blocks.push_back(copy.value());
+    for (int64_t block : parent.blocks) {
+        allocator_.addRef(block);
+        child.blocks.push_back(block);
     }
     sequences_.emplace(child_id, std::move(child));
     return Status::ok();

@@ -68,12 +68,13 @@ class PagedKvCache
     Status appendToken(int64_t seq_id);
 
     /**
-     * Forks a sequence: the child shares the parent's prompt blocks
+     * Forks a sequence: the child shares every parent block
      * copy-on-write (vLLM-style prefix sharing, e.g. parallel
-     * sampling from one prompt). Only full blocks are shared; a
-     * partially filled trailing block is copied so the two sequences
-     * can diverge. Fails without side effects when the copy cannot
-     * be allocated.
+     * sampling from one prompt), including a partially filled
+     * trailing block. Forking allocates nothing — it cannot fail on
+     * resource exhaustion — and the first append into a shared tail
+     * pays for the divergence copy (see appendToken). Fails only for
+     * unknown parent / duplicate child ids.
      */
     Status forkSequence(int64_t parent_id, int64_t child_id);
 

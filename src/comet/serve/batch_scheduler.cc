@@ -4,12 +4,25 @@
 
 namespace comet {
 
+const char *
+admissionPolicyName(AdmissionPolicy policy)
+{
+    switch (policy) {
+      case AdmissionPolicy::kReserveFullOutput:
+        return "reserve-full";
+      case AdmissionPolicy::kOptimisticPreempt:
+        return "optimistic-preempt";
+    }
+    return "?";
+}
+
 BatchScheduler::BatchScheduler(PagedKvCache *cache,
                                BatchSchedulerConfig config)
     : cache_(cache), config_(config)
 {
     COMET_CHECK(cache_ != nullptr);
     COMET_CHECK(config_.max_batch > 0);
+    COMET_CHECK(config_.watermark_blocks >= 0);
 }
 
 void
@@ -19,40 +32,91 @@ BatchScheduler::submit(const Request &request)
     COMET_CHECK(request.prompt_tokens > 0 &&
                 request.max_output_tokens > 0);
     queue_.push_back(request);
+    notePeaks();
 }
 
 int64_t
 BatchScheduler::admit()
 {
-    // Blocks the running batch will still claim as it decodes; new
-    // admissions must leave this headroom untouched or the decode
-    // loop could exhaust the pool mid-step.
+    // Blocks the running batch will still claim as it decodes; under
+    // full reservation, new admissions must leave this headroom
+    // untouched so the decode loop can never exhaust the pool.
     int64_t reserved = 0;
-    for (const Request &request : running_) {
-        reserved += cache_->blocksForTokens(
-                        request.prompt_tokens +
-                        request.max_output_tokens) -
-                    cache_->blocksForTokens(request.contextTokens());
+    if (config_.admission == AdmissionPolicy::kReserveFullOutput) {
+        for (const Request &request : running_) {
+            reserved += cache_->blocksForTokens(
+                            request.prompt_tokens +
+                            request.max_output_tokens) -
+                        cache_->blocksForTokens(
+                            request.contextTokens());
+        }
     }
 
     int64_t admitted = 0;
     while (!queue_.empty() &&
            runningCount() < config_.max_batch) {
         Request &head = queue_.front();
-        const int64_t need = cache_->blocksForTokens(
-            head.prompt_tokens + head.max_output_tokens);
-        if (need + reserved > cache_->freeBlocks())
+        // A request that cannot fit even running alone will never be
+        // servable: drop it instead of blocking the queue forever.
+        if (cache_->blocksForTokens(head.prompt_tokens +
+                                    head.max_output_tokens) >
+            cache_->totalBlocks()) {
+            head.state = RequestState::kRejected;
+            ++counters_.rejected;
+            queue_.pop_front();
+            continue;
+        }
+        // Preempted requests re-prefill their whole context (prompt
+        // plus the tokens they had already generated).
+        const int64_t prefill_tokens = head.contextTokens();
+        bool fits;
+        if (config_.admission == AdmissionPolicy::kReserveFullOutput) {
+            const int64_t need = cache_->blocksForTokens(
+                head.prompt_tokens + head.max_output_tokens);
+            fits = need + reserved <= cache_->freeBlocks();
+            if (fits) {
+                reserved += need -
+                            cache_->blocksForTokens(prefill_tokens);
+            }
+        } else {
+            // The watermark holds decode headroom, but must not
+            // starve an empty system.
+            const int64_t slack =
+                running_.empty() ? 0 : config_.watermark_blocks;
+            fits = cache_->blocksForTokens(prefill_tokens) + slack <=
+                   cache_->freeBlocks();
+        }
+        if (!fits)
             break; // FCFS: do not skip ahead of the head
         const Status status =
-            cache_->addSequence(head.id, head.prompt_tokens);
-        COMET_CHECK(status.isOk());
-        reserved += need - cache_->blocksForTokens(head.prompt_tokens);
+            cache_->addSequence(head.id, prefill_tokens);
+        COMET_CHECK(status.isOk()); // guaranteed by the check above
         head.state = RequestState::kRunning;
         running_.push_back(head);
         queue_.pop_front();
         ++admitted;
+        ++counters_.admitted;
     }
+    notePeaks();
     return admitted;
+}
+
+void
+BatchScheduler::preemptBack()
+{
+    COMET_CHECK(!running_.empty());
+    Request victim = running_.back();
+    running_.pop_back();
+    cache_->removeSequence(victim.id);
+    victim.state = RequestState::kPreempted;
+    ++victim.preemptions;
+    ++counters_.preemptions;
+    // Recompute-style preemption: everything cached must be
+    // re-prefetched through the model on re-admission.
+    counters_.reprefill_tokens += victim.contextTokens();
+    // Victims are evicted latest-arrived first, and running_ is in
+    // arrival order, so push_front restores FCFS order in the queue.
+    queue_.push_front(victim);
 }
 
 int64_t
@@ -61,11 +125,26 @@ BatchScheduler::step()
     int64_t generated = 0;
     std::vector<Request> still_running;
     still_running.reserve(running_.size());
-    for (Request &request : running_) {
-        const Status status = cache_->appendToken(request.id);
-        COMET_CHECK_MSG(status.isOk(),
-                        "KV pool exhausted mid-step despite admission "
-                        "reservation");
+    size_t i = 0;
+    while (i < running_.size()) {
+        Request &request = running_[i];
+        Status status = cache_->appendToken(request.id);
+        // KV exhaustion mid-step: free blocks by preempting the
+        // latest-arrived requests (which have not been stepped yet
+        // this iteration) until the append succeeds.
+        while (status.code() == StatusCode::kResourceExhausted &&
+               running_.size() > i + 1) {
+            preemptBack();
+            status = cache_->appendToken(request.id);
+        }
+        if (status.code() == StatusCode::kResourceExhausted) {
+            // No later victim left: the pool is held by requests
+            // already stepped this iteration. Yield this request too;
+            // it re-prefills once the survivors retire.
+            preemptBack(); // running_[i] is the back here
+            break;
+        }
+        COMET_CHECK_MSG(status.isOk(), status.message().c_str());
         ++request.generated_tokens;
         ++generated;
         if (request.done()) {
@@ -75,9 +154,55 @@ BatchScheduler::step()
         } else {
             still_running.push_back(request);
         }
+        ++i;
     }
     running_ = std::move(still_running);
+    notePeaks();
     return generated;
+}
+
+Status
+BatchScheduler::cancel(int64_t id)
+{
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->id == id) {
+            queue_.erase(it);
+            ++counters_.cancelled;
+            return Status::ok();
+        }
+    }
+    for (auto it = running_.begin(); it != running_.end(); ++it) {
+        if (it->id == id) {
+            cache_->removeSequence(id);
+            running_.erase(it);
+            ++counters_.cancelled;
+            return Status::ok();
+        }
+    }
+    return Status::invalidArgument(
+        "cancel: request is not queued or running");
+}
+
+double
+BatchScheduler::kvUtilization() const
+{
+    const int64_t total = cache_->totalBlocks();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(total - cache_->freeBlocks()) /
+           static_cast<double>(total);
+}
+
+void
+BatchScheduler::notePeaks()
+{
+    counters_.peak_running =
+        std::max(counters_.peak_running, runningCount());
+    counters_.peak_queue_depth =
+        std::max(counters_.peak_queue_depth, queuedCount());
+    counters_.peak_used_blocks =
+        std::max(counters_.peak_used_blocks,
+                 cache_->totalBlocks() - cache_->freeBlocks());
 }
 
 } // namespace comet

@@ -5,8 +5,28 @@
  * Implements the iteration-level scheduling used by modern serving
  * systems (and by COMET, Section 5): at every decode step, finished
  * sequences leave the batch, and queued requests are admitted as long
- * as the KV cache can hold their prompt and the batch is below its
- * cap. Admission is FCFS.
+ * as the KV cache can hold them and the batch is below its cap.
+ * Admission is FCFS.
+ *
+ * Two admission policies are supported:
+ *
+ * - kReserveFullOutput reserves KV blocks for a request's full
+ *   prompt + max_output up front, so the pool can never exhaust
+ *   mid-decode. Safe but pessimistic: it caps the batch at the
+ *   worst-case footprint even though most tokens are not yet
+ *   generated.
+ * - kOptimisticPreempt (the default; the vLLM/QServe design) admits
+ *   on prompt footprint alone, plus a configurable free-block
+ *   watermark. When the pool exhausts mid-step, the latest-arrived
+ *   running requests are preempted back to the queue
+ *   (recompute-style: their blocks are freed and they re-prefill
+ *   their full context on re-admission), and the earliest requests
+ *   keep making progress. KV exhaustion is thus a recoverable
+ *   scheduling event, never an abort.
+ *
+ * Requests whose prompt + max_output can never fit the pool even
+ * running alone are rejected at admission (graceful degradation)
+ * instead of blocking the FCFS head forever.
  */
 #pragma once
 
@@ -19,9 +39,42 @@
 
 namespace comet {
 
-/** Scheduler limits. */
+/** How admission charges the KV pool for a new request. */
+enum class AdmissionPolicy {
+    /** Reserve prompt + max_output blocks up front; no preemption
+     * ever needed. */
+    kReserveFullOutput = 0,
+    /** Reserve only the (re)prefill footprint plus the watermark;
+     * recover from mid-decode exhaustion by preempting the
+     * latest-arrived running requests. */
+    kOptimisticPreempt,
+};
+
+/** Returns "reserve-full" / "optimistic-preempt". */
+const char *admissionPolicyName(AdmissionPolicy policy);
+
+/** Scheduler limits and policy knobs. */
 struct BatchSchedulerConfig {
     int64_t max_batch = 256; ///< hard cap on concurrent sequences
+    AdmissionPolicy admission = AdmissionPolicy::kOptimisticPreempt;
+    /** Free blocks optimistic admission keeps untouched as decode
+     * headroom; larger values trade batch size for fewer
+     * preemptions. Ignored by kReserveFullOutput. */
+    int64_t watermark_blocks = 0;
+};
+
+/** Observability counters accumulated over a scheduler's lifetime. */
+struct SchedulerCounters {
+    int64_t admitted = 0;         ///< admissions incl. re-admissions
+    int64_t preemptions = 0;      ///< evictions on KV exhaustion
+    /** Context tokens that must be recomputed because their KV was
+     * freed by a preemption (the wasted-work cost of optimism). */
+    int64_t reprefill_tokens = 0;
+    int64_t cancelled = 0;        ///< requests aborted via cancel()
+    int64_t rejected = 0;         ///< requests that can never fit
+    int64_t peak_running = 0;     ///< max concurrent batch observed
+    int64_t peak_queue_depth = 0; ///< max queue length observed
+    int64_t peak_used_blocks = 0; ///< max KV blocks in use observed
 };
 
 /**
@@ -37,19 +90,37 @@ class BatchScheduler
 
     /**
      * Admits queued requests into the running batch while capacity
-     * lasts; returns the number admitted. Call once per decode step.
+     * lasts; returns the number admitted. Requests that can never fit
+     * the pool are rejected (state kRejected, counted) rather than
+     * blocking the head. Call once per decode step.
      */
     int64_t admit();
 
     /**
      * Advances every running request by one generated token,
-     * retiring finished ones (their KV blocks are released).
-     * Returns the number of tokens generated this step.
+     * retiring finished ones (their KV blocks are released). When
+     * the KV pool exhausts mid-step, the latest-arrived running
+     * requests are preempted back to the front of the queue until
+     * the append succeeds — never an abort. Returns the number of
+     * tokens generated this step.
      */
     int64_t step();
 
+    /**
+     * Aborts a request wherever it lives (queue or running batch),
+     * releasing any KV blocks it holds. Fails with kInvalidArgument
+     * when the id is not queued or running (e.g. already finished).
+     */
+    Status cancel(int64_t id);
+
     /** Currently running requests (the decode batch). */
     const std::vector<Request> &running() const { return running_; }
+
+    /** Lifetime observability counters. */
+    const SchedulerCounters &counters() const { return counters_; }
+
+    /** Fraction of KV blocks currently in use, in [0, 1]. */
+    double kvUtilization() const;
 
     int64_t queuedCount() const
     {
@@ -69,11 +140,19 @@ class BatchScheduler
     }
 
   private:
+    /** Evicts the latest-arrived running request (the back of the
+     * batch) back to the front of the queue, freeing its blocks. */
+    void preemptBack();
+
+    /** Updates the peak-observability counters. */
+    void notePeaks();
+
     PagedKvCache *cache_;
     BatchSchedulerConfig config_;
     std::deque<Request> queue_;
     std::vector<Request> running_;
     int64_t finished_ = 0;
+    SchedulerCounters counters_;
 };
 
 } // namespace comet

@@ -225,15 +225,29 @@ ServingEngine::decodeStepLatencyUs(int64_t batch,
 double
 ServingEngine::prefillLatencyUs(int64_t batch) const
 {
-    const int64_t m = batch * config_.input_tokens;
+    return prefillLatencyUs(std::vector<int64_t>(
+        static_cast<size_t>(batch), config_.input_tokens));
+}
+
+double
+ServingEngine::prefillLatencyUs(
+    const std::vector<int64_t> &prompt_tokens) const
+{
+    if (prompt_tokens.empty())
+        return 0.0;
+    int64_t m = 0;
+    double sq_sum = 0.0;
+    for (int64_t tokens : prompt_tokens) {
+        m += tokens;
+        sq_sum += static_cast<double>(tokens) *
+                  static_cast<double>(tokens);
+    }
     double total = stepGemmLatencyUs(m);
-    // Causal prefill attention: ~B * L^2 * d MACs per layer per head
-    // group, compute-bound at these lengths.
+    // Causal prefill attention: ~L_i^2 * d MACs per layer per head
+    // group for each sequence, compute-bound at these lengths.
     const double attn_ops =
         static_cast<double>(config_.model.num_layers) * 2.0 *
-        static_cast<double>(batch) *
-        static_cast<double>(config_.input_tokens) *
-        static_cast<double>(config_.input_tokens) / 2.0 *
+        sq_sum / 2.0 *
         static_cast<double>(config_.model.hidden_size) * 2.0;
     total += attn_ops /
              (config_.gpu.fp16_tensor_ops * kPrefillAttnEfficiency) *
@@ -265,12 +279,17 @@ ServingEngine::measureThroughputAtBatch(int64_t batch) const
 
     BatchSchedulerConfig sched_config;
     sched_config.max_batch = batch;
+    sched_config.admission = config_.admission;
+    sched_config.watermark_blocks = config_.kv_watermark_blocks;
     BatchScheduler scheduler(&cache, sched_config);
     for (int64_t i = 0; i < batch; ++i) {
         Request request;
         request.id = i;
         request.prompt_tokens = config_.input_tokens;
-        request.max_output_tokens = config_.output_tokens;
+        request.max_output_tokens =
+            std::max(config_.output_tokens,
+                     config_.declared_output_tokens);
+        request.eos_output_tokens = config_.output_tokens;
         scheduler.submit(request);
     }
 
@@ -288,10 +307,23 @@ ServingEngine::measureThroughputAtBatch(int64_t batch) const
     int64_t generated = 0;
     double decode_us_sum = 0.0;
     int64_t decode_steps = 0;
+    double batch_sum = 0.0;
+    double util_sum = 0.0;
     while (!scheduler.idle()) {
         const int64_t admitted = scheduler.admit();
         if (admitted > 0) {
-            result.prefill_us = prefillLatencyUs(admitted);
+            // Charge the admitted wave's real (re)prefill footprint:
+            // preempted requests recompute prompt + generated.
+            std::vector<int64_t> prefill_tokens;
+            prefill_tokens.reserve(static_cast<size_t>(admitted));
+            const auto &running_now = scheduler.running();
+            for (size_t i = running_now.size() -
+                            static_cast<size_t>(admitted);
+                 i < running_now.size(); ++i) {
+                prefill_tokens.push_back(
+                    running_now[i].contextTokens());
+            }
+            result.prefill_us = prefillLatencyUs(prefill_tokens);
             total_us += result.prefill_us;
         }
         if (scheduler.runningCount() == 0) {
@@ -311,10 +343,27 @@ ServingEngine::measureThroughputAtBatch(int64_t batch) const
         total_us += step_us;
         decode_us_sum += step_us;
         ++decode_steps;
+        batch_sum += static_cast<double>(running);
+        util_sum += scheduler.kvUtilization();
         generated += scheduler.step();
     }
 
     result.batch = batch;
+    const SchedulerCounters &counters = scheduler.counters();
+    result.peak_batch = counters.peak_running;
+    result.preemptions = counters.preemptions;
+    result.reprefill_tokens = counters.reprefill_tokens;
+    if (decode_steps > 0) {
+        result.mean_batch =
+            batch_sum / static_cast<double>(decode_steps);
+        result.mean_kv_utilization =
+            util_sum / static_cast<double>(decode_steps);
+    }
+    result.peak_kv_utilization =
+        cache.totalBlocks() > 0
+            ? static_cast<double>(counters.peak_used_blocks) /
+                  static_cast<double>(cache.totalBlocks())
+            : 0.0;
     result.kv_bytes_per_seq = config_.model.kvBytesPerSequence(
         config_.input_tokens + config_.output_tokens,
         precision_.kv_bits);

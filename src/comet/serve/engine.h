@@ -16,9 +16,12 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "comet/gpusim/cost_model.h"
 #include "comet/gpusim/gpu_spec.h"
 #include "comet/model/llm_config.h"
+#include "comet/serve/batch_scheduler.h"
 
 namespace comet {
 
@@ -55,6 +58,14 @@ struct EngineConfig {
     /** Workload shape. */
     int64_t input_tokens = 1024;
     int64_t output_tokens = 512;
+    /** Generation bound the requests *declare* to admission. Real
+     * clients ask for a generous max_tokens and usually hit EOS much
+     * earlier; when this exceeds output_tokens, requests still stop
+     * at output_tokens but full-output reservation must budget for
+     * the declared bound — the gap that makes pessimistic admission
+     * waste KV capacity. 0 (default) declares exactly
+     * output_tokens. */
+    int64_t declared_output_tokens = 0;
     /** Hard batch cap (the paper's systems cap at 256). */
     int64_t max_batch = 256;
     /** Fraction of HBM usable for weights + KV (the rest holds
@@ -74,15 +85,30 @@ struct EngineConfig {
      * The paper serves on a single GPU (degree 1, the default); the
      * extension quantifies COMET's one-GPU-vs-many-GPU value. */
     int tensor_parallel = 1;
+    /** KV admission policy of the scheduler (and trace replay):
+     * optimistic admission with preemption-based recovery by
+     * default, or pessimistic full-output reservation. */
+    AdmissionPolicy admission = AdmissionPolicy::kOptimisticPreempt;
+    /** Free-block watermark optimistic admission keeps as decode
+     * headroom (see BatchSchedulerConfig::watermark_blocks). */
+    int64_t kv_watermark_blocks = 0;
 };
 
 /** Outcome of a throughput measurement. */
 struct ThroughputResult {
     double tokens_per_second = 0.0;  ///< generated tokens / wall time
-    int64_t batch = 0;               ///< steady-state batch size
+    int64_t batch = 0;               ///< requested batch size
     double decode_step_us = 0.0;     ///< mean decode iteration latency
     double prefill_us = 0.0;         ///< per-sequence prefill latency
     double kv_bytes_per_seq = 0.0;
+    /** Mean running batch over decode steps — the steady-state batch
+     * the admission policy actually sustains. */
+    double mean_batch = 0.0;
+    int64_t peak_batch = 0;          ///< max concurrent batch observed
+    int64_t preemptions = 0;         ///< KV-exhaustion evictions
+    int64_t reprefill_tokens = 0;    ///< recompute cost of preemption
+    double mean_kv_utilization = 0.0; ///< mean used/total KV blocks
+    double peak_kv_utilization = 0.0; ///< peak used/total KV blocks
 };
 
 /**
@@ -118,8 +144,15 @@ class ServingEngine
                                int64_t context_tokens) const;
 
     /** Latency of one sequence's prefill at the given batch,
-     * microseconds (per-iteration, the batch prefills together). */
+     * microseconds (per-iteration, the batch prefills together; every
+     * sequence at the configured input_tokens). */
     double prefillLatencyUs(int64_t batch) const;
+
+    /** Prefill latency of a batch with per-sequence prompt lengths —
+     * the honest charge for heterogeneous admission waves and for
+     * preempted requests re-prefilling their grown context. */
+    double prefillLatencyUs(
+        const std::vector<int64_t> &prompt_tokens) const;
 
     /** GEMM-only latency of processing @p m_tokens tokens through one
      * decode step's linear layers (exposed for chunked prefill). */

@@ -9,6 +9,9 @@ requestStateName(RequestState state)
       case RequestState::kQueued: return "queued";
       case RequestState::kRunning: return "running";
       case RequestState::kFinished: return "finished";
+      case RequestState::kPreempted: return "preempted";
+      case RequestState::kCancelled: return "cancelled";
+      case RequestState::kRejected: return "rejected";
     }
     return "?";
 }

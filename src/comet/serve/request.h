@@ -18,17 +18,35 @@ enum class RequestState {
     kQueued = 0,
     kRunning,
     kFinished,
+    /** Evicted from the running batch on KV exhaustion; back in the
+     * queue and will re-prefill its context on re-admission. */
+    kPreempted,
+    kCancelled, ///< aborted by the client via cancel()
+    /** Can never fit the KV pool even running alone; dropped at
+     * admission instead of blocking the queue forever. */
+    kRejected,
 };
 
-/** Returns "queued" / "running" / "finished". */
+/** Returns "queued" / "running" / "finished" / "preempted" /
+ * "cancelled" / "rejected". */
 const char *requestStateName(RequestState state);
 
 /** One generation request. */
 struct Request {
     int64_t id = 0;
     int64_t prompt_tokens = 0;
+    /** Declared generation bound — what the client asked for and the
+     * only output-length information admission can reserve against. */
     int64_t max_output_tokens = 0;
+    /** Where generation actually stops (EOS), if known to the
+     * workload model; 0 means the request runs to its declared
+     * bound. The scheduler never reserves against this — real
+     * serving cannot see EOS in advance — it only uses it to decide
+     * done(). */
+    int64_t eos_output_tokens = 0;
     int64_t generated_tokens = 0;
+    /** Times this request was evicted on KV exhaustion. */
+    int64_t preemptions = 0;
     RequestState state = RequestState::kQueued;
 
     /** Context length currently attended over. */
@@ -38,10 +56,18 @@ struct Request {
         return prompt_tokens + generated_tokens;
     }
 
+    /** Tokens this request will actually generate. */
+    int64_t
+    stopTokens() const
+    {
+        return eos_output_tokens > 0 ? eos_output_tokens
+                                     : max_output_tokens;
+    }
+
     bool
     done() const
     {
-        return generated_tokens >= max_output_tokens;
+        return generated_tokens >= stopTokens();
     }
 };
 

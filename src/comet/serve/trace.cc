@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 
 #include "comet/common/stats.h"
 #include "comet/kvcache/kv_cache.h"
@@ -17,8 +18,16 @@ sampleLength(Rng &rng, int64_t mean)
 {
     const double u = std::max(rng.uniform(), 1e-12);
     const double value = -std::log(u) * static_cast<double>(mean);
-    return std::clamp<int64_t>(static_cast<int64_t>(value), 16,
-                               4 * mean);
+    // Round to nearest: truncation would bias sampled lengths low.
+    return std::clamp<int64_t>(std::llround(value), 16, 4 * mean);
+}
+
+double
+percentileOrNan(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    return exactPercentile(std::move(values), p);
 }
 
 } // namespace
@@ -55,7 +64,7 @@ TraceMetrics::ttftPercentileUs(double p) const
     values.reserve(per_request.size());
     for (const RequestLatency &latency : per_request)
         values.push_back(latency.ttft_us);
-    return exactPercentile(std::move(values), p);
+    return percentileOrNan(std::move(values), p);
 }
 
 double
@@ -65,7 +74,7 @@ TraceMetrics::tpotPercentileUs(double p) const
     values.reserve(per_request.size());
     for (const RequestLatency &latency : per_request)
         values.push_back(latency.tpot_us);
-    return exactPercentile(std::move(values), p);
+    return percentileOrNan(std::move(values), p);
 }
 
 TraceMetrics
@@ -77,6 +86,8 @@ replayTrace(const ServingEngine &engine,
     const ServingPrecision precision =
         servingPrecision(config.mode);
     const int64_t chunk = config.chunked_prefill_tokens;
+    const bool reserve_full =
+        config.admission == AdmissionPolicy::kReserveFullOutput;
 
     KvCacheConfig cache_config;
     cache_config.bits_per_value = precision.kv_bits;
@@ -85,70 +96,218 @@ replayTrace(const ServingEngine &engine,
         std::max(engine.kvBudgetBytes(), 1.0);
     PagedKvCache cache(config.model, cache_config);
 
+    /** A queued request: fresh from the trace, or preempted and
+     * waiting to re-prefill its grown context. */
+    struct Pending {
+        TracedRequest request;
+        int64_t generated = 0; ///< tokens generated before preemption
+        double first_token_us = 0.0;
+    };
+
     struct Running {
         TracedRequest request;
-        int64_t prefilled = 0; ///< prompt tokens processed so far
+        /** Tokens this admission must (re)prefill: the prompt plus
+         * whatever the request had generated before a preemption. */
+        int64_t prefill_target = 0;
+        int64_t prefilled = 0;
         int64_t generated = 0;
         double first_token_us = 0.0;
 
         bool
         decoding() const
         {
-            return prefilled >= request.prompt_tokens;
+            return prefilled >= prefill_target;
         }
     };
 
-    std::deque<TracedRequest> pending(trace.begin(), trace.end());
+    std::deque<Pending> pending;
+    for (const TracedRequest &request : trace)
+        pending.push_back({request, 0, 0.0});
     std::vector<Running> running;
     TraceMetrics metrics;
     double clock_us = 0.0;
     int64_t generated_total = 0;
 
+    const auto notePeaks = [&] {
+        metrics.peak_running =
+            std::max(metrics.peak_running,
+                     static_cast<int64_t>(running.size()));
+        int64_t waiting = 0;
+        for (const Pending &p : pending) {
+            if (p.request.arrival_us <= clock_us)
+                ++waiting;
+        }
+        metrics.peak_queue_depth =
+            std::max(metrics.peak_queue_depth, waiting);
+        if (cache.totalBlocks() > 0) {
+            metrics.peak_kv_utilization = std::max(
+                metrics.peak_kv_utilization,
+                static_cast<double>(cache.totalBlocks() -
+                                    cache.freeBlocks()) /
+                    static_cast<double>(cache.totalBlocks()));
+        }
+    };
+
+    const auto finishRequest = [&](const Running &r) {
+        cache.removeSequence(r.request.id);
+        RequestLatency latency;
+        latency.id = r.request.id;
+        latency.output_tokens = r.generated;
+        latency.ttft_us = r.first_token_us - r.request.arrival_us;
+        latency.total_us = clock_us - r.request.arrival_us;
+        latency.tpot_us =
+            r.generated > 1
+                ? (clock_us - r.first_token_us) /
+                      static_cast<double>(r.generated - 1)
+                : 0.0;
+        metrics.per_request.push_back(latency);
+    };
+
+    /** Evicts the latest-arrived running request back to the queue
+     * head (recompute-style preemption). */
+    const auto preemptBack = [&] {
+        COMET_CHECK(!running.empty());
+        const Running victim = running.back();
+        running.pop_back();
+        cache.removeSequence(victim.request.id);
+        ++metrics.preemptions;
+        metrics.reprefill_tokens +=
+            victim.request.prompt_tokens + victim.generated;
+        // running is in arrival order and victims are taken latest
+        // first, so push_front restores FCFS order.
+        pending.push_front({victim.request, victim.generated,
+                            victim.first_token_us});
+    };
+
     while (!pending.empty() || !running.empty()) {
+        // Client cancellations: drop abandoned requests wherever
+        // they live, releasing any KV blocks they hold.
+        for (auto it = pending.begin(); it != pending.end();) {
+            if (it->request.cancel_us > 0.0 &&
+                it->request.cancel_us <= clock_us) {
+                ++metrics.cancelled;
+                it = pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (auto it = running.begin(); it != running.end();) {
+            if (it->request.cancel_us > 0.0 &&
+                it->request.cancel_us <= clock_us) {
+                cache.removeSequence(it->request.id);
+                ++metrics.cancelled;
+                it = running.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (pending.empty() && running.empty())
+            break;
+
         // Admit arrived requests while capacity lasts (FCFS,
-        // reserving full prompt+output like the engine scheduler).
+        // honoring the engine's admission policy).
         int64_t reserved = 0;
-        for (const Running &r : running) {
-            reserved +=
-                cache.blocksForTokens(r.request.prompt_tokens +
-                                      r.request.output_tokens) -
-                cache.blocksForTokens(r.request.prompt_tokens +
-                                      r.generated);
+        if (reserve_full) {
+            for (const Running &r : running) {
+                reserved +=
+                    cache.blocksForTokens(r.request.prompt_tokens +
+                                          r.request.output_tokens) -
+                    cache.blocksForTokens(
+                        cache.sequenceTokens(r.request.id));
+            }
         }
         int64_t admitted = 0;
+        std::vector<int64_t> admitted_prefill_tokens;
         while (!pending.empty() &&
-               pending.front().arrival_us <= clock_us &&
+               pending.front().request.arrival_us <= clock_us &&
                static_cast<int64_t>(running.size()) <
                    config.max_batch) {
-            const TracedRequest &head = pending.front();
-            const int64_t need = cache.blocksForTokens(
-                head.prompt_tokens + head.output_tokens);
-            if (need + reserved > cache.freeBlocks())
+            const Pending &head = pending.front();
+            const int64_t full_need = cache.blocksForTokens(
+                head.request.prompt_tokens +
+                head.request.output_tokens);
+            // Graceful degradation: a request that cannot fit even
+            // alone is dropped, not left to block the queue forever.
+            if (full_need > cache.totalBlocks()) {
+                ++metrics.rejected;
+                pending.pop_front();
+                continue;
+            }
+            const int64_t target =
+                head.request.prompt_tokens + head.generated;
+            bool fits;
+            if (reserve_full) {
+                fits = full_need + reserved <= cache.freeBlocks();
+                if (fits) {
+                    reserved +=
+                        full_need - cache.blocksForTokens(target);
+                }
+            } else {
+                // The watermark holds decode headroom, but must not
+                // starve an empty system.
+                const int64_t slack =
+                    running.empty() ? 0
+                                    : config.kv_watermark_blocks;
+                fits = cache.blocksForTokens(target) + slack <=
+                       cache.freeBlocks();
+            }
+            if (!fits)
                 break;
-            COMET_CHECK(cache
-                            .addSequence(head.id,
-                                         head.prompt_tokens)
-                            .isOk());
-            reserved +=
-                need - cache.blocksForTokens(head.prompt_tokens);
+            COMET_CHECK(
+                cache.addSequence(head.request.id, target).isOk());
             Running r;
-            r.request = head;
-            // Non-chunked mode: the whole prompt is processed as one
-            // blocking prefill at admission.
-            if (chunk <= 0)
-                r.prefilled = head.prompt_tokens;
+            r.request = head.request;
+            r.prefill_target = target;
+            r.generated = head.generated;
+            r.first_token_us = head.first_token_us;
+            // Non-chunked mode: the whole context is processed as
+            // one blocking prefill at admission.
+            if (chunk <= 0) {
+                r.prefilled = target;
+                admitted_prefill_tokens.push_back(target);
+            }
             running.push_back(r);
             pending.pop_front();
             ++admitted;
         }
-        if (admitted > 0 && chunk <= 0)
-            clock_us += engine.prefillLatencyUs(admitted);
+        if (admitted > 0 && chunk <= 0) {
+            // Charge the wave's actual (re)prefill token counts, not
+            // the engine's configured workload shape.
+            clock_us +=
+                engine.prefillLatencyUs(admitted_prefill_tokens);
+            // The prefill's own forward pass produces each admitted
+            // request's next output token — no extra decode step.
+            std::vector<Running> still_running;
+            still_running.reserve(running.size());
+            for (size_t i = 0; i < running.size(); ++i) {
+                Running &r = running[i];
+                const bool fresh =
+                    i >= running.size() -
+                             static_cast<size_t>(admitted);
+                if (!fresh) {
+                    still_running.push_back(std::move(r));
+                    continue;
+                }
+                ++r.generated;
+                ++generated_total;
+                if (r.generated == 1)
+                    r.first_token_us = clock_us;
+                if (r.generated >= r.request.output_tokens)
+                    finishRequest(r);
+                else
+                    still_running.push_back(std::move(r));
+            }
+            running = std::move(still_running);
+        }
+        notePeaks();
 
         if (running.empty()) {
-            // Idle until the next arrival.
-            COMET_CHECK(!pending.empty());
-            clock_us =
-                std::max(clock_us, pending.front().arrival_us);
+            // Idle until the next arrival (pending may have drained
+            // through cancellation or rejection).
+            if (pending.empty())
+                break;
+            clock_us = std::max(
+                clock_us, pending.front().request.arrival_us);
             continue;
         }
 
@@ -175,7 +334,7 @@ replayTrace(const ServingEngine &engine,
                 if (r.decoding())
                     continue;
                 const int64_t take = std::min(
-                    budget, r.request.prompt_tokens - r.prefilled);
+                    budget, r.prefill_target - r.prefilled);
                 r.prefilled += take;
                 budget -= take;
                 chunk_tokens += take;
@@ -205,38 +364,46 @@ replayTrace(const ServingEngine &engine,
         }
         clock_us += step_us;
 
-        // Advance decoding requests by one token each.
+        // Advance decoding requests by one token each; on KV
+        // exhaustion, preempt the latest-arrived requests (not yet
+        // stepped this iteration) instead of aborting.
         std::vector<Running> still_running;
         still_running.reserve(running.size());
-        for (Running &r : running) {
+        size_t i = 0;
+        while (i < running.size()) {
+            Running &r = running[i];
             if (!r.decoding()) {
                 still_running.push_back(std::move(r));
+                ++i;
                 continue;
             }
-            COMET_CHECK(cache.appendToken(r.request.id).isOk());
+            Status status = cache.appendToken(r.request.id);
+            while (status.code() ==
+                       StatusCode::kResourceExhausted &&
+                   running.size() > i + 1) {
+                preemptBack();
+                status = cache.appendToken(r.request.id);
+            }
+            if (status.code() == StatusCode::kResourceExhausted) {
+                // This request is the latest survivor; yield it too
+                // and let the already-stepped ones retire first.
+                preemptBack(); // running[i] is the back here
+                break;
+            }
+            COMET_CHECK_MSG(status.isOk(),
+                            status.message().c_str());
             ++r.generated;
             ++generated_total;
             if (r.generated == 1)
                 r.first_token_us = clock_us;
-            if (r.generated >= r.request.output_tokens) {
-                cache.removeSequence(r.request.id);
-                RequestLatency latency;
-                latency.id = r.request.id;
-                latency.output_tokens = r.generated;
-                latency.ttft_us =
-                    r.first_token_us - r.request.arrival_us;
-                latency.total_us = clock_us - r.request.arrival_us;
-                latency.tpot_us =
-                    r.generated > 1
-                        ? (clock_us - r.first_token_us) /
-                              static_cast<double>(r.generated - 1)
-                        : 0.0;
-                metrics.per_request.push_back(latency);
-            } else {
+            if (r.generated >= r.request.output_tokens)
+                finishRequest(r);
+            else
                 still_running.push_back(std::move(r));
-            }
+            ++i;
         }
         running = std::move(still_running);
+        notePeaks();
     }
 
     metrics.makespan_us = clock_us;

@@ -9,6 +9,12 @@
  * DistServe). This module adds that dimension: a Poisson arrival
  * generator with length distributions, a trace-driven simulation loop
  * over the engine's step model, and percentile latency metrics.
+ *
+ * The replay honors the engine's admission policy: under optimistic
+ * admission, KV exhaustion mid-decode preempts the latest-arrived
+ * running requests (recompute-style — they re-prefill on
+ * re-admission), and the preemption/requeue work is surfaced in the
+ * metrics. Requests may also carry a client-cancellation deadline.
  */
 #pragma once
 
@@ -26,6 +32,9 @@ struct TracedRequest {
     double arrival_us = 0.0;
     int64_t prompt_tokens = 0;
     int64_t output_tokens = 0;
+    /** When > 0, the client abandons the request at this absolute
+     * time; the replay drops it (wherever it lives) and counts it. */
+    double cancel_us = 0.0;
 };
 
 /** Parameters of the synthetic arrival process. */
@@ -56,11 +65,22 @@ struct TraceMetrics {
     std::vector<RequestLatency> per_request;
     double makespan_us = 0.0;
     double throughput_tokens_per_s = 0.0;
+    /** Scheduling observability. @{ */
+    int64_t preemptions = 0;       ///< KV-exhaustion evictions
+    int64_t reprefill_tokens = 0;  ///< recompute cost of preemption
+    int64_t cancelled = 0;         ///< client-abandoned requests
+    int64_t rejected = 0;          ///< requests that can never fit
+    int64_t peak_running = 0;      ///< max concurrent batch
+    int64_t peak_queue_depth = 0;  ///< max requests waiting
+    double peak_kv_utilization = 0.0; ///< peak used/total KV blocks
+    /** @} */
 
-    /** Percentile over per-request TTFT (p in [0, 100]). */
+    /** Percentile over per-request TTFT (p in [0, 100]); NaN when no
+     * request completed. */
     double ttftPercentileUs(double p) const;
 
-    /** Percentile over per-request TPOT. */
+    /** Percentile over per-request TPOT; NaN when no request
+     * completed. */
     double tpotPercentileUs(double p) const;
 };
 
@@ -68,7 +88,9 @@ struct TraceMetrics {
  * Replays a trace through the serving engine: a discrete-event loop
  * where each iteration admits newly arrived requests (subject to KV
  * capacity and the batch cap), then advances every running request by
- * one token at the engine's modeled step latency.
+ * one token at the engine's modeled step latency. Prefill waves are
+ * charged at the admitted requests' actual prompt lengths, and the
+ * prefill itself produces each request's first output token.
  */
 TraceMetrics replayTrace(const ServingEngine &engine,
                          const std::vector<TracedRequest> &trace);

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "comet/kvcache/kv_cache.h"
 #include "comet/serve/engine.h"
 
 namespace comet {
@@ -238,6 +239,57 @@ TEST(TensorParallelDeathTest, MustDivideKvHeads)
         makeConfig(LlmConfig::llama3_8b(), ServingMode::kCometW4AxKv4);
     config.tensor_parallel = 3; // 8 kv heads % 3 != 0
     EXPECT_DEATH(ServingEngine{config}, "divide the KV head count");
+}
+
+/** Shrinks usable memory so the KV budget holds exactly @p blocks
+ * KV4 blocks — making the cache, not the 256 cap, the batch limit. */
+EngineConfig
+withKvBlocks(EngineConfig config, int64_t blocks)
+{
+    KvCacheConfig probe_config;
+    probe_config.bits_per_value = 4.0;
+    probe_config.block_tokens = config.kv_block_tokens;
+    probe_config.memory_budget_bytes = 1e9;
+    const PagedKvCache probe(config.model, probe_config);
+    const double weights = ServingEngine(config).weightBytes();
+    config.usable_memory_fraction =
+        (weights + probe.blockBytes() * static_cast<double>(blocks)) /
+        config.gpu.hbm_capacity_bytes;
+    return config;
+}
+
+TEST(EngineAdmission, OptimisticOversubscriptionRecoversAndWins)
+{
+    // Pin the batch to twice the KV-limited maximum. Full reservation
+    // caps the concurrent batch at maxBatchSize(); optimistic
+    // admission overshoots on prompt-only footprints, recovers from
+    // exhaustion via preemption, and still completes everything —
+    // sustaining a strictly larger steady-state batch.
+    EngineConfig config = withKvBlocks(
+        makeConfig(LlmConfig::llama3_8b(), ServingMode::kCometW4AxKv4,
+                   /*input=*/256, /*output=*/256),
+        /*blocks=*/256);
+    const ServingEngine optimistic(config);
+    const int64_t kv_limited = optimistic.maxBatchSize();
+    ASSERT_GT(kv_limited, 0);
+    ASSERT_LT(kv_limited, config.max_batch); // KV is the binding limit
+
+    const ThroughputResult opt =
+        optimistic.measureThroughputAtBatch(2 * kv_limited);
+    config.admission = AdmissionPolicy::kReserveFullOutput;
+    const ThroughputResult full =
+        ServingEngine(config).measureThroughputAtBatch(2 * kv_limited);
+
+    EXPECT_GT(opt.tokens_per_second, 0.0);
+    EXPECT_GT(full.tokens_per_second, 0.0);
+    EXPECT_GT(opt.preemptions, 0);
+    EXPECT_GT(opt.reprefill_tokens, 0);
+    EXPECT_EQ(full.preemptions, 0);
+    EXPECT_GT(opt.peak_batch, kv_limited);
+    EXPECT_LE(full.peak_batch, kv_limited);
+    EXPECT_GT(opt.mean_batch, full.mean_batch);
+    EXPECT_GT(opt.mean_kv_utilization, full.mean_kv_utilization);
+    EXPECT_LE(opt.peak_kv_utilization, 1.0);
 }
 
 } // namespace

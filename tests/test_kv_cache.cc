@@ -149,7 +149,7 @@ TEST(PagedKvCache, ForkSharesFullBlocksCopyOnWrite)
     EXPECT_EQ(cache.physicalBlocksInUse(), 0);
 }
 
-TEST(PagedKvCache, ForkCopiesPartialTail)
+TEST(PagedKvCache, ForkSharesPartialTailLazily)
 {
     const LlmConfig model = LlmConfig::llama3_8b();
     PagedKvCache cache(model, makeConfig(16.0, 1.0));
@@ -157,9 +157,96 @@ TEST(PagedKvCache, ForkCopiesPartialTail)
     ASSERT_TRUE(cache.addSequence(1, 20).isOk());
     EXPECT_EQ(cache.physicalBlocksInUse(), 2);
     ASSERT_TRUE(cache.forkSequence(1, 2).isOk());
-    // The full block is shared, the partial tail duplicated.
-    EXPECT_EQ(cache.physicalBlocksInUse(), 3);
+    // Everything is shared until someone writes — forking allocates
+    // nothing.
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
     EXPECT_EQ(cache.logicalBlocksInUse(), 4);
+
+    // The first append into the shared partial tail pays for the
+    // divergence copy (copy-on-write).
+    ASSERT_TRUE(cache.appendToken(1).isOk());
+    EXPECT_EQ(cache.physicalBlocksInUse(), 3);
+    // The other side now owns its tail exclusively and appends in
+    // place.
+    ASSERT_TRUE(cache.appendToken(2).isOk());
+    EXPECT_EQ(cache.physicalBlocksInUse(), 3);
+}
+
+TEST(PagedKvCache, ForkSucceedsEvenWhenPoolIsFull)
+{
+    // Lazy sharing means forking cannot fail on exhaustion.
+    const LlmConfig model = LlmConfig::llama3_8b();
+    KvCacheConfig config = makeConfig(16.0, 1.0);
+    PagedKvCache probe(model, config);
+    config.memory_budget_bytes = probe.blockBytes() * 2;
+    PagedKvCache cache(model, config);
+    ASSERT_EQ(cache.totalBlocks(), 2);
+    ASSERT_TRUE(cache.addSequence(1, 20).isOk()); // fills the pool
+    ASSERT_EQ(cache.freeBlocks(), 0);
+    EXPECT_TRUE(cache.forkSequence(1, 2).isOk());
+    EXPECT_EQ(cache.sequenceTokens(2), 20);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
+}
+
+TEST(PagedKvCache, CowTailCopyFailsCleanlyUnderExhaustion)
+{
+    // The divergence copy of a shared partial tail needs a free
+    // block; when none exists, appendToken reports exhaustion with
+    // no side effects instead of corrupting the chains.
+    const LlmConfig model = LlmConfig::llama3_8b();
+    KvCacheConfig config = makeConfig(16.0, 1.0);
+    PagedKvCache probe(model, config);
+    config.memory_budget_bytes = probe.blockBytes() * 2;
+    PagedKvCache cache(model, config);
+    ASSERT_EQ(cache.totalBlocks(), 2);
+    ASSERT_TRUE(cache.addSequence(1, 20).isOk());
+    ASSERT_TRUE(cache.forkSequence(1, 2).isOk());
+    ASSERT_EQ(cache.freeBlocks(), 0);
+
+    const Status status = cache.appendToken(1);
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(cache.sequenceTokens(1), 20); // unchanged
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
+
+    // Freeing the other branch releases the sharing; the append now
+    // proceeds in place without any allocation.
+    cache.removeSequence(2);
+    EXPECT_TRUE(cache.appendToken(1).isOk());
+    EXPECT_EQ(cache.sequenceTokens(1), 21);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
+}
+
+TEST(PagedKvCache, SharedFullTailGrowthFailsCleanlyUnderExhaustion)
+{
+    // The other exhaustion path: a sequence whose shared tail is
+    // full needs a brand-new block to grow; failure must leave the
+    // sharing intact.
+    const LlmConfig model = LlmConfig::llama3_8b();
+    KvCacheConfig config = makeConfig(16.0, 1.0);
+    PagedKvCache probe(model, config);
+    config.memory_budget_bytes = probe.blockBytes() * 2;
+    PagedKvCache cache(model, config);
+    ASSERT_TRUE(cache.addSequence(1, 32).isOk()); // 2 full blocks
+    ASSERT_TRUE(cache.forkSequence(1, 2).isOk());
+    ASSERT_EQ(cache.freeBlocks(), 0);
+
+    EXPECT_EQ(cache.appendToken(1).code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(cache.appendToken(2).code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(cache.sequenceTokens(1), 32);
+    EXPECT_EQ(cache.sequenceTokens(2), 32);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
+
+    // Growth past a full tail always needs a fresh block, so freeing
+    // the sibling alone is not enough here; freeing the whole branch
+    // is.
+    cache.removeSequence(2);
+    EXPECT_EQ(cache.appendToken(1).code(),
+              StatusCode::kResourceExhausted);
+    cache.removeSequence(1);
+    ASSERT_TRUE(cache.addSequence(3, 16).isOk());
+    EXPECT_TRUE(cache.appendToken(3).isOk());
 }
 
 TEST(PagedKvCache, ForkErrorsAreClean)

@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "comet/serve/trace.h"
 
 namespace comet {
@@ -181,6 +183,166 @@ TEST(ChunkedPrefill, ImprovesTpotTailUnderBurstyLoad)
     // schedule.
     EXPECT_GT(chunked_metrics.throughput_tokens_per_s,
               whole_metrics.throughput_tokens_per_s * 0.6);
+}
+
+TEST(TraceReplay, TtftIsThePrefillItself)
+{
+    // The prefill's forward pass produces the first output token:
+    // an unloaded single request's TTFT equals its prefill latency,
+    // with no spurious extra decode iteration.
+    const ServingEngine engine = makeEngine(ServingMode::kCometW4AxKv4);
+    TracedRequest request;
+    request.id = 0;
+    request.arrival_us = 0.0;
+    request.prompt_tokens = 256;
+    request.output_tokens = 16;
+    const TraceMetrics metrics = replayTrace(engine, {request});
+    ASSERT_EQ(metrics.per_request.size(), 1u);
+    const double prefill_us =
+        engine.prefillLatencyUs(std::vector<int64_t>{256});
+    EXPECT_NEAR(metrics.per_request[0].ttft_us, prefill_us,
+                prefill_us * 1e-9);
+}
+
+TEST(TraceReplay, PrefillChargedAtActualPromptLength)
+{
+    // The engine is configured for 2048-token prompts, but the trace
+    // carries a short one: TTFT must reflect the 64 real tokens, not
+    // the configured workload shape.
+    EngineConfig config;
+    config.model = LlmConfig::llama3_8b();
+    config.mode = ServingMode::kCometW4AxKv4;
+    config.input_tokens = 2048;
+    config.output_tokens = 64;
+    const ServingEngine engine(config);
+
+    TracedRequest request;
+    request.id = 0;
+    request.arrival_us = 0.0;
+    request.prompt_tokens = 64;
+    request.output_tokens = 16;
+    const TraceMetrics metrics = replayTrace(engine, {request});
+    ASSERT_EQ(metrics.per_request.size(), 1u);
+    const double configured_prefill_us = engine.prefillLatencyUs(1);
+    EXPECT_LT(metrics.per_request[0].ttft_us,
+              configured_prefill_us / 4.0);
+}
+
+TEST(TraceMetrics, PercentilesOfZeroCompletionsAreNan)
+{
+    const TraceMetrics empty;
+    EXPECT_TRUE(std::isnan(empty.ttftPercentileUs(50)));
+    EXPECT_TRUE(std::isnan(empty.tpotPercentileUs(95)));
+}
+
+TEST(TraceReplay, CancelledRequestsAreDroppedAndCounted)
+{
+    const ServingEngine engine = makeEngine(ServingMode::kCometW4AxKv4);
+    TraceConfig config;
+    config.num_requests = 12;
+    config.request_rate_per_s = 50.0;
+    config.mean_prompt_tokens = 128;
+    config.mean_output_tokens = 32;
+    auto trace = generateTrace(config);
+    // The last arrival is abandoned before it can ever be admitted.
+    trace.back().cancel_us = trace.back().arrival_us;
+    const TraceMetrics metrics = replayTrace(engine, trace);
+    EXPECT_EQ(metrics.cancelled, 1);
+    EXPECT_EQ(metrics.per_request.size(), 11u);
+    for (const RequestLatency &latency : metrics.per_request)
+        EXPECT_NE(latency.id, trace.back().id);
+}
+
+TEST(TraceReplay, UnservableRequestsAreRejectedNotStuck)
+{
+    // A request larger than the whole KV pool must not wedge the
+    // replay; it is dropped and counted, and everyone else finishes.
+    EngineConfig config;
+    config.model = LlmConfig::llama3_8b();
+    config.mode = ServingMode::kCometW4AxKv4;
+    config.input_tokens = 256;
+    config.output_tokens = 64;
+    config.usable_memory_fraction = 0.25; // shrink the pool
+    const ServingEngine engine(config);
+
+    TraceConfig trace_config;
+    trace_config.num_requests = 8;
+    trace_config.request_rate_per_s = 50.0;
+    trace_config.mean_prompt_tokens = 128;
+    trace_config.mean_output_tokens = 16;
+    auto trace = generateTrace(trace_config);
+    const KvCacheConfig cache_config{4.0, 16, 4.0, 64,
+                                     engine.kvBudgetBytes()};
+    const PagedKvCache probe(config.model, cache_config);
+    trace[3].prompt_tokens = probe.totalBlocks() * 16 * 2;
+    const TraceMetrics metrics = replayTrace(engine, trace);
+    EXPECT_EQ(metrics.rejected, 1);
+    EXPECT_EQ(metrics.per_request.size(), 7u);
+}
+
+/** Engine whose KV budget is exactly @p blocks KV4 blocks. */
+ServingEngine
+makeTinyKvEngine(EngineConfig config, int64_t blocks)
+{
+    const KvCacheConfig probe_config{4.0, 16, 4.0, 64, 1e9};
+    const PagedKvCache probe(config.model, probe_config);
+    const double weights = ServingEngine(config).weightBytes();
+    config.usable_memory_fraction =
+        (weights +
+         probe.blockBytes() * static_cast<double>(blocks)) /
+        config.gpu.hbm_capacity_bytes;
+    return ServingEngine(config);
+}
+
+TEST(TraceReplay, KvExhaustionPreemptsAndStillCompletesEverything)
+{
+    // Shrink the KV budget until the burst cannot fit outright: the
+    // optimistic scheduler must preempt (never abort) and every
+    // request must still complete.
+    EngineConfig config;
+    config.model = LlmConfig::llama3_8b();
+    config.mode = ServingMode::kCometW4AxKv4;
+    config.input_tokens = 256;
+    config.output_tokens = 256;
+    // 300 blocks hold every prompt of the burst but not the grown
+    // contexts (16 requests x ~32 blocks full footprint).
+    const ServingEngine engine = makeTinyKvEngine(config, 300);
+    ASSERT_GT(engine.kvBudgetBytes(), 0.0);
+
+    TraceConfig trace_config;
+    trace_config.num_requests = 16;
+    trace_config.request_rate_per_s = 1000.0; // all at once
+    trace_config.mean_prompt_tokens = 256;
+    trace_config.mean_output_tokens = 256;
+    const TraceMetrics metrics =
+        replayTrace(engine, generateTrace(trace_config));
+    EXPECT_EQ(metrics.per_request.size(), 16u);
+    EXPECT_GT(metrics.preemptions, 0);
+    EXPECT_GT(metrics.reprefill_tokens, 0);
+    EXPECT_GT(metrics.peak_kv_utilization, 0.5);
+    EXPECT_LE(metrics.peak_kv_utilization, 1.0);
+}
+
+TEST(TraceReplay, ReserveFullPolicyNeverPreempts)
+{
+    EngineConfig config;
+    config.model = LlmConfig::llama3_8b();
+    config.mode = ServingMode::kCometW4AxKv4;
+    config.input_tokens = 256;
+    config.output_tokens = 256;
+    config.admission = AdmissionPolicy::kReserveFullOutput;
+    const ServingEngine engine = makeTinyKvEngine(config, 300);
+
+    TraceConfig trace_config;
+    trace_config.num_requests = 16;
+    trace_config.request_rate_per_s = 1000.0;
+    trace_config.mean_prompt_tokens = 256;
+    trace_config.mean_output_tokens = 256;
+    const TraceMetrics metrics =
+        replayTrace(engine, generateTrace(trace_config));
+    EXPECT_EQ(metrics.per_request.size(), 16u);
+    EXPECT_EQ(metrics.preemptions, 0);
+    EXPECT_EQ(metrics.reprefill_tokens, 0);
 }
 
 } // namespace
