@@ -8,6 +8,7 @@
  */
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "comet/common/table.h"
@@ -24,7 +25,7 @@ const ServingMode kModes[] = {
 };
 
 void
-runSetting(int64_t input_tokens, int64_t output_tokens)
+runSetting(int64_t input_tokens, int64_t output_tokens, bool smoke)
 {
     std::printf("--- input/output = %lld/%lld ---\n",
                 static_cast<long long>(input_tokens),
@@ -33,9 +34,14 @@ runSetting(int64_t input_tokens, int64_t output_tokens)
                  "TRT-LLM-W8A8", "QServe", "COMET", "COMET batch",
                  "COMET tok/s"});
 
-    const std::vector<std::string> model_names{
-        "Mistral-7B", "LLaMA-3-8B",  "LLaMA-2-13B", "LLaMA-1-30B",
-        "LLaMA-1-65B", "LLaMA-2-70B", "LLaMA-3-70B", "Qwen2-72B"};
+    // Smoke mode (CI): two models spanning the fits/doesn't-fit-FP16
+    // boundary instead of the full zoo.
+    const std::vector<std::string> model_names =
+        smoke ? std::vector<std::string>{"Mistral-7B", "LLaMA-2-70B"}
+              : std::vector<std::string>{
+                    "Mistral-7B",  "LLaMA-3-8B",  "LLaMA-2-13B",
+                    "LLaMA-1-30B", "LLaMA-1-65B", "LLaMA-2-70B",
+                    "LLaMA-3-70B", "Qwen2-72B"};
 
     double comet_sum = 0.0, qserve_sum = 0.0, baseline_sum = 0.0,
            best_base_comet_ratio_sum = 0.0;
@@ -94,12 +100,21 @@ runSetting(int64_t input_tokens, int64_t output_tokens)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool smoke = argc > 1 &&
+                       std::string_view(argv[1]) == "--smoke";
     std::printf("=== Figure 10: end-to-end max throughput on one "
-                "A100-80G (normalized to TRT-LLM-W4A16) ===\n\n");
-    runSetting(1024, 512);
-    runSetting(128, 128);
+                "A100-80G (normalized to TRT-LLM-W4A16)%s ===\n\n",
+                smoke ? " [smoke]" : "");
+    if (smoke) {
+        // Reduced shapes: one short setting, two models — exercises
+        // the full engine stack in a few hundred milliseconds.
+        runSetting(128, 64, /*smoke=*/true);
+        return 0;
+    }
+    runSetting(1024, 512, /*smoke=*/false);
+    runSetting(128, 128, /*smoke=*/false);
     std::printf("Paper-shape checks: COMET ~2.02x TRT-W4A16 at "
                 "1024/512 and ~1.63x at 128/128; ~1.17x over QServe; "
                 "FP16 70B+ models do not fit (OOM).\n");

@@ -12,6 +12,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "comet/common/rng.h"
 #include "comet/kernel/convert.h"
 #include "comet/kernel/gemm_w4ax.h"
@@ -19,6 +21,7 @@
 #include "comet/kernel/interleave.h"
 #include "comet/kernel/mma.h"
 #include "comet/model/synthetic.h"
+#include "comet/runtime/thread_pool.h"
 
 namespace comet {
 namespace {
@@ -164,6 +167,25 @@ BM_W4AxGemmEmulationThreaded(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64 * 256 * 256);
 }
 BENCHMARK(BM_W4AxGemmEmulationThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_ParallelForDispatch(benchmark::State &state)
+{
+    // Fixed-size pool, empty chunk bodies: measures the pure cost of
+    // posting a region, waking workers, and waiting for completion —
+    // the overhead floor every ported hot path pays per call.
+    const int threads = static_cast<int>(state.range(0));
+    ThreadPool pool(threads);
+    std::atomic<int64_t> sink{0};
+    for (auto _ : state) {
+        pool.parallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+            sink.fetch_add(e - b, std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 } // namespace comet

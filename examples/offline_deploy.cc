@@ -31,8 +31,10 @@ main()
     act_config.outlier_fraction = 0.02;
     const SyntheticActivationModel activations(act_config);
     Rng rng(5);
+    FmpqConfig fmpq_config;
+    fmpq_config.block_size = 64;
     const auto quantizer = FmpqActivationQuantizer::calibrate(
-        activations.sample(128, rng), FmpqConfig{64});
+        activations.sample(128, rng), fmpq_config);
     const Tensor w = sampleWeights(64, 256, rng);
     const BlockQuantizedWeight qw = quantizer.quantizeWeight(w);
 

@@ -35,8 +35,10 @@ main()
     //    clusters the outlier channels into the leading blocks so
     //    almost every block can stay INT4.
     const Tensor calibration = activations.sample(128, rng);
+    FmpqConfig fmpq_config;
+    fmpq_config.block_size = 128;
     const auto quantizer = FmpqActivationQuantizer::calibrate(
-        calibration, FmpqConfig{/*block_size=*/128});
+        calibration, fmpq_config);
     std::printf("FMPQ: %lld blocks, %.1f%% of GEMM compute in W4A4\n",
                 static_cast<long long>(quantizer.numBlocks()),
                 100.0 * quantizer.w4a4ComputeFraction());

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI smoke pass: one fast run per bench family, exercising the real
+# binaries end to end without the full figure-reproduction runtimes.
+#
+#   - bench_kernel_micro: google-benchmark timing of the packed-data
+#     kernel paths, filtered to one benchmark per family with a tiny
+#     min_time so the whole binary finishes in seconds.
+#   - bench_fig10_throughput --smoke: the serving engine stack at
+#     reduced shapes (2 models, 128/64 tokens).
+#   - bench_runtime_scaling --smoke: the thread-pool scaling table;
+#     its exit status also asserts bit-identity across pool sizes.
+#
+# Usage: scripts/ci_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+bench_dir="${build_dir}/bench"
+
+if [[ ! -d "${bench_dir}" ]]; then
+    echo "error: bench dir '${bench_dir}' not found (build first)" >&2
+    exit 1
+fi
+
+run() {
+    echo "==> $*"
+    "$@"
+    echo
+}
+
+run "${bench_dir}/bench_kernel_micro" \
+    --benchmark_filter='BM_(FastConversion|InterleaveWeights/128|W4AxGemmEmulation/8|ParallelForDispatch/4)$' \
+    --benchmark_min_time=0.05s
+
+run "${bench_dir}/bench_fig10_throughput" --smoke
+
+run "${bench_dir}/bench_runtime_scaling" --smoke
+
+echo "ci_smoke: all bench families passed"

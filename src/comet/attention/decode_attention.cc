@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comet/runtime/thread_pool.h"
+
 namespace comet {
 
 namespace {
@@ -34,38 +36,44 @@ decodeAttentionReference(const AttentionConfig &config,
         1.0 / std::sqrt(static_cast<double>(config.head_dim));
 
     std::vector<float> out(static_cast<size_t>(config.qDim()), 0.0f);
-    std::vector<double> scores(static_cast<size_t>(tokens));
-    for (int64_t h = 0; h < config.num_heads; ++h) {
-        const int64_t q_base = h * config.head_dim;
-        const int64_t kv_base = (h / group) * config.head_dim;
-        double max_score = -1e300;
-        for (int64_t t = 0; t < tokens; ++t) {
-            double dot = 0.0;
-            for (int64_t d = 0; d < config.head_dim; ++d) {
-                dot += static_cast<double>(
-                           q[static_cast<size_t>(q_base + d)]) *
-                       k.at(t, kv_base + d);
-            }
-            scores[static_cast<size_t>(t)] = dot * inv_sqrt;
-            max_score = std::max(max_score,
-                                 scores[static_cast<size_t>(t)]);
-        }
-        double sum = 0.0;
-        for (int64_t t = 0; t < tokens; ++t) {
-            scores[static_cast<size_t>(t)] =
-                std::exp(scores[static_cast<size_t>(t)] - max_score);
-            sum += scores[static_cast<size_t>(t)];
-        }
-        for (int64_t d = 0; d < config.head_dim; ++d) {
-            double acc = 0.0;
+    // Heads are independent and write disjoint output slices; each
+    // head's computation is the unchanged sequential loop, so the
+    // result is bit-identical for any pool size.
+    parallelFor(0, config.num_heads, 1, [&](int64_t h_begin,
+                                            int64_t h_end) {
+        std::vector<double> scores(static_cast<size_t>(tokens));
+        for (int64_t h = h_begin; h < h_end; ++h) {
+            const int64_t q_base = h * config.head_dim;
+            const int64_t kv_base = (h / group) * config.head_dim;
+            double max_score = -1e300;
             for (int64_t t = 0; t < tokens; ++t) {
-                acc += scores[static_cast<size_t>(t)] *
-                       v.at(t, kv_base + d);
+                double dot = 0.0;
+                for (int64_t d = 0; d < config.head_dim; ++d) {
+                    dot += static_cast<double>(
+                               q[static_cast<size_t>(q_base + d)]) *
+                           k.at(t, kv_base + d);
+                }
+                scores[static_cast<size_t>(t)] = dot * inv_sqrt;
+                max_score = std::max(max_score,
+                                     scores[static_cast<size_t>(t)]);
             }
-            out[static_cast<size_t>(q_base + d)] =
-                static_cast<float>(acc / sum);
+            double sum = 0.0;
+            for (int64_t t = 0; t < tokens; ++t) {
+                scores[static_cast<size_t>(t)] = std::exp(
+                    scores[static_cast<size_t>(t)] - max_score);
+                sum += scores[static_cast<size_t>(t)];
+            }
+            for (int64_t d = 0; d < config.head_dim; ++d) {
+                double acc = 0.0;
+                for (int64_t t = 0; t < tokens; ++t) {
+                    acc += scores[static_cast<size_t>(t)] *
+                           v.at(t, kv_base + d);
+                }
+                out[static_cast<size_t>(q_base + d)] =
+                    static_cast<float>(acc / sum);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -87,11 +95,16 @@ onlineCore(const AttentionConfig &config, const std::vector<float> &q,
         1.0 / std::sqrt(static_cast<double>(config.head_dim));
 
     std::vector<float> out(static_cast<size_t>(config.qDim()), 0.0f);
+    // Heads parallelize across the runtime pool: each head streams
+    // the cache with its own running state and writes a disjoint
+    // output slice, so the result is bit-identical for any pool size.
+    parallelFor(0, config.num_heads, 1, [&](int64_t h_begin,
+                                            int64_t h_end) {
     std::vector<double> acc(static_cast<size_t>(config.head_dim));
     std::vector<double> chunk_scores(
         static_cast<size_t>(config.chunk_tokens));
 
-    for (int64_t h = 0; h < config.num_heads; ++h) {
+    for (int64_t h = h_begin; h < h_end; ++h) {
         const int64_t q_base = h * config.head_dim;
         const int64_t kv_base = (h / group) * config.head_dim;
 
@@ -146,6 +159,7 @@ onlineCore(const AttentionConfig &config, const std::vector<float> &q,
                 acc[static_cast<size_t>(d)] / running_sum);
         }
     }
+    }); // per-head parallelFor
     return out;
 }
 
@@ -194,6 +208,32 @@ decodeAttentionQuantized(const AttentionConfig &config,
         config, q, k.tokens,
         [&](int64_t t, int64_t c) { return dequant(k, t, c); },
         [&](int64_t t, int64_t c) { return dequant(v, t, c); });
+}
+
+std::vector<std::vector<float>>
+decodeAttentionOnlineBatch(const AttentionConfig &config,
+                           const std::vector<DecodeBatchItem> &batch)
+{
+    for (const DecodeBatchItem &item : batch) {
+        COMET_CHECK(item.q != nullptr && item.k != nullptr &&
+                    item.v != nullptr);
+    }
+    std::vector<std::vector<float>> out(batch.size());
+    // One chunk per sequence: the per-sequence computation is exactly
+    // decodeAttentionOnline (whose inner per-head parallelFor runs
+    // inline when nested), so batched and one-at-a-time results are
+    // identical for any pool size.
+    parallelFor(
+        0, static_cast<int64_t>(batch.size()), 1,
+        [&](int64_t b_begin, int64_t b_end) {
+            for (int64_t b = b_begin; b < b_end; ++b) {
+                const DecodeBatchItem &item =
+                    batch[static_cast<size_t>(b)];
+                out[static_cast<size_t>(b)] = decodeAttentionOnline(
+                    config, *item.q, *item.k, *item.v);
+            }
+        });
+    return out;
 }
 
 double

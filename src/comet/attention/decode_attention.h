@@ -89,6 +89,26 @@ std::vector<float> decodeAttentionQuantized(
     const QuantizedKv &k, const QuantizedKv &v,
     const KvCacheQuantizer &quantizer);
 
+/** One sequence of a batched decode-attention step: its query vector
+ * and its (float) K/V caches. Pointees must outlive the call. */
+struct DecodeBatchItem {
+    const std::vector<float> *q = nullptr;
+    const Tensor *k = nullptr;
+    const Tensor *v = nullptr;
+};
+
+/**
+ * Batched decode step: runs decodeAttentionOnline for every sequence
+ * in @p batch, fanning the independent sequences out across the
+ * runtime pool (each sequence may hold a different number of cached
+ * tokens — the continuous-batching shape). Outputs are per sequence,
+ * bit-identical to calling decodeAttentionOnline one sequence at a
+ * time, for any pool size.
+ */
+std::vector<std::vector<float>> decodeAttentionOnlineBatch(
+    const AttentionConfig &config,
+    const std::vector<DecodeBatchItem> &batch);
+
 /** Bytes of KV cache read by one decode-attention invocation at the
  * given storage precision (the Figure 2 traffic term). */
 double decodeAttentionKvBytes(const AttentionConfig &config,

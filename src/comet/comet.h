@@ -15,6 +15,8 @@
 #include "comet/common/status.h"
 #include "comet/common/table.h"
 
+#include "comet/runtime/thread_pool.h"
+
 #include "comet/tensor/packed.h"
 #include "comet/tensor/tensor.h"
 

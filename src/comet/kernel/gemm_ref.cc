@@ -1,5 +1,7 @@
 #include "comet/kernel/gemm_ref.h"
 
+#include "comet/runtime/thread_pool.h"
+
 namespace comet {
 
 Tensor
@@ -10,14 +12,20 @@ gemmFloat(const Tensor &x, const Tensor &w)
                     "inner dimensions must match (X [M,K], W [N,K])");
     const int64_t m_dim = x.rows(), n_dim = w.rows(), k_dim = x.cols();
     Tensor out(m_dim, n_dim);
-    for (int64_t m = 0; m < m_dim; ++m) {
-        for (int64_t n = 0; n < n_dim; ++n) {
-            double sum = 0.0;
-            for (int64_t k = 0; k < k_dim; ++k)
-                sum += static_cast<double>(x.at(m, k)) * w.at(n, k);
-            out.at(m, n) = static_cast<float>(sum);
+    // Output rows are independent; chunk bodies run the sequential
+    // per-row loop unchanged, so results are bit-identical for any
+    // pool size.
+    parallelFor(0, m_dim, 1, [&](int64_t m_begin, int64_t m_end) {
+        for (int64_t m = m_begin; m < m_end; ++m) {
+            for (int64_t n = 0; n < n_dim; ++n) {
+                double sum = 0.0;
+                for (int64_t k = 0; k < k_dim; ++k)
+                    sum += static_cast<double>(x.at(m, k)) *
+                           w.at(n, k);
+                out.at(m, n) = static_cast<float>(sum);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -29,19 +37,21 @@ gemmInt8(const QuantizedInt8 &a, const QuantizedInt8 &w)
     const int64_t n_dim = w.data.rows();
     const int64_t k_dim = a.data.cols();
     Tensor out(m_dim, n_dim);
-    for (int64_t m = 0; m < m_dim; ++m) {
-        for (int64_t n = 0; n < n_dim; ++n) {
-            int64_t acc = 0;
-            for (int64_t k = 0; k < k_dim; ++k) {
-                acc += static_cast<int64_t>(a.data.get(m, k)) *
-                       w.data.get(n, k);
+    parallelFor(0, m_dim, 1, [&](int64_t m_begin, int64_t m_end) {
+        for (int64_t m = m_begin; m < m_end; ++m) {
+            for (int64_t n = 0; n < n_dim; ++n) {
+                int64_t acc = 0;
+                for (int64_t k = 0; k < k_dim; ++k) {
+                    acc += static_cast<int64_t>(a.data.get(m, k)) *
+                           w.data.get(n, k);
+                }
+                out.at(m, n) =
+                    static_cast<float>(acc) *
+                    a.row_params[static_cast<size_t>(m)].scale *
+                    w.row_params[static_cast<size_t>(n)].scale;
             }
-            out.at(m, n) =
-                static_cast<float>(acc) *
-                a.row_params[static_cast<size_t>(m)].scale *
-                w.row_params[static_cast<size_t>(n)].scale;
         }
-    }
+    });
     return out;
 }
 
@@ -53,19 +63,21 @@ gemmInt4(const QuantizedInt4 &a, const QuantizedInt4 &w)
     const int64_t n_dim = w.data.rows();
     const int64_t k_dim = a.data.cols();
     Tensor out(m_dim, n_dim);
-    for (int64_t m = 0; m < m_dim; ++m) {
-        for (int64_t n = 0; n < n_dim; ++n) {
-            int64_t acc = 0;
-            for (int64_t k = 0; k < k_dim; ++k) {
-                acc += static_cast<int64_t>(a.data.get(m, k)) *
-                       w.data.get(n, k);
+    parallelFor(0, m_dim, 1, [&](int64_t m_begin, int64_t m_end) {
+        for (int64_t m = m_begin; m < m_end; ++m) {
+            for (int64_t n = 0; n < n_dim; ++n) {
+                int64_t acc = 0;
+                for (int64_t k = 0; k < k_dim; ++k) {
+                    acc += static_cast<int64_t>(a.data.get(m, k)) *
+                           w.data.get(n, k);
+                }
+                out.at(m, n) =
+                    static_cast<float>(acc) *
+                    a.row_params[static_cast<size_t>(m)].scale *
+                    w.row_params[static_cast<size_t>(n)].scale;
             }
-            out.at(m, n) =
-                static_cast<float>(acc) *
-                a.row_params[static_cast<size_t>(m)].scale *
-                w.row_params[static_cast<size_t>(n)].scale;
         }
-    }
+    });
     return out;
 }
 

@@ -1,11 +1,11 @@
 #include "comet/kernel/gemm_w4ax.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "comet/kernel/int4_pack.h"
 #include "comet/kernel/interleave.h"
 #include "comet/kernel/mma.h"
+#include "comet/runtime/thread_pool.h"
 
 namespace comet {
 
@@ -44,11 +44,11 @@ W4AxGemm::run(const MixedQuantizedActivation &activation,
 
     Tensor out(m_dim, n_dim);
 
-    // The n dimension partitions across host threads: every thread
+    // The n dimension partitions across the runtime pool: every chunk
     // owns a disjoint set of output columns, so the emulation is
     // race-free and bit-identical for any thread count (tile
     // iteration order within a column set is unchanged).
-    COMET_CHECK(config_.threads >= 1);
+    COMET_CHECK(config_.threads >= 0);
     const auto worker = [&](int64_t n_begin, int64_t n_end,
                             W4AxGemmStats *thread_stats,
                             InstructionCounter *counter) {
@@ -133,37 +133,40 @@ W4AxGemm::run(const MixedQuantizedActivation &activation,
         return out;
     }
 
-    // Partition whole n-tiles across threads.
+    // Partition whole n-tiles across the runtime pool, one tile strip
+    // per chunk. Chunk boundaries are clamped to n_dim on both ends,
+    // so a ragged final tile (n_dim % tile_n != 0) gets exactly the
+    // leftover columns. Stats accumulate into chunk-indexed slots and
+    // reduce in ascending chunk order, so the totals match the
+    // sequential path bit-for-bit for any pool size.
     const int64_t n_tiles =
         (n_dim + config_.tile_n - 1) / config_.tile_n;
-    const int64_t num_threads = std::min<int64_t>(
-        config_.threads, std::max<int64_t>(n_tiles, 1));
-    std::vector<W4AxGemmStats> thread_stats(
-        static_cast<size_t>(num_threads));
+    std::vector<W4AxGemmStats> chunk_stats(
+        static_cast<size_t>(n_tiles));
     std::vector<InstructionCounter> counters(
-        static_cast<size_t>(num_threads));
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(num_threads));
-    for (int64_t t = 0; t < num_threads; ++t) {
-        const int64_t first_tile = t * n_tiles / num_threads;
-        const int64_t last_tile = (t + 1) * n_tiles / num_threads;
-        pool.emplace_back(worker, first_tile * config_.tile_n,
-                          std::min(last_tile * config_.tile_n, n_dim),
-                          &thread_stats[static_cast<size_t>(t)],
-                          &counters[static_cast<size_t>(t)]);
-    }
-    for (std::thread &thread : pool)
-        thread.join();
+        static_cast<size_t>(n_tiles));
+    ThreadPool::global().parallelForChunks(
+        0, n_tiles, 1,
+        [&](int64_t tile_begin, int64_t tile_end, int64_t chunk) {
+            const int64_t n_begin =
+                std::min(tile_begin * config_.tile_n, n_dim);
+            const int64_t n_end =
+                std::min(tile_end * config_.tile_n, n_dim);
+            worker(n_begin, n_end,
+                   &chunk_stats[static_cast<size_t>(chunk)],
+                   &counters[static_cast<size_t>(chunk)]);
+        },
+        config_.threads);
     if (stats != nullptr) {
-        for (int64_t t = 0; t < num_threads; ++t) {
-            const W4AxGemmStats &ts =
-                thread_stats[static_cast<size_t>(t)];
-            stats->int4_tiles += ts.int4_tiles;
-            stats->int8_tiles += ts.int8_tiles;
-            stats->int4_mac_ops += ts.int4_mac_ops;
-            stats->int8_mac_ops += ts.int8_mac_ops;
+        for (int64_t c = 0; c < n_tiles; ++c) {
+            const W4AxGemmStats &cs =
+                chunk_stats[static_cast<size_t>(c)];
+            stats->int4_tiles += cs.int4_tiles;
+            stats->int8_tiles += cs.int8_tiles;
+            stats->int4_mac_ops += cs.int4_mac_ops;
+            stats->int8_mac_ops += cs.int8_mac_ops;
             stats->conversion_instructions +=
-                counters[static_cast<size_t>(t)].count();
+                counters[static_cast<size_t>(c)].count();
         }
     }
     return out;
@@ -178,14 +181,20 @@ gemmW4AxReference(const MixedQuantizedActivation &activation,
     COMET_CHECK(a.cols() == w.cols());
     const int64_t m_dim = a.rows(), n_dim = w.rows(), k_dim = a.cols();
     Tensor out(m_dim, n_dim);
-    for (int64_t m = 0; m < m_dim; ++m) {
-        for (int64_t n = 0; n < n_dim; ++n) {
-            double sum = 0.0;
-            for (int64_t k = 0; k < k_dim; ++k)
-                sum += static_cast<double>(a.at(m, k)) * w.at(n, k);
-            out.at(m, n) = static_cast<float>(sum);
+    // Rows of the output are independent; each chunk computes its rows
+    // exactly as the sequential loop would, so the result is
+    // bit-identical for any pool size.
+    parallelFor(0, m_dim, 1, [&](int64_t m_begin, int64_t m_end) {
+        for (int64_t m = m_begin; m < m_end; ++m) {
+            for (int64_t n = 0; n < n_dim; ++n) {
+                double sum = 0.0;
+                for (int64_t k = 0; k < k_dim; ++k)
+                    sum += static_cast<double>(a.at(m, k)) *
+                           w.at(n, k);
+                out.at(m, n) = static_cast<float>(sum);
+            }
         }
-    }
+    });
     return out;
 }
 

@@ -38,10 +38,12 @@ struct W4AxGemmConfig {
      * conversion (numerically identical; only the instruction count
      * changes). Exists for the Figure 13 ablation. */
     bool use_fast_conversion = true;
-    /** Host threads used by the emulation (the GPU analogy: thread
+    /** Host parallelism of the emulation (the GPU analogy: thread
      * blocks run concurrently). Output tiles are partitioned along
-     * the n dimension, so results and statistics are bit-identical
-     * for any thread count. */
+     * the n dimension and executed on the comet::runtime pool, so
+     * results and statistics are bit-identical for any value.
+     * 1 = sequential on the caller; 0 = use every pool slot
+     * (COMET_THREADS); k > 1 = cap the run at k executor slots. */
     int threads = 1;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "comet/runtime/thread_pool.h"
 
 namespace comet {
 
@@ -55,18 +58,32 @@ QuantizedDecoder::QuantizedDecoder(const TinyTransformer &model,
     gemm_config.tile_m = config_.tile_m;
     gemm_config.tile_n = config_.tile_n;
     gemm_config.tile_k = config_.tile_k;
+    gemm_config.threads = config_.gemm_threads;
 
     // Calibrate one FMPQ quantizer per (layer, site), then pack every
-    // weight in its feeding site's permuted block layout.
-    for (int64_t l = 0; l < mc.num_layers; ++l) {
-        for (int site = 0; site < kNumActSites; ++site) {
-            sites_.push_back(SiteOps{
+    // weight in its feeding site's permuted block layout. The
+    // calibration sweeps are independent per (layer, site) and fan
+    // out across the runtime pool into index-addressed slots, so the
+    // site order (and every quantizer) matches the sequential sweep
+    // exactly.
+    const int64_t num_sites = mc.num_layers * kNumActSites;
+    std::vector<std::optional<FmpqActivationQuantizer>> calibrated(
+        static_cast<size_t>(num_sites));
+    parallelFor(0, num_sites, 1, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+            const int64_t l = i / kNumActSites;
+            const auto act_site =
+                static_cast<ActSite>(i % kNumActSites);
+            calibrated[static_cast<size_t>(i)] =
                 FmpqActivationQuantizer::calibrate(
-                    calibration.activations(
-                        l, static_cast<ActSite>(site)),
-                    config_.fmpq)});
+                    calibration.activations(l, act_site),
+                    config_.fmpq);
         }
-    }
+    });
+    sites_.reserve(static_cast<size_t>(num_sites));
+    for (int64_t i = 0; i < num_sites; ++i)
+        sites_.push_back(
+            SiteOps{std::move(*calibrated[static_cast<size_t>(i)])});
     for (int64_t l = 0; l < mc.num_layers; ++l) {
         LayerOps ops;
         const auto &qkv = site(l, ActSite::kQkv);
@@ -231,16 +248,21 @@ QuantizedDecoder::step(int32_t token)
     const Tensor normed =
         model_.rmsNormRows(x, model_.finalNormGain());
     // The LM head stays FP16 in every configuration (engine
-    // convention).
+    // convention). Vocabulary rows are independent dot products; the
+    // fan-out writes disjoint columns, bit-identical for any pool
+    // size.
     Tensor logits(1, mc.vocab_size);
-    for (int64_t v = 0; v < mc.vocab_size; ++v) {
-        double sum = 0.0;
-        for (int64_t c = 0; c < d; ++c) {
-            sum += static_cast<double>(normed.at(0, c)) *
-                   model_.embedding().at(v, c);
+    parallelFor(0, mc.vocab_size, 64, [&](int64_t v_begin,
+                                          int64_t v_end) {
+        for (int64_t v = v_begin; v < v_end; ++v) {
+            double sum = 0.0;
+            for (int64_t c = 0; c < d; ++c) {
+                sum += static_cast<double>(normed.at(0, c)) *
+                       model_.embedding().at(v, c);
+            }
+            logits.at(0, v) = static_cast<float>(sum);
         }
-        logits.at(0, v) = static_cast<float>(sum);
-    }
+    });
     ++position_;
 
     std::vector<float> out(static_cast<size_t>(mc.vocab_size));

@@ -32,13 +32,19 @@ namespace comet {
 
 /** Build options for the quantized decoder. */
 struct QuantizedDecoderConfig {
-    FmpqConfig fmpq{/*block_size=*/16};
+    QuantizedDecoderConfig() { fmpq.block_size = 16; }
+
+    FmpqConfig fmpq;
     KvQuantConfig kv{4, 32, true};
     /** Tile extents of the packed GEMMs (must satisfy the W4AxGemm
      * constraints against fmpq.block_size). */
     int64_t tile_m = 16;
     int64_t tile_n = 16;
     int64_t tile_k = 16;
+    /** Parallelism of the packed GEMMs (W4AxGemmConfig::threads):
+     * 0 = every runtime-pool slot, 1 = sequential. Results are
+     * bit-identical either way. */
+    int gemm_threads = 0;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comet/runtime/thread_pool.h"
+
 namespace comet {
 
 const char *
@@ -89,7 +91,11 @@ FmpqActivationQuantizer::fakeQuantize(const Tensor &x) const
     Tensor out(tokens, x.cols());
     const auto &order = permutation_.order();
 
-    for (int64_t t = 0; t < tokens; ++t) {
+    // Token rows are independent (per-token dynamic quantization);
+    // chunk bodies run the sequential per-row loop unchanged, so the
+    // result is bit-identical for any pool size.
+    parallelFor(0, tokens, 1, [&](int64_t t_begin, int64_t t_end) {
+    for (int64_t t = t_begin; t < t_end; ++t) {
         for (int64_t b = 0; b < numBlocks(); ++b) {
             const int bits = precisions_[static_cast<size_t>(b)] ==
                                      BlockPrecision::kInt4
@@ -110,6 +116,7 @@ FmpqActivationQuantizer::fakeQuantize(const Tensor &x) const
             }
         }
     }
+    });
     return out;
 }
 
@@ -135,7 +142,12 @@ FmpqActivationQuantizer::quantize(const Tensor &x) const
     const QuantRange r4 = signedRange(config_.low_bits);
     const QuantRange r8 = signedRange(config_.high_bits);
 
-    for (int64_t t = 0; t < tokens; ++t) {
+    // Per-token sweep, parallel across the pool; rows of every output
+    // tensor are disjoint, so results are bit-identical for any pool
+    // size. (Packed INT4 rows are padded to whole bytes per row, so
+    // row writes never share a byte.)
+    parallelFor(0, tokens, 1, [&](int64_t t_begin, int64_t t_end) {
+    for (int64_t t = t_begin; t < t_end; ++t) {
         for (int64_t b = 0; b < numBlocks(); ++b) {
             const bool is_int4 = precisions_[static_cast<size_t>(b)] ==
                                  BlockPrecision::kInt4;
@@ -168,6 +180,7 @@ FmpqActivationQuantizer::quantize(const Tensor &x) const
             }
         }
     }
+    });
     return qa;
 }
 
@@ -190,7 +203,12 @@ FmpqActivationQuantizer::quantizeWeight(const Tensor &w) const
         Tensor(out_features, numBlocks()),
     };
 
-    for (int64_t n = 0; n < out_features; ++n) {
+    // The offline calibration sweep: out_features rows quantize
+    // independently, so the sweep fans out across the pool with
+    // bit-identical results for any pool size.
+    parallelFor(0, out_features, 1, [&](int64_t n_begin,
+                                        int64_t n_end) {
+    for (int64_t n = n_begin; n < n_end; ++n) {
         for (int64_t b = 0; b < numBlocks(); ++b) {
             float abs_max = 0.0f;
             for (int64_t i = 0; i < k; ++i) {
@@ -211,6 +229,7 @@ FmpqActivationQuantizer::quantizeWeight(const Tensor &w) const
             }
         }
     }
+    });
     return qw;
 }
 

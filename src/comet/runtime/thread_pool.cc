@@ -1,0 +1,359 @@
+#include "comet/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace comet {
+
+namespace {
+
+/** Set while the current thread executes chunks of a region (as the
+ * caller slot or a worker). Nested parallel calls made from inside a
+ * chunk body run inline — same chunking, same results — instead of
+ * re-entering the pool. */
+thread_local bool tl_in_region = false;
+
+/** One posted parallel region. Held by shared_ptr so a worker that
+ * observes the region late can still probe its (exhausted) cursors
+ * after the submitting call returned. The chunk body is only ever
+ * invoked for successfully claimed chunks, all of which complete
+ * before the submitter returns, so the raw `fn` pointer into the
+ * submitter's frame never dangles at a call site. */
+struct Region {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t chunks = 0;
+    int slots = 1;
+    const std::function<void(int64_t, int64_t, int64_t, int)> *fn =
+        nullptr;
+
+    /** One claim cursor per executor slot; slot s owns chunk block
+     * [s*chunks/slots, (s+1)*chunks/slots). Claims past the block's
+     * upper bound are ignored, which is what makes stealing through
+     * the same cursors race-free. */
+    std::unique_ptr<std::atomic<int64_t>[]> cursor;
+
+    std::atomic<int64_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    int64_t
+    blockLo(int slot) const
+    {
+        return static_cast<int64_t>(slot) * chunks / slots;
+    }
+
+    int64_t
+    blockHi(int slot) const
+    {
+        return (static_cast<int64_t>(slot) + 1) * chunks / slots;
+    }
+};
+
+} // namespace
+
+int64_t
+numChunks(int64_t begin, int64_t end, int64_t grain)
+{
+    COMET_CHECK(grain > 0);
+    if (end <= begin)
+        return 0;
+    return (end - begin + grain - 1) / grain;
+}
+
+struct ThreadPool::Impl {
+    std::vector<std::thread> workers;
+
+    std::mutex work_mutex;
+    std::condition_variable work_cv;
+    std::shared_ptr<Region> region;
+    uint64_t generation = 0;
+    bool stop = false;
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    /** Serializes regions: one in flight per pool. */
+    std::mutex submit_mutex;
+
+    void
+    runChunk(Region &r, int64_t chunk, int slot)
+    {
+        if (!r.failed.load()) {
+            const int64_t b = r.begin + chunk * r.grain;
+            const int64_t e = std::min(b + r.grain, r.end);
+            try {
+                (*r.fn)(b, e, chunk, slot);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(r.error_mutex);
+                if (!r.failed.load()) {
+                    r.error = std::current_exception();
+                    r.failed.store(true);
+                }
+            }
+        }
+        if (r.completed.fetch_add(1) + 1 == r.chunks) {
+            std::lock_guard<std::mutex> lock(done_mutex);
+            done_cv.notify_all();
+        }
+    }
+
+    /** Drains the region from executor slot @p slot: own block first,
+     * then steal from every other slot's block in cyclic order. */
+    void
+    execute(Region &r, int slot)
+    {
+        tl_in_region = true;
+        for (int offset = 0; offset < r.slots; ++offset) {
+            const int victim = (slot + offset) % r.slots;
+            const int64_t hi = r.blockHi(victim);
+            while (true) {
+                const int64_t chunk = r.cursor[victim].fetch_add(1);
+                if (chunk >= hi)
+                    break;
+                runChunk(r, chunk, slot);
+            }
+        }
+        tl_in_region = false;
+    }
+
+    void
+    workerMain(int worker_index)
+    {
+        uint64_t seen = 0;
+        while (true) {
+            std::shared_ptr<Region> r;
+            {
+                std::unique_lock<std::mutex> lock(work_mutex);
+                work_cv.wait(lock, [&] {
+                    return stop || generation != seen;
+                });
+                if (stop)
+                    return;
+                seen = generation;
+                r = region;
+            }
+            if (!r)
+                continue;
+            const int slot = worker_index + 1;
+            if (slot < r->slots)
+                execute(*r, slot);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads), impl_(new Impl)
+{
+    COMET_CHECK_MSG(threads >= 1,
+                    "thread pool needs at least the caller slot");
+    impl_->workers.reserve(static_cast<size_t>(threads - 1));
+    for (int w = 0; w < threads - 1; ++w)
+        impl_->workers.emplace_back(
+            [this, w] { impl_->workerMain(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->work_mutex);
+        impl_->stop = true;
+    }
+    impl_->work_cv.notify_all();
+    for (std::thread &worker : impl_->workers)
+        worker.join();
+    delete impl_;
+}
+
+void
+ThreadPool::run(int64_t begin, int64_t end, int64_t grain,
+                int max_parallelism,
+                const std::function<void(int64_t, int64_t, int64_t,
+                                         int)> &fn)
+{
+    const int64_t chunks = numChunks(begin, end, grain);
+    if (chunks == 0)
+        return;
+
+    int slots = static_cast<int>(
+        std::min<int64_t>(threads_, chunks));
+    if (max_parallelism > 0)
+        slots = std::min(slots, max_parallelism);
+
+    if (slots <= 1 || tl_in_region) {
+        // Inline execution, identical chunk decomposition and order.
+        const bool was_in_region = tl_in_region;
+        tl_in_region = true;
+        for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+            const int64_t b = begin + chunk * grain;
+            const int64_t e = std::min(b + grain, end);
+            try {
+                fn(b, e, chunk, 0);
+            } catch (...) {
+                tl_in_region = was_in_region;
+                throw;
+            }
+        }
+        tl_in_region = was_in_region;
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(impl_->submit_mutex);
+    auto r = std::make_shared<Region>();
+    r->begin = begin;
+    r->end = end;
+    r->grain = grain;
+    r->chunks = chunks;
+    r->slots = slots;
+    r->fn = &fn;
+    r->cursor = std::make_unique<std::atomic<int64_t>[]>(
+        static_cast<size_t>(slots));
+    for (int s = 0; s < slots; ++s)
+        r->cursor[s].store(r->blockLo(s));
+
+    {
+        std::lock_guard<std::mutex> lock(impl_->work_mutex);
+        impl_->region = r;
+        ++impl_->generation;
+    }
+    impl_->work_cv.notify_all();
+
+    impl_->execute(*r, 0);
+
+    {
+        std::unique_lock<std::mutex> lock(impl_->done_mutex);
+        impl_->done_cv.wait(lock, [&] {
+            return r->completed.load() >= r->chunks;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->work_mutex);
+        if (impl_->region == r)
+            impl_->region = nullptr;
+    }
+    if (r->failed.load())
+        std::rethrow_exception(r->error);
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>
+                            &fn,
+                        int max_parallelism)
+{
+    run(begin, end, grain, max_parallelism,
+        [&](int64_t b, int64_t e, int64_t, int) { fn(b, e); });
+}
+
+void
+ThreadPool::parallelForChunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)> &fn,
+    int max_parallelism)
+{
+    run(begin, end, grain, max_parallelism,
+        [&](int64_t b, int64_t e, int64_t chunk, int) {
+            fn(b, e, chunk);
+        });
+}
+
+void
+ThreadPool::parallelForSlots(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int)> &fn,
+    int max_parallelism)
+{
+    run(begin, end, grain, max_parallelism,
+        [&](int64_t b, int64_t e, int64_t, int slot) {
+            fn(b, e, slot);
+        });
+}
+
+namespace {
+
+std::mutex g_global_pool_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+    if (!g_global_pool) {
+        g_global_pool =
+            std::make_unique<ThreadPool>(resolveThreads(0));
+    }
+    return *g_global_pool;
+}
+
+void
+ThreadPool::configure(const RuntimeConfig &config)
+{
+    const int threads = resolveThreads(config.threads);
+    std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+    if (g_global_pool && g_global_pool->threadCount() == threads)
+        return;
+    g_global_pool.reset(); // join old workers before rebuilding
+    g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    RuntimeConfig config;
+    config.threads = threads;
+    configure(config);
+}
+
+int
+ThreadPool::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("COMET_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0 && parsed <= 4096)
+            return static_cast<int>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const std::function<void(int64_t, int64_t)> &fn,
+            int max_parallelism)
+{
+    ThreadPool::global().parallelFor(begin, end, grain, fn,
+                                     max_parallelism);
+}
+
+void
+parallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t, int64_t)>
+                      &fn,
+                  int max_parallelism)
+{
+    ThreadPool::global().parallelForChunks(begin, end, grain, fn,
+                                           max_parallelism);
+}
+
+void
+parallelForSlots(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t, int)> &fn,
+                 int max_parallelism)
+{
+    ThreadPool::global().parallelForSlots(begin, end, grain, fn,
+                                          max_parallelism);
+}
+
+} // namespace comet

@@ -273,8 +273,9 @@ TEST_P(CostModelModelSweep, InvariantsHoldEverywhere)
         EXPECT_GE(cost.total_us, cost.launch_us);
         // Lower-precision kernels never lose to cuBLAS FP16 in this
         // ordering (each step up the list adds precision/cost).
-        if (kind == GemmKernelKind::kCublasW16A16)
+        if (kind == GemmKernelKind::kCublasW16A16) {
             EXPECT_GE(cost.total_us, previous - 1e-9);
+        }
         previous = cost.total_us;
     }
 }

@@ -166,6 +166,34 @@ TEST(W4AxGemm, PartialEdgeTiles)
     EXPECT_LT(relativeError(reference, out), 1e-5);
 }
 
+TEST(W4AxGemm, RaggedNEdgeUnderMultiThreadPartitioning)
+{
+    // N not a multiple of tile_n (44 over 16-wide tiles) with the
+    // n-dimension partitioned across threads: the final partition
+    // must clamp to n_dim on both ends of its tile range.
+    W4AxFixture s = makeFixture(6, 44, 64, 32, 10);
+    W4AxGemmConfig threaded;
+    threaded.tile_m = 4;
+    threaded.tile_n = 16;
+    threaded.tile_k = 32;
+    threaded.threads = 4;
+    const Tensor out =
+        W4AxGemm(s.weight, s.quantizer.blockPrecisions(), threaded)
+            .run(s.activation);
+    const Tensor reference =
+        gemmW4AxReference(s.activation, s.weight);
+    EXPECT_LT(relativeError(reference, out), 1e-5);
+
+    W4AxGemmConfig sequential = threaded;
+    sequential.threads = 1;
+    const Tensor seq_out =
+        W4AxGemm(s.weight, s.quantizer.blockPrecisions(), sequential)
+            .run(s.activation);
+    EXPECT_EQ(maxAbsError(seq_out, out), 0.0)
+        << "threaded ragged-edge output must match sequential "
+           "bit-for-bit";
+}
+
 TEST(W4AxGemmDeathTest, MismatchedPrecisionMapRejected)
 {
     W4AxFixture s = makeFixture(4, 8, 64, 32, 8);

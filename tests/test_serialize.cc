@@ -207,8 +207,9 @@ TEST_P(CorruptionSweep, FlippedBytesNeverAbort)
     }
     // Either parses (flips hit scale payloads) or fails cleanly.
     const auto restored = deserializeFmpqQuantizer(bytes);
-    if (!restored.isOk())
+    if (!restored.isOk()) {
         EXPECT_FALSE(restored.status().message().empty());
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep,

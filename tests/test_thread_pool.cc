@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests of the comet::runtime thread pool: chunk decomposition,
+ * exactly-once execution under stealing, determinism of chunk
+ * boundaries and ordered reductions, nested-region inlining,
+ * exception propagation, and the COMET_THREADS configuration knob.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "comet/runtime/thread_pool.h"
+
+namespace comet {
+namespace {
+
+TEST(NumChunks, Math)
+{
+    EXPECT_EQ(numChunks(0, 0, 1), 0);
+    EXPECT_EQ(numChunks(5, 3, 1), 0);
+    EXPECT_EQ(numChunks(0, 10, 1), 10);
+    EXPECT_EQ(numChunks(0, 10, 3), 4);
+    EXPECT_EQ(numChunks(0, 10, 10), 1);
+    EXPECT_EQ(numChunks(0, 10, 100), 1);
+    EXPECT_EQ(numChunks(7, 17, 4), 3);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    for (const int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        for (const int64_t grain : {int64_t{1}, int64_t{3},
+                                    int64_t{16}}) {
+            const int64_t n = 103;
+            std::vector<std::atomic<int>> hits(
+                static_cast<size_t>(n));
+            for (auto &h : hits)
+                h.store(0);
+            pool.parallelFor(0, n, grain,
+                             [&](int64_t b, int64_t e) {
+                                 for (int64_t i = b; i < e; ++i)
+                                     hits[static_cast<size_t>(i)]
+                                         .fetch_add(1);
+                             });
+            for (int64_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+                    << "index " << i << " threads " << threads
+                    << " grain " << grain;
+        }
+    }
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 0, 1,
+                     [&](int64_t, int64_t) { calls.fetch_add(1); });
+    pool.parallelFor(10, 3, 4,
+                     [&](int64_t, int64_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+/** Chunk boundaries depend only on (begin, end, grain) — never on
+ * the pool size. This is the determinism contract's foundation. */
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount)
+{
+    using Chunk = std::tuple<int64_t, int64_t, int64_t>;
+    auto collect = [](int threads) {
+        ThreadPool pool(threads);
+        std::mutex mutex;
+        std::vector<Chunk> chunks;
+        pool.parallelForChunks(
+            5, 100, 7, [&](int64_t b, int64_t e, int64_t idx) {
+                std::lock_guard<std::mutex> lock(mutex);
+                chunks.emplace_back(b, e, idx);
+            });
+        std::sort(chunks.begin(), chunks.end(),
+                  [](const Chunk &a, const Chunk &c) {
+                      return std::get<2>(a) < std::get<2>(c);
+                  });
+        return chunks;
+    };
+    const auto seq = collect(1);
+    const auto par = collect(4);
+    EXPECT_EQ(seq, par);
+    ASSERT_FALSE(seq.empty());
+    // Chunk 0 starts at begin; last chunk ends at end; grain-sized
+    // interior chunks.
+    EXPECT_EQ(std::get<0>(seq.front()), 5);
+    EXPECT_EQ(std::get<1>(seq.back()), 100);
+    for (size_t i = 0; i + 1 < seq.size(); ++i)
+        EXPECT_EQ(std::get<1>(seq[i]) - std::get<0>(seq[i]), 7);
+}
+
+TEST(ThreadPool, SlotIndicesWithinThreadCount)
+{
+    ThreadPool pool(3);
+    std::mutex mutex;
+    std::set<int> slots;
+    pool.parallelForSlots(0, 64, 1,
+                          [&](int64_t, int64_t, int slot) {
+                              std::lock_guard<std::mutex> lock(mutex);
+                              slots.insert(slot);
+                          });
+    ASSERT_FALSE(slots.empty());
+    EXPECT_GE(*slots.begin(), 0);
+    EXPECT_LT(*slots.rbegin(), pool.threadCount());
+}
+
+TEST(ThreadPool, MaxParallelismCapsSlots)
+{
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<int> slots;
+    pool.parallelForSlots(
+        0, 64, 1,
+        [&](int64_t, int64_t, int slot) {
+            std::lock_guard<std::mutex> lock(mutex);
+            slots.insert(slot);
+        },
+        /*max_parallelism=*/2);
+    EXPECT_LT(*slots.rbegin(), 2);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(0, 8, 1, [&](int64_t ob, int64_t oe) {
+        for (int64_t o = ob; o < oe; ++o) {
+            // Nested region: must run inline on this executor, with
+            // the same chunking, and must not deadlock.
+            pool.parallelFor(o * 8, o * 8 + 8, 2,
+                             [&](int64_t b, int64_t e) {
+                                 for (int64_t i = b; i < e; ++i)
+                                     hits[static_cast<size_t>(i)]
+                                         .fetch_add(1);
+                             });
+        }
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    for (const int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(
+            pool.parallelFor(0, 32, 1,
+                             [&](int64_t b, int64_t) {
+                                 if (b == 17)
+                                     throw std::runtime_error("boom");
+                             }),
+            std::runtime_error);
+        // The pool stays usable after a failed region.
+        std::atomic<int64_t> sum{0};
+        pool.parallelFor(0, 10, 1, [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i)
+                sum.fetch_add(i);
+        });
+        EXPECT_EQ(sum.load(), 45);
+    }
+}
+
+TEST(ThreadPool, OrderedReduceBitIdenticalAcrossPoolSizes)
+{
+    // Floating-point partials whose combination order matters: the
+    // ordered reduction must produce the same bits for any pool size.
+    auto reduce = [](int threads) {
+        ThreadPool pool(threads);
+        return pool.parallelReduceOrdered(
+            0, 1000, 13, 0.0f,
+            [](int64_t b, int64_t e) {
+                float partial = 0.0f;
+                for (int64_t i = b; i < e; ++i)
+                    partial += 1.0f /
+                               static_cast<float>(i + 1);
+                return partial;
+            },
+            [](float acc, float partial) { return acc + partial; });
+    };
+    const float r1 = reduce(1);
+    const float r2 = reduce(2);
+    const float r4 = reduce(4);
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(r1, r4);
+}
+
+TEST(ThreadPool, StressManySmallRegions)
+{
+    // Exercises wake/steal/complete churn — the TSan leg's target.
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    for (int round = 0; round < 200; ++round) {
+        pool.parallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+            total.fetch_add(e - b);
+        });
+    }
+    EXPECT_EQ(total.load(), 200 * 64);
+}
+
+TEST(ThreadPoolConfig, ResolveThreadsPrecedence)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3);
+
+    ASSERT_EQ(setenv("COMET_THREADS", "7", 1), 0);
+    EXPECT_EQ(ThreadPool::resolveThreads(0), 7);
+    // Explicit request wins over the environment.
+    EXPECT_EQ(ThreadPool::resolveThreads(2), 2);
+
+    // Garbage and out-of-range values fall through to hardware
+    // concurrency (>= 1).
+    ASSERT_EQ(setenv("COMET_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+    ASSERT_EQ(setenv("COMET_THREADS", "-4", 1), 0);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+    ASSERT_EQ(unsetenv("COMET_THREADS"), 0);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+}
+
+TEST(ThreadPoolConfig, ConfigureRebuildsGlobalPool)
+{
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::global().threadCount(), 3);
+    RuntimeConfig config;
+    config.threads = 2;
+    ThreadPool::configure(config);
+    EXPECT_EQ(ThreadPool::global().threadCount(), 2);
+
+    // Global free-function entry points run on the configured pool.
+    std::atomic<int64_t> sum{0};
+    parallelFor(0, 100, 9, [&](int64_t b, int64_t e) {
+        sum.fetch_add(e - b);
+    });
+    EXPECT_EQ(sum.load(), 100);
+}
+
+} // namespace
+} // namespace comet
