@@ -13,6 +13,8 @@
  *     while the KV4 serving gains persist.
  */
 #include <cmath>
+
+#include "bench_flags.h"
 #include <cstdio>
 
 #include "comet/attention/decode_attention.h"
@@ -128,8 +130,10 @@ gpuOutlook()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Extension: decode-attention KV-precision sweep (latency vs numerical error)");
     std::printf("=== Extension ablations: attention KV precision & "
                 "next-gen GPU outlook ===\n\n");
     attentionSweep();

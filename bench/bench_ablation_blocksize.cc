@@ -11,6 +11,8 @@
  */
 #include <cstdio>
 
+#include "bench_flags.h"
+
 #include "comet/common/rng.h"
 #include "comet/common/table.h"
 #include "comet/model/synthetic.h"
@@ -20,8 +22,10 @@
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Extension: FMPQ sensitivity to channel block size and permutation");
     std::printf("=== FMPQ design ablation: block size x permutation "
                 "===\n\n");
 

@@ -7,14 +7,18 @@
  */
 #include <cstdio>
 
+#include "bench_flags.h"
+
 #include "comet/common/table.h"
 #include "comet/serve/engine.h"
 
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Extension: KV cache vs weights as the storage bottleneck at long context");
     std::printf("=== Context-length scaling: KV cache vs weights "
                 "(Section 2.1) ===\n\n");
 

@@ -18,6 +18,8 @@
  */
 #include <cstdio>
 
+#include "bench_flags.h"
+
 #include "comet/common/rng.h"
 #include "comet/common/table.h"
 #include "comet/kernel/gemm_ref.h"
@@ -122,8 +124,10 @@ modelLevel()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Extension: FMPQ vs Hadamard-rotation W4A4 vs naive W4A4");
     std::printf("=== Extension ablation: FMPQ vs rotation-based "
                 "W4A4 ===\n\n");
     layerLevel();

@@ -11,14 +11,18 @@
  */
 #include <cstdio>
 
+#include "bench_flags.h"
+
 #include "comet/common/table.h"
 #include "comet/serve/engine.h"
 
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Extension: single-GPU COMET vs multi-GPU FP16/W8A8 tensor parallelism");
     std::printf("=== Extension: COMET on 1 GPU vs FP16/W8A8 tensor "
                 "parallelism (LLaMA-3-70B, 1024/512) ===\n\n");
 

@@ -14,6 +14,8 @@
  * outweighs the wasted re-prefill work.
  */
 #include <cstdio>
+
+#include "bench_flags.h"
 #include <vector>
 
 #include "comet/common/table.h"
@@ -67,8 +69,10 @@ policyRow(const EngineConfig &config, int64_t offered_batch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "KV admission policies: full-output reservation vs optimistic preemption");
     std::printf("=== KV admission: full reservation vs optimistic "
                 "preemption (LLaMA-3-8B, COMET W4A4KV4) ===\n\n");
 

@@ -11,14 +11,18 @@
  */
 #include <cstdio>
 
+#include "bench_flags.h"
+
 #include "comet/common/table.h"
 #include "comet/gpusim/roofline.h"
 
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Figure 2: roofline analysis of act-act vs weight-act operators at FP16/INT8/INT4");
     const GpuSpec spec = GpuSpec::a100Sxm480G();
     std::printf("=== Figure 2: roofline analysis (%s) ===\n",
                 spec.name.c_str());

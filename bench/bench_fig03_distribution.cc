@@ -9,6 +9,8 @@
  * outlier and median channels — the quantities Figure 3 visualizes.
  */
 #include <algorithm>
+
+#include "bench_flags.h"
 #include <cstdio>
 
 #include "comet/common/rng.h"
@@ -19,8 +21,10 @@
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Figure 3: activation outlier-channel distributions across the model zoo");
     std::printf("=== Figure 3: activation outlier structure ===\n\n");
 
     struct Profile {

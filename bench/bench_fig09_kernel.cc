@@ -8,6 +8,8 @@
  * paper's stated lower bound for the kernel study.
  */
 #include <cstdio>
+
+#include "bench_flags.h"
 #include <vector>
 
 #include "comet/common/table.h"
@@ -78,8 +80,10 @@ runBatchSet(const KernelSimulator &sim, const char *title,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Figure 9: W4Ax kernel latency vs cuBLAS/TRT-LLM baselines across shapes and batches");
     const KernelSimulator sim;
     std::printf("=== Figure 9: kernel performance (W4A4 ratio 75%%) "
                 "===\n\n");

@@ -7,6 +7,8 @@
  * TRT-LLM-W4A16 (= 1.00), matching the paper's presentation.
  */
 #include <algorithm>
+
+#include "bench_flags.h"
 #include <cstdio>
 #include <string_view>
 #include <vector>
@@ -102,8 +104,13 @@ runSetting(int64_t input_tokens, int64_t output_tokens, bool smoke)
 int
 main(int argc, char **argv)
 {
-    const bool smoke = argc > 1 &&
-                       std::string_view(argv[1]) == "--smoke";
+    comet::bench::handleArgs(
+        argc, argv,
+        "Figure 10: max end-to-end serving throughput vs TRT-LLM "
+        "and QServe",
+        {{"--smoke", "reduced shapes for CI (two models, one "
+                     "setting)"}});
+    const bool smoke = comet::bench::smokeRequested(argc, argv);
     std::printf("=== Figure 10: end-to-end max throughput on one "
                 "A100-80G (normalized to TRT-LLM-W4A16)%s ===\n\n",
                 smoke ? " [smoke]" : "");

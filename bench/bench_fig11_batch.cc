@@ -6,6 +6,8 @@
  * maximum achievable batch.
  */
 #include <algorithm>
+
+#include "bench_flags.h"
 #include <cstdio>
 #include <vector>
 
@@ -15,8 +17,10 @@
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Figure 11: throughput vs batch size for LLaMA-3-8B (1024/512)");
     std::printf("=== Figure 11: throughput vs batch size, "
                 "LLaMA-3-8B, 1024/512 ===\n\n");
 

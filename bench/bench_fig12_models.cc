@@ -6,6 +6,8 @@
  * compression rather than batch parallelism.
  */
 #include <cstdio>
+
+#include "bench_flags.h"
 #include <vector>
 
 #include "comet/common/table.h"
@@ -14,8 +16,10 @@
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Figure 12: normalized throughput across the model zoo at fixed batch 4");
     std::printf("=== Figure 12: throughput at batch 4 across models "
                 "(normalized to TRT-LLM-FP16) ===\n\n");
 

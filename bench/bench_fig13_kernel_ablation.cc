@@ -8,6 +8,8 @@
  * degradations).
  */
 #include <cstdio>
+
+#include "bench_flags.h"
 #include <vector>
 
 #include "comet/common/table.h"
@@ -17,8 +19,10 @@
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Figure 13: W4Ax kernel optimization ablation (pipeline/interleave/fast-convert)");
     const KernelSimulator sim;
     std::printf("=== Figure 13: W4Ax kernel optimization ablation "
                 "(normalized latency, lower is better) ===\n\n");

@@ -8,6 +8,8 @@
  * performance (paper: 92.7%-97.8%).
  */
 #include <cstdio>
+
+#include "bench_flags.h"
 #include <vector>
 
 #include "comet/common/table.h"
@@ -17,8 +19,10 @@
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Figure 14: fine-grained SM scheduling ladder vs the Oracle W4A4 kernel");
     const KernelSimulator sim;
     std::printf("=== Figure 14: SM scheduling ablation (speedup over "
                 "the W4A8 kernel; higher is better) ===\n\n");

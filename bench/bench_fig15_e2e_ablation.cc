@@ -7,6 +7,8 @@
  * the combined system (paper: 1.32x, 1.17x, and 1.82x on average).
  */
 #include <cstdio>
+
+#include "bench_flags.h"
 #include <vector>
 
 #include "comet/common/table.h"
@@ -15,8 +17,10 @@
 using namespace comet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Figure 15: end-to-end ablation of W4Ax-only / KV4-only vs the combined system");
     std::printf("=== Figure 15: end-to-end ablation, 1024/512 "
                 "(normalized to TRT-LLM-W4A16) ===\n\n");
 

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared command-line handling for the bench_* binaries.
+ *
+ * Every bench main calls handleArgs() first. It gives each binary a
+ * uniform `--help` (one-line purpose plus a flags table), rejects
+ * unknown flags instead of silently ignoring them (exit code 2), and
+ * activates observability from the environment so
+ * `COMET_TRACE=out.json ./bench_foo` works for every benchmark.
+ *
+ * stdout stays reserved for the paper-style result tables; only an
+ * explicit `--help` prints there (no table is expected then), and
+ * unknown-flag diagnostics go to stderr.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comet/obs/obs.h"
+
+namespace comet {
+namespace bench {
+
+/** One accepted command-line flag and its help-table description. */
+struct BenchFlag {
+    const char *name;        ///< e.g. "--smoke"
+    const char *description; ///< one line for the --help table
+};
+
+namespace detail {
+
+inline void
+printHelp(const char *binary, const char *purpose,
+          const std::vector<BenchFlag> &flags,
+          const char *passthrough_prefix, std::FILE *out)
+{
+    std::fprintf(out, "%s: %s\n\nUsage: %s [flags]\n\nFlags:\n",
+                 binary, purpose, binary);
+    std::fprintf(out, "  %-18s %s\n", "--help, -h",
+                 "print this help and exit");
+    for (const BenchFlag &flag : flags)
+        std::fprintf(out, "  %-18s %s\n", flag.name,
+                     flag.description);
+    if (passthrough_prefix != nullptr) {
+        std::fprintf(out, "  %s*     passed through (see %s--help)\n",
+                     passthrough_prefix, passthrough_prefix);
+    }
+    std::fprintf(out,
+                 "\nEnvironment:\n"
+                 "  COMET_TRACE=<out.json>  export a Chrome trace of "
+                 "the run (open in Perfetto)\n"
+                 "  COMET_THREADS=<n>       worker threads for the "
+                 "runtime pool (default: hw cores)\n");
+}
+
+} // namespace detail
+
+/**
+ * Uniform bench argument handling: prints the purpose line and flags
+ * table on `--help`/`-h` (exit 0), fails fast on any argument not in
+ * @p flags (exit 2, help on stderr), and applies `COMET_TRACE` from
+ * the environment. Flags whose names start with
+ * @p passthrough_prefix (e.g. "--benchmark_" for google-benchmark
+ * binaries) are accepted without being listed.
+ */
+inline void
+handleArgs(int argc, char **argv, const char *purpose,
+           const std::vector<BenchFlag> &flags = {},
+           const char *passthrough_prefix = nullptr)
+{
+    obs::configureFromEnv();
+    const char *binary = argc > 0 ? argv[0] : "bench";
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            detail::printHelp(binary, purpose, flags,
+                              passthrough_prefix, stdout);
+            std::exit(0);
+        }
+        bool known = false;
+        for (const BenchFlag &flag : flags) {
+            if (std::strcmp(arg, flag.name) == 0) {
+                known = true;
+                break;
+            }
+        }
+        if (!known && passthrough_prefix != nullptr &&
+            std::strncmp(arg, passthrough_prefix,
+                         std::strlen(passthrough_prefix)) == 0) {
+            known = true;
+        }
+        if (!known) {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n\n", binary,
+                         arg);
+            detail::printHelp(binary, purpose, flags,
+                              passthrough_prefix, stderr);
+            std::exit(2);
+        }
+    }
+}
+
+/** True when `--smoke` appears in the arguments (reduced shapes for
+ * CI); call handleArgs() first so unknown flags still fail fast. */
+inline bool
+smokeRequested(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace bench
+} // namespace comet

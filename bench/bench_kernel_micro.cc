@@ -12,6 +12,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.h"
+
 #include <atomic>
 
 #include "comet/common/rng.h"
@@ -193,6 +195,11 @@ BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
 int
 main(int argc, char **argv)
 {
+    comet::bench::handleArgs(
+        argc, argv,
+        "google-benchmark timings of the bit-exact kernel emulation "
+        "paths",
+        {}, /*passthrough_prefix=*/"--benchmark_");
     // Print the Section 4.3 instruction-count claims alongside the
     // timing numbers.
     comet::InstructionCounter naive, fast;

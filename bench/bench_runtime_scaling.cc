@@ -12,6 +12,8 @@
  * available, not by the pool.
  */
 #include <chrono>
+
+#include "bench_flags.h"
 #include <cstdio>
 #include <string_view>
 #include <thread>
@@ -84,8 +86,12 @@ timeGemmUs(const W4AxGemm &gemm,
 int
 main(int argc, char **argv)
 {
-    const bool smoke = argc > 1 &&
-                       std::string_view(argv[1]) == "--smoke";
+    comet::bench::handleArgs(
+        argc, argv,
+        "Thread-pool scaling of the W4Ax GEMM emulation with a "
+        "bit-identity check",
+        {{"--smoke", "smaller GEMM shape for CI"}});
+    const bool smoke = comet::bench::smokeRequested(argc, argv);
     const int64_t tokens = smoke ? 32 : 128;
     const int64_t out_features = smoke ? 256 : 1024;
     const int64_t channels = smoke ? 256 : 512;

@@ -17,6 +17,8 @@
  * for LLaMA-1-30B).
  */
 #include <cstdio>
+
+#include "bench_flags.h"
 #include <map>
 #include <vector>
 
@@ -65,8 +67,10 @@ modelFamily()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Table 1: perplexity of every quantization configuration (synthetic substitution)");
     std::printf("=== Table 1: perplexity of quantized models "
                 "(synthetic-teacher substitution; lower is better) "
                 "===\n\n");

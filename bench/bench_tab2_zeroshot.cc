@@ -10,6 +10,8 @@
  * most, with FMPQ ~ QoQ ~ W4A16 and everything far above chance.
  */
 #include <cstdio>
+
+#include "bench_flags.h"
 #include <vector>
 
 #include "comet/common/table.h"
@@ -28,8 +30,10 @@ const std::vector<QuantScheme> kTable2Schemes = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    comet::bench::handleArgs(argc, argv,
+                             "Table 2: zero-shot accuracy across quantization configurations (synthetic substitution)");
     std::printf("=== Table 2: zero-shot accuracy (synthetic task "
                 "substitution; higher is better) ===\n\n");
 

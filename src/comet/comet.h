@@ -15,6 +15,10 @@
 #include "comet/common/status.h"
 #include "comet/common/table.h"
 
+#include "comet/obs/metrics.h"
+#include "comet/obs/obs.h"
+#include "comet/obs/trace_session.h"
+
 #include "comet/runtime/thread_pool.h"
 
 #include "comet/tensor/packed.h"

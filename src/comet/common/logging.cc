@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "comet/obs/metrics.h"
+
 namespace comet {
 
 namespace {
@@ -37,9 +39,9 @@ logLevel()
 
 namespace detail {
 
-void
-logMessage(LogLevel level, const char *file, int line,
-           const std::string &message)
+std::string
+formatLogRecord(LogLevel level, const char *file, int line,
+                const std::string &message)
 {
     // Strip directories so records stay short.
     const char *base = file;
@@ -47,8 +49,37 @@ logMessage(LogLevel level, const char *file, int line,
         if (*p == '/')
             base = p + 1;
     }
-    std::fprintf(stderr, "[comet %s %s:%d] %s\n", levelName(level), base,
-                 line, message.c_str());
+    std::string out = "[comet ";
+    out += levelName(level);
+    out += ' ';
+    out += base;
+    out += ':';
+    out += std::to_string(line);
+    out += "] ";
+    out += message;
+    return out;
+}
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &message)
+{
+    // Severity counters make warning/error volume visible in the obs
+    // dump even when stderr scrolls away (cached references: the
+    // registry mutex is paid once per process).
+    if (level == LogLevel::kWarn) {
+        static obs::Counter &warnings =
+            obs::MetricsRegistry::global().counter("log.warnings");
+        warnings.add(1);
+    } else if (level == LogLevel::kError) {
+        static obs::Counter &errors =
+            obs::MetricsRegistry::global().counter("log.errors");
+        errors.add(1);
+    }
+    const std::string record =
+        formatLogRecord(level, file, line, message);
+    // One fprintf per record keeps concurrent records line-atomic.
+    std::fprintf(stderr, "%s\n", record.c_str());
 }
 
 } // namespace detail

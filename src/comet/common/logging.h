@@ -24,7 +24,20 @@ LogLevel logLevel();
 
 namespace detail {
 
-/** Emits one formatted record to stderr. Not for direct use. */
+/**
+ * Formats one record as `[comet LEVEL file:line] message` (no
+ * trailing newline); the directory part of @p file is stripped.
+ * Pure function, exposed so tests can pin the format without
+ * capturing stderr.
+ */
+std::string formatLogRecord(LogLevel level, const char *file, int line,
+                            const std::string &message);
+
+/**
+ * Emits one formatted record to stderr and ticks the `log.warnings` /
+ * `log.errors` obs counters for records at kWarn / kError severity.
+ * Not for direct use.
+ */
 void logMessage(LogLevel level, const char *file, int line,
                 const std::string &message);
 

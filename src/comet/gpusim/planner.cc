@@ -4,6 +4,7 @@
 
 #include "comet/common/table.h"
 #include "comet/model/layer_shapes.h"
+#include "comet/obs/trace_session.h"
 
 namespace comet {
 
@@ -17,6 +18,7 @@ ModelPlan
 CompilePlanner::plan(const LlmConfig &model, int64_t batch,
                      double w4a4_fraction) const
 {
+    COMET_SPAN("gpusim/plan");
     COMET_CHECK(batch > 0);
     COMET_CHECK(w4a4_fraction >= 0.0 && w4a4_fraction <= 1.0);
 

@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "comet/common/status.h"
+#include "comet/obs/metrics.h"
+#include "comet/obs/trace_session.h"
 
 namespace comet {
 
@@ -154,6 +156,11 @@ ScheduleResult
 scheduleTiles(const std::vector<TileWork> &tiles,
               const SchedulerConfig &config, SchedulingStrategy strategy)
 {
+    COMET_SPAN("gpusim/schedule_tiles");
+    static obs::Counter &tiles_counter =
+        obs::MetricsRegistry::global().counter(
+            "gpusim.tiles_scheduled");
+    tiles_counter.add(static_cast<int64_t>(tiles.size()));
     COMET_CHECK(config.num_sms > 0);
     if (tiles.empty()) {
         ScheduleResult empty;

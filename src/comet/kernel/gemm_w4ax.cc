@@ -5,9 +5,32 @@
 #include "comet/kernel/int4_pack.h"
 #include "comet/kernel/interleave.h"
 #include "comet/kernel/mma.h"
+#include "comet/obs/metrics.h"
+#include "comet/obs/trace_session.h"
 #include "comet/runtime/thread_pool.h"
 
 namespace comet {
+
+namespace {
+
+/** Publishes one run's tile tallies to the global registry (cached
+ * references: the registration mutex is paid once per process). */
+void
+publishTileCounters(int64_t int4_tiles, int64_t int8_tiles)
+{
+    static obs::Counter &int4_counter =
+        obs::MetricsRegistry::global().counter(
+            "kernel.w4ax.int4_tiles");
+    static obs::Counter &int8_counter =
+        obs::MetricsRegistry::global().counter(
+            "kernel.w4ax.int8_tiles");
+    if (int4_tiles > 0)
+        int4_counter.add(int4_tiles);
+    if (int8_tiles > 0)
+        int8_counter.add(int8_tiles);
+}
+
+} // namespace
 
 W4AxGemm::W4AxGemm(BlockQuantizedWeight weight,
                    std::vector<BlockPrecision> precisions,
@@ -57,6 +80,7 @@ W4AxGemm::run(const MixedQuantizedActivation &activation,
         for (int64_t n0 = n_begin; n0 < n_end; n0 += config_.tile_n) {
             const int64_t nn = std::min(config_.tile_n, n_dim - n0);
             for (int64_t k0 = 0; k0 < k_dim; k0 += config_.tile_k) {
+                COMET_KERNEL_SPAN("w4ax/tile");
                 const int64_t kk = std::min(config_.tile_k, k_dim - k0);
                 const int64_t block = k0 / weight_.block_size;
                 const bool is_int4 =
@@ -127,9 +151,18 @@ W4AxGemm::run(const MixedQuantizedActivation &activation,
 
     if (config_.threads == 1) {
         InstructionCounter counter;
-        worker(0, n_dim, stats, &counter);
-        if (stats != nullptr)
+        // Route through a local stats block so the registry counters
+        // tick even when the caller passes no stats sink.
+        W4AxGemmStats run_stats;
+        worker(0, n_dim, &run_stats, &counter);
+        publishTileCounters(run_stats.int4_tiles, run_stats.int8_tiles);
+        if (stats != nullptr) {
+            stats->int4_tiles += run_stats.int4_tiles;
+            stats->int8_tiles += run_stats.int8_tiles;
+            stats->int4_mac_ops += run_stats.int4_mac_ops;
+            stats->int8_mac_ops += run_stats.int8_mac_ops;
             stats->conversion_instructions = counter.count();
+        }
         return out;
     }
 
@@ -157,10 +190,14 @@ W4AxGemm::run(const MixedQuantizedActivation &activation,
                    &counters[static_cast<size_t>(chunk)]);
         },
         config_.threads);
-    if (stats != nullptr) {
-        for (int64_t c = 0; c < n_tiles; ++c) {
-            const W4AxGemmStats &cs =
-                chunk_stats[static_cast<size_t>(c)];
+    int64_t run_int4_tiles = 0;
+    int64_t run_int8_tiles = 0;
+    for (int64_t c = 0; c < n_tiles; ++c) {
+        const W4AxGemmStats &cs =
+            chunk_stats[static_cast<size_t>(c)];
+        run_int4_tiles += cs.int4_tiles;
+        run_int8_tiles += cs.int8_tiles;
+        if (stats != nullptr) {
             stats->int4_tiles += cs.int4_tiles;
             stats->int8_tiles += cs.int8_tiles;
             stats->int4_mac_ops += cs.int4_mac_ops;
@@ -169,6 +206,7 @@ W4AxGemm::run(const MixedQuantizedActivation &activation,
                 counters[static_cast<size_t>(c)].count();
         }
     }
+    publishTileCounters(run_int4_tiles, run_int8_tiles);
     return out;
 }
 

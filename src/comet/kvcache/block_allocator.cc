@@ -1,6 +1,41 @@
 #include "comet/kvcache/block_allocator.h"
 
+#include "comet/obs/metrics.h"
+
 namespace comet {
+
+namespace {
+
+/** Process-wide allocator traffic counters (cached references: the
+ * registry mutex is paid once, not per block operation). */
+obs::Counter &
+blocksAllocatedCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter(
+            "kvcache.blocks_allocated");
+    return counter;
+}
+
+obs::Counter &
+blocksReleasedCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter(
+            "kvcache.blocks_released");
+    return counter;
+}
+
+obs::Counter &
+allocExhaustedCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter(
+            "kvcache.alloc_exhausted");
+    return counter;
+}
+
+} // namespace
 
 BlockAllocator::BlockAllocator(int64_t num_blocks) : total_(num_blocks)
 {
@@ -16,12 +51,14 @@ Result<int64_t>
 BlockAllocator::allocate()
 {
     if (free_list_.empty()) {
+        allocExhaustedCounter().add(1);
         return Status::resourceExhausted(
             "KV cache block pool exhausted");
     }
     const int64_t block = free_list_.back();
     free_list_.pop_back();
     ref_counts_[static_cast<size_t>(block)] = 1;
+    blocksAllocatedCounter().add(1);
     return block;
 }
 
@@ -40,8 +77,10 @@ BlockAllocator::release(int64_t block)
     COMET_CHECK(block >= 0 && block < total_);
     int &count = ref_counts_[static_cast<size_t>(block)];
     COMET_CHECK_MSG(count > 0, "release on a free block");
-    if (--count == 0)
+    if (--count == 0) {
         free_list_.push_back(block);
+        blocksReleasedCounter().add(1);
+    }
 }
 
 int

@@ -1,0 +1,163 @@
+#include "comet/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "comet/common/status.h"
+
+namespace comet {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    COMET_CHECK_MSG(!bounds_.empty(),
+                    "histogram needs at least one bucket bound");
+    COMET_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "histogram bucket bounds must be ascending");
+    buckets_ =
+        std::make_unique<std::atomic<int64_t>[]>(numBuckets());
+    for (size_t b = 0; b < numBuckets(); ++b)
+        buckets_[b].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double value)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const auto bucket =
+        static_cast<size_t>(it - bounds_.begin()); // == size(): overflow
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int64_t
+Histogram::bucketCount(size_t bucket) const
+{
+    COMET_CHECK(bucket < numBuckets());
+    return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (size_t b = 0; b < numBuckets(); ++b)
+        buckets_[b].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(name, std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::make_unique<Histogram>(
+                                    std::move(upper_bounds)))
+                 .first;
+    }
+    return *it->second;
+}
+
+int64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+void
+MetricsRegistry::dumpText(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        out << name << " " << counter->value() << "\n";
+    for (const auto &[name, histogram] : histograms_) {
+        out << name << " count=" << histogram->count()
+            << " sum=" << histogram->sum() << "\n";
+        for (size_t b = 0; b < histogram->numBuckets(); ++b) {
+            out << name << ".bucket[";
+            if (b < histogram->upperBounds().size())
+                out << "le=" << histogram->upperBounds()[b];
+            else
+                out << "le=+inf";
+            out << "] " << histogram->bucketCount(b) << "\n";
+        }
+    }
+}
+
+std::string
+MetricsRegistry::dumpJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string json = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, counter] : counters_) {
+        if (!first)
+            json += ",";
+        first = false;
+        json += "\"" + name +
+                "\":" + std::to_string(counter->value());
+    }
+    json += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, histogram] : histograms_) {
+        if (!first)
+            json += ",";
+        first = false;
+        json += "\"" + name +
+                "\":{\"count\":" + std::to_string(histogram->count()) +
+                ",\"sum\":" + std::to_string(histogram->sum()) +
+                ",\"buckets\":[";
+        for (size_t b = 0; b < histogram->numBuckets(); ++b) {
+            if (b > 0)
+                json += ",";
+            json += std::to_string(histogram->bucketCount(b));
+        }
+        json += "]}";
+    }
+    json += "}}";
+    return json;
+}
+
+void
+MetricsRegistry::resetForTesting()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_) {
+        (void)name;
+        counter->reset();
+    }
+    for (const auto &[name, histogram] : histograms_) {
+        (void)name;
+        histogram->reset();
+    }
+}
+
+} // namespace obs
+} // namespace comet

@@ -1,0 +1,84 @@
+#include "comet/obs/obs.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "comet/obs/trace_session.h"
+
+namespace comet {
+namespace obs {
+
+namespace {
+
+std::mutex g_config_mutex;
+ObsConfig g_config;
+
+void
+flushAtExit()
+{
+    // Errors cannot be reported meaningfully this late; the export
+    // itself prints nothing on success, matching bench stdout hygiene.
+    (void)flushTrace();
+}
+
+} // namespace
+
+void
+configure(const ObsConfig &config)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_config_mutex);
+        g_config = config;
+    }
+    if (config.spans)
+        TraceSession::global().start();
+    else
+        TraceSession::global().stop();
+}
+
+ObsConfig
+currentConfig()
+{
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    return g_config;
+}
+
+ObsConfig
+configFromEnv()
+{
+    ObsConfig config;
+    if (const char *path = std::getenv("COMET_TRACE")) {
+        if (path[0] != '\0') {
+            config.spans = true;
+            config.trace_path = path;
+        }
+    }
+    return config;
+}
+
+void
+configureFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const ObsConfig config = configFromEnv();
+        if (!config.spans && config.trace_path.empty())
+            return;
+        configure(config);
+        if (!config.trace_path.empty())
+            std::atexit(flushAtExit);
+    });
+}
+
+Status
+flushTrace()
+{
+    const ObsConfig config = currentConfig();
+    if (config.trace_path.empty())
+        return Status::ok();
+    return TraceSession::global().exportChromeTrace(
+        config.trace_path);
+}
+
+} // namespace obs
+} // namespace comet

@@ -1,0 +1,202 @@
+#include "comet/obs/trace_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace comet {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_spans_enabled{false};
+} // namespace detail
+
+namespace {
+
+/** Per-thread span cap: bounds memory when a caller leaves a session
+ * armed across a long run (1M spans ~ 40 MB/thread worst case). */
+constexpr size_t kMaxSpansPerThread = size_t{1} << 20;
+
+/** One thread's recording state. Owned by the global registry so it
+ * outlives the thread; the recording thread is the only writer while
+ * a session is armed, and drain() only reads between sessions. */
+struct Buffer {
+    std::vector<SpanRecord> spans;
+    int tid = 0;
+    int depth = 0;
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+    std::atomic<int64_t> dropped{0};
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry();
+    return *r;
+}
+
+/** Nanoseconds since the process trace epoch (first call). */
+int64_t
+nowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - epoch)
+        .count();
+}
+
+/** This thread's buffer, registered with the session on first use. */
+Buffer &
+threadBuffer()
+{
+    thread_local Buffer *buffer = nullptr;
+    if (buffer == nullptr) {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.buffers.push_back(std::make_unique<Buffer>());
+        buffer = r.buffers.back().get();
+        buffer->tid = static_cast<int>(r.buffers.size()) - 1;
+    }
+    return *buffer;
+}
+
+} // namespace
+
+TraceSession &
+TraceSession::global()
+{
+    static TraceSession *session = new TraceSession();
+    return *session;
+}
+
+void
+TraceSession::start()
+{
+    nowNs(); // pin the epoch before the first span
+    detail::g_spans_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::stop()
+{
+    detail::g_spans_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord>
+TraceSession::drain()
+{
+    Registry &r = registry();
+    std::vector<SpanRecord> all;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        for (const std::unique_ptr<Buffer> &buffer : r.buffers) {
+            all.insert(all.end(), buffer->spans.begin(),
+                       buffer->spans.end());
+            buffer->spans.clear();
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.begin_ns < b.begin_ns;
+              });
+    return all;
+}
+
+int64_t
+TraceSession::bufferedSpans()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    int64_t total = 0;
+    for (const std::unique_ptr<Buffer> &buffer : r.buffers)
+        total += static_cast<int64_t>(buffer->spans.size());
+    return total;
+}
+
+int64_t
+TraceSession::droppedSpans() const
+{
+    return registry().dropped.load(std::memory_order_relaxed);
+}
+
+std::string
+TraceSession::chromeTraceJson()
+{
+    const std::vector<SpanRecord> spans = drain();
+    std::string json = "{\"displayTimeUnit\":\"ms\","
+                       "\"traceEvents\":[";
+    char event[256];
+    bool first = true;
+    for (const SpanRecord &span : spans) {
+        std::snprintf(
+            event, sizeof(event),
+            "%s{\"name\":\"%s\",\"cat\":\"comet\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+            "\"args\":{\"depth\":%d}}",
+            first ? "" : ",", span.name,
+            static_cast<double>(span.begin_ns) / 1e3,
+            static_cast<double>(span.end_ns - span.begin_ns) / 1e3,
+            span.tid, span.depth);
+        json += event;
+        first = false;
+    }
+    json += "]}";
+    return json;
+}
+
+Status
+TraceSession::exportChromeTrace(const std::string &path)
+{
+    stop();
+    const std::string json = chromeTraceJson();
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        return Status::invalidArgument(
+            "cannot open trace output file: " + path);
+    }
+    const size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    const bool close_ok = std::fclose(file) == 0;
+    if (written != json.size() || !close_ok)
+        return Status::internal("short write exporting trace: " +
+                                path);
+    return Status::ok();
+}
+
+void
+ScopedSpan::begin(const char *name)
+{
+    Buffer &buffer = threadBuffer();
+    name_ = name;
+    begin_ns_ = nowNs();
+    depth_ = buffer.depth++;
+    armed_ = true;
+}
+
+void
+ScopedSpan::end()
+{
+    Buffer &buffer = threadBuffer();
+    --buffer.depth;
+    if (buffer.spans.size() >= kMaxSpansPerThread) {
+        registry().dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    SpanRecord record;
+    record.name = name_;
+    record.begin_ns = begin_ns_;
+    record.end_ns = nowNs();
+    record.tid = buffer.tid;
+    record.depth = depth_;
+    buffer.spans.push_back(record);
+}
+
+} // namespace obs
+} // namespace comet

@@ -9,9 +9,41 @@
 #include <mutex>
 #include <thread>
 
+#include "comet/obs/metrics.h"
+#include "comet/obs/trace_session.h"
+
 namespace comet {
 
 namespace {
+
+/** Pool observability counters, registered once and cached (the
+ * registry guarantees the references stay valid forever). @{ */
+obs::Counter &
+chunksExecutedCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter(
+            "runtime.chunks_executed");
+    return counter;
+}
+
+obs::Counter &
+chunksStolenCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter(
+            "runtime.chunks_stolen");
+    return counter;
+}
+
+obs::Counter &
+regionsCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter("runtime.regions");
+    return counter;
+}
+/** @} */
 
 /** Set while the current thread executes chunks of a region (as the
  * caller slot or a worker). Nested parallel calls made from inside a
@@ -91,6 +123,7 @@ struct ThreadPool::Impl {
             const int64_t b = r.begin + chunk * r.grain;
             const int64_t e = std::min(b + r.grain, r.end);
             try {
+                COMET_SPAN("pool/chunk");
                 (*r.fn)(b, e, chunk, slot);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(r.error_mutex);
@@ -112,6 +145,8 @@ struct ThreadPool::Impl {
     execute(Region &r, int slot)
     {
         tl_in_region = true;
+        int64_t executed = 0;
+        int64_t stolen = 0;
         for (int offset = 0; offset < r.slots; ++offset) {
             const int victim = (slot + offset) % r.slots;
             const int64_t hi = r.blockHi(victim);
@@ -120,8 +155,15 @@ struct ThreadPool::Impl {
                 if (chunk >= hi)
                     break;
                 runChunk(r, chunk, slot);
+                ++executed;
+                if (offset != 0)
+                    ++stolen;
             }
         }
+        if (executed > 0)
+            chunksExecutedCounter().add(executed);
+        if (stolen > 0)
+            chunksStolenCounter().add(stolen);
         tl_in_region = false;
     }
 
@@ -188,6 +230,7 @@ ThreadPool::run(int64_t begin, int64_t end, int64_t grain,
     if (max_parallelism > 0)
         slots = std::min(slots, max_parallelism);
 
+    regionsCounter().add(1);
     if (slots <= 1 || tl_in_region) {
         // Inline execution, identical chunk decomposition and order.
         const bool was_in_region = tl_in_region;
@@ -196,6 +239,7 @@ ThreadPool::run(int64_t begin, int64_t end, int64_t grain,
             const int64_t b = begin + chunk * grain;
             const int64_t e = std::min(b + grain, end);
             try {
+                COMET_SPAN("pool/chunk");
                 fn(b, e, chunk, 0);
             } catch (...) {
                 tl_in_region = was_in_region;
@@ -203,6 +247,7 @@ ThreadPool::run(int64_t begin, int64_t end, int64_t grain,
             }
         }
         tl_in_region = was_in_region;
+        chunksExecutedCounter().add(chunks);
         return;
     }
 

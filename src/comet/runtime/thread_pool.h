@@ -72,10 +72,14 @@ class ThreadPool
      * pool spawns no workers and runs every region inline.
      */
     explicit ThreadPool(int threads);
+
+    /** Joins and destroys the resident workers. */
     ~ThreadPool();
 
+    /** Pools own threads and cannot be copied. @{ */
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
+    /** @} */
 
     /** Executor slots (resident workers + the caller slot). */
     int threadCount() const { return threads_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "comet/obs/trace_session.h"
+
 namespace comet {
 
 const char *
@@ -14,6 +16,27 @@ admissionPolicyName(AdmissionPolicy policy)
         return "optimistic-preempt";
     }
     return "?";
+}
+
+double
+SchedulerCounters::peakKvUtilization(int64_t total_blocks) const
+{
+    if (total_blocks <= 0)
+        return 0.0;
+    return static_cast<double>(peak_used_blocks) /
+           static_cast<double>(total_blocks);
+}
+
+void
+SchedulerCounters::publishTo(obs::MetricsRegistry &registry) const
+{
+    registry.counter("serve.scheduler.admitted").add(admitted);
+    registry.counter("serve.scheduler.preemptions")
+        .add(preemptions);
+    registry.counter("serve.scheduler.reprefill_tokens")
+        .add(reprefill_tokens);
+    registry.counter("serve.scheduler.cancelled").add(cancelled);
+    registry.counter("serve.scheduler.rejected").add(rejected);
 }
 
 BatchScheduler::BatchScheduler(PagedKvCache *cache,
@@ -38,6 +61,7 @@ BatchScheduler::submit(const Request &request)
 int64_t
 BatchScheduler::admit()
 {
+    COMET_SPAN("scheduler/admit");
     // Blocks the running batch will still claim as it decodes; under
     // full reservation, new admissions must leave this headroom
     // untouched so the decode loop can never exhaust the pool.
@@ -104,6 +128,7 @@ BatchScheduler::admit()
 void
 BatchScheduler::preemptBack()
 {
+    COMET_SPAN("scheduler/preempt");
     COMET_CHECK(!running_.empty());
     Request victim = running_.back();
     running_.pop_back();
@@ -122,6 +147,7 @@ BatchScheduler::preemptBack()
 int64_t
 BatchScheduler::step()
 {
+    COMET_SPAN("scheduler/step");
     int64_t generated = 0;
     std::vector<Request> still_running;
     still_running.reserve(running_.size());

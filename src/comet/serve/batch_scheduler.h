@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "comet/kvcache/kv_cache.h"
+#include "comet/obs/metrics.h"
 #include "comet/serve/request.h"
 
 namespace comet {
@@ -75,6 +76,19 @@ struct SchedulerCounters {
     int64_t peak_running = 0;     ///< max concurrent batch observed
     int64_t peak_queue_depth = 0; ///< max queue length observed
     int64_t peak_used_blocks = 0; ///< max KV blocks in use observed
+
+    /** Peak KV utilization as a **fraction in [0, 1]** (never a
+     * percent): peak_used_blocks over the pool's @p total_blocks.
+     * The one shared definition — TraceMetrics::peak_kv_utilization
+     * and ThroughputResult::peak_kv_utilization are both derived
+     * through it, so every surface reports the same unit. */
+    double peakKvUtilization(int64_t total_blocks) const;
+
+    /** Adds these counters into @p registry under
+     * `serve.scheduler.*` so the obs dump covers the scheduler
+     * without duplicating fields (counters are monotonic; publishing
+     * twice accumulates). */
+    void publishTo(obs::MetricsRegistry &registry) const;
 };
 
 /**
@@ -83,6 +97,8 @@ struct SchedulerCounters {
 class BatchScheduler
 {
   public:
+    /** Schedules over @p cache (not owned; must outlive the
+     * scheduler). */
     BatchScheduler(PagedKvCache *cache, BatchSchedulerConfig config = {});
 
     /** Enqueues a request (takes a copy; state must be kQueued). */
@@ -122,14 +138,17 @@ class BatchScheduler
     /** Fraction of KV blocks currently in use, in [0, 1]. */
     double kvUtilization() const;
 
+    /** Requests waiting for admission. */
     int64_t queuedCount() const
     {
         return static_cast<int64_t>(queue_.size());
     }
+    /** Requests in the running batch. */
     int64_t runningCount() const
     {
         return static_cast<int64_t>(running_.size());
     }
+    /** Requests retired so far. */
     int64_t finishedCount() const { return finished_; }
 
     /** True when no work remains anywhere. */

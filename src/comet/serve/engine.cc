@@ -6,6 +6,8 @@
 
 #include "comet/kvcache/kv_cache.h"
 #include "comet/model/layer_shapes.h"
+#include "comet/obs/obs.h"
+#include "comet/obs/trace_session.h"
 #include "comet/runtime/thread_pool.h"
 #include "comet/serve/batch_scheduler.h"
 
@@ -287,6 +289,8 @@ ServingEngine::measureThroughput() const
 ThroughputResult
 ServingEngine::measureThroughputAtBatch(int64_t batch) const
 {
+    obs::configureFromEnv();
+    COMET_SPAN("engine/measure");
     ThroughputResult result;
     if (batch <= 0)
         return result;
@@ -333,8 +337,14 @@ ServingEngine::measureThroughputAtBatch(int64_t batch) const
     double batch_sum = 0.0;
     double util_sum = 0.0;
     while (!scheduler.idle()) {
-        const int64_t admitted = scheduler.admit();
+        COMET_SPAN("engine/step");
+        int64_t admitted = 0;
+        {
+            COMET_SPAN("engine/admit");
+            admitted = scheduler.admit();
+        }
         if (admitted > 0) {
+            COMET_SPAN("engine/prefill");
             // Charge the admitted wave's real (re)prefill footprint:
             // preempted requests recompute prompt + generated.
             std::vector<int64_t> prefill_tokens;
@@ -353,6 +363,7 @@ ServingEngine::measureThroughputAtBatch(int64_t batch) const
             // Nothing fits — the workload cannot be served.
             break;
         }
+        COMET_SPAN("engine/decode_step");
         const int64_t running = scheduler.runningCount();
         // Per-request context accounting for the step, fanned out
         // across the pool (ordered reduction over exact integer
@@ -396,10 +407,8 @@ ServingEngine::measureThroughputAtBatch(int64_t batch) const
             util_sum / static_cast<double>(decode_steps);
     }
     result.peak_kv_utilization =
-        cache.totalBlocks() > 0
-            ? static_cast<double>(counters.peak_used_blocks) /
-                  static_cast<double>(cache.totalBlocks())
-            : 0.0;
+        counters.peakKvUtilization(cache.totalBlocks());
+    counters.publishTo(obs::MetricsRegistry::global());
     result.kv_bytes_per_seq = config_.model.kvBytesPerSequence(
         config_.input_tokens + config_.output_tokens,
         precision_.kv_bits);

@@ -41,8 +41,9 @@ const char *servingModeName(ServingMode mode);
 
 /** Precision profile a serving mode implies. */
 struct ServingPrecision {
-    double weight_bits = 16.0;
-    double kv_bits = 16.0;
+    double weight_bits = 16.0; ///< stored bits per weight element
+    double kv_bits = 16.0;     ///< stored bits per KV cache element
+    /** Kernel the cost model charges for the linear layers. */
     GemmKernelKind gemm_kind = GemmKernelKind::kCublasW16A16;
 };
 
@@ -51,13 +52,12 @@ ServingPrecision servingPrecision(ServingMode mode);
 
 /** Engine construction parameters. */
 struct EngineConfig {
-    LlmConfig model;
-    ServingMode mode = ServingMode::kCometW4AxKv4;
-    GpuSpec gpu = GpuSpec::a100Sxm480G();
-    CostModelCalibration calibration{};
-    /** Workload shape. */
-    int64_t input_tokens = 1024;
-    int64_t output_tokens = 512;
+    LlmConfig model; ///< model geometry being served
+    ServingMode mode = ServingMode::kCometW4AxKv4; ///< system config
+    GpuSpec gpu = GpuSpec::a100Sxm480G(); ///< device being modeled
+    CostModelCalibration calibration{};   ///< kernel cost calibration
+    int64_t input_tokens = 1024; ///< prompt tokens per request
+    int64_t output_tokens = 512; ///< generated tokens per request
     /** Generation bound the requests *declare* to admission. Real
      * clients ask for a generous max_tokens and usually hit EOS much
      * earlier; when this exceeds output_tokens, requests still stop
@@ -100,7 +100,7 @@ struct ThroughputResult {
     int64_t batch = 0;               ///< requested batch size
     double decode_step_us = 0.0;     ///< mean decode iteration latency
     double prefill_us = 0.0;         ///< per-sequence prefill latency
-    double kv_bytes_per_seq = 0.0;
+    double kv_bytes_per_seq = 0.0;   ///< full KV footprint, one seq
     /** Mean running batch over decode steps — the steady-state batch
      * the admission policy actually sustains. */
     double mean_batch = 0.0;
@@ -117,8 +117,11 @@ struct ThroughputResult {
 class ServingEngine
 {
   public:
+    /** Builds an engine for @p config (resolves the precision
+     * profile and cost model once). */
     explicit ServingEngine(EngineConfig config);
 
+    /** The construction parameters. */
     const EngineConfig &config() const { return config_; }
 
     /** Bytes of weight storage at this mode's precision, per GPU

@@ -15,9 +15,9 @@ namespace comet {
 
 /** Lifecycle of a request inside the engine. */
 enum class RequestState {
-    kQueued = 0,
-    kRunning,
-    kFinished,
+    kQueued = 0, ///< submitted, waiting for admission
+    kRunning,    ///< in the decode batch, holding KV blocks
+    kFinished,   ///< generation complete, KV released
     /** Evicted from the running batch on KV exhaustion; back in the
      * queue and will re-prefill its context on re-admission. */
     kPreempted,
@@ -33,8 +33,8 @@ const char *requestStateName(RequestState state);
 
 /** One generation request. */
 struct Request {
-    int64_t id = 0;
-    int64_t prompt_tokens = 0;
+    int64_t id = 0;            ///< caller-assigned unique identifier
+    int64_t prompt_tokens = 0; ///< prompt length to prefill
     /** Declared generation bound — what the client asked for and the
      * only output-length information admission can reserve against. */
     int64_t max_output_tokens = 0;
@@ -44,10 +44,10 @@ struct Request {
      * serving cannot see EOS in advance — it only uses it to decide
      * done(). */
     int64_t eos_output_tokens = 0;
-    int64_t generated_tokens = 0;
+    int64_t generated_tokens = 0; ///< tokens produced so far
     /** Times this request was evicted on KV exhaustion. */
     int64_t preemptions = 0;
-    RequestState state = RequestState::kQueued;
+    RequestState state = RequestState::kQueued; ///< lifecycle state
 
     /** Context length currently attended over. */
     int64_t
@@ -64,6 +64,7 @@ struct Request {
                                      : max_output_tokens;
     }
 
+    /** True once the request generated its stopping length. */
     bool
     done() const
     {

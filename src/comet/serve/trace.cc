@@ -7,6 +7,8 @@
 
 #include "comet/common/stats.h"
 #include "comet/kvcache/kv_cache.h"
+#include "comet/obs/obs.h"
+#include "comet/obs/trace_session.h"
 
 namespace comet {
 
@@ -77,11 +79,27 @@ TraceMetrics::tpotPercentileUs(double p) const
     return percentileOrNan(std::move(values), p);
 }
 
+void
+TraceMetrics::publishTo(obs::MetricsRegistry &registry) const
+{
+    registry.counter("serve.replay.completed")
+        .add(static_cast<int64_t>(per_request.size()));
+    registry.counter("serve.replay.preemptions").add(preemptions);
+    registry.counter("serve.replay.reprefill_tokens")
+        .add(reprefill_tokens);
+    registry.counter("serve.replay.cancelled").add(cancelled);
+    registry.counter("serve.replay.rejected").add(rejected);
+}
+
 TraceMetrics
 replayTrace(const ServingEngine &engine,
             const std::vector<TracedRequest> &trace)
 {
     COMET_CHECK(!trace.empty());
+    // `COMET_TRACE=<out.json>` turns any replay into a span trace,
+    // no matter which binary hosts it (one-shot, then free).
+    obs::configureFromEnv();
+    COMET_SPAN("replay");
     const EngineConfig &config = engine.config();
     const ServingPrecision precision =
         servingPrecision(config.mode);
@@ -139,13 +157,12 @@ replayTrace(const ServingEngine &engine,
         }
         metrics.peak_queue_depth =
             std::max(metrics.peak_queue_depth, waiting);
-        if (cache.totalBlocks() > 0) {
-            metrics.peak_kv_utilization = std::max(
-                metrics.peak_kv_utilization,
-                static_cast<double>(cache.totalBlocks() -
-                                    cache.freeBlocks()) /
-                    static_cast<double>(cache.totalBlocks()));
-        }
+        // Track the peak in blocks; the fraction is derived once at
+        // the end so it is structurally the same used/total ratio
+        // SchedulerCounters::peakKvUtilization reports.
+        metrics.peak_used_blocks =
+            std::max(metrics.peak_used_blocks,
+                     cache.totalBlocks() - cache.freeBlocks());
     };
 
     const auto finishRequest = [&](const Running &r) {
@@ -166,6 +183,7 @@ replayTrace(const ServingEngine &engine,
     /** Evicts the latest-arrived running request back to the queue
      * head (recompute-style preemption). */
     const auto preemptBack = [&] {
+        COMET_SPAN("replay/preempt");
         COMET_CHECK(!running.empty());
         const Running victim = running.back();
         running.pop_back();
@@ -180,6 +198,7 @@ replayTrace(const ServingEngine &engine,
     };
 
     while (!pending.empty() || !running.empty()) {
+        COMET_SPAN("replay/step");
         // Client cancellations: drop abandoned requests wherever
         // they live, releasing any KV blocks they hold.
         for (auto it = pending.begin(); it != pending.end();) {
@@ -218,6 +237,8 @@ replayTrace(const ServingEngine &engine,
         }
         int64_t admitted = 0;
         std::vector<int64_t> admitted_prefill_tokens;
+        {
+        COMET_SPAN("replay/admit");
         while (!pending.empty() &&
                pending.front().request.arrival_us <= clock_us &&
                static_cast<int64_t>(running.size()) <
@@ -270,7 +291,9 @@ replayTrace(const ServingEngine &engine,
             pending.pop_front();
             ++admitted;
         }
+        } // replay/admit
         if (admitted > 0 && chunk <= 0) {
+            COMET_SPAN("replay/prefill");
             // Charge the wave's actual (re)prefill token counts, not
             // the engine's configured workload shape.
             clock_us +=
@@ -315,6 +338,7 @@ replayTrace(const ServingEngine &engine,
         // Decode tokens for every decoding request, plus (in chunked
         // mode) a budget of prompt tokens taken FCFS from prefilling
         // requests and piggybacked onto the same GEMM launches.
+        COMET_SPAN("replay/decode");
         int64_t decode_batch = 0;
         double context_sum = 0.0;
         for (const Running &r : running) {
@@ -411,6 +435,15 @@ replayTrace(const ServingEngine &engine,
         clock_us > 0.0 ? static_cast<double>(generated_total) /
                              (clock_us * 1e-6)
                        : 0.0;
+    metrics.total_kv_blocks = cache.totalBlocks();
+    // The one place the fraction is computed (units: [0, 1], the
+    // SchedulerCounters::peakKvUtilization definition).
+    metrics.peak_kv_utilization =
+        metrics.total_kv_blocks > 0
+            ? static_cast<double>(metrics.peak_used_blocks) /
+                  static_cast<double>(metrics.total_kv_blocks)
+            : 0.0;
+    metrics.publishTo(obs::MetricsRegistry::global());
     return metrics;
 }
 

@@ -22,16 +22,17 @@
 #include <vector>
 
 #include "comet/common/rng.h"
+#include "comet/obs/metrics.h"
 #include "comet/serve/engine.h"
 
 namespace comet {
 
 /** One request arrival in a workload trace. */
 struct TracedRequest {
-    int64_t id = 0;
-    double arrival_us = 0.0;
-    int64_t prompt_tokens = 0;
-    int64_t output_tokens = 0;
+    int64_t id = 0;            ///< unique id within the trace
+    double arrival_us = 0.0;   ///< absolute arrival time
+    int64_t prompt_tokens = 0; ///< prompt length
+    int64_t output_tokens = 0; ///< tokens generated before EOS
     /** When > 0, the client abandons the request at this absolute
      * time; the replay drops it (wherever it lives) and counts it. */
     double cancel_us = 0.0;
@@ -40,12 +41,13 @@ struct TracedRequest {
 /** Parameters of the synthetic arrival process. */
 struct TraceConfig {
     double request_rate_per_s = 2.0; ///< Poisson arrival rate
-    int num_requests = 64;
+    int num_requests = 64;           ///< trace length
+    /** Mean lengths; samples are geometric-ish around the means,
+     * clamped to [16, 4 * mean]. @{ */
     int64_t mean_prompt_tokens = 512;
     int64_t mean_output_tokens = 128;
-    /** Lengths are geometric-ish around the means, clamped to
-     * [16, 4 * mean]. */
-    uint64_t seed = 1;
+    /** @} */
+    uint64_t seed = 1; ///< RNG seed (traces are deterministic)
 };
 
 /** Samples a trace (arrivals sorted by time). */
@@ -53,17 +55,19 @@ std::vector<TracedRequest> generateTrace(const TraceConfig &config);
 
 /** Completed-request latency record. */
 struct RequestLatency {
-    int64_t id = 0;
+    int64_t id = 0;            ///< the completed request's id
     double ttft_us = 0.0;      ///< arrival -> first output token
     double tpot_us = 0.0;      ///< mean time per subsequent token
     double total_us = 0.0;     ///< arrival -> completion
-    int64_t output_tokens = 0;
+    int64_t output_tokens = 0; ///< tokens actually generated
 };
 
 /** Aggregate latency metrics of a trace run. */
 struct TraceMetrics {
+    /** One latency record per completed request. */
     std::vector<RequestLatency> per_request;
-    double makespan_us = 0.0;
+    double makespan_us = 0.0; ///< first arrival -> last completion
+    /** Generated tokens over the makespan. */
     double throughput_tokens_per_s = 0.0;
     /** Scheduling observability. @{ */
     int64_t preemptions = 0;       ///< KV-exhaustion evictions
@@ -72,7 +76,13 @@ struct TraceMetrics {
     int64_t rejected = 0;          ///< requests that can never fit
     int64_t peak_running = 0;      ///< max concurrent batch
     int64_t peak_queue_depth = 0;  ///< max requests waiting
-    double peak_kv_utilization = 0.0; ///< peak used/total KV blocks
+    int64_t peak_used_blocks = 0;  ///< max KV blocks in use observed
+    int64_t total_kv_blocks = 0;   ///< pool size the replay ran with
+    /** Peak used/total KV blocks as a **fraction in [0, 1]** (never a
+     * percent) — derived from peak_used_blocks / total_kv_blocks, the
+     * same definition SchedulerCounters::peakKvUtilization uses, so
+     * the two observability surfaces always agree on units. */
+    double peak_kv_utilization = 0.0;
     /** @} */
 
     /** Percentile over per-request TTFT (p in [0, 100]); NaN when no
@@ -82,6 +92,11 @@ struct TraceMetrics {
     /** Percentile over per-request TPOT; NaN when no request
      * completed. */
     double tpotPercentileUs(double p) const;
+
+    /** Adds the replay's scheduling counters into @p registry under
+     * `serve.replay.*` so one dump covers both surfaces (counters are
+     * monotonic: repeated replays accumulate). */
+    void publishTo(obs::MetricsRegistry &registry) const;
 };
 
 /**

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for leveled logging: record formatting, level
+ * filtering, severity-counter routing into the obs registry, and
+ * thread-safety of concurrent emission.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "comet/common/logging.h"
+#include "comet/obs/metrics.h"
+
+namespace comet {
+namespace {
+
+/** RAII guard restoring the global log level a test changes. */
+class LogLevelGuard
+{
+  public:
+    LogLevelGuard() : saved_(logLevel()) {}
+    ~LogLevelGuard() { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+int64_t
+warningCount()
+{
+    return obs::MetricsRegistry::global().counterValue("log.warnings");
+}
+
+int64_t
+errorCount()
+{
+    return obs::MetricsRegistry::global().counterValue("log.errors");
+}
+
+TEST(Logging, FormatPinsTheRecordLayout)
+{
+    EXPECT_EQ(detail::formatLogRecord(LogLevel::kWarn,
+                                      "/a/b/engine.cc", 42, "kv low"),
+              "[comet WARN engine.cc:42] kv low");
+    EXPECT_EQ(detail::formatLogRecord(LogLevel::kError, "trace.cc", 7,
+                                      ""),
+              "[comet ERROR trace.cc:7] ");
+    EXPECT_EQ(detail::formatLogRecord(LogLevel::kInfo, "x.cc", 1, "m"),
+              "[comet INFO x.cc:1] m");
+    EXPECT_EQ(detail::formatLogRecord(LogLevel::kDebug, "x.cc", 1,
+                                      "m"),
+              "[comet DEBUG x.cc:1] m");
+}
+
+TEST(Logging, FormatStripsNestedDirectories)
+{
+    EXPECT_EQ(detail::formatLogRecord(LogLevel::kWarn,
+                                      "src/comet/serve/engine.cc", 3,
+                                      "x"),
+              "[comet WARN engine.cc:3] x");
+}
+
+TEST(Logging, LevelRoundTrips)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::kDebug);
+    EXPECT_EQ(logLevel(), LogLevel::kDebug);
+    setLogLevel(LogLevel::kError);
+    EXPECT_EQ(logLevel(), LogLevel::kError);
+}
+
+TEST(Logging, RecordsAboveTheLevelAreDropped)
+{
+    LogLevelGuard guard;
+    // At kError, a kWarn record must be filtered at the call site:
+    // the warning counter cannot move.
+    setLogLevel(LogLevel::kError);
+    const int64_t warnings_before = warningCount();
+    COMET_LOG(kWarn) << "filtered out";
+    EXPECT_EQ(warningCount(), warnings_before);
+    // At kWarn, the same record passes and is counted.
+    setLogLevel(LogLevel::kWarn);
+    COMET_LOG(kWarn) << "emitted";
+    EXPECT_EQ(warningCount(), warnings_before + 1);
+}
+
+TEST(Logging, WarnAndErrorRecordsTickObsCounters)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::kWarn);
+    const int64_t warnings_before = warningCount();
+    const int64_t errors_before = errorCount();
+    COMET_LOG(kWarn) << "w1";
+    COMET_LOG(kWarn) << "w2";
+    COMET_LOG(kError) << "e1";
+    EXPECT_EQ(warningCount(), warnings_before + 2);
+    EXPECT_EQ(errorCount(), errors_before + 1);
+}
+
+TEST(Logging, InfoRecordsDoNotTickSeverityCounters)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::kDebug);
+    const int64_t warnings_before = warningCount();
+    const int64_t errors_before = errorCount();
+    COMET_LOG(kInfo) << "informational";
+    COMET_LOG(kDebug) << "debug";
+    EXPECT_EQ(warningCount(), warnings_before);
+    EXPECT_EQ(errorCount(), errors_before);
+}
+
+TEST(Logging, ConcurrentEmissionCountsEveryRecord)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::kWarn);
+    const int64_t warnings_before = warningCount();
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i)
+                COMET_LOG(kWarn) << "thread " << t << " record " << i;
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(warningCount(),
+              warnings_before + kThreads * kPerThread);
+}
+
+} // namespace
+} // namespace comet
