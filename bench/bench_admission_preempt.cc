@@ -26,26 +26,6 @@ using namespace comet;
 
 namespace {
 
-/** Shrinks usable memory so the KV pool holds exactly @p blocks —
- * making the cache, not the 256-request cap, the batch limit (an
- * 80 GB A100 fits the whole cap at KV4; the policy question only
- * appears when memory binds). */
-EngineConfig
-withKvBlocks(EngineConfig config, int64_t blocks)
-{
-    KvCacheConfig probe_config;
-    probe_config.bits_per_value =
-        servingPrecision(config.mode).kv_bits;
-    probe_config.block_tokens = config.kv_block_tokens;
-    probe_config.memory_budget_bytes = 1e9;
-    const PagedKvCache probe(config.model, probe_config);
-    const double weights = ServingEngine(config).weightBytes();
-    config.usable_memory_fraction =
-        (weights + probe.blockBytes() * static_cast<double>(blocks)) /
-        config.gpu.hbm_capacity_bytes;
-    return config;
-}
-
 std::vector<std::string>
 policyRow(const EngineConfig &config, int64_t offered_batch)
 {
@@ -88,7 +68,7 @@ main(int argc, char **argv)
     base.declared_output_tokens = 2048;
     // A pool of 6144 KV4 pages = 96 Ki tokens: a KV-limited regime
     // (~64 actually-full-length sequences) oversubscribed 2x.
-    base = withKvBlocks(base, 6144);
+    base = engineConfigWithKvBlocks(base, 6144);
     const int64_t kv_limited = ServingEngine(base).maxBatchSize();
     const int64_t offered = 2 * kv_limited;
     std::printf("Sequences the pool fits at actual full context: "

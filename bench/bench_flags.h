@@ -84,7 +84,14 @@ handleArgs(int argc, char **argv, const char *purpose,
         }
         bool known = false;
         for (const BenchFlag &flag : flags) {
-            if (std::strcmp(arg, flag.name) == 0) {
+            const size_t name_len = std::strlen(flag.name);
+            // A name ending in '=' is a value flag (e.g. "--seed=")
+            // and matches any "--seed=<value>" argument.
+            const bool value_flag =
+                name_len > 0 && flag.name[name_len - 1] == '=';
+            if (value_flag
+                    ? std::strncmp(arg, flag.name, name_len) == 0
+                    : std::strcmp(arg, flag.name) == 0) {
                 known = true;
                 break;
             }
@@ -114,6 +121,33 @@ smokeRequested(int argc, char **argv)
             return true;
     }
     return false;
+}
+
+/**
+ * Value of an integer value flag (name ends in '=', e.g. "--seed=":
+ * `--seed=7` returns 7). The last occurrence wins; @p fallback when
+ * absent. Call handleArgs() first — it validates flag names, so a
+ * malformed value (not a number) is the only error left here (exit
+ * 2).
+ */
+inline int64_t
+flagValue(int argc, char **argv, const char *name, int64_t fallback)
+{
+    const size_t name_len = std::strlen(name);
+    int64_t value = fallback;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], name, name_len) != 0)
+            continue;
+        char *end = nullptr;
+        const char *text = argv[i] + name_len;
+        value = std::strtoll(text, &end, 10);
+        if (end == text || *end != '\0') {
+            std::fprintf(stderr, "%s: bad value in '%s'\n",
+                         argc > 0 ? argv[0] : "bench", argv[i]);
+            std::exit(2);
+        }
+    }
+    return value;
 }
 
 } // namespace bench

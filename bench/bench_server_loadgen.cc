@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Online-serving load generator: multi-tenant streaming latency under
+ * an open-loop Poisson workload, driven through comet::server.
+ *
+ * Three checks ride on top of the report:
+ *
+ *  1. Determinism — the same seed must produce a bit-identical
+ *     per-tenant p50/p99 TTFT/TPOT report across back-to-back runs
+ *     (fresh server + metrics reset between them) and across the two
+ *     delivery modes (pull-iterators vs callbacks), despite the
+ *     genuinely concurrent client threads.
+ *  2. Backpressure accounting — the `server.rejected` registry
+ *     counter must equal the rejects the load generator observed on
+ *     its streams; overload rejects, it never aborts.
+ *  3. Overload behaviour — a deliberately oversubscribed scenario
+ *     (tiny KV pool, bounded queues, rate limits) must finish with
+ *     rejections > 0 and all accepted requests completed.
+ *
+ * Any violated check exits 1 (the TSan CI leg runs `--smoke`).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_flags.h"
+
+#include "comet/obs/metrics.h"
+#include "comet/serve/engine.h"
+#include "comet/server/loadgen.h"
+#include "comet/server/server.h"
+
+using namespace comet;
+using namespace comet::server;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+        ++failures;
+    }
+}
+
+/** The engine every scenario serves: LLaMA-3-8B at COMET W4A4KV4,
+ * with the KV pool shrunk to @p kv_blocks pages so memory (not the
+ * batch cap) is the contended resource. */
+EngineConfig
+servedEngine(int64_t kv_blocks)
+{
+    EngineConfig config;
+    config.model = LlmConfig::llama3_8b();
+    config.mode = ServingMode::kCometW4AxKv4;
+    config.input_tokens = 256;
+    config.output_tokens = 64;
+    return engineConfigWithKvBlocks(config, kv_blocks);
+}
+
+/** Two-tenant mix: a weighted, SLO-tagged interactive tenant and a
+ * heavier batch tenant. */
+LoadgenConfig
+steadyWorkload(uint64_t seed, bool smoke)
+{
+    LoadgenConfig config;
+    config.seed = seed;
+    config.clients = 4;
+
+    LoadgenTenant gold;
+    gold.admission.name = "gold";
+    gold.admission.weight = 4.0;
+    gold.admission.ttft_slo_us = 4e6;
+    gold.arrival_rate_per_s = 30.0;
+    gold.requests = smoke ? 24 : 96;
+    gold.prompt_min = 64;
+    gold.prompt_max = 256;
+    gold.output_min = 4;
+    gold.output_max = 32;
+
+    LoadgenTenant bronze;
+    bronze.admission.name = "bronze";
+    bronze.admission.weight = 1.0;
+    bronze.arrival_rate_per_s = 20.0;
+    bronze.requests = smoke ? 16 : 64;
+    bronze.prompt_min = 128;
+    bronze.prompt_max = 512;
+    bronze.output_min = 8;
+    bronze.output_max = 48;
+
+    config.tenants = {gold, bronze};
+    return config;
+}
+
+/** The steady workload pushed past capacity: higher rates, bounded
+ * queues, a rate-limited bronze tenant, a smaller KV pool. */
+LoadgenConfig
+overloadWorkload(uint64_t seed, bool smoke)
+{
+    LoadgenConfig config = steadyWorkload(seed, smoke);
+    for (LoadgenTenant &tenant : config.tenants) {
+        tenant.arrival_rate_per_s *= 40.0;
+        tenant.admission.max_queued = 6;
+    }
+    config.tenants[1].admission.rate_limit_per_s = 200.0;
+    config.tenants[1].admission.rate_burst = 4.0;
+    return config;
+}
+
+ServerConfig
+serverConfigFor(const LoadgenConfig &workload, int64_t max_batch)
+{
+    ServerConfig config;
+    config.tenants = loadgenTenants(workload);
+    config.max_batch = max_batch;
+    config.admission = AdmissionPolicy::kOptimisticPreempt;
+    config.kv_watermark_blocks = 16;
+    return config;
+}
+
+/** One full session: fresh metrics, fresh server, run, verify the
+ * reject accounting, return the report. */
+LoadgenReport
+runSession(const ServingEngine &engine,
+           const LoadgenConfig &workload, int64_t max_batch)
+{
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::global();
+    registry.reset();
+    Server server(&engine, serverConfigFor(workload, max_batch));
+    const LoadgenReport report = runLoadgen(&server, workload);
+    const ServerStats stats = server.stats();
+    check(stats.rejected == report.rejected,
+          "server stats rejects == loadgen-observed rejects");
+    check(registry.counterValue("server.rejected") ==
+              report.rejected,
+          "server.rejected metric == loadgen-observed rejects");
+    check(registry.counterValue("server.streamed_tokens") ==
+              report.tokens,
+          "server.streamed_tokens metric == streamed tokens");
+    check(stats.completed + stats.rejected + stats.cancelled ==
+              report.submitted,
+          "every submitted request reached a terminal event");
+    server.stop();
+    return report;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    comet::bench::handleArgs(
+        argc, argv,
+        "online serving: multi-tenant streaming latency under "
+        "open-loop Poisson load",
+        {{"--smoke", "reduced request counts for CI"},
+         {"--seed=", "workload seed (default 42)"}});
+    const bool smoke = comet::bench::smokeRequested(argc, argv);
+    const auto seed = static_cast<uint64_t>(
+        comet::bench::flagValue(argc, argv, "--seed=", 42));
+
+    std::printf("=== Online serving under open-loop Poisson load "
+                "(LLaMA-3-8B, COMET W4A4KV4, %d client threads) "
+                "===\n\n",
+                steadyWorkload(seed, smoke).clients);
+
+    // --- Steady scenario: determinism across runs and modes -------
+    const ServingEngine engine(servedEngine(4096));
+    const int64_t max_batch = 64;
+    LoadgenConfig steady = steadyWorkload(seed, smoke);
+    const LoadgenReport first =
+        runSession(engine, steady, max_batch);
+    const LoadgenReport second =
+        runSession(engine, steady, max_batch);
+    steady.callbacks = true;
+    const LoadgenReport callbacks =
+        runSession(engine, steady, max_batch);
+
+    const std::string steady_table = renderLoadgenReport(first);
+    check(steady_table == renderLoadgenReport(second),
+          "back-to-back runs render identical reports");
+    check(steady_table == renderLoadgenReport(callbacks),
+          "pull-mode and callback-mode reports are identical");
+    check(first.rejected == 0,
+          "the steady scenario is served without rejections");
+    check(first.completed == first.submitted,
+          "the steady scenario completes every request");
+
+    std::printf("Steady load (seed %llu, %lld requests, makespan "
+                "%.1f ms, run twice + callback mode: reports "
+                "identical):\n%s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<long long>(first.submitted),
+                first.makespan_us * 1e-3, steady_table.c_str());
+
+    // --- Overload scenario: reject-with-reason, never abort -------
+    const ServingEngine small_engine(servedEngine(1024));
+    const LoadgenConfig overload = overloadWorkload(seed, smoke);
+    const LoadgenReport pressed =
+        runSession(small_engine, overload, 32);
+    check(pressed.rejected > 0,
+          "the overload scenario must reject some requests");
+    check(pressed.completed + pressed.rejected ==
+              pressed.submitted,
+          "overload: every request completes or is rejected");
+    check(pressed.completed > 0,
+          "overload: accepted requests still complete");
+
+    std::printf("Overload (4x the arrival rate, 1/4 the KV pool, "
+                "bounded queues, bronze rate-limited — backpressure "
+                "rejects explicitly, nothing aborts):\n%s\n",
+                renderLoadgenReport(pressed).c_str());
+
+    if (failures > 0) {
+        std::fprintf(stderr, "\n%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::printf("All determinism and backpressure checks passed.\n");
+    return 0;
+}

@@ -9,6 +9,11 @@
 #     reduced shapes (2 models, 128/64 tokens).
 #   - bench_runtime_scaling --smoke: the thread-pool scaling table;
 #     its exit status also asserts bit-identity across pool sizes.
+#   - bench_server_loadgen --smoke: the online serving front-end
+#     under open-loop Poisson load from concurrent client threads;
+#     its exit status asserts report determinism and that overload
+#     rejects (with matching server.rejected accounting), never
+#     aborts.
 #
 # Usage: scripts/ci_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -34,5 +39,7 @@ run "${bench_dir}/bench_kernel_micro" \
 run "${bench_dir}/bench_fig10_throughput" --smoke
 
 run "${bench_dir}/bench_runtime_scaling" --smoke
+
+run "${bench_dir}/bench_server_loadgen" --smoke
 
 echo "ci_smoke: all bench families passed"

@@ -146,7 +146,7 @@ MetricsRegistry::dumpJson() const
 }
 
 void
-MetricsRegistry::resetForTesting()
+MetricsRegistry::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[name, counter] : counters_) {

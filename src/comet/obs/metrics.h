@@ -11,8 +11,9 @@
  *
  * References returned by the registry stay valid for the process
  * lifetime — hot paths look a counter up once (function-local static)
- * and keep the reference. resetForTesting() zeroes values but never
- * invalidates references.
+ * and keep the reference. reset() zeroes values but never invalidates
+ * references, so one process can run several measurement sessions
+ * (repeated bench runs, test fixtures) from a clean slate.
  */
 #pragma once
 
@@ -137,9 +138,18 @@ class MetricsRegistry
      * `{"counters": {...}, "histograms": {...}}`. */
     std::string dumpJson() const;
 
-    /** Zeroes every registered metric without invalidating any
-     * reference handed out earlier. */
-    void resetForTesting();
+    /**
+     * Zeroes every registered metric without invalidating any
+     * reference handed out earlier. The supported way to start a
+     * fresh measurement session inside one process: test fixtures
+     * call it in SetUp so counters never leak across tests, and
+     * repeated bench runs call it between sessions so back-to-back
+     * reports stay comparable.
+     */
+    void reset();
+
+    /** Backwards-compatible alias for reset(). */
+    void resetForTesting() { reset(); }
 
   private:
     mutable std::mutex mutex_;

@@ -28,6 +28,12 @@ SchedulerCounters::peakKvUtilization(int64_t total_blocks) const
 }
 
 void
+SchedulerCounters::reset()
+{
+    *this = SchedulerCounters{};
+}
+
+void
 SchedulerCounters::publishTo(obs::MetricsRegistry &registry) const
 {
     registry.counter("serve.scheduler.admitted").add(admitted);
@@ -87,6 +93,7 @@ BatchScheduler::admit()
             cache_->totalBlocks()) {
             head.state = RequestState::kRejected;
             ++counters_.rejected;
+            retire(head);
             queue_.pop_front();
             continue;
         }
@@ -120,6 +127,20 @@ BatchScheduler::admit()
         queue_.pop_front();
         ++admitted;
         ++counters_.admitted;
+        if (config_.prefill_emits_token) {
+            // The prefill forward pass produces this request's next
+            // output token (TTFT accounting); a request completed by
+            // that token retires without entering the decode batch.
+            Request &fresh = running_.back();
+            ++fresh.generated_tokens;
+            if (fresh.done()) {
+                fresh.state = RequestState::kFinished;
+                cache_->removeSequence(fresh.id);
+                ++finished_;
+                retire(fresh);
+                running_.pop_back();
+            }
+        }
     }
     notePeaks();
     return admitted;
@@ -177,6 +198,7 @@ BatchScheduler::step()
             request.state = RequestState::kFinished;
             cache_->removeSequence(request.id);
             ++finished_;
+            retire(request);
         } else {
             still_running.push_back(request);
         }
@@ -192,6 +214,8 @@ BatchScheduler::cancel(int64_t id)
 {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         if (it->id == id) {
+            it->state = RequestState::kCancelled;
+            retire(*it);
             queue_.erase(it);
             ++counters_.cancelled;
             return Status::ok();
@@ -200,6 +224,8 @@ BatchScheduler::cancel(int64_t id)
     for (auto it = running_.begin(); it != running_.end(); ++it) {
         if (it->id == id) {
             cache_->removeSequence(id);
+            it->state = RequestState::kCancelled;
+            retire(*it);
             running_.erase(it);
             ++counters_.cancelled;
             return Status::ok();
@@ -207,6 +233,21 @@ BatchScheduler::cancel(int64_t id)
     }
     return Status::invalidArgument(
         "cancel: request is not queued or running");
+}
+
+std::vector<Request>
+BatchScheduler::drainRetired()
+{
+    std::vector<Request> drained;
+    drained.swap(retired_);
+    return drained;
+}
+
+void
+BatchScheduler::retire(const Request &request)
+{
+    if (config_.collect_retired)
+        retired_.push_back(request);
 }
 
 double

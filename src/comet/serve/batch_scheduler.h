@@ -62,6 +62,25 @@ struct BatchSchedulerConfig {
      * headroom; larger values trade batch size for fewer
      * preemptions. Ignored by kReserveFullOutput. */
     int64_t watermark_blocks = 0;
+    /**
+     * When true, admission itself credits every admitted request with
+     * one generated token: the prefill forward pass produces the
+     * request's next output token, the same accounting replayTrace
+     * uses for TTFT. A request whose crediting completes it (e.g. a
+     * one-token generation) retires at admission without ever
+     * entering the decode batch. Off by default — the offline
+     * throughput path counts tokens purely through step().
+     */
+    bool prefill_emits_token = false;
+    /**
+     * When true, every request that reaches a terminal state
+     * (finished, rejected, cancelled) is retained — with its final
+     * token counts and state — until the caller collects it via
+     * drainRetired(). Event-driven callers (the online server) need
+     * the terminal transitions to deliver stream completions; the
+     * offline paths leave this off and only read the counters.
+     */
+    bool collect_retired = false;
 };
 
 /** Observability counters accumulated over a scheduler's lifetime. */
@@ -89,6 +108,11 @@ struct SchedulerCounters {
      * without duplicating fields (counters are monotonic; publishing
      * twice accumulates). */
     void publishTo(obs::MetricsRegistry &registry) const;
+
+    /** Zeroes every counter. Engine runs and server sessions call
+     * this at start so two back-to-back runs report identical
+     * numbers instead of accumulating across runs. */
+    void reset();
 };
 
 /**
@@ -135,6 +159,19 @@ class BatchScheduler
     /** Lifetime observability counters. */
     const SchedulerCounters &counters() const { return counters_; }
 
+    /** Re-zeroes the observability counters (see
+     * SchedulerCounters::reset). Called at the start of every engine
+     * run and server session. */
+    void resetCounters() { counters_.reset(); }
+
+    /**
+     * Returns (and clears) the requests that reached a terminal
+     * state — kFinished, kRejected or kCancelled — since the last
+     * call, in the order they retired. Always empty unless
+     * BatchSchedulerConfig::collect_retired is set.
+     */
+    std::vector<Request> drainRetired();
+
     /** Fraction of KV blocks currently in use, in [0, 1]. */
     double kvUtilization() const;
 
@@ -166,10 +203,15 @@ class BatchScheduler
     /** Updates the peak-observability counters. */
     void notePeaks();
 
+    /** Records a terminal request for drainRetired() when
+     * collect_retired is on. */
+    void retire(const Request &request);
+
     PagedKvCache *cache_;
     BatchSchedulerConfig config_;
     std::deque<Request> queue_;
     std::vector<Request> running_;
+    std::vector<Request> retired_;
     int64_t finished_ = 0;
     SchedulerCounters counters_;
 };

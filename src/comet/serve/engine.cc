@@ -68,6 +68,24 @@ servingPrecision(ServingMode mode)
     return {};
 }
 
+EngineConfig
+engineConfigWithKvBlocks(EngineConfig config, int64_t blocks)
+{
+    COMET_CHECK(blocks > 0);
+    KvCacheConfig probe_config;
+    probe_config.bits_per_value =
+        servingPrecision(config.mode).kv_bits;
+    probe_config.block_tokens = config.kv_block_tokens;
+    probe_config.memory_budget_bytes = 1e9;
+    const PagedKvCache probe(config.model, probe_config);
+    const double weights = ServingEngine(config).weightBytes();
+    config.usable_memory_fraction =
+        (weights +
+         probe.blockBytes() * static_cast<double>(blocks)) /
+        config.gpu.hbm_capacity_bytes;
+    return config;
+}
+
 ServingEngine::ServingEngine(EngineConfig config)
     : config_(std::move(config)),
       precision_(servingPrecision(config_.mode)),
@@ -309,6 +327,10 @@ ServingEngine::measureThroughputAtBatch(int64_t batch) const
     sched_config.admission = config_.admission;
     sched_config.watermark_blocks = config_.kv_watermark_blocks;
     BatchScheduler scheduler(&cache, sched_config);
+    // Every run starts its counters from zero — the published
+    // per-run numbers must be identical for identical back-to-back
+    // runs, never an accumulation across them.
+    scheduler.resetCounters();
     for (int64_t i = 0; i < batch; ++i) {
         Request request;
         request.id = i;

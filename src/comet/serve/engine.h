@@ -94,6 +94,17 @@ struct EngineConfig {
     int64_t kv_watermark_blocks = 0;
 };
 
+/**
+ * Returns @p config with usable_memory_fraction shrunk so the KV pool
+ * holds exactly @p blocks pages — making the cache, not the batch
+ * cap, the limiting resource. An 80 GB A100 fits the full 256-request
+ * cap at KV4, so admission-policy and overload behaviour only appear
+ * once memory binds; the admission bench and the online-server load
+ * generator both construct that regime through this helper.
+ */
+EngineConfig engineConfigWithKvBlocks(EngineConfig config,
+                                      int64_t blocks);
+
 /** Outcome of a throughput measurement. */
 struct ThroughputResult {
     double tokens_per_second = 0.0;  ///< generated tokens / wall time

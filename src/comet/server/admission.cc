@@ -1,0 +1,176 @@
+#include "comet/server/admission.h"
+
+#include <algorithm>
+
+#include "comet/common/status.h"
+
+namespace comet {
+namespace server {
+
+FairAdmissionQueue::FairAdmissionQueue(
+    std::vector<TenantConfig> tenants)
+{
+    COMET_CHECK_MSG(!tenants.empty(),
+                    "the admission queue needs at least one tenant");
+    tenants_.reserve(tenants.size());
+    for (TenantConfig &config : tenants) {
+        COMET_CHECK_MSG(!config.name.empty(),
+                        "tenant names must be non-empty");
+        COMET_CHECK_MSG(tenantIndex(config.name) < 0,
+                        "tenant names must be unique");
+        COMET_CHECK_MSG(config.weight > 0.0,
+                        "tenant weights must be positive");
+        COMET_CHECK(config.max_queued >= 0);
+        COMET_CHECK(config.rate_limit_per_s >= 0.0);
+        COMET_CHECK(config.rate_burst > 0.0);
+        TenantState state;
+        state.config = std::move(config);
+        // A full bucket at t = 0: the configured burst is available
+        // immediately, then refills at the configured rate.
+        state.bucket_tokens = state.config.rate_burst;
+        tenants_.push_back(std::move(state));
+    }
+}
+
+const TenantConfig &
+FairAdmissionQueue::tenant(int index) const
+{
+    COMET_CHECK(index >= 0 && index < numTenants());
+    return tenants_[static_cast<size_t>(index)].config;
+}
+
+int
+FairAdmissionQueue::tenantIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        if (tenants_[i].config.name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+RejectReason
+FairAdmissionQueue::offer(PendingRequest request, double now_us)
+{
+    COMET_CHECK(request.tenant >= 0 &&
+                request.tenant < numTenants());
+    TenantState &state =
+        tenants_[static_cast<size_t>(request.tenant)];
+    // Rate limit first (edge policing), then the queue bound.
+    if (state.config.rate_limit_per_s > 0.0) {
+        COMET_CHECK(now_us >= state.bucket_refill_us);
+        state.bucket_tokens = std::min(
+            state.config.rate_burst,
+            state.bucket_tokens +
+                (now_us - state.bucket_refill_us) *
+                    state.config.rate_limit_per_s * 1e-6);
+        state.bucket_refill_us = now_us;
+        if (state.bucket_tokens < 1.0)
+            return RejectReason::kRateLimited;
+        state.bucket_tokens -= 1.0;
+    }
+    if (state.config.max_queued > 0 &&
+        static_cast<int64_t>(state.queue.size()) >=
+            state.config.max_queued) {
+        return RejectReason::kQueueFull;
+    }
+    if (state.queue.empty()) {
+        // Re-activation: an idle tenant resumes at the current
+        // virtual time instead of cashing in credit accumulated
+        // while it had nothing to run.
+        state.pass = std::max(state.pass, virtual_pass_);
+    }
+    state.queue.push_back(std::move(request));
+    return RejectReason::kNone;
+}
+
+bool
+FairAdmissionQueue::pick(double now_us, PendingRequest *out,
+                         std::vector<PendingRequest> *expired)
+{
+    COMET_CHECK(out != nullptr && expired != nullptr);
+    for (;;) {
+        // Minimum-pass backlogged tenant; index order breaks ties
+        // deterministically.
+        int best = -1;
+        for (int i = 0; i < numTenants(); ++i) {
+            const TenantState &state =
+                tenants_[static_cast<size_t>(i)];
+            if (state.queue.empty())
+                continue;
+            if (best < 0 ||
+                state.pass <
+                    tenants_[static_cast<size_t>(best)].pass) {
+                best = i;
+            }
+        }
+        if (best < 0)
+            return false;
+        TenantState &state = tenants_[static_cast<size_t>(best)];
+        PendingRequest head = std::move(state.queue.front());
+        state.queue.pop_front();
+        const double deadline = state.config.admission_deadline_us;
+        if (deadline > 0.0 && now_us > head.arrival_us + deadline) {
+            // Expired while queued: hand it back for rejection and
+            // do not charge the tenant — it received no service.
+            expired->push_back(std::move(head));
+            continue;
+        }
+        virtual_pass_ = std::max(virtual_pass_, state.pass);
+        const double cost =
+            static_cast<double>(head.prompt_tokens +
+                                head.max_output_tokens);
+        state.pass += cost / state.config.weight;
+        *out = std::move(head);
+        return true;
+    }
+}
+
+bool
+FairAdmissionQueue::removeById(int64_t id, PendingRequest *out)
+{
+    COMET_CHECK(out != nullptr);
+    for (TenantState &state : tenants_) {
+        for (auto it = state.queue.begin(); it != state.queue.end();
+             ++it) {
+            if (it->id == id) {
+                *out = std::move(*it);
+                state.queue.erase(it);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<PendingRequest>
+FairAdmissionQueue::drainAll()
+{
+    std::vector<PendingRequest> drained;
+    for (TenantState &state : tenants_) {
+        for (PendingRequest &request : state.queue)
+            drained.push_back(std::move(request));
+        state.queue.clear();
+    }
+    return drained;
+}
+
+int64_t
+FairAdmissionQueue::queuedCount() const
+{
+    int64_t total = 0;
+    for (const TenantState &state : tenants_)
+        total += static_cast<int64_t>(state.queue.size());
+    return total;
+}
+
+int64_t
+FairAdmissionQueue::queuedCount(int tenant) const
+{
+    COMET_CHECK(tenant >= 0 && tenant < numTenants());
+    return static_cast<int64_t>(
+        tenants_[static_cast<size_t>(tenant)].queue.size());
+}
+
+} // namespace server
+} // namespace comet

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Multi-tenant weighted-fair admission for the online server.
+ *
+ * Tenants are configured up front with a fair-share weight, an
+ * optional bounded queue (the backpressure contract: a full queue
+ * rejects with RejectReason::kQueueFull, it never blocks or aborts),
+ * an optional token-bucket rate limit, and SLO/deadline tags. The
+ * queue orders admission across tenants by **start-time fair
+ * queuing** over declared work: each tenant carries a virtual pass;
+ * picking the minimum-pass tenant and advancing its pass by
+ * (prompt + max_output) / weight shares admission capacity in
+ * proportion to the weights, while an idle tenant's pass is clamped
+ * to the global virtual time on re-activation so sleeping never
+ * accumulates credit.
+ *
+ * All times are the server's deterministic virtual microseconds, so
+ * every decision (fairness pick, rate-limit verdict, deadline expiry)
+ * replays identically for a fixed workload.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "comet/server/streaming.h"
+
+namespace comet {
+namespace server {
+
+/** Per-tenant admission policy. */
+struct TenantConfig {
+    std::string name; ///< unique tenant key (metric label)
+    /** Fair-share weight; admission capacity is split across
+     * backlogged tenants in proportion to weights. */
+    double weight = 1.0;
+    /** Bounded-queue backpressure: queued requests beyond this are
+     * rejected kQueueFull. 0 = unbounded. */
+    int64_t max_queued = 0;
+    /** Token-bucket rate limit, requests per (virtual) second;
+     * arrivals finding the bucket empty are rejected kRateLimited.
+     * 0 = unlimited. */
+    double rate_limit_per_s = 0.0;
+    /** Token-bucket capacity, requests (burst tolerance). */
+    double rate_burst = 8.0;
+    /** TTFT service-level objective, microseconds; 0 = none. The
+     * server tags per-tenant latency histograms with it and the load
+     * generator counts goodput against it. Admission itself does not
+     * enforce it. */
+    double ttft_slo_us = 0.0;
+    /** Admission deadline relative to arrival, microseconds; a
+     * request still queued past it is rejected kDeadlineExpired
+     * instead of occupying the batch with already-useless work.
+     * 0 = wait forever. */
+    double admission_deadline_us = 0.0;
+};
+
+/** A request waiting for admission. */
+struct PendingRequest {
+    int64_t id = 0;               ///< unique request id
+    int tenant = 0;               ///< tenant index in the queue
+    double arrival_us = 0.0;      ///< virtual arrival time
+    int64_t prompt_tokens = 0;    ///< prompt length
+    int64_t max_output_tokens = 0; ///< declared generation bound
+    /** Actual EOS length when the workload models one; 0 = run to
+     * the declared bound (see Request::eos_output_tokens). */
+    int64_t eos_output_tokens = 0;
+    /** The requester's stream (may be null in unit tests that
+     * exercise the queue alone). */
+    TokenStreamPtr stream;
+};
+
+/**
+ * The weighted-fair, rate-limited, bounded admission queue.
+ *
+ * Not thread-safe: owned and driven by the server loop thread, which
+ * serializes offer()/pick() in virtual-time order.
+ */
+class FairAdmissionQueue
+{
+  public:
+    /** Creates the queue for a fixed tenant set (at least one;
+     * names must be unique and non-empty, weights positive). */
+    explicit FairAdmissionQueue(std::vector<TenantConfig> tenants);
+
+    /** Number of configured tenants. */
+    int
+    numTenants() const
+    {
+        return static_cast<int>(tenants_.size());
+    }
+
+    /** Configuration of tenant @p index. */
+    const TenantConfig &tenant(int index) const;
+
+    /** Index of the tenant named @p name, or -1 when unknown. */
+    int tenantIndex(const std::string &name) const;
+
+    /**
+     * Offers an arrival to its tenant's queue at virtual time
+     * @p now_us (nondecreasing across calls). Applies, in order, the
+     * token-bucket rate limit then the bounded-queue check; returns
+     * RejectReason::kNone when the request was enqueued, else the
+     * reason the caller must reject it with.
+     */
+    RejectReason offer(PendingRequest request, double now_us);
+
+    /**
+     * Picks the next request to admit at virtual time @p now_us by
+     * weighted fairness. Requests whose admission deadline already
+     * expired are moved to @p expired (never charged to their
+     * tenant's fair share) instead of being returned. Returns false
+     * when no admissible request remains.
+     */
+    bool pick(double now_us, PendingRequest *out,
+              std::vector<PendingRequest> *expired);
+
+    /** Removes a queued request by id (client cancellation); returns
+     * false when the id is not queued. */
+    bool removeById(int64_t id, PendingRequest *out);
+
+    /** Removes and returns every queued request in (tenant, FIFO)
+     * order — shutdown-with-cancel uses this to fail them over to
+     * kCancelled deterministically. */
+    std::vector<PendingRequest> drainAll();
+
+    /** Requests currently queued across all tenants. */
+    int64_t queuedCount() const;
+
+    /** Requests currently queued for tenant @p index. */
+    int64_t queuedCount(int tenant) const;
+
+    /** True when no request is queued. */
+    bool
+    empty() const
+    {
+        return queuedCount() == 0;
+    }
+
+  private:
+    struct TenantState {
+        TenantConfig config;
+        std::deque<PendingRequest> queue;
+        /** Start-time fair-queuing pass (virtual service tag). */
+        double pass = 0.0;
+        /** Token-bucket fill, requests. */
+        double bucket_tokens = 0.0;
+        /** Virtual time of the last bucket refill. */
+        double bucket_refill_us = 0.0;
+    };
+
+    /** Global virtual service time (pass of the last pick). */
+    double virtual_pass_ = 0.0;
+    std::vector<TenantState> tenants_;
+};
+
+} // namespace server
+} // namespace comet

@@ -1,0 +1,291 @@
+#include "comet/server/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "comet/common/rng.h"
+#include "comet/common/stats.h"
+#include "comet/common/status.h"
+#include "comet/common/table.h"
+
+namespace comet {
+namespace server {
+
+namespace {
+
+/** One pre-generated request, before ids are assigned. */
+struct GeneratedRequest {
+    int tenant = 0;
+    double arrival_us = 0.0;
+    int64_t prompt_tokens = 0;
+    int64_t declared_output_tokens = 0;
+    int64_t eos_output_tokens = 0;
+};
+
+int64_t
+sampleLength(Rng &rng, int64_t lo, int64_t hi)
+{
+    COMET_CHECK(lo > 0 && hi >= lo);
+    return lo + static_cast<int64_t>(
+                    rng.uniformInt(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+/** The whole workload, sorted by (arrival, generation order). */
+std::vector<GeneratedRequest>
+generateWorkload(const LoadgenConfig &config)
+{
+    Rng base(config.seed);
+    std::vector<GeneratedRequest> requests;
+    for (size_t t = 0; t < config.tenants.size(); ++t) {
+        const LoadgenTenant &tenant = config.tenants[t];
+        COMET_CHECK(tenant.arrival_rate_per_s > 0.0);
+        COMET_CHECK(tenant.requests > 0);
+        // One independent stream per tenant, split in tenant order,
+        // so adding a tenant never reshuffles the others' workloads.
+        Rng rng = base.split();
+        double arrival_us = 0.0;
+        for (int64_t i = 0; i < tenant.requests; ++i) {
+            // Exponential inter-arrival gap (Poisson process).
+            const double u = rng.uniform();
+            arrival_us += -std::log(1.0 - u) /
+                          tenant.arrival_rate_per_s * 1e6;
+            GeneratedRequest request;
+            request.tenant = static_cast<int>(t);
+            request.arrival_us = arrival_us;
+            request.prompt_tokens = sampleLength(
+                rng, tenant.prompt_min, tenant.prompt_max);
+            request.eos_output_tokens = sampleLength(
+                rng, tenant.output_min, tenant.output_max);
+            // Clients declare the generous bound; EOS lands earlier
+            // (the gap optimistic admission exploits).
+            request.declared_output_tokens = tenant.output_max;
+            requests.push_back(request);
+        }
+    }
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const GeneratedRequest &a,
+                        const GeneratedRequest &b) {
+                         return a.arrival_us < b.arrival_us;
+                     });
+    return requests;
+}
+
+/** Reduces one stream event into the outcome slot. Runs either on
+ * the server loop thread (callback mode) or a client thread (pull
+ * mode); each slot has exactly one writer at a time. */
+void
+recordEvent(RequestOutcome *outcome, const StreamEvent &event)
+{
+    switch (event.kind) {
+      case StreamEventKind::kToken:
+        if (outcome->tokens == 0)
+            outcome->first_token_us = event.virtual_us;
+        outcome->last_token_us = event.virtual_us;
+        ++outcome->tokens;
+        break;
+      case StreamEventKind::kFinished:
+      case StreamEventKind::kRejected:
+      case StreamEventKind::kCancelled:
+        outcome->terminal = event.kind;
+        outcome->reason = event.reject_reason;
+        break;
+    }
+}
+
+double
+percentileOrZero(const std::vector<double> &values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    return exactPercentile(values, p);
+}
+
+} // namespace
+
+std::vector<TenantConfig>
+loadgenTenants(const LoadgenConfig &config)
+{
+    std::vector<TenantConfig> tenants;
+    tenants.reserve(config.tenants.size());
+    for (const LoadgenTenant &tenant : config.tenants)
+        tenants.push_back(tenant.admission);
+    return tenants;
+}
+
+LoadgenReport
+runLoadgen(Server *server, const LoadgenConfig &config)
+{
+    COMET_CHECK(server != nullptr);
+    COMET_CHECK(config.clients > 0);
+    COMET_CHECK(!config.tenants.empty());
+
+    const std::vector<GeneratedRequest> workload =
+        generateWorkload(config);
+    const size_t total = workload.size();
+    std::vector<RequestOutcome> outcomes(total);
+    for (size_t i = 0; i < total; ++i) {
+        outcomes[i].tenant = workload[i].tenant;
+        outcomes[i].arrival_us = workload[i].arrival_us;
+    }
+
+    // Connect every client before any submission so each handle's
+    // ingress horizon gates the virtual clock from the start.
+    const size_t clients =
+        std::min(static_cast<size_t>(config.clients), total);
+    std::vector<Server::Client> handles;
+    for (size_t c = 0; c < clients; ++c)
+        handles.push_back(server->connect());
+
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            Server::Client client = handles[c];
+            // Round-robin over the arrival-sorted workload keeps
+            // each client's submissions in nondecreasing arrival
+            // order, as the ingress contract requires.
+            std::vector<std::pair<size_t, TokenStreamPtr>> streams;
+            for (size_t i = c; i < total; i += clients) {
+                const GeneratedRequest &generated = workload[i];
+                StreamRequest request;
+                request.id = static_cast<int64_t>(i);
+                request.tenant =
+                    config.tenants[static_cast<size_t>(
+                                       generated.tenant)]
+                        .admission.name;
+                request.prompt_tokens = generated.prompt_tokens;
+                request.max_output_tokens =
+                    generated.declared_output_tokens;
+                request.eos_output_tokens =
+                    generated.eos_output_tokens;
+                request.arrival_us = generated.arrival_us;
+                RequestOutcome *outcome = &outcomes[i];
+                if (config.callbacks) {
+                    request.callback =
+                        [outcome](const StreamEvent &event) {
+                            recordEvent(outcome, event);
+                        };
+                }
+                TokenStreamPtr stream = client.submit(request);
+                if (!config.callbacks)
+                    streams.emplace_back(i, std::move(stream));
+            }
+            // Open loop: everything submitted; release the ingress
+            // gate, then stream the responses back.
+            client.close();
+            for (auto &entry : streams) {
+                StreamEvent event;
+                while (entry.second->next(&event))
+                    recordEvent(&outcomes[entry.first], event);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    // Callback mode: events keep flowing on the loop thread until
+    // the drain barrier below synchronizes the outcome slots.
+    server->drain();
+
+    LoadgenReport report;
+    report.makespan_us = server->virtualClockUs();
+    report.tenants.resize(config.tenants.size());
+    std::vector<std::vector<double>> ttfts(config.tenants.size());
+    std::vector<std::vector<double>> tpots(config.tenants.size());
+    std::vector<double> slo_tokens(config.tenants.size(), 0.0);
+    for (size_t t = 0; t < config.tenants.size(); ++t)
+        report.tenants[t].name =
+            config.tenants[t].admission.name;
+    for (const RequestOutcome &outcome : outcomes) {
+        const auto t = static_cast<size_t>(outcome.tenant);
+        LoadgenTenantReport &row = report.tenants[t];
+        ++row.submitted;
+        row.tokens += outcome.tokens;
+        switch (outcome.terminal) {
+          case StreamEventKind::kFinished: {
+            ++row.completed;
+            const double ttft =
+                outcome.first_token_us - outcome.arrival_us;
+            ttfts[t].push_back(ttft);
+            if (outcome.tokens > 1) {
+                tpots[t].push_back(
+                    (outcome.last_token_us -
+                     outcome.first_token_us) /
+                    static_cast<double>(outcome.tokens - 1));
+            }
+            const double slo =
+                config.tenants[t].admission.ttft_slo_us;
+            if (slo <= 0.0 || ttft <= slo) {
+                ++row.slo_met;
+                slo_tokens[t] +=
+                    static_cast<double>(outcome.tokens);
+            }
+            break;
+          }
+          case StreamEventKind::kRejected:
+            ++row.rejected;
+            break;
+          case StreamEventKind::kCancelled:
+            ++row.cancelled;
+            break;
+          case StreamEventKind::kToken:
+            COMET_CHECK_MSG(false,
+                            "stream ended without a terminal event");
+        }
+    }
+    for (size_t t = 0; t < config.tenants.size(); ++t) {
+        LoadgenTenantReport &row = report.tenants[t];
+        row.ttft_p50_us = percentileOrZero(ttfts[t], 50.0);
+        row.ttft_p99_us = percentileOrZero(ttfts[t], 99.0);
+        row.tpot_p50_us = percentileOrZero(tpots[t], 50.0);
+        row.tpot_p99_us = percentileOrZero(tpots[t], 99.0);
+        row.goodput_tokens_per_s =
+            report.makespan_us > 0.0
+                ? slo_tokens[t] / (report.makespan_us * 1e-6)
+                : 0.0;
+        report.submitted += row.submitted;
+        report.completed += row.completed;
+        report.rejected += row.rejected;
+        report.cancelled += row.cancelled;
+        report.tokens += row.tokens;
+    }
+    report.outcomes = std::move(outcomes);
+    return report;
+}
+
+std::string
+renderLoadgenReport(const LoadgenReport &report)
+{
+    Table table({"tenant", "submit", "done", "reject", "tokens",
+                 "ttft p50 (ms)", "ttft p99 (ms)", "tpot p50 (ms)",
+                 "tpot p99 (ms)", "goodput (tok/s)", "slo met"});
+    for (const LoadgenTenantReport &row : report.tenants) {
+        table.addRow(
+            {row.name, std::to_string(row.submitted),
+             std::to_string(row.completed),
+             std::to_string(row.rejected),
+             std::to_string(row.tokens),
+             formatDouble(row.ttft_p50_us * 1e-3, 3),
+             formatDouble(row.ttft_p99_us * 1e-3, 3),
+             formatDouble(row.tpot_p50_us * 1e-3, 3),
+             formatDouble(row.tpot_p99_us * 1e-3, 3),
+             formatDouble(row.goodput_tokens_per_s, 1),
+             row.completed > 0
+                 ? formatPercent(
+                       static_cast<double>(row.slo_met) /
+                           static_cast<double>(row.completed),
+                       1)
+                 : "-"});
+    }
+    table.addSeparator();
+    table.addRow({"total", std::to_string(report.submitted),
+                  std::to_string(report.completed),
+                  std::to_string(report.rejected),
+                  std::to_string(report.tokens), "-", "-", "-", "-",
+                  "-", "-"});
+    return table.render();
+}
+
+} // namespace server
+} // namespace comet

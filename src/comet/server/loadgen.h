@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Open-loop Poisson load generator for the online server.
+ *
+ * The generator pre-computes the whole workload from a seed — per
+ * tenant, Poisson arrivals (exponential inter-arrival gaps) with
+ * uniformly sampled prompt/output lengths — then drives a Server from
+ * N concurrent client threads. Open loop: arrival times never react
+ * to server progress, so overload shows up as queueing/rejection
+ * rather than as a slowed-down generator. Because arrivals are
+ * virtual-time stamps and the server is deterministic under its
+ * conservative ingress gate, the resulting per-tenant latency report
+ * is bit-identical for a fixed seed, any thread interleaving, and
+ * either delivery mode (callbacks or pull-iterators).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comet/server/server.h"
+
+namespace comet {
+namespace server {
+
+/** One tenant's synthetic workload. */
+struct LoadgenTenant {
+    /** Admission configuration (also registered with the server). */
+    TenantConfig admission;
+    /** Poisson arrival rate, requests per virtual second. */
+    double arrival_rate_per_s = 10.0;
+    /** Requests to generate for this tenant. */
+    int64_t requests = 32;
+    int64_t prompt_min = 64;   ///< prompt length range, inclusive
+    int64_t prompt_max = 256;  ///< prompt length range, inclusive
+    int64_t output_min = 8;    ///< actual (EOS) output range
+    int64_t output_max = 64;   ///< also the declared max_tokens
+};
+
+/** Load-generator parameters. */
+struct LoadgenConfig {
+    uint64_t seed = 42;   ///< workload seed (bit-stable reports)
+    int clients = 4;      ///< concurrent client threads
+    /** Deliver through per-request callbacks instead of pull-mode
+     * streams (both produce identical reports). */
+    bool callbacks = false;
+    std::vector<LoadgenTenant> tenants; ///< the workload mix
+};
+
+/** What one request experienced, reduced from its stream events. */
+struct RequestOutcome {
+    int tenant = 0;              ///< tenant index
+    double arrival_us = 0.0;     ///< virtual arrival time
+    /** How the stream ended. */
+    StreamEventKind terminal = StreamEventKind::kCancelled;
+    RejectReason reason = RejectReason::kNone; ///< when rejected
+    int64_t tokens = 0;          ///< tokens streamed
+    double first_token_us = 0.0; ///< virtual time of token 0
+    double last_token_us = 0.0;  ///< virtual time of the last token
+};
+
+/** Per-tenant latency/goodput aggregation. */
+struct LoadgenTenantReport {
+    std::string name;       ///< tenant name
+    int64_t submitted = 0;  ///< requests submitted
+    int64_t completed = 0;  ///< streams that ended kFinished
+    int64_t rejected = 0;   ///< streams that ended kRejected
+    int64_t cancelled = 0;  ///< streams that ended kCancelled
+    int64_t tokens = 0;     ///< tokens streamed
+    double ttft_p50_us = 0.0; ///< median time-to-first-token
+    double ttft_p99_us = 0.0; ///< p99 time-to-first-token
+    double tpot_p50_us = 0.0; ///< median time-per-output-token
+    double tpot_p99_us = 0.0; ///< p99 time-per-output-token
+    /** Completions that met the tenant's TTFT SLO (all completions
+     * when no SLO is configured). */
+    int64_t slo_met = 0;
+    /** Tokens of SLO-meeting completions per virtual second. */
+    double goodput_tokens_per_s = 0.0;
+};
+
+/** The full loadgen result. */
+struct LoadgenReport {
+    std::vector<LoadgenTenantReport> tenants; ///< per-tenant rows
+    std::vector<RequestOutcome> outcomes; ///< per-request, id order
+    double makespan_us = 0.0; ///< final virtual clock
+    int64_t submitted = 0;    ///< total requests submitted
+    int64_t completed = 0;    ///< total completions
+    int64_t rejected = 0;     ///< total rejections observed
+    int64_t cancelled = 0;    ///< total cancellations observed
+    int64_t tokens = 0;       ///< total tokens streamed
+};
+
+/** The server tenant set a loadgen config implies (register these
+ * when constructing the Server the generator will drive). */
+std::vector<TenantConfig>
+loadgenTenants(const LoadgenConfig &config);
+
+/**
+ * Runs the workload against @p server: spawns config.clients client
+ * threads, submits every pre-generated request through them, streams
+ * all tokens back, drains the server, and aggregates the report.
+ * The server must have been constructed with loadgenTenants(config)
+ * and must not have had clients connected yet.
+ */
+LoadgenReport runLoadgen(Server *server,
+                         const LoadgenConfig &config);
+
+/** Renders the per-tenant report as an aligned text table
+ * (deterministic for a fixed seed — the bench diffs two runs). */
+std::string renderLoadgenReport(const LoadgenReport &report);
+
+} // namespace server
+} // namespace comet

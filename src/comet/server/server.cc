@@ -1,0 +1,764 @@
+#include "comet/server/server.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "comet/common/status.h"
+#include "comet/obs/obs.h"
+#include "comet/obs/trace_session.h"
+#include "comet/runtime/thread_pool.h"
+
+namespace comet {
+namespace server {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/** Latency histogram buckets, microseconds: 100 us .. 50 s in a
+ * 1-2-5 progression (virtual-time TTFT/TPOT span this range across
+ * the bench scenarios). */
+std::vector<double>
+latencyBucketsUs()
+{
+    return {1e2, 2e2, 5e2, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4,
+            1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7, 2e7, 5e7};
+}
+
+obs::Counter &
+serverCounter(const char *name)
+{
+    return obs::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
+
+/**
+ * Everything the client threads and the serving loop share. One
+ * mutex guards it all — submission is a push + notify, and the loop
+ * drains the inbox in batches, so contention is a non-issue at the
+ * request rates the virtual-time engine models.
+ */
+struct Server::Wake {
+    std::mutex mutex;
+    /** The loop waits here (for work, horizons, cancel pokes). */
+    std::condition_variable cv;
+    /** drain()/stop() callers wait here for session completion. */
+    std::condition_variable done_cv;
+    /** Submitted requests the loop has not picked up yet. */
+    std::vector<SubmitRecord> inbox;
+    /** Per-client ingress horizons (see the server file comment). */
+    std::vector<double> horizons;
+    bool draining = false;       ///< ingress closed
+    bool stop_requested = false; ///< loop asked to exit
+    bool cancel_on_stop = false; ///< stop cancels in-flight work
+    bool poked = false;          ///< a stream requested cancellation
+    bool session_complete = false; ///< all accepted work terminal
+    bool loop_exited = false;      ///< the loop thread returned
+    int64_t submitted = 0;      ///< submit() calls (any verdict)
+    int64_t early_rejected = 0; ///< rejected on the submit path
+    // Published snapshots (the loop owns the live state).
+    ServerStats stats;
+    SchedulerCounters sched;
+    double clock_us = 0.0;
+};
+
+Server::Server(const ServingEngine *engine, ServerConfig config)
+    : engine_(engine), config_(std::move(config))
+{
+    COMET_CHECK(engine_ != nullptr);
+    COMET_CHECK(config_.max_batch > 0);
+    COMET_CHECK(config_.max_queued_total >= 0);
+    precision_ = servingPrecision(engine_->config().mode);
+
+    KvCacheConfig cache_config;
+    cache_config.bits_per_value = precision_.kv_bits;
+    cache_config.block_tokens = engine_->config().kv_block_tokens;
+    cache_config.memory_budget_bytes =
+        std::max(engine_->kvBudgetBytes(), 1.0);
+    cache_ = std::make_unique<PagedKvCache>(engine_->config().model,
+                                            cache_config);
+
+    BatchSchedulerConfig sched_config;
+    sched_config.max_batch = config_.max_batch;
+    sched_config.admission = config_.admission;
+    sched_config.watermark_blocks = config_.kv_watermark_blocks;
+    // Online accounting: the prefill forward pass produces the first
+    // token (TTFT), and terminal transitions must surface as stream
+    // events rather than bare counters.
+    sched_config.prefill_emits_token = true;
+    sched_config.collect_retired = true;
+    scheduler_ =
+        std::make_unique<BatchScheduler>(cache_.get(), sched_config);
+    scheduler_->resetCounters();
+
+    fair_ = std::make_unique<FairAdmissionQueue>(config_.tenants);
+
+    wake_ = std::make_shared<Wake>();
+    loop_thread_ = std::thread(&Server::loop, this);
+}
+
+Server::~Server() { stop(true); }
+
+Server::Client
+Server::connect()
+{
+    Client client;
+    client.server_ = this;
+    std::lock_guard<std::mutex> lock(wake_->mutex);
+    COMET_CHECK_MSG(!wake_->draining,
+                    "connect() on a draining/stopped server");
+    client.index_ = wake_->horizons.size();
+    wake_->horizons.push_back(0.0);
+    return client;
+}
+
+TokenStreamPtr
+Server::Client::submit(const StreamRequest &request)
+{
+    COMET_CHECK_MSG(valid(), "submit() on an unconnected handle");
+    return server_->submitFromClient(index_, request);
+}
+
+void
+Server::Client::advanceTo(double horizon_us)
+{
+    COMET_CHECK_MSG(valid(), "advanceTo() on an unconnected handle");
+    server_->advanceClient(index_, horizon_us, /*close=*/false);
+}
+
+void
+Server::Client::close()
+{
+    COMET_CHECK_MSG(valid(), "close() on an unconnected handle");
+    server_->advanceClient(index_, kInfinity, /*close=*/true);
+}
+
+TokenStreamPtr
+Server::submitFromClient(size_t client, const StreamRequest &request)
+{
+    COMET_CHECK(request.id >= 0);
+    COMET_CHECK(request.prompt_tokens > 0);
+    COMET_CHECK(request.max_output_tokens > 0);
+    COMET_CHECK(request.eos_output_tokens >= 0);
+    COMET_CHECK(request.arrival_us >= 0.0);
+
+    TokenStreamPtr stream =
+        request.callback
+            ? std::make_shared<TokenStream>(request.callback)
+            : std::make_shared<TokenStream>();
+    // Install the loop-wake hook before the request can possibly
+    // reach the loop, so no cancellation poke is ever lost.
+    std::weak_ptr<Wake> weak = wake_;
+    stream->setCancelPoke([weak] {
+        if (std::shared_ptr<Wake> wake = weak.lock()) {
+            std::lock_guard<std::mutex> lock(wake->mutex);
+            wake->poked = true;
+            wake->cv.notify_all();
+        }
+    });
+
+    RejectReason early = RejectReason::kNone;
+    double reject_clock_us = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(wake_->mutex);
+        ++wake_->submitted;
+        serverCounter("server.submitted").add();
+        COMET_CHECK(client < wake_->horizons.size());
+        double &horizon = wake_->horizons[client];
+        if (wake_->draining || horizon == kInfinity) {
+            early = RejectReason::kShuttingDown;
+        } else if (tenantIndexByName(request.tenant) < 0) {
+            early = RejectReason::kUnknownTenant;
+        } else {
+            COMET_CHECK_MSG(
+                request.arrival_us >= horizon,
+                "arrival times must be nondecreasing per client");
+            horizon = request.arrival_us;
+            SubmitRecord record;
+            record.arrival_us = request.arrival_us;
+            record.request.id = request.id;
+            record.request.tenant =
+                tenantIndexByName(request.tenant);
+            record.request.arrival_us = request.arrival_us;
+            record.request.prompt_tokens = request.prompt_tokens;
+            record.request.max_output_tokens =
+                request.max_output_tokens;
+            record.request.eos_output_tokens =
+                request.eos_output_tokens;
+            record.request.stream = stream;
+            wake_->inbox.push_back(std::move(record));
+            wake_->cv.notify_all();
+        }
+        if (early != RejectReason::kNone) {
+            ++wake_->early_rejected;
+            serverCounter("server.rejected").add();
+            reject_clock_us = wake_->clock_us;
+        }
+    }
+    if (early != RejectReason::kNone) {
+        StreamEvent event;
+        event.kind = StreamEventKind::kRejected;
+        event.virtual_us = reject_clock_us;
+        event.reject_reason = early;
+        stream->deliver(event);
+    }
+    return stream;
+}
+
+int
+Server::tenantIndexByName(const std::string &name) const
+{
+    for (size_t i = 0; i < config_.tenants.size(); ++i) {
+        if (config_.tenants[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+Server::advanceClient(size_t client, double horizon_us, bool close)
+{
+    std::lock_guard<std::mutex> lock(wake_->mutex);
+    COMET_CHECK(client < wake_->horizons.size());
+    double &horizon = wake_->horizons[client];
+    horizon = std::max(horizon, close ? kInfinity : horizon_us);
+    wake_->cv.notify_all();
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(wake_->mutex);
+    wake_->draining = true;
+    wake_->cv.notify_all();
+    wake_->done_cv.wait(
+        lock, [&] { return wake_->session_complete; });
+}
+
+void
+Server::stop(bool cancel_in_flight)
+{
+    {
+        std::lock_guard<std::mutex> lock(wake_->mutex);
+        wake_->draining = true;
+        wake_->stop_requested = true;
+        // A later stop(true) may tighten an earlier stop(false),
+        // never the other way around.
+        wake_->cancel_on_stop |= cancel_in_flight;
+        wake_->cv.notify_all();
+    }
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (loop_thread_.joinable())
+        loop_thread_.join();
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(wake_->mutex);
+    ServerStats stats = wake_->stats;
+    stats.submitted = wake_->submitted;
+    stats.rejected += wake_->early_rejected;
+    return stats;
+}
+
+SchedulerCounters
+Server::schedulerCounters() const
+{
+    std::lock_guard<std::mutex> lock(wake_->mutex);
+    return wake_->sched;
+}
+
+double
+Server::virtualClockUs() const
+{
+    std::lock_guard<std::mutex> lock(wake_->mutex);
+    return wake_->clock_us;
+}
+
+const std::vector<TenantConfig> &
+Server::tenants() const
+{
+    return config_.tenants;
+}
+
+// --------------------------------------------------------------------
+// Serving loop
+// --------------------------------------------------------------------
+
+void
+Server::loop()
+{
+    obs::configureFromEnv();
+    COMET_SPAN("server/session");
+    for (;;) {
+        bool stop_now = false;
+        bool cancel_now = false;
+        bool drain_now = false;
+        std::vector<SubmitRecord> incoming;
+        {
+            std::unique_lock<std::mutex> lock(wake_->mutex);
+            wake_->cv.wait(lock, [&] {
+                return wake_->stop_requested || wake_->poked ||
+                       !wake_->inbox.empty() || !sessionIdle() ||
+                       (wake_->draining && !wake_->session_complete);
+            });
+            incoming.swap(wake_->inbox);
+            wake_->poked = false;
+            stop_now = wake_->stop_requested;
+            cancel_now = wake_->cancel_on_stop;
+            drain_now = wake_->draining;
+        }
+        for (SubmitRecord &record : incoming)
+            acceptArrival(std::move(record));
+        if (stop_now && cancel_now) {
+            cancelEverything();
+            publish(/*complete=*/true);
+            return;
+        }
+        processCancellations();
+        if (!sessionIdle()) {
+            if (!stepOnce()) {
+                // A stop-with-cancel interrupted a gate wait.
+                cancelEverything();
+                publish(/*complete=*/true);
+                return;
+            }
+            publish(/*complete=*/false);
+            continue;
+        }
+        if (drain_now || stop_now) {
+            publish(/*complete=*/true);
+            if (stop_now)
+                return;
+            continue;
+        }
+        publish(/*complete=*/false);
+    }
+}
+
+void
+Server::acceptArrival(SubmitRecord &&record)
+{
+    const int64_t id = record.request.id;
+    COMET_CHECK_MSG(arrivals_.find(id) == arrivals_.end() &&
+                        live_.find(id) == live_.end(),
+                    "request ids must be unique per session");
+    arrival_order_.insert({record.arrival_us, id});
+    arrivals_.emplace(id, std::move(record));
+}
+
+double
+Server::safeHorizonLocked() const
+{
+    if (!config_.deterministic_ingress || wake_->draining)
+        return kInfinity;
+    double safe = kInfinity;
+    for (double horizon : wake_->horizons)
+        safe = std::min(safe, horizon);
+    return safe;
+}
+
+bool
+Server::waitForSafe(double target_us)
+{
+    if (!config_.deterministic_ingress)
+        return true;
+    std::unique_lock<std::mutex> lock(wake_->mutex);
+    wake_->cv.wait(lock, [&] {
+        return (wake_->stop_requested && wake_->cancel_on_stop) ||
+               safeHorizonLocked() >= target_us;
+    });
+    return !(wake_->stop_requested && wake_->cancel_on_stop);
+}
+
+void
+Server::ingestDueArrivals()
+{
+    while (!arrival_order_.empty() &&
+           arrival_order_.begin()->first <= clock_) {
+        const int64_t id = arrival_order_.begin()->second;
+        arrival_order_.erase(arrival_order_.begin());
+        auto it = arrivals_.find(id);
+        COMET_CHECK(it != arrivals_.end());
+        PendingRequest pending = std::move(it->second.request);
+        arrivals_.erase(it);
+
+        // A request that cannot fit the pool even running alone can
+        // never be served: reject before it charges any fair share
+        // (the same never-fits rule the scheduler applies).
+        if (cache_->blocksForTokens(pending.prompt_tokens +
+                                    pending.max_output_tokens) >
+            cache_->totalBlocks()) {
+            rejectPending(std::move(pending),
+                          RejectReason::kTooLarge);
+            continue;
+        }
+        if (config_.max_queued_total > 0 &&
+            fair_->queuedCount() >= config_.max_queued_total) {
+            rejectPending(std::move(pending),
+                          RejectReason::kQueueFull);
+            continue;
+        }
+        LiveRequest live;
+        live.stream = pending.stream;
+        live.tenant = pending.tenant;
+        live.arrival_us = pending.arrival_us;
+        const int64_t live_id = pending.id;
+        const RejectReason verdict =
+            fair_->offer(std::move(pending), clock_);
+        if (verdict != RejectReason::kNone) {
+            PendingRequest failed;
+            failed.id = live_id;
+            failed.stream = live.stream;
+            rejectPending(std::move(failed), verdict);
+            continue;
+        }
+        ++stats_.queued;
+        serverCounter("server.queued").add();
+        live_.emplace(live_id, std::move(live));
+    }
+}
+
+void
+Server::rejectPending(PendingRequest &&pending, RejectReason reason)
+{
+    COMET_CHECK(pending.stream != nullptr);
+    ++stats_.rejected;
+    serverCounter("server.rejected").add();
+    StreamEvent event;
+    event.kind = StreamEventKind::kRejected;
+    event.virtual_us = clock_;
+    event.reject_reason = reason;
+    pending.stream->deliver(event);
+    live_.erase(pending.id);
+}
+
+void
+Server::injectFromFairQueue()
+{
+    COMET_SPAN("server/admit");
+    for (;;) {
+        scheduler_->admit();
+        // Preempted (or previously injected) work waiting on KV
+        // capacity keeps strict priority: nothing new is injected
+        // behind a blocked head.
+        if (scheduler_->queuedCount() > 0)
+            break;
+        if (scheduler_->runningCount() >= config_.max_batch)
+            break;
+        PendingRequest next;
+        std::vector<PendingRequest> expired;
+        const bool got = fair_->pick(clock_, &next, &expired);
+        for (PendingRequest &e : expired)
+            rejectPending(std::move(e),
+                          RejectReason::kDeadlineExpired);
+        if (!got)
+            break;
+        auto it = live_.find(next.id);
+        COMET_CHECK(it != live_.end());
+        it->second.in_scheduler = true;
+        Request request;
+        request.id = next.id;
+        request.prompt_tokens = next.prompt_tokens;
+        request.max_output_tokens = next.max_output_tokens;
+        request.eos_output_tokens = next.eos_output_tokens;
+        scheduler_->submit(request);
+    }
+}
+
+bool
+Server::stepOnce()
+{
+    COMET_SPAN("server/step");
+    ingestDueArrivals();
+
+    // Nothing runnable yet: fast-forward the clock to the next
+    // arrival (once the ingress gate allows it).
+    if (scheduler_->idle() && fair_->empty()) {
+        if (arrival_order_.empty())
+            return true;
+        const double next_us = arrival_order_.begin()->first;
+        if (next_us > clock_) {
+            if (!waitForSafe(next_us))
+                return false;
+            clock_ = next_us;
+        }
+        ingestDueArrivals();
+    }
+
+    // Admission happens at the current virtual time; the admitted
+    // wave then pays its (re)prefill before any token is visible.
+    const size_t running_before = scheduler_->running().size();
+    injectFromFairQueue();
+    std::vector<int64_t> prefill_tokens;
+    {
+        const std::vector<Request> &running = scheduler_->running();
+        for (size_t i = running_before; i < running.size(); ++i) {
+            // generated_tokens already includes the credited first
+            // token; the forward pass recomputes everything before
+            // it (prompt plus pre-preemption progress).
+            prefill_tokens.push_back(running[i].contextTokens() - 1);
+        }
+    }
+    std::vector<Request> admit_retired = scheduler_->drainRetired();
+    for (const Request &request : admit_retired) {
+        // One-token generations retire at admission but still ran
+        // their prefill.
+        if (request.state == RequestState::kFinished)
+            prefill_tokens.push_back(request.contextTokens() - 1);
+    }
+    if (!prefill_tokens.empty()) {
+        COMET_SPAN("server/prefill");
+        const double prefill_us =
+            engine_->prefillLatencyUs(prefill_tokens);
+        if (!waitForSafe(clock_ + prefill_us))
+            return false;
+        clock_ += prefill_us;
+    }
+    deliverRunningProgress();
+    deliverRetired(admit_retired);
+
+    if (scheduler_->runningCount() > 0) {
+        COMET_SPAN("server/decode");
+        const std::vector<Request> &running = scheduler_->running();
+        const int64_t batch =
+            static_cast<int64_t>(running.size());
+        // Per-request context accounting fanned out across the
+        // runtime pool (ordered reduction: bit-identical to the
+        // sequential sum for any pool size).
+        const double context_sum = parallelReduceOrdered(
+            0, batch, 32, 0.0,
+            [&](int64_t begin, int64_t end) {
+                double partial = 0.0;
+                for (int64_t i = begin; i < end; ++i) {
+                    partial += static_cast<double>(
+                        running[static_cast<size_t>(i)]
+                            .contextTokens());
+                }
+                return partial;
+            },
+            [](double acc, double partial) {
+                return acc + partial;
+            });
+        const auto mean_context = static_cast<int64_t>(
+            context_sum / static_cast<double>(batch));
+        auto gemm_it = gemm_cache_.find(batch);
+        if (gemm_it == gemm_cache_.end()) {
+            gemm_it = gemm_cache_
+                          .emplace(batch,
+                                   engine_->gemmLatencyUs(batch))
+                          .first;
+        }
+        const double step_us =
+            gemm_it->second +
+            engine_->attentionReadLatencyUs(batch, mean_context);
+        if (!waitForSafe(clock_ + step_us))
+            return false;
+        clock_ += step_us;
+        scheduler_->step();
+        deliverRunningProgress();
+        deliverRetired(scheduler_->drainRetired());
+    }
+    return true;
+}
+
+void
+Server::emitTokens(LiveRequest &live, int64_t generated_total)
+{
+    while (live.streamed_tokens < generated_total) {
+        StreamEvent event;
+        event.kind = StreamEventKind::kToken;
+        event.token_index = live.streamed_tokens;
+        event.virtual_us = clock_;
+        live.stream->deliver(event);
+        if (live.streamed_tokens == 0)
+            live.first_token_us = clock_;
+        live.last_token_us = clock_;
+        ++live.streamed_tokens;
+        ++stats_.streamed_tokens;
+        serverCounter("server.streamed_tokens").add();
+    }
+}
+
+void
+Server::deliverRunningProgress()
+{
+    for (const Request &request : scheduler_->running()) {
+        auto it = live_.find(request.id);
+        if (it == live_.end())
+            continue; // cancelled under the scheduler's feet
+        emitTokens(it->second, request.generated_tokens);
+    }
+}
+
+void
+Server::deliverRetired(const std::vector<Request> &retired)
+{
+    for (const Request &request : retired) {
+        auto it = live_.find(request.id);
+        if (it == live_.end())
+            continue; // already cancelled and delivered
+        LiveRequest &live = it->second;
+        StreamEvent event;
+        event.virtual_us = clock_;
+        switch (request.state) {
+          case RequestState::kFinished: {
+            emitTokens(live, request.generated_tokens);
+            event.kind = StreamEventKind::kFinished;
+            ++stats_.completed;
+            serverCounter("server.completed").add();
+            const std::string &tenant =
+                config_.tenants[static_cast<size_t>(live.tenant)]
+                    .name;
+            obs::MetricsRegistry &registry =
+                obs::MetricsRegistry::global();
+            registry
+                .histogram("server.tenant." + tenant + ".ttft_us",
+                           latencyBucketsUs())
+                .observe(live.first_token_us - live.arrival_us);
+            if (live.streamed_tokens > 1) {
+                registry
+                    .histogram("server.tenant." + tenant +
+                                   ".tpot_us",
+                               latencyBucketsUs())
+                    .observe((live.last_token_us -
+                              live.first_token_us) /
+                             static_cast<double>(
+                                 live.streamed_tokens - 1));
+            }
+            break;
+          }
+          case RequestState::kRejected:
+            event.kind = StreamEventKind::kRejected;
+            event.reject_reason = RejectReason::kTooLarge;
+            ++stats_.rejected;
+            serverCounter("server.rejected").add();
+            break;
+          case RequestState::kCancelled:
+            event.kind = StreamEventKind::kCancelled;
+            ++stats_.cancelled;
+            serverCounter("server.cancelled").add();
+            break;
+          default:
+            COMET_CHECK_MSG(false,
+                            "retired request in a live state");
+        }
+        live.stream->deliver(event);
+        live_.erase(it);
+    }
+}
+
+void
+Server::processCancellations()
+{
+    std::vector<int64_t> ids;
+    for (const auto &entry : arrivals_) {
+        if (entry.second.request.stream->cancelRequested())
+            ids.push_back(entry.first);
+    }
+    for (const auto &entry : live_) {
+        if (entry.second.stream->cancelRequested())
+            ids.push_back(entry.first);
+    }
+    if (ids.empty())
+        return;
+    std::sort(ids.begin(), ids.end());
+    for (int64_t id : ids) {
+        TokenStreamPtr stream;
+        auto arrival = arrivals_.find(id);
+        if (arrival != arrivals_.end()) {
+            stream = arrival->second.request.stream;
+            arrival_order_.erase(
+                {arrival->second.arrival_us, id});
+            arrivals_.erase(arrival);
+        } else {
+            auto it = live_.find(id);
+            COMET_CHECK(it != live_.end());
+            stream = it->second.stream;
+            if (it->second.in_scheduler) {
+                COMET_CHECK(scheduler_->cancel(id).isOk());
+            } else {
+                PendingRequest removed;
+                COMET_CHECK(fair_->removeById(id, &removed));
+            }
+            live_.erase(it);
+        }
+        ++stats_.cancelled;
+        serverCounter("server.cancelled").add();
+        StreamEvent event;
+        event.kind = StreamEventKind::kCancelled;
+        event.virtual_us = clock_;
+        stream->deliver(event);
+    }
+    // The scheduler retired the cancelled ids too; their live
+    // entries are gone, so this delivers nothing further.
+    deliverRetired(scheduler_->drainRetired());
+}
+
+void
+Server::cancelEverything()
+{
+    COMET_SPAN("server/cancel_all");
+    // A stop-with-cancel can interrupt a gate wait with submissions
+    // still sitting in the inbox; pull them in first so every
+    // accepted stream gets its terminal event.
+    std::vector<SubmitRecord> pending;
+    {
+        std::lock_guard<std::mutex> lock(wake_->mutex);
+        pending.swap(wake_->inbox);
+    }
+    for (SubmitRecord &record : pending)
+        acceptArrival(std::move(record));
+    std::map<int64_t, TokenStreamPtr> streams;
+    for (const auto &entry : arrivals_)
+        streams.emplace(entry.first, entry.second.request.stream);
+    for (const auto &entry : live_) {
+        streams.emplace(entry.first, entry.second.stream);
+        if (entry.second.in_scheduler)
+            COMET_CHECK(scheduler_->cancel(entry.first).isOk());
+    }
+    fair_->drainAll();
+    scheduler_->drainRetired();
+    arrivals_.clear();
+    arrival_order_.clear();
+    live_.clear();
+    for (const auto &entry : streams) {
+        ++stats_.cancelled;
+        serverCounter("server.cancelled").add();
+        StreamEvent event;
+        event.kind = StreamEventKind::kCancelled;
+        event.virtual_us = clock_;
+        entry.second->deliver(event);
+    }
+}
+
+bool
+Server::sessionIdle() const
+{
+    return arrivals_.empty() && fair_->empty() &&
+           scheduler_->idle() && live_.empty();
+}
+
+void
+Server::publish(bool complete)
+{
+    const SchedulerCounters &counters = scheduler_->counters();
+    stats_.preemptions = counters.preemptions;
+    stats_.reprefill_tokens = counters.reprefill_tokens;
+    std::lock_guard<std::mutex> lock(wake_->mutex);
+    wake_->stats = stats_;
+    wake_->sched = counters;
+    wake_->clock_us = clock_;
+    if (complete) {
+        wake_->session_complete = true;
+        wake_->done_cv.notify_all();
+    }
+}
+
+} // namespace server
+} // namespace comet

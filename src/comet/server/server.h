@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The COMET online serving front-end.
+ *
+ * Server turns the offline serving stack (ServingEngine cost model +
+ * PagedKvCache + the continuous-batching BatchScheduler) into an
+ * asynchronous, multi-client system: concurrent client threads submit
+ * requests and stream tokens back while a dedicated serving loop runs
+ * continuous batching over a deterministic **virtual clock** advanced
+ * by the engine's modeled prefill/decode latencies. The loop fans its
+ * per-request accounting out over the comet::runtime thread pool and
+ * emits COMET_SPANs plus `server.*` registry metrics.
+ *
+ * ## Determinism (conservative virtual-time ingress)
+ *
+ * Latency numbers must be bit-stable for a fixed workload even though
+ * submission is racy host concurrency. Each client connects once and
+ * submits requests with nondecreasing virtual arrival times; the
+ * client handle's last submitted (or explicitly advanced) arrival is
+ * its *horizon* — a promise that no earlier arrival is still coming.
+ * The loop never advances the virtual clock beyond the minimum open
+ * horizon, so by the time it makes any admission or scheduling
+ * decision at clock T it has seen every arrival <= T, and the whole
+ * session replays identically regardless of thread interleaving
+ * (classic conservative discrete-event synchronization). Closing a
+ * handle moves its horizon to infinity; drain()/stop() close ingress
+ * and release the gate. Set ServerConfig::deterministic_ingress =
+ * false to trade determinism for immediate (wall-clock) ingestion.
+ *
+ * ## Backpressure contract
+ *
+ * Overload is always an explicit, recoverable verdict, never an
+ * abort: bounded queues, rate limits, impossible footprints, expired
+ * deadlines and shutdown all reject the request with a
+ * RejectReason on its stream, and KV exhaustion inside the batch is
+ * absorbed by the scheduler's recoverable preemption.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comet/serve/batch_scheduler.h"
+#include "comet/serve/engine.h"
+#include "comet/server/admission.h"
+#include "comet/server/streaming.h"
+
+namespace comet {
+namespace server {
+
+/** One request as a client submits it. */
+struct StreamRequest {
+    /** Caller-assigned id, unique across the whole session (the load
+     * generator derives them deterministically per client). */
+    int64_t id = 0;
+    std::string tenant;        ///< tenant to account admission under
+    int64_t prompt_tokens = 0; ///< prompt length to prefill
+    /** Declared generation bound (what admission reserves against). */
+    int64_t max_output_tokens = 0;
+    /** Actual EOS length when the workload models one; 0 = run to
+     * the declared bound. */
+    int64_t eos_output_tokens = 0;
+    /** Virtual arrival time, microseconds; nondecreasing per client
+     * handle. */
+    double arrival_us = 0.0;
+    /** Optional token callback; empty selects pull-mode streaming. */
+    TokenStream::Callback callback;
+};
+
+/** Server construction parameters. */
+struct ServerConfig {
+    /** The tenant set (at least one; see TenantConfig). */
+    std::vector<TenantConfig> tenants;
+    /** Hard cap on concurrently decoding requests. */
+    int64_t max_batch = 64;
+    /** KV admission policy of the underlying scheduler. */
+    AdmissionPolicy admission = AdmissionPolicy::kOptimisticPreempt;
+    /** Free-block decode headroom under optimistic admission. */
+    int64_t kv_watermark_blocks = 0;
+    /** Server-wide bound on queued-for-admission requests (across
+     * tenants, on top of per-tenant bounds); 0 = unbounded. */
+    int64_t max_queued_total = 0;
+    /** Conservative virtual-time ingress (deterministic replay); see
+     * the file comment. false = ingest submissions immediately. */
+    bool deterministic_ingress = true;
+};
+
+/** Session counters, live over the session and stable after
+ * drain()/stop(). */
+struct ServerStats {
+    int64_t submitted = 0;       ///< submit() calls observed
+    int64_t queued = 0;          ///< accepted into the fair queue
+    int64_t completed = 0;       ///< streams ended kFinished
+    int64_t rejected = 0;        ///< streams ended kRejected
+    int64_t cancelled = 0;       ///< streams ended kCancelled
+    int64_t streamed_tokens = 0; ///< token events delivered
+    int64_t preemptions = 0;     ///< scheduler KV-exhaustion evictions
+    int64_t reprefill_tokens = 0; ///< recompute cost of preemptions
+};
+
+/**
+ * The asynchronous serving front-end (see the file comment).
+ *
+ * Construction starts the serving loop; stop() (or destruction) ends
+ * it. All public methods are thread-safe.
+ */
+class Server
+{
+  public:
+    /**
+     * A client's submission handle. Copyable value type; all methods
+     * forward to the server. Submissions through one handle must
+     * carry nondecreasing arrival times; close the handle when no
+     * more submissions are coming so the deterministic ingress gate
+     * can release (see Server file comment).
+     */
+    class Client
+    {
+      public:
+        /** An unconnected handle (submit on it is invalid). */
+        Client() = default;
+
+        /**
+         * Submits a request and returns its stream. Never fails and
+         * never blocks on capacity: structurally invalid submissions
+         * (unknown tenant, closed server) come back as an already
+         * terminated stream with the corresponding RejectReason, and
+         * overload verdicts arrive asynchronously on the stream.
+         */
+        TokenStreamPtr submit(const StreamRequest &request);
+
+        /** Promises that no submission with arrival_us earlier than
+         * @p horizon_us is still coming through this handle. */
+        void advanceTo(double horizon_us);
+
+        /** Final horizon: no more submissions through this handle
+         * (idempotent; the handle stays valid for no-ops). */
+        void close();
+
+        /** True when the handle is connected to a server. */
+        bool valid() const { return server_ != nullptr; }
+
+      private:
+        friend class Server;
+        Server *server_ = nullptr;
+        size_t index_ = 0;
+    };
+
+    /**
+     * Builds the serving state (KV cache sized from the engine's
+     * budget, scheduler, fair queue, metrics) and starts the loop.
+     * @p engine is not owned and must outlive the server.
+     */
+    Server(const ServingEngine *engine, ServerConfig config);
+
+    /** Stops the loop (cancelling in-flight work) and joins it. */
+    ~Server();
+
+    /** Servers own a thread and cannot be copied. @{ */
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+    /** @} */
+
+    /**
+     * Registers a client and returns its handle. For a deterministic
+     * session, connect every client before the first submission —
+     * each open handle gates the virtual clock at its horizon.
+     */
+    Client connect();
+
+    /**
+     * Graceful drain: stops accepting submissions (further submits
+     * reject kShuttingDown), releases the ingress gate, and blocks
+     * until every accepted request reached a terminal event. The
+     * loop stays alive (metrics readable); call stop() to join it.
+     */
+    void drain();
+
+    /**
+     * Ends the session and joins the loop. With @p cancel_in_flight,
+     * queued and running requests are cancelled deterministically
+     * (ascending id order, one kCancelled event each) at the current
+     * virtual clock; otherwise the call drains first. Idempotent.
+     */
+    void stop(bool cancel_in_flight = true);
+
+    /** Session counters (stable once drain()/stop() returned). */
+    ServerStats stats() const;
+
+    /** Scheduler counters of the session (stable after
+     * drain()/stop(); see SchedulerCounters). */
+    SchedulerCounters schedulerCounters() const;
+
+    /** Current virtual clock, microseconds. */
+    double virtualClockUs() const;
+
+    /** The tenant set the server was configured with. */
+    const std::vector<TenantConfig> &tenants() const;
+
+  private:
+    /** A submission as queued from a client thread to the loop. */
+    struct SubmitRecord {
+        PendingRequest request;
+        double arrival_us = 0.0;
+    };
+
+    /** Loop-side bookkeeping for one live (non-terminal) request. */
+    struct LiveRequest {
+        TokenStreamPtr stream;
+        int tenant = 0;
+        double arrival_us = 0.0;
+        double first_token_us = -1.0;
+        double last_token_us = -1.0;
+        int64_t streamed_tokens = 0;
+        bool in_scheduler = false; ///< else waiting in the fair queue
+    };
+
+    /** Ingress shared between client threads and the loop. */
+    struct Wake;
+
+    void loop();
+    TokenStreamPtr submitFromClient(size_t client,
+                                    const StreamRequest &request);
+    void advanceClient(size_t client, double horizon_us,
+                       bool close);
+    int tenantIndexByName(const std::string &name) const;
+    void acceptArrival(SubmitRecord &&record);
+    double safeHorizonLocked() const;
+    bool waitForSafe(double target_us);
+    void ingestDueArrivals();
+    bool stepOnce();
+    void injectFromFairQueue();
+    void deliverRunningProgress();
+    void deliverRetired(const std::vector<Request> &retired);
+    void processCancellations();
+    void rejectPending(PendingRequest &&pending,
+                       RejectReason reason);
+    void emitTokens(LiveRequest &live, int64_t generated_total);
+    void cancelEverything();
+    bool sessionIdle() const;
+    void publish(bool complete);
+
+    const ServingEngine *engine_;
+    ServerConfig config_;
+    ServingPrecision precision_;
+    std::unique_ptr<PagedKvCache> cache_;
+    std::unique_ptr<BatchScheduler> scheduler_;
+    std::unique_ptr<FairAdmissionQueue> fair_;
+
+    std::shared_ptr<Wake> wake_; ///< ingress mutex/cv + inbox
+    std::thread loop_thread_;
+    std::mutex join_mutex_; ///< serializes stop()'s join
+
+    // --- Loop-owned state (no locking; the loop thread only) ---
+    /** Arrivals not yet due, ordered by (arrival_us, id). */
+    std::set<std::pair<double, int64_t>> arrival_order_;
+    std::map<int64_t, SubmitRecord> arrivals_;
+    std::map<int64_t, LiveRequest> live_;
+    std::map<int64_t, double> gemm_cache_;
+    double clock_ = 0.0;
+    ServerStats stats_;
+};
+
+} // namespace server
+} // namespace comet

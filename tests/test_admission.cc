@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the weighted-fair admission queue.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "comet/server/admission.h"
+
+namespace comet {
+namespace server {
+namespace {
+
+TenantConfig
+tenant(const std::string &name, double weight = 1.0)
+{
+    TenantConfig config;
+    config.name = name;
+    config.weight = weight;
+    return config;
+}
+
+PendingRequest
+pending(int64_t id, int tenant_index, double arrival_us,
+        int64_t prompt = 100, int64_t output = 100)
+{
+    PendingRequest request;
+    request.id = id;
+    request.tenant = tenant_index;
+    request.arrival_us = arrival_us;
+    request.prompt_tokens = prompt;
+    request.max_output_tokens = output;
+    return request;
+}
+
+/** Admission order over @p picks picks, as tenant indices. */
+std::vector<int>
+pickOrder(FairAdmissionQueue &queue, int picks, double now_us = 0.0)
+{
+    std::vector<int> order;
+    PendingRequest out;
+    std::vector<PendingRequest> expired;
+    for (int i = 0; i < picks; ++i) {
+        if (!queue.pick(now_us, &out, &expired))
+            break;
+        order.push_back(out.tenant);
+    }
+    return order;
+}
+
+TEST(FairAdmissionQueue, TenantLookup)
+{
+    FairAdmissionQueue queue({tenant("a"), tenant("b")});
+    EXPECT_EQ(queue.numTenants(), 2);
+    EXPECT_EQ(queue.tenantIndex("a"), 0);
+    EXPECT_EQ(queue.tenantIndex("b"), 1);
+    EXPECT_EQ(queue.tenantIndex("nope"), -1);
+    EXPECT_EQ(queue.tenant(1).name, "b");
+}
+
+TEST(FairAdmissionQueue, WeightsShareAdmissionProportionally)
+{
+    // Equal declared work per request; weight 2 vs 1 must admit the
+    // heavy tenant twice as often over any window.
+    FairAdmissionQueue queue({tenant("heavy", 2.0),
+                              tenant("light", 1.0)});
+    for (int64_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(queue.offer(pending(i, 0, 0.0), 0.0),
+                  RejectReason::kNone);
+        EXPECT_EQ(queue.offer(pending(100 + i, 1, 0.0), 0.0),
+                  RejectReason::kNone);
+    }
+    const std::vector<int> order = pickOrder(queue, 9);
+    int heavy = 0;
+    for (int t : order)
+        heavy += t == 0 ? 1 : 0;
+    EXPECT_EQ(heavy, 6);
+    EXPECT_EQ(order.size(), 9u);
+}
+
+TEST(FairAdmissionQueue, IdleTenantAccumulatesNoCredit)
+{
+    FairAdmissionQueue queue({tenant("busy"), tenant("sleepy")});
+    // Busy runs alone for a long while...
+    for (int64_t i = 0; i < 10; ++i)
+        queue.offer(pending(i, 0, 0.0), 0.0);
+    PendingRequest out;
+    std::vector<PendingRequest> expired;
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(queue.pick(0.0, &out, &expired));
+    // ...then sleepy wakes up. Its pass is clamped to the global
+    // virtual time: it must NOT monopolize admission to "catch up".
+    for (int64_t i = 0; i < 4; ++i) {
+        queue.offer(pending(100 + i, 0, 0.0), 0.0);
+        queue.offer(pending(200 + i, 1, 0.0), 0.0);
+    }
+    const std::vector<int> order = pickOrder(queue, 8);
+    // Strict alternation under equal weights — not a burst of
+    // sleepy's requests first.
+    int sleepy_first_three = 0;
+    for (size_t i = 0; i < 3; ++i)
+        sleepy_first_three += order[i] == 1 ? 1 : 0;
+    EXPECT_LE(sleepy_first_three, 2);
+    int sleepy_total = 0;
+    for (int t : order)
+        sleepy_total += t == 1 ? 1 : 0;
+    EXPECT_EQ(sleepy_total, 4);
+}
+
+TEST(FairAdmissionQueue, BoundedQueueRejectsWhenFull)
+{
+    TenantConfig bounded = tenant("bounded");
+    bounded.max_queued = 2;
+    FairAdmissionQueue queue({bounded});
+    EXPECT_EQ(queue.offer(pending(1, 0, 0.0), 0.0),
+              RejectReason::kNone);
+    EXPECT_EQ(queue.offer(pending(2, 0, 0.0), 0.0),
+              RejectReason::kNone);
+    EXPECT_EQ(queue.offer(pending(3, 0, 0.0), 0.0),
+              RejectReason::kQueueFull);
+    EXPECT_EQ(queue.queuedCount(), 2);
+    // Draining one slot re-opens admission.
+    PendingRequest out;
+    std::vector<PendingRequest> expired;
+    ASSERT_TRUE(queue.pick(0.0, &out, &expired));
+    EXPECT_EQ(queue.offer(pending(4, 0, 0.0), 0.0),
+              RejectReason::kNone);
+}
+
+TEST(FairAdmissionQueue, TokenBucketRateLimits)
+{
+    TenantConfig limited = tenant("limited");
+    limited.rate_limit_per_s = 10.0; // one token per 100 ms
+    limited.rate_burst = 2.0;
+    FairAdmissionQueue queue({limited});
+    // The bucket starts full: the burst is admitted...
+    EXPECT_EQ(queue.offer(pending(1, 0, 0.0), 0.0),
+              RejectReason::kNone);
+    EXPECT_EQ(queue.offer(pending(2, 0, 0.0), 0.0),
+              RejectReason::kNone);
+    // ...the next arrival at the same instant is rejected...
+    EXPECT_EQ(queue.offer(pending(3, 0, 0.0), 0.0),
+              RejectReason::kRateLimited);
+    // ...and 100 virtual ms later one token has refilled.
+    EXPECT_EQ(queue.offer(pending(4, 0, 1e5), 1e5),
+              RejectReason::kNone);
+    EXPECT_EQ(queue.offer(pending(5, 0, 1e5), 1e5),
+              RejectReason::kRateLimited);
+}
+
+TEST(FairAdmissionQueue, ExpiredDeadlinesAreHandedBackUncharged)
+{
+    TenantConfig strict = tenant("strict");
+    strict.admission_deadline_us = 100.0;
+    FairAdmissionQueue queue({strict, tenant("patient")});
+    queue.offer(pending(1, 0, 0.0), 0.0);
+    queue.offer(pending(2, 0, 500.0), 500.0);
+    queue.offer(pending(3, 1, 0.0), 0.0);
+    PendingRequest out;
+    std::vector<PendingRequest> expired;
+    // At t=600 request 1 (deadline 100) is expired, request 2
+    // (deadline 600) is still admissible.
+    ASSERT_TRUE(queue.pick(600.0, &out, &expired));
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0].id, 1);
+    EXPECT_TRUE(out.id == 2 || out.id == 3);
+    ASSERT_TRUE(queue.pick(600.0, &out, &expired));
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(FairAdmissionQueue, RemoveByIdAndDrainAll)
+{
+    FairAdmissionQueue queue({tenant("a"), tenant("b")});
+    queue.offer(pending(1, 0, 0.0), 0.0);
+    queue.offer(pending(2, 1, 0.0), 0.0);
+    queue.offer(pending(3, 1, 0.0), 0.0);
+    PendingRequest removed;
+    EXPECT_TRUE(queue.removeById(2, &removed));
+    EXPECT_EQ(removed.id, 2);
+    EXPECT_FALSE(queue.removeById(99, &removed));
+    EXPECT_EQ(queue.queuedCount(), 2);
+    EXPECT_EQ(queue.queuedCount(0), 1);
+    const std::vector<PendingRequest> drained = queue.drainAll();
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0].id, 1);
+    EXPECT_EQ(drained[1].id, 3);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(FairAdmissionQueueDeathTest, RejectsBadTenantSets)
+{
+    EXPECT_DEATH(FairAdmissionQueue({}), "at least one");
+    EXPECT_DEATH(FairAdmissionQueue({tenant("a"), tenant("a")}),
+                 "unique");
+    EXPECT_DEATH(FairAdmissionQueue({tenant("a", 0.0)}),
+                 "positive");
+}
+
+} // namespace
+} // namespace server
+} // namespace comet

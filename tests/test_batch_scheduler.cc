@@ -348,6 +348,110 @@ TEST(BatchScheduler, ContinuousAdmissionAfterRetirement)
     EXPECT_EQ(scheduler.finishedCount(), 2);
 }
 
+TEST(BatchScheduler, ResetCountersZeroesEverything)
+{
+    PagedKvCache cache = makeExactCache(LlmConfig::llama3_8b(), 9);
+    BatchScheduler scheduler(&cache);
+    scheduler.submit(makeRequest(1, 32, 32));
+    scheduler.submit(makeRequest(2, 32, 32));
+    scheduler.submit(makeRequest(3, 32, 32));
+    scheduler.admit();
+    while (scheduler.counters().preemptions == 0 &&
+           scheduler.runningCount() > 0)
+        scheduler.step();
+    EXPECT_TRUE(scheduler.cancel(3).isOk());
+    const SchedulerCounters &counters = scheduler.counters();
+    ASSERT_GT(counters.admitted, 0);
+    ASSERT_GT(counters.preemptions, 0);
+    ASSERT_GT(counters.cancelled, 0);
+
+    scheduler.resetCounters();
+    EXPECT_EQ(counters.admitted, 0);
+    EXPECT_EQ(counters.preemptions, 0);
+    EXPECT_EQ(counters.reprefill_tokens, 0);
+    EXPECT_EQ(counters.cancelled, 0);
+    EXPECT_EQ(counters.rejected, 0);
+    EXPECT_EQ(counters.peak_running, 0);
+    EXPECT_EQ(counters.peak_queue_depth, 0);
+    EXPECT_EQ(counters.peak_used_blocks, 0);
+}
+
+TEST(BatchScheduler, PrefillEmitsTokenCreditsAdmission)
+{
+    PagedKvCache cache = makeCache(10.0);
+    BatchSchedulerConfig config;
+    config.prefill_emits_token = true;
+    BatchScheduler scheduler(&cache, config);
+    scheduler.submit(makeRequest(1, 32, 4));
+    EXPECT_EQ(scheduler.admit(), 1);
+    // The prefill forward pass produced the first output token.
+    ASSERT_EQ(scheduler.runningCount(), 1);
+    EXPECT_EQ(scheduler.running().front().generated_tokens, 1);
+    // Only 3 decode steps remain for a 4-token generation.
+    scheduler.step();
+    scheduler.step();
+    EXPECT_EQ(scheduler.finishedCount(), 0);
+    scheduler.step();
+    EXPECT_EQ(scheduler.finishedCount(), 1);
+    EXPECT_TRUE(scheduler.idle());
+}
+
+TEST(BatchScheduler, OneTokenRequestRetiresAtAdmission)
+{
+    PagedKvCache cache = makeCache(10.0);
+    BatchSchedulerConfig config;
+    config.prefill_emits_token = true;
+    config.collect_retired = true;
+    BatchScheduler scheduler(&cache, config);
+    scheduler.submit(makeRequest(1, 32, 1));
+    EXPECT_EQ(scheduler.admit(), 1);
+    // The crediting completed the request: it never enters the
+    // decode batch and its KV is already released.
+    EXPECT_EQ(scheduler.runningCount(), 0);
+    EXPECT_EQ(scheduler.finishedCount(), 1);
+    EXPECT_EQ(cache.freeBlocks(), cache.totalBlocks());
+    const std::vector<Request> retired = scheduler.drainRetired();
+    ASSERT_EQ(retired.size(), 1u);
+    EXPECT_EQ(retired[0].state, RequestState::kFinished);
+    EXPECT_EQ(retired[0].generated_tokens, 1);
+}
+
+TEST(BatchScheduler, DrainRetiredCollectsTerminalTransitions)
+{
+    PagedKvCache cache = makeCache(10.0);
+    BatchSchedulerConfig config;
+    config.collect_retired = true;
+    BatchScheduler scheduler(&cache, config);
+    const int64_t huge_tokens = cache.totalBlocks() * 16 * 2;
+    scheduler.submit(makeRequest(1, 16, 1));
+    scheduler.submit(makeRequest(2, huge_tokens, 1)); // never fits
+    scheduler.submit(makeRequest(3, 16, 8));
+    scheduler.admit();
+    EXPECT_TRUE(scheduler.cancel(3).isOk());
+    scheduler.step(); // request 1 finishes
+    const std::vector<Request> retired = scheduler.drainRetired();
+    ASSERT_EQ(retired.size(), 3u);
+    EXPECT_EQ(retired[0].id, 2);
+    EXPECT_EQ(retired[0].state, RequestState::kRejected);
+    EXPECT_EQ(retired[1].id, 3);
+    EXPECT_EQ(retired[1].state, RequestState::kCancelled);
+    EXPECT_EQ(retired[2].id, 1);
+    EXPECT_EQ(retired[2].state, RequestState::kFinished);
+    // drainRetired clears: a second call returns nothing.
+    EXPECT_TRUE(scheduler.drainRetired().empty());
+}
+
+TEST(BatchScheduler, DrainRetiredIsEmptyWhenCollectionIsOff)
+{
+    PagedKvCache cache = makeCache(10.0);
+    BatchScheduler scheduler(&cache); // collect_retired off
+    scheduler.submit(makeRequest(1, 16, 1));
+    scheduler.admit();
+    scheduler.step();
+    EXPECT_EQ(scheduler.finishedCount(), 1);
+    EXPECT_TRUE(scheduler.drainRetired().empty());
+}
+
 TEST(BatchSchedulerDeathTest, InvalidSubmissions)
 {
     PagedKvCache cache = makeCache(1.0);

@@ -241,23 +241,6 @@ TEST(TensorParallelDeathTest, MustDivideKvHeads)
     EXPECT_DEATH(ServingEngine{config}, "divide the KV head count");
 }
 
-/** Shrinks usable memory so the KV budget holds exactly @p blocks
- * KV4 blocks — making the cache, not the 256 cap, the batch limit. */
-EngineConfig
-withKvBlocks(EngineConfig config, int64_t blocks)
-{
-    KvCacheConfig probe_config;
-    probe_config.bits_per_value = 4.0;
-    probe_config.block_tokens = config.kv_block_tokens;
-    probe_config.memory_budget_bytes = 1e9;
-    const PagedKvCache probe(config.model, probe_config);
-    const double weights = ServingEngine(config).weightBytes();
-    config.usable_memory_fraction =
-        (weights + probe.blockBytes() * static_cast<double>(blocks)) /
-        config.gpu.hbm_capacity_bytes;
-    return config;
-}
-
 TEST(EngineAdmission, OptimisticOversubscriptionRecoversAndWins)
 {
     // Pin the batch to twice the KV-limited maximum. Full reservation
@@ -265,7 +248,7 @@ TEST(EngineAdmission, OptimisticOversubscriptionRecoversAndWins)
     // admission overshoots on prompt-only footprints, recovers from
     // exhaustion via preemption, and still completes everything —
     // sustaining a strictly larger steady-state batch.
-    EngineConfig config = withKvBlocks(
+    EngineConfig config = engineConfigWithKvBlocks(
         makeConfig(LlmConfig::llama3_8b(), ServingMode::kCometW4AxKv4,
                    /*input=*/256, /*output=*/256),
         /*blocks=*/256);
@@ -290,6 +273,37 @@ TEST(EngineAdmission, OptimisticOversubscriptionRecoversAndWins)
     EXPECT_GT(opt.mean_batch, full.mean_batch);
     EXPECT_GT(opt.mean_kv_utilization, full.mean_kv_utilization);
     EXPECT_LE(opt.peak_kv_utilization, 1.0);
+}
+
+TEST(EngineAdmission, BackToBackRunsReportIdenticalCounters)
+{
+    // Scheduler counters are re-zeroed at the start of every run, so
+    // a second measurement on the same engine — including one with
+    // heavy preemption traffic — reports the same numbers as the
+    // first instead of accumulating across runs.
+    const EngineConfig config = engineConfigWithKvBlocks(
+        makeConfig(LlmConfig::llama3_8b(), ServingMode::kCometW4AxKv4,
+                   /*input=*/256, /*output=*/256),
+        /*blocks=*/256);
+    const ServingEngine engine(config);
+    const int64_t batch = 2 * engine.maxBatchSize();
+    ASSERT_GT(batch, 0);
+
+    const ThroughputResult first =
+        engine.measureThroughputAtBatch(batch);
+    const ThroughputResult second =
+        engine.measureThroughputAtBatch(batch);
+    ASSERT_GT(first.preemptions, 0); // the regression would double it
+    EXPECT_EQ(first.preemptions, second.preemptions);
+    EXPECT_EQ(first.reprefill_tokens, second.reprefill_tokens);
+    EXPECT_EQ(first.peak_batch, second.peak_batch);
+    EXPECT_DOUBLE_EQ(first.mean_batch, second.mean_batch);
+    EXPECT_DOUBLE_EQ(first.peak_kv_utilization,
+                     second.peak_kv_utilization);
+    EXPECT_DOUBLE_EQ(first.mean_kv_utilization,
+                     second.mean_kv_utilization);
+    EXPECT_DOUBLE_EQ(first.tokens_per_second,
+                     second.tokens_per_second);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "comet/kvcache/kv_cache.h"
+#include "comet/serve/batch_scheduler.h"
 
 namespace comet {
 namespace {
@@ -258,6 +259,135 @@ TEST(PagedKvCache, ForkErrorsAreClean)
               StatusCode::kInvalidArgument);
     EXPECT_EQ(cache.forkSequence(1, 1).code(),
               StatusCode::kInvalidArgument);
+}
+
+TEST(PagedKvCache, PreemptionVictimFreesOnlyPrivateBlocks)
+{
+    // Recompute-style preemption (BatchScheduler::preemptBack) frees
+    // the victim with removeSequence. When the victim shares a
+    // forked prefix with a still-live request, only its private
+    // divergence blocks may come back — the survivor's prefix must
+    // stay resident.
+    const LlmConfig model = LlmConfig::llama3_8b();
+    KvCacheConfig config = makeConfig(16.0, 1.0);
+    PagedKvCache probe(model, config);
+    config.memory_budget_bytes = probe.blockBytes() * 6;
+    PagedKvCache cache(model, config);
+    ASSERT_EQ(cache.totalBlocks(), 6);
+
+    ASSERT_TRUE(cache.addSequence(1, 32).isOk()); // 2 shared blocks
+    ASSERT_TRUE(cache.forkSequence(1, 2).isOk());
+    ASSERT_TRUE(cache.appendToken(1).isOk()); // private tails
+    ASSERT_TRUE(cache.appendToken(2).isOk());
+    ASSERT_EQ(cache.physicalBlocksInUse(), 4);
+
+    cache.removeSequence(2); // preempt the later arrival
+    EXPECT_EQ(cache.physicalBlocksInUse(), 3);
+    EXPECT_EQ(cache.freeBlocks(), 3);
+    // The survivor is untouched and keeps decoding in place.
+    EXPECT_EQ(cache.sequenceTokens(1), 33);
+    ASSERT_TRUE(cache.appendToken(1).isOk());
+    EXPECT_EQ(cache.physicalBlocksInUse(), 3);
+}
+
+TEST(PagedKvCache, PreemptionFreeThenReadmitOrderingUnderSharing)
+{
+    // The ordering edge the scheduler relies on: a preempted victim
+    // re-prefills its FULL context as a fresh allocation (sharing is
+    // not reconstructed), so the re-admission only fits AFTER the
+    // victim's old private blocks are freed — free-then-readmit
+    // succeeds where readmit-before-free must fail cleanly.
+    const LlmConfig model = LlmConfig::llama3_8b();
+    KvCacheConfig config = makeConfig(16.0, 1.0);
+    PagedKvCache probe(model, config);
+    config.memory_budget_bytes = probe.blockBytes() * 6;
+    PagedKvCache cache(model, config);
+    ASSERT_EQ(cache.totalBlocks(), 6);
+
+    ASSERT_TRUE(cache.addSequence(1, 32).isOk());
+    ASSERT_TRUE(cache.forkSequence(1, 2).isOk());
+    ASSERT_TRUE(cache.appendToken(1).isOk());
+    ASSERT_TRUE(cache.appendToken(2).isOk());
+    ASSERT_EQ(cache.freeBlocks(), 2);
+
+    // Re-prefilling the victim's 33-token context needs 3 blocks;
+    // with the victim still holding its slot there are only 2 free.
+    EXPECT_FALSE(cache.canAdmit(33));
+    const Status early = cache.addSequence(3, 33);
+    EXPECT_EQ(early.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(cache.freeBlocks(), 2); // failure leaked nothing
+
+    // Free first, then re-admit under the same id: the recompute
+    // copy owns all 3 of its blocks, no sharing with the survivor.
+    cache.removeSequence(2);
+    EXPECT_TRUE(cache.canAdmit(33));
+    ASSERT_TRUE(cache.addSequence(2, 33).isOk());
+    EXPECT_EQ(cache.sequenceTokens(2), 33);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 6);
+    EXPECT_EQ(cache.freeBlocks(), 0);
+
+    // The survivor's shared prefix stayed intact across the cycle,
+    // and teardown accounts for every block exactly once.
+    EXPECT_EQ(cache.sequenceTokens(1), 33);
+    cache.removeSequence(1);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 3);
+    cache.removeSequence(2);
+    EXPECT_EQ(cache.physicalBlocksInUse(), 0);
+    EXPECT_EQ(cache.freeBlocks(), cache.totalBlocks());
+}
+
+TEST(PagedKvCache, SchedulerPreemptionWithSharedPrefixEndToEnd)
+{
+    // The same ordering driven through the real scheduler: two
+    // requests whose KV lives alongside a forked third sequence that
+    // stays resident the whole time. Preemptions must never free the
+    // bystander's shared blocks, and the run must still complete.
+    const LlmConfig model = LlmConfig::llama3_8b();
+    KvCacheConfig config = makeConfig(16.0, 1.0);
+    PagedKvCache probe(model, config);
+    config.memory_budget_bytes = probe.blockBytes() * 12;
+    PagedKvCache cache(model, config);
+    ASSERT_EQ(cache.totalBlocks(), 12);
+
+    // A resident forked pair outside the scheduler: 2 shared blocks.
+    ASSERT_TRUE(cache.addSequence(1000, 32).isOk());
+    ASSERT_TRUE(cache.forkSequence(1000, 1001).isOk());
+    ASSERT_EQ(cache.physicalBlocksInUse(), 2);
+
+    // 10 blocks remain for the scheduler; two 32/64 requests admit
+    // optimistically (2 blocks each) and exhaust the pool mid-decode.
+    BatchScheduler scheduler(&cache);
+    Request a;
+    a.id = 1;
+    a.prompt_tokens = 32;
+    a.max_output_tokens = 64;
+    Request b = a;
+    b.id = 2;
+    scheduler.submit(a);
+    scheduler.submit(b);
+    ASSERT_EQ(scheduler.admit(), 2);
+
+    int64_t steps = 0;
+    while (!scheduler.idle() && steps < 10000) {
+        scheduler.admit();
+        if (scheduler.runningCount() == 0)
+            break;
+        scheduler.step();
+        ++steps;
+        // The bystanders' shared prefix survives every preemption.
+        ASSERT_EQ(cache.sequenceTokens(1000), 32);
+        ASSERT_EQ(cache.sequenceTokens(1001), 32);
+        ASSERT_GE(cache.physicalBlocksInUse(), 2);
+    }
+    EXPECT_EQ(scheduler.finishedCount(), 2);
+    EXPECT_GT(scheduler.counters().preemptions, 0);
+
+    // Only the forked pair's footprint remains.
+    EXPECT_EQ(cache.physicalBlocksInUse(), 2);
+    cache.removeSequence(1000);
+    ASSERT_TRUE(cache.appendToken(1001).isOk()); // still usable
+    cache.removeSequence(1001);
+    EXPECT_EQ(cache.freeBlocks(), cache.totalBlocks());
 }
 
 TEST(PagedKvCache, ManyForksShareOnePrompt)

@@ -244,8 +244,8 @@ TEST(ObsRegistry, CounterIdentityIsStable)
     a.add(7);
     EXPECT_EQ(registry.counterValue("test.alpha"), 7);
     EXPECT_EQ(registry.counterValue("test.never_registered"), 0);
-    // resetForTesting zeroes values but keeps references valid.
-    registry.resetForTesting();
+    // reset zeroes values but keeps references valid.
+    registry.reset();
     EXPECT_EQ(a.value(), 0);
     a.add(3);
     EXPECT_EQ(registry.counterValue("test.alpha"), 3);

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the per-request token streams.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "comet/server/streaming.h"
+
+namespace comet {
+namespace server {
+namespace {
+
+StreamEvent
+tokenEvent(int64_t index, double at_us)
+{
+    StreamEvent event;
+    event.kind = StreamEventKind::kToken;
+    event.token_index = index;
+    event.virtual_us = at_us;
+    return event;
+}
+
+StreamEvent
+terminalEvent(StreamEventKind kind,
+              RejectReason reason = RejectReason::kNone)
+{
+    StreamEvent event;
+    event.kind = kind;
+    event.reject_reason = reason;
+    return event;
+}
+
+TEST(StreamEvent, Names)
+{
+    EXPECT_STREQ(streamEventKindName(StreamEventKind::kToken),
+                 "token");
+    EXPECT_STREQ(streamEventKindName(StreamEventKind::kFinished),
+                 "finished");
+    EXPECT_STREQ(streamEventKindName(StreamEventKind::kRejected),
+                 "rejected");
+    EXPECT_STREQ(streamEventKindName(StreamEventKind::kCancelled),
+                 "cancelled");
+    EXPECT_STREQ(rejectReasonName(RejectReason::kQueueFull),
+                 "queue-full");
+    EXPECT_STREQ(rejectReasonName(RejectReason::kRateLimited),
+                 "rate-limited");
+    EXPECT_STREQ(rejectReasonName(RejectReason::kShuttingDown),
+                 "shutting-down");
+    EXPECT_FALSE(isTerminal(StreamEventKind::kToken));
+    EXPECT_TRUE(isTerminal(StreamEventKind::kFinished));
+    EXPECT_TRUE(isTerminal(StreamEventKind::kRejected));
+    EXPECT_TRUE(isTerminal(StreamEventKind::kCancelled));
+}
+
+TEST(TokenStream, PullModeDeliversInOrder)
+{
+    TokenStream stream;
+    stream.deliver(tokenEvent(0, 10.0));
+    stream.deliver(tokenEvent(1, 20.0));
+    stream.deliver(terminalEvent(StreamEventKind::kFinished));
+
+    StreamEvent event;
+    ASSERT_TRUE(stream.next(&event));
+    EXPECT_EQ(event.kind, StreamEventKind::kToken);
+    EXPECT_EQ(event.token_index, 0);
+    EXPECT_DOUBLE_EQ(event.virtual_us, 10.0);
+    ASSERT_TRUE(stream.next(&event));
+    EXPECT_EQ(event.token_index, 1);
+    ASSERT_TRUE(stream.next(&event));
+    EXPECT_EQ(event.kind, StreamEventKind::kFinished);
+    // The terminal event was consumed: end of stream, forever.
+    EXPECT_FALSE(stream.next(&event));
+    EXPECT_FALSE(stream.next(&event));
+}
+
+TEST(TokenStream, TerminalStateIsQueryable)
+{
+    TokenStream stream;
+    EXPECT_FALSE(stream.done());
+    stream.deliver(tokenEvent(0, 1.0));
+    EXPECT_FALSE(stream.done());
+    EXPECT_EQ(stream.tokenCount(), 1);
+    stream.deliver(terminalEvent(StreamEventKind::kRejected,
+                                 RejectReason::kRateLimited));
+    EXPECT_TRUE(stream.done());
+    EXPECT_EQ(stream.terminalKind(), StreamEventKind::kRejected);
+    EXPECT_EQ(stream.terminalReason(), RejectReason::kRateLimited);
+    EXPECT_EQ(stream.tokenCount(), 1);
+}
+
+TEST(TokenStream, TryNextDoesNotBlock)
+{
+    TokenStream stream;
+    StreamEvent event;
+    EXPECT_FALSE(stream.tryNext(&event));
+    stream.deliver(tokenEvent(0, 1.0));
+    EXPECT_TRUE(stream.tryNext(&event));
+    EXPECT_EQ(event.kind, StreamEventKind::kToken);
+    EXPECT_FALSE(stream.tryNext(&event));
+}
+
+TEST(TokenStream, NextBlocksUntilDelivery)
+{
+    TokenStream stream;
+    StreamEvent event;
+    std::thread producer([&] {
+        stream.deliver(tokenEvent(0, 5.0));
+        stream.deliver(terminalEvent(StreamEventKind::kFinished));
+    });
+    ASSERT_TRUE(stream.next(&event));
+    EXPECT_EQ(event.kind, StreamEventKind::kToken);
+    ASSERT_TRUE(stream.next(&event));
+    EXPECT_EQ(event.kind, StreamEventKind::kFinished);
+    EXPECT_FALSE(stream.next(&event));
+    producer.join();
+}
+
+TEST(TokenStream, CallbackModeRunsInlineAndNeverBuffers)
+{
+    std::vector<StreamEvent> seen;
+    TokenStream stream(
+        [&](const StreamEvent &event) { seen.push_back(event); });
+    stream.deliver(tokenEvent(0, 1.0));
+    stream.deliver(tokenEvent(1, 2.0));
+    stream.deliver(terminalEvent(StreamEventKind::kFinished));
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0].token_index, 0);
+    EXPECT_EQ(seen[1].token_index, 1);
+    EXPECT_EQ(seen[2].kind, StreamEventKind::kFinished);
+    EXPECT_EQ(stream.tokenCount(), 2);
+    EXPECT_TRUE(stream.done());
+    StreamEvent event;
+    EXPECT_FALSE(stream.next(&event)); // nothing is ever buffered
+}
+
+TEST(TokenStream, CancelRequestRunsThePoke)
+{
+    TokenStream stream;
+    int pokes = 0;
+    stream.setCancelPoke([&] { ++pokes; });
+    EXPECT_FALSE(stream.cancelRequested());
+    stream.requestCancel();
+    EXPECT_TRUE(stream.cancelRequested());
+    EXPECT_EQ(pokes, 1);
+    stream.requestCancel(); // idempotent flag, poke fires again
+    EXPECT_EQ(pokes, 2);
+}
+
+TEST(TokenStreamDeathTest, DeliverAfterTerminal)
+{
+    TokenStream stream;
+    stream.deliver(terminalEvent(StreamEventKind::kFinished));
+    EXPECT_DEATH(stream.deliver(tokenEvent(0, 1.0)),
+                 "terminal");
+}
+
+} // namespace
+} // namespace server
+} // namespace comet
