@@ -137,6 +137,17 @@ BatchScheduler::admit()
                 fresh.state = RequestState::kFinished;
                 cache_->removeSequence(fresh.id);
                 ++finished_;
+                if (config_.admission ==
+                    AdmissionPolicy::kReserveFullOutput) {
+                    // All its blocks are free again: return the
+                    // future claim added above so it stops gating
+                    // the rest of this admission round.
+                    reserved -=
+                        cache_->blocksForTokens(
+                            fresh.prompt_tokens +
+                            fresh.max_output_tokens) -
+                        cache_->blocksForTokens(prefill_tokens);
+                }
                 retire(fresh);
                 running_.pop_back();
             }

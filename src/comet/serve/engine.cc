@@ -79,10 +79,19 @@ engineConfigWithKvBlocks(EngineConfig config, int64_t blocks)
     probe_config.memory_budget_bytes = 1e9;
     const PagedKvCache probe(config.model, probe_config);
     const double weights = ServingEngine(config).weightBytes();
+    // Half a block of headroom: the fraction is later inverted as
+    // fraction * hbm - weights and floored into whole blocks, and a
+    // bare N blocks can round-trip to N-1 through that arithmetic.
     config.usable_memory_fraction =
-        (weights +
-         probe.blockBytes() * static_cast<double>(blocks)) /
+        (weights + probe.blockBytes() *
+                       (static_cast<double>(blocks) + 0.5)) /
         config.gpu.hbm_capacity_bytes;
+    probe_config.memory_budget_bytes =
+        std::max(ServingEngine(config).kvBudgetBytes(), 1.0);
+    const PagedKvCache check(config.model, probe_config);
+    COMET_CHECK_MSG(check.totalBlocks() == blocks,
+                    "KV fraction did not round-trip to the "
+                    "requested block count");
     return config;
 }
 

@@ -112,7 +112,11 @@ Server::connect()
     COMET_CHECK_MSG(!wake_->draining,
                     "connect() on a draining/stopped server");
     client.index_ = wake_->horizons.size();
-    wake_->horizons.push_back(0.0);
+    // A handle connected mid-session starts at the published virtual
+    // clock, never behind it: a new client cannot drag the ingress
+    // gate below decisions the loop has already committed (and its
+    // submissions cannot carry arrivals in the virtual past).
+    wake_->horizons.push_back(wake_->clock_us);
     return client;
 }
 
@@ -369,11 +373,43 @@ Server::waitForSafe(double target_us)
     if (!config_.deterministic_ingress)
         return true;
     std::unique_lock<std::mutex> lock(wake_->mutex);
+    // Strictly past the target: a client whose horizon sits exactly
+    // at target_us may still submit more arrivals at that instant
+    // (equal arrival times per handle are legal), so >= would let the
+    // clock commit with such a tie racing the inbox drain.
     wake_->cv.wait(lock, [&] {
         return (wake_->stop_requested && wake_->cancel_on_stop) ||
-               safeHorizonLocked() >= target_us;
+               safeHorizonLocked() > target_us;
     });
     return !(wake_->stop_requested && wake_->cancel_on_stop);
+}
+
+Server::GateOutcome
+Server::waitToAdvance(double target_us)
+{
+    if (!config_.deterministic_ingress)
+        return GateOutcome::kAdvance;
+    std::unique_lock<std::mutex> lock(wake_->mutex);
+    wake_->cv.wait(lock, [&] {
+        return (wake_->stop_requested && wake_->cancel_on_stop) ||
+               wake_->poked || !wake_->inbox.empty() ||
+               safeHorizonLocked() > target_us;
+    });
+    if (wake_->stop_requested && wake_->cancel_on_stop)
+        return GateOutcome::kInterrupted;
+    // New submissions (or cancel pokes) landed while the gate was
+    // held: the earliest pending arrival may have changed, so the
+    // outer loop must ingest and re-plan before any clock jump.
+    if (wake_->poked || !wake_->inbox.empty())
+        return GateOutcome::kReplan;
+    return GateOutcome::kAdvance;
+}
+
+void
+Server::publishClock()
+{
+    std::lock_guard<std::mutex> lock(wake_->mutex);
+    wake_->clock_us = clock_;
 }
 
 void
@@ -478,15 +514,31 @@ Server::stepOnce()
     ingestDueArrivals();
 
     // Nothing runnable yet: fast-forward the clock to the next
-    // arrival (once the ingress gate allows it).
+    // arrival (once the ingress gate allows it). The jump commits
+    // only when the inbox is empty and every open horizon is
+    // strictly past the target — then no arrival <= target can still
+    // appear, and the target is provably the earliest arrival. Any
+    // submission landing while the gate is held bounces back to the
+    // outer loop, which ingests it and re-plans (it may be earlier
+    // than the current target).
     if (scheduler_->idle() && fair_->empty()) {
         if (arrival_order_.empty())
             return true;
         const double next_us = arrival_order_.begin()->first;
         if (next_us > clock_) {
-            if (!waitForSafe(next_us))
+            switch (waitToAdvance(next_us)) {
+              case GateOutcome::kInterrupted:
                 return false;
-            clock_ = next_us;
+              case GateOutcome::kReplan:
+                return true; // the outer loop re-enters stepOnce
+              case GateOutcome::kAdvance:
+                clock_ = next_us;
+                // Commit before any event delivery: a client that
+                // observes an event (or connects) must never read a
+                // clock behind the events it has seen.
+                publishClock();
+                break;
+            }
         }
         ingestDueArrivals();
     }
@@ -519,6 +571,7 @@ Server::stepOnce()
         if (!waitForSafe(clock_ + prefill_us))
             return false;
         clock_ += prefill_us;
+        publishClock();
     }
     deliverRunningProgress();
     deliverRetired(admit_retired);
@@ -560,6 +613,7 @@ Server::stepOnce()
         if (!waitForSafe(clock_ + step_us))
             return false;
         clock_ += step_us;
+        publishClock();
         scheduler_->step();
         deliverRunningProgress();
         deliverRetired(scheduler_->drainRetired());

@@ -17,15 +17,21 @@
  * submission is racy host concurrency. Each client connects once and
  * submits requests with nondecreasing virtual arrival times; the
  * client handle's last submitted (or explicitly advanced) arrival is
- * its *horizon* — a promise that no earlier arrival is still coming.
- * The loop never advances the virtual clock beyond the minimum open
- * horizon, so by the time it makes any admission or scheduling
- * decision at clock T it has seen every arrival <= T, and the whole
- * session replays identically regardless of thread interleaving
- * (classic conservative discrete-event synchronization). Closing a
- * handle moves its horizon to infinity; drain()/stop() close ingress
- * and release the gate. Set ServerConfig::deterministic_ingress =
- * false to trade determinism for immediate (wall-clock) ingestion.
+ * its *horizon* — a promise that every arrival still coming through
+ * the handle is at or after it. The loop never advances the virtual
+ * clock to T until every open horizon is *strictly* past T (equal
+ * arrival times through one handle are legal, so a horizon exactly at
+ * T could still produce more arrivals at T), and before committing a
+ * clock jump it re-examines any submission that landed while it was
+ * waiting — the newcomer may be earlier than the planned target. By
+ * the time the loop makes any admission or scheduling decision at
+ * clock T it has therefore ingested every arrival <= T that will ever
+ * exist, and the whole session replays identically regardless of
+ * thread interleaving (classic conservative discrete-event
+ * synchronization). Closing a handle moves its horizon to infinity;
+ * drain()/stop() close ingress and release the gate. Set
+ * ServerConfig::deterministic_ingress = false to trade determinism
+ * for immediate (wall-clock) ingestion.
  *
  * ## Backpressure contract
  *
@@ -170,7 +176,10 @@ class Server
     /**
      * Registers a client and returns its handle. For a deterministic
      * session, connect every client before the first submission —
-     * each open handle gates the virtual clock at its horizon.
+     * each open handle gates the virtual clock at its horizon. A
+     * handle connected mid-session starts with its horizon at the
+     * current virtual clock (it can neither drag the ingress gate
+     * below the virtual present nor submit arrivals in the past).
      */
     Client connect();
 
@@ -224,6 +233,13 @@ class Server
     /** Ingress shared between client threads and the loop. */
     struct Wake;
 
+    /** How an ingress-gate wait for a clock fast-forward resolved. */
+    enum class GateOutcome {
+        kAdvance,     ///< safe to commit the clock jump
+        kReplan,      ///< new submissions/pokes: re-plan the target
+        kInterrupted, ///< stop-with-cancel ended the session
+    };
+
     void loop();
     TokenStreamPtr submitFromClient(size_t client,
                                     const StreamRequest &request);
@@ -233,6 +249,8 @@ class Server
     void acceptArrival(SubmitRecord &&record);
     double safeHorizonLocked() const;
     bool waitForSafe(double target_us);
+    GateOutcome waitToAdvance(double target_us);
+    void publishClock();
     void ingestDueArrivals();
     bool stepOnce();
     void injectFromFairQueue();

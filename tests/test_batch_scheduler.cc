@@ -416,6 +416,35 @@ TEST(BatchScheduler, OneTokenRequestRetiresAtAdmission)
     EXPECT_EQ(retired[0].generated_tokens, 1);
 }
 
+TEST(BatchScheduler, AdmissionRetireReturnsItsFullOutputReservation)
+{
+    // Under full reservation, a request that finishes at admission
+    // (EOS on the prefill token) must also give back the decode
+    // headroom it reserved, so the rest of the same admit() round is
+    // not gated by a claim nothing holds anymore.
+    PagedKvCache cache = makeExactCache(LlmConfig::llama3_8b(), 8);
+    ASSERT_EQ(cache.totalBlocks(), 8);
+
+    BatchSchedulerConfig config;
+    config.admission = AdmissionPolicy::kReserveFullOutput;
+    config.prefill_emits_token = true;
+    BatchScheduler scheduler(&cache, config);
+
+    // Both requests reserve 6 blocks (2 prompt + 4 decode); the first
+    // stops at its prefill token and frees everything immediately.
+    Request one_token = makeRequest(1, 32, 64);
+    one_token.eos_output_tokens = 1;
+    scheduler.submit(one_token);
+    scheduler.submit(makeRequest(2, 32, 64));
+
+    // A stale reservation would leave 6 + 4 > 8 and block the second
+    // request for this round even though the pool is empty again.
+    EXPECT_EQ(scheduler.admit(), 2);
+    EXPECT_EQ(scheduler.finishedCount(), 1);
+    EXPECT_EQ(scheduler.runningCount(), 1);
+    EXPECT_EQ(scheduler.queuedCount(), 0);
+}
+
 TEST(BatchScheduler, DrainRetiredCollectsTerminalTransitions)
 {
     PagedKvCache cache = makeCache(10.0);

@@ -241,6 +241,28 @@ TEST(TensorParallelDeathTest, MustDivideKvHeads)
     EXPECT_DEATH(ServingEngine{config}, "divide the KV head count");
 }
 
+TEST(EngineConfig, KvBlocksHelperRoundTripsExactly)
+{
+    // The helper encodes a block count as a memory fraction that is
+    // later inverted (fraction * hbm - weights, floored into whole
+    // blocks); the round-trip must yield exactly the requested pool,
+    // not N-1 through floating-point truncation.
+    for (int64_t blocks : {7, 64, 255, 1024, 4096}) {
+        const EngineConfig config = engineConfigWithKvBlocks(
+            makeConfig(LlmConfig::llama3_8b(),
+                       ServingMode::kCometW4AxKv4),
+            blocks);
+        KvCacheConfig cache_config;
+        cache_config.bits_per_value =
+            servingPrecision(config.mode).kv_bits;
+        cache_config.block_tokens = config.kv_block_tokens;
+        cache_config.memory_budget_bytes =
+            ServingEngine(config).kvBudgetBytes();
+        const PagedKvCache cache(config.model, cache_config);
+        EXPECT_EQ(cache.totalBlocks(), blocks);
+    }
+}
+
 TEST(EngineAdmission, OptimisticOversubscriptionRecoversAndWins)
 {
     // Pin the batch to twice the KV-limited maximum. Full reservation

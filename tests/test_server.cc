@@ -300,6 +300,81 @@ TEST_F(ServerTest, IngressGateHoldsTheClockForOpenClients)
     server.stop();
 }
 
+TEST_F(ServerTest, GateWaitReplansForEarlierSubmissions)
+{
+    // Regression for a determinism race: with the loop blocked in
+    // the idle fast-forward toward a known arrival, a submission
+    // with an EARLIER virtual arrival lands in the inbox. The gate
+    // must re-plan and serve the newcomer at its own arrival time —
+    // the virtual timeline cannot depend on whether the submission
+    // beat the loop's last inbox drain.
+    const ServingEngine engine(testEngineConfig());
+    auto run = [&](bool let_gate_block_first) {
+        Server server(&engine, oneTenantConfig());
+        Server::Client a = server.connect();
+        Server::Client b = server.connect();
+        TokenStreamPtr late =
+            a.submit(streamRequest(1, 50000.0, 64, 2));
+        a.close();
+        if (let_gate_block_first) {
+            // Give the loop wall time to enter the fast-forward
+            // gate toward 50 ms before the earlier arrival shows up.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        TokenStreamPtr early =
+            b.submit(streamRequest(2, 1000.0, 64, 2));
+        b.close();
+        server.drain();
+        std::vector<double> times;
+        StreamEvent event;
+        while (early->next(&event))
+            times.push_back(event.virtual_us);
+        while (late->next(&event))
+            times.push_back(event.virtual_us);
+        server.stop();
+        return times;
+    };
+
+    const std::vector<double> eager = run(false);
+    const std::vector<double> delayed = run(true);
+    ASSERT_EQ(eager.size(), delayed.size());
+    for (size_t i = 0; i < eager.size(); ++i)
+        EXPECT_DOUBLE_EQ(eager[i], delayed[i]);
+    // The earlier request was ingested at its own arrival, not at
+    // the fast-forward target it raced.
+    ASSERT_GE(delayed.size(), 1u);
+    EXPECT_LT(delayed[0], 50000.0);
+}
+
+TEST_F(ServerTest, LateConnectStartsAtTheVirtualPresent)
+{
+    const ServingEngine engine(testEngineConfig());
+    Server server(&engine, oneTenantConfig());
+    Server::Client a = server.connect();
+    TokenStreamPtr first = a.submit(streamRequest(1, 0.0, 64, 2));
+    a.close();
+    StreamEvent event;
+    while (first->next(&event)) {
+    }
+    EXPECT_EQ(first->terminalKind(), StreamEventKind::kFinished);
+    const double clock = server.virtualClockUs();
+    EXPECT_GT(clock, 0.0);
+
+    // A client joining mid-session starts gating at the virtual
+    // present: it submits from the current clock onward, and its
+    // open handle can neither stall the session on a horizon of 0
+    // nor rewind the ingress gate below decisions already made.
+    Server::Client b = server.connect();
+    TokenStreamPtr second =
+        b.submit(streamRequest(2, clock + 1000.0, 64, 2));
+    b.close();
+    server.drain();
+    EXPECT_EQ(second->terminalKind(), StreamEventKind::kFinished);
+    EXPECT_GE(server.virtualClockUs(), clock + 1000.0);
+    server.stop();
+}
+
 TEST_F(ServerTest, WeightedTenantsShareAdmissionUnderContention)
 {
     const ServingEngine engine(testEngineConfig(512));
