@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Chaos soak driver: the fault-injected, property-checked stress run
+ * for the serving stack (DESIGN.md §11).
+ *
+ * Per seed it (1) generates a multi-tenant workload script, (2) arms
+ * the standard fault schedule (allocator OOM, pool delays, ingress
+ * cancels, forced preemptions, admission expiries), (3) replays the
+ * script at COMET_THREADS=1 and 8 and requires every invariant to
+ * hold with byte-identical event logs, and (4) runs the KV-cache and
+ * scheduler model fuzzers under the same seed. A failing seed is
+ * shrunk to a minimal step script and printed with a one-line repro
+ * command.
+ *
+ * It also measures the disabled-failpoint fast path the way
+ * bench_obs_overhead measures disabled spans, and enforces the
+ * <= 1 ns/hit budget in optimized non-sanitizer builds.
+ */
+#include <cinttypes>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_flags.h"
+#include "comet/chaos/failpoint.h"
+#include "comet/chaos/harness.h"
+#include "comet/chaos/script.h"
+#include "comet/common/table.h"
+#include "comet/runtime/thread_pool.h"
+
+namespace {
+
+using namespace comet;
+using namespace comet::chaos;
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define COMET_BENCH_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define COMET_BENCH_SANITIZED 1
+#endif
+
+/** ns/hit of a disabled failpoint: one relaxed atomic load. */
+double
+measureDisabledFailpointNs()
+{
+    FailPointRegistry::global().disarmAll();
+    constexpr int64_t kIters = 20'000'000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < kIters; ++i) {
+        if (COMET_FAILPOINT("soak.probe"))
+            std::abort(); // never armed; keeps the branch live
+        asm volatile("" ::: "memory");
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double total_ns =
+        std::chrono::duration<double, std::nano>(stop - start)
+            .count();
+    return total_ns / static_cast<double>(kIters);
+}
+
+/** One seed's faulted double run (threads 1 vs 8). Empty string when
+ * every invariant held and the logs matched. */
+std::string
+runSoakSeed(uint64_t seed, int steps)
+{
+    ChaosScriptConfig config;
+    config.seed = seed;
+    config.steps = steps;
+    const std::vector<ChaosStep> script =
+        generateChaosScript(config);
+    ChaosFaultConfig faults;
+    faults.seed = seed;
+
+    ThreadPool::setGlobalThreads(1);
+    const ChaosRunResult serial =
+        runChaosScript(script, config, &faults);
+    ThreadPool::setGlobalThreads(8);
+    const ChaosRunResult pooled =
+        runChaosScript(script, config, &faults);
+    ThreadPool::setGlobalThreads(0);
+
+    if (!serial.ok)
+        return "threads=1: " + serial.failure;
+    if (!pooled.ok)
+        return "threads=8: " + pooled.failure;
+    if (serial.event_log != pooled.event_log)
+        return "event logs diverge between threads=1 and threads=8";
+    return "";
+}
+
+/** Shrinks a failing seed's script and prints the minimal repro. */
+void
+reportFailure(uint64_t seed, int steps, const std::string &failure)
+{
+    std::fprintf(stderr, "FAILING SEED %" PRIu64 " (steps=%d): %s\n",
+                 seed, steps, failure.c_str());
+    ChaosScriptConfig config;
+    config.seed = seed;
+    config.steps = steps;
+    const std::vector<ChaosStep> script =
+        generateChaosScript(config);
+    ChaosFaultConfig faults;
+    faults.seed = seed;
+    // Shrink against the single-threaded replay: cheap, and any
+    // surviving violation reproduces by construction.
+    ThreadPool::setGlobalThreads(1);
+    const std::vector<ChaosStep> shrunk = shrinkChaosScript(
+        script,
+        [&](const std::vector<ChaosStep> &candidate) {
+            return !runChaosScript(candidate, config, &faults).ok;
+        },
+        /*max_runs=*/48);
+    ThreadPool::setGlobalThreads(0);
+    const ChaosRunResult minimal =
+        runChaosScript(shrunk, config, &faults);
+    if (!minimal.ok) {
+        std::fprintf(stderr,
+                     "minimal script (%zu of %zu steps), fails "
+                     "with: %s\n%s",
+                     shrunk.size(), script.size(),
+                     minimal.failure.c_str(),
+                     renderChaosScript(shrunk).c_str());
+    } else {
+        // The shrink budget ran out before isolating a subsequence
+        // that still fails single-threaded (e.g. a threads=8-only
+        // divergence); the full script is the repro.
+        std::fprintf(stderr,
+                     "script did not shrink single-threaded; full "
+                     "%zu-step script is the repro\n",
+                     script.size());
+    }
+    std::fprintf(stderr,
+                 "repro: ./bench_chaos_soak --seed=%" PRIu64
+                 " --seeds=1 --steps=%d\n",
+                 seed, steps);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::handleArgs(
+        argc, argv,
+        "seeded fault-injection soak of the serving stack: invariant "
+        "audits plus bit-identical replay across thread counts",
+        {{"--smoke", "reduced shapes for CI (2 seeds x 500 steps)"},
+         {"--seed=", "first seed (default 1)"},
+         {"--seeds=", "number of consecutive seeds (default 1)"},
+         {"--steps=", "script steps per seed (default 10000)"}});
+    const bool smoke = bench::smokeRequested(argc, argv);
+    const uint64_t first_seed = static_cast<uint64_t>(
+        bench::flagValue(argc, argv, "--seed=", 1));
+    const int64_t seeds =
+        bench::flagValue(argc, argv, "--seeds=", smoke ? 2 : 1);
+    const int steps = static_cast<int>(bench::flagValue(
+        argc, argv, "--steps=", smoke ? 500 : 10000));
+
+    const double disabled_ns = measureDisabledFailpointNs();
+    std::printf("disabled failpoint: %.3f ns/hit (budget 1.0)\n",
+                disabled_ns);
+#if defined(NDEBUG) && !defined(COMET_BENCH_SANITIZED)
+    if (disabled_ns > 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: disabled failpoint costs %.3f ns/hit "
+                     "(> 1 ns budget)\n",
+                     disabled_ns);
+        return 1;
+    }
+#endif
+
+    Table table({"seed", "steps", "completed", "rejected",
+                 "cancelled", "tokens", "replay"});
+    bool all_ok = true;
+    for (int64_t i = 0; i < seeds; ++i) {
+        const uint64_t seed = first_seed + static_cast<uint64_t>(i);
+        const std::string failure = runSoakSeed(seed, steps);
+        if (!failure.empty()) {
+            all_ok = false;
+            reportFailure(seed, steps, failure);
+            continue;
+        }
+        // The fuzzers ride the same seed for cheap extra coverage.
+        const Status kv_fuzz =
+            runKvModelFuzz(seed, smoke ? 300 : 2000, true);
+        const Status sched_fuzz =
+            runSchedulerFuzz(seed, smoke ? 300 : 2000, true);
+        if (!kv_fuzz.isOk() || !sched_fuzz.isOk()) {
+            all_ok = false;
+            const Status &bad = kv_fuzz.isOk() ? sched_fuzz : kv_fuzz;
+            std::fprintf(stderr,
+                         "FAILING SEED %" PRIu64 " (model fuzz): "
+                         "%s\nrepro: ./bench_chaos_soak "
+                         "--seed=%" PRIu64 " --seeds=1 --steps=%d\n",
+                         seed, bad.toString().c_str(), seed, steps);
+            continue;
+        }
+        // Re-run once at the ambient thread count for the stats row.
+        ChaosScriptConfig config;
+        config.seed = seed;
+        config.steps = steps;
+        ChaosFaultConfig faults;
+        faults.seed = seed;
+        const ChaosRunResult result = runChaosScript(
+            generateChaosScript(config), config, &faults);
+        if (!result.ok) {
+            all_ok = false;
+            reportFailure(seed, steps, "ambient threads: " +
+                                           result.failure);
+            continue;
+        }
+        table.addRow({std::to_string(seed), std::to_string(steps),
+                      std::to_string(result.stats.completed),
+                      std::to_string(result.stats.rejected),
+                      std::to_string(result.stats.cancelled),
+                      std::to_string(result.stats.streamed_tokens),
+                      "bit-identical"});
+    }
+    table.print();
+    if (!all_ok) {
+        std::fprintf(stderr, "chaos soak FAILED\n");
+        return 1;
+    }
+    std::printf("chaos soak OK: %lld seed(s) x %d steps\n",
+                static_cast<long long>(seeds), steps);
+    return 0;
+}

@@ -14,6 +14,10 @@
 #     its exit status asserts report determinism and that overload
 #     rejects (with matching server.rejected accounting), never
 #     aborts.
+#   - bench_chaos_soak --smoke: the fault-injected serving soak at
+#     reduced scale (2 seeds x 500 steps); its exit status asserts
+#     every serving invariant under injected faults plus byte-equal
+#     event logs across COMET_THREADS=1 and 8.
 #
 # Usage: scripts/ci_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -41,5 +45,7 @@ run "${bench_dir}/bench_fig10_throughput" --smoke
 run "${bench_dir}/bench_runtime_scaling" --smoke
 
 run "${bench_dir}/bench_server_loadgen" --smoke
+
+run "${bench_dir}/bench_chaos_soak" --smoke
 
 echo "ci_smoke: all bench families passed"

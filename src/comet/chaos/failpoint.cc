@@ -1,0 +1,162 @@
+#include "comet/chaos/failpoint.h"
+
+#include <algorithm>
+
+#include "comet/common/status.h"
+#include "comet/obs/metrics.h"
+#include "comet/obs/trace_session.h"
+
+namespace comet {
+namespace chaos {
+
+namespace detail {
+std::atomic<bool> g_failpoints_armed{false};
+} // namespace detail
+
+FailPointSpec
+FailPointSpec::nthHit(int64_t n)
+{
+    COMET_CHECK(n >= 1);
+    FailPointSpec spec;
+    spec.trigger = FailPointTrigger::kNthHit;
+    spec.n = n;
+    return spec;
+}
+
+FailPointSpec
+FailPointSpec::everyNth(int64_t n)
+{
+    COMET_CHECK(n >= 1);
+    FailPointSpec spec;
+    spec.trigger = FailPointTrigger::kEveryNth;
+    spec.n = n;
+    return spec;
+}
+
+FailPointSpec
+FailPointSpec::withProbability(double p, uint64_t seed,
+                               int64_t max_fires)
+{
+    COMET_CHECK(p >= 0.0 && p <= 1.0);
+    FailPointSpec spec;
+    spec.trigger = FailPointTrigger::kProbability;
+    spec.probability = p;
+    spec.seed = seed;
+    spec.max_fires = max_fires;
+    return spec;
+}
+
+FailPointSpec
+FailPointSpec::atHits(std::vector<int64_t> hits)
+{
+    FailPointSpec spec;
+    spec.trigger = FailPointTrigger::kHitList;
+    spec.hits = std::move(hits);
+    std::sort(spec.hits.begin(), spec.hits.end());
+    return spec;
+}
+
+FailPointRegistry &
+FailPointRegistry::global()
+{
+    static FailPointRegistry registry;
+    return registry;
+}
+
+void
+FailPointRegistry::arm(const std::string &name, FailPointSpec spec)
+{
+    COMET_CHECK_MSG(!name.empty(), "failpoint names must be non-empty");
+    obs::Counter &counter = obs::MetricsRegistry::global().counter(
+        "chaos.failpoint." + name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    State state;
+    state.rng = Rng(spec.seed);
+    state.spec = std::move(spec);
+    state.fired_counter = &counter;
+    states_[name] = std::move(state);
+    detail::g_failpoints_armed.store(true,
+                                     std::memory_order_relaxed);
+}
+
+void
+FailPointRegistry::disarm(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_.erase(name);
+    if (states_.empty()) {
+        detail::g_failpoints_armed.store(false,
+                                         std::memory_order_relaxed);
+    }
+}
+
+void
+FailPointRegistry::disarmAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_.clear();
+    detail::g_failpoints_armed.store(false,
+                                     std::memory_order_relaxed);
+}
+
+int64_t
+FailPointRegistry::hitCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = states_.find(name);
+    return it == states_.end() ? 0 : it->second.hits;
+}
+
+int64_t
+FailPointRegistry::fireCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = states_.find(name);
+    return it == states_.end() ? 0 : it->second.fires;
+}
+
+bool
+FailPointRegistry::shouldFire(const char *name)
+{
+    obs::Counter *fired_counter = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = states_.find(name);
+        if (it == states_.end())
+            return false;
+        State &state = it->second;
+        const int64_t hit = state.hits++;
+        if (state.spec.max_fires >= 0 &&
+            state.fires >= state.spec.max_fires)
+            return false;
+        bool fire = false;
+        switch (state.spec.trigger) {
+          case FailPointTrigger::kNever:
+            break;
+          case FailPointTrigger::kNthHit:
+            fire = hit + 1 == state.spec.n;
+            break;
+          case FailPointTrigger::kEveryNth:
+            fire = (hit + 1) % state.spec.n == 0;
+            break;
+          case FailPointTrigger::kProbability:
+            fire = state.rng.uniform() < state.spec.probability;
+            break;
+          case FailPointTrigger::kHitList:
+            fire = std::binary_search(state.spec.hits.begin(),
+                                      state.spec.hits.end(), hit);
+            break;
+        }
+        if (!fire)
+            return false;
+        ++state.fires;
+        fired_counter = state.fired_counter;
+    }
+    // Outside the registry lock: the metrics registry takes its own.
+    COMET_SPAN("chaos/inject");
+    fired_counter->add(1);
+    return true;
+}
+
+} // namespace chaos
+} // namespace comet

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Deterministic fault-injection hook points for the serving stack.
+ *
+ * A *failpoint* is a named hook compiled permanently into production
+ * code — `COMET_FAILPOINT("kv.alloc")` — that evaluates to true when a
+ * chaos schedule says the site should fail right now. The call site
+ * decides what "fail" means there (a synthetic allocator OOM, a task
+ * delay, a simulated client cancel); the registry only decides *when*.
+ *
+ * The design mirrors COMET_SPAN's always-compiled-in gate: with no
+ * schedule armed, a failpoint costs one relaxed atomic load and a
+ * predictable branch (the same ~1 ns budget bench_obs_overhead proves
+ * for spans; bench_chaos_soak measures this path), so the hooks can
+ * live in allocator- and scheduler-hot code permanently.
+ *
+ * Schedules are deterministic functions of the per-failpoint hit
+ * counter (and, for probability triggers, of a seeded comet::Rng):
+ * trigger once on the Nth hit, on every Nth hit, on an explicit list
+ * of hit indices, or per hit with probability p. Hits from a single
+ * thread therefore fire identically across runs — the property the
+ * chaos harness's bit-identical replay check rests on. Every fire
+ * bumps the `chaos.failpoint.<name>` metrics counter so injected
+ * faults are visible in the observability dump next to their effects.
+ *
+ * A probability schedule with p = 1 and no fire cap can make a
+ * retried operation (e.g. admission) fail forever; seeded harness
+ * schedules use p < 1 or finite triggers so faulted runs terminate.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comet/common/rng.h"
+
+namespace comet {
+
+namespace obs {
+class Counter;
+} // namespace obs
+
+namespace chaos {
+
+namespace detail {
+/** The one process-global armed gate; read inline by every
+ * COMET_FAILPOINT. Not for direct use — FailPointRegistry::arm() and
+ * disarm() own it. */
+extern std::atomic<bool> g_failpoints_armed;
+} // namespace detail
+
+/** When an armed failpoint fires, as a function of its hit count. */
+enum class FailPointTrigger {
+    kNever = 0,   ///< armed but inert (hit counting only)
+    kNthHit,      ///< fire exactly once, on the Nth hit (1-based)
+    kEveryNth,    ///< fire on hits N, 2N, 3N, ... (1-based)
+    kProbability, ///< fire per hit with probability p (seeded draw)
+    kHitList,     ///< fire on an explicit list of 0-based hit indices
+};
+
+/** One armed schedule. Build via the factory helpers. */
+struct FailPointSpec {
+    FailPointTrigger trigger = FailPointTrigger::kNever; ///< when
+    /** N of kNthHit / kEveryNth (1-based; must be >= 1 there). */
+    int64_t n = 0;
+    /** Fire probability per hit (kProbability; in [0, 1]). */
+    double probability = 0.0;
+    /** Seed of the per-failpoint Rng behind kProbability draws. */
+    uint64_t seed = 0;
+    /** 0-based hit indices that fire (kHitList; sorted or not). */
+    std::vector<int64_t> hits;
+    /** Hard cap on total fires; -1 = unlimited. Keeps probability
+     * schedules finite where the call site retries until success. */
+    int64_t max_fires = -1;
+
+    /** Fire exactly once, on the @p n-th hit (1-based). */
+    static FailPointSpec nthHit(int64_t n);
+    /** Fire on every @p n-th hit (1-based period). */
+    static FailPointSpec everyNth(int64_t n);
+    /** Fire per hit with probability @p p, drawn from a Rng seeded
+     * with @p seed; at most @p max_fires fires (-1 = unlimited). */
+    static FailPointSpec withProbability(double p, uint64_t seed,
+                                         int64_t max_fires = -1);
+    /** Fire exactly on the 0-based hit indices in @p hits. */
+    static FailPointSpec atHits(std::vector<int64_t> hits);
+};
+
+/**
+ * The process-global registry of armed failpoints.
+ *
+ * Thread-safe: call sites on any thread evaluate COMET_FAILPOINT
+ * concurrently with a test thread arming/disarming schedules. The
+ * armed fast path takes one mutex per hit — acceptable because it is
+ * only ever paid inside chaos runs; the disarmed path never locks.
+ */
+class FailPointRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static FailPointRegistry &global();
+
+    /** Arms (or replaces) the schedule for @p name and resets its hit
+     * and fire counters. Raises the global armed gate. */
+    void arm(const std::string &name, FailPointSpec spec);
+
+    /** Disarms @p name (no-op when not armed). Lowers the global gate
+     * once no failpoint remains armed. */
+    void disarm(const std::string &name);
+
+    /** Disarms every failpoint and lowers the global gate. */
+    void disarmAll();
+
+    /** Times the site named @p name was evaluated while armed. */
+    int64_t hitCount(const std::string &name) const;
+
+    /** Times the site named @p name actually fired. */
+    int64_t fireCount(const std::string &name) const;
+
+    /** The COMET_FAILPOINT fast path: one relaxed atomic load. */
+    static bool
+    armed()
+    {
+        return detail::g_failpoints_armed.load(
+            std::memory_order_relaxed);
+    }
+
+    /** Slow path behind COMET_FAILPOINT once the gate is up: counts
+     * the hit and evaluates the schedule for @p name (false when the
+     * name has no armed schedule). Call sites use the macro. */
+    bool shouldFire(const char *name);
+
+  private:
+    FailPointRegistry() = default;
+
+    /** Armed state of one failpoint. */
+    struct State {
+        FailPointSpec spec;
+        int64_t hits = 0;
+        int64_t fires = 0;
+        Rng rng{0};
+        /** Cached `chaos.failpoint.<name>` counter (registry-owned,
+         * valid forever). */
+        obs::Counter *fired_counter = nullptr;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, State> states_;
+};
+
+} // namespace chaos
+} // namespace comet
+
+/**
+ * Evaluates to true when the chaos schedule armed for @p name (a
+ * string literal) says this site should inject its failure now.
+ * Zero-overhead when nothing is armed: one relaxed atomic load and a
+ * predictable branch (see the file comment).
+ */
+#define COMET_FAILPOINT(name)                                              \
+    (::comet::chaos::FailPointRegistry::armed() &&                         \
+     ::comet::chaos::FailPointRegistry::global().shouldFire(name))

@@ -1,0 +1,521 @@
+#include "comet/chaos/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "comet/chaos/failpoint.h"
+#include "comet/chaos/invariants.h"
+#include "comet/common/rng.h"
+#include "comet/kvcache/kv_cache.h"
+#include "comet/serve/batch_scheduler.h"
+#include "comet/serve/engine.h"
+
+namespace comet {
+namespace chaos {
+
+namespace {
+
+using server::RejectReason;
+using server::Server;
+using server::StreamEvent;
+using server::StreamEventKind;
+using server::StreamRequest;
+using server::TenantConfig;
+using server::TokenStreamPtr;
+
+/** The small, KV-bound engine every chaos run serves against: 256
+ * pages make exhaustion, preemption and queueing routine at the
+ * script's request sizes. */
+EngineConfig
+chaosEngineConfig()
+{
+    EngineConfig config;
+    config.model = LlmConfig::llama3_8b();
+    config.mode = ServingMode::kCometW4AxKv4;
+    config.input_tokens = 128;
+    config.output_tokens = 32;
+    return engineConfigWithKvBlocks(config, 256);
+}
+
+/** Tokens a finished stream must have delivered. */
+int64_t
+stopTokens(const ChaosStep &step)
+{
+    return step.eos_output_tokens > 0 ? step.eos_output_tokens
+                                      : step.max_output_tokens;
+}
+
+std::string
+format(const char *fmt, long long a, long long b)
+{
+    char buffer[192];
+    std::snprintf(buffer, sizeof(buffer), fmt, a, b);
+    return buffer;
+}
+
+} // namespace
+
+void
+armChaosFaults(const ChaosFaultConfig &faults)
+{
+    FailPointRegistry &registry = FailPointRegistry::global();
+    if (faults.kv_alloc_p > 0.0) {
+        registry.arm("kv.alloc",
+                     FailPointSpec::withProbability(
+                         faults.kv_alloc_p, faults.seed ^ 0x6b76ull));
+    }
+    if (faults.pool_task_p > 0.0) {
+        registry.arm("pool.task",
+                     FailPointSpec::withProbability(
+                         faults.pool_task_p,
+                         faults.seed ^ 0x706f6f6cull));
+    }
+    if (faults.ingress_every > 0) {
+        registry.arm("server.ingress",
+                     FailPointSpec::everyNth(faults.ingress_every));
+    }
+    if (faults.preempt_every > 0) {
+        registry.arm("sched.preempt",
+                     FailPointSpec::everyNth(faults.preempt_every));
+    }
+    if (faults.expire_every > 0) {
+        registry.arm("admission.expire",
+                     FailPointSpec::everyNth(faults.expire_every));
+    }
+}
+
+ChaosRunResult
+runChaosScript(const std::vector<ChaosStep> &script,
+               const ChaosScriptConfig &config,
+               const ChaosFaultConfig *faults)
+{
+    ChaosRunResult result;
+    const auto fail = [&result](const std::string &message) {
+        if (result.ok) {
+            result.ok = false;
+            result.failure = message;
+        }
+    };
+
+    FailPointRegistry::global().disarmAll();
+    if (faults != nullptr)
+        armChaosFaults(*faults);
+
+    const ServingEngine engine(chaosEngineConfig());
+    server::ServerConfig server_config;
+    server_config.tenants = config.tenants.empty()
+                                ? defaultChaosTenants()
+                                : config.tenants;
+    server_config.max_batch = 8;
+    {
+        Server server(&engine, server_config);
+        std::vector<Server::Client> clients;
+        clients.reserve(static_cast<size_t>(config.clients));
+        for (int c = 0; c < config.clients; ++c)
+            clients.push_back(server.connect());
+
+        // Drive the whole script without ever blocking on a stream:
+        // submissions are non-blocking, and pull-mode streams buffer,
+        // so consumption can wait until after drain — a mid-script
+        // blocking read could deadlock against the ingress gate
+        // (the loop may be waiting on this thread's future
+        // submissions).
+        struct Submitted {
+            const ChaosStep *step;
+            TokenStreamPtr stream;
+        };
+        std::vector<Submitted> submitted;
+        double watermark_us = 0.0;
+        for (const ChaosStep &step : script) {
+            const size_t slot = static_cast<size_t>(step.client);
+            if (slot >= clients.size()) {
+                fail("script step references an unconnected client "
+                     "slot");
+                break;
+            }
+            switch (step.kind) {
+              case ChaosStepKind::kSubmit: {
+                StreamRequest request;
+                request.id = step.id;
+                request.tenant =
+                    server_config
+                        .tenants[static_cast<size_t>(step.tenant) %
+                                 server_config.tenants.size()]
+                        .name;
+                request.prompt_tokens = step.prompt_tokens;
+                request.max_output_tokens = step.max_output_tokens;
+                request.eos_output_tokens = step.eos_output_tokens;
+                request.arrival_us = step.time_us;
+                request.cancel_at_us = step.cancel_at_us;
+                submitted.push_back(
+                    {&step, clients[slot].submit(request)});
+                break;
+              }
+              case ChaosStepKind::kAdvance:
+                clients[slot].advanceTo(step.time_us);
+                break;
+              case ChaosStepKind::kReconnect:
+                clients[slot].close();
+                clients[slot] = server.connect();
+                break;
+            }
+            // The published virtual clock must never run backwards,
+            // no matter how the loop interleaves with this thread.
+            const double clock_us = server.virtualClockUs();
+            if (clock_us < watermark_us)
+                fail("published virtual clock ran backwards");
+            watermark_us = std::max(watermark_us, clock_us);
+        }
+        for (Server::Client &client : clients)
+            client.close();
+        server.drain();
+        result.stats = server.stats();
+
+        // ---- Post-drain audit ----
+        int64_t delivered_tokens = 0;
+        int64_t completed = 0;
+        int64_t rejected = 0;
+        int64_t cancelled = 0;
+        char line[96];
+        for (const Submitted &entry : submitted) {
+            const ChaosStep &step = *entry.step;
+            StreamEvent event;
+            int64_t tokens = 0;
+            double last_us = -1.0;
+            bool terminal_seen = false;
+            StreamEventKind terminal = StreamEventKind::kToken;
+            RejectReason reason = RejectReason::kNone;
+            while (entry.stream->next(&event)) {
+                if (terminal_seen) {
+                    fail(format("id=%lld: event after the terminal "
+                                "event (%lld)",
+                                step.id, 0));
+                    break;
+                }
+                if (event.virtual_us < last_us) {
+                    fail(format("id=%lld: event timestamps ran "
+                                "backwards (%lld)",
+                                step.id, 0));
+                }
+                last_us = event.virtual_us;
+                if (event.kind == StreamEventKind::kToken) {
+                    if (event.token_index != tokens) {
+                        fail(format("id=%lld: token indices not "
+                                    "contiguous at %lld",
+                                    step.id, tokens));
+                    }
+                    ++tokens;
+                    if (!step.abandon) {
+                        std::snprintf(line, sizeof(line),
+                                      "id=%lld token %lld t=%.6f\n",
+                                      static_cast<long long>(step.id),
+                                      static_cast<long long>(
+                                          event.token_index),
+                                      event.virtual_us);
+                        result.event_log += line;
+                    }
+                } else {
+                    terminal_seen = true;
+                    terminal = event.kind;
+                    reason = event.reject_reason;
+                    if (!step.abandon) {
+                        std::snprintf(
+                            line, sizeof(line),
+                            "id=%lld %s reason=%s t=%.6f\n",
+                            static_cast<long long>(step.id),
+                            server::streamEventKindName(event.kind),
+                            server::rejectReasonName(
+                                event.reject_reason),
+                            event.virtual_us);
+                        result.event_log += line;
+                    }
+                }
+            }
+            if (!terminal_seen) {
+                fail(format("id=%lld: stream ended with no terminal "
+                            "event (%lld tokens)",
+                            step.id, tokens));
+                continue;
+            }
+            delivered_tokens += tokens;
+            switch (terminal) {
+              case StreamEventKind::kFinished:
+                ++completed;
+                if (tokens != stopTokens(step)) {
+                    fail(format("id=%lld: finished with the wrong "
+                                "token count %lld",
+                                step.id, tokens));
+                }
+                break;
+              case StreamEventKind::kRejected:
+                ++rejected;
+                if (tokens != 0) {
+                    fail(format("id=%lld: rejected after streaming "
+                                "%lld tokens",
+                                step.id, tokens));
+                }
+                if (reason == RejectReason::kNone)
+                    fail(format("id=%lld: rejected with no reason "
+                                "(%lld)",
+                                step.id, 0));
+                break;
+              case StreamEventKind::kCancelled:
+                ++cancelled;
+                if (tokens > stopTokens(step)) {
+                    fail(format("id=%lld: cancelled after streaming "
+                                "past its stop length (%lld)",
+                                step.id, tokens));
+                }
+                break;
+              default:
+                fail(format("id=%lld: impossible terminal kind "
+                            "(%lld)",
+                            step.id, 0));
+                break;
+            }
+        }
+
+        // Token conservation and exact terminal accounting against
+        // the server's own counters: every submitted stream ended
+        // exactly once, and every token the loop counted as streamed
+        // is sitting in exactly one stream.
+        if (delivered_tokens != result.stats.streamed_tokens) {
+            fail(format("token conservation: streams hold %lld "
+                        "tokens, the server streamed %lld",
+                        delivered_tokens,
+                        result.stats.streamed_tokens));
+        }
+        if (result.stats.submitted !=
+            static_cast<int64_t>(submitted.size())) {
+            fail(format("submitted accounting: %lld vs %lld",
+                        result.stats.submitted,
+                        static_cast<int64_t>(submitted.size())));
+        }
+        if (completed != result.stats.completed ||
+            rejected != result.stats.rejected ||
+            cancelled != result.stats.cancelled) {
+            fail("terminal accounting: stream verdicts disagree "
+                 "with ServerStats");
+        }
+        if (completed + rejected + cancelled !=
+            static_cast<int64_t>(submitted.size())) {
+            fail(format("terminal conservation: %lld terminals for "
+                        "%lld submissions",
+                        completed + rejected + cancelled,
+                        static_cast<int64_t>(submitted.size())));
+        }
+
+        // Zero-leak drain: the KV pool is fully free again.
+        const Status quiescent =
+            checkKvCacheQuiescent(server.kvCacheForAudit());
+        if (!quiescent.isOk())
+            fail(quiescent.message());
+
+        server.stop(/*cancel_in_flight=*/false);
+    }
+    FailPointRegistry::global().disarmAll();
+    return result;
+}
+
+Status
+runKvModelFuzz(uint64_t seed, int steps, bool with_faults)
+{
+    FailPointRegistry::global().disarmAll();
+    if (with_faults) {
+        FailPointRegistry::global().arm(
+            "kv.alloc",
+            FailPointSpec::withProbability(0.1, seed ^ 0x6b76ull));
+    }
+    KvCacheConfig config;
+    config.bits_per_value = 4.0;
+    config.block_tokens = 16;
+    config.memory_budget_bytes = 64e6; // ~120 blocks at KV4
+    PagedKvCache cache(LlmConfig::llama3_8b(), config);
+
+    Rng rng(seed);
+    std::map<int64_t, int64_t> mirror; // id -> expected token count
+    int64_t next_id = 1;
+    Status verdict = Status::ok();
+    const auto randomLive = [&rng, &mirror]() {
+        auto it = mirror.begin();
+        std::advance(it, static_cast<int64_t>(rng.uniformInt(
+                             mirror.size())));
+        return it->first;
+    };
+    for (int i = 0; i < steps && verdict.isOk(); ++i) {
+        const double roll = rng.uniform();
+        if (mirror.empty() || roll < 0.35) {
+            const int64_t tokens =
+                1 + static_cast<int64_t>(rng.uniformInt(200));
+            const Status status =
+                cache.addSequence(next_id, tokens);
+            if (status.isOk()) {
+                mirror.emplace(next_id, tokens);
+            } else if (status.code() !=
+                       StatusCode::kResourceExhausted) {
+                verdict = status;
+            }
+            ++next_id;
+        } else if (roll < 0.75) {
+            const int64_t id = randomLive();
+            const Status status = cache.appendToken(id);
+            if (status.isOk()) {
+                ++mirror[id];
+            } else if (status.code() !=
+                       StatusCode::kResourceExhausted) {
+                verdict = status;
+            }
+        } else if (roll < 0.85) {
+            const int64_t parent = randomLive();
+            const Status status =
+                cache.forkSequence(parent, next_id);
+            if (status.isOk())
+                mirror.emplace(next_id, mirror[parent]);
+            else
+                verdict = status; // forks never exhaust
+            ++next_id;
+        } else {
+            const int64_t id = randomLive();
+            cache.removeSequence(id);
+            mirror.erase(id);
+        }
+        if (!verdict.isOk())
+            break;
+        verdict = checkKvCacheConsistency(cache);
+        if (!verdict.isOk())
+            break;
+        if (cache.numSequences() !=
+            static_cast<int64_t>(mirror.size())) {
+            verdict = Status::internal(
+                "live sequence count diverged from the model");
+            break;
+        }
+        for (const auto &[id, tokens] : mirror) {
+            if (cache.sequenceTokens(id) != tokens) {
+                verdict = Status::internal(
+                    "sequence token count diverged from the model");
+                break;
+            }
+        }
+    }
+    if (verdict.isOk()) {
+        for (const auto &[id, tokens] : mirror)
+            cache.removeSequence(id);
+        verdict = checkKvCacheQuiescent(cache);
+    }
+    FailPointRegistry::global().disarmAll();
+    return verdict;
+}
+
+Status
+runSchedulerFuzz(uint64_t seed, int steps, bool with_faults)
+{
+    FailPointRegistry::global().disarmAll();
+    if (with_faults) {
+        FailPointRegistry::global().arm(
+            "kv.alloc",
+            FailPointSpec::withProbability(0.05, seed ^ 0x6b76ull));
+        FailPointRegistry::global().arm(
+            "sched.preempt", FailPointSpec::everyNth(13));
+    }
+    KvCacheConfig config;
+    config.bits_per_value = 4.0;
+    config.block_tokens = 16;
+    config.memory_budget_bytes = 64e6;
+    PagedKvCache cache(LlmConfig::llama3_8b(), config);
+    BatchSchedulerConfig sched_config;
+    sched_config.max_batch = 4;
+    sched_config.prefill_emits_token = true;
+    sched_config.collect_retired = true;
+    BatchScheduler scheduler(&cache, sched_config);
+
+    Rng rng(seed);
+    std::set<int64_t> live; // submitted and not yet retired
+    int64_t next_id = 1;
+    int64_t submitted = 0;
+    int64_t finished = 0;
+    int64_t cancelled = 0;
+    int64_t rejected = 0;
+    Status verdict = Status::ok();
+    const auto drainRetired = [&]() {
+        for (const Request &request : scheduler.drainRetired()) {
+            live.erase(request.id);
+            switch (request.state) {
+              case RequestState::kFinished:
+                ++finished;
+                break;
+              case RequestState::kCancelled:
+                ++cancelled;
+                break;
+              case RequestState::kRejected:
+                ++rejected;
+                break;
+              default:
+                verdict = Status::internal(
+                    "retired request in a live state");
+                break;
+            }
+        }
+    };
+    for (int i = 0; i < steps && verdict.isOk(); ++i) {
+        const double roll = rng.uniform();
+        if (live.empty() || roll < 0.4) {
+            Request request;
+            request.id = next_id++;
+            request.prompt_tokens =
+                1 + static_cast<int64_t>(rng.uniformInt(96));
+            request.max_output_tokens =
+                1 + static_cast<int64_t>(rng.uniformInt(16));
+            if (rng.uniform() < 0.5) {
+                request.eos_output_tokens =
+                    1 + static_cast<int64_t>(rng.uniformInt(
+                            static_cast<uint64_t>(
+                                request.max_output_tokens)));
+            }
+            scheduler.submit(request);
+            live.insert(request.id);
+            ++submitted;
+        } else if (roll < 0.55) {
+            auto it = live.begin();
+            std::advance(it, static_cast<int64_t>(rng.uniformInt(
+                                 live.size())));
+            verdict = scheduler.cancel(*it);
+        } else {
+            scheduler.admit();
+            scheduler.step();
+        }
+        drainRetired();
+        if (!verdict.isOk())
+            break;
+        verdict = checkKvCacheConsistency(cache);
+    }
+    if (verdict.isOk()) {
+        // Run the tail down and settle the books exactly.
+        for (int64_t id : std::vector<int64_t>(live.begin(),
+                                               live.end())) {
+            const Status status = scheduler.cancel(id);
+            if (!status.isOk()) {
+                verdict = status;
+                break;
+            }
+        }
+        drainRetired();
+    }
+    if (verdict.isOk() && !live.empty())
+        verdict = Status::internal("cancelled requests not retired");
+    if (verdict.isOk() &&
+        submitted != finished + cancelled + rejected) {
+        verdict = Status::internal(
+            "terminal accounting: submitted != finished + "
+            "cancelled + rejected");
+    }
+    if (verdict.isOk())
+        verdict = checkKvCacheQuiescent(cache);
+    FailPointRegistry::global().disarmAll();
+    return verdict;
+}
+
+} // namespace chaos
+} // namespace comet

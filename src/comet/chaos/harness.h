@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The chaos harness: seeded fault schedules, the server-level script
+ * runner, and model-based fuzzers for the KV cache and the batch
+ * scheduler.
+ *
+ * Three layers, from broad to narrow:
+ *
+ *  - runChaosScript() replays a generated workload script (see
+ *    script.h) against a real Server with an optional fault schedule
+ *    armed, then audits the drained session: per-stream event-shape
+ *    and token-conservation invariants, terminal accounting against
+ *    ServerStats, a monotone published virtual clock, and KV-cache
+ *    quiescence (zero leaked blocks). It returns a canonical text
+ *    event log — byte-identical across runs of the same seed at any
+ *    COMET_THREADS, which is the bit-identical-replay check the soak
+ *    and CI legs enforce.
+ *
+ *  - runKvModelFuzz() drives a PagedKvCache directly through random
+ *    add/append/fork/remove sequences against a token-count mirror,
+ *    cross-validating allocator refcounts, chain sizing and block
+ *    conservation after every operation (with injected allocator OOM
+ *    when faults are on).
+ *
+ *  - runSchedulerFuzz() drives a BatchScheduler through random
+ *    submit/admit/step/cancel interleavings, checking KV consistency
+ *    each round and exact terminal accounting at the end.
+ *
+ * All three return the violated invariant as an error instead of
+ * aborting, so a failing seed can be reported — and, for scripts,
+ * shrunk — by the caller.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comet/chaos/script.h"
+#include "comet/common/status.h"
+#include "comet/server/server.h"
+
+namespace comet {
+namespace chaos {
+
+/**
+ * One fault schedule over the serving stack's failpoints. Each knob
+ * arms one site; 0 disables it. The probability sites draw from Rngs
+ * seeded off @p seed, so a (seed, knobs) pair is one exact fault
+ * schedule.
+ */
+struct ChaosFaultConfig {
+    uint64_t seed = 1; ///< seeds the probability-trigger draws
+    /** P(injected allocator OOM) per KV block allocation. */
+    double kv_alloc_p = 0.05;
+    /** P(injected delay) per thread-pool chunk. */
+    double pool_task_p = 0.02;
+    /** Simulate a client cancel racing admission on every Nth
+     * ingested arrival. */
+    int64_t ingress_every = 17;
+    /** Force a spurious preemption on every Nth scheduler step. */
+    int64_t preempt_every = 97;
+    /** Force an admission-deadline expiry on every Nth queue pick. */
+    int64_t expire_every = 131;
+};
+
+/** Arms (replacing any armed schedule, resetting all counters) the
+ * failpoints a non-zero knob selects. Disarm with
+ * FailPointRegistry::global().disarmAll(). */
+void armChaosFaults(const ChaosFaultConfig &faults);
+
+/** Outcome of one scripted server run. */
+struct ChaosRunResult {
+    bool ok = true;       ///< every invariant held
+    std::string failure;  ///< first violated invariant (ok = false)
+    /** Canonical per-request event log (submission order, one line
+     * per event); abandoned requests are audited but not logged —
+     * their client is gone. Byte-identical across replays of the
+     * same seed and fault schedule at any thread count. */
+    std::string event_log;
+    server::ServerStats stats; ///< the session's final counters
+};
+
+/**
+ * Replays @p script against a fresh Server (tenants from @p config)
+ * and audits the drained session (see the file comment). When
+ * @p faults is non-null its schedule is armed for the run; all
+ * failpoints are disarmed before returning either way.
+ */
+ChaosRunResult runChaosScript(const std::vector<ChaosStep> &script,
+                              const ChaosScriptConfig &config,
+                              const ChaosFaultConfig *faults);
+
+/** Model-based KV-cache fuzz (see the file comment). OK when every
+ * per-op invariant held and the drained cache is quiescent. */
+Status runKvModelFuzz(uint64_t seed, int steps, bool with_faults);
+
+/** Model-based batch-scheduler fuzz (see the file comment). */
+Status runSchedulerFuzz(uint64_t seed, int steps, bool with_faults);
+
+} // namespace chaos
+} // namespace comet

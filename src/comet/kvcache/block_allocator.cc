@@ -1,5 +1,6 @@
 #include "comet/kvcache/block_allocator.h"
 
+#include "comet/chaos/failpoint.h"
 #include "comet/obs/metrics.h"
 
 namespace comet {
@@ -50,6 +51,14 @@ BlockAllocator::BlockAllocator(int64_t num_blocks) : total_(num_blocks)
 Result<int64_t>
 BlockAllocator::allocate()
 {
+    // Chaos hook: an armed schedule injects a synthetic OOM that is
+    // indistinguishable from real exhaustion, driving every consumer
+    // down its recovery path (rollback, preemption, re-admission).
+    if (COMET_FAILPOINT("kv.alloc")) {
+        allocExhaustedCounter().add(1);
+        return Status::resourceExhausted(
+            "KV cache block pool exhausted (injected)");
+    }
     if (free_list_.empty()) {
         allocExhaustedCounter().add(1);
         return Status::resourceExhausted(

@@ -84,7 +84,15 @@ PagedKvCache::addSequence(int64_t seq_id, int64_t prompt_tokens)
     state.blocks.reserve(static_cast<size_t>(needed));
     for (int64_t i = 0; i < needed; ++i) {
         Result<int64_t> block = allocator_.allocate();
-        COMET_CHECK(block.isOk()); // guaranteed by the check above
+        if (!block.isOk()) {
+            // The capacity check above normally guarantees success,
+            // but an injected allocator fault (COMET_FAILPOINT
+            // "kv.alloc") can still fail mid-chain. Roll back so the
+            // failure has no side effects, like the early return.
+            for (int64_t held : state.blocks)
+                allocator_.release(held);
+            return block.status();
+        }
         state.blocks.push_back(block.value());
     }
     sequences_.emplace(seq_id, std::move(state));
@@ -142,6 +150,24 @@ PagedKvCache::forkSequence(int64_t parent_id, int64_t child_id)
     }
     sequences_.emplace(child_id, std::move(child));
     return Status::ok();
+}
+
+std::vector<int64_t>
+PagedKvCache::sequenceIds() const
+{
+    std::vector<int64_t> ids;
+    ids.reserve(sequences_.size());
+    for (const auto &[id, state] : sequences_)
+        ids.push_back(id);
+    return ids;
+}
+
+const std::vector<int64_t> &
+PagedKvCache::sequenceBlocks(int64_t seq_id) const
+{
+    const auto it = sequences_.find(seq_id);
+    COMET_CHECK_MSG(it != sequences_.end(), "unknown sequence id");
+    return it->second.blocks;
 }
 
 int64_t

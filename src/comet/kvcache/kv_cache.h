@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "comet/common/status.h"
 #include "comet/kvcache/block_allocator.h"
@@ -77,6 +78,21 @@ class PagedKvCache
      * unknown parent / duplicate child ids.
      */
     Status forkSequence(int64_t parent_id, int64_t child_id);
+
+    /** Ids of all live sequences, ascending (invariant audits —
+     * see comet::chaos). */
+    std::vector<int64_t> sequenceIds() const;
+
+    /** Block chain of a sequence in page order (invariant audits). */
+    const std::vector<int64_t> &sequenceBlocks(int64_t seq_id) const;
+
+    /** Refcount of physical block @p block, 0 = free (invariant
+     * audits: chain refcounts must match COW fork sharing). */
+    int
+    blockRefCount(int64_t block) const
+    {
+        return allocator_.refCount(block);
+    }
 
     /** Blocks physically allocated (shared blocks counted once). */
     int64_t

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "comet/chaos/failpoint.h"
 #include "comet/obs/metrics.h"
 #include "comet/obs/trace_session.h"
 
@@ -124,6 +125,12 @@ struct ThreadPool::Impl {
             const int64_t e = std::min(b + r.grain, r.end);
             try {
                 COMET_SPAN("pool/chunk");
+                // Chaos hook: delay this chunk so steal order and
+                // completion order get shaken; results must stay
+                // bit-identical by construction (static chunking +
+                // ordered reductions).
+                if (COMET_FAILPOINT("pool.task"))
+                    std::this_thread::yield();
                 (*r.fn)(b, e, chunk, slot);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(r.error_mutex);
@@ -240,6 +247,10 @@ ThreadPool::run(int64_t begin, int64_t end, int64_t grain,
             const int64_t e = std::min(b + grain, end);
             try {
                 COMET_SPAN("pool/chunk");
+                // Same chaos delay hook as the pooled path so the
+                // hit stream does not depend on the slot count.
+                if (COMET_FAILPOINT("pool.task"))
+                    std::this_thread::yield();
                 fn(b, e, chunk, 0);
             } catch (...) {
                 tl_in_region = was_in_region;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comet/chaos/failpoint.h"
 #include "comet/obs/trace_session.h"
 
 namespace comet {
@@ -121,6 +122,13 @@ BatchScheduler::admit()
             break; // FCFS: do not skip ahead of the head
         const Status status =
             cache_->addSequence(head.id, prefill_tokens);
+        if (status.code() == StatusCode::kResourceExhausted) {
+            // The fits-check passed but the allocator still failed —
+            // only an injected fault (COMET_FAILPOINT "kv.alloc")
+            // reaches here today. Exhaustion is recoverable, never an
+            // abort: leave the head queued and retry next round.
+            break;
+        }
         COMET_CHECK(status.isOk()); // guaranteed by the check above
         head.state = RequestState::kRunning;
         running_.push_back(head);
@@ -180,6 +188,11 @@ int64_t
 BatchScheduler::step()
 {
     COMET_SPAN("scheduler/step");
+    // Chaos hook: force one spurious eviction before the step, as if
+    // the pool had exhausted — the victim re-prefills on re-admission
+    // exactly like a genuine preemption.
+    if (COMET_FAILPOINT("sched.preempt") && !running_.empty())
+        preemptBack();
     int64_t generated = 0;
     std::vector<Request> still_running;
     still_running.reserve(running_.size());

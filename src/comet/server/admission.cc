@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comet/chaos/failpoint.h"
 #include "comet/common/status.h"
 
 namespace comet {
@@ -110,7 +111,13 @@ FairAdmissionQueue::pick(double now_us, PendingRequest *out,
         PendingRequest head = std::move(state.queue.front());
         state.queue.pop_front();
         const double deadline = state.config.admission_deadline_us;
-        if (deadline > 0.0 && now_us > head.arrival_us + deadline) {
+        bool expired_now =
+            deadline > 0.0 && now_us > head.arrival_us + deadline;
+        // Chaos hook: force an admission-deadline expiry on this
+        // pick, as if the request had aged out while queued.
+        if (!expired_now && COMET_FAILPOINT("admission.expire"))
+            expired_now = true;
+        if (expired_now) {
             // Expired while queued: hand it back for rejection and
             // do not charge the tenant — it received no service.
             expired->push_back(std::move(head));

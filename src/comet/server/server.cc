@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "comet/chaos/failpoint.h"
 #include "comet/common/status.h"
 #include "comet/obs/obs.h"
 #include "comet/obs/trace_session.h"
@@ -149,6 +150,9 @@ Server::submitFromClient(size_t client, const StreamRequest &request)
     COMET_CHECK(request.max_output_tokens > 0);
     COMET_CHECK(request.eos_output_tokens >= 0);
     COMET_CHECK(request.arrival_us >= 0.0);
+    COMET_CHECK_MSG(request.cancel_at_us == 0.0 ||
+                        request.cancel_at_us >= request.arrival_us,
+                    "cancel_at_us must be 0 or >= arrival_us");
 
     TokenStreamPtr stream =
         request.callback
@@ -184,6 +188,7 @@ Server::submitFromClient(size_t client, const StreamRequest &request)
             horizon = request.arrival_us;
             SubmitRecord record;
             record.arrival_us = request.arrival_us;
+            record.cancel_at_us = request.cancel_at_us;
             record.request.id = request.id;
             record.request.tenant =
                 tenantIndexByName(request.tenant);
@@ -290,6 +295,19 @@ Server::tenants() const
     return config_.tenants;
 }
 
+const PagedKvCache &
+Server::kvCacheForAudit() const
+{
+    // Taking the wake mutex after the loop published completion
+    // gives the caller a happens-before edge over every loop-side
+    // cache mutation, so the audit reads are race-free.
+    std::lock_guard<std::mutex> lock(wake_->mutex);
+    COMET_CHECK_MSG(wake_->session_complete,
+                    "kvCacheForAudit() requires a drained or "
+                    "stopped server");
+    return *cache_;
+}
+
 // --------------------------------------------------------------------
 // Serving loop
 // --------------------------------------------------------------------
@@ -325,6 +343,7 @@ Server::loop()
             return;
         }
         processCancellations();
+        processDueCancels();
         if (!sessionIdle()) {
             if (!stepOnce()) {
                 // A stop-with-cancel interrupted a gate wait.
@@ -353,6 +372,8 @@ Server::acceptArrival(SubmitRecord &&record)
                         live_.find(id) == live_.end(),
                     "request ids must be unique per session");
     arrival_order_.insert({record.arrival_us, id});
+    if (record.cancel_at_us > 0.0)
+        cancel_order_.insert({record.cancel_at_us, id});
     arrivals_.emplace(id, std::move(record));
 }
 
@@ -423,6 +444,13 @@ Server::ingestDueArrivals()
         COMET_CHECK(it != arrivals_.end());
         PendingRequest pending = std::move(it->second.request);
         arrivals_.erase(it);
+
+        // Chaos hook: a client cancel/disconnect racing admission.
+        // Only the loop thread fires it, and processCancellations
+        // observes the flag at the next iteration boundary, so the
+        // injected race replays deterministically.
+        if (COMET_FAILPOINT("server.ingress"))
+            pending.stream->requestCancel();
 
         // A request that cannot fit the pool even running alone can
         // never be served: reject before it charges any fair share
@@ -512,6 +540,7 @@ Server::stepOnce()
 {
     COMET_SPAN("server/step");
     ingestDueArrivals();
+    processDueCancels();
 
     // Nothing runnable yet: fast-forward the clock to the next
     // arrival (once the ingress gate allows it). The jump commits
@@ -541,6 +570,9 @@ Server::stepOnce()
             }
         }
         ingestDueArrivals();
+        // Abandons scheduled inside the jump window fire before any
+        // admission decision at the new clock.
+        processDueCancels();
     }
 
     // Admission happens at the current virtual time; the admitted
@@ -722,36 +754,60 @@ Server::processCancellations()
     if (ids.empty())
         return;
     std::sort(ids.begin(), ids.end());
-    for (int64_t id : ids) {
-        TokenStreamPtr stream;
-        auto arrival = arrivals_.find(id);
-        if (arrival != arrivals_.end()) {
-            stream = arrival->second.request.stream;
-            arrival_order_.erase(
-                {arrival->second.arrival_us, id});
-            arrivals_.erase(arrival);
-        } else {
-            auto it = live_.find(id);
-            COMET_CHECK(it != live_.end());
-            stream = it->second.stream;
-            if (it->second.in_scheduler) {
-                COMET_CHECK(scheduler_->cancel(id).isOk());
-            } else {
-                PendingRequest removed;
-                COMET_CHECK(fair_->removeById(id, &removed));
-            }
-            live_.erase(it);
-        }
-        ++stats_.cancelled;
-        serverCounter("server.cancelled").add();
-        StreamEvent event;
-        event.kind = StreamEventKind::kCancelled;
-        event.virtual_us = clock_;
-        stream->deliver(event);
-    }
+    for (int64_t id : ids)
+        COMET_CHECK(cancelOne(id));
     // The scheduler retired the cancelled ids too; their live
     // entries are gone, so this delivers nothing further.
     deliverRetired(scheduler_->drainRetired());
+}
+
+void
+Server::processDueCancels()
+{
+    bool any = false;
+    while (!cancel_order_.empty() &&
+           cancel_order_.begin()->first <= clock_) {
+        const int64_t id = cancel_order_.begin()->second;
+        cancel_order_.erase(cancel_order_.begin());
+        // The request may have reached a terminal event before its
+        // scheduled abandon time — the stale entry is a no-op.
+        any = cancelOne(id) || any;
+    }
+    if (any)
+        deliverRetired(scheduler_->drainRetired());
+}
+
+bool
+Server::cancelOne(int64_t id)
+{
+    TokenStreamPtr stream;
+    auto arrival = arrivals_.find(id);
+    if (arrival != arrivals_.end()) {
+        stream = arrival->second.request.stream;
+        arrival_order_.erase({arrival->second.arrival_us, id});
+        if (arrival->second.cancel_at_us > 0.0)
+            cancel_order_.erase({arrival->second.cancel_at_us, id});
+        arrivals_.erase(arrival);
+    } else {
+        auto it = live_.find(id);
+        if (it == live_.end())
+            return false; // already terminal
+        stream = it->second.stream;
+        if (it->second.in_scheduler) {
+            COMET_CHECK(scheduler_->cancel(id).isOk());
+        } else {
+            PendingRequest removed;
+            COMET_CHECK(fair_->removeById(id, &removed));
+        }
+        live_.erase(it);
+    }
+    ++stats_.cancelled;
+    serverCounter("server.cancelled").add();
+    StreamEvent event;
+    event.kind = StreamEventKind::kCancelled;
+    event.virtual_us = clock_;
+    stream->deliver(event);
+    return true;
 }
 
 void
@@ -780,6 +836,7 @@ Server::cancelEverything()
     scheduler_->drainRetired();
     arrivals_.clear();
     arrival_order_.clear();
+    cancel_order_.clear();
     live_.clear();
     for (const auto &entry : streams) {
         ++stats_.cancelled;

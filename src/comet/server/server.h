@@ -75,6 +75,16 @@ struct StreamRequest {
     /** Virtual arrival time, microseconds; nondecreasing per client
      * handle. */
     double arrival_us = 0.0;
+    /**
+     * Virtual time at which the client abandons the request
+     * (>= arrival_us); 0 = never. The loop cancels the request at the
+     * first scheduling boundary whose clock reaches this time, so —
+     * unlike the wall-clock TokenStream::requestCancel() — the cancel
+     * lands at a deterministic point of the virtual timeline and
+     * replays bit-identically (the chaos harness's workload scripts
+     * model client cancel/disconnect through it).
+     */
+    double cancel_at_us = 0.0;
     /** Optional token callback; empty selects pull-mode streaming. */
     TokenStream::Callback callback;
 };
@@ -212,11 +222,22 @@ class Server
     /** The tenant set the server was configured with. */
     const std::vector<TenantConfig> &tenants() const;
 
+    /**
+     * The session's KV cache, for invariant audits (comet::chaos
+     * checks block conservation and zero leaks through it). Only
+     * valid once drain() or stop() returned — the serving loop owns
+     * the cache and this asserts the session is complete.
+     */
+    const PagedKvCache &kvCacheForAudit() const;
+
   private:
     /** A submission as queued from a client thread to the loop. */
     struct SubmitRecord {
         PendingRequest request;
         double arrival_us = 0.0;
+        /** Scheduled client abandon time; 0 = never (see
+         * StreamRequest::cancel_at_us). */
+        double cancel_at_us = 0.0;
     };
 
     /** Loop-side bookkeeping for one live (non-terminal) request. */
@@ -257,6 +278,8 @@ class Server
     void deliverRunningProgress();
     void deliverRetired(const std::vector<Request> &retired);
     void processCancellations();
+    void processDueCancels();
+    bool cancelOne(int64_t id);
     void rejectPending(PendingRequest &&pending,
                        RejectReason reason);
     void emitTokens(LiveRequest &live, int64_t generated_total);
@@ -278,6 +301,9 @@ class Server
     // --- Loop-owned state (no locking; the loop thread only) ---
     /** Arrivals not yet due, ordered by (arrival_us, id). */
     std::set<std::pair<double, int64_t>> arrival_order_;
+    /** Scheduled client abandons not yet due, ordered by
+     * (cancel_at_us, id). */
+    std::set<std::pair<double, int64_t>> cancel_order_;
     std::map<int64_t, SubmitRecord> arrivals_;
     std::map<int64_t, LiveRequest> live_;
     std::map<int64_t, double> gemm_cache_;

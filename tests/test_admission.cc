@@ -189,12 +189,76 @@ TEST(FairAdmissionQueue, RemoveByIdAndDrainAll)
     EXPECT_TRUE(queue.empty());
 }
 
+TEST(FairAdmissionQueue, ZeroRateBucketMeansUnlimited)
+{
+    TenantConfig open = tenant("open");
+    open.rate_limit_per_s = 0.0; // no bucket at all
+    open.rate_burst = 1.0;       // would bind instantly if misread
+    FairAdmissionQueue queue({open});
+    for (int64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(queue.offer(pending(i, 0, 0.0), 0.0),
+                  RejectReason::kNone);
+    }
+    EXPECT_EQ(queue.queuedCount(), 100);
+}
+
+TEST(FairAdmissionQueue, TinyWeightTenantIsServedNotStarved)
+{
+    // A 10^6:1 weight skew pushes the light tenant's pass far out,
+    // but a backlogged tenant with finite pass must still drain —
+    // fair queuing degrades to "last", never to "never".
+    FairAdmissionQueue queue(
+        {tenant("whale", 1000.0), tenant("shrimp", 1e-3)});
+    for (int64_t i = 0; i < 40; ++i)
+        queue.offer(pending(i, 0, 0.0), 0.0);
+    queue.offer(pending(1000, 1, 0.0), 0.0);
+    const std::vector<int> order = pickOrder(queue, 41);
+    ASSERT_EQ(order.size(), 41u);
+    int shrimp = 0;
+    for (int t : order)
+        shrimp += t == 1 ? 1 : 0;
+    EXPECT_EQ(shrimp, 1);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(FairAdmissionQueue, AllExpiredTenantRejectsWithoutStarvingOthers)
+{
+    TenantConfig strict = tenant("strict");
+    strict.admission_deadline_us = 10.0;
+    FairAdmissionQueue queue({strict, tenant("patient")});
+    for (int64_t i = 0; i < 5; ++i)
+        queue.offer(pending(i, 0, 0.0), 0.0);
+    for (int64_t i = 0; i < 3; ++i)
+        queue.offer(pending(100 + i, 1, 0.0), 0.0);
+
+    // Far past every strict deadline: each pick must skip the entire
+    // expired backlog (handing it back for rejection, uncharged) and
+    // still serve the patient tenant — dead requests cannot pin the
+    // minimum-pass slot and starve the queue.
+    PendingRequest out;
+    std::vector<PendingRequest> expired;
+    std::vector<int64_t> picked;
+    while (queue.pick(1e6, &out, &expired)) {
+        EXPECT_EQ(out.tenant, 1);
+        picked.push_back(out.id);
+    }
+    EXPECT_EQ(picked, (std::vector<int64_t>{100, 101, 102}));
+    ASSERT_EQ(expired.size(), 5u);
+    for (const PendingRequest &request : expired)
+        EXPECT_EQ(request.tenant, 0);
+    EXPECT_TRUE(queue.empty());
+}
+
 TEST(FairAdmissionQueueDeathTest, RejectsBadTenantSets)
 {
     EXPECT_DEATH(FairAdmissionQueue({}), "at least one");
     EXPECT_DEATH(FairAdmissionQueue({tenant("a"), tenant("a")}),
                  "unique");
+    // Zero and negative weights are configuration bugs, refused at
+    // construction rather than silently starving the tenant.
     EXPECT_DEATH(FairAdmissionQueue({tenant("a", 0.0)}),
+                 "positive");
+    EXPECT_DEATH(FairAdmissionQueue({tenant("a", -1.0)}),
                  "positive");
 }
 

@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Tests for the chaos subsystem: failpoint triggers and injection
+ * sites, scheduled virtual-time cancels, seeded workload scripts,
+ * delta-debugging shrinks, the model-based fuzzers, and bit-identical
+ * faulted replay of the full server harness.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "comet/chaos/failpoint.h"
+#include "comet/chaos/harness.h"
+#include "comet/chaos/invariants.h"
+#include "comet/chaos/script.h"
+#include "comet/kvcache/kv_cache.h"
+#include "comet/obs/metrics.h"
+#include "comet/runtime/thread_pool.h"
+#include "comet/serve/batch_scheduler.h"
+#include "comet/serve/engine.h"
+#include "comet/server/server.h"
+
+namespace comet {
+namespace chaos {
+namespace {
+
+/** A ~120-block KV4 cache (the fuzzers' pool size). */
+PagedKvCache
+smallCache()
+{
+    KvCacheConfig config;
+    config.bits_per_value = 4.0;
+    config.block_tokens = 16;
+    config.memory_budget_bytes = 64e6;
+    return PagedKvCache(LlmConfig::llama3_8b(), config);
+}
+
+EngineConfig
+testEngineConfig(int64_t kv_blocks = 2048)
+{
+    EngineConfig config;
+    config.model = LlmConfig::llama3_8b();
+    config.mode = ServingMode::kCometW4AxKv4;
+    config.input_tokens = 128;
+    config.output_tokens = 32;
+    return engineConfigWithKvBlocks(config, kv_blocks);
+}
+
+server::ServerConfig
+oneTenantConfig()
+{
+    server::ServerConfig config;
+    server::TenantConfig tenant;
+    tenant.name = "t";
+    config.tenants = {tenant};
+    config.max_batch = 16;
+    return config;
+}
+
+/** Every test starts with clean metrics and no armed failpoint. */
+class ChaosTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::MetricsRegistry::global().reset();
+        FailPointRegistry::global().disarmAll();
+    }
+
+    void
+    TearDown() override
+    {
+        FailPointRegistry::global().disarmAll();
+    }
+};
+
+TEST_F(ChaosTest, DisarmedFailpointsNeverFire)
+{
+    EXPECT_FALSE(FailPointRegistry::armed());
+    EXPECT_FALSE(COMET_FAILPOINT("chaos.test.unarmed"));
+    // The disarmed fast path must not even count hits.
+    EXPECT_EQ(FailPointRegistry::global().hitCount(
+                  "chaos.test.unarmed"),
+              0);
+}
+
+TEST_F(ChaosTest, NthHitFiresExactlyOnce)
+{
+    FailPointRegistry::global().arm("chaos.test.fp",
+                                    FailPointSpec::nthHit(3));
+    EXPECT_TRUE(FailPointRegistry::armed());
+    std::vector<bool> fired;
+    for (int i = 0; i < 10; ++i)
+        fired.push_back(COMET_FAILPOINT("chaos.test.fp"));
+    const std::vector<bool> expected{false, false, true,  false,
+                                     false, false, false, false,
+                                     false, false};
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(FailPointRegistry::global().hitCount("chaos.test.fp"),
+              10);
+    EXPECT_EQ(FailPointRegistry::global().fireCount("chaos.test.fp"),
+              1);
+}
+
+TEST_F(ChaosTest, EveryNthFiresPeriodically)
+{
+    FailPointRegistry::global().arm("chaos.test.fp",
+                                    FailPointSpec::everyNth(4));
+    int fires = 0;
+    for (int i = 0; i < 12; ++i) {
+        const bool fired = COMET_FAILPOINT("chaos.test.fp");
+        EXPECT_EQ(fired, (i + 1) % 4 == 0) << "hit " << i;
+        fires += fired ? 1 : 0;
+    }
+    EXPECT_EQ(fires, 3);
+}
+
+TEST_F(ChaosTest, HitListFiresOnExactlyTheListedHits)
+{
+    FailPointRegistry::global().arm(
+        "chaos.test.fp", FailPointSpec::atHits({5, 0, 2}));
+    std::vector<int> fired_at;
+    for (int i = 0; i < 8; ++i) {
+        if (COMET_FAILPOINT("chaos.test.fp"))
+            fired_at.push_back(i);
+    }
+    EXPECT_EQ(fired_at, (std::vector<int>{0, 2, 5}));
+}
+
+TEST_F(ChaosTest, ProbabilityScheduleIsSeededAndCapped)
+{
+    const auto run = [] {
+        FailPointRegistry::global().arm(
+            "chaos.test.fp",
+            FailPointSpec::withProbability(0.5, 42,
+                                           /*max_fires=*/3));
+        std::vector<bool> pattern;
+        for (int i = 0; i < 64; ++i)
+            pattern.push_back(COMET_FAILPOINT("chaos.test.fp"));
+        return pattern;
+    };
+    const std::vector<bool> first = run();
+    const std::vector<bool> second = run();
+    EXPECT_EQ(first, second); // re-arming resets the seeded draws
+    int fires = 0;
+    for (const bool fired : first)
+        fires += fired ? 1 : 0;
+    EXPECT_EQ(fires, 3); // the cap binds at p = 0.5 over 64 hits
+    EXPECT_EQ(FailPointRegistry::global().fireCount("chaos.test.fp"),
+              3);
+}
+
+TEST_F(ChaosTest, ArmingOneNameLeavesOthersInert)
+{
+    FailPointRegistry::global().arm("chaos.test.a",
+                                    FailPointSpec::everyNth(1));
+    EXPECT_TRUE(COMET_FAILPOINT("chaos.test.a"));
+    EXPECT_FALSE(COMET_FAILPOINT("chaos.test.b"));
+    FailPointRegistry::global().disarm("chaos.test.a");
+    EXPECT_FALSE(FailPointRegistry::armed());
+}
+
+TEST_F(ChaosTest, FiresAreCountedInTheMetricsRegistry)
+{
+    FailPointRegistry::global().arm("chaos.test.fp",
+                                    FailPointSpec::everyNth(2));
+    for (int i = 0; i < 10; ++i)
+        (void)COMET_FAILPOINT("chaos.test.fp");
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .counter("chaos.failpoint.chaos.test.fp")
+                  .value(),
+              5);
+}
+
+// ---- Injection sites -------------------------------------------------
+
+TEST_F(ChaosTest, InjectedKvAllocFailureRollsBackCleanly)
+{
+    PagedKvCache cache = smallCache();
+    // Fire on the 3rd block allocation: the failure lands mid-chain
+    // and the first two blocks must be rolled back.
+    FailPointRegistry::global().arm("kv.alloc",
+                                    FailPointSpec::nthHit(3));
+    const Status status = cache.addSequence(1, 5 * 16);
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_TRUE(checkKvCacheQuiescent(cache).isOk());
+    FailPointRegistry::global().disarmAll();
+    EXPECT_TRUE(cache.addSequence(1, 5 * 16).isOk());
+    EXPECT_TRUE(checkKvCacheConsistency(cache).isOk());
+}
+
+TEST_F(ChaosTest, SchedulerRetriesAdmissionAfterInjectedExhaustion)
+{
+    PagedKvCache cache = smallCache();
+    BatchSchedulerConfig config;
+    config.max_batch = 4;
+    BatchScheduler scheduler(&cache, config);
+    Request request;
+    request.id = 1;
+    request.prompt_tokens = 32;
+    request.max_output_tokens = 4;
+    scheduler.submit(request);
+
+    FailPointRegistry::global().arm("kv.alloc",
+                                    FailPointSpec::nthHit(1));
+    EXPECT_EQ(scheduler.admit(), 0); // injected fault: head stays
+    EXPECT_EQ(scheduler.queuedCount(), 1);
+    EXPECT_TRUE(checkKvCacheQuiescent(cache).isOk());
+    FailPointRegistry::global().disarmAll();
+    EXPECT_EQ(scheduler.admit(), 1); // recoverable: retry succeeds
+    EXPECT_EQ(scheduler.runningCount(), 1);
+}
+
+TEST_F(ChaosTest, InjectedPreemptionReprefillsLikeARealOne)
+{
+    PagedKvCache cache = smallCache();
+    BatchSchedulerConfig config;
+    config.max_batch = 4;
+    BatchScheduler scheduler(&cache, config);
+    Request request;
+    request.id = 1;
+    request.prompt_tokens = 32;
+    request.max_output_tokens = 4;
+    scheduler.submit(request);
+    ASSERT_EQ(scheduler.admit(), 1);
+
+    FailPointRegistry::global().arm("sched.preempt",
+                                    FailPointSpec::nthHit(1));
+    scheduler.step(); // the victim is evicted before decoding
+    EXPECT_EQ(scheduler.counters().preemptions, 1);
+    EXPECT_EQ(scheduler.runningCount(), 0);
+    EXPECT_EQ(scheduler.queuedCount(), 1);
+    EXPECT_TRUE(checkKvCacheConsistency(cache).isOk());
+    FailPointRegistry::global().disarmAll();
+    while (scheduler.finishedCount() < 1) {
+        scheduler.admit();
+        scheduler.step();
+    }
+    EXPECT_TRUE(checkKvCacheQuiescent(cache).isOk());
+}
+
+TEST_F(ChaosTest, InjectedAdmissionExpiryRejectsWithoutADeadline)
+{
+    server::TenantConfig tenant;
+    tenant.name = "t"; // no admission deadline configured
+    server::FairAdmissionQueue queue({tenant});
+    server::PendingRequest request;
+    request.id = 1;
+    request.prompt_tokens = 8;
+    request.max_output_tokens = 2;
+    ASSERT_EQ(queue.offer(std::move(request), 0.0),
+              server::RejectReason::kNone);
+
+    FailPointRegistry::global().arm("admission.expire",
+                                    FailPointSpec::nthHit(1));
+    server::PendingRequest out;
+    std::vector<server::PendingRequest> expired;
+    EXPECT_FALSE(queue.pick(0.0, &out, &expired));
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0].id, 1);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST_F(ChaosTest, InjectedIngressCancelEndsExactlyOneStream)
+{
+    const ServingEngine engine(testEngineConfig());
+    server::Server server(&engine, oneTenantConfig());
+    // The first ingested arrival (the earliest) is cancelled as if
+    // its client disconnected while admission raced it.
+    FailPointRegistry::global().arm("server.ingress",
+                                    FailPointSpec::nthHit(1));
+    server::Server::Client client = server.connect();
+    server::StreamRequest request;
+    request.tenant = "t";
+    request.prompt_tokens = 32;
+    // Long enough to outlive the iteration that ingests it: the
+    // injected cancel flag is observed at the next loop boundary.
+    request.max_output_tokens = 64;
+    request.id = 1;
+    request.arrival_us = 0.0;
+    server::TokenStreamPtr first = client.submit(request);
+    request.id = 2;
+    request.arrival_us = 10.0;
+    server::TokenStreamPtr second = client.submit(request);
+    client.close();
+    server.drain();
+
+    EXPECT_EQ(first->terminalKind(),
+              server::StreamEventKind::kCancelled);
+    EXPECT_LT(first->tokenCount(), 64);
+    EXPECT_EQ(second->terminalKind(),
+              server::StreamEventKind::kFinished);
+    EXPECT_EQ(second->tokenCount(), 64);
+    const server::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.cancelled, 1);
+    EXPECT_EQ(stats.completed, 1);
+    EXPECT_TRUE(
+        checkKvCacheQuiescent(server.kvCacheForAudit()).isOk());
+    server.stop();
+}
+
+// ---- Scheduled virtual-time cancels ---------------------------------
+
+TEST_F(ChaosTest, CancelScheduledAtArrivalLandsBeforeAnyToken)
+{
+    const ServingEngine engine(testEngineConfig());
+    server::Server server(&engine, oneTenantConfig());
+    server::Server::Client client = server.connect();
+    server::StreamRequest request;
+    request.id = 1;
+    request.tenant = "t";
+    request.prompt_tokens = 32;
+    request.max_output_tokens = 8;
+    request.arrival_us = 1000.0;
+    request.cancel_at_us = 1000.0; // abandon the instant it arrives
+    server::TokenStreamPtr stream = client.submit(request);
+    client.close();
+    server.drain();
+
+    EXPECT_EQ(stream->terminalKind(),
+              server::StreamEventKind::kCancelled);
+    EXPECT_EQ(stream->tokenCount(), 0);
+    EXPECT_EQ(server.stats().cancelled, 1);
+    EXPECT_EQ(server.stats().streamed_tokens, 0);
+    server.stop();
+}
+
+TEST_F(ChaosTest, CancelScheduledAfterCompletionIsANoOp)
+{
+    const ServingEngine engine(testEngineConfig());
+    server::Server server(&engine, oneTenantConfig());
+    server::Server::Client client = server.connect();
+    server::StreamRequest request;
+    request.id = 1;
+    request.tenant = "t";
+    request.prompt_tokens = 32;
+    request.max_output_tokens = 3;
+    request.eos_output_tokens = 3;
+    request.arrival_us = 0.0;
+    request.cancel_at_us = 1e12; // long after the stream finishes
+    server::TokenStreamPtr stream = client.submit(request);
+    client.close();
+    server.drain();
+
+    EXPECT_EQ(stream->terminalKind(),
+              server::StreamEventKind::kFinished);
+    EXPECT_EQ(stream->tokenCount(), 3);
+    EXPECT_EQ(server.stats().cancelled, 0);
+    server.stop();
+}
+
+// ---- Scripts and shrinking ------------------------------------------
+
+TEST_F(ChaosTest, ScriptGenerationIsSeedDeterministic)
+{
+    ChaosScriptConfig config;
+    config.seed = 9;
+    config.steps = 300;
+    const std::vector<ChaosStep> a = generateChaosScript(config);
+    const std::vector<ChaosStep> b = generateChaosScript(config);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(renderChaosScript(a), renderChaosScript(b));
+    config.seed = 10;
+    EXPECT_NE(renderChaosScript(a),
+              renderChaosScript(generateChaosScript(config)));
+}
+
+TEST_F(ChaosTest, ScriptTimesStrictlyIncreaseAndIdsAreUnique)
+{
+    ChaosScriptConfig config;
+    config.seed = 3;
+    config.steps = 500;
+    const std::vector<ChaosStep> script =
+        generateChaosScript(config);
+    ASSERT_EQ(script.size(), 500u);
+    double last_us = -1.0;
+    std::vector<int64_t> ids;
+    for (const ChaosStep &step : script) {
+        EXPECT_GT(step.time_us, last_us);
+        last_us = step.time_us;
+        EXPECT_GE(step.client, 0);
+        EXPECT_LT(step.client, config.clients);
+        if (step.kind == ChaosStepKind::kSubmit) {
+            ids.push_back(step.id);
+            EXPECT_GT(step.prompt_tokens, 0);
+            EXPECT_GT(step.max_output_tokens, 0);
+            EXPECT_LE(step.eos_output_tokens,
+                      step.max_output_tokens);
+            if (step.cancel_at_us != 0.0) {
+                EXPECT_GE(step.cancel_at_us, step.time_us);
+            }
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) ==
+                ids.end());
+}
+
+TEST_F(ChaosTest, ShrinkReducesToTheSingleCulpritStep)
+{
+    ChaosScriptConfig config;
+    config.seed = 5;
+    config.steps = 200;
+    const std::vector<ChaosStep> script =
+        generateChaosScript(config);
+    // Find some submit step mid-script and pretend only it "fails".
+    int64_t culprit = 0;
+    for (const ChaosStep &step : script) {
+        if (step.kind == ChaosStepKind::kSubmit)
+            culprit = step.id;
+    }
+    ASSERT_NE(culprit, 0);
+    int runs = 0;
+    const std::vector<ChaosStep> shrunk = shrinkChaosScript(
+        script,
+        [&](const std::vector<ChaosStep> &candidate) {
+            ++runs;
+            for (const ChaosStep &step : candidate) {
+                if (step.kind == ChaosStepKind::kSubmit &&
+                    step.id == culprit) {
+                    return true;
+                }
+            }
+            return false;
+        },
+        /*max_runs=*/512);
+    ASSERT_EQ(shrunk.size(), 1u);
+    EXPECT_EQ(shrunk[0].id, culprit);
+    EXPECT_GT(runs, 0);
+}
+
+TEST_F(ChaosTest, QuiescenceCheckerFlagsALiveSequence)
+{
+    PagedKvCache cache = smallCache();
+    ASSERT_TRUE(cache.addSequence(1, 16).isOk());
+    EXPECT_TRUE(checkKvCacheConsistency(cache).isOk());
+    const Status status = checkKvCacheQuiescent(cache);
+    EXPECT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("sequences still live"),
+              std::string::npos);
+    cache.removeSequence(1);
+    EXPECT_TRUE(checkKvCacheQuiescent(cache).isOk());
+}
+
+// ---- Model-based fuzzers --------------------------------------------
+
+TEST_F(ChaosTest, KvModelFuzzHoldsCleanAndUnderFaults)
+{
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        const Status clean = runKvModelFuzz(seed, 300, false);
+        EXPECT_TRUE(clean.isOk()) << clean.toString();
+        const Status faulted = runKvModelFuzz(seed, 300, true);
+        EXPECT_TRUE(faulted.isOk()) << faulted.toString();
+    }
+}
+
+TEST_F(ChaosTest, SchedulerFuzzHoldsCleanAndUnderFaults)
+{
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        const Status clean = runSchedulerFuzz(seed, 300, false);
+        EXPECT_TRUE(clean.isOk()) << clean.toString();
+        const Status faulted = runSchedulerFuzz(seed, 300, true);
+        EXPECT_TRUE(faulted.isOk()) << faulted.toString();
+    }
+}
+
+// ---- The full server harness ----------------------------------------
+
+TEST_F(ChaosTest, ScriptedServerRunHoldsAllInvariants)
+{
+    ChaosScriptConfig config;
+    config.seed = 7;
+    config.steps = 250;
+    const std::vector<ChaosStep> script =
+        generateChaosScript(config);
+    const ChaosRunResult result =
+        runChaosScript(script, config, nullptr);
+    EXPECT_TRUE(result.ok) << result.failure;
+    EXPECT_GT(result.stats.completed, 0);
+    EXPECT_FALSE(result.event_log.empty());
+}
+
+TEST_F(ChaosTest, FaultedRunReplaysBitIdenticallyAcrossThreadCounts)
+{
+    ChaosScriptConfig config;
+    config.seed = 11;
+    config.steps = 400;
+    const std::vector<ChaosStep> script =
+        generateChaosScript(config);
+    ChaosFaultConfig faults;
+    faults.seed = 11;
+
+    ThreadPool::setGlobalThreads(1);
+    const ChaosRunResult serial =
+        runChaosScript(script, config, &faults);
+    ThreadPool::setGlobalThreads(4);
+    const ChaosRunResult pooled =
+        runChaosScript(script, config, &faults);
+    ThreadPool::setGlobalThreads(0); // back to the environment pick
+
+    EXPECT_TRUE(serial.ok) << serial.failure;
+    EXPECT_TRUE(pooled.ok) << pooled.failure;
+    EXPECT_FALSE(serial.event_log.empty());
+    EXPECT_EQ(serial.event_log, pooled.event_log);
+    EXPECT_EQ(serial.stats.streamed_tokens,
+              pooled.stats.streamed_tokens);
+    EXPECT_EQ(serial.stats.completed, pooled.stats.completed);
+    EXPECT_EQ(serial.stats.rejected, pooled.stats.rejected);
+    EXPECT_EQ(serial.stats.cancelled, pooled.stats.cancelled);
+    // The faulted run actually injected something.
+    EXPECT_GT(pooled.stats.cancelled + pooled.stats.rejected, 0);
+}
+
+// ---- Always-on checks along chaos paths (satellite: a violated
+// COMET_CHECK aborts with its message in every build type) -----------
+
+using ChaosDeathTest = ChaosTest;
+
+TEST_F(ChaosDeathTest, BlockAccountingChecksAbortWithTheirMessage)
+{
+PagedKvCache cache = smallCache();
+    ASSERT_TRUE(cache.addSequence(1, 16).isOk());
+    // The chaos-path accounting checks must hold in Release builds
+    // too: COMET_CHECK never compiles out, and the abort carries the
+    // violated expression's message.
+    EXPECT_DEATH(cache.removeSequence(7), "unknown sequence id");
+    EXPECT_DEATH(cache.sequenceBlocks(7), "unknown sequence id");
+    cache.removeSequence(1);
+}
+
+TEST_F(ChaosDeathTest, InvalidFailPointSpecsAbort)
+{
+EXPECT_DEATH(FailPointSpec::nthHit(0), "n >= 1");
+    EXPECT_DEATH(FailPointSpec::withProbability(1.5, 0),
+                 "p >= 0.0 && p <= 1.0");
+    EXPECT_DEATH(FailPointRegistry::global().arm(
+                     "", FailPointSpec::nthHit(1)),
+                 "failpoint names must be non-empty");
+}
+
+} // namespace
+} // namespace chaos
+} // namespace comet

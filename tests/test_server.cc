@@ -515,6 +515,90 @@ TEST_F(ServerTest, DrainIsIdempotentAndStopIsIdempotent)
     server.stop();
 }
 
+TEST_F(ServerTest, CancelMidStreamAfterTokensHaveFlowed)
+{
+    const ServingEngine engine(testEngineConfig());
+    Server server(&engine, oneTenantConfig());
+    Server::Client submitter = server.connect();
+    Server::Client gater = server.connect();
+    TokenStreamPtr stream =
+        submitter.submit(streamRequest(1, 0.0, 64, 64));
+    submitter.close();
+    // Dole out virtual time in thin slices, advancing only once the
+    // loop has caught up to the previous slice: generation can never
+    // run more than one slice ahead of the consumer, so after three
+    // tokens the cancel provably lands long before the 64-token
+    // completion.
+    StreamEvent event;
+    double horizon_us = 0.0;
+    for (int consumed = 0; consumed < 3;) {
+        if (stream->tryNext(&event)) {
+            ASSERT_EQ(event.kind, StreamEventKind::kToken);
+            ++consumed;
+            continue;
+        }
+        horizon_us += 50.0;
+        gater.advanceTo(horizon_us);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stream->requestCancel();
+    gater.close();
+    server.drain();
+    int64_t tokens = 3;
+    StreamEventKind terminal = StreamEventKind::kToken;
+    while (stream->next(&event)) {
+        terminal = event.kind;
+        if (event.kind == StreamEventKind::kToken)
+            ++tokens;
+    }
+    EXPECT_EQ(terminal, StreamEventKind::kCancelled);
+    EXPECT_LT(tokens, 64);
+    EXPECT_EQ(server.stats().cancelled, 1);
+    EXPECT_EQ(server.stats().streamed_tokens, tokens);
+    server.stop();
+}
+
+TEST_F(ServerTest, DisconnectedStreamStillCompletesServerSide)
+{
+    const ServingEngine engine(testEngineConfig());
+    Server server(&engine, oneTenantConfig());
+    {
+        Server::Client client = server.connect();
+        TokenStreamPtr stream =
+            client.submit(streamRequest(1, 0.0, 64, 4));
+        client.close();
+        stream.reset(); // the consumer disconnects mid-stream
+    }
+    // The server keeps its own reference: the request runs to
+    // completion and the accounting is unaffected by the vanished
+    // reader.
+    server.drain();
+    EXPECT_EQ(server.stats().completed, 1);
+    EXPECT_EQ(server.stats().streamed_tokens, 4);
+    server.stop();
+}
+
+TEST_F(ServerTest, DoubleCloseIsIdempotentAndLateCancelIsANoOp)
+{
+    const ServingEngine engine(testEngineConfig());
+    Server server(&engine, oneTenantConfig());
+    Server::Client client = server.connect();
+    TokenStreamPtr stream =
+        client.submit(streamRequest(1, 0.0, 64, 2));
+    client.close();
+    client.close(); // a second close must be a harmless no-op
+    server.drain();
+    ASSERT_TRUE(stream->done());
+    EXPECT_EQ(stream->terminalKind(), StreamEventKind::kFinished);
+    // Cancelling an already-finished stream cannot resurrect it or
+    // double-count a terminal (idempotent from the consumer side).
+    stream->requestCancel();
+    stream->requestCancel();
+    server.stop();
+    EXPECT_EQ(server.stats().completed, 1);
+    EXPECT_EQ(server.stats().cancelled, 0);
+}
+
 } // namespace
 } // namespace server
 } // namespace comet

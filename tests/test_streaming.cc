@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -147,6 +148,41 @@ TEST(TokenStream, CancelRequestRunsThePoke)
     EXPECT_EQ(pokes, 1);
     stream.requestCancel(); // idempotent flag, poke fires again
     EXPECT_EQ(pokes, 2);
+}
+
+TEST(TokenStream, CancelMidPullEndsAtTheCancelledTerminal)
+{
+    TokenStream stream;
+    stream.deliver(tokenEvent(0, 1.0));
+    stream.deliver(tokenEvent(1, 2.0));
+    StreamEvent event;
+    ASSERT_TRUE(stream.next(&event)); // one token consumed...
+    stream.requestCancel();           // ...then the consumer bails
+    stream.deliver(terminalEvent(StreamEventKind::kCancelled));
+    // Tokens already delivered stay readable; the stream then ends
+    // at the cancel terminal, forever.
+    ASSERT_TRUE(stream.next(&event));
+    EXPECT_EQ(event.token_index, 1);
+    ASSERT_TRUE(stream.next(&event));
+    EXPECT_EQ(event.kind, StreamEventKind::kCancelled);
+    EXPECT_FALSE(stream.next(&event));
+    EXPECT_TRUE(stream.cancelRequested());
+    EXPECT_EQ(stream.terminalKind(), StreamEventKind::kCancelled);
+}
+
+TEST(TokenStream, DisconnectedConsumerLeavesBufferedEventsSafe)
+{
+    // The consumer drops its reference mid-stream; the producer side
+    // keeps delivering into the buffer and the last reference frees
+    // everything (leak-checked under ASan).
+    auto stream = std::make_shared<TokenStream>();
+    std::shared_ptr<TokenStream> producer_ref = stream;
+    stream.reset(); // consumer disconnects without draining
+    producer_ref->deliver(tokenEvent(0, 1.0));
+    producer_ref->deliver(tokenEvent(1, 2.0));
+    producer_ref->deliver(terminalEvent(StreamEventKind::kFinished));
+    EXPECT_EQ(producer_ref->tokenCount(), 2);
+    EXPECT_TRUE(producer_ref->done());
 }
 
 TEST(TokenStreamDeathTest, DeliverAfterTerminal)
