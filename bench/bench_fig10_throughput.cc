@@ -9,6 +9,8 @@
 #include <algorithm>
 
 #include "bench_flags.h"
+#include "bench_report.h"
+
 #include <cstdio>
 #include <string_view>
 #include <vector>
@@ -27,7 +29,8 @@ const ServingMode kModes[] = {
 };
 
 void
-runSetting(int64_t input_tokens, int64_t output_tokens, bool smoke)
+runSetting(int64_t input_tokens, int64_t output_tokens, bool smoke,
+           bench::BenchReport *report)
 {
     std::printf("--- input/output = %lld/%lld ---\n",
                 static_cast<long long>(input_tokens),
@@ -88,6 +91,24 @@ runSetting(int64_t input_tokens, int64_t output_tokens, bool smoke)
                 throughputs[4] / best_baseline;
             ++counted;
         }
+
+        if (report != nullptr) {
+            // Cost-model numbers are deterministic, so the absolute
+            // COMET throughput per model is a gated metric.
+            const std::string prefix =
+                "io" + std::to_string(input_tokens) + "_" +
+                std::to_string(output_tokens) + "." + name;
+            report->addMetric(prefix + ".comet_tokens_per_s",
+                              throughputs[4], "tokens/s",
+                              /*gate=*/true,
+                              /*higher_is_better=*/true);
+            if (baseline > 0.0) {
+                report->addMetric(prefix + ".comet_vs_w4a16",
+                                  throughputs[4] / baseline, "x",
+                                  /*gate=*/true,
+                                  /*higher_is_better=*/true);
+            }
+        }
     }
     table.print();
     std::printf("\n  COMET vs TRT-LLM-W4A16 (avg):        %s\n",
@@ -97,6 +118,18 @@ runSetting(int64_t input_tokens, int64_t output_tokens, bool smoke)
                     .c_str());
     std::printf("  COMET vs QServe (avg):               %s\n\n",
                 formatSpeedup(comet_sum / qserve_sum).c_str());
+
+    if (report != nullptr) {
+        const std::string prefix = "io" +
+                                   std::to_string(input_tokens) + "_" +
+                                   std::to_string(output_tokens);
+        report->addMetric(prefix + ".comet_vs_w4a16_avg",
+                          comet_sum / counted, "x", /*gate=*/true,
+                          /*higher_is_better=*/true);
+        report->addMetric(prefix + ".comet_vs_qserve_avg",
+                          comet_sum / qserve_sum, "x", /*gate=*/true,
+                          /*higher_is_better=*/true);
+    }
 }
 
 } // namespace
@@ -109,21 +142,27 @@ main(int argc, char **argv)
         "Figure 10: max end-to-end serving throughput vs TRT-LLM "
         "and QServe",
         {{"--smoke", "reduced shapes for CI (two models, one "
-                     "setting)"}});
+                     "setting)"},
+         {comet::bench::BenchReport::kJsonFlag,
+          comet::bench::BenchReport::kJsonFlagHelp}});
     const bool smoke = comet::bench::smokeRequested(argc, argv);
     std::printf("=== Figure 10: end-to-end max throughput on one "
                 "A100-80G (normalized to TRT-LLM-W4A16)%s ===\n\n",
                 smoke ? " [smoke]" : "");
+    comet::bench::BenchReport report("bench_fig10_throughput");
+    report.setConfig("smoke", smoke ? "true" : "false");
     if (smoke) {
         // Reduced shapes: one short setting, two models — exercises
         // the full engine stack in a few hundred milliseconds.
-        runSetting(128, 64, /*smoke=*/true);
+        runSetting(128, 64, /*smoke=*/true, &report);
+        report.writeIfRequested(argc, argv);
         return 0;
     }
-    runSetting(1024, 512, /*smoke=*/false);
-    runSetting(128, 128, /*smoke=*/false);
+    runSetting(1024, 512, /*smoke=*/false, &report);
+    runSetting(128, 128, /*smoke=*/false, &report);
     std::printf("Paper-shape checks: COMET ~2.02x TRT-W4A16 at "
                 "1024/512 and ~1.63x at 128/128; ~1.17x over QServe; "
                 "FP16 70B+ models do not fit (OOM).\n");
+    report.writeIfRequested(argc, argv);
     return 0;
 }

@@ -150,5 +150,24 @@ flagValue(int argc, char **argv, const char *name, int64_t fallback)
     return value;
 }
 
+/**
+ * Value of a string value flag (name ends in '=', e.g. "--json=":
+ * `--json=out.json` returns "out.json"). The last occurrence wins;
+ * @p fallback when absent. Call handleArgs() first so unknown flags
+ * fail fast.
+ */
+inline std::string
+flagString(int argc, char **argv, const char *name,
+           const std::string &fallback = {})
+{
+    const size_t name_len = std::strlen(name);
+    std::string value = fallback;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], name, name_len) == 0)
+            value = argv[i] + name_len;
+    }
+    return value;
+}
+
 } // namespace bench
 } // namespace comet

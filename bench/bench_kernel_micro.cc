@@ -13,8 +13,11 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_flags.h"
+#include "bench_report.h"
 
 #include <atomic>
+#include <chrono>
+#include <vector>
 
 #include "comet/common/rng.h"
 #include "comet/kernel/convert.h"
@@ -24,6 +27,7 @@
 #include "comet/kernel/mma.h"
 #include "comet/model/synthetic.h"
 #include "comet/runtime/thread_pool.h"
+#include "comet/simd/simd.h"
 
 namespace comet {
 namespace {
@@ -171,6 +175,46 @@ BM_W4AxGemmEmulationThreaded(benchmark::State &state)
 BENCHMARK(BM_W4AxGemmEmulationThreaded)->Arg(1)->Arg(2)->Arg(4);
 
 void
+BM_SimdUnpackInt4Span(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(5);
+    std::vector<uint8_t> packed(static_cast<size_t>(n / 2));
+    for (auto &b : packed)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    std::vector<int8_t> out(static_cast<size_t>(n));
+    for (auto _ : state) {
+        simd::unpackInt4(packed.data(), n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.SetLabel(simd::modeName(simd::activeMode()));
+}
+BENCHMARK(BM_SimdUnpackInt4Span)->Arg(1 << 16);
+
+void
+BM_SimdDotInt8Span(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(6);
+    std::vector<int8_t> a(static_cast<size_t>(n)),
+        b(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        a[static_cast<size_t>(i)] = static_cast<int8_t>(
+            static_cast<int>(rng.uniformInt(256)) - 128);
+        b[static_cast<size_t>(i)] = static_cast<int8_t>(
+            static_cast<int>(rng.uniformInt(256)) - 128);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simd::dotInt8(a.data(), b.data(), n));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.SetLabel(simd::modeName(simd::activeMode()));
+}
+BENCHMARK(BM_SimdDotInt8Span)->Arg(1 << 16);
+
+void
 BM_ParallelForDispatch(benchmark::State &state)
 {
     // Fixed-size pool, empty chunk bodies: measures the pure cost of
@@ -189,6 +233,60 @@ BM_ParallelForDispatch(benchmark::State &state)
 }
 BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
 
+/**
+ * Best-of-@p reps seconds for @p body over @p inner calls (median
+ * would need storage; min is the standard choice for throughput
+ * micro-timing since noise is strictly additive).
+ */
+template <typename Body>
+double
+bestSeconds(int reps, int inner, Body &&body)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < inner; ++i)
+            body();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        best = std::min(best, elapsed.count() /
+                                  static_cast<double>(inner));
+    }
+    return best;
+}
+
+/**
+ * Times the pack/convert span routines under @p mode: one pass of
+ * unpackInt4 + packInt4 + fastWidenW4A8 + dotInt8 over an @p n-value
+ * working set. Returns values/second.
+ */
+double
+packConvertThroughput(comet::simd::Mode mode, int64_t n)
+{
+    using namespace comet;
+    const simd::Mode saved = simd::activeMode();
+    simd::setMode(mode);
+    Rng rng(7);
+    std::vector<int8_t> values(static_cast<size_t>(n));
+    for (auto &v : values) {
+        v = static_cast<int8_t>(static_cast<int>(rng.uniformInt(16)) -
+                                8);
+    }
+    std::vector<uint8_t> packed(static_cast<size_t>(n / 2));
+    std::vector<int8_t> unpacked(static_cast<size_t>(n));
+    std::vector<int8_t> widened(static_cast<size_t>(n));
+    int64_t sink = 0;
+    const double secs = bestSeconds(5, 4, [&] {
+        simd::packInt4(values.data(), n, packed.data());
+        simd::unpackInt4(packed.data(), n, unpacked.data());
+        simd::fastWidenW4A8(packed.data(), n, widened.data());
+        sink += simd::dotInt8(unpacked.data(), widened.data(), n);
+    });
+    benchmark::DoNotOptimize(sink);
+    simd::setMode(saved);
+    return static_cast<double>(n) / secs;
+}
+
 } // namespace
 } // namespace comet
 
@@ -199,7 +297,9 @@ main(int argc, char **argv)
         argc, argv,
         "google-benchmark timings of the bit-exact kernel emulation "
         "paths",
-        {}, /*passthrough_prefix=*/"--benchmark_");
+        {{comet::bench::BenchReport::kJsonFlag,
+          comet::bench::BenchReport::kJsonFlagHelp}},
+        /*passthrough_prefix=*/"--benchmark_");
     // Print the Section 4.3 instruction-count claims alongside the
     // timing numbers.
     comet::InstructionCounter naive, fast;
@@ -212,7 +312,47 @@ main(int argc, char **argv)
                 static_cast<double>(naive.count()) / 8.0,
                 static_cast<long long>(fast.count()));
 
+    // Scalar-vs-SIMD span throughput of the pack/convert substrate
+    // (the tentpole claim: >= 4x on AVX2 hardware).
+    const comet::simd::Mode active = comet::simd::activeMode();
+    constexpr int64_t kSpanValues = 1 << 20;
+    const double scalar_vps = comet::packConvertThroughput(
+        comet::simd::Mode::kScalar, kSpanValues);
+    const double active_vps =
+        active == comet::simd::Mode::kScalar
+            ? scalar_vps
+            : comet::packConvertThroughput(active, kSpanValues);
+    const double speedup = active_vps / scalar_vps;
+    std::printf("Pack/convert span throughput (%lld values): "
+                "scalar=%.0f Mvals/s, %s=%.0f Mvals/s (%.2fx)\n",
+                static_cast<long long>(kSpanValues), scalar_vps / 1e6,
+                comet::simd::modeName(active), active_vps / 1e6,
+                speedup);
+
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+
+    // Machine-readable report: deterministic instruction counts are
+    // gated; raw CPU throughput is recorded ungated (machine-varying)
+    // so trends stay visible without flaking CI.
+    comet::bench::BenchReport report("bench_kernel_micro");
+    report.setConfig("span_values", kSpanValues);
+    report.addMetric("naive_conv_instructions_per_word",
+                     static_cast<double>(naive.count()),
+                     "instructions", /*gate=*/true,
+                     /*higher_is_better=*/false);
+    report.addMetric("fast_conv_instructions_per_word",
+                     static_cast<double>(fast.count()),
+                     "instructions", /*gate=*/true,
+                     /*higher_is_better=*/false);
+    report.addMetric("pack_convert_scalar_vals_per_s", scalar_vps,
+                     "values/s", /*gate=*/false,
+                     /*higher_is_better=*/true);
+    report.addMetric("pack_convert_simd_vals_per_s", active_vps,
+                     "values/s", /*gate=*/false,
+                     /*higher_is_better=*/true);
+    report.addMetric("pack_convert_simd_speedup", speedup, "x",
+                     /*gate=*/false, /*higher_is_better=*/true);
+    report.writeIfRequested(argc, argv);
     return 0;
 }

@@ -46,13 +46,16 @@ main()
         config.output_tokens = trace_config.mean_output_tokens;
         const ServingEngine engine(config);
         const TraceMetrics metrics = replayTrace(engine, trace);
-        table.addRow(
-            {servingModeName(mode),
-             formatDouble(metrics.ttftPercentileUs(50) / 1e3, 1),
-             formatDouble(metrics.ttftPercentileUs(95) / 1e3, 1),
-             formatDouble(metrics.tpotPercentileUs(50) / 1e3, 2),
-             formatDouble(metrics.tpotPercentileUs(95) / 1e3, 2),
-             formatDouble(metrics.throughput_tokens_per_s, 0)});
+        const std::vector<double> ttft =
+            metrics.ttftPercentilesUs({50, 95});
+        const std::vector<double> tpot =
+            metrics.tpotPercentilesUs({50, 95});
+        table.addRow({servingModeName(mode),
+                      formatDouble(ttft[0] / 1e3, 1),
+                      formatDouble(ttft[1] / 1e3, 1),
+                      formatDouble(tpot[0] / 1e3, 2),
+                      formatDouble(tpot[1] / 1e3, 2),
+                      formatDouble(metrics.throughput_tokens_per_s, 0)});
     }
     table.print();
     std::printf("\nReading: quantization helps tail latency twice — "

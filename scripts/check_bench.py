@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff a fresh bench --json report against a
+committed BENCH_*.json baseline.
+
+Usage:
+    check_bench.py [--threshold 0.15] BASELINE FRESH [BASELINE FRESH ...]
+
+Each (BASELINE, FRESH) pair must come from the same bench binary run
+with the same config. For every *gated* metric in the baseline the
+fresh run must contain the metric, and its value must not regress by
+more than the threshold (default 15%) in the metric's declared
+direction. Ungated metrics are reported informationally only (raw CPU
+timings vary across machines; gating them would flake CI).
+
+Exit status: 0 when every gated metric of every pair passes, 1 on any
+regression or report mismatch, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail_usage(f"cannot read report {path!r}: {e}")
+    for key in ("schema_version", "bench", "config", "metrics"):
+        if key not in report:
+            fail_usage(f"{path}: missing required key {key!r}")
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail_usage(
+            f"{path}: schema_version {report['schema_version']} "
+            f"(this script understands {SCHEMA_VERSION})"
+        )
+    return report
+
+
+def fail_usage(message):
+    print(f"check_bench: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def regressed(base, fresh, higher_is_better, threshold):
+    """True when fresh is worse than base by more than threshold."""
+    if base == 0.0:
+        # A zero baseline has no relative scale; only count movement
+        # in the bad direction as a regression.
+        return fresh > 0.0 if not higher_is_better else fresh < 0.0
+    if higher_is_better:
+        return fresh < base * (1.0 - threshold)
+    return fresh > base * (1.0 + threshold)
+
+
+def relative_change(base, fresh):
+    if base == 0.0:
+        return float("inf") if fresh != 0.0 else 0.0
+    return (fresh - base) / abs(base)
+
+
+def check_pair(baseline_path, fresh_path, threshold):
+    base = load_report(baseline_path)
+    fresh = load_report(fresh_path)
+    failures = []
+
+    if base["bench"] != fresh["bench"]:
+        failures.append(
+            f"bench name mismatch: baseline {base['bench']!r} vs "
+            f"fresh {fresh['bench']!r}"
+        )
+    if base["config"] != fresh["config"]:
+        failures.append(
+            f"config mismatch (comparison meaningless): baseline "
+            f"{base['config']} vs fresh {fresh['config']}"
+        )
+    if failures:
+        return failures
+
+    fresh_metrics = {m["name"]: m for m in fresh["metrics"]}
+    base_names = {m["name"] for m in base["metrics"]}
+
+    for metric in base["metrics"]:
+        name = metric["name"]
+        if not metric.get("gate", False):
+            if name in fresh_metrics:
+                change = relative_change(
+                    metric["value"], fresh_metrics[name]["value"]
+                )
+                print(
+                    f"  info  {base['bench']}:{name}: "
+                    f"{metric['value']:g} -> "
+                    f"{fresh_metrics[name]['value']:g} "
+                    f"({change:+.1%}, ungated)"
+                )
+            continue
+        if name not in fresh_metrics:
+            failures.append(f"gated metric {name!r} missing from fresh run")
+            continue
+        fm = fresh_metrics[name]
+        for key in ("unit", "direction"):
+            if metric.get(key) != fm.get(key):
+                failures.append(
+                    f"gated metric {name!r}: {key} changed "
+                    f"({metric.get(key)!r} -> {fm.get(key)!r})"
+                )
+        higher = metric.get("direction") == "higher_is_better"
+        if regressed(metric["value"], fm["value"], higher, threshold):
+            failures.append(
+                f"gated metric {name!r} regressed: "
+                f"{metric['value']:g} -> {fm['value']:g} "
+                f"({relative_change(metric['value'], fm['value']):+.1%}, "
+                f"threshold ±{threshold:.0%}, {metric.get('direction')})"
+            )
+        else:
+            print(
+                f"  ok    {base['bench']}:{name}: "
+                f"{metric['value']:g} -> {fm['value']:g} "
+                f"({relative_change(metric['value'], fm['value']):+.1%})"
+            )
+
+    for name in fresh_metrics:
+        if name not in base_names and fresh_metrics[name].get("gate"):
+            print(
+                f"  note  {base['bench']}:{name}: new gated metric not "
+                f"in baseline (refresh the committed BENCH_*.json)"
+            )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff fresh bench reports against committed baselines."
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed relative regression of gated metrics (default 0.15)",
+    )
+    parser.add_argument(
+        "reports",
+        nargs="+",
+        metavar="BASELINE FRESH",
+        help="alternating baseline/fresh report paths",
+    )
+    args = parser.parse_args()
+    if len(args.reports) % 2 != 0:
+        fail_usage("reports must come in BASELINE FRESH pairs")
+    if not 0.0 <= args.threshold < 1.0:
+        fail_usage("threshold must be in [0, 1)")
+
+    all_failures = []
+    for i in range(0, len(args.reports), 2):
+        baseline_path, fresh_path = args.reports[i], args.reports[i + 1]
+        print(f"checking {fresh_path} against {baseline_path}")
+        all_failures += check_pair(baseline_path, fresh_path, args.threshold)
+
+    if all_failures:
+        print(f"\ncheck_bench: {len(all_failures)} failure(s):",
+              file=sys.stderr)
+        for failure in all_failures:
+            print(f"  FAIL  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("check_bench: all gated metrics within threshold")
+
+
+if __name__ == "__main__":
+    main()

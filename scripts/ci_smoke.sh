@@ -36,11 +36,24 @@ run() {
     echo
 }
 
+json_dir=$(mktemp -d)
+trap 'rm -rf "${json_dir}"' EXIT
+
 run "${bench_dir}/bench_kernel_micro" \
     --benchmark_filter='BM_(FastConversion|InterleaveWeights/128|W4AxGemmEmulation/8|ParallelForDispatch/4)$' \
-    --benchmark_min_time=0.05s
+    --benchmark_min_time=0.05s \
+    --json="${json_dir}/kernel_micro.json"
 
-run "${bench_dir}/bench_fig10_throughput" --smoke
+run "${bench_dir}/bench_fig10_throughput" --smoke \
+    --json="${json_dir}/fig10_throughput.json"
+
+# Emitter smoke: the --json reports written above must parse under the
+# perf-gate schema (a self-diff exercises load + gated-metric checks
+# without depending on this machine's timings matching the baselines).
+run python3 "$(dirname "$0")/check_bench.py" \
+    "${json_dir}/kernel_micro.json" "${json_dir}/kernel_micro.json" \
+    "${json_dir}/fig10_throughput.json" \
+    "${json_dir}/fig10_throughput.json"
 
 run "${bench_dir}/bench_runtime_scaling" --smoke
 

@@ -192,22 +192,22 @@ decodeAttentionQuantized(const AttentionConfig &config,
     COMET_CHECK(k.tokens == v.tokens);
     COMET_CHECK(quantizer.config().group_size == k.group_size);
 
-    // On-the-fly dequantization of one cache value: look up the
-    // (token-group, channel) affine parameters and widen the packed
-    // INT value — exactly what a fused KV4 attention kernel's inner
-    // loop does.
-    auto dequant = [](const QuantizedKv &cache, int64_t t, int64_t c) {
-        const int64_t group = t / cache.group_size;
-        const QuantParams &params =
-            cache.params[static_cast<size_t>(group * cache.channels +
-                                             c)];
-        return static_cast<double>(
-            params.dequantize(cache.data.get(t, c)));
-    };
+    // Dequantize each cache once up front through the vectorized
+    // span path instead of widening per (token, channel) read: the
+    // per-value affine transform is identical, and the old inner-loop
+    // lookup repeated the same dequantization for every head of a KV
+    // group. The float values streamed into the online softmax are
+    // bit-identical either way.
+    const Tensor k_float = quantizer.dequantize(k);
+    const Tensor v_float = quantizer.dequantize(v);
     return onlineCore(
         config, q, k.tokens,
-        [&](int64_t t, int64_t c) { return dequant(k, t, c); },
-        [&](int64_t t, int64_t c) { return dequant(v, t, c); });
+        [&](int64_t t, int64_t c) {
+            return static_cast<double>(k_float.at(t, c));
+        },
+        [&](int64_t t, int64_t c) {
+            return static_cast<double>(v_float.at(t, c));
+        });
 }
 
 std::vector<std::vector<float>>

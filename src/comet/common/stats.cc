@@ -54,6 +54,15 @@ StreamingStats::max() const
 void
 StreamingStats::merge(const StreamingStats &other)
 {
+    if (&other == this) {
+        // Self-merge: duplicating the stream keeps mean/min/max and
+        // doubles count and the sum of squared deviations. Handled
+        // explicitly — the aliased reads below only stay correct by
+        // accident of evaluation order.
+        count_ *= 2;
+        m2_ *= 2.0;
+        return;
+    }
     if (other.count_ == 0)
         return;
     if (count_ == 0) {
@@ -72,18 +81,42 @@ StreamingStats::merge(const StreamingStats &other)
     count_ += other.count_;
 }
 
+namespace {
+
+/** Percentile of an already-sorted sample set. */
+double
+percentileOfSorted(const std::vector<double> &sorted, double p)
+{
+    COMET_CHECK(p >= 0.0 && p <= 100.0);
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
 double
 exactPercentile(std::vector<double> values, double p)
 {
     COMET_CHECK(!values.empty());
-    COMET_CHECK(p >= 0.0 && p <= 100.0);
     std::sort(values.begin(), values.end());
-    const double rank =
-        p / 100.0 * static_cast<double>(values.size() - 1);
-    const auto lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, values.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return values[lo] * (1.0 - frac) + values[hi] * frac;
+    return percentileOfSorted(values, p);
+}
+
+std::vector<double>
+exactPercentiles(std::vector<double> values,
+                 const std::vector<double> &ps)
+{
+    COMET_CHECK(!values.empty());
+    std::sort(values.begin(), values.end());
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (const double p : ps)
+        out.push_back(percentileOfSorted(values, p));
+    return out;
 }
 
 } // namespace comet

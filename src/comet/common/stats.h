@@ -54,4 +54,15 @@ class StreamingStats
  */
 double exactPercentile(std::vector<double> values, double p);
 
+/**
+ * Exact percentiles of several quantiles over one sample set: sorts
+ * once and evaluates every entry of @p ps against the sorted order
+ * statistics. Element i equals exactPercentile(values, ps[i]) exactly;
+ * report paths that need p50/p95/p99 of the same samples should use
+ * this instead of re-sorting per quantile.
+ * @pre !values.empty(), every p in [0, 100].
+ */
+std::vector<double> exactPercentiles(std::vector<double> values,
+                                     const std::vector<double> &ps);
+
 } // namespace comet

@@ -8,6 +8,7 @@
 #include "comet/obs/metrics.h"
 #include "comet/obs/trace_session.h"
 #include "comet/runtime/thread_pool.h"
+#include "comet/simd/simd.h"
 
 namespace comet {
 
@@ -113,16 +114,13 @@ W4AxGemm::run(const MixedQuantizedActivation &activation,
                     }
                     // The widened tile is indexed from local k 0 while
                     // the activation stays at global k0, so contract
-                    // manually with the same dp4a path mmaInt8 uses.
+                    // manually with the same span dot mmaInt8 uses.
                     for (int64_t i = 0; i < mm; ++i) {
+                        const int8_t *a_row =
+                            activation.int8_data.rowPtr(m0 + i) + k0;
                         for (int64_t j = 0; j < nn; ++j) {
-                            int32_t sum = 0;
-                            for (int64_t k = 0; k < kk; k += 4) {
-                                sum = dp4a(activation.int8_data.loadWord(
-                                               m0 + i, k0 + k),
-                                           widened.loadWord(j, k), sum);
-                            }
-                            acc.at(i, j) = sum;
+                            acc.at(i, j) = simd::dotInt8(
+                                a_row, widened.rowPtr(j), kk);
                         }
                     }
                 }

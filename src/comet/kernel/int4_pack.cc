@@ -1,5 +1,7 @@
 #include "comet/kernel/int4_pack.h"
 
+#include "comet/common/status.h"
+
 namespace comet {
 
 uint32_t
@@ -7,7 +9,13 @@ packInt4x8(const std::array<int8_t, 8> &values)
 {
     uint32_t word = 0;
     for (int i = 0; i < 8; ++i) {
-        const uint32_t nibble = static_cast<uint32_t>(values[static_cast<size_t>(i)]) & 0xf;
+        const int8_t v = values[static_cast<size_t>(i)];
+        // Masking an out-of-range value to a nibble would silently
+        // alias it onto another INT4 value (e.g. 9 -> -7), corrupting
+        // the packed word; make that a hard error instead.
+        COMET_CHECK_MSG(v >= -8 && v <= 7,
+                        "INT4 pack value outside [-8, 7]");
+        const uint32_t nibble = static_cast<uint32_t>(v) & 0xf;
         word |= nibble << (4 * i);
     }
     return word;
@@ -29,6 +37,10 @@ unpackInt4x8(uint32_t word)
 uint32_t
 packInt8x4(const std::array<int8_t, 4> &values)
 {
+    // No range check needed: the int8_t parameter type makes values
+    // outside [-128, 127] unrepresentable, so no caller can corrupt a
+    // neighboring byte lane (callers quantizing from wider types must
+    // clamp before narrowing — see clampInt8 in tensor/packed.h).
     uint32_t word = 0;
     for (int i = 0; i < 4; ++i) {
         word |= (static_cast<uint32_t>(values[static_cast<size_t>(i)]) &

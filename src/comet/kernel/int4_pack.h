@@ -18,7 +18,8 @@
 namespace comet {
 
 /** Packs eight signed INT4 values (each in [-8, 7]) into one register
- * word; value i lands in bits [4i, 4i+4). */
+ * word; value i lands in bits [4i, 4i+4). Aborts on out-of-range
+ * values — silently masking them would corrupt the packed lanes. */
 uint32_t packInt4x8(const std::array<int8_t, 8> &values);
 
 /** Unpacks a register word into eight sign-extended INT4 values. */

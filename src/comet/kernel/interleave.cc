@@ -6,6 +6,7 @@
 
 #include "comet/kernel/convert.h"
 #include "comet/kernel/int4_pack.h"
+#include "comet/simd/simd.h"
 
 namespace comet {
 
@@ -35,11 +36,14 @@ interleaveWeights(const Int4Tensor &weights)
 {
     COMET_CHECK_MSG(weights.cols() % kInterleaveUnit == 0,
                     "columns must be a multiple of the interleave unit");
+    // interleavedIndex always moves whole nibble *pairs* (the swapped
+    // quads start at even offsets), so the per-value mapping is a pure
+    // byte permutation within each 8-byte unit — exactly
+    // simd::interleaveUnits. Rows are stored contiguously and every
+    // row is a whole number of units, so one span covers the tensor.
     Int4Tensor out(weights.rows(), weights.cols());
-    for (int64_t r = 0; r < weights.rows(); ++r) {
-        for (int64_t c = 0; c < weights.cols(); ++c)
-            out.set(r, interleavedIndex(c), weights.get(r, c));
-    }
+    const int64_t units = weights.rows() * weights.rowBytes() / 8;
+    simd::interleaveUnits(weights.data(), units, out.data());
     return out;
 }
 
@@ -53,14 +57,11 @@ deinterleaveWeights(const Int4Tensor &weights)
 Int4Tensor
 prepareWeightsForW4A8(const Int4Tensor &weights)
 {
-    Int4Tensor interleaved = interleaveWeights(weights);
-    Int4Tensor out(interleaved.rows(), interleaved.cols());
-    for (int64_t r = 0; r < interleaved.rows(); ++r) {
-        for (int64_t c = 0; c < interleaved.cols(); c += 8) {
-            out.storeWord(r, c,
-                          locationSwitch(interleaved.loadWord(r, c)));
-        }
-    }
+    // Interleave, then location-switch every register word in place
+    // (each word holds 8 values, so the word count is bytes / 4).
+    Int4Tensor out = interleaveWeights(weights);
+    const int64_t words = out.rows() * out.rowBytes() / 4;
+    simd::locationSwitchWords(out.data(), words, out.data());
     return out;
 }
 

@@ -1,7 +1,10 @@
 #include "comet/kernel/mma.h"
 
+#include <vector>
+
 #include "comet/kernel/int4_pack.h"
 #include "comet/kernel/interleave.h"
+#include "comet/simd/simd.h"
 
 namespace comet {
 
@@ -11,13 +14,10 @@ mmaInt8(AccumTile &acc, const Int8Tensor &a, int64_t a_row0,
 {
     COMET_CHECK(k0 % 4 == 0 && k_len % 4 == 0);
     for (int64_t i = 0; i < acc.m(); ++i) {
+        const int8_t *a_row = a.rowPtr(a_row0 + i) + k0;
         for (int64_t j = 0; j < acc.n(); ++j) {
-            int32_t sum = acc.at(i, j);
-            for (int64_t k = k0; k < k0 + k_len; k += 4) {
-                sum = dp4a(a.loadWord(a_row0 + i, k),
-                           b.loadWord(b_row0 + j, k), sum);
-            }
-            acc.at(i, j) = sum;
+            acc.at(i, j) += simd::dotInt8(
+                a_row, b.rowPtr(b_row0 + j) + k0, k_len);
         }
     }
 }
@@ -28,13 +28,10 @@ mmaInt4(AccumTile &acc, const Int4Tensor &a, int64_t a_row0,
 {
     COMET_CHECK(k0 % 8 == 0 && k_len % 8 == 0);
     for (int64_t i = 0; i < acc.m(); ++i) {
+        const uint8_t *a_row = a.rowPtr(a_row0 + i) + k0 / 2;
         for (int64_t j = 0; j < acc.n(); ++j) {
-            int32_t sum = acc.at(i, j);
-            for (int64_t k = k0; k < k0 + k_len; k += 8) {
-                sum = dp8a4(a.loadWord(a_row0 + i, k),
-                            b.loadWord(b_row0 + j, k), sum);
-            }
-            acc.at(i, j) = sum;
+            acc.at(i, j) += simd::dotInt4(
+                a_row, b.rowPtr(b_row0 + j) + k0 / 2, k_len);
         }
     }
 }
@@ -46,27 +43,25 @@ mmaW4A8Prepared(AccumTile &acc, const Int8Tensor &a, int64_t a_row0,
 {
     COMET_CHECK(k0 % kInterleaveUnit == 0 &&
                 k_len % kInterleaveUnit == 0);
+    // Fast-widened weights for one row's k-chunk, in logical activation
+    // order (fastWidenW4A8 emits the dp4a word sequence k, k+4, k+8,
+    // k+12 per unit). Values are 16x the true INT4 values, exactly as
+    // fastInt4ToInt8 produces them; callers divide the scale fixup out.
+    std::vector<int8_t> widened(static_cast<size_t>(k_len));
     for (int64_t j = 0; j < acc.n(); ++j) {
-        // Widen this weight row's k-chunk once per unit; the converted
-        // registers are reused across all m rows of the accumulator, so
+        // Widen this weight row's k-chunk once; the converted bytes
+        // are reused across all m rows of the accumulator, so
         // conversion cost amortizes exactly as it does on the GPU
-        // (conversion happens once per shared-memory tile).
-        for (int64_t k = k0; k < k0 + k_len; k += kInterleaveUnit) {
-            // Unit storage words 0 and 1.
-            const ConvertedPair w0 = fastInt4ToInt8(
-                w_prepared.loadWord(w_row0 + j, k), counter);
-            const ConvertedPair w1 = fastInt4ToInt8(
-                w_prepared.loadWord(w_row0 + j, k + 8), counter);
-            // Interleaved layout: word0 = v[k..k+3], v[k+8..k+11];
-            //                     word1 = v[k+4..k+7], v[k+12..k+15].
-            for (int64_t i = 0; i < acc.m(); ++i) {
-                int32_t sum = acc.at(i, j);
-                sum = dp4a(a.loadWord(a_row0 + i, k), w0.lo, sum);
-                sum = dp4a(a.loadWord(a_row0 + i, k + 4), w1.lo, sum);
-                sum = dp4a(a.loadWord(a_row0 + i, k + 8), w0.hi, sum);
-                sum = dp4a(a.loadWord(a_row0 + i, k + 12), w1.hi, sum);
-                acc.at(i, j) = sum;
-            }
+        // (conversion happens once per shared-memory tile). The fast
+        // conversion costs 3 emulated instructions per register word
+        // (shl+and for lo, and for hi — see fastInt4ToInt8).
+        simd::fastWidenW4A8(w_prepared.rowPtr(w_row0 + j) + k0 / 2,
+                            k_len, widened.data());
+        if (counter != nullptr)
+            counter->add(3 * (k_len / 8));
+        for (int64_t i = 0; i < acc.m(); ++i) {
+            acc.at(i, j) += simd::dotInt8(a.rowPtr(a_row0 + i) + k0,
+                                          widened.data(), k_len);
         }
     }
 }

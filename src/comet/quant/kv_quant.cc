@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comet/simd/simd.h"
+
 namespace comet {
 
 KvCacheQuantizer::KvCacheQuantizer(KvQuantConfig config) : config_(config)
@@ -13,22 +15,62 @@ KvCacheQuantizer::KvCacheQuantizer(KvQuantConfig config) : config_(config)
 
 namespace {
 
-/** Derives the quantizer for one (channel, token-group) span. */
-QuantParams
-spanParams(const Tensor &kv, int64_t c, int64_t t0, int64_t t1,
-           const KvQuantConfig &config)
-{
-    float min_val = kv.at(t0, c), max_val = kv.at(t0, c);
-    for (int64_t t = t0; t < t1; ++t) {
-        min_val = std::min(min_val, kv.at(t, c));
-        max_val = std::max(max_val, kv.at(t, c));
+/**
+ * Per-channel quantizer state for one token group, in
+ * structure-of-arrays form so the span routines can consume it.
+ * Channel-wise parameter *choice* stays scalar (it is O(channels) per
+ * group); the O(group_size * channels) range scan and value transforms
+ * go through comet::simd.
+ */
+struct GroupParams {
+    std::vector<float> mins, maxs, scales;
+    std::vector<int32_t> zero_points;
+
+    explicit GroupParams(int64_t channels)
+        : mins(static_cast<size_t>(channels)),
+          maxs(static_cast<size_t>(channels)),
+          scales(static_cast<size_t>(channels)),
+          zero_points(static_cast<size_t>(channels))
+    {
     }
-    if (config.asymmetric)
-        return chooseAsymmetric(min_val, max_val, config.bits);
-    const float abs_max = std::max(std::fabs(min_val),
-                                   std::fabs(max_val));
-    return chooseSymmetric(abs_max, config.bits);
-}
+
+    /** Scans rows [t0, t1) of @p kv and derives each channel's
+     * quantizer, exactly as the per-channel spanParams loop did. */
+    void
+    derive(const Tensor &kv, int64_t t0, int64_t t1,
+           const KvQuantConfig &config)
+    {
+        const int64_t channels = kv.cols();
+        const float *first = kv.data() + t0 * channels;
+        std::copy(first, first + channels, mins.begin());
+        std::copy(first, first + channels, maxs.begin());
+        for (int64_t t = t0 + 1; t < t1; ++t) {
+            simd::minMaxUpdate(kv.data() + t * channels, channels,
+                               mins.data(), maxs.data());
+        }
+        for (int64_t c = 0; c < channels; ++c) {
+            const size_t ci = static_cast<size_t>(c);
+            QuantParams params;
+            if (config.asymmetric) {
+                params = chooseAsymmetric(mins[ci], maxs[ci],
+                                          config.bits);
+            } else {
+                params = chooseSymmetric(
+                    std::max(std::fabs(mins[ci]), std::fabs(maxs[ci])),
+                    config.bits);
+            }
+            scales[ci] = params.scale;
+            zero_points[ci] = params.zero_point;
+        }
+    }
+
+    QuantParams
+    at(int64_t c) const
+    {
+        return QuantParams{scales[static_cast<size_t>(c)],
+                           zero_points[static_cast<size_t>(c)]};
+    }
+};
 
 } // namespace
 
@@ -37,14 +79,23 @@ KvCacheQuantizer::fakeQuantize(const Tensor &kv) const
 {
     COMET_CHECK(kv.shape().rank() == 2);
     const int64_t tokens = kv.rows(), channels = kv.cols();
+    const QuantRange range = signedRange(config_.bits);
     Tensor out(tokens, channels);
-    for (int64_t c = 0; c < channels; ++c) {
-        for (int64_t t0 = 0; t0 < tokens; t0 += config_.group_size) {
-            const int64_t t1 = std::min(t0 + config_.group_size, tokens);
-            const QuantParams params = spanParams(kv, c, t0, t1, config_);
-            for (int64_t t = t0; t < t1; ++t)
-                out.at(t, c) = fakeQuantValue(kv.at(t, c), params,
-                                              config_.bits);
+    GroupParams group(channels);
+    std::vector<int8_t> qrow(static_cast<size_t>(channels));
+    for (int64_t t0 = 0; t0 < tokens; t0 += config_.group_size) {
+        const int64_t t1 = std::min(t0 + config_.group_size, tokens);
+        group.derive(kv, t0, t1, config_);
+        // fakeQuantValue is quantize -> clamp -> dequantize; the fused
+        // span pair performs exactly those operations per element.
+        for (int64_t t = t0; t < t1; ++t) {
+            simd::quantizeAffine(kv.data() + t * channels,
+                                 group.scales.data(),
+                                 group.zero_points.data(), channels,
+                                 range.qmin, range.qmax, qrow.data());
+            simd::dequantAffine(qrow.data(), group.scales.data(),
+                                group.zero_points.data(), channels,
+                                out.data() + t * channels);
         }
     }
     return out;
@@ -62,17 +113,19 @@ KvCacheQuantizer::quantize(const Tensor &kv) const
                   std::vector<QuantParams>(
                       static_cast<size_t>(num_groups * channels))};
     const QuantRange range = signedRange(config_.bits);
-    for (int64_t c = 0; c < channels; ++c) {
-        for (int64_t g = 0; g < num_groups; ++g) {
-            const int64_t t0 = g * config_.group_size;
-            const int64_t t1 = std::min(t0 + config_.group_size, tokens);
-            const QuantParams params = spanParams(kv, c, t0, t1, config_);
-            q.params[static_cast<size_t>(g * channels + c)] = params;
-            for (int64_t t = t0; t < t1; ++t) {
-                const int32_t v = std::clamp(params.quantize(kv.at(t, c)),
-                                             range.qmin, range.qmax);
-                q.data.set(t, c, static_cast<int8_t>(v));
-            }
+    GroupParams group(channels);
+    for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t t0 = g * config_.group_size;
+        const int64_t t1 = std::min(t0 + config_.group_size, tokens);
+        group.derive(kv, t0, t1, config_);
+        for (int64_t c = 0; c < channels; ++c)
+            q.params[static_cast<size_t>(g * channels + c)] =
+                group.at(c);
+        for (int64_t t = t0; t < t1; ++t) {
+            simd::quantizeAffine(kv.data() + t * channels,
+                                 group.scales.data(),
+                                 group.zero_points.data(), channels,
+                                 range.qmin, range.qmax, q.data.rowPtr(t));
         }
     }
     return q;
@@ -82,12 +135,25 @@ Tensor
 KvCacheQuantizer::dequantize(const QuantizedKv &q) const
 {
     Tensor out(q.tokens, q.channels);
-    for (int64_t t = 0; t < q.tokens; ++t) {
-        const int64_t g = t / q.group_size;
+    // The params array is laid out [group][channel], so each group's
+    // scales/zero-points are already contiguous SoA spans... except
+    // QuantParams is an AoS struct; unzip one group at a time and
+    // reuse it for every token row in the group.
+    std::vector<float> scales(static_cast<size_t>(q.channels));
+    std::vector<int32_t> zero_points(static_cast<size_t>(q.channels));
+    for (int64_t g = 0; g < q.numGroups(); ++g) {
         for (int64_t c = 0; c < q.channels; ++c) {
             const QuantParams &params =
                 q.params[static_cast<size_t>(g * q.channels + c)];
-            out.at(t, c) = params.dequantize(q.data.get(t, c));
+            scales[static_cast<size_t>(c)] = params.scale;
+            zero_points[static_cast<size_t>(c)] = params.zero_point;
+        }
+        const int64_t t0 = g * q.group_size;
+        const int64_t t1 = std::min(t0 + q.group_size, q.tokens);
+        for (int64_t t = t0; t < t1; ++t) {
+            simd::dequantAffine(q.data.rowPtr(t), scales.data(),
+                                zero_points.data(), q.channels,
+                                out.data() + t * q.channels);
         }
     }
     return out;

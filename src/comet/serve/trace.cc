@@ -32,6 +32,18 @@ percentileOrNan(std::vector<double> values, double p)
     return exactPercentile(std::move(values), p);
 }
 
+/** Multi-quantile variant: sorts the samples once. */
+std::vector<double>
+percentilesOrNan(std::vector<double> values,
+                 const std::vector<double> &ps)
+{
+    if (values.empty()) {
+        return std::vector<double>(
+            ps.size(), std::numeric_limits<double>::quiet_NaN());
+    }
+    return exactPercentiles(std::move(values), ps);
+}
+
 } // namespace
 
 std::vector<TracedRequest>
@@ -77,6 +89,26 @@ TraceMetrics::tpotPercentileUs(double p) const
     for (const RequestLatency &latency : per_request)
         values.push_back(latency.tpot_us);
     return percentileOrNan(std::move(values), p);
+}
+
+std::vector<double>
+TraceMetrics::ttftPercentilesUs(const std::vector<double> &ps) const
+{
+    std::vector<double> values;
+    values.reserve(per_request.size());
+    for (const RequestLatency &latency : per_request)
+        values.push_back(latency.ttft_us);
+    return percentilesOrNan(std::move(values), ps);
+}
+
+std::vector<double>
+TraceMetrics::tpotPercentilesUs(const std::vector<double> &ps) const
+{
+    std::vector<double> values;
+    values.reserve(per_request.size());
+    for (const RequestLatency &latency : per_request)
+        values.push_back(latency.tpot_us);
+    return percentilesOrNan(std::move(values), ps);
 }
 
 void

@@ -93,6 +93,16 @@ struct TraceMetrics {
      * completed. */
     double tpotPercentileUs(double p) const;
 
+    /** Several TTFT percentiles at once: sorts the samples a single
+     * time (exactPercentiles), element i exactly equal to
+     * ttftPercentileUs(ps[i]). All NaN when no request completed. */
+    std::vector<double>
+    ttftPercentilesUs(const std::vector<double> &ps) const;
+
+    /** Several TPOT percentiles at once; see ttftPercentilesUs. */
+    std::vector<double>
+    tpotPercentilesUs(const std::vector<double> &ps) const;
+
     /** Adds the replay's scheduling counters into @p registry under
      * `serve.replay.*` so one dump covers both surfaces (counters are
      * monotonic: repeated replays accumulate). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "comet/common/rng.h"
@@ -94,12 +95,15 @@ recordEvent(RequestOutcome *outcome, const StreamEvent &event)
     }
 }
 
-double
-percentileOrZero(const std::vector<double> &values, double p)
+/** p50/p99 of one latency series, sorted once; zeros when empty. */
+std::pair<double, double>
+p50p99OrZero(const std::vector<double> &values)
 {
     if (values.empty())
-        return 0.0;
-    return exactPercentile(values, p);
+        return {0.0, 0.0};
+    const std::vector<double> ps = exactPercentiles(values,
+                                                    {50.0, 99.0});
+    return {ps[0], ps[1]};
 }
 
 } // namespace
@@ -236,10 +240,10 @@ runLoadgen(Server *server, const LoadgenConfig &config)
     }
     for (size_t t = 0; t < config.tenants.size(); ++t) {
         LoadgenTenantReport &row = report.tenants[t];
-        row.ttft_p50_us = percentileOrZero(ttfts[t], 50.0);
-        row.ttft_p99_us = percentileOrZero(ttfts[t], 99.0);
-        row.tpot_p50_us = percentileOrZero(tpots[t], 50.0);
-        row.tpot_p99_us = percentileOrZero(tpots[t], 99.0);
+        std::tie(row.ttft_p50_us, row.ttft_p99_us) =
+            p50p99OrZero(ttfts[t]);
+        std::tie(row.tpot_p50_us, row.tpot_p99_us) =
+            p50p99OrZero(tpots[t]);
         row.goodput_tokens_per_s =
             report.makespan_us > 0.0
                 ? slo_tokens[t] / (report.makespan_us * 1e-6)

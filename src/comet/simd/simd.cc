@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Mode management and dispatch for comet::simd. The active backend is
+ * resolved once per process from `COMET_SIMD` and every public routine
+ * forwards through a switch; argument-shape invariants are checked
+ * here so backends can assume well-formed spans.
+ */
+#include "comet/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "comet/common/status.h"
+#include "comet/simd/simd_internal.h"
+
+#if COMET_SIMD_X86 && defined(__GNUC__)
+#define COMET_SIMD_HAVE_CPU_SUPPORTS 1
+#else
+#define COMET_SIMD_HAVE_CPU_SUPPORTS 0
+#endif
+
+namespace comet {
+namespace simd {
+
+namespace detail {
+
+bool
+avx2Supported()
+{
+#if COMET_SIMD_HAVE_CPU_SUPPORTS
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+neonSupported()
+{
+    return COMET_SIMD_AARCH64 != 0;
+}
+
+} // namespace detail
+
+namespace {
+
+constexpr Mode kModeUnset = static_cast<Mode>(-1);
+
+std::atomic<Mode> g_mode{kModeUnset};
+
+Mode
+bestSupportedMode()
+{
+    if (detail::avx2Supported()) return Mode::kAvx2;
+    if (detail::neonSupported()) return Mode::kNeon;
+    return Mode::kScalar;
+}
+
+Mode
+resolveFromEnv()
+{
+    const char *env = std::getenv("COMET_SIMD");
+    if (env == nullptr || env[0] == '\0') return bestSupportedMode();
+    return parseMode(env);
+}
+
+/** The active mode, resolving from the environment on first use. */
+inline Mode
+mode()
+{
+    Mode m = g_mode.load(std::memory_order_relaxed);
+    if (m == kModeUnset) {
+        m = resolveFromEnv();
+        g_mode.store(m, std::memory_order_relaxed);
+    }
+    return m;
+}
+
+} // namespace
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+    case Mode::kScalar: return "scalar";
+    case Mode::kAvx2: return "avx2";
+    case Mode::kNeon: return "neon";
+    }
+    return "unknown";
+}
+
+bool
+modeSupported(Mode m)
+{
+    switch (m) {
+    case Mode::kScalar: return true;
+    case Mode::kAvx2: return detail::avx2Supported();
+    case Mode::kNeon: return detail::neonSupported();
+    }
+    return false;
+}
+
+std::vector<Mode>
+supportedModes()
+{
+    std::vector<Mode> modes{Mode::kScalar};
+    if (modeSupported(Mode::kAvx2)) modes.push_back(Mode::kAvx2);
+    if (modeSupported(Mode::kNeon)) modes.push_back(Mode::kNeon);
+    return modes;
+}
+
+Mode
+activeMode()
+{
+    return mode();
+}
+
+void
+setMode(Mode m)
+{
+    COMET_CHECK_MSG(modeSupported(m),
+                    "COMET_SIMD mode not supported on this machine");
+    g_mode.store(m, std::memory_order_relaxed);
+}
+
+Mode
+parseMode(const char *name)
+{
+    COMET_CHECK(name != nullptr);
+    if (std::strcmp(name, "auto") == 0) return bestSupportedMode();
+    for (Mode m : {Mode::kScalar, Mode::kAvx2, Mode::kNeon}) {
+        if (std::strcmp(name, modeName(m)) == 0) {
+            COMET_CHECK_MSG(
+                modeSupported(m),
+                "COMET_SIMD requests a backend this machine lacks");
+            return m;
+        }
+    }
+    COMET_CHECK_MSG(false, "unknown COMET_SIMD value");
+    return Mode::kScalar; // unreachable
+}
+
+// Dispatch: one switch per routine. The kAvx2/kNeon cases only exist
+// on architectures where the backend compiles; setMode/parseMode
+// guarantee the active mode is always a compiled-in backend.
+#if COMET_SIMD_X86
+#define COMET_SIMD_AVX2_CASE(call)                                    \
+    case Mode::kAvx2: return detail::avx2::call
+#else
+#define COMET_SIMD_AVX2_CASE(call)                                    \
+    case Mode::kAvx2: break
+#endif
+#if COMET_SIMD_AARCH64
+#define COMET_SIMD_NEON_CASE(call)                                    \
+    case Mode::kNeon: return detail::neon::call
+#else
+#define COMET_SIMD_NEON_CASE(call)                                    \
+    case Mode::kNeon: break
+#endif
+
+#define COMET_SIMD_DISPATCH(call)                                     \
+    switch (mode()) {                                                 \
+        COMET_SIMD_AVX2_CASE(call);                                   \
+        COMET_SIMD_NEON_CASE(call);                                   \
+    default: break;                                                   \
+    }                                                                 \
+    return detail::scalar::call
+
+void
+unpackInt4(const uint8_t *packed, int64_t n, int8_t *out)
+{
+    COMET_CHECK(n >= 0 && n % 2 == 0);
+    COMET_SIMD_DISPATCH(unpackInt4(packed, n, out));
+}
+
+void
+packInt4(const int8_t *values, int64_t n, uint8_t *packed)
+{
+    COMET_CHECK(n >= 0 && n % 2 == 0);
+    COMET_SIMD_DISPATCH(packInt4(values, n, packed));
+}
+
+void
+locationSwitchWords(const uint8_t *in, int64_t n_words, uint8_t *out)
+{
+    COMET_CHECK(n_words >= 0);
+    COMET_SIMD_DISPATCH(locationSwitchWords(in, n_words, out));
+}
+
+void
+interleaveUnits(const uint8_t *in, int64_t n_units, uint8_t *out)
+{
+    COMET_CHECK(n_units >= 0);
+    COMET_SIMD_DISPATCH(interleaveUnits(in, n_units, out));
+}
+
+void
+fastWidenW4A8(const uint8_t *prepared, int64_t n_values, int8_t *out)
+{
+    COMET_CHECK(n_values >= 0 && n_values % 16 == 0);
+    COMET_SIMD_DISPATCH(fastWidenW4A8(prepared, n_values, out));
+}
+
+int32_t
+dotInt8(const int8_t *a, const int8_t *b, int64_t n)
+{
+    COMET_CHECK(n >= 0);
+    COMET_SIMD_DISPATCH(dotInt8(a, b, n));
+}
+
+int32_t
+dotInt4(const uint8_t *a, const uint8_t *b, int64_t n_values)
+{
+    COMET_CHECK(n_values >= 0 && n_values % 2 == 0);
+    COMET_SIMD_DISPATCH(dotInt4(a, b, n_values));
+}
+
+void
+minMaxUpdate(const float *x, int64_t n, float *mins, float *maxs)
+{
+    COMET_CHECK(n >= 0);
+    COMET_SIMD_DISPATCH(minMaxUpdate(x, n, mins, maxs));
+}
+
+void
+quantizeAffine(const float *x, const float *scales,
+               const int32_t *zero_points, int64_t n, int32_t qmin,
+               int32_t qmax, int8_t *out)
+{
+    COMET_CHECK(n >= 0 && qmin <= qmax);
+    COMET_SIMD_DISPATCH(
+        quantizeAffine(x, scales, zero_points, n, qmin, qmax, out));
+}
+
+void
+dequantAffine(const int8_t *q, const float *scales,
+              const int32_t *zero_points, int64_t n, float *out)
+{
+    COMET_CHECK(n >= 0);
+    COMET_SIMD_DISPATCH(dequantAffine(q, scales, zero_points, n, out));
+}
+
+} // namespace simd
+} // namespace comet

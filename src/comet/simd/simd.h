@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD substrate for the emulated sub-byte hot
+ * paths.
+ *
+ * Every sweep, soak and figure bench in this repo bottoms out in the
+ * scalar INT4/INT8 emulation loops (nibble pack/unpack, fast
+ * conversion, interleaving, KV quant/dequant, dp4a accumulation).
+ * This module lifts those inner loops to span-level routines with
+ * three backends:
+ *
+ *  - *scalar*: the always-available portable fallback, byte-for-byte
+ *    the same arithmetic the original per-element loops performed;
+ *  - *avx2*: x86-64 AVX2 implementations (compiled with per-function
+ *    target attributes, selected only when the CPU reports support);
+ *  - *neon*: AArch64 NEON implementations (NEON is baseline on
+ *    AArch64, so support equals compiling for that architecture).
+ *
+ * The backend is picked once per process: the `COMET_SIMD`
+ * environment variable accepts `scalar`, `avx2`, `neon` or `auto`
+ * (the default — best supported backend). Tests and benches can
+ * override it with setMode().
+ *
+ * **Bit-identity guarantee:** every routine produces bit-identical
+ * output across all backends. Integer routines are exact by
+ * construction; the float routines (quantize/dequantize/min-max)
+ * perform the same IEEE operations lane-wise that the scalar code
+ * performs element-wise, in an order-insensitive way, so results
+ * match to the last bit. The equivalence suite (test_simd.cc) locks
+ * this in for every dispatched routine under every supported mode.
+ *
+ * Data layout conventions match tensor/packed.h: packed INT4 spans
+ * are little-endian nibble order (value i of a byte pair occupies the
+ * low nibble), and 32-bit "register words" are little-endian byte
+ * order in memory.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace comet {
+namespace simd {
+
+/** Selectable SIMD backends. */
+enum class Mode {
+    kScalar = 0, ///< portable fallback, always available
+    kAvx2,       ///< x86-64 AVX2
+    kNeon,       ///< AArch64 NEON
+};
+
+/** Stable lower-case name of a mode ("scalar", "avx2", "neon"). */
+const char *modeName(Mode mode);
+
+/** True when @p mode can run on this machine. kScalar always can. */
+bool modeSupported(Mode mode);
+
+/** All modes supported on this machine, kScalar first. */
+std::vector<Mode> supportedModes();
+
+/**
+ * The mode all dispatched routines currently use. Resolved once from
+ * `COMET_SIMD` (unset or `auto` picks the best supported backend) on
+ * first use, unless overridden via setMode().
+ */
+Mode activeMode();
+
+/**
+ * Overrides the active mode (tests and benches). Aborts if @p mode is
+ * not supported on this machine. Not thread-safe against concurrently
+ * running dispatched routines; switch modes only between kernels.
+ */
+void setMode(Mode mode);
+
+/**
+ * Parses a `COMET_SIMD` value ("scalar", "avx2", "neon", "auto") to a
+ * concrete supported mode. Aborts on an unknown name or an explicitly
+ * requested backend the machine cannot run.
+ */
+Mode parseMode(const char *name);
+
+/**
+ * Unpacks @p n packed INT4 values (little-endian nibble order,
+ * @p n even) into sign-extended INT8 values.
+ */
+void unpackInt4(const uint8_t *packed, int64_t n, int8_t *out);
+
+/**
+ * Packs @p n INT8 values (each in [-8, 7], @p n even) into n/2 bytes
+ * of little-endian nibble storage. Aborts on out-of-range values —
+ * silently masking them would corrupt neighboring lanes.
+ */
+void packInt4(const int8_t *values, int64_t n, uint8_t *packed);
+
+/**
+ * Applies the per-register location switch (convert.h) to
+ * @p n_words packed-INT4 register words stored little-endian at
+ * @p in, writing to @p out. In-place (@p in == @p out) is allowed.
+ */
+void locationSwitchWords(const uint8_t *in, int64_t n_words,
+                         uint8_t *out);
+
+/**
+ * Applies the 16-value weight interleave (interleave.h) to
+ * @p n_units units of 8 packed bytes each: within every unit, byte
+ * pairs (2,3) and (4,5) swap. Self-inverse. @p in and @p out must not
+ * partially overlap (@p in == @p out is allowed).
+ */
+void interleaveUnits(const uint8_t *in, int64_t n_units, uint8_t *out);
+
+/**
+ * Fast-widens a prepared (interleaved + location-switched) packed
+ * INT4 span to INT8 in logical activation order: for every 16-value
+ * unit (8 input bytes, words w0 and w1), emits the 16 bytes
+ * [lo(w0), lo(w1), hi(w0), hi(w1)] where lo/hi are the two
+ * fastInt4ToInt8() register halves. Output bytes equal
+ * kFastConvMultiplier (16x) the true INT4 values, exactly as
+ * convert.h documents. @p n_values must be a multiple of 16.
+ */
+void fastWidenW4A8(const uint8_t *prepared, int64_t n_values,
+                   int8_t *out);
+
+/** Dot product of two INT8 spans accumulated in INT32 (the dp4a
+ * inner loop, span-level). Exact for any @p n >= 0. */
+int32_t dotInt8(const int8_t *a, const int8_t *b, int64_t n);
+
+/**
+ * Dot product of two packed INT4 spans (@p n_values values, even,
+ * little-endian nibble order) accumulated in INT32 — the dp8a4 inner
+ * loop, span-level.
+ */
+int32_t dotInt4(const uint8_t *a, const uint8_t *b, int64_t n_values);
+
+/**
+ * Running per-element min/max update: mins[i] = min(mins[i], x[i])
+ * and maxs[i] = max(maxs[i], x[i]) for i in [0, n). The channel-wise
+ * KV quantization range pass, vectorized across channels.
+ */
+void minMaxUpdate(const float *x, int64_t n, float *mins, float *maxs);
+
+/**
+ * Per-element affine quantization with clamping:
+ * out[i] = clamp(roundHalfAwayFromZero(x[i] / scales[i]) +
+ *                zero_points[i], qmin, qmax),
+ * bit-identical to QuantParams::quantize followed by std::clamp.
+ */
+void quantizeAffine(const float *x, const float *scales,
+                    const int32_t *zero_points, int64_t n,
+                    int32_t qmin, int32_t qmax, int8_t *out);
+
+/**
+ * Per-element affine dequantization:
+ * out[i] = float(q[i] - zero_points[i]) * scales[i], bit-identical
+ * to QuantParams::dequantize.
+ */
+void dequantAffine(const int8_t *q, const float *scales,
+                   const int32_t *zero_points, int64_t n, float *out);
+
+} // namespace simd
+} // namespace comet

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Internal backend declarations for comet::simd. Each backend
+ * implements the same signatures as the public API; simd.cc owns the
+ * dispatch. Not installed as public API — include simd.h instead.
+ */
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define COMET_SIMD_X86 1
+#else
+#define COMET_SIMD_X86 0
+#endif
+
+#if defined(__aarch64__)
+#define COMET_SIMD_AARCH64 1
+#else
+#define COMET_SIMD_AARCH64 0
+#endif
+
+namespace comet {
+namespace simd {
+namespace detail {
+
+/** Declares one backend's kernel set. @{ */
+#define COMET_SIMD_DECLARE_BACKEND(ns)                                     \
+    namespace ns {                                                         \
+    void unpackInt4(const uint8_t *packed, int64_t n, int8_t *out);        \
+    void packInt4(const int8_t *values, int64_t n, uint8_t *packed);       \
+    void locationSwitchWords(const uint8_t *in, int64_t n_words,           \
+                             uint8_t *out);                                \
+    void interleaveUnits(const uint8_t *in, int64_t n_units,               \
+                         uint8_t *out);                                    \
+    void fastWidenW4A8(const uint8_t *prepared, int64_t n_values,          \
+                       int8_t *out);                                       \
+    int32_t dotInt8(const int8_t *a, const int8_t *b, int64_t n);          \
+    int32_t dotInt4(const uint8_t *a, const uint8_t *b,                    \
+                    int64_t n_values);                                     \
+    void minMaxUpdate(const float *x, int64_t n, float *mins,              \
+                      float *maxs);                                        \
+    void quantizeAffine(const float *x, const float *scales,               \
+                        const int32_t *zero_points, int64_t n,             \
+                        int32_t qmin, int32_t qmax, int8_t *out);          \
+    void dequantAffine(const int8_t *q, const float *scales,               \
+                       const int32_t *zero_points, int64_t n,              \
+                       float *out);                                        \
+    }
+
+COMET_SIMD_DECLARE_BACKEND(scalar)
+#if COMET_SIMD_X86
+COMET_SIMD_DECLARE_BACKEND(avx2)
+#endif
+#if COMET_SIMD_AARCH64
+COMET_SIMD_DECLARE_BACKEND(neon)
+#endif
+
+#undef COMET_SIMD_DECLARE_BACKEND
+/** @} */
+
+/** True when the running CPU supports AVX2 (false off x86). */
+bool avx2Supported();
+
+/** True when NEON is available (true exactly on AArch64 builds). */
+bool neonSupported();
+
+} // namespace detail
+} // namespace simd
+} // namespace comet

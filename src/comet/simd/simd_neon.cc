@@ -1,0 +1,252 @@
+/**
+ * @file
+ * AArch64 NEON backend. NEON (Advanced SIMD) is baseline on AArch64,
+ * so the whole file is guarded on the target architecture and no
+ * runtime feature probe is needed beyond "we compiled for AArch64".
+ *
+ * Bit-identity with the scalar backend is load-bearing; see
+ * simd_avx2.cc for the contract. Notably minMaxUpdate uses explicit
+ * compare+select instead of vminq/vmaxq so NaN handling matches the
+ * scalar ternaries, and quantizeAffine narrows with the modular
+ * (non-saturating) vmovn to match the scalar static_cast.
+ */
+#include "comet/simd/simd_internal.h"
+
+#if COMET_SIMD_AARCH64
+
+#include <arm_neon.h>
+
+#include "comet/common/status.h"
+
+namespace comet {
+namespace simd {
+namespace detail {
+namespace neon {
+
+namespace {
+
+/** Sign-extends the 4-bit values held in each byte's low nibble. */
+inline int8x16_t
+signExtend4(uint8x16_t nibbles)
+{
+    const int8x16_t eight = vdupq_n_s8(8);
+    return vsubq_s8(
+        veorq_s8(vreinterpretq_s8_u8(nibbles), eight), eight);
+}
+
+/** Widening multiply-accumulate of 16 INT8 lanes into int32x4. */
+inline int32x4_t
+madd16x8(int32x4_t acc, int8x16_t a, int8x16_t b)
+{
+    const int16x8_t lo = vmull_s8(vget_low_s8(a), vget_low_s8(b));
+    const int16x8_t hi = vmull_s8(vget_high_s8(a), vget_high_s8(b));
+    return vpadalq_s16(vpadalq_s16(acc, lo), hi);
+}
+
+} // namespace
+
+void
+unpackInt4(const uint8_t *packed, int64_t n, int8_t *out)
+{
+    const uint8x16_t lo_mask = vdupq_n_u8(0x0f);
+    int64_t v = 0;
+    for (; n - v >= 32; v += 32) {
+        const uint8x16_t bytes = vld1q_u8(packed + v / 2);
+        const int8x16_t lo = signExtend4(vandq_u8(bytes, lo_mask));
+        const int8x16_t hi = signExtend4(vshrq_n_u8(bytes, 4));
+        vst1q_s8(out + v, vzip1q_s8(lo, hi));
+        vst1q_s8(out + v + 16, vzip2q_s8(lo, hi));
+    }
+    scalar::unpackInt4(packed + v / 2, n - v, out + v);
+}
+
+void
+packInt4(const int8_t *values, int64_t n, uint8_t *packed)
+{
+    const int8x16_t max4 = vdupq_n_s8(7);
+    const int8x16_t min4 = vdupq_n_s8(-8);
+    const uint8x16_t lo_mask = vdupq_n_u8(0x0f);
+    int64_t v = 0;
+    for (; n - v >= 32; v += 32) {
+        const int8x16_t a = vld1q_s8(values + v);
+        const int8x16_t b = vld1q_s8(values + v + 16);
+        const uint8x16_t bad = vorrq_u8(
+            vorrq_u8(vcgtq_s8(a, max4), vcgtq_s8(min4, a)),
+            vorrq_u8(vcgtq_s8(b, max4), vcgtq_s8(min4, b)));
+        COMET_CHECK_MSG(vmaxvq_u8(bad) == 0,
+                        "INT4 pack value outside [-8, 7]");
+        const uint8x16_t even = vreinterpretq_u8_s8(vuzp1q_s8(a, b));
+        const uint8x16_t odd = vreinterpretq_u8_s8(vuzp2q_s8(a, b));
+        vst1q_u8(packed + v / 2,
+                 vorrq_u8(vandq_u8(even, lo_mask),
+                          vshlq_n_u8(odd, 4)));
+    }
+    scalar::packInt4(values + v, n - v, packed + v / 2);
+}
+
+void
+locationSwitchWords(const uint8_t *in, int64_t n_words, uint8_t *out)
+{
+    const uint32x4_t mask16 = vdupq_n_u32(0x0000ffffu);
+    const uint32x4_t mask8 = vdupq_n_u32(0x00ff00ffu);
+    const uint32x4_t mask4 = vdupq_n_u32(0x0f0f0f0fu);
+    int64_t w = 0;
+    for (; n_words - w >= 4; w += 4) {
+        const uint32x4_t word =
+            vreinterpretq_u32_u8(vld1q_u8(in + 4 * w));
+        uint32x4_t lo = vandq_u32(word, mask16);
+        uint32x4_t hi = vshrq_n_u32(word, 16);
+        lo = vandq_u32(vorrq_u32(lo, vshlq_n_u32(lo, 8)), mask8);
+        lo = vandq_u32(vorrq_u32(lo, vshlq_n_u32(lo, 4)), mask4);
+        hi = vandq_u32(vorrq_u32(hi, vshlq_n_u32(hi, 8)), mask8);
+        hi = vandq_u32(vorrq_u32(hi, vshlq_n_u32(hi, 4)), mask4);
+        vst1q_u8(out + 4 * w,
+                 vreinterpretq_u8_u32(
+                     vorrq_u32(lo, vshlq_n_u32(hi, 4))));
+    }
+    scalar::locationSwitchWords(in + 4 * w, n_words - w, out + 4 * w);
+}
+
+void
+interleaveUnits(const uint8_t *in, int64_t n_units, uint8_t *out)
+{
+    // Per 8-byte unit: swap byte pairs (2,3) <-> (4,5).
+    const uint8x16_t pattern = {0, 1, 4,  5,  2,  3,  6,  7,
+                                8, 9, 12, 13, 10, 11, 14, 15};
+    int64_t u = 0;
+    for (; n_units - u >= 2; u += 2) {
+        const uint8x16_t bytes = vld1q_u8(in + 8 * u);
+        vst1q_u8(out + 8 * u, vqtbl1q_u8(bytes, pattern));
+    }
+    scalar::interleaveUnits(in + 8 * u, n_units - u, out + 8 * u);
+}
+
+void
+fastWidenW4A8(const uint8_t *prepared, int64_t n_values, int8_t *out)
+{
+    const uint8x16_t hi_mask = vdupq_n_u8(0xf0);
+    int64_t v = 0;
+    for (; n_values - v >= 32; v += 32) {
+        const uint8x16_t bytes = vld1q_u8(prepared + v / 2);
+        const uint64x2_t lo = vreinterpretq_u64_u8(
+            vshlq_n_u8(vandq_u8(bytes, vdupq_n_u8(0x0f)), 4));
+        const uint64x2_t hi =
+            vreinterpretq_u64_u8(vandq_u8(bytes, hi_mask));
+        // Per 16-value unit (one 64-bit lane of input) the output is
+        // [lo(unit), hi(unit)]: zip at 64-bit granularity.
+        vst1q_s8(out + v, vreinterpretq_s8_u64(vzip1q_u64(lo, hi)));
+        vst1q_s8(out + v + 16,
+                 vreinterpretq_s8_u64(vzip2q_u64(lo, hi)));
+    }
+    scalar::fastWidenW4A8(prepared + v / 2, n_values - v, out + v);
+}
+
+int32_t
+dotInt8(const int8_t *a, const int8_t *b, int64_t n)
+{
+    int32x4_t acc = vdupq_n_s32(0);
+    int64_t i = 0;
+    for (; n - i >= 16; i += 16) {
+        acc = madd16x8(acc, vld1q_s8(a + i), vld1q_s8(b + i));
+    }
+    return vaddvq_s32(acc) + scalar::dotInt8(a + i, b + i, n - i);
+}
+
+int32_t
+dotInt4(const uint8_t *a, const uint8_t *b, int64_t n_values)
+{
+    const uint8x16_t lo_mask = vdupq_n_u8(0x0f);
+    int32x4_t acc = vdupq_n_s32(0);
+    int64_t v = 0;
+    for (; n_values - v >= 32; v += 32) {
+        const uint8x16_t ab = vld1q_u8(a + v / 2);
+        const uint8x16_t bb = vld1q_u8(b + v / 2);
+        acc = madd16x8(acc, signExtend4(vandq_u8(ab, lo_mask)),
+                       signExtend4(vandq_u8(bb, lo_mask)));
+        acc = madd16x8(acc, signExtend4(vshrq_n_u8(ab, 4)),
+                       signExtend4(vshrq_n_u8(bb, 4)));
+    }
+    return vaddvq_s32(acc) +
+           scalar::dotInt4(a + v / 2, b + v / 2, n_values - v);
+}
+
+void
+minMaxUpdate(const float *x, int64_t n, float *mins, float *maxs)
+{
+    int64_t i = 0;
+    for (; n - i >= 4; i += 4) {
+        const float32x4_t xv = vld1q_f32(x + i);
+        const float32x4_t mn = vld1q_f32(mins + i);
+        const float32x4_t mx = vld1q_f32(maxs + i);
+        // Compare+select (not vminq/vmaxq) so NaN lanes resolve the
+        // way the scalar ternaries do: keep the running value.
+        vst1q_f32(mins + i, vbslq_f32(vcltq_f32(xv, mn), xv, mn));
+        vst1q_f32(maxs + i, vbslq_f32(vcgtq_f32(xv, mx), xv, mx));
+    }
+    scalar::minMaxUpdate(x + i, n - i, mins + i, maxs + i);
+}
+
+void
+quantizeAffine(const float *x, const float *scales,
+               const int32_t *zero_points, int64_t n, int32_t qmin,
+               int32_t qmax, int8_t *out)
+{
+    const uint32x4_t sign_mask = vdupq_n_u32(0x80000000u);
+    const uint32x4_t half_bits =
+        vreinterpretq_u32_f32(vdupq_n_f32(0.5f));
+    const int32x4_t qmin_v = vdupq_n_s32(qmin);
+    const int32x4_t qmax_v = vdupq_n_s32(qmax);
+    int64_t i = 0;
+    for (; n - i >= 8; i += 8) {
+        int32x4_t q[2];
+        for (int half = 0; half < 2; ++half) {
+            const int64_t base = i + 4 * half;
+            const float32x4_t t = vdivq_f32(vld1q_f32(x + base),
+                                            vld1q_f32(scales + base));
+            // Round half away from zero: add copysign(0.5, t), then
+            // truncate — exactly the scalar rounding.
+            const float32x4_t rounded = vaddq_f32(
+                t, vreinterpretq_f32_u32(vorrq_u32(
+                       vandq_u32(vreinterpretq_u32_f32(t), sign_mask),
+                       half_bits)));
+            int32x4_t qv = vaddq_s32(vcvtq_s32_f32(rounded),
+                                     vld1q_s32(zero_points + base));
+            q[half] =
+                vminq_s32(vmaxq_s32(qv, qmin_v), qmax_v);
+        }
+        // Modular narrow (vmovn) matches the scalar static_cast.
+        vst1_s8(out + i,
+                vmovn_s16(vcombine_s16(vmovn_s32(q[0]),
+                                       vmovn_s32(q[1]))));
+    }
+    scalar::quantizeAffine(x + i, scales + i, zero_points + i, n - i,
+                           qmin, qmax, out + i);
+}
+
+void
+dequantAffine(const int8_t *q, const float *scales,
+              const int32_t *zero_points, int64_t n, float *out)
+{
+    int64_t i = 0;
+    for (; n - i >= 8; i += 8) {
+        const int16x8_t q16 = vmovl_s8(vld1_s8(q + i));
+        const int32x4_t lo = vsubq_s32(vmovl_s16(vget_low_s16(q16)),
+                                       vld1q_s32(zero_points + i));
+        const int32x4_t hi =
+            vsubq_s32(vmovl_s16(vget_high_s16(q16)),
+                      vld1q_s32(zero_points + i + 4));
+        vst1q_f32(out + i, vmulq_f32(vcvtq_f32_s32(lo),
+                                     vld1q_f32(scales + i)));
+        vst1q_f32(out + i + 4, vmulq_f32(vcvtq_f32_s32(hi),
+                                         vld1q_f32(scales + i + 4)));
+    }
+    scalar::dequantAffine(q + i, scales + i, zero_points + i, n - i,
+                          out + i);
+}
+
+} // namespace neon
+} // namespace detail
+} // namespace simd
+} // namespace comet
+
+#endif // COMET_SIMD_AARCH64

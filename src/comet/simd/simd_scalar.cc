@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Portable scalar backend: the reference semantics every SIMD backend
+ * must reproduce bit-for-bit. The loops here are the original
+ * per-element emulation loops, hoisted to span level.
+ */
+#include "comet/simd/simd_internal.h"
+
+#include <cstring>
+
+#include "comet/common/status.h"
+
+namespace comet {
+namespace simd {
+namespace detail {
+namespace scalar {
+
+namespace {
+
+/** Sign-extends a 4-bit two's-complement nibble. */
+inline int8_t
+signExtend4(uint32_t nibble)
+{
+    return static_cast<int8_t>(nibble >= 8
+                                   ? static_cast<int>(nibble) - 16
+                                   : static_cast<int>(nibble));
+}
+
+/** Loads a little-endian 32-bit register word from bytes. */
+inline uint32_t
+loadWordLe(const uint8_t *p)
+{
+    uint32_t word;
+    std::memcpy(&word, p, sizeof(word));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    word = __builtin_bswap32(word);
+#endif
+    return word;
+}
+
+/** Stores a 32-bit register word as little-endian bytes. */
+inline void
+storeWordLe(uint8_t *p, uint32_t word)
+{
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    word = __builtin_bswap32(word);
+#endif
+    std::memcpy(p, &word, sizeof(word));
+}
+
+} // namespace
+
+void
+unpackInt4(const uint8_t *packed, int64_t n, int8_t *out)
+{
+    for (int64_t i = 0; i < n; i += 2) {
+        const uint8_t byte = packed[i / 2];
+        out[i] = signExtend4(byte & 0x0f);
+        out[i + 1] = signExtend4(static_cast<uint32_t>(byte) >> 4);
+    }
+}
+
+void
+packInt4(const int8_t *values, int64_t n, uint8_t *packed)
+{
+    for (int64_t i = 0; i < n; i += 2) {
+        const int8_t lo = values[i], hi = values[i + 1];
+        COMET_CHECK_MSG(lo >= -8 && lo <= 7 && hi >= -8 && hi <= 7,
+                        "INT4 pack value outside [-8, 7]");
+        packed[i / 2] = static_cast<uint8_t>(
+            (static_cast<uint8_t>(lo) & 0x0f) |
+            (static_cast<uint8_t>(hi) << 4));
+    }
+}
+
+void
+locationSwitchWords(const uint8_t *in, int64_t n_words, uint8_t *out)
+{
+    for (int64_t w = 0; w < n_words; ++w) {
+        const uint32_t word = loadWordLe(in + 4 * w);
+        // Spread the low/high 16-bit halves so logical nibbles 0..3
+        // land in even slots and 4..7 in odd slots (see convert.cc).
+        uint32_t lo = word & 0xffffu;
+        uint32_t hi = word >> 16;
+        lo = (lo | (lo << 8)) & 0x00ff00ffu;
+        lo = (lo | (lo << 4)) & 0x0f0f0f0fu;
+        hi = (hi | (hi << 8)) & 0x00ff00ffu;
+        hi = (hi | (hi << 4)) & 0x0f0f0f0fu;
+        storeWordLe(out + 4 * w, lo | (hi << 4));
+    }
+}
+
+void
+interleaveUnits(const uint8_t *in, int64_t n_units, uint8_t *out)
+{
+    for (int64_t u = 0; u < n_units; ++u) {
+        const uint8_t *src = in + 8 * u;
+        uint8_t unit[8] = {src[0], src[1], src[4], src[5],
+                           src[2], src[3], src[6], src[7]};
+        std::memcpy(out + 8 * u, unit, 8);
+    }
+}
+
+void
+fastWidenW4A8(const uint8_t *prepared, int64_t n_values, int8_t *out)
+{
+    for (int64_t v = 0; v < n_values; v += 16) {
+        const uint8_t *src = prepared + v / 2;
+        const uint32_t w0 = loadWordLe(src);
+        const uint32_t w1 = loadWordLe(src + 4);
+        uint8_t *dst = reinterpret_cast<uint8_t *>(out + v);
+        storeWordLe(dst, (w0 << 4) & 0xf0f0f0f0u);
+        storeWordLe(dst + 4, (w1 << 4) & 0xf0f0f0f0u);
+        storeWordLe(dst + 8, w0 & 0xf0f0f0f0u);
+        storeWordLe(dst + 12, w1 & 0xf0f0f0f0u);
+    }
+}
+
+int32_t
+dotInt8(const int8_t *a, const int8_t *b, int64_t n)
+{
+    int32_t acc = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+    }
+    return acc;
+}
+
+int32_t
+dotInt4(const uint8_t *a, const uint8_t *b, int64_t n_values)
+{
+    int32_t acc = 0;
+    for (int64_t i = 0; i < n_values; i += 2) {
+        const uint8_t ab = a[i / 2], bb = b[i / 2];
+        acc += static_cast<int32_t>(signExtend4(ab & 0x0f)) *
+               static_cast<int32_t>(signExtend4(bb & 0x0f));
+        acc += static_cast<int32_t>(
+                   signExtend4(static_cast<uint32_t>(ab) >> 4)) *
+               static_cast<int32_t>(
+                   signExtend4(static_cast<uint32_t>(bb) >> 4));
+    }
+    return acc;
+}
+
+void
+minMaxUpdate(const float *x, int64_t n, float *mins, float *maxs)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        mins[i] = x[i] < mins[i] ? x[i] : mins[i];
+        maxs[i] = x[i] > maxs[i] ? x[i] : maxs[i];
+    }
+}
+
+void
+quantizeAffine(const float *x, const float *scales,
+               const int32_t *zero_points, int64_t n, int32_t qmin,
+               int32_t qmax, int8_t *out)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        // Round half away from zero — the QuantParams::quantize
+        // rounding, reproduced operation for operation.
+        const float t = x[i] / scales[i];
+        int32_t q = static_cast<int32_t>(t >= 0 ? t + 0.5f : t - 0.5f) +
+                    zero_points[i];
+        q = q < qmin ? qmin : q;
+        q = q > qmax ? qmax : q;
+        out[i] = static_cast<int8_t>(q);
+    }
+}
+
+void
+dequantAffine(const int8_t *q, const float *scales,
+              const int32_t *zero_points, int64_t n, float *out)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        out[i] = static_cast<float>(static_cast<int32_t>(q[i]) -
+                                    zero_points[i]) *
+                 scales[i];
+    }
+}
+
+} // namespace scalar
+} // namespace detail
+} // namespace simd
+} // namespace comet

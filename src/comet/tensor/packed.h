@@ -74,6 +74,21 @@ class Int4Tensor
     uint8_t *data() { return data_.data(); }
     /** @} */
 
+    /** Packed bytes of row @p r (rowBytes() of them). @{ */
+    const uint8_t *
+    rowPtr(int64_t r) const
+    {
+        COMET_CHECK(r >= 0 && r < rows_);
+        return data_.data() + r * rowBytes();
+    }
+    uint8_t *
+    rowPtr(int64_t r)
+    {
+        COMET_CHECK(r >= 0 && r < rows_);
+        return data_.data() + r * rowBytes();
+    }
+    /** @} */
+
     /** Reads 8 consecutive INT4 values starting at column @p c of row
      * @p r as one packed 32-bit register word. @pre c % 8 == 0. */
     uint32_t loadWord(int64_t r, int64_t c) const;
@@ -115,6 +130,21 @@ class Int8Tensor
     /** Raw storage, rows() * cols() bytes. @{ */
     const int8_t *data() const { return data_.data(); }
     int8_t *data() { return data_.data(); }
+    /** @} */
+
+    /** Storage of row @p r (cols() values). @{ */
+    const int8_t *
+    rowPtr(int64_t r) const
+    {
+        COMET_CHECK(r >= 0 && r < rows_);
+        return data_.data() + r * cols_;
+    }
+    int8_t *
+    rowPtr(int64_t r)
+    {
+        COMET_CHECK(r >= 0 && r < rows_);
+        return data_.data() + r * cols_;
+    }
     /** @} */
 
     /** Reads 4 consecutive INT8 values starting at column @p c of row

@@ -33,6 +33,17 @@ TEST(PackInt8, RoundTripExtremes)
     EXPECT_EQ(unpackInt8x4(packInt8x4(values)), values);
 }
 
+TEST(PackInt4DeathTest, OutOfRangeValueAborts)
+{
+    // 8 would silently alias to -8 under nibble masking; the pack
+    // must abort instead of corrupting the lane.
+    std::array<int8_t, 8> values{};
+    values[3] = 8;
+    EXPECT_DEATH(packInt4x8(values), "INT4 pack");
+    values[3] = -9;
+    EXPECT_DEATH(packInt4x8(values), "INT4 pack");
+}
+
 TEST(Dp4a, MatchesScalarDotProduct)
 {
     Rng rng(1);

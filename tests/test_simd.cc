@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Equivalence suite for the runtime-dispatched SIMD substrate: every
+ * routine must be bit-identical to the scalar backend under every
+ * supported mode, including edge inputs (all-0xF nibbles, ragged
+ * non-multiple-of-lane tails, zero-length spans), and the golden
+ * vectors pin the absolute layout semantics against the kernel
+ * primitives (convert.h, interleave.h, quantizer.h).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "comet/common/rng.h"
+#include "comet/kernel/convert.h"
+#include "comet/kernel/interleave.h"
+#include "comet/quant/quantizer.h"
+#include "comet/simd/simd.h"
+#include "comet/simd/simd_internal.h"
+
+namespace comet {
+namespace {
+
+// Span lengths covering zero, sub-lane, exact-lane and ragged-tail
+// cases for every backend width in play (AVX2 bodies consume 8..64
+// values per iteration).
+const int64_t kEvenSpans[] = {0, 2, 6, 16, 30, 32, 34,
+                              62, 64, 66, 126, 128, 130, 258};
+const int64_t kAnySpans[] = {0, 1, 3, 7, 8, 9, 15, 16, 17,
+                             31, 32, 33, 63, 64, 65, 130, 257};
+
+std::vector<uint8_t>
+randomPackedBytes(Rng &rng, int64_t n_bytes)
+{
+    std::vector<uint8_t> bytes(static_cast<size_t>(n_bytes));
+    for (uint8_t &b : bytes)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    return bytes;
+}
+
+std::vector<int8_t>
+randomInt8(Rng &rng, int64_t n, int lo, int hi)
+{
+    std::vector<int8_t> values(static_cast<size_t>(n));
+    for (int8_t &v : values)
+        v = static_cast<int8_t>(
+            static_cast<int>(rng.uniformInt(
+                static_cast<uint64_t>(hi - lo + 1))) +
+            lo);
+    return values;
+}
+
+std::vector<float>
+randomFloats(Rng &rng, int64_t n, double mean = 0.0,
+             double stddev = 4.0)
+{
+    std::vector<float> values(static_cast<size_t>(n));
+    for (float &v : values)
+        v = static_cast<float>(rng.gaussian(mean, stddev));
+    return values;
+}
+
+/** Runs every test body under one supported mode, restoring the
+ * previously active mode afterwards. */
+class SimdEquivalence : public ::testing::TestWithParam<simd::Mode>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_ = simd::activeMode();
+        simd::setMode(GetParam());
+    }
+
+    void TearDown() override { simd::setMode(saved_); }
+
+  private:
+    simd::Mode saved_ = simd::Mode::kScalar;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSupportedModes, SimdEquivalence,
+    ::testing::ValuesIn(simd::supportedModes()),
+    [](const ::testing::TestParamInfo<simd::Mode> &info) {
+        return simd::modeName(info.param);
+    });
+
+TEST_P(SimdEquivalence, UnpackInt4Golden)
+{
+    // 0x21 -> low nibble first: {1, 2}; 0xF8 -> {-8, -1}.
+    const uint8_t packed[] = {0x21, 0xF8};
+    int8_t out[4] = {};
+    simd::unpackInt4(packed, 4, out);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 2);
+    EXPECT_EQ(out[2], -8);
+    EXPECT_EQ(out[3], -1);
+}
+
+TEST_P(SimdEquivalence, UnpackMatchesScalarOnRaggedSpans)
+{
+    Rng rng(11);
+    for (const int64_t n : kEvenSpans) {
+        const std::vector<uint8_t> packed =
+            randomPackedBytes(rng, n / 2);
+        std::vector<int8_t> got(static_cast<size_t>(n), 99);
+        std::vector<int8_t> want(static_cast<size_t>(n), 99);
+        simd::unpackInt4(packed.data(), n, got.data());
+        simd::detail::scalar::unpackInt4(packed.data(), n,
+                                         want.data());
+        EXPECT_EQ(got, want) << "n=" << n;
+    }
+}
+
+TEST_P(SimdEquivalence, PackMatchesScalarAndRoundTrips)
+{
+    Rng rng(12);
+    for (const int64_t n : kEvenSpans) {
+        const std::vector<int8_t> values = randomInt8(rng, n, -8, 7);
+        std::vector<uint8_t> got(static_cast<size_t>(n / 2), 0xAA);
+        std::vector<uint8_t> want(static_cast<size_t>(n / 2), 0xAA);
+        simd::packInt4(values.data(), n, got.data());
+        simd::detail::scalar::packInt4(values.data(), n, want.data());
+        EXPECT_EQ(got, want) << "n=" << n;
+
+        std::vector<int8_t> back(static_cast<size_t>(n));
+        simd::unpackInt4(got.data(), n, back.data());
+        EXPECT_EQ(back, values) << "n=" << n;
+    }
+}
+
+TEST_P(SimdEquivalence, AllNibbles0xF)
+{
+    // 0xF nibbles are -1: the sign-extension edge where a masked
+    // (unsigned) interpretation would read 15.
+    const std::vector<uint8_t> packed(64, 0xFF);
+    std::vector<int8_t> out(128, 0);
+    simd::unpackInt4(packed.data(), 128, out.data());
+    for (const int8_t v : out)
+        EXPECT_EQ(v, -1);
+
+    const std::vector<int8_t> minus_ones(128, -1);
+    std::vector<uint8_t> repacked(64, 0);
+    simd::packInt4(minus_ones.data(), 128, repacked.data());
+    EXPECT_EQ(repacked, packed);
+}
+
+TEST_P(SimdEquivalence, LocationSwitchGoldenAndScalar)
+{
+    // Golden: each word must match the register-level primitive.
+    Rng rng(13);
+    for (const int64_t n_words : {0LL, 1LL, 2LL, 7LL, 8LL, 9LL, 33LL}) {
+        const std::vector<uint8_t> in =
+            randomPackedBytes(rng, n_words * 4);
+        std::vector<uint8_t> got(static_cast<size_t>(n_words * 4));
+        simd::locationSwitchWords(in.data(), n_words, got.data());
+        for (int64_t w = 0; w < n_words; ++w) {
+            uint32_t word = 0, switched = 0;
+            std::memcpy(&word, in.data() + w * 4, 4);
+            switched = locationSwitch(word);
+            uint32_t got_word = 0;
+            std::memcpy(&got_word, got.data() + w * 4, 4);
+            EXPECT_EQ(got_word, switched) << "word " << w;
+        }
+        // In-place operation is allowed.
+        std::vector<uint8_t> in_place = in;
+        simd::locationSwitchWords(in_place.data(), n_words,
+                                  in_place.data());
+        EXPECT_EQ(in_place, got);
+    }
+}
+
+TEST_P(SimdEquivalence, InterleaveGoldenAndSelfInverse)
+{
+    Rng rng(14);
+    for (const int64_t n_units : {0LL, 1LL, 2LL, 3LL, 5LL, 16LL}) {
+        const std::vector<uint8_t> in =
+            randomPackedBytes(rng, n_units * 8);
+        std::vector<uint8_t> got(static_cast<size_t>(n_units * 8));
+        simd::interleaveUnits(in.data(), n_units, got.data());
+
+        // Golden: nibble at logical index i lands at
+        // interleavedIndex(i) — the exact transform interleave.h
+        // documents (whole nibble pairs move, so bytes permute).
+        for (int64_t unit = 0; unit < n_units; ++unit) {
+            for (int64_t i = 0; i < kInterleaveUnit; i += 2) {
+                const int64_t j = interleavedIndex(i);
+                EXPECT_EQ(got[static_cast<size_t>(unit * 8 + j / 2)],
+                          in[static_cast<size_t>(unit * 8 + i / 2)])
+                    << "unit " << unit << " value " << i;
+            }
+        }
+
+        // Self-inverse: applying it twice restores the input.
+        std::vector<uint8_t> twice(static_cast<size_t>(n_units * 8));
+        simd::interleaveUnits(got.data(), n_units, twice.data());
+        EXPECT_EQ(twice, in);
+    }
+}
+
+TEST_P(SimdEquivalence, FastWidenGoldenAndScalar)
+{
+    Rng rng(15);
+    for (const int64_t n_values : {0LL, 16LL, 32LL, 48LL, 160LL}) {
+        const std::vector<uint8_t> prepared =
+            randomPackedBytes(rng, n_values / 2);
+        std::vector<int8_t> got(static_cast<size_t>(n_values), 1);
+        std::vector<int8_t> want(static_cast<size_t>(n_values), 2);
+        simd::fastWidenW4A8(prepared.data(), n_values, got.data());
+        simd::detail::scalar::fastWidenW4A8(prepared.data(), n_values,
+                                            want.data());
+        EXPECT_EQ(got, want) << "n=" << n_values;
+
+        // Golden per unit: [lo(w0), lo(w1), hi(w0), hi(w1)] from the
+        // register-level fastInt4ToInt8 primitive.
+        for (int64_t unit = 0; unit < n_values / 16; ++unit) {
+            uint32_t w0 = 0, w1 = 0;
+            std::memcpy(&w0, prepared.data() + unit * 8, 4);
+            std::memcpy(&w1, prepared.data() + unit * 8 + 4, 4);
+            const ConvertedPair p0 = fastInt4ToInt8(w0);
+            const ConvertedPair p1 = fastInt4ToInt8(w1);
+            const uint32_t expect_words[4] = {p0.lo, p1.lo, p0.hi,
+                                              p1.hi};
+            uint8_t expect[16];
+            std::memcpy(expect, expect_words, 16);
+            EXPECT_EQ(std::memcmp(got.data() + unit * 16, expect, 16),
+                      0)
+                << "unit " << unit;
+        }
+    }
+}
+
+TEST_P(SimdEquivalence, DotInt8MatchesNaive)
+{
+    Rng rng(16);
+    for (const int64_t n : kAnySpans) {
+        const std::vector<int8_t> a = randomInt8(rng, n, -128, 127);
+        const std::vector<int8_t> b = randomInt8(rng, n, -128, 127);
+        int32_t want = 0;
+        for (int64_t i = 0; i < n; ++i)
+            want += static_cast<int32_t>(a[static_cast<size_t>(i)]) *
+                    b[static_cast<size_t>(i)];
+        EXPECT_EQ(simd::dotInt8(a.data(), b.data(), n), want)
+            << "n=" << n;
+    }
+}
+
+TEST_P(SimdEquivalence, DotInt4MatchesUnpackedDot)
+{
+    Rng rng(17);
+    for (const int64_t n : kEvenSpans) {
+        const std::vector<uint8_t> a = randomPackedBytes(rng, n / 2);
+        const std::vector<uint8_t> b = randomPackedBytes(rng, n / 2);
+        std::vector<int8_t> ua(static_cast<size_t>(n)),
+            ub(static_cast<size_t>(n));
+        simd::detail::scalar::unpackInt4(a.data(), n, ua.data());
+        simd::detail::scalar::unpackInt4(b.data(), n, ub.data());
+        int32_t want = 0;
+        for (int64_t i = 0; i < n; ++i)
+            want += static_cast<int32_t>(ua[static_cast<size_t>(i)]) *
+                    ub[static_cast<size_t>(i)];
+        EXPECT_EQ(simd::dotInt4(a.data(), b.data(), n), want)
+            << "n=" << n;
+    }
+}
+
+TEST_P(SimdEquivalence, MinMaxUpdateBitIdenticalToScalar)
+{
+    Rng rng(18);
+    for (const int64_t n : kAnySpans) {
+        const std::vector<float> x = randomFloats(rng, n);
+        std::vector<float> mins_got = randomFloats(rng, n);
+        std::vector<float> maxs_got = randomFloats(rng, n);
+        std::vector<float> mins_want = mins_got;
+        std::vector<float> maxs_want = maxs_got;
+        simd::minMaxUpdate(x.data(), n, mins_got.data(),
+                           maxs_got.data());
+        simd::detail::scalar::minMaxUpdate(
+            x.data(), n, mins_want.data(), maxs_want.data());
+        ASSERT_EQ(std::memcmp(mins_got.data(), mins_want.data(),
+                              static_cast<size_t>(n) * sizeof(float)),
+                  0)
+            << "n=" << n;
+        ASSERT_EQ(std::memcmp(maxs_got.data(), maxs_want.data(),
+                              static_cast<size_t>(n) * sizeof(float)),
+                  0)
+            << "n=" << n;
+    }
+}
+
+TEST_P(SimdEquivalence, QuantizeAffineBitIdenticalToQuantParams)
+{
+    Rng rng(19);
+    for (const int64_t n : kAnySpans) {
+        const std::vector<float> x = randomFloats(rng, n);
+        std::vector<float> scales(static_cast<size_t>(n));
+        std::vector<int32_t> zps(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+            scales[static_cast<size_t>(i)] = static_cast<float>(
+                0.05 + 0.001 * static_cast<double>(rng.uniformInt(
+                                   1000)));
+            zps[static_cast<size_t>(i)] =
+                static_cast<int32_t>(rng.uniformInt(15)) - 7;
+        }
+        std::vector<int8_t> got(static_cast<size_t>(n), 111);
+        simd::quantizeAffine(x.data(), scales.data(), zps.data(), n,
+                             -8, 7, got.data());
+        for (int64_t i = 0; i < n; ++i) {
+            QuantParams p;
+            p.scale = scales[static_cast<size_t>(i)];
+            p.zero_point = zps[static_cast<size_t>(i)];
+            const int32_t q = std::clamp(
+                p.quantize(x[static_cast<size_t>(i)]), -8, 7);
+            EXPECT_EQ(got[static_cast<size_t>(i)],
+                      static_cast<int8_t>(q))
+                << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST_P(SimdEquivalence, DequantAffineBitIdenticalToQuantParams)
+{
+    Rng rng(20);
+    for (const int64_t n : kAnySpans) {
+        const std::vector<int8_t> q = randomInt8(rng, n, -8, 7);
+        std::vector<float> scales(static_cast<size_t>(n));
+        std::vector<int32_t> zps(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+            scales[static_cast<size_t>(i)] = static_cast<float>(
+                rng.gaussian(0.1, 0.02));
+            zps[static_cast<size_t>(i)] =
+                static_cast<int32_t>(rng.uniformInt(15)) - 7;
+        }
+        std::vector<float> got(static_cast<size_t>(n), -777.0f);
+        simd::dequantAffine(q.data(), scales.data(), zps.data(), n,
+                            got.data());
+        for (int64_t i = 0; i < n; ++i) {
+            QuantParams p;
+            p.scale = scales[static_cast<size_t>(i)];
+            p.zero_point = zps[static_cast<size_t>(i)];
+            const float want =
+                p.dequantize(q[static_cast<size_t>(i)]);
+            EXPECT_EQ(std::memcmp(&got[static_cast<size_t>(i)], &want,
+                                  sizeof(float)),
+                      0)
+                << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST_P(SimdEquivalence, ZeroLengthSpansAreNoOps)
+{
+    // Null-safe zero-length calls: nothing read, nothing written.
+    simd::unpackInt4(nullptr, 0, nullptr);
+    simd::packInt4(nullptr, 0, nullptr);
+    simd::locationSwitchWords(nullptr, 0, nullptr);
+    simd::interleaveUnits(nullptr, 0, nullptr);
+    simd::fastWidenW4A8(nullptr, 0, nullptr);
+    simd::minMaxUpdate(nullptr, 0, nullptr, nullptr);
+    simd::quantizeAffine(nullptr, nullptr, nullptr, 0, -8, 7,
+                         nullptr);
+    simd::dequantAffine(nullptr, nullptr, nullptr, 0, nullptr);
+    EXPECT_EQ(simd::dotInt8(nullptr, nullptr, 0), 0);
+    EXPECT_EQ(simd::dotInt4(nullptr, nullptr, 0), 0);
+}
+
+TEST(SimdMode, ScalarAlwaysSupportedAndListedFirst)
+{
+    EXPECT_TRUE(simd::modeSupported(simd::Mode::kScalar));
+    const std::vector<simd::Mode> modes = simd::supportedModes();
+    ASSERT_FALSE(modes.empty());
+    EXPECT_EQ(modes.front(), simd::Mode::kScalar);
+    for (const simd::Mode mode : modes)
+        EXPECT_TRUE(simd::modeSupported(mode));
+}
+
+TEST(SimdMode, ParseRoundTripsSupportedNames)
+{
+    for (const simd::Mode mode : simd::supportedModes())
+        EXPECT_EQ(simd::parseMode(simd::modeName(mode)), mode);
+    // "auto" resolves to something the machine can run.
+    EXPECT_TRUE(simd::modeSupported(simd::parseMode("auto")));
+}
+
+TEST(SimdMode, SetModeChangesActiveMode)
+{
+    const simd::Mode saved = simd::activeMode();
+    for (const simd::Mode mode : simd::supportedModes()) {
+        simd::setMode(mode);
+        EXPECT_EQ(simd::activeMode(), mode);
+    }
+    simd::setMode(saved);
+}
+
+TEST(SimdModeDeathTest, UnknownNameAborts)
+{
+    EXPECT_DEATH(simd::parseMode("avx512"), "COMET_SIMD");
+}
+
+TEST(SimdModeDeathTest, UnsupportedExplicitRequestAborts)
+{
+    // Whichever of avx2/neon this machine lacks must refuse cleanly
+    // rather than dispatch into illegal instructions.
+    for (const simd::Mode mode :
+         {simd::Mode::kAvx2, simd::Mode::kNeon}) {
+        if (!simd::modeSupported(mode)) {
+            EXPECT_DEATH(simd::setMode(mode), "");
+        }
+    }
+}
+
+TEST(SimdDeathTest, PackInt4RejectsOutOfRangeValues)
+{
+    // 8 and -9 are unrepresentable in INT4; masking them would
+    // silently corrupt the packed lane (8 aliases to -8).
+    const int8_t high[] = {0, 8};
+    uint8_t packed[1];
+    EXPECT_DEATH(simd::packInt4(high, 2, packed), "INT4 pack");
+    const int8_t low[] = {-9, 0};
+    EXPECT_DEATH(simd::packInt4(low, 2, packed), "INT4 pack");
+}
+
+TEST(SimdDeathTest, ShapeChecks)
+{
+    uint8_t packed[8] = {};
+    int8_t out[16] = {};
+    EXPECT_DEATH(simd::unpackInt4(packed, 3, out), "");
+    EXPECT_DEATH(simd::packInt4(out, 3, packed), "");
+    EXPECT_DEATH(simd::fastWidenW4A8(packed, 8, out), "");
+    const float x[1] = {0.0f};
+    const float scales[1] = {1.0f};
+    const int32_t zps[1] = {0};
+    int8_t q[1];
+    EXPECT_DEATH(
+        simd::quantizeAffine(x, scales, zps, 1, 7, -8, q), "");
+}
+
+} // namespace
+} // namespace comet

@@ -63,6 +63,71 @@ TEST(StreamingStats, MergeWithEmptyIsIdentity)
     EXPECT_DOUBLE_EQ(other.mean(), 1.5);
 }
 
+TEST(StreamingStats, SelfMergeDoublesWithoutCorruption)
+{
+    // merge(*this) reads `other`'s fields while mutating them; the
+    // aliasing guard must make it equal merging an identical copy.
+    StreamingStats stats;
+    for (double v : {1.0, 2.0, 4.0, 8.0})
+        stats.add(v);
+    StreamingStats expected = stats;
+    const StreamingStats copy = stats;
+    expected.merge(copy);
+    stats.merge(stats);
+    EXPECT_EQ(stats.count(), expected.count());
+    EXPECT_DOUBLE_EQ(stats.mean(), expected.mean());
+    EXPECT_DOUBLE_EQ(stats.variance(), expected.variance());
+    EXPECT_DOUBLE_EQ(stats.min(), expected.min());
+    EXPECT_DOUBLE_EQ(stats.max(), expected.max());
+}
+
+TEST(StreamingStats, EmptySelfMergeStaysEmpty)
+{
+    StreamingStats stats;
+    stats.merge(stats);
+    EXPECT_EQ(stats.count(), 0);
+}
+
+TEST(StreamingStats, MergeIntoEmptyEqualsCopy)
+{
+    StreamingStats source, sink;
+    source.add(3.0);
+    source.add(5.0);
+    sink.merge(source);
+    EXPECT_EQ(sink.count(), 2);
+    EXPECT_DOUBLE_EQ(sink.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(sink.variance(), source.variance());
+    EXPECT_DOUBLE_EQ(sink.min(), 3.0);
+    EXPECT_DOUBLE_EQ(sink.max(), 5.0);
+}
+
+TEST(StreamingStats, MergeOrderDoesNotChangeVariance)
+{
+    // Chunked merges in any order must agree on count/mean exactly
+    // and on variance to floating-point noise.
+    Rng rng(5);
+    std::vector<StreamingStats> chunks(4);
+    StreamingStats all;
+    for (int i = 0; i < 400; ++i) {
+        const double v = rng.gaussian(-1.0, 3.0);
+        chunks[static_cast<size_t>(i % 4)].add(v);
+        all.add(v);
+    }
+    StreamingStats forward, backward;
+    for (int c = 0; c < 4; ++c)
+        forward.merge(chunks[static_cast<size_t>(c)]);
+    for (int c = 3; c >= 0; --c)
+        backward.merge(chunks[static_cast<size_t>(c)]);
+    EXPECT_EQ(forward.count(), all.count());
+    EXPECT_EQ(backward.count(), all.count());
+    EXPECT_NEAR(forward.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(backward.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(forward.variance(), all.variance(), 1e-9);
+    EXPECT_NEAR(backward.variance(), forward.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(forward.min(), all.min());
+    EXPECT_DOUBLE_EQ(backward.max(), all.max());
+}
+
 TEST(StreamingStatsDeathTest, EmptyMinMaxAbort)
 {
     StreamingStats stats;
@@ -79,6 +144,39 @@ TEST(ExactPercentile, Endpoints)
 TEST(ExactPercentile, Interpolates)
 {
     EXPECT_DOUBLE_EQ(exactPercentile({0.0, 10.0}, 25), 2.5);
+}
+
+TEST(ExactPercentiles, AgreesExactlyWithSingleQuantileCalls)
+{
+    // The sorted-once multi-quantile helper must return bit-identical
+    // results to N independent exactPercentile calls.
+    Rng rng(6);
+    std::vector<double> values(257);
+    for (double &v : values)
+        v = rng.gaussian(10.0, 40.0);
+    const std::vector<double> ps = {0.0,  1.0,  25.0, 50.0,
+                                    90.0, 95.0, 99.0, 100.0};
+    const std::vector<double> multi = exactPercentiles(values, ps);
+    ASSERT_EQ(multi.size(), ps.size());
+    for (size_t i = 0; i < ps.size(); ++i)
+        EXPECT_EQ(multi[i], exactPercentile(values, ps[i]))
+            << "p=" << ps[i];
+}
+
+TEST(ExactPercentiles, UnsortedQuantileListAndDuplicates)
+{
+    const std::vector<double> values = {3.0, 1.0, 2.0, 4.0};
+    const std::vector<double> multi =
+        exactPercentiles(values, {100.0, 0.0, 50.0, 50.0});
+    EXPECT_DOUBLE_EQ(multi[0], 4.0);
+    EXPECT_DOUBLE_EQ(multi[1], 1.0);
+    EXPECT_DOUBLE_EQ(multi[2], 2.5);
+    EXPECT_DOUBLE_EQ(multi[3], 2.5);
+}
+
+TEST(ExactPercentiles, EmptyQuantileListIsEmpty)
+{
+    EXPECT_TRUE(exactPercentiles({1.0, 2.0}, {}).empty());
 }
 
 TEST(PercentileCalibration, IgnoresASingleCorruptToken)
