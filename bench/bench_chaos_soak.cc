@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -66,15 +67,18 @@ measureDisabledFailpointNs()
 /** One seed's faulted double run (threads 1 vs 8). Empty string when
  * every invariant held and the logs matched. */
 std::string
-runSoakSeed(uint64_t seed, int steps)
+runSoakSeed(uint64_t seed, int steps, bool prefix)
 {
     ChaosScriptConfig config;
     config.seed = seed;
     config.steps = steps;
+    config.prefix = prefix;
     const std::vector<ChaosStep> script =
         generateChaosScript(config);
     ChaosFaultConfig faults;
     faults.seed = seed;
+    if (prefix)
+        faults.graft_every = 23; // forced misses ride the soak too
 
     ThreadPool::setGlobalThreads(1);
     const ChaosRunResult serial =
@@ -95,17 +99,22 @@ runSoakSeed(uint64_t seed, int steps)
 
 /** Shrinks a failing seed's script and prints the minimal repro. */
 void
-reportFailure(uint64_t seed, int steps, const std::string &failure)
+reportFailure(uint64_t seed, int steps, bool prefix,
+              const std::string &failure)
 {
-    std::fprintf(stderr, "FAILING SEED %" PRIu64 " (steps=%d): %s\n",
-                 seed, steps, failure.c_str());
+    std::fprintf(stderr, "FAILING SEED %" PRIu64 " (steps=%d%s): %s\n",
+                 seed, steps, prefix ? ", prefix" : "",
+                 failure.c_str());
     ChaosScriptConfig config;
     config.seed = seed;
     config.steps = steps;
+    config.prefix = prefix;
     const std::vector<ChaosStep> script =
         generateChaosScript(config);
     ChaosFaultConfig faults;
     faults.seed = seed;
+    if (prefix)
+        faults.graft_every = 23;
     // Shrink against the single-threaded replay: cheap, and any
     // surviving violation reproduces by construction.
     ThreadPool::setGlobalThreads(1);
@@ -136,8 +145,8 @@ reportFailure(uint64_t seed, int steps, const std::string &failure)
     }
     std::fprintf(stderr,
                  "repro: ./bench_chaos_soak --seed=%" PRIu64
-                 " --seeds=1 --steps=%d\n",
-                 seed, steps);
+                 " --seeds=1 --steps=%d%s\n",
+                 seed, steps, prefix ? " --prefix" : "");
 }
 
 } // namespace
@@ -150,10 +159,15 @@ main(int argc, char **argv)
         "seeded fault-injection soak of the serving stack: invariant "
         "audits plus bit-identical replay across thread counts",
         {{"--smoke", "reduced shapes for CI (2 seeds x 500 steps)"},
+         {"--prefix", "prefix-cache mode: shared-prompt scripts, the "
+                      "cache on, and the graft failpoint armed"},
          {"--seed=", "first seed (default 1)"},
          {"--seeds=", "number of consecutive seeds (default 1)"},
          {"--steps=", "script steps per seed (default 10000)"}});
     const bool smoke = bench::smokeRequested(argc, argv);
+    bool prefix = false;
+    for (int i = 1; i < argc; ++i)
+        prefix = prefix || std::strcmp(argv[i], "--prefix") == 0;
     const uint64_t first_seed = static_cast<uint64_t>(
         bench::flagValue(argc, argv, "--seed=", 1));
     const int64_t seeds =
@@ -175,14 +189,14 @@ main(int argc, char **argv)
 #endif
 
     Table table({"seed", "steps", "completed", "rejected",
-                 "cancelled", "tokens", "replay"});
+                 "cancelled", "tokens", "grafted", "replay"});
     bool all_ok = true;
     for (int64_t i = 0; i < seeds; ++i) {
         const uint64_t seed = first_seed + static_cast<uint64_t>(i);
-        const std::string failure = runSoakSeed(seed, steps);
+        const std::string failure = runSoakSeed(seed, steps, prefix);
         if (!failure.empty()) {
             all_ok = false;
-            reportFailure(seed, steps, failure);
+            reportFailure(seed, steps, prefix, failure);
             continue;
         }
         // The fuzzers ride the same seed for cheap extra coverage.
@@ -190,9 +204,14 @@ main(int argc, char **argv)
             runKvModelFuzz(seed, smoke ? 300 : 2000, true);
         const Status sched_fuzz =
             runSchedulerFuzz(seed, smoke ? 300 : 2000, true);
-        if (!kv_fuzz.isOk() || !sched_fuzz.isOk()) {
+        const Status prefix_fuzz =
+            runPrefixFuzz(seed, smoke ? 300 : 2000, true);
+        if (!kv_fuzz.isOk() || !sched_fuzz.isOk() ||
+            !prefix_fuzz.isOk()) {
             all_ok = false;
-            const Status &bad = kv_fuzz.isOk() ? sched_fuzz : kv_fuzz;
+            const Status &bad = !kv_fuzz.isOk()      ? kv_fuzz
+                                : !sched_fuzz.isOk() ? sched_fuzz
+                                                     : prefix_fuzz;
             std::fprintf(stderr,
                          "FAILING SEED %" PRIu64 " (model fuzz): "
                          "%s\nrepro: ./bench_chaos_soak "
@@ -204,14 +223,17 @@ main(int argc, char **argv)
         ChaosScriptConfig config;
         config.seed = seed;
         config.steps = steps;
+        config.prefix = prefix;
         ChaosFaultConfig faults;
         faults.seed = seed;
+        if (prefix)
+            faults.graft_every = 23;
         const ChaosRunResult result = runChaosScript(
             generateChaosScript(config), config, &faults);
         if (!result.ok) {
             all_ok = false;
-            reportFailure(seed, steps, "ambient threads: " +
-                                           result.failure);
+            reportFailure(seed, steps, prefix,
+                          "ambient threads: " + result.failure);
             continue;
         }
         table.addRow({std::to_string(seed), std::to_string(steps),
@@ -219,6 +241,8 @@ main(int argc, char **argv)
                       std::to_string(result.stats.rejected),
                       std::to_string(result.stats.cancelled),
                       std::to_string(result.stats.streamed_tokens),
+                      std::to_string(
+                          result.stats.prefix_matched_tokens),
                       "bit-identical"});
     }
     table.print();

@@ -128,6 +128,18 @@ def check_pair(baseline_path, fresh_path, threshold):
                 f"  note  {base['bench']}:{name}: new gated metric not "
                 f"in baseline (refresh the committed BENCH_*.json)"
             )
+    if failures:
+        # Point straight at the offending baseline and how to refresh
+        # it, so an intended perf change is a one-command fix.
+        smoke = base["config"].get("smoke") == "true"
+        regen = (
+            f"./build/bench/{base['bench']}"
+            f"{' --smoke' if smoke else ''} --json={baseline_path}"
+        )
+        failures.append(
+            f"offending baseline: {baseline_path} — if the change is "
+            f"intended, regenerate it with: {regen}"
+        )
     return failures
 
 

@@ -23,7 +23,7 @@ log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 doxygen - > /dev/null 2> "$log" <<EOF || true
 @INCLUDE = Doxyfile
-INPUT = src/comet/obs src/comet/runtime src/comet/serve src/comet/server src/comet/chaos src/comet/simd
+INPUT = src/comet/obs src/comet/runtime src/comet/serve src/comet/server src/comet/chaos src/comet/simd src/comet/prefix
 FILE_PATTERNS = *.h
 USE_MDFILE_AS_MAINPAGE =
 EXTRACT_ALL = NO
@@ -36,9 +36,9 @@ EOF
 
 if [ -s "$log" ]; then
     echo "check_docs.sh: undocumented public API (or other Doxygen" \
-         "warnings) in obs/, runtime/, serve/, server/, chaos/ or" \
-         "simd/:" >&2
+         "warnings) in obs/, runtime/, serve/, server/, chaos/," \
+         "simd/ or prefix/:" >&2
     cat "$log" >&2
     exit 1
 fi
-echo "check_docs.sh: obs/, runtime/, serve/, server/, chaos/ and simd/ public APIs are fully documented"
+echo "check_docs.sh: obs/, runtime/, serve/, server/, chaos/, simd/ and prefix/ public APIs are fully documented"

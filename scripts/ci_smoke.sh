@@ -17,7 +17,13 @@
 #   - bench_chaos_soak --smoke: the fault-injected serving soak at
 #     reduced scale (2 seeds x 500 steps); its exit status asserts
 #     every serving invariant under injected faults plus byte-equal
-#     event logs across COMET_THREADS=1 and 8.
+#     event logs across COMET_THREADS=1 and 8. Run a second time in
+#     --prefix mode: shared-prompt scripts with the prefix cache on
+#     and the graft failpoint armed.
+#   - bench_prefix_cache --smoke: prefix-cache hit rate and latency
+#     win on a shared-prompt workload; its exit status asserts the
+#     cache-on/cache-off token streams are identical and the cached
+#     run is deterministic.
 #
 # Usage: scripts/ci_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -47,18 +53,25 @@ run "${bench_dir}/bench_kernel_micro" \
 run "${bench_dir}/bench_fig10_throughput" --smoke \
     --json="${json_dir}/fig10_throughput.json"
 
+run "${bench_dir}/bench_prefix_cache" --smoke \
+    --json="${json_dir}/prefix_cache.json"
+
 # Emitter smoke: the --json reports written above must parse under the
 # perf-gate schema (a self-diff exercises load + gated-metric checks
 # without depending on this machine's timings matching the baselines).
 run python3 "$(dirname "$0")/check_bench.py" \
     "${json_dir}/kernel_micro.json" "${json_dir}/kernel_micro.json" \
     "${json_dir}/fig10_throughput.json" \
-    "${json_dir}/fig10_throughput.json"
+    "${json_dir}/fig10_throughput.json" \
+    "${json_dir}/prefix_cache.json" \
+    "${json_dir}/prefix_cache.json"
 
 run "${bench_dir}/bench_runtime_scaling" --smoke
 
 run "${bench_dir}/bench_server_loadgen" --smoke
 
 run "${bench_dir}/bench_chaos_soak" --smoke
+
+run "${bench_dir}/bench_chaos_soak" --smoke --prefix
 
 echo "ci_smoke: all bench families passed"

@@ -47,6 +47,19 @@ stopTokens(const ChaosStep &step)
                                       : step.max_output_tokens;
 }
 
+/** The first @p tokens ids of the stream @p seed seeds — the prompt
+ * content a non-zero ChaosStep::prompt_seed stands for. */
+std::vector<int32_t>
+promptFromSeed(uint64_t seed, int64_t tokens)
+{
+    Rng rng(seed);
+    std::vector<int32_t> ids;
+    ids.reserve(static_cast<size_t>(tokens));
+    for (int64_t i = 0; i < tokens; ++i)
+        ids.push_back(static_cast<int32_t>(rng.uniformInt(32000)));
+    return ids;
+}
+
 std::string
 format(const char *fmt, long long a, long long b)
 {
@@ -84,6 +97,10 @@ armChaosFaults(const ChaosFaultConfig &faults)
         registry.arm("admission.expire",
                      FailPointSpec::everyNth(faults.expire_every));
     }
+    if (faults.graft_every > 0) {
+        registry.arm("prefix.graft",
+                     FailPointSpec::everyNth(faults.graft_every));
+    }
 }
 
 ChaosRunResult
@@ -109,6 +126,11 @@ runChaosScript(const std::vector<ChaosStep> &script,
                                 ? defaultChaosTenants()
                                 : config.tenants;
     server_config.max_batch = 8;
+    if (config.prefix) {
+        server_config.enable_prefix_cache = true;
+        for (TenantConfig &tenant : server_config.tenants)
+            tenant.prefix_caching = true;
+    }
     {
         Server server(&engine, server_config);
         std::vector<Server::Client> clients;
@@ -149,6 +171,10 @@ runChaosScript(const std::vector<ChaosStep> &script,
                 request.eos_output_tokens = step.eos_output_tokens;
                 request.arrival_us = step.time_us;
                 request.cancel_at_us = step.cancel_at_us;
+                if (step.prompt_seed != 0) {
+                    request.prompt_ids = promptFromSeed(
+                        step.prompt_seed, step.prompt_tokens);
+                }
                 submitted.push_back(
                     {&step, clients[slot].submit(request)});
                 break;
@@ -513,6 +539,134 @@ runSchedulerFuzz(uint64_t seed, int steps, bool with_faults)
     }
     if (verdict.isOk())
         verdict = checkKvCacheQuiescent(cache);
+    FailPointRegistry::global().disarmAll();
+    return verdict;
+}
+
+Status
+runPrefixFuzz(uint64_t seed, int steps, bool with_faults)
+{
+    FailPointRegistry::global().disarmAll();
+    if (with_faults) {
+        FailPointRegistry::global().arm(
+            "kv.alloc",
+            FailPointSpec::withProbability(0.05, seed ^ 0x6b76ull));
+        FailPointRegistry::global().arm(
+            "prefix.graft", FailPointSpec::everyNth(7));
+    }
+    KvCacheConfig config;
+    config.bits_per_value = 4.0;
+    config.block_tokens = 16;
+    config.memory_budget_bytes = 64e6;
+    config.enable_prefix_cache = true;
+    PagedKvCache cache(LlmConfig::llama3_8b(), config);
+
+    Rng rng(seed);
+    std::map<int64_t, int64_t> mirror; // id -> expected token count
+    int64_t next_id = 1;
+    Status verdict = Status::ok();
+    const auto randomLive = [&rng, &mirror]() {
+        auto it = mirror.begin();
+        std::advance(it, static_cast<int64_t>(rng.uniformInt(
+                             mirror.size())));
+        return it->first;
+    };
+    for (int i = 0; i < steps && verdict.isOk(); ++i) {
+        const double roll = rng.uniform();
+        if (mirror.empty() || roll < 0.4) {
+            // Prompt from a small pool of (namespace, pool) seeds so
+            // later submits genuinely share key chains and graft.
+            const int64_t ns =
+                static_cast<int64_t>(rng.uniformInt(2));
+            const uint64_t pool = rng.uniformInt(3);
+            const int64_t tokens =
+                1 + static_cast<int64_t>(rng.uniformInt(200));
+            const std::vector<int32_t> prompt = promptFromSeed(
+                seed * 7368787ull +
+                    static_cast<uint64_t>(ns) * 131ull + pool + 1ull,
+                tokens);
+            prefix::KeySpace space;
+            space.namespace_id = ns;
+            space.bits_per_value = config.bits_per_value;
+            space.block_tokens = config.block_tokens;
+            space.quant_group_tokens = config.quant_group_tokens;
+            const std::vector<prefix::BlockKey> keys =
+                prefix::chainBlockKeys(space, prompt);
+            const Result<int64_t> grafted =
+                cache.addSequenceWithPrefix(next_id, tokens, ns,
+                                            keys);
+            if (grafted.isOk()) {
+                mirror.emplace(next_id, tokens);
+                if (grafted.value() < 0 ||
+                    grafted.value() >= tokens ||
+                    grafted.value() % config.block_tokens != 0) {
+                    verdict = Status::internal(
+                        "grafted token count out of bounds (must be "
+                        "a block multiple strictly below the "
+                        "prompt)");
+                }
+            } else if (grafted.status().code() !=
+                       StatusCode::kResourceExhausted) {
+                verdict = grafted.status();
+            }
+            ++next_id;
+        } else if (roll < 0.7) {
+            const int64_t id = randomLive();
+            const Status status = cache.appendToken(id);
+            if (status.isOk()) {
+                ++mirror[id];
+            } else if (status.code() !=
+                       StatusCode::kResourceExhausted) {
+                verdict = status;
+            }
+        } else if (roll < 0.8) {
+            const int64_t parent = randomLive();
+            const Status status =
+                cache.forkSequence(parent, next_id);
+            if (status.isOk())
+                mirror.emplace(next_id, mirror[parent]);
+            else
+                verdict = status; // forks never exhaust
+            ++next_id;
+        } else if (roll < 0.98) {
+            const int64_t id = randomLive();
+            cache.removeSequence(id);
+            mirror.erase(id);
+        } else {
+            cache.clearPrefixCache();
+            if (cache.prefixOwnedBlocks() != 0) {
+                verdict = Status::internal(
+                    "prefix index still holds pages after clear");
+            }
+        }
+        if (!verdict.isOk())
+            break;
+        verdict = checkKvCacheConsistency(cache);
+        if (!verdict.isOk())
+            break;
+        for (const auto &[id, tokens] : mirror) {
+            if (cache.sequenceTokens(id) != tokens) {
+                verdict = Status::internal(
+                    "sequence token count diverged from the model");
+                break;
+            }
+        }
+    }
+    if (verdict.isOk()) {
+        for (const auto &[id, tokens] : mirror)
+            cache.removeSequence(id);
+        verdict = checkKvCacheQuiescent(cache);
+    }
+    if (verdict.isOk()) {
+        // Quiescence tolerates index-held pages; a full clear must
+        // hand every last block back.
+        cache.clearPrefixCache();
+        if (cache.physicalBlocksInUse() != 0) {
+            verdict = Status::internal(
+                "blocks still allocated after clearing the prefix "
+                "cache (leak)");
+        }
+    }
     FailPointRegistry::global().disarmAll();
     return verdict;
 }

@@ -26,6 +26,11 @@
  *    submit/admit/step/cancel interleavings, checking KV consistency
  *    each round and exact terminal accounting at the end.
  *
+ *  - runPrefixFuzz() drives a prefix-enabled PagedKvCache through
+ *    shared-prompt adds, forks, evictions-under-pressure and cache
+ *    clears, auditing the index's extra refcounts and the
+ *    grafted-token bounds (see below).
+ *
  * All three return the violated invariant as an error instead of
  * aborting, so a failing seed can be reported — and, for scripts,
  * shrunk — by the caller.
@@ -62,6 +67,10 @@ struct ChaosFaultConfig {
     int64_t preempt_every = 97;
     /** Force an admission-deadline expiry on every Nth queue pick. */
     int64_t expire_every = 131;
+    /** Force a prefix-cache miss (failed graft, full prefill
+     * fallback) on every Nth lookup; 0 leaves the graft path clean.
+     * Only observable with the prefix cache on. */
+    int64_t graft_every = 0;
 };
 
 /** Arms (replacing any armed schedule, resetting all counters) the
@@ -97,6 +106,19 @@ Status runKvModelFuzz(uint64_t seed, int steps, bool with_faults);
 
 /** Model-based batch-scheduler fuzz (see the file comment). */
 Status runSchedulerFuzz(uint64_t seed, int steps, bool with_faults);
+
+/**
+ * Model-based prefix-cache fuzz: drives a prefix-enabled PagedKvCache
+ * through random add-with-prefix / append / fork / remove /
+ * clear-cache interleavings, with prompts drawn from a small pool of
+ * shared seeds so grafts actually happen, cross-validating refcounts
+ * (including the index's own holds), block conservation and the
+ * grafted-tokens bound after every operation. @p with_faults arms
+ * injected allocator OOM and the prefix.graft forced-miss failpoint.
+ * Ends by draining, checking quiescence, clearing the cache and
+ * requiring a fully free pool.
+ */
+Status runPrefixFuzz(uint64_t seed, int steps, bool with_faults);
 
 } // namespace chaos
 } // namespace comet

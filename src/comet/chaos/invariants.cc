@@ -52,6 +52,23 @@ checkKvCacheConsistency(const PagedKvCache &cache)
         }
         logical += static_cast<int64_t>(blocks.size());
     }
+    // The prefix index holds exactly one reference per indexed page,
+    // on top of whatever chains share it.
+    const std::vector<int64_t> held = cache.prefixHeldBlocks();
+    for (size_t i = 0; i < held.size(); ++i) {
+        const int64_t block = held[i];
+        if (block < 0 || block >= total) {
+            return violation("prefix index holds an out-of-range "
+                             "block id",
+                             block, total);
+        }
+        if (i > 0 && held[i - 1] >= block) {
+            return violation("prefix index block ids not strictly "
+                             "ascending (duplicate hold)",
+                             held[i - 1], block);
+        }
+        ++expected_refs[block];
+    }
     if (logical != cache.logicalBlocksInUse()) {
         return violation("sum of chain lengths != "
                          "logicalBlocksInUse()",
@@ -105,10 +122,15 @@ checkKvCacheQuiescent(const PagedKvCache &cache)
         return violation("sequences still live at quiescence",
                          cache.numSequences(), 0);
     }
-    if (cache.physicalBlocksInUse() != 0) {
-        return violation("blocks still allocated at quiescence "
-                         "(leak)",
-                         cache.physicalBlocksInUse(), 0);
+    // Index-held pages may outlive the drain (that is the point of
+    // the cache); anything beyond them is a leak. Consistency above
+    // already proved each held page's refcount is exactly its index
+    // hold once no chain references it.
+    if (cache.physicalBlocksInUse() != cache.prefixOwnedBlocks()) {
+        return violation("blocks allocated at quiescence beyond the "
+                         "prefix index's holds (leak)",
+                         cache.physicalBlocksInUse(),
+                         cache.prefixOwnedBlocks());
     }
     return Status::ok();
 }

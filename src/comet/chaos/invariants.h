@@ -15,13 +15,17 @@
  *    used count;
  *  - refcount/chain agreement: every allocated block appears in the
  *    live sequences' chains exactly refcount times (copy-on-write
- *    forks share blocks; nothing else may), so a block referenced by
- *    no chain is a leak and a chain entry without a matching
- *    reference is a dangling page;
+ *    forks share blocks; nothing else may), *plus one* when the
+ *    prefix index holds it (PagedKvCache::prefixHeldBlocks() — a
+ *    cached page legitimately outlives the sequences that built it),
+ *    so a block referenced by no chain and not indexed is a leak and
+ *    a chain entry without a matching reference is a dangling page;
  *  - chain sizing: each sequence's chain holds exactly
  *    blocksForTokens(tokens) pages, and the logical page total is the
  *    sum of chain lengths;
- *  - quiescence: with no live sequence, every block is free.
+ *  - quiescence: with no live sequence, every allocated block is a
+ *    prefix-index page (zero with the prefix cache off), and
+ *    clearPrefixCache() would therefore free the pool completely.
  */
 #pragma once
 

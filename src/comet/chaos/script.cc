@@ -95,6 +95,19 @@ generateChaosScript(const ChaosScriptConfig &config)
                               static_cast<uint64_t>(
                                   step.max_output_tokens)))
                     : 0;
+            if (config.prefix && step.prompt_tokens < (1 << 16)) {
+                // A per-(tenant, pool) seed: requests in one pool
+                // share their common-length prompt prefix; pools and
+                // tenants never collide (and tenant isolation is
+                // enforced by key namespaces regardless).
+                COMET_CHECK(config.prompt_pools > 0);
+                const uint64_t pool = rng.uniformInt(
+                    static_cast<uint64_t>(config.prompt_pools));
+                step.prompt_seed = config.seed * 2654435761ull +
+                                   static_cast<uint64_t>(step.tenant) *
+                                       40503ull +
+                                   pool + 1ull;
+            }
             if (rng.uniform() < 0.2) {
                 step.cancel_at_us =
                     now_us + rng.uniform(0.0, 5e4);
@@ -118,13 +131,14 @@ renderChaosScript(const std::vector<ChaosStep> &script)
             std::snprintf(
                 line, sizeof(line),
                 "submit c=%d id=%lld tenant=%d prompt=%lld "
-                "max_out=%lld eos=%lld t=%.3f cancel_at=%.3f "
-                "abandon=%d\n",
+                "max_out=%lld eos=%lld seed=%llu t=%.3f "
+                "cancel_at=%.3f abandon=%d\n",
                 step.client, static_cast<long long>(step.id),
                 step.tenant,
                 static_cast<long long>(step.prompt_tokens),
                 static_cast<long long>(step.max_output_tokens),
                 static_cast<long long>(step.eos_output_tokens),
+                static_cast<unsigned long long>(step.prompt_seed),
                 step.time_us, step.cancel_at_us,
                 step.abandon ? 1 : 0);
             break;

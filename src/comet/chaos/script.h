@@ -53,6 +53,15 @@ struct ChaosStep {
     int64_t prompt_tokens = 0;     ///< prompt length (kSubmit)
     int64_t max_output_tokens = 0; ///< declared bound (kSubmit)
     int64_t eos_output_tokens = 0; ///< actual EOS length (kSubmit)
+    /**
+     * Prompt-content seed (kSubmit); 0 = content-free request. When
+     * non-zero the harness materializes the prompt as the first
+     * prompt_tokens ids of the Rng stream this seeds, so two submits
+     * sharing a seed share their common-length prefix by construction
+     * — the redundancy the prefix cache grafts. Self-contained per
+     * step, so the shrinker's subsequence closure survives.
+     */
+    uint64_t prompt_seed = 0;
     /** Virtual time of the step: the arrival (kSubmit) or the new
      * horizon (kAdvance); strictly increasing across the script. */
     double time_us = 0.0;
@@ -73,6 +82,16 @@ struct ChaosScriptConfig {
     /** Tenant set the script draws from; empty selects
      * defaultChaosTenants(). */
     std::vector<server::TenantConfig> tenants;
+    /**
+     * Prefix-cache mode: submits draw a prompt_seed from a small
+     * per-tenant pool (shared prefixes across requests of one tenant,
+     * never across tenants), and the harness runs the server with the
+     * prefix cache on and every tenant opted in. Off keeps scripts
+     * content-free — bit-for-bit the pre-prefix-cache soak.
+     */
+    bool prefix = false;
+    /** Distinct shared-prompt pools per tenant in prefix mode. */
+    int64_t prompt_pools = 3;
 };
 
 /**

@@ -66,6 +66,10 @@
 #include "comet/kvcache/block_allocator.h"
 #include "comet/kvcache/kv_cache.h"
 
+#include "comet/prefix/block_key.h"
+#include "comet/prefix/prefix_cache.h"
+#include "comet/prefix/radix_index.h"
+
 #include "comet/serve/batch_scheduler.h"
 #include "comet/serve/engine.h"
 #include "comet/serve/request.h"

@@ -1,5 +1,6 @@
 #include "comet/kvcache/kv_cache.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace comet {
@@ -53,6 +54,16 @@ PagedKvCache::PagedKvCache(const LlmConfig &model, KvCacheConfig config)
       allocator_(poolBlocks(model, config, block_bytes_))
 {
     COMET_CHECK(config_.block_tokens > 0);
+    if (config_.enable_prefix_cache) {
+        prefix_ = std::make_unique<prefix::PrefixCache>(
+            &allocator_, static_cast<int64_t>(block_bytes_));
+    }
+}
+
+int64_t
+PagedKvCache::availableBlocks() const
+{
+    return freeBlocks() + (prefix_ ? prefix_->evictableBlocks() : 0);
 }
 
 int64_t
@@ -64,26 +75,62 @@ PagedKvCache::blocksForTokens(int64_t tokens) const
 bool
 PagedKvCache::canAdmit(int64_t tokens) const
 {
-    return blocksForTokens(tokens) <= freeBlocks();
+    return blocksForTokens(tokens) <= availableBlocks();
+}
+
+Result<int64_t>
+PagedKvCache::allocateEvicting()
+{
+    Result<int64_t> block = allocator_.allocate();
+    while (!block.isOk() && prefix_ && prefix_->evictOne()) {
+        block = allocator_.allocate();
+    }
+    return block;
 }
 
 Status
 PagedKvCache::addSequence(int64_t seq_id, int64_t prompt_tokens)
+{
+    return addSequenceWithPrefix(seq_id, prompt_tokens, 0, {}).status();
+}
+
+Result<int64_t>
+PagedKvCache::addSequenceWithPrefix(
+    int64_t seq_id, int64_t prompt_tokens, int64_t namespace_id,
+    const std::vector<prefix::BlockKey> &block_keys)
 {
     COMET_CHECK(prompt_tokens > 0);
     if (sequences_.count(seq_id) != 0) {
         return Status::invalidArgument("sequence id already present");
     }
     const int64_t needed = blocksForTokens(prompt_tokens);
-    if (needed > freeBlocks()) {
+    if (needed > availableBlocks()) {
         return Status::resourceExhausted(
             "not enough free KV blocks for the prompt");
     }
+
     SequenceState state;
     state.tokens = prompt_tokens;
     state.blocks.reserve(static_cast<size_t>(needed));
-    for (int64_t i = 0; i < needed; ++i) {
-        Result<int64_t> block = allocator_.allocate();
+
+    // Graft the cached prefix: matched pages join the chain by
+    // reference (the COW machinery of forkSequence), never by copy.
+    // The match is capped one block short of the chain so prefill
+    // always computes at least the final block — the pass that
+    // produces the first token's logits stays real, and TTFT
+    // accounting stays honest.
+    int64_t grafted = 0;
+    if (prefix_ && !block_keys.empty()) {
+        std::vector<int64_t> hit;
+        grafted = prefix_->match(namespace_id, block_keys, needed - 1,
+                                 &hit);
+        for (int64_t block : hit) {
+            allocator_.addRef(block);
+            state.blocks.push_back(block);
+        }
+    }
+    for (int64_t i = grafted; i < needed; ++i) {
+        Result<int64_t> block = allocateEvicting();
         if (!block.isOk()) {
             // The capacity check above normally guarantees success,
             // but an injected allocator fault (COMET_FAILPOINT
@@ -95,8 +142,23 @@ PagedKvCache::addSequence(int64_t seq_id, int64_t prompt_tokens)
         }
         state.blocks.push_back(block.value());
     }
+
+    // Offer the prompt's fully-filled blocks back to the index
+    // (decode appends only ever touch past the last full prompt
+    // block, so these pages are immutable from here on). Already-
+    // indexed keys — including every grafted page — are kept as-is.
+    if (prefix_ && !block_keys.empty()) {
+        const int64_t full =
+            std::min(static_cast<int64_t>(block_keys.size()),
+                     prompt_tokens / config_.block_tokens);
+        prefix_->insert(
+            namespace_id,
+            {block_keys.begin(), block_keys.begin() + full},
+            {state.blocks.begin(), state.blocks.begin() + full});
+    }
+
     sequences_.emplace(seq_id, std::move(state));
-    return Status::ok();
+    return grafted * config_.block_tokens;
 }
 
 Status
@@ -108,7 +170,7 @@ PagedKvCache::appendToken(int64_t seq_id)
     SequenceState &state = it->second;
     if (blocksForTokens(state.tokens + 1) >
         static_cast<int64_t>(state.blocks.size())) {
-        Result<int64_t> block = allocator_.allocate();
+        Result<int64_t> block = allocateEvicting();
         if (!block.isOk())
             return block.status();
         state.blocks.push_back(block.value());
@@ -116,7 +178,7 @@ PagedKvCache::appendToken(int64_t seq_id)
                allocator_.refCount(state.blocks.back()) > 1) {
         // Copy-on-write: the trailing block is shared with a fork and
         // is about to be written; give this sequence its own copy.
-        Result<int64_t> copy = allocator_.allocate();
+        Result<int64_t> copy = allocateEvicting();
         if (!copy.isOk())
             return copy.status();
         allocator_.release(state.blocks.back());

@@ -15,11 +15,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "comet/common/status.h"
 #include "comet/kvcache/block_allocator.h"
 #include "comet/model/llm_config.h"
+#include "comet/prefix/block_key.h"
+#include "comet/prefix/prefix_cache.h"
 
 namespace comet {
 
@@ -34,6 +37,15 @@ struct KvCacheConfig {
      * channel-wise group quantizer's group size). */
     int64_t quant_group_tokens = 64;
     double memory_budget_bytes = 0.0;
+    /**
+     * Enables the automatic prefix cache (comet::prefix): full prompt
+     * blocks are indexed by chained content key at admission, and
+     * later prompts sharing a prefix graft the cached pages instead
+     * of recomputing them. Off by default — with it off, every
+     * prefix-aware entry point below behaves exactly like its plain
+     * counterpart, and cache behavior is bit-for-bit the seed's.
+     */
+    bool enable_prefix_cache = false;
 };
 
 /**
@@ -52,6 +64,15 @@ class PagedKvCache
     int64_t totalBlocks() const { return allocator_.totalBlocks(); }
     int64_t freeBlocks() const { return allocator_.freeBlocks(); }
 
+    /**
+     * Blocks obtainable right now: free blocks plus prefix-cache
+     * pages evictable on demand (pages only the index references).
+     * Admission gates on this, not freeBlocks() — cold cache pages
+     * must never crowd out live traffic. Equals freeBlocks() when the
+     * prefix cache is off.
+     */
+    int64_t availableBlocks() const;
+
     /** Blocks needed to hold @p tokens tokens. */
     int64_t blocksForTokens(int64_t tokens) const;
 
@@ -61,6 +82,23 @@ class PagedKvCache
     /** Registers a sequence holding @p prompt_tokens tokens.
      * Fails (without side effects) when the pool cannot hold it. */
     Status addSequence(int64_t seq_id, int64_t prompt_tokens);
+
+    /**
+     * Prefix-aware addSequence: matches @p block_keys (the prompt's
+     * chained full-block content keys, comet::prefix) against the
+     * cache in @p namespace_id, grafts the hit via COW references,
+     * allocates the rest (evicting cold cache pages on demand), and
+     * offers the prompt's full blocks back to the index. Returns the
+     * number of *tokens* whose KV was grafted instead of computed —
+     * always a multiple of block_tokens, and always strictly less
+     * than @p prompt_tokens (the final block recomputes so prefill
+     * genuinely produces the first token's logits). Fails without
+     * side effects when the pool cannot hold the sequence. With the
+     * prefix cache off (or no keys), exactly addSequence.
+     */
+    Result<int64_t> addSequenceWithPrefix(
+        int64_t seq_id, int64_t prompt_tokens, int64_t namespace_id,
+        const std::vector<prefix::BlockKey> &block_keys);
 
     /** Extends a sequence by one generated token, allocating a new
      * block at page boundaries. If the sequence's last block is
@@ -116,17 +154,54 @@ class PagedKvCache
         return static_cast<int64_t>(sequences_.size());
     }
 
+    /** True when this cache was built with enable_prefix_cache. */
+    bool prefixCacheEnabled() const
+    {
+        return prefix_ != nullptr;
+    }
+
+    /** Pages currently held by the prefix index (0 when off). */
+    int64_t prefixOwnedBlocks() const
+    {
+        return prefix_ ? prefix_->ownedBlocks() : 0;
+    }
+
+    /** Block ids held by the prefix index, ascending (chaos audits:
+     * each carries one refcount beyond its chain memberships). */
+    std::vector<int64_t> prefixHeldBlocks() const
+    {
+        return prefix_ ? prefix_->heldBlocks() : std::vector<int64_t>{};
+    }
+
+    /** Lifetime prefix-cache accounting (zeros when off). */
+    prefix::PrefixCacheStats prefixStats() const
+    {
+        return prefix_ ? prefix_->stats() : prefix::PrefixCacheStats{};
+    }
+
+    /** Drops every cached prefix page (no-op when off). Live
+     * sequences are unaffected — they hold their own references. */
+    void clearPrefixCache()
+    {
+        if (prefix_)
+            prefix_->clear();
+    }
+
   private:
     struct SequenceState {
         int64_t tokens = 0;
         std::vector<int64_t> blocks;
     };
 
+    /** allocate(), evicting cold prefix-cache pages on exhaustion. */
+    Result<int64_t> allocateEvicting();
+
     LlmConfig model_;
     KvCacheConfig config_;
     double block_bytes_;
     BlockAllocator allocator_;
     std::map<int64_t, SequenceState> sequences_;
+    std::unique_ptr<prefix::PrefixCache> prefix_;
 };
 
 } // namespace comet

@@ -1,0 +1,82 @@
+#include "comet/prefix/block_key.h"
+
+#include <cstring>
+
+#include "comet/common/status.h"
+
+namespace comet {
+namespace prefix {
+
+namespace {
+
+/** FNV-1a over 8 bytes at a time with a splitmix-style finalizer —
+ * cheap, deterministic across platforms, and well-mixed enough that
+ * 64-bit chain collisions are negligible at cache scale. */
+uint64_t
+mix(uint64_t h, uint64_t value)
+{
+    h ^= value;
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 32;
+    return h;
+}
+
+uint64_t
+doubleBits(double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value), "64-bit double");
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+uint64_t
+keySpaceSeed(const KeySpace &space)
+{
+    uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    h = mix(h, static_cast<uint64_t>(space.namespace_id));
+    h = mix(h, doubleBits(space.bits_per_value));
+    h = mix(h, static_cast<uint64_t>(space.block_tokens));
+    h = mix(h, static_cast<uint64_t>(space.quant_group_tokens));
+    // Keep 0 free as the "no parent" sentinel of the radix index.
+    return h == 0 ? 0x9e3779b97f4a7c15ull : h;
+}
+
+BlockKey
+chainNextKey(BlockKey previous, const std::vector<int32_t> &token_ids,
+             int64_t begin, int64_t end)
+{
+    COMET_CHECK(begin >= 0 && begin < end &&
+                end <= static_cast<int64_t>(token_ids.size()));
+    uint64_t h = mix(previous, 0x636f6d6574ull); // "comet" link tag
+    for (int64_t i = begin; i < end; ++i) {
+        h = mix(h, static_cast<uint64_t>(static_cast<uint32_t>(
+                       token_ids[static_cast<size_t>(i)])));
+    }
+    return h == 0 ? 0x2545f4914f6cdd1dull : h;
+}
+
+std::vector<BlockKey>
+chainBlockKeys(const KeySpace &space,
+               const std::vector<int32_t> &token_ids)
+{
+    COMET_CHECK(space.block_tokens > 0);
+    const int64_t full_blocks =
+        static_cast<int64_t>(token_ids.size()) / space.block_tokens;
+    std::vector<BlockKey> keys;
+    keys.reserve(static_cast<size_t>(full_blocks));
+    BlockKey link = keySpaceSeed(space);
+    for (int64_t b = 0; b < full_blocks; ++b) {
+        link = chainNextKey(link, token_ids, b * space.block_tokens,
+                            (b + 1) * space.block_tokens);
+        keys.push_back(link);
+    }
+    return keys;
+}
+
+} // namespace prefix
+} // namespace comet

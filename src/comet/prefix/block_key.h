@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Content keys for the quantized prefix cache.
+ *
+ * A prompt is keyed at KV-page granularity: every *full* block of
+ * block_tokens prompt tokens gets one 64-bit chained key. Key i hashes
+ * the block's token ids *and* key i-1, so a single key equality test
+ * certifies the entire prefix up to and including block i — the radix
+ * index (radix_index.h) can therefore be a flat hash-keyed trie whose
+ * lookup is one map probe per block instead of a token-by-token walk.
+ *
+ * Two design points carry the correctness argument:
+ *
+ *  - **Quantized content, not raw tokens.** The chain seed mixes in
+ *    the cache's quantization geometry (bits per value, page size,
+ *    quantization group length). COMET's channel-wise group quantizer
+ *    (KvCacheQuantizer) is a deterministic function of the tokens in a
+ *    group, so equal token prefixes under equal quantization configs
+ *    produce byte-identical quantized KV pages — which is exactly the
+ *    equivalence class a key identifies. Changing the quantization
+ *    config changes every key, so stale-precision pages can never be
+ *    grafted.
+ *
+ *  - **Namespace isolation.** The per-tenant namespace id is folded
+ *    into the chain seed, so the same prompt content under two tenants
+ *    yields disjoint key chains. A lookup can only ever traverse nodes
+ *    of its own namespace — one tenant's hot prefix is invisible (also
+ *    through timing: no shared-node path exists to probe) to another.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace comet {
+namespace prefix {
+
+/** The chained content key of one full prompt block. */
+using BlockKey = uint64_t;
+
+/** Quantization geometry folded into every key chain; two caches
+ * share pages only when all fields match. */
+struct KeySpace {
+    int64_t namespace_id = 0;    ///< tenant namespace (isolation)
+    double bits_per_value = 4.0; ///< KV precision of the pages
+    int64_t block_tokens = 16;   ///< tokens per page
+    int64_t quant_group_tokens = 64; ///< quantizer group length
+};
+
+/** The chain seed of a key space (key "-1" of every chain in it). */
+uint64_t keySpaceSeed(const KeySpace &space);
+
+/**
+ * Computes the chained keys of every full block of @p token_ids:
+ * the result holds token_ids.size() / block_tokens keys (the trailing
+ * partial block of a prompt is never keyed — it is mutable until the
+ * sequence's decode appends move past it, so it is not cacheable).
+ */
+std::vector<BlockKey> chainBlockKeys(const KeySpace &space,
+                                     const std::vector<int32_t> &token_ids);
+
+/** One chain link: the key of the block holding @p begin..@p end of
+ * @p token_ids, given the previous link (or the space seed). */
+BlockKey chainNextKey(BlockKey previous,
+                      const std::vector<int32_t> &token_ids,
+                      int64_t begin, int64_t end);
+
+} // namespace prefix
+} // namespace comet

@@ -1,0 +1,140 @@
+#include "comet/prefix/radix_index.h"
+
+#include <algorithm>
+
+#include "comet/common/status.h"
+
+namespace comet {
+namespace prefix {
+
+void
+RadixIndex::touch(IndexNode &node)
+{
+    lru_.erase({node.last_use, node.key});
+    node.last_use = ++tick_;
+    lru_.insert({node.last_use, node.key});
+}
+
+int64_t
+RadixIndex::match(int64_t namespace_id, const std::vector<BlockKey> &keys,
+                  int64_t max_blocks, std::vector<int64_t> *blocks)
+{
+    COMET_CHECK(blocks != nullptr);
+    int64_t matched = 0;
+    for (const BlockKey key : keys) {
+        if (matched >= max_blocks) {
+            break;
+        }
+        auto it = nodes_.find(key);
+        if (it == nodes_.end() || it->second.namespace_id != namespace_id) {
+            // A cross-namespace key collision is astronomically rare
+            // (the seeds differ), but a hit here must still be a miss:
+            // isolation beats reuse.
+            break;
+        }
+        touch(it->second);
+        blocks->push_back(it->second.block);
+        ++matched;
+    }
+    return matched;
+}
+
+bool
+RadixIndex::insert(int64_t namespace_id, BlockKey key, BlockKey parent,
+                   int64_t depth, int64_t block)
+{
+    COMET_CHECK(key != 0 && block >= 0 && depth >= 0);
+    COMET_CHECK((depth == 0) == (parent == 0));
+    if (nodes_.count(key) > 0) {
+        return false;
+    }
+    std::map<BlockKey, IndexNode>::iterator parent_it = nodes_.end();
+    if (parent != 0) {
+        parent_it = nodes_.find(parent);
+        if (parent_it == nodes_.end()) {
+            return false;
+        }
+        COMET_CHECK(parent_it->second.depth == depth - 1);
+        COMET_CHECK(parent_it->second.namespace_id == namespace_id);
+    }
+    IndexNode node;
+    node.key = key;
+    node.parent = parent;
+    node.block = block;
+    node.namespace_id = namespace_id;
+    node.depth = depth;
+    node.children = 0;
+    node.last_use = ++tick_;
+    nodes_.emplace(key, node);
+    lru_.insert({node.last_use, key});
+    if (parent_it != nodes_.end()) {
+        ++parent_it->second.children;
+    }
+    return true;
+}
+
+bool
+RadixIndex::evictLru(const std::function<bool(int64_t)> &evictable,
+                     IndexNode *out)
+{
+    COMET_CHECK(out != nullptr);
+    for (const auto &entry : lru_) {
+        auto it = nodes_.find(entry.second);
+        COMET_CHECK(it != nodes_.end());
+        IndexNode &node = it->second;
+        if (node.children > 0 || !evictable(node.block)) {
+            continue;
+        }
+        *out = node;
+        if (node.parent != 0) {
+            auto parent_it = nodes_.find(node.parent);
+            COMET_CHECK(parent_it != nodes_.end());
+            COMET_CHECK(parent_it->second.children > 0);
+            --parent_it->second.children;
+        }
+        lru_.erase(entry);
+        nodes_.erase(it);
+        return true;
+    }
+    return false;
+}
+
+const IndexNode *
+RadixIndex::find(BlockKey key) const
+{
+    auto it = nodes_.find(key);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void
+RadixIndex::forEach(const std::function<void(const IndexNode &)> &fn) const
+{
+    for (const auto &entry : nodes_) {
+        fn(entry.second);
+    }
+}
+
+std::vector<int64_t>
+RadixIndex::blockIds() const
+{
+    std::vector<int64_t> ids;
+    ids.reserve(nodes_.size());
+    for (const auto &entry : nodes_) {
+        ids.push_back(entry.second.block);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+void
+RadixIndex::clear(const std::function<void(int64_t)> &released)
+{
+    for (const auto &entry : nodes_) {
+        released(entry.second.block);
+    }
+    nodes_.clear();
+    lru_.clear();
+}
+
+} // namespace prefix
+} // namespace comet

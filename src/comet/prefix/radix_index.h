@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The radix index of cached prompt-block chains.
+ *
+ * Logically a radix tree over quantized prompt blocks: each node is
+ * one cached KV page whose path from the root spells a prompt prefix.
+ * Because block keys are *chained* hashes (block_key.h), a node's key
+ * already identifies its whole path, so the tree is stored flat — one
+ * map probe per block on lookup — while parent links and child counts
+ * preserve the structural constraint that matters for eviction: a
+ * node may only leave the index when it has no children (evicting an
+ * interior node would orphan the longer prefixes hanging off it).
+ *
+ * The index stores block *ids* only; it never touches an allocator.
+ * The owner (PagedKvCache via prefix::PrefixCache) holds one
+ * reference on every indexed block and decides evictability from the
+ * allocator's refcounts. Recency is a logical LRU tick bumped on
+ * every touch, so eviction order is a deterministic function of the
+ * operation history — a requirement of the serving stack's
+ * bit-identical replay guarantee, which wall-clock recency would
+ * break.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "comet/prefix/block_key.h"
+
+namespace comet {
+namespace prefix {
+
+/** One cached page in the index. */
+struct IndexNode {
+    BlockKey key = 0;        ///< chained content key (path identity)
+    BlockKey parent = 0;     ///< parent key; 0 = child of the root
+    int64_t block = -1;      ///< physical KV block id
+    int64_t namespace_id = 0; ///< owning tenant namespace
+    int64_t depth = 0;       ///< blocks from the root (0-based)
+    int64_t children = 0;    ///< live child nodes
+    int64_t last_use = 0;    ///< logical LRU tick of the last touch
+};
+
+/**
+ * The flat-stored radix tree (see the file comment). Not thread-safe;
+ * owned and driven by the cache owner's single mutator.
+ */
+class RadixIndex
+{
+  public:
+    /** Nodes (= cached pages) currently in the index. */
+    int64_t size() const
+    {
+        return static_cast<int64_t>(nodes_.size());
+    }
+
+    /**
+     * Longest-prefix match: walks @p keys while each chained key has
+     * a node in @p namespace_id, appending the matched block ids to
+     * @p blocks (not cleared). Matched nodes' LRU ticks are bumped
+     * root-first so a chain never evicts out from under its own
+     * match. Returns the number of blocks matched.
+     */
+    int64_t match(int64_t namespace_id,
+                  const std::vector<BlockKey> &keys, int64_t max_blocks,
+                  std::vector<int64_t> *blocks);
+
+    /**
+     * Inserts a node for @p key (depth @p depth, parent = the key one
+     * link up the chain, or 0 for depth 0) holding @p block. Returns
+     * false — and changes nothing — when the key is already indexed
+     * (two sequences racing the same prompt through one admission
+     * wave; the first insert wins) or the parent link is absent (the
+     * caller must insert chains root-first).
+     */
+    bool insert(int64_t namespace_id, BlockKey key, BlockKey parent,
+                int64_t depth, int64_t block);
+
+    /**
+     * Evicts the least-recently-used leaf whose block satisfies
+     * @p evictable, writing its node to @p out. Returns false when no
+     * leaf qualifies. Deterministic: ties in last_use break on the
+     * key, and the scan order is the (tick, key) LRU set order.
+     */
+    bool evictLru(const std::function<bool(int64_t)> &evictable,
+                  IndexNode *out);
+
+    /** Looks up a node by key; nullptr when absent. */
+    const IndexNode *find(BlockKey key) const;
+
+    /** Calls @p fn for every node, in key order (audits). */
+    void forEach(const std::function<void(const IndexNode &)> &fn) const;
+
+    /** Block ids of every node, ascending (invariant audits). */
+    std::vector<int64_t> blockIds() const;
+
+    /** Removes every node, calling @p released per block id in key
+     * order (the owner drops its per-page references there). */
+    void clear(const std::function<void(int64_t)> &released);
+
+  private:
+    void touch(IndexNode &node);
+
+    std::map<BlockKey, IndexNode> nodes_;
+    /** Leaf-only is checked at eviction; the set orders all nodes by
+     * recency for the deterministic LRU scan. */
+    std::set<std::pair<int64_t, BlockKey>> lru_;
+    int64_t tick_ = 0;
+};
+
+} // namespace prefix
+} // namespace comet

@@ -44,6 +44,8 @@ SchedulerCounters::publishTo(obs::MetricsRegistry &registry) const
         .add(reprefill_tokens);
     registry.counter("serve.scheduler.cancelled").add(cancelled);
     registry.counter("serve.scheduler.rejected").add(rejected);
+    registry.counter("serve.scheduler.prefix_matched_tokens")
+        .add(prefix_matched_tokens);
 }
 
 BatchScheduler::BatchScheduler(PagedKvCache *cache,
@@ -105,23 +107,43 @@ BatchScheduler::admit()
         if (config_.admission == AdmissionPolicy::kReserveFullOutput) {
             const int64_t need = cache_->blocksForTokens(
                 head.prompt_tokens + head.max_output_tokens);
-            fits = need + reserved <= cache_->freeBlocks();
+            fits = need + reserved <= cache_->availableBlocks();
             if (fits) {
                 reserved += need -
                             cache_->blocksForTokens(prefill_tokens);
             }
         } else {
             // The watermark holds decode headroom, but must not
-            // starve an empty system.
+            // starve an empty system. availableBlocks() counts
+            // evictable prefix-cache pages as capacity: cold cached
+            // prefixes never crowd out live traffic.
             const int64_t slack =
                 running_.empty() ? 0 : config_.watermark_blocks;
             fits = cache_->blocksForTokens(prefill_tokens) + slack <=
-                   cache_->freeBlocks();
+                   cache_->availableBlocks();
         }
         if (!fits)
             break; // FCFS: do not skip ahead of the head
-        const Status status =
-            cache_->addSequence(head.id, prefill_tokens);
+        // Prefix-aware admission: graft the cached prompt prefix via
+        // COW references and record how many context tokens prefill
+        // can skip. Preempted requests re-run the match — their
+        // prompt keys still stand, so a re-prefill recovers the hit.
+        head.prefix_matched_tokens = 0;
+        Status status;
+        if (head.prefix_namespace >= 0 &&
+            cache_->prefixCacheEnabled() &&
+            !head.prefix_block_keys.empty()) {
+            Result<int64_t> grafted = cache_->addSequenceWithPrefix(
+                head.id, prefill_tokens, head.prefix_namespace,
+                head.prefix_block_keys);
+            if (grafted.isOk()) {
+                head.prefix_matched_tokens = grafted.value();
+                counters_.prefix_matched_tokens += grafted.value();
+            }
+            status = grafted.status();
+        } else {
+            status = cache_->addSequence(head.id, prefill_tokens);
+        }
         if (status.code() == StatusCode::kResourceExhausted) {
             // The fits-check passed but the allocator still failed —
             // only an injected fault (COMET_FAILPOINT "kv.alloc")

@@ -92,6 +92,10 @@ struct SchedulerCounters {
     int64_t reprefill_tokens = 0;
     int64_t cancelled = 0;        ///< requests aborted via cancel()
     int64_t rejected = 0;         ///< requests that can never fit
+    /** Context tokens grafted from the prefix cache instead of
+     * prefilled (summed over admissions; the flip side of
+     * reprefill_tokens — work *saved* rather than wasted). */
+    int64_t prefix_matched_tokens = 0;
     int64_t peak_running = 0;     ///< max concurrent batch observed
     int64_t peak_queue_depth = 0; ///< max queue length observed
     int64_t peak_used_blocks = 0; ///< max KV blocks in use observed

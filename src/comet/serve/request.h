@@ -10,6 +10,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "comet/prefix/block_key.h"
 
 namespace comet {
 
@@ -48,6 +51,16 @@ struct Request {
     /** Times this request was evicted on KV exhaustion. */
     int64_t preemptions = 0;
     RequestState state = RequestState::kQueued; ///< lifecycle state
+    /** Prefix-cache namespace of this request's tenant; -1 opts the
+     * request out of prefix caching entirely. */
+    int64_t prefix_namespace = -1;
+    /** Chained content keys of the prompt's full KV blocks
+     * (comet::prefix); empty when opted out or content is unknown. */
+    std::vector<prefix::BlockKey> prefix_block_keys;
+    /** Tokens whose KV was grafted from the prefix cache at the most
+     * recent admission (0 without a hit); prefill accounting
+     * subtracts these — they are the tokens honestly not computed. */
+    int64_t prefix_matched_tokens = 0;
 
     /** Context length currently attended over. */
     int64_t

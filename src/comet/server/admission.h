@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "comet/prefix/block_key.h"
 #include "comet/server/streaming.h"
 
 namespace comet {
@@ -55,6 +56,14 @@ struct TenantConfig {
      * instead of occupying the batch with already-useless work.
      * 0 = wait forever. */
     double admission_deadline_us = 0.0;
+    /**
+     * Opts this tenant into the prefix cache (requires
+     * ServerConfig::enable_prefix_cache and per-request prompt
+     * content). Each tenant matches only within its own namespace —
+     * opting in shares nothing with anyone else, it only lets the
+     * tenant reuse *its own* hot prefixes.
+     */
+    bool prefix_caching = false;
 };
 
 /** A request waiting for admission. */
@@ -67,6 +76,10 @@ struct PendingRequest {
     /** Actual EOS length when the workload models one; 0 = run to
      * the declared bound (see Request::eos_output_tokens). */
     int64_t eos_output_tokens = 0;
+    /** Chained content keys of the prompt's full KV blocks, computed
+     * on the submit path under the tenant's key space; empty when the
+     * tenant is opted out or the client sent no prompt content. */
+    std::vector<prefix::BlockKey> prefix_block_keys;
     /** The requester's stream (may be null in unit tests that
      * exercise the queue alone). */
     TokenStreamPtr stream;

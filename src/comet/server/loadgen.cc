@@ -23,6 +23,8 @@ struct GeneratedRequest {
     int64_t prompt_tokens = 0;
     int64_t declared_output_tokens = 0;
     int64_t eos_output_tokens = 0;
+    /** Prompt content (empty unless shared_prompt_pools > 0). */
+    std::vector<int32_t> prompt_ids;
 };
 
 int64_t
@@ -31,6 +33,21 @@ sampleLength(Rng &rng, int64_t lo, int64_t hi)
     COMET_CHECK(lo > 0 && hi >= lo);
     return lo + static_cast<int64_t>(
                     rng.uniformInt(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+/** The first @p tokens ids of the deterministic stream seeded with
+ * @p seed — pool prompts and unique tails are both "a prefix of a
+ * seeded stream", so any two draws from one seed share a prefix by
+ * construction and draws from different seeds diverge immediately. */
+std::vector<int32_t>
+tokenStream(uint64_t seed, int64_t tokens)
+{
+    Rng rng(seed);
+    std::vector<int32_t> ids;
+    ids.reserve(static_cast<size_t>(tokens));
+    for (int64_t i = 0; i < tokens; ++i)
+        ids.push_back(static_cast<int32_t>(rng.uniformInt(32000)));
+    return ids;
 }
 
 /** The whole workload, sorted by (arrival, generation order). */
@@ -62,6 +79,31 @@ generateWorkload(const LoadgenConfig &config)
             // Clients declare the generous bound; EOS lands earlier
             // (the gap optimistic admission exploits).
             request.declared_output_tokens = tenant.output_max;
+            if (tenant.shared_prompt_pools > 0) {
+                // Shared head (pool prompt), unique tail: the prompt
+                // is the pool stream's first prompt_min tokens, then
+                // this request's own stream. Pool seeds fold the
+                // tenant in so two tenants' pools never share content
+                // by accident (isolation is still enforced by key
+                // namespaces either way).
+                const uint64_t pool = rng.uniformInt(
+                    static_cast<uint64_t>(tenant.shared_prompt_pools));
+                const uint64_t pool_seed =
+                    config.seed * 1000003ull + t * 8191ull + pool;
+                request.prompt_ids =
+                    tokenStream(pool_seed,
+                                std::min(tenant.prompt_min,
+                                         request.prompt_tokens));
+                const uint64_t tail_seed =
+                    config.seed * 6700417ull + t * 524287ull +
+                    static_cast<uint64_t>(i) + 1ull;
+                const auto tail = tokenStream(
+                    tail_seed,
+                    request.prompt_tokens -
+                        static_cast<int64_t>(request.prompt_ids.size()));
+                request.prompt_ids.insert(request.prompt_ids.end(),
+                                          tail.begin(), tail.end());
+            }
             requests.push_back(request);
         }
     }
@@ -165,6 +207,7 @@ runLoadgen(Server *server, const LoadgenConfig &config)
                 request.eos_output_tokens =
                     generated.eos_output_tokens;
                 request.arrival_us = generated.arrival_us;
+                request.prompt_ids = generated.prompt_ids;
                 RequestOutcome *outcome = &outcomes[i];
                 if (config.callbacks) {
                     request.callback =

@@ -36,6 +36,16 @@ struct LoadgenTenant {
     int64_t prompt_max = 256;  ///< prompt length range, inclusive
     int64_t output_min = 8;    ///< actual (EOS) output range
     int64_t output_max = 64;   ///< also the declared max_tokens
+    /**
+     * Shared-prompt pools: when > 0, every request carries real
+     * prompt content (StreamRequest::prompt_ids) whose first
+     * prompt_min tokens are drawn from one of this many per-tenant
+     * pool prompts, with a unique tail after — the redundancy of
+     * real traffic (system prompts, replayed chat history) that the
+     * prefix cache exists to exploit. 0 keeps requests content-free
+     * (lengths only), exactly the pre-prefix-cache workload.
+     */
+    int64_t shared_prompt_pools = 0;
 };
 
 /** Load-generator parameters. */

@@ -80,8 +80,12 @@ Server::Server(const ServingEngine *engine, ServerConfig config)
     cache_config.block_tokens = engine_->config().kv_block_tokens;
     cache_config.memory_budget_bytes =
         std::max(engine_->kvBudgetBytes(), 1.0);
+    cache_config.enable_prefix_cache = config_.enable_prefix_cache;
     cache_ = std::make_unique<PagedKvCache>(engine_->config().model,
                                             cache_config);
+    key_space_.bits_per_value = cache_config.bits_per_value;
+    key_space_.block_tokens = cache_config.block_tokens;
+    key_space_.quant_group_tokens = cache_config.quant_group_tokens;
 
     BatchSchedulerConfig sched_config;
     sched_config.max_batch = config_.max_batch;
@@ -190,14 +194,32 @@ Server::submitFromClient(size_t client, const StreamRequest &request)
             record.arrival_us = request.arrival_us;
             record.cancel_at_us = request.cancel_at_us;
             record.request.id = request.id;
-            record.request.tenant =
-                tenantIndexByName(request.tenant);
+            const int tenant = tenantIndexByName(request.tenant);
+            record.request.tenant = tenant;
             record.request.arrival_us = request.arrival_us;
             record.request.prompt_tokens = request.prompt_tokens;
             record.request.max_output_tokens =
                 request.max_output_tokens;
             record.request.eos_output_tokens =
                 request.eos_output_tokens;
+            // Prefix keys are derived here, on the client thread (a
+            // pure function of content + tenant key space), so the
+            // loop never touches prompt content. The ids are not
+            // retained — only the 8-byte-per-block key chain rides
+            // along with the request.
+            if (config_.enable_prefix_cache &&
+                config_.tenants[static_cast<size_t>(tenant)]
+                    .prefix_caching &&
+                !request.prompt_ids.empty()) {
+                COMET_CHECK_MSG(
+                    static_cast<int64_t>(request.prompt_ids.size()) ==
+                        request.prompt_tokens,
+                    "prompt_ids must be prompt_tokens long");
+                prefix::KeySpace space = key_space_;
+                space.namespace_id = tenant;
+                record.request.prefix_block_keys =
+                    prefix::chainBlockKeys(space, request.prompt_ids);
+            }
             record.request.stream = stream;
             wake_->inbox.push_back(std::move(record));
             wake_->cv.notify_all();
@@ -531,6 +553,11 @@ Server::injectFromFairQueue()
         request.prompt_tokens = next.prompt_tokens;
         request.max_output_tokens = next.max_output_tokens;
         request.eos_output_tokens = next.eos_output_tokens;
+        if (!next.prefix_block_keys.empty()) {
+            request.prefix_namespace = next.tenant;
+            request.prefix_block_keys =
+                std::move(next.prefix_block_keys);
+        }
         scheduler_->submit(request);
     }
 }
@@ -585,16 +612,20 @@ Server::stepOnce()
         for (size_t i = running_before; i < running.size(); ++i) {
             // generated_tokens already includes the credited first
             // token; the forward pass recomputes everything before
-            // it (prompt plus pre-preemption progress).
-            prefill_tokens.push_back(running[i].contextTokens() - 1);
+            // it (prompt plus pre-preemption progress) *minus* the
+            // tokens whose KV the prefix cache grafted — TTFT
+            // honestly reflects the skipped work, in both directions.
+            prefill_tokens.push_back(running[i].contextTokens() - 1 -
+                                     running[i].prefix_matched_tokens);
         }
     }
     std::vector<Request> admit_retired = scheduler_->drainRetired();
     for (const Request &request : admit_retired) {
         // One-token generations retire at admission but still ran
-        // their prefill.
+        // their (possibly graft-shortened) prefill.
         if (request.state == RequestState::kFinished)
-            prefill_tokens.push_back(request.contextTokens() - 1);
+            prefill_tokens.push_back(request.contextTokens() - 1 -
+                                     request.prefix_matched_tokens);
     }
     if (!prefill_tokens.empty()) {
         COMET_SPAN("server/prefill");
@@ -861,6 +892,14 @@ Server::publish(bool complete)
     const SchedulerCounters &counters = scheduler_->counters();
     stats_.preemptions = counters.preemptions;
     stats_.reprefill_tokens = counters.reprefill_tokens;
+    const prefix::PrefixCacheStats prefix_stats =
+        cache_->prefixStats();
+    stats_.prefix_hits = prefix_stats.hits;
+    stats_.prefix_misses = prefix_stats.misses;
+    stats_.prefix_matched_tokens = counters.prefix_matched_tokens;
+    stats_.prefix_blocks_matched = prefix_stats.blocks_matched;
+    stats_.prefix_blocks_evicted = prefix_stats.blocks_evicted;
+    stats_.prefix_bytes_saved = prefix_stats.bytes_saved;
     std::lock_guard<std::mutex> lock(wake_->mutex);
     wake_->stats = stats_;
     wake_->sched = counters;

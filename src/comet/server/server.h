@@ -67,6 +67,16 @@ struct StreamRequest {
     int64_t id = 0;
     std::string tenant;        ///< tenant to account admission under
     int64_t prompt_tokens = 0; ///< prompt length to prefill
+    /**
+     * Prompt token ids — the content the prefix cache keys on. When
+     * non-empty it must be exactly prompt_tokens long; empty keeps
+     * the request content-free (no prefix caching for it, everything
+     * else unchanged). Only consulted when the server has the prefix
+     * cache on and the tenant opted in (TenantConfig::prefix_caching);
+     * keys are derived on the submit path, and the ids themselves are
+     * not retained past it.
+     */
+    std::vector<int32_t> prompt_ids;
     /** Declared generation bound (what admission reserves against). */
     int64_t max_output_tokens = 0;
     /** Actual EOS length when the workload models one; 0 = run to
@@ -105,6 +115,11 @@ struct ServerConfig {
     /** Conservative virtual-time ingress (deterministic replay); see
      * the file comment. false = ingest submissions immediately. */
     bool deterministic_ingress = true;
+    /** Builds the session's KV cache with the automatic prefix cache
+     * (comet::prefix). Tenants still opt in individually via
+     * TenantConfig::prefix_caching, and requests must carry
+     * StreamRequest::prompt_ids to participate. */
+    bool enable_prefix_cache = false;
 };
 
 /** Session counters, live over the session and stable after
@@ -118,6 +133,14 @@ struct ServerStats {
     int64_t streamed_tokens = 0; ///< token events delivered
     int64_t preemptions = 0;     ///< scheduler KV-exhaustion evictions
     int64_t reprefill_tokens = 0; ///< recompute cost of preemptions
+    // Prefix-cache accounting (all zero when the cache is off):
+    int64_t prefix_hits = 0;   ///< admissions that grafted >= 1 block
+    int64_t prefix_misses = 0; ///< lookups that matched nothing
+    /** Context tokens grafted instead of prefilled, summed. */
+    int64_t prefix_matched_tokens = 0;
+    int64_t prefix_blocks_matched = 0; ///< KV pages grafted
+    int64_t prefix_blocks_evicted = 0; ///< cached pages evicted
+    int64_t prefix_bytes_saved = 0;    ///< quantized bytes not built
 };
 
 /**
@@ -290,6 +313,9 @@ class Server
     const ServingEngine *engine_;
     ServerConfig config_;
     ServingPrecision precision_;
+    /** Key-space template of the session's cache geometry; submit
+     * stamps the tenant index in as the namespace. */
+    prefix::KeySpace key_space_;
     std::unique_ptr<PagedKvCache> cache_;
     std::unique_ptr<BatchScheduler> scheduler_;
     std::unique_ptr<FairAdmissionQueue> fair_;

@@ -466,6 +466,16 @@ TEST_F(ChaosTest, SchedulerFuzzHoldsCleanAndUnderFaults)
     }
 }
 
+TEST_F(ChaosTest, PrefixFuzzHoldsCleanAndUnderFaults)
+{
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        const Status clean = runPrefixFuzz(seed, 300, false);
+        EXPECT_TRUE(clean.isOk()) << clean.toString();
+        const Status faulted = runPrefixFuzz(seed, 300, true);
+        EXPECT_TRUE(faulted.isOk()) << faulted.toString();
+    }
+}
+
 // ---- The full server harness ----------------------------------------
 
 TEST_F(ChaosTest, ScriptedServerRunHoldsAllInvariants)
@@ -511,6 +521,41 @@ TEST_F(ChaosTest, FaultedRunReplaysBitIdenticallyAcrossThreadCounts)
     EXPECT_EQ(serial.stats.cancelled, pooled.stats.cancelled);
     // The faulted run actually injected something.
     EXPECT_GT(pooled.stats.cancelled + pooled.stats.rejected, 0);
+}
+
+TEST_F(ChaosTest, PrefixScriptGraftsAndReplaysBitIdentically)
+{
+    ChaosScriptConfig config;
+    config.seed = 13;
+    config.steps = 400;
+    config.prefix = true;
+    const std::vector<ChaosStep> script =
+        generateChaosScript(config);
+    ChaosFaultConfig faults;
+    faults.seed = 13;
+    faults.graft_every = 11; // forced misses on the graft path too
+
+    ThreadPool::setGlobalThreads(1);
+    const ChaosRunResult serial =
+        runChaosScript(script, config, &faults);
+    ThreadPool::setGlobalThreads(4);
+    const ChaosRunResult pooled =
+        runChaosScript(script, config, &faults);
+    ThreadPool::setGlobalThreads(0);
+
+    EXPECT_TRUE(serial.ok) << serial.failure;
+    EXPECT_TRUE(pooled.ok) << pooled.failure;
+    EXPECT_FALSE(serial.event_log.empty());
+    EXPECT_EQ(serial.event_log, pooled.event_log);
+    // The cache genuinely grafted despite the armed graft failpoint,
+    // and both replays agree on every prefix counter.
+    EXPECT_GT(serial.stats.prefix_matched_tokens, 0);
+    EXPECT_GT(serial.stats.prefix_hits, 0);
+    EXPECT_EQ(serial.stats.prefix_matched_tokens,
+              pooled.stats.prefix_matched_tokens);
+    EXPECT_EQ(serial.stats.prefix_hits, pooled.stats.prefix_hits);
+    EXPECT_EQ(serial.stats.prefix_blocks_matched,
+              pooled.stats.prefix_blocks_matched);
 }
 
 // ---- Always-on checks along chaos paths (satellite: a violated
