@@ -1,17 +1,79 @@
 #!/usr/bin/env bash
-# Strict undocumented-API gate for the observability, runtime and
-# serving public headers.
+# Docs gate, three passes:
 #
-# The main Doxyfile builds the browsable docs with EXTRACT_ALL = YES,
-# which (by design) suppresses undocumented-member warnings. This
-# script runs a second, non-generating pass with EXTRACT_ALL = NO and
-# WARN_IF_UNDOCUMENTED = YES restricted to the subsystems whose public
-# API must stay fully documented; any warning fails the check.
+#  1. Env-var sync: every COMET_* variable the code reads via getenv
+#     must be documented in docs/OPERATIONS.md's environment-variable
+#     table, and every variable that table lists must still exist in
+#     the code — docs can neither lag nor go stale.
+#  2. Relative links: every relative markdown link in README.md,
+#     DESIGN.md, EXPERIMENTS.md and docs/*.md must resolve to an
+#     existing file.
+#  3. Strict undocumented-API pass: the main Doxyfile builds the
+#     browsable docs with EXTRACT_ALL = YES, which (by design)
+#     suppresses undocumented-member warnings. A second,
+#     non-generating pass with EXTRACT_ALL = NO and
+#     WARN_IF_UNDOCUMENTED = YES is restricted to the subsystems
+#     whose public API must stay fully documented; any warning fails
+#     the check.
 #
 # Usage: scripts/check_docs.sh   (from the repository root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+failures=0
+
+# --- 1. docs/OPERATIONS.md env-var table vs getenv() in the code ---
+
+# Variables the code actually reads.
+code_vars=$(grep -rhoE 'getenv\("COMET_[A-Z_]+"\)' src bench |
+    grep -oE 'COMET_[A-Z_]+' | sort -u)
+# Variables the OPERATIONS.md environment-variable table documents
+# (the table rows between the "## Environment variables" heading and
+# the build-time options paragraph).
+doc_vars=$(sed -n '/^## Environment variables/,/^Build-time CMake/p' \
+    docs/OPERATIONS.md | grep -oE '^\| `COMET_[A-Z_]+`' |
+    grep -oE 'COMET_[A-Z_]+' | sort -u)
+
+undocumented=$(comm -23 <(echo "$code_vars") <(echo "$doc_vars"))
+stale=$(comm -13 <(echo "$code_vars") <(echo "$doc_vars"))
+if [ -n "$undocumented" ]; then
+    echo "check_docs.sh: env vars read by the code but missing from" \
+         "docs/OPERATIONS.md:" >&2
+    echo "$undocumented" >&2
+    failures=1
+fi
+if [ -n "$stale" ]; then
+    echo "check_docs.sh: env vars documented in docs/OPERATIONS.md" \
+         "but no longer read by any getenv in src/ or bench/:" >&2
+    echo "$stale" >&2
+    failures=1
+fi
+
+# --- 2. relative links in the top-level docs must resolve ---
+
+for doc in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Markdown inline links, minus absolute URLs and pure anchors.
+    links=$(grep -oE '\]\(([^)#]+)(#[^)]*)?\)' "$doc" |
+        sed -E 's/^\]\(//; s/#[^)]*//; s/\)$//' |
+        grep -vE '^[a-z]+://' | sort -u || true)
+    for link in $links; do
+        if [ ! -e "$dir/$link" ]; then
+            echo "check_docs.sh: broken relative link in $doc:" \
+                 "$link" >&2
+            failures=1
+        fi
+    done
+done
+
+if [ "$failures" -ne 0 ]; then
+    exit 1
+fi
+echo "check_docs.sh: env-var table and relative links are in sync"
+
+# --- 3. strict undocumented-API doxygen pass ---
 
 if ! command -v doxygen > /dev/null; then
     echo "check_docs.sh: doxygen not found on PATH" >&2

@@ -24,6 +24,10 @@
 #     win on a shared-prompt workload; its exit status asserts the
 #     cache-on/cache-off token streams are identical and the cached
 #     run is deterministic.
+#   - bench_slo_attainment --smoke: chunked prefill vs monolithic on
+#     the mixed long-context + chat workload; its exit status asserts
+#     byte-identical token streams between the modes, chunked-run
+#     determinism, and the chat tenants' TPOT-tail win.
 #
 # Usage: scripts/ci_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -56,6 +60,9 @@ run "${bench_dir}/bench_fig10_throughput" --smoke \
 run "${bench_dir}/bench_prefix_cache" --smoke \
     --json="${json_dir}/prefix_cache.json"
 
+run "${bench_dir}/bench_slo_attainment" --smoke \
+    --json="${json_dir}/slo_attainment.json"
+
 # Emitter smoke: the --json reports written above must parse under the
 # perf-gate schema (a self-diff exercises load + gated-metric checks
 # without depending on this machine's timings matching the baselines).
@@ -64,7 +71,9 @@ run python3 "$(dirname "$0")/check_bench.py" \
     "${json_dir}/fig10_throughput.json" \
     "${json_dir}/fig10_throughput.json" \
     "${json_dir}/prefix_cache.json" \
-    "${json_dir}/prefix_cache.json"
+    "${json_dir}/prefix_cache.json" \
+    "${json_dir}/slo_attainment.json" \
+    "${json_dir}/slo_attainment.json"
 
 run "${bench_dir}/bench_runtime_scaling" --smoke
 

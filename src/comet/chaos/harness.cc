@@ -101,6 +101,13 @@ armChaosFaults(const ChaosFaultConfig &faults)
         registry.arm("prefix.graft",
                      FailPointSpec::everyNth(faults.graft_every));
     }
+    if (faults.chunk_every > 0) {
+        // everyNth >= 2 guarantees forward progress: between any two
+        // dropped chunks at one site, at least one chunk lands.
+        COMET_CHECK(faults.chunk_every >= 2);
+        registry.arm("sched.chunk",
+                     FailPointSpec::everyNth(faults.chunk_every));
+    }
 }
 
 ChaosRunResult
@@ -126,6 +133,7 @@ runChaosScript(const std::vector<ChaosStep> &script,
                                 ? defaultChaosTenants()
                                 : config.tenants;
     server_config.max_batch = 8;
+    server_config.chunked_prefill_tokens = config.chunk_tokens;
     if (config.prefix) {
         server_config.enable_prefix_cache = true;
         for (TenantConfig &tenant : server_config.tenants)

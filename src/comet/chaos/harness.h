@@ -71,6 +71,12 @@ struct ChaosFaultConfig {
      * fallback) on every Nth lookup; 0 leaves the graft path clean.
      * Only observable with the prefix cache on. */
     int64_t graft_every = 0;
+    /** Drop every Nth prefill chunk at its boundary (`sched.chunk`;
+     * the chunk is re-planned on a later step). Only observable with
+     * chunked prefill on (ChaosScriptConfig::chunk_tokens); must be
+     * >= 2 when armed — every chunk dropped would stall prefill
+     * forever. 0 leaves the chunk path clean. */
+    int64_t chunk_every = 0;
 };
 
 /** Arms (replacing any armed schedule, resetting all counters) the

@@ -92,6 +92,12 @@ struct ChaosScriptConfig {
     bool prefix = false;
     /** Distinct shared-prompt pools per tenant in prefix mode. */
     int64_t prompt_pools = 3;
+    /** Chunked-prefill mode: the harness runs the server with
+     * ServerConfig::chunked_prefill_tokens set to this (0 keeps
+     * monolithic prefill), so cancels, preemptions and grafts land
+     * at chunk edges; pair with ChaosFaultConfig::chunk_every to
+     * drop chunks at their boundaries too. */
+    int64_t chunk_tokens = 0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "comet/serve/batch_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "comet/chaos/failpoint.h"
 #include "comet/obs/trace_session.h"
@@ -46,6 +47,10 @@ SchedulerCounters::publishTo(obs::MetricsRegistry &registry) const
     registry.counter("serve.scheduler.rejected").add(rejected);
     registry.counter("serve.scheduler.prefix_matched_tokens")
         .add(prefix_matched_tokens);
+    registry.counter("serve.scheduler.prefill_chunks")
+        .add(prefill_chunks);
+    registry.counter("serve.scheduler.chunks_dropped")
+        .add(chunks_dropped);
 }
 
 BatchScheduler::BatchScheduler(PagedKvCache *cache,
@@ -55,6 +60,8 @@ BatchScheduler::BatchScheduler(PagedKvCache *cache,
     COMET_CHECK(cache_ != nullptr);
     COMET_CHECK(config_.max_batch > 0);
     COMET_CHECK(config_.watermark_blocks >= 0);
+    COMET_CHECK(config_.chunk_tokens >= 0);
+    COMET_CHECK(config_.step_token_budget >= 0);
 }
 
 void
@@ -153,11 +160,23 @@ BatchScheduler::admit()
         }
         COMET_CHECK(status.isOk()); // guaranteed by the check above
         head.state = RequestState::kRunning;
+        if (config_.chunk_tokens > 0) {
+            // Chunked mode: the full KV footprint was allocated
+            // above (and is held across steps), but the prefill
+            // compute happens chunk by chunk in step() — starting
+            // past any grafted prefix, whose KV already exists.
+            head.prefill_target_tokens = prefill_tokens;
+            head.prefilled_tokens = head.prefix_matched_tokens;
+        } else {
+            head.prefill_target_tokens = 0;
+            head.prefilled_tokens = 0;
+        }
         running_.push_back(head);
         queue_.pop_front();
         ++admitted;
         ++counters_.admitted;
-        if (config_.prefill_emits_token) {
+        if (config_.prefill_emits_token &&
+            config_.chunk_tokens <= 0) {
             // The prefill forward pass produces this request's next
             // output token (TTFT accounting); a request completed by
             // that token retires without entering the decode batch.
@@ -206,6 +225,126 @@ BatchScheduler::preemptBack()
     queue_.push_front(victim);
 }
 
+StepPlan
+BatchScheduler::planStep() const
+{
+    StepPlan plan;
+    for (const Request &request : running_) {
+        if (!request.prefilling()) {
+            ++plan.decode_batch;
+            plan.decode_context_sum += request.contextTokens();
+        }
+    }
+    if (config_.chunk_tokens <= 0)
+        return plan;
+    // The knapsack: decode steals priority (each decoding request
+    // advances one token regardless), and whatever budget remains is
+    // filled with prefill chunks in ascending deadline order. A
+    // deadline of 0 sorts last; ties keep running_ (FCFS) order.
+    int64_t budget =
+        config_.step_token_budget > 0
+            ? std::max<int64_t>(0, config_.step_token_budget -
+                                       plan.decode_batch)
+            : std::numeric_limits<int64_t>::max();
+    std::vector<size_t> order;
+    for (size_t i = 0; i < running_.size(); ++i) {
+        if (running_[i].prefilling())
+            order.push_back(i);
+    }
+    const auto effective = [&](size_t i) {
+        const double deadline = running_[i].deadline_us;
+        return deadline > 0.0
+                   ? deadline
+                   : std::numeric_limits<double>::infinity();
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return effective(a) < effective(b);
+                     });
+    for (size_t index : order) {
+        if (budget <= 0)
+            break;
+        const Request &request = running_[index];
+        const int64_t take =
+            std::min({config_.chunk_tokens,
+                      request.prefill_target_tokens -
+                          request.prefilled_tokens,
+                      budget});
+        PlannedChunk chunk;
+        chunk.id = request.id;
+        chunk.tokens = take;
+        chunk.context_after = request.prefilled_tokens + take;
+        plan.chunks.push_back(chunk);
+        plan.prefill_tokens += take;
+        budget -= take;
+    }
+    return plan;
+}
+
+Request *
+BatchScheduler::findRunning(int64_t id)
+{
+    for (Request &request : running_) {
+        if (request.id == id)
+            return &request;
+    }
+    return nullptr;
+}
+
+int64_t
+BatchScheduler::runChunks(const StepPlan &plan,
+                          std::vector<int64_t> *completed)
+{
+    int64_t generated = 0;
+    for (const PlannedChunk &chunk : plan.chunks) {
+        COMET_SPAN("scheduler/chunk");
+        // Chaos hook: drop this chunk at its boundary — as if its
+        // launch was lost — so cancels, preemptions and grafts can
+        // interleave at chunk edges. The prefill simply resumes from
+        // the same offset on a later step; no work is ever lost.
+        if (COMET_FAILPOINT("sched.chunk")) {
+            ++counters_.chunks_dropped;
+            continue;
+        }
+        Request *request = findRunning(chunk.id);
+        if (request == nullptr) {
+            // Evicted between planning and execution (the
+            // sched.preempt failpoint); re-planned after re-admission.
+            continue;
+        }
+        request->prefilled_tokens += chunk.tokens;
+        ++counters_.prefill_chunks;
+        COMET_CHECK(request->prefilled_tokens <=
+                    request->prefill_target_tokens);
+        if (request->prefilling())
+            continue;
+        // This step costed the request as a prefill chunk; it joins
+        // the decode set on the *next* step.
+        completed->push_back(request->id);
+        if (!config_.prefill_emits_token)
+            continue;
+        // The final chunk's forward pass produces the request's next
+        // output token — the same credit monolithic admission grants
+        // (TTFT accounting), without a cache append.
+        ++request->generated_tokens;
+        ++generated;
+        if (request->done()) {
+            request->state = RequestState::kFinished;
+            cache_->removeSequence(request->id);
+            ++finished_;
+            retire(*request);
+            for (auto it = running_.begin(); it != running_.end();
+                 ++it) {
+                if (it->id == request->id) {
+                    running_.erase(it);
+                    break;
+                }
+            }
+        }
+    }
+    return generated;
+}
+
 int64_t
 BatchScheduler::step()
 {
@@ -216,11 +355,25 @@ BatchScheduler::step()
     if (COMET_FAILPOINT("sched.preempt") && !running_.empty())
         preemptBack();
     int64_t generated = 0;
+    std::vector<int64_t> completed_prefills;
+    if (config_.chunk_tokens > 0)
+        generated += runChunks(planStep(), &completed_prefills);
     std::vector<Request> still_running;
     still_running.reserve(running_.size());
     size_t i = 0;
     while (i < running_.size()) {
         Request &request = running_[i];
+        if (request.prefilling() ||
+            std::find(completed_prefills.begin(),
+                      completed_prefills.end(),
+                      request.id) != completed_prefills.end()) {
+            // Mid-prefill (holding its KV pages but decoding
+            // nothing), or its final chunk completed *this* step —
+            // either way it joins the decode set next step.
+            still_running.push_back(request);
+            ++i;
+            continue;
+        }
         Status status = cache_->appendToken(request.id);
         // KV exhaustion mid-step: free blocks by preempting the
         // latest-arrived requests (which have not been stepped yet

@@ -27,6 +27,22 @@
  * Requests whose prompt + max_output can never fit the pool even
  * running alone are rejected at admission (graceful degradation)
  * instead of blocking the FCFS head forever.
+ *
+ * ## Chunked prefill (DESIGN.md §14)
+ *
+ * With BatchSchedulerConfig::chunk_tokens > 0, admission still
+ * allocates a request's full (re)prefill KV footprint up front — the
+ * same fits checks, the same pages, held across steps — but the
+ * prefill *compute* is split into fixed-token chunks that step()
+ * interleaves with decode. Each step forms a token-budget knapsack:
+ * every decoding request advances one token first (decode steals
+ * priority), and the remaining budget is filled with prefill chunks
+ * in ascending Request::deadline_us order. Because admission order,
+ * KV accounting and preemption order are identical to monolithic
+ * mode, the per-request token streams are byte-identical between the
+ * two modes; chunking only changes *when* virtual time is charged —
+ * which is the point: decode tenants stop stalling behind long
+ * prompts.
  */
 #pragma once
 
@@ -81,6 +97,57 @@ struct BatchSchedulerConfig {
      * offline paths leave this off and only read the counters.
      */
     bool collect_retired = false;
+    /**
+     * Chunked prefill: process at most this many prefill tokens per
+     * request per step, interleaved with decode (see the file
+     * comment). 0 (the default) keeps monolithic prefill — the whole
+     * context is considered processed at admission, exactly the
+     * pre-chunking behavior. With chunking on, prefill_emits_token's
+     * first-token credit moves from admit() to the step() that
+     * completes a request's final chunk.
+     */
+    int64_t chunk_tokens = 0;
+    /**
+     * Per-step token budget of the knapsack (decode tokens + prefill
+     * chunk tokens); 0 = uncapped. Decode always runs — the budget
+     * only limits how many prefill chunk tokens ride along, so a
+     * budget smaller than the decode batch simply defers all prefill
+     * to later steps. Ignored in monolithic mode.
+     */
+    int64_t step_token_budget = 0;
+};
+
+/** One prefill chunk a step plans to process. */
+struct PlannedChunk {
+    int64_t id = 0;            ///< the request the chunk belongs to
+    int64_t tokens = 0;        ///< chunk length, tokens
+    /** Prefilled tokens after this chunk — the KV prefix the chunk's
+     * attention reads over (includes any grafted prefix). */
+    int64_t context_after = 0;
+};
+
+/**
+ * The deterministic work plan of the next step(): what decodes and
+ * which prefill chunks fill the remaining token budget. Callers that
+ * charge virtual time (the online server) cost the plan *before*
+ * mutating state; step() recomputes the identical plan internally.
+ */
+struct StepPlan {
+    int64_t decode_batch = 0; ///< requests advancing one token
+    /** Sum of contextTokens() over the decode set (mean context is
+     * decode_context_sum / decode_batch). */
+    int64_t decode_context_sum = 0;
+    /** Total prefill tokens across `chunks`. */
+    int64_t prefill_tokens = 0;
+    /** Planned chunks, in deadline order (see Request::deadline_us). */
+    std::vector<PlannedChunk> chunks;
+
+    /** Tokens the step's fused GEMM processes (decode + chunks). */
+    int64_t
+    gemmTokens() const
+    {
+        return decode_batch + prefill_tokens;
+    }
 };
 
 /** Observability counters accumulated over a scheduler's lifetime. */
@@ -92,6 +159,11 @@ struct SchedulerCounters {
     int64_t reprefill_tokens = 0;
     int64_t cancelled = 0;        ///< requests aborted via cancel()
     int64_t rejected = 0;         ///< requests that can never fit
+    /** Prefill chunks processed by step() (0 in monolithic mode). */
+    int64_t prefill_chunks = 0;
+    /** Prefill chunks dropped by the `sched.chunk` failpoint (the
+     * chunk is retried on a later step; never lost work). */
+    int64_t chunks_dropped = 0;
     /** Context tokens grafted from the prefix cache instead of
      * prefilled (summed over admissions; the flip side of
      * reprefill_tokens — work *saved* rather than wasted). */
@@ -147,8 +219,26 @@ class BatchScheduler
      * requests are preempted back to the front of the queue until
      * the append succeeds — never an abort. Returns the number of
      * tokens generated this step.
+     *
+     * With chunking on (BatchSchedulerConfig::chunk_tokens > 0), the
+     * step first executes planStep()'s prefill chunks — each chunk
+     * boundary runs the `sched.chunk` failpoint (a fired point drops
+     * that chunk for this step; it is re-planned next step) — then
+     * decodes the decode set. A request whose final chunk completes
+     * receives its prefill_emits_token first-token credit here, and
+     * retires immediately when that credit completes it.
      */
     int64_t step();
+
+    /**
+     * The deterministic plan the next step() will execute against
+     * the current state: the decode set plus — with chunking on —
+     * the prefill chunks filling the remaining token budget in
+     * deadline order. Pure (const): callers cost the plan, then call
+     * step(), which recomputes the identical plan. In monolithic
+     * mode the plan is just the decode set with no chunks.
+     */
+    StepPlan planStep() const;
 
     /**
      * Aborts a request wherever it lives (queue or running batch),
@@ -203,6 +293,15 @@ class BatchScheduler
     /** Evicts the latest-arrived running request (the back of the
      * batch) back to the front of the queue, freeing its blocks. */
     void preemptBack();
+
+    /** Executes @p plan's prefill chunks (chunked mode only),
+     * appending the ids whose prefill completed this step to
+     * @p completed; returns the first-token credits granted. */
+    int64_t runChunks(const StepPlan &plan,
+                      std::vector<int64_t> *completed);
+
+    /** The running request with @p id, or nullptr. */
+    Request *findRunning(int64_t id);
 
     /** Updates the peak-observability counters. */
     void notePeaks();

@@ -61,6 +61,29 @@ struct Request {
      * recent admission (0 without a hit); prefill accounting
      * subtracts these — they are the tokens honestly not computed. */
     int64_t prefix_matched_tokens = 0;
+    /**
+     * Chunked-prefill progress (meaningful only when the scheduler
+     * runs with BatchSchedulerConfig::chunk_tokens > 0; both stay 0
+     * in monolithic mode). `prefill_target_tokens` is the context
+     * this admission must (re)compute — prompt plus any
+     * pre-preemption generation — and `prefilled_tokens` is how much
+     * of it has been processed so far, starting at
+     * prefix_matched_tokens after a graft. The KV footprint for the
+     * full target is allocated at admission either way; chunking
+     * only spreads the *compute* across steps. @{
+     */
+    int64_t prefill_target_tokens = 0;
+    int64_t prefilled_tokens = 0;
+    /** @} */
+    /**
+     * TTFT deadline for chunk ordering, absolute virtual
+     * microseconds (arrival + the tenant's TTFT budget); 0 = none.
+     * The scheduler fills each step's leftover token budget with
+     * prefill chunks in ascending deadline order (ties and
+     * deadline-free requests keep FCFS order); it never drops work
+     * on a missed deadline — that verdict belongs to admission.
+     */
+    double deadline_us = 0.0;
 
     /** Context length currently attended over. */
     int64_t
@@ -82,6 +105,14 @@ struct Request {
     done() const
     {
         return generated_tokens >= stopTokens();
+    }
+
+    /** True while a chunked prefill is still in flight (always false
+     * in monolithic mode, where the target is reached at admission). */
+    bool
+    prefilling() const
+    {
+        return prefilled_tokens < prefill_target_tokens;
     }
 };
 

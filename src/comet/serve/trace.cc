@@ -111,6 +111,38 @@ TraceMetrics::tpotPercentilesUs(const std::vector<double> &ps) const
     return percentilesOrNan(std::move(values), ps);
 }
 
+double
+TraceMetrics::ttftAttainment(double slo_us) const
+{
+    if (per_request.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    int64_t met = 0;
+    for (const RequestLatency &latency : per_request) {
+        if (latency.ttft_us <= slo_us)
+            ++met;
+    }
+    return static_cast<double>(met) /
+           static_cast<double>(per_request.size());
+}
+
+double
+TraceMetrics::tpotAttainment(double slo_us) const
+{
+    int64_t eligible = 0;
+    int64_t met = 0;
+    for (const RequestLatency &latency : per_request) {
+        if (latency.output_tokens < 2)
+            continue;
+        ++eligible;
+        if (latency.tpot_us <= slo_us)
+            ++met;
+    }
+    if (eligible == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return static_cast<double>(met) /
+           static_cast<double>(eligible);
+}
+
 void
 TraceMetrics::publishTo(obs::MetricsRegistry &registry) const
 {

@@ -103,6 +103,16 @@ struct TraceMetrics {
     std::vector<double>
     tpotPercentilesUs(const std::vector<double> &ps) const;
 
+    /** SLO attainment: the fraction of completed requests whose TTFT
+     * is within @p slo_us, in [0, 1]; NaN when no request completed
+     * (mirrors the percentile helpers' empty-set convention). */
+    double ttftAttainment(double slo_us) const;
+
+    /** The fraction of completed requests (with >= 2 output tokens,
+     * so a mean TPOT exists) whose TPOT is within @p slo_us; NaN
+     * when none qualify. */
+    double tpotAttainment(double slo_us) const;
+
     /** Adds the replay's scheduling counters into @p registry under
      * `serve.replay.*` so one dump covers both surfaces (counters are
      * monotonic: repeated replays accumulate). */

@@ -47,10 +47,16 @@ struct TenantConfig {
     /** Token-bucket capacity, requests (burst tolerance). */
     double rate_burst = 8.0;
     /** TTFT service-level objective, microseconds; 0 = none. The
-     * server tags per-tenant latency histograms with it and the load
-     * generator counts goodput against it. Admission itself does not
-     * enforce it. */
+     * server counts per-tenant attainment against it
+     * (TenantSloStats, `server.tenant.<name>.slo.*`), the load
+     * generator counts goodput against it, and with chunked prefill
+     * on it orders prefill chunks by deadline (arrival + budget).
+     * Admission itself does not enforce it. */
     double ttft_slo_us = 0.0;
+    /** TPOT (mean time-per-output-token) service-level objective,
+     * microseconds; 0 = none. Counted like ttft_slo_us over finished
+     * streams with at least two tokens; never enforced. */
+    double tpot_slo_us = 0.0;
     /** Admission deadline relative to arrival, microseconds; a
      * request still queued past it is rejected kDeadlineExpired
      * instead of occupying the batch with already-useless work.

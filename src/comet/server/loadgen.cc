@@ -255,15 +255,24 @@ runLoadgen(Server *server, const LoadgenConfig &config)
             const double ttft =
                 outcome.first_token_us - outcome.arrival_us;
             ttfts[t].push_back(ttft);
+            const double ttft_slo =
+                config.tenants[t].admission.ttft_slo_us;
+            const double tpot_slo =
+                config.tenants[t].admission.tpot_slo_us;
+            bool met = ttft_slo <= 0.0 || ttft <= ttft_slo;
             if (outcome.tokens > 1) {
-                tpots[t].push_back(
+                const double tpot =
                     (outcome.last_token_us -
                      outcome.first_token_us) /
-                    static_cast<double>(outcome.tokens - 1));
+                    static_cast<double>(outcome.tokens - 1);
+                tpots[t].push_back(tpot);
+                ++row.tpot_measured;
+                if (tpot_slo <= 0.0 || tpot <= tpot_slo)
+                    ++row.tpot_slo_met;
+                else
+                    met = false;
             }
-            const double slo =
-                config.tenants[t].admission.ttft_slo_us;
-            if (slo <= 0.0 || ttft <= slo) {
+            if (met) {
                 ++row.slo_met;
                 slo_tokens[t] +=
                     static_cast<double>(outcome.tokens);
@@ -306,7 +315,8 @@ renderLoadgenReport(const LoadgenReport &report)
 {
     Table table({"tenant", "submit", "done", "reject", "tokens",
                  "ttft p50 (ms)", "ttft p99 (ms)", "tpot p50 (ms)",
-                 "tpot p99 (ms)", "goodput (tok/s)", "slo met"});
+                 "tpot p99 (ms)", "goodput (tok/s)", "slo met",
+                 "tpot slo"});
     for (const LoadgenTenantReport &row : report.tenants) {
         table.addRow(
             {row.name, std::to_string(row.submitted),
@@ -323,6 +333,12 @@ renderLoadgenReport(const LoadgenReport &report)
                        static_cast<double>(row.slo_met) /
                            static_cast<double>(row.completed),
                        1)
+                 : "-",
+             row.tpot_measured > 0
+                 ? formatPercent(
+                       static_cast<double>(row.tpot_slo_met) /
+                           static_cast<double>(row.tpot_measured),
+                       1)
                  : "-"});
     }
     table.addSeparator();
@@ -330,8 +346,50 @@ renderLoadgenReport(const LoadgenReport &report)
                   std::to_string(report.completed),
                   std::to_string(report.rejected),
                   std::to_string(report.tokens), "-", "-", "-", "-",
-                  "-", "-"});
+                  "-", "-", "-"});
     return table.render();
+}
+
+LoadgenConfig
+mixedSloWorkload(uint64_t seed, bool smoke)
+{
+    LoadgenConfig config;
+    config.seed = seed;
+    config.clients = 4;
+
+    // The ingestion tenant: few requests, multi-thousand-token
+    // prompts, short outputs. Under monolithic prefill each of its
+    // admissions stalls every decoding stream for the whole prompt;
+    // under chunked prefill the same work interleaves.
+    LoadgenTenant longctx;
+    longctx.admission.name = "longctx";
+    longctx.admission.weight = 1.0;
+    longctx.admission.ttft_slo_us = 5e6; // 5 s: ingestion is patient
+    longctx.arrival_rate_per_s = 1.5;
+    longctx.requests = smoke ? 6 : 24;
+    longctx.prompt_min = 1536;
+    longctx.prompt_max = 3072;
+    longctx.output_min = 8;
+    longctx.output_max = 24;
+    config.tenants.push_back(longctx);
+
+    // Two interactive chat tenants with tight tail budgets — the
+    // streams whose TPOT p99 monolithic prefill blows up.
+    for (const char *name : {"chat-a", "chat-b"}) {
+        LoadgenTenant chat;
+        chat.admission.name = name;
+        chat.admission.weight = 2.0;
+        chat.admission.ttft_slo_us = 4e5;  // 400 ms to first token
+        chat.admission.tpot_slo_us = 5e4;  // 50 ms per token
+        chat.arrival_rate_per_s = 10.0;
+        chat.requests = smoke ? 24 : 96;
+        chat.prompt_min = 64;
+        chat.prompt_max = 192;
+        chat.output_min = 24;
+        chat.output_max = 96;
+        config.tenants.push_back(chat);
+    }
+    return config;
 }
 
 } // namespace server

@@ -82,9 +82,16 @@ struct LoadgenTenantReport {
     double ttft_p99_us = 0.0; ///< p99 time-to-first-token
     double tpot_p50_us = 0.0; ///< median time-per-output-token
     double tpot_p99_us = 0.0; ///< p99 time-per-output-token
-    /** Completions that met the tenant's TTFT SLO (all completions
-     * when no SLO is configured). */
+    /** Completions that met every SLO the tenant configured — TTFT
+     * and, when set, TPOT (all completions when no SLO is
+     * configured; a completion too short to measure TPOT counts as
+     * meeting it). */
     int64_t slo_met = 0;
+    /** Completions with a measurable TPOT (>= 2 tokens). */
+    int64_t tpot_measured = 0;
+    /** TPOT-measurable completions that met the tenant's TPOT SLO
+     * (all of them when no TPOT SLO is configured). */
+    int64_t tpot_slo_met = 0;
     /** Tokens of SLO-meeting completions per virtual second. */
     double goodput_tokens_per_s = 0.0;
 };
@@ -119,6 +126,16 @@ LoadgenReport runLoadgen(Server *server,
 /** Renders the per-tenant report as an aligned text table
  * (deterministic for a fixed seed — the bench diffs two runs). */
 std::string renderLoadgenReport(const LoadgenReport &report);
+
+/**
+ * The canonical mixed SLO workload: one "longctx" ingestion tenant
+ * whose multi-thousand-token prompts monopolize monolithic prefill
+ * steps, plus two interactive chat tenants ("chat-a", "chat-b") with
+ * tight TTFT/TPOT budgets — the scenario chunked prefill exists for
+ * (DESIGN.md §14). Shared by bench_slo_attainment and the
+ * chunked-prefill tests; @p smoke shrinks request counts for CI.
+ */
+LoadgenConfig mixedSloWorkload(uint64_t seed, bool smoke);
 
 } // namespace server
 } // namespace comet

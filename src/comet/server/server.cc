@@ -73,6 +73,8 @@ Server::Server(const ServingEngine *engine, ServerConfig config)
     COMET_CHECK(engine_ != nullptr);
     COMET_CHECK(config_.max_batch > 0);
     COMET_CHECK(config_.max_queued_total >= 0);
+    COMET_CHECK(config_.chunked_prefill_tokens >= 0);
+    COMET_CHECK(config_.step_token_budget >= 0);
     precision_ = servingPrecision(engine_->config().mode);
 
     KvCacheConfig cache_config;
@@ -96,11 +98,19 @@ Server::Server(const ServingEngine *engine, ServerConfig config)
     // events rather than bare counters.
     sched_config.prefill_emits_token = true;
     sched_config.collect_retired = true;
+    sched_config.chunk_tokens = config_.chunked_prefill_tokens;
+    sched_config.step_token_budget = config_.step_token_budget;
     scheduler_ =
         std::make_unique<BatchScheduler>(cache_.get(), sched_config);
     scheduler_->resetCounters();
 
     fair_ = std::make_unique<FairAdmissionQueue>(config_.tenants);
+
+    // One attainment row per tenant, fixed for the session (set up
+    // before the loop thread starts; the loop owns stats_ after).
+    stats_.tenant_slo.resize(config_.tenants.size());
+    for (size_t t = 0; t < config_.tenants.size(); ++t)
+        stats_.tenant_slo[t].tenant = config_.tenants[t].name;
 
     wake_ = std::make_shared<Wake>();
     loop_thread_ = std::thread(&Server::loop, this);
@@ -553,6 +563,15 @@ Server::injectFromFairQueue()
         request.prompt_tokens = next.prompt_tokens;
         request.max_output_tokens = next.max_output_tokens;
         request.eos_output_tokens = next.eos_output_tokens;
+        // SLO-aware chunk ordering: a tenant with a TTFT budget gets
+        // its prefill chunks scheduled by absolute deadline; no
+        // budget (0) keeps FCFS order among the deadline-free.
+        const TenantConfig &tenant_config =
+            config_.tenants[static_cast<size_t>(next.tenant)];
+        if (tenant_config.ttft_slo_us > 0.0) {
+            request.deadline_us =
+                next.arrival_us + tenant_config.ttft_slo_us;
+        }
         if (!next.prefix_block_keys.empty()) {
             request.prefix_namespace = next.tenant;
             request.prefix_block_keys =
@@ -602,12 +621,15 @@ Server::stepOnce()
         processDueCancels();
     }
 
-    // Admission happens at the current virtual time; the admitted
-    // wave then pays its (re)prefill before any token is visible.
+    // Admission happens at the current virtual time. Monolithic
+    // mode charges the admitted wave's whole (re)prefill before any
+    // token is visible; chunked mode defers all prefill compute to
+    // the fused per-step plan below.
+    const bool chunked = config_.chunked_prefill_tokens > 0;
     const size_t running_before = scheduler_->running().size();
     injectFromFairQueue();
     std::vector<int64_t> prefill_tokens;
-    {
+    if (!chunked) {
         const std::vector<Request> &running = scheduler_->running();
         for (size_t i = running_before; i < running.size(); ++i) {
             // generated_tokens already includes the credited first
@@ -622,8 +644,10 @@ Server::stepOnce()
     std::vector<Request> admit_retired = scheduler_->drainRetired();
     for (const Request &request : admit_retired) {
         // One-token generations retire at admission but still ran
-        // their (possibly graft-shortened) prefill.
-        if (request.state == RequestState::kFinished)
+        // their (possibly graft-shortened) prefill. (Chunked mode
+        // never credits at admission, so nothing retires kFinished
+        // here.)
+        if (!chunked && request.state == RequestState::kFinished)
             prefill_tokens.push_back(request.contextTokens() - 1 -
                                      request.prefix_matched_tokens);
     }
@@ -641,38 +665,69 @@ Server::stepOnce()
 
     if (scheduler_->runningCount() > 0) {
         COMET_SPAN("server/decode");
-        const std::vector<Request> &running = scheduler_->running();
-        const int64_t batch =
-            static_cast<int64_t>(running.size());
-        // Per-request context accounting fanned out across the
-        // runtime pool (ordered reduction: bit-identical to the
-        // sequential sum for any pool size).
-        const double context_sum = parallelReduceOrdered(
-            0, batch, 32, 0.0,
-            [&](int64_t begin, int64_t end) {
-                double partial = 0.0;
-                for (int64_t i = begin; i < end; ++i) {
-                    partial += static_cast<double>(
-                        running[static_cast<size_t>(i)]
-                            .contextTokens());
-                }
-                return partial;
-            },
-            [](double acc, double partial) {
-                return acc + partial;
-            });
-        const auto mean_context = static_cast<int64_t>(
-            context_sum / static_cast<double>(batch));
-        auto gemm_it = gemm_cache_.find(batch);
-        if (gemm_it == gemm_cache_.end()) {
-            gemm_it = gemm_cache_
-                          .emplace(batch,
-                                   engine_->gemmLatencyUs(batch))
-                          .first;
+        double step_us = 0.0;
+        if (chunked) {
+            // Fused-step costing from the scheduler's deterministic
+            // plan: one GEMM over decode + chunk tokens, the decode
+            // batch's attention read, and each chunk's attention
+            // over its request's growing KV prefix — the same model
+            // replayTrace charges.
+            const StepPlan plan = scheduler_->planStep();
+            const int64_t gemm_tokens = plan.gemmTokens();
+            COMET_CHECK(gemm_tokens > 0);
+            auto gemm_it = gemm_cache_.find(gemm_tokens);
+            if (gemm_it == gemm_cache_.end()) {
+                gemm_it =
+                    gemm_cache_
+                        .emplace(gemm_tokens,
+                                 engine_->gemmLatencyUs(gemm_tokens))
+                        .first;
+            }
+            step_us = gemm_it->second;
+            if (plan.decode_batch > 0) {
+                step_us += engine_->attentionReadLatencyUs(
+                    plan.decode_batch,
+                    plan.decode_context_sum / plan.decode_batch);
+            }
+            for (const PlannedChunk &chunk : plan.chunks) {
+                step_us += engine_->attentionReadLatencyUs(
+                    1, std::max<int64_t>(chunk.context_after, 1));
+            }
+        } else {
+            const std::vector<Request> &running =
+                scheduler_->running();
+            const int64_t batch =
+                static_cast<int64_t>(running.size());
+            // Per-request context accounting fanned out across the
+            // runtime pool (ordered reduction: bit-identical to the
+            // sequential sum for any pool size).
+            const double context_sum = parallelReduceOrdered(
+                0, batch, 32, 0.0,
+                [&](int64_t begin, int64_t end) {
+                    double partial = 0.0;
+                    for (int64_t i = begin; i < end; ++i) {
+                        partial += static_cast<double>(
+                            running[static_cast<size_t>(i)]
+                                .contextTokens());
+                    }
+                    return partial;
+                },
+                [](double acc, double partial) {
+                    return acc + partial;
+                });
+            const auto mean_context = static_cast<int64_t>(
+                context_sum / static_cast<double>(batch));
+            auto gemm_it = gemm_cache_.find(batch);
+            if (gemm_it == gemm_cache_.end()) {
+                gemm_it = gemm_cache_
+                              .emplace(batch,
+                                       engine_->gemmLatencyUs(batch))
+                              .first;
+            }
+            step_us =
+                gemm_it->second +
+                engine_->attentionReadLatencyUs(batch, mean_context);
         }
-        const double step_us =
-            gemm_it->second +
-            engine_->attentionReadLatencyUs(batch, mean_context);
         if (!waitForSafe(clock_ + step_us))
             return false;
         clock_ += step_us;
@@ -729,24 +784,48 @@ Server::deliverRetired(const std::vector<Request> &retired)
             event.kind = StreamEventKind::kFinished;
             ++stats_.completed;
             serverCounter("server.completed").add();
-            const std::string &tenant =
-                config_.tenants[static_cast<size_t>(live.tenant)]
-                    .name;
+            const TenantConfig &tenant_config =
+                config_.tenants[static_cast<size_t>(live.tenant)];
+            const std::string &tenant = tenant_config.name;
             obs::MetricsRegistry &registry =
                 obs::MetricsRegistry::global();
+            const double ttft =
+                live.first_token_us - live.arrival_us;
             registry
                 .histogram("server.tenant." + tenant + ".ttft_us",
                            latencyBucketsUs())
-                .observe(live.first_token_us - live.arrival_us);
+                .observe(ttft);
+            TenantSloStats &slo =
+                stats_.tenant_slo[static_cast<size_t>(live.tenant)];
+            ++slo.finished;
+            if (tenant_config.ttft_slo_us > 0.0) {
+                const bool ok = ttft <= tenant_config.ttft_slo_us;
+                ++(ok ? slo.ttft_ok : slo.ttft_miss);
+                serverCounter(("server.tenant." + tenant +
+                               (ok ? ".slo.ttft_ok"
+                                   : ".slo.ttft_miss"))
+                                  .c_str())
+                    .add();
+            }
             if (live.streamed_tokens > 1) {
+                const double tpot =
+                    (live.last_token_us - live.first_token_us) /
+                    static_cast<double>(live.streamed_tokens - 1);
                 registry
                     .histogram("server.tenant." + tenant +
                                    ".tpot_us",
                                latencyBucketsUs())
-                    .observe((live.last_token_us -
-                              live.first_token_us) /
-                             static_cast<double>(
-                                 live.streamed_tokens - 1));
+                    .observe(tpot);
+                if (tenant_config.tpot_slo_us > 0.0) {
+                    const bool ok =
+                        tpot <= tenant_config.tpot_slo_us;
+                    ++(ok ? slo.tpot_ok : slo.tpot_miss);
+                    serverCounter(("server.tenant." + tenant +
+                                   (ok ? ".slo.tpot_ok"
+                                       : ".slo.tpot_miss"))
+                                      .c_str())
+                        .add();
+                }
             }
             break;
           }

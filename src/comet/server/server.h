@@ -120,6 +120,39 @@ struct ServerConfig {
      * TenantConfig::prefix_caching, and requests must carry
      * StreamRequest::prompt_ids to participate. */
     bool enable_prefix_cache = false;
+    /**
+     * Chunked prefill (DESIGN.md §14): process at most this many
+     * prefill tokens per request per step, fused with decode into
+     * one GEMM launch, instead of charging each admission wave's
+     * whole prefill up front. 0 (the default) keeps monolithic
+     * prefill. Token streams are byte-identical between the two
+     * modes; only the virtual-time shape changes — decode tenants
+     * stop stalling behind long prompts. Prefill chunks are ordered
+     * by TTFT deadline (arrival + TenantConfig::ttft_slo_us).
+     */
+    int64_t chunked_prefill_tokens = 0;
+    /** Per-step token budget (decode + prefill chunks) of the
+     * scheduler's knapsack; 0 = uncapped. Only meaningful with
+     * chunked_prefill_tokens > 0 (see
+     * BatchSchedulerConfig::step_token_budget). */
+    int64_t step_token_budget = 0;
+};
+
+/** Per-tenant SLO attainment over a session's finished streams (all
+ * zero for tenants with no SLO budgets configured). */
+struct TenantSloStats {
+    std::string tenant;    ///< tenant name (metric label)
+    int64_t finished = 0;  ///< streams that ended kFinished
+    /** Finished streams whose TTFT met / missed
+     * TenantConfig::ttft_slo_us (both 0 when no budget is set). @{ */
+    int64_t ttft_ok = 0;
+    int64_t ttft_miss = 0;
+    /** @} */
+    /** Finished streams (with >= 2 tokens) whose mean TPOT met /
+     * missed TenantConfig::tpot_slo_us. @{ */
+    int64_t tpot_ok = 0;
+    int64_t tpot_miss = 0;
+    /** @} */
 };
 
 /** Session counters, live over the session and stable after
@@ -141,6 +174,10 @@ struct ServerStats {
     int64_t prefix_blocks_matched = 0; ///< KV pages grafted
     int64_t prefix_blocks_evicted = 0; ///< cached pages evicted
     int64_t prefix_bytes_saved = 0;    ///< quantized bytes not built
+    /** Per-tenant SLO attainment, one row per configured tenant (in
+     * ServerConfig::tenants order). Also published as
+     * `server.tenant.<name>.slo.*` registry counters. */
+    std::vector<TenantSloStats> tenant_slo;
 };
 
 /**
