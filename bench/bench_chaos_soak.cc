@@ -12,6 +12,13 @@
  * shrunk to a minimal step script and printed with a one-line repro
  * command.
  *
+ * `--cluster` routes every script through a 4-replica ClusterRouter
+ * instead (policy rotating per seed), with the routing-thread
+ * failpoints armed — forced reroutes (`cluster.route`) and injected
+ * mid-workload drains (`cluster.drain`) — and requires the same
+ * bit-identical replay plus the cluster audits (token conservation
+ * across drains, routing accounting, per-replica KV quiescence).
+ *
  * It also measures the disabled-failpoint fast path the way
  * bench_obs_overhead measures disabled spans, and enforces the
  * <= 1 ns/hit budget in optimized non-sanitizer builds.
@@ -28,6 +35,7 @@
 #include "comet/chaos/failpoint.h"
 #include "comet/chaos/harness.h"
 #include "comet/chaos/script.h"
+#include "comet/cluster/placement.h"
 #include "comet/common/table.h"
 #include "comet/runtime/thread_pool.h"
 
@@ -62,6 +70,70 @@ measureDisabledFailpointNs()
         std::chrono::duration<double, std::nano>(stop - start)
             .count();
     return total_ns / static_cast<double>(kIters);
+}
+
+/** Replicas the cluster soak routes across. */
+constexpr int kClusterReplicas = 4;
+
+/** Cluster-soak policy for a seed: rotating through the three
+ * routing policies spreads coverage without a separate flag. */
+cluster::RoutingPolicy
+clusterPolicyForSeed(uint64_t seed)
+{
+    switch (seed % 3) {
+    case 0:
+        return cluster::RoutingPolicy::kLeastLoaded;
+    case 1:
+        return cluster::RoutingPolicy::kConsistentHash;
+    default:
+        return cluster::RoutingPolicy::kWeightedRoundRobin;
+    }
+}
+
+/** The cluster soak's fault schedule: the routing-thread failpoints
+ * (forced reroutes, injected drains) plus pool delays — the
+ * cluster-safe subset runClusterChaosScript keeps armed. */
+ChaosFaultConfig
+clusterFaults(uint64_t seed)
+{
+    ChaosFaultConfig faults;
+    faults.seed = seed;
+    faults.route_every = 7;
+    faults.drain_every = 41;
+    return faults;
+}
+
+/** One seed's faulted cluster double run (threads 1 vs 8): the
+ * script routed through a 4-replica cluster with cluster.route and
+ * cluster.drain armed. Empty string when every invariant held and
+ * the event logs matched byte for byte. */
+std::string
+runClusterSoakSeed(uint64_t seed, int steps, bool prefix)
+{
+    ChaosScriptConfig config;
+    config.seed = seed;
+    config.steps = steps;
+    config.prefix = prefix;
+    const std::vector<ChaosStep> script =
+        generateChaosScript(config);
+    const ChaosFaultConfig faults = clusterFaults(seed);
+    const cluster::RoutingPolicy policy = clusterPolicyForSeed(seed);
+
+    ThreadPool::setGlobalThreads(1);
+    const ClusterChaosRunResult serial = runClusterChaosScript(
+        script, config, &faults, kClusterReplicas, policy);
+    ThreadPool::setGlobalThreads(8);
+    const ClusterChaosRunResult pooled = runClusterChaosScript(
+        script, config, &faults, kClusterReplicas, policy);
+    ThreadPool::setGlobalThreads(0);
+
+    if (!serial.ok)
+        return "threads=1: " + serial.failure;
+    if (!pooled.ok)
+        return "threads=8: " + pooled.failure;
+    if (serial.event_log != pooled.event_log)
+        return "event logs diverge between threads=1 and threads=8";
+    return "";
 }
 
 /** One seed's faulted double run (threads 1 vs 8). Empty string when
@@ -99,12 +171,12 @@ runSoakSeed(uint64_t seed, int steps, bool prefix)
 
 /** Shrinks a failing seed's script and prints the minimal repro. */
 void
-reportFailure(uint64_t seed, int steps, bool prefix,
+reportFailure(uint64_t seed, int steps, bool prefix, bool clustered,
               const std::string &failure)
 {
-    std::fprintf(stderr, "FAILING SEED %" PRIu64 " (steps=%d%s): %s\n",
+    std::fprintf(stderr, "FAILING SEED %" PRIu64 " (steps=%d%s%s): %s\n",
                  seed, steps, prefix ? ", prefix" : "",
-                 failure.c_str());
+                 clustered ? ", cluster" : "", failure.c_str());
     ChaosScriptConfig config;
     config.seed = seed;
     config.steps = steps;
@@ -113,20 +185,35 @@ reportFailure(uint64_t seed, int steps, bool prefix,
         generateChaosScript(config);
     ChaosFaultConfig faults;
     faults.seed = seed;
-    if (prefix)
+    if (clustered)
+        faults = clusterFaults(seed);
+    else if (prefix)
         faults.graft_every = 23;
+    const auto fails = [&](const std::vector<ChaosStep> &candidate) {
+        if (clustered)
+            return !runClusterChaosScript(candidate, config, &faults,
+                                          kClusterReplicas,
+                                          clusterPolicyForSeed(seed))
+                        .ok;
+        return !runChaosScript(candidate, config, &faults).ok;
+    };
     // Shrink against the single-threaded replay: cheap, and any
     // surviving violation reproduces by construction.
     ThreadPool::setGlobalThreads(1);
-    const std::vector<ChaosStep> shrunk = shrinkChaosScript(
-        script,
-        [&](const std::vector<ChaosStep> &candidate) {
-            return !runChaosScript(candidate, config, &faults).ok;
-        },
-        /*max_runs=*/48);
+    const std::vector<ChaosStep> shrunk =
+        shrinkChaosScript(script, fails, /*max_runs=*/48);
     ThreadPool::setGlobalThreads(0);
-    const ChaosRunResult minimal =
-        runChaosScript(shrunk, config, &faults);
+    ChaosRunResult minimal;
+    if (clustered) {
+        const ClusterChaosRunResult cluster_minimal =
+            runClusterChaosScript(shrunk, config, &faults,
+                                  kClusterReplicas,
+                                  clusterPolicyForSeed(seed));
+        minimal.ok = cluster_minimal.ok;
+        minimal.failure = cluster_minimal.failure;
+    } else {
+        minimal = runChaosScript(shrunk, config, &faults);
+    }
     if (!minimal.ok) {
         std::fprintf(stderr,
                      "minimal script (%zu of %zu steps), fails "
@@ -145,8 +232,9 @@ reportFailure(uint64_t seed, int steps, bool prefix,
     }
     std::fprintf(stderr,
                  "repro: ./bench_chaos_soak --seed=%" PRIu64
-                 " --seeds=1 --steps=%d%s\n",
-                 seed, steps, prefix ? " --prefix" : "");
+                 " --seeds=1 --steps=%d%s%s\n",
+                 seed, steps, prefix ? " --prefix" : "",
+                 clustered ? " --cluster" : "");
 }
 
 } // namespace
@@ -161,13 +249,20 @@ main(int argc, char **argv)
         {{"--smoke", "reduced shapes for CI (2 seeds x 500 steps)"},
          {"--prefix", "prefix-cache mode: shared-prompt scripts, the "
                       "cache on, and the graft failpoint armed"},
+         {"--cluster", "cluster mode: route every script through a "
+                       "4-replica ClusterRouter with cluster.route "
+                       "and cluster.drain armed"},
          {"--seed=", "first seed (default 1)"},
          {"--seeds=", "number of consecutive seeds (default 1)"},
          {"--steps=", "script steps per seed (default 10000)"}});
     const bool smoke = bench::smokeRequested(argc, argv);
     bool prefix = false;
-    for (int i = 1; i < argc; ++i)
+    bool clustered = false;
+    for (int i = 1; i < argc; ++i) {
         prefix = prefix || std::strcmp(argv[i], "--prefix") == 0;
+        clustered =
+            clustered || std::strcmp(argv[i], "--cluster") == 0;
+    }
     const uint64_t first_seed = static_cast<uint64_t>(
         bench::flagValue(argc, argv, "--seed=", 1));
     const int64_t seeds =
@@ -188,15 +283,60 @@ main(int argc, char **argv)
     }
 #endif
 
-    Table table({"seed", "steps", "completed", "rejected",
-                 "cancelled", "tokens", "grafted", "replay"});
+    Table table(
+        clustered
+            ? std::vector<std::string>{"seed", "steps", "policy",
+                                       "completed", "routed",
+                                       "rerouted", "drains",
+                                       "tokens", "replay"}
+            : std::vector<std::string>{"seed", "steps", "completed",
+                                       "rejected", "cancelled",
+                                       "tokens", "grafted",
+                                       "replay"});
     bool all_ok = true;
     for (int64_t i = 0; i < seeds; ++i) {
         const uint64_t seed = first_seed + static_cast<uint64_t>(i);
+        if (clustered) {
+            const std::string failure =
+                runClusterSoakSeed(seed, steps, prefix);
+            if (!failure.empty()) {
+                all_ok = false;
+                reportFailure(seed, steps, prefix, true, failure);
+                continue;
+            }
+            // Re-run once at the ambient thread count for the row.
+            ChaosScriptConfig config;
+            config.seed = seed;
+            config.steps = steps;
+            config.prefix = prefix;
+            const ChaosFaultConfig faults = clusterFaults(seed);
+            const cluster::RoutingPolicy policy =
+                clusterPolicyForSeed(seed);
+            const ClusterChaosRunResult result =
+                runClusterChaosScript(generateChaosScript(config),
+                                      config, &faults,
+                                      kClusterReplicas, policy);
+            if (!result.ok) {
+                all_ok = false;
+                reportFailure(seed, steps, prefix, true,
+                              "ambient threads: " + result.failure);
+                continue;
+            }
+            table.addRow(
+                {std::to_string(seed), std::to_string(steps),
+                 cluster::routingPolicyName(policy),
+                 std::to_string(result.replica_completed),
+                 std::to_string(result.cluster_stats.routed),
+                 std::to_string(result.cluster_stats.rerouted),
+                 std::to_string(result.cluster_stats.drains),
+                 std::to_string(result.replica_streamed_tokens),
+                 "bit-identical"});
+            continue;
+        }
         const std::string failure = runSoakSeed(seed, steps, prefix);
         if (!failure.empty()) {
             all_ok = false;
-            reportFailure(seed, steps, prefix, failure);
+            reportFailure(seed, steps, prefix, false, failure);
             continue;
         }
         // The fuzzers ride the same seed for cheap extra coverage.
@@ -232,7 +372,7 @@ main(int argc, char **argv)
             generateChaosScript(config), config, &faults);
         if (!result.ok) {
             all_ok = false;
-            reportFailure(seed, steps, prefix,
+            reportFailure(seed, steps, prefix, false,
                           "ambient threads: " + result.failure);
             continue;
         }

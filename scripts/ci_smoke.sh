@@ -28,6 +28,14 @@
 #     the mixed long-context + chat workload; its exit status asserts
 #     byte-identical token streams between the modes, chunked-run
 #     determinism, and the chat tenants' TPOT-tail win.
+#   - bench_cluster_router --smoke: the multi-replica router on the
+#     same workload, 1 vs 4 replicas under every routing policy; its
+#     exit status asserts 1-replica/bare-server token identity,
+#     scale-out stream preservation, cluster-run determinism, and
+#     the load-spreading policies' chat TTFT tail win. A third
+#     bench_chaos_soak run in --cluster mode routes the fault scripts
+#     through a 4-replica cluster with cluster.route/cluster.drain
+#     armed.
 #
 # Usage: scripts/ci_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -63,6 +71,9 @@ run "${bench_dir}/bench_prefix_cache" --smoke \
 run "${bench_dir}/bench_slo_attainment" --smoke \
     --json="${json_dir}/slo_attainment.json"
 
+run "${bench_dir}/bench_cluster_router" --smoke \
+    --json="${json_dir}/cluster_router.json"
+
 # Emitter smoke: the --json reports written above must parse under the
 # perf-gate schema (a self-diff exercises load + gated-metric checks
 # without depending on this machine's timings matching the baselines).
@@ -73,7 +84,9 @@ run python3 "$(dirname "$0")/check_bench.py" \
     "${json_dir}/prefix_cache.json" \
     "${json_dir}/prefix_cache.json" \
     "${json_dir}/slo_attainment.json" \
-    "${json_dir}/slo_attainment.json"
+    "${json_dir}/slo_attainment.json" \
+    "${json_dir}/cluster_router.json" \
+    "${json_dir}/cluster_router.json"
 
 run "${bench_dir}/bench_runtime_scaling" --smoke
 
@@ -82,5 +95,7 @@ run "${bench_dir}/bench_server_loadgen" --smoke
 run "${bench_dir}/bench_chaos_soak" --smoke
 
 run "${bench_dir}/bench_chaos_soak" --smoke --prefix
+
+run "${bench_dir}/bench_chaos_soak" --smoke --cluster
 
 echo "ci_smoke: all bench families passed"

@@ -108,6 +108,14 @@ armChaosFaults(const ChaosFaultConfig &faults)
         registry.arm("sched.chunk",
                      FailPointSpec::everyNth(faults.chunk_every));
     }
+    if (faults.route_every > 0) {
+        registry.arm("cluster.route",
+                     FailPointSpec::everyNth(faults.route_every));
+    }
+    if (faults.drain_every > 0) {
+        registry.arm("cluster.drain",
+                     FailPointSpec::everyNth(faults.drain_every));
+    }
 }
 
 ChaosRunResult
@@ -348,6 +356,301 @@ runChaosScript(const std::vector<ChaosStep> &script,
             fail(quiescent.message());
 
         server.stop(/*cancel_in_flight=*/false);
+    }
+    FailPointRegistry::global().disarmAll();
+    return result;
+}
+
+ClusterChaosRunResult
+runClusterChaosScript(const std::vector<ChaosStep> &script,
+                      const ChaosScriptConfig &config,
+                      const ChaosFaultConfig *faults, int replicas,
+                      cluster::RoutingPolicy policy)
+{
+    COMET_CHECK(replicas > 0);
+    ClusterChaosRunResult result;
+    const auto fail = [&result](const std::string &message) {
+        if (result.ok) {
+            result.ok = false;
+            result.failure = message;
+        }
+    };
+
+    FailPointRegistry::global().disarmAll();
+    if (faults != nullptr) {
+        // Cluster-safe subset only — see the header comment: the
+        // per-replica sites' shared hit counters interleave across
+        // replica loop threads, which would break replay.
+        ChaosFaultConfig restricted;
+        restricted.seed = faults->seed;
+        restricted.pool_task_p = faults->pool_task_p;
+        restricted.kv_alloc_p = 0.0;
+        restricted.ingress_every = 0;
+        restricted.preempt_every = 0;
+        restricted.expire_every = 0;
+        restricted.route_every = faults->route_every;
+        restricted.drain_every = faults->drain_every;
+        armChaosFaults(restricted);
+    }
+
+    const ServingEngine engine(chaosEngineConfig());
+    cluster::ClusterConfig cluster_config;
+    for (int r = 0; r < replicas; ++r) {
+        cluster::ReplicaSpec spec;
+        spec.engine = &engine;
+        cluster_config.replicas.push_back(spec);
+    }
+    cluster_config.policy = policy;
+    cluster_config.server.tenants = config.tenants.empty()
+                                        ? defaultChaosTenants()
+                                        : config.tenants;
+    cluster_config.server.max_batch = 8;
+    cluster_config.server.chunked_prefill_tokens =
+        config.chunk_tokens;
+    if (config.prefix) {
+        cluster_config.server.enable_prefix_cache = true;
+        for (TenantConfig &tenant : cluster_config.server.tenants)
+            tenant.prefix_caching = true;
+    }
+    {
+        cluster::ClusterRouter router(cluster_config);
+        std::vector<cluster::ClusterRouter::Client> clients;
+        clients.reserve(static_cast<size_t>(config.clients));
+        for (int c = 0; c < config.clients; ++c)
+            clients.push_back(router.connect());
+
+        // Same non-blocking drive as the single-server runner: never
+        // read a stream before drain, or the read could deadlock
+        // against the cluster ingress gate.
+        struct Submitted {
+            const ChaosStep *step;
+            TokenStreamPtr stream;
+        };
+        std::vector<Submitted> submitted;
+        double watermark_us = 0.0;
+        for (const ChaosStep &step : script) {
+            const size_t slot = static_cast<size_t>(step.client);
+            if (slot >= clients.size()) {
+                fail("script step references an unconnected client "
+                     "slot");
+                break;
+            }
+            switch (step.kind) {
+              case ChaosStepKind::kSubmit: {
+                StreamRequest request;
+                request.id = step.id;
+                request.tenant =
+                    cluster_config.server
+                        .tenants[static_cast<size_t>(step.tenant) %
+                                 cluster_config.server.tenants
+                                     .size()]
+                        .name;
+                request.prompt_tokens = step.prompt_tokens;
+                request.max_output_tokens = step.max_output_tokens;
+                request.eos_output_tokens = step.eos_output_tokens;
+                request.arrival_us = step.time_us;
+                request.cancel_at_us = step.cancel_at_us;
+                if (step.prompt_seed != 0) {
+                    request.prompt_ids = promptFromSeed(
+                        step.prompt_seed, step.prompt_tokens);
+                }
+                submitted.push_back(
+                    {&step, clients[slot].submit(request)});
+                break;
+              }
+              case ChaosStepKind::kAdvance:
+                clients[slot].advanceTo(step.time_us);
+                break;
+              case ChaosStepKind::kReconnect:
+                clients[slot].close();
+                clients[slot] = router.connect();
+                break;
+            }
+            const double clock_us = router.virtualClockUs();
+            if (clock_us < watermark_us)
+                fail("published cluster clock ran backwards");
+            watermark_us = std::max(watermark_us, clock_us);
+        }
+        for (cluster::ClusterRouter::Client &client : clients)
+            client.close();
+        router.drain();
+        result.cluster_stats = router.stats();
+        int64_t replica_rejected = 0;
+        int64_t replica_cancelled = 0;
+        for (int r = 0; r < router.numReplicas(); ++r) {
+            const server::ServerStats stats =
+                router.replicaStats(r);
+            result.replica_streamed_tokens += stats.streamed_tokens;
+            result.replica_completed += stats.completed;
+            replica_rejected += stats.rejected;
+            replica_cancelled += stats.cancelled;
+        }
+
+        // ---- Post-drain audit (per-stream checks identical to the
+        // single-server runner) ----
+        int64_t delivered_tokens = 0;
+        int64_t completed = 0;
+        int64_t rejected = 0;
+        int64_t cancelled = 0;
+        char line[96];
+        for (const Submitted &entry : submitted) {
+            const ChaosStep &step = *entry.step;
+            StreamEvent event;
+            int64_t tokens = 0;
+            double last_us = -1.0;
+            bool terminal_seen = false;
+            StreamEventKind terminal = StreamEventKind::kToken;
+            RejectReason reason = RejectReason::kNone;
+            while (entry.stream->next(&event)) {
+                if (terminal_seen) {
+                    fail(format("id=%lld: event after the terminal "
+                                "event (%lld)",
+                                step.id, 0));
+                    break;
+                }
+                if (event.virtual_us < last_us) {
+                    fail(format("id=%lld: event timestamps ran "
+                                "backwards (%lld)",
+                                step.id, 0));
+                }
+                last_us = event.virtual_us;
+                if (event.kind == StreamEventKind::kToken) {
+                    if (event.token_index != tokens) {
+                        fail(format("id=%lld: token indices not "
+                                    "contiguous at %lld",
+                                    step.id, tokens));
+                    }
+                    ++tokens;
+                    if (!step.abandon) {
+                        std::snprintf(line, sizeof(line),
+                                      "id=%lld token %lld t=%.6f\n",
+                                      static_cast<long long>(step.id),
+                                      static_cast<long long>(
+                                          event.token_index),
+                                      event.virtual_us);
+                        result.event_log += line;
+                    }
+                } else {
+                    terminal_seen = true;
+                    terminal = event.kind;
+                    reason = event.reject_reason;
+                    if (!step.abandon) {
+                        std::snprintf(
+                            line, sizeof(line),
+                            "id=%lld %s reason=%s t=%.6f\n",
+                            static_cast<long long>(step.id),
+                            server::streamEventKindName(event.kind),
+                            server::rejectReasonName(
+                                event.reject_reason),
+                            event.virtual_us);
+                        result.event_log += line;
+                    }
+                }
+            }
+            if (!terminal_seen) {
+                fail(format("id=%lld: stream ended with no terminal "
+                            "event (%lld tokens)",
+                            step.id, tokens));
+                continue;
+            }
+            delivered_tokens += tokens;
+            switch (terminal) {
+              case StreamEventKind::kFinished:
+                ++completed;
+                if (tokens != stopTokens(step)) {
+                    fail(format("id=%lld: finished with the wrong "
+                                "token count %lld",
+                                step.id, tokens));
+                }
+                break;
+              case StreamEventKind::kRejected:
+                ++rejected;
+                if (tokens != 0) {
+                    fail(format("id=%lld: rejected after streaming "
+                                "%lld tokens",
+                                step.id, tokens));
+                }
+                if (reason == RejectReason::kNone)
+                    fail(format("id=%lld: rejected with no reason "
+                                "(%lld)",
+                                step.id, 0));
+                break;
+              case StreamEventKind::kCancelled:
+                ++cancelled;
+                if (tokens > stopTokens(step)) {
+                    fail(format("id=%lld: cancelled after streaming "
+                                "past its stop length (%lld)",
+                                step.id, tokens));
+                }
+                break;
+              default:
+                fail(format("id=%lld: impossible terminal kind "
+                            "(%lld)",
+                            step.id, 0));
+                break;
+            }
+        }
+
+        // Cluster token conservation: every token a replica counted
+        // as streamed is sitting in exactly one cluster stream (the
+        // drain audit that proves a mid-workload drain dropped
+        // nothing).
+        if (delivered_tokens != result.replica_streamed_tokens) {
+            fail(format("cluster token conservation: streams hold "
+                        "%lld tokens, replicas streamed %lld",
+                        delivered_tokens,
+                        result.replica_streamed_tokens));
+        }
+        const cluster::ClusterStats &cs = result.cluster_stats;
+        if (cs.submitted !=
+            static_cast<int64_t>(submitted.size())) {
+            fail(format("cluster submitted accounting: %lld vs %lld",
+                        cs.submitted,
+                        static_cast<int64_t>(submitted.size())));
+        }
+        // Every submission either reached a replica or got an edge
+        // verdict, never both, never neither.
+        if (cs.submitted != cs.routed + cs.rejected + cs.cancelled) {
+            fail(format("cluster routing conservation: %lld "
+                        "submitted vs %lld routed+edge verdicts",
+                        cs.submitted,
+                        cs.routed + cs.rejected + cs.cancelled));
+        }
+        int64_t routed_sum = 0;
+        for (int64_t per : cs.routed_per_replica)
+            routed_sum += per;
+        if (routed_sum != cs.routed) {
+            fail(format("per-replica routed counters sum to %lld, "
+                        "not %lld",
+                        routed_sum, cs.routed));
+        }
+        // Terminal accounting across layers: replica verdicts plus
+        // edge verdicts equal the stream verdicts exactly.
+        if (completed != result.replica_completed ||
+            rejected != replica_rejected + cs.rejected ||
+            cancelled != replica_cancelled + cs.cancelled) {
+            fail("cluster terminal accounting: stream verdicts "
+                 "disagree with replica + edge counters");
+        }
+        if (completed + rejected + cancelled !=
+            static_cast<int64_t>(submitted.size())) {
+            fail(format("cluster terminal conservation: %lld "
+                        "terminals for %lld submissions",
+                        completed + rejected + cancelled,
+                        static_cast<int64_t>(submitted.size())));
+        }
+
+        // Zero-leak drain on every replica.
+        for (int r = 0; r < router.numReplicas(); ++r) {
+            const Status quiescent = checkKvCacheQuiescent(
+                router.replicaKvCacheForAudit(r));
+            if (!quiescent.isOk()) {
+                fail("replica " + std::to_string(r) + ": " +
+                     quiescent.message());
+            }
+        }
+
+        router.stop(/*cancel_in_flight=*/false);
     }
     FailPointRegistry::global().disarmAll();
     return result;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "comet/chaos/script.h"
+#include "comet/cluster/router.h"
 #include "comet/common/status.h"
 #include "comet/server/server.h"
 
@@ -77,6 +78,14 @@ struct ChaosFaultConfig {
      * >= 2 when armed — every chunk dropped would stall prefill
      * forever. 0 leaves the chunk path clean. */
     int64_t chunk_every = 0;
+    /** Force every Nth cluster placement onto its second-choice
+     * replica (`cluster.route`). Only observable through a
+     * ClusterRouter. */
+    int64_t route_every = 0;
+    /** Inject a drain of the chosen replica on every Nth cluster
+     * placement (`cluster.drain`; skipped when it would leave no
+     * active replica). Only observable through a ClusterRouter. */
+    int64_t drain_every = 0;
 };
 
 /** Arms (replacing any armed schedule, resetting all counters) the
@@ -105,6 +114,45 @@ struct ChaosRunResult {
 ChaosRunResult runChaosScript(const std::vector<ChaosStep> &script,
                               const ChaosScriptConfig &config,
                               const ChaosFaultConfig *faults);
+
+/** Outcome of one scripted cluster run. */
+struct ClusterChaosRunResult {
+    bool ok = true;      ///< every invariant held
+    std::string failure; ///< first violated invariant (ok = false)
+    /** Canonical per-request event log; same format and
+     * byte-identical-replay guarantee as ChaosRunResult. */
+    std::string event_log;
+    cluster::ClusterStats cluster_stats; ///< router counters
+    int64_t replica_streamed_tokens = 0; ///< summed over replicas
+    int64_t replica_completed = 0;       ///< summed over replicas
+};
+
+/**
+ * Replays @p script against a fresh @p replicas -replica
+ * ClusterRouter (tenants from @p config, all replicas on one shared
+ * engine) and audits the drained session: the single-server
+ * per-stream invariants, token conservation against the *summed*
+ * replica streamed-token counters, terminal accounting against the
+ * summed replica stats plus the router's edge verdicts
+ * (submitted == routed + edge-rejected + edge-cancelled), a monotone
+ * published cluster clock, and per-replica KV quiescence.
+ *
+ * When @p faults is non-null, only its cluster-safe subset is armed:
+ * `cluster.route` / `cluster.drain` (hit exclusively on the routing
+ * thread, so their every-Nth schedules replay exactly) and the
+ * thread-pool delay site. Per-replica failpoints (kv.alloc,
+ * sched.preempt, admission.expire, server.ingress, prefix.graft,
+ * sched.chunk) are deliberately excluded: their hit counters are
+ * shared across all replica loop threads, so which replica's step
+ * absorbs the Nth hit depends on wall-clock interleaving — armed,
+ * they would break the bit-identical-replay guarantee this runner
+ * audits. All failpoints are disarmed before returning.
+ */
+ClusterChaosRunResult
+runClusterChaosScript(const std::vector<ChaosStep> &script,
+                      const ChaosScriptConfig &config,
+                      const ChaosFaultConfig *faults, int replicas,
+                      cluster::RoutingPolicy policy);
 
 /** Model-based KV-cache fuzz (see the file comment). OK when every
  * per-op invariant held and the drained cache is quiescent. */

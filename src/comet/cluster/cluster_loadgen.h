@@ -1,0 +1,53 @@
+#ifndef COMET_CLUSTER_CLUSTER_LOADGEN_H_
+#define COMET_CLUSTER_CLUSTER_LOADGEN_H_
+
+/**
+ * @file cluster_loadgen.h
+ * The open-loop load generator, pointed at a ClusterRouter.
+ *
+ * Reuses the single-server generator's workload synthesis and report
+ * aggregation (comet/server/loadgen.h) verbatim: the same seed
+ * produces the identical request sequence whether it is driven into
+ * one Server or a ClusterRouter, which is exactly what the
+ * cluster-vs-single-server equivalence tests compare. The only
+ * cluster-specific additions are the routed-replica column on each
+ * outcome (filled from ClusterRouter::placementOf after the drain
+ * barrier) and a per-replica latency breakdown in the rendered
+ * report.
+ */
+
+#include <string>
+
+#include "comet/cluster/router.h"
+#include "comet/server/loadgen.h"
+
+namespace comet {
+namespace cluster {
+
+/**
+ * Runs the workload against @p router: spawns config.clients client
+ * threads, submits every pre-generated request through them, streams
+ * all tokens back, drains the cluster, and aggregates the report.
+ * Each outcome's RequestOutcome::replica records where the request
+ * ran (-1 for edge rejections). The router must have been built with
+ * loadgenTenants(config) as its tenant set and must not have had
+ * clients connected yet.
+ */
+server::LoadgenReport
+runClusterLoadgen(ClusterRouter *router,
+                  const server::LoadgenConfig &config);
+
+/**
+ * Renders the per-tenant report plus a per-replica breakdown —
+ * routed/completed/token counts and TTFT/TPOT p50/p99 per replica
+ * (@p num_replicas rows; requests with replica -1 are summarized in
+ * an "edge" row when any exist). Deterministic for a fixed seed.
+ */
+std::string
+renderClusterLoadgenReport(const server::LoadgenReport &report,
+                           int num_replicas);
+
+} // namespace cluster
+} // namespace comet
+
+#endif // COMET_CLUSTER_CLUSTER_LOADGEN_H_

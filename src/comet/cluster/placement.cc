@@ -1,0 +1,220 @@
+#include "comet/cluster/placement.h"
+
+#include <algorithm>
+
+#include "comet/common/status.h"
+
+namespace comet {
+namespace cluster {
+
+namespace {
+
+/** SplitMix64 finalizer: the same platform-independent mix the rng
+ * seeding uses — placement must hash identically everywhere. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over the tenant name, then mixed: stable across runs and
+ * platforms (no std::hash, whose value is implementation-defined). */
+uint64_t
+hashString(const std::string &text)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : text) {
+        h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ULL;
+    }
+    return mix64(h);
+}
+
+bool
+isActive(int replica, const std::vector<bool> &active)
+{
+    return replica >= 0 &&
+           static_cast<size_t>(replica) < active.size() &&
+           active[static_cast<size_t>(replica)];
+}
+
+} // namespace
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::kConsistentHash:
+        return "hash";
+      case RoutingPolicy::kLeastLoaded:
+        return "least";
+      case RoutingPolicy::kWeightedRoundRobin:
+        return "wrr";
+    }
+    return "unknown";
+}
+
+bool
+parseRoutingPolicy(const std::string &name, RoutingPolicy *out)
+{
+    COMET_CHECK(out != nullptr);
+    if (name == "hash") {
+        *out = RoutingPolicy::kConsistentHash;
+        return true;
+    }
+    if (name == "least") {
+        *out = RoutingPolicy::kLeastLoaded;
+        return true;
+    }
+    if (name == "wrr") {
+        *out = RoutingPolicy::kWeightedRoundRobin;
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+placementKey(const std::string &tenant, uint64_t first_prefix_key,
+             bool has_prefix_key)
+{
+    const uint64_t tenant_hash = hashString(tenant);
+    if (!has_prefix_key)
+        return tenant_hash;
+    return mix64(tenant_hash ^ mix64(first_prefix_key));
+}
+
+ConsistentHashRing::ConsistentHashRing(int vnodes_per_weight)
+    : vnodes_per_weight_(std::max(vnodes_per_weight, 1))
+{
+}
+
+void
+ConsistentHashRing::addReplica(int replica, double weight)
+{
+    COMET_CHECK(replica >= 0);
+    COMET_CHECK(weight > 0.0);
+    for (const auto &point : ring_) {
+        if (point.second == replica)
+            return;
+    }
+    const int vnodes = std::max(
+        1, static_cast<int>(weight * vnodes_per_weight_ + 0.5));
+    for (int v = 0; v < vnodes; ++v) {
+        const uint64_t position =
+            mix64((static_cast<uint64_t>(replica) << 32) ^
+                  static_cast<uint64_t>(v));
+        ring_.emplace_back(position, replica);
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+void
+ConsistentHashRing::removeReplica(int replica)
+{
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [replica](
+                                   const std::pair<uint64_t, int> &p) {
+                                   return p.second == replica;
+                               }),
+                ring_.end());
+}
+
+int
+ConsistentHashRing::walk(uint64_t key,
+                         const std::vector<bool> &active,
+                         int skip_replica) const
+{
+    if (ring_.empty())
+        return -1;
+    // First point clockwise of (or at) the key, then wrap.
+    size_t start =
+        static_cast<size_t>(
+            std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(key, -1)) -
+            ring_.begin()) %
+        ring_.size();
+    for (size_t step = 0; step < ring_.size(); ++step) {
+        const int replica =
+            ring_[(start + step) % ring_.size()].second;
+        if (replica == skip_replica)
+            continue;
+        if (isActive(replica, active))
+            return replica;
+    }
+    return -1;
+}
+
+int
+ConsistentHashRing::pick(uint64_t key,
+                         const std::vector<bool> &active) const
+{
+    return walk(key, active, /*skip_replica=*/-1);
+}
+
+int
+ConsistentHashRing::pickSecond(uint64_t key,
+                               const std::vector<bool> &active) const
+{
+    const int first = pick(key, active);
+    if (first < 0)
+        return -1;
+    return walk(key, active, /*skip_replica=*/first);
+}
+
+int
+pickLeastLoaded(const std::vector<ReplicaLoad> &loads)
+{
+    int best = -1;
+    for (size_t i = 0; i < loads.size(); ++i) {
+        const ReplicaLoad &load = loads[i];
+        if (!load.active)
+            continue;
+        COMET_CHECK(load.capacity_blocks > 0);
+        if (best < 0) {
+            best = static_cast<int>(i);
+            continue;
+        }
+        const ReplicaLoad &incumbent =
+            loads[static_cast<size_t>(best)];
+        // load_i < load_best  <=>  r_i * c_best < r_best * c_i
+        // (exact in int64: reserved and capacity are block counts).
+        if (load.reserved_blocks * incumbent.capacity_blocks <
+            incumbent.reserved_blocks * load.capacity_blocks)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+SmoothWeightedRoundRobin::reset(const std::vector<double> &weights)
+{
+    for (double w : weights)
+        COMET_CHECK(w > 0.0);
+    weights_ = weights;
+    credit_.assign(weights.size(), 0.0);
+}
+
+int
+SmoothWeightedRoundRobin::pick(const std::vector<bool> &active)
+{
+    int best = -1;
+    double total = 0.0;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+        if (!isActive(static_cast<int>(i), active))
+            continue;
+        credit_[i] += weights_[i];
+        total += weights_[i];
+        if (best < 0 || credit_[i] > credit_[static_cast<size_t>(
+                                         best)])
+            best = static_cast<int>(i);
+    }
+    if (best >= 0)
+        credit_[static_cast<size_t>(best)] -= total;
+    return best;
+}
+
+} // namespace cluster
+} // namespace comet

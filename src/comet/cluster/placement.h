@@ -1,0 +1,156 @@
+#ifndef COMET_CLUSTER_PLACEMENT_H_
+#define COMET_CLUSTER_PLACEMENT_H_
+
+/**
+ * @file placement.h
+ * Deterministic replica-placement policies for the cluster router.
+ *
+ * Every policy here is a pure function of its explicit inputs — a
+ * placement key, replica weights, reserved-block loads, an
+ * active-set mask — with total, platform-independent tie-breaking
+ * (SplitMix64-style mixing, lowest-replica-index ties). That purity
+ * is what lets a cluster run replay bit-identically: the router
+ * feeds the policies the same inputs in the same virtual-time order
+ * on every run, so they make the same placement decisions at any
+ * `COMET_THREADS`.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comet {
+namespace cluster {
+
+/** Which placement policy the cluster router runs. */
+enum class RoutingPolicy {
+    /**
+     * Consistent hash on the tenant/prompt-prefix placement key
+     * over a virtual-node ring. Requests sharing a prompt prefix
+     * land on the same replica, so `comet::prefix` hit rates
+     * survive scale-out, and replica add/remove moves only the keys
+     * owned by the vanished/new ring segments.
+     */
+    kConsistentHash,
+    /**
+     * Lowest reserved-KV-blocks fraction first. The router accounts
+     * each routed request's full admission reservation
+     * (prompt + max output blocks) against its replica until the
+     * stream reaches a terminal event.
+     */
+    kLeastLoaded,
+    /** Smooth weighted round-robin over the replica weights. */
+    kWeightedRoundRobin,
+};
+
+/** Stable lowercase policy name ("hash", "least", "wrr") as used in
+ * metrics names and the `COMET_CLUSTER_POLICY` selector. */
+const char *routingPolicyName(RoutingPolicy policy);
+
+/**
+ * Parses a `COMET_CLUSTER_POLICY`-style name ("hash", "least",
+ * "wrr"). Returns true and sets @p out on a match.
+ */
+bool parseRoutingPolicy(const std::string &name, RoutingPolicy *out);
+
+/**
+ * The placement key a request hashes to: the tenant name folded
+ * with the request's first prompt-prefix block key when one exists
+ * (so shared-prompt-pool traffic co-locates per pool), else the
+ * tenant name alone (all of a tenant's unkeyed traffic co-locates).
+ */
+uint64_t placementKey(const std::string &tenant,
+                      uint64_t first_prefix_key,
+                      bool has_prefix_key);
+
+/**
+ * A consistent-hash ring over replica indices with per-replica
+ * virtual nodes (more vnodes per unit weight = proportionally more
+ * key space). Deterministic: vnode positions are a pure hash of
+ * (replica index, vnode index), and lookups walk the ring clockwise.
+ */
+class ConsistentHashRing {
+  public:
+    /** @param vnodes_per_weight Virtual nodes a weight-1.0 replica
+     * contributes (minimum 1 per replica). */
+    explicit ConsistentHashRing(int vnodes_per_weight = 64);
+
+    /** Adds @p replica with @p weight; no-op if already present. */
+    void addReplica(int replica, double weight = 1.0);
+
+    /** Removes @p replica's vnodes; other placements are unmoved. */
+    void removeReplica(int replica);
+
+    /**
+     * First replica clockwise of @p key whose entry in @p active is
+     * true (replicas the mask does not cover count as inactive).
+     * Returns -1 when no active replica owns any ring segment.
+     */
+    int pick(uint64_t key, const std::vector<bool> &active) const;
+
+    /**
+     * The second-choice replica for @p key: the first *distinct*
+     * active replica clockwise past the first choice. Returns -1
+     * when fewer than two active replicas are on the ring.
+     */
+    int pickSecond(uint64_t key,
+                   const std::vector<bool> &active) const;
+
+    /** Number of (replica, vnode) points on the ring. */
+    size_t points() const { return ring_.size(); }
+
+  private:
+    int walk(uint64_t key, const std::vector<bool> &active,
+             int skip_replica) const;
+
+    int vnodes_per_weight_;
+    /** (position hash, replica), sorted by position. */
+    std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+/** One replica's load as the least-loaded chooser sees it. */
+struct ReplicaLoad {
+    /** KV blocks reserved by streams routed there and not yet
+     * terminal (admission reservations, not instantaneous usage). */
+    int64_t reserved_blocks = 0;
+    /** The replica's total KV block capacity (> 0). */
+    int64_t capacity_blocks = 1;
+    /** False once draining/drained: never a placement target. */
+    bool active = true;
+};
+
+/**
+ * The active replica with the lowest reserved/capacity fraction
+ * (exact cross-multiplied compare — no floating-point division),
+ * ties to the lowest index. Returns -1 when none is active.
+ */
+int pickLeastLoaded(const std::vector<ReplicaLoad> &loads);
+
+/**
+ * Smooth weighted round-robin (the nginx algorithm): each pick adds
+ * every active replica's weight to its credit, picks the highest
+ * credit (ties to the lowest index), then charges the picked
+ * replica the total active weight. Over time each active replica
+ * receives traffic proportional to its weight, without bursts.
+ */
+class SmoothWeightedRoundRobin {
+  public:
+    /** Installs the replica weights (all > 0) and zeroes credits. */
+    void reset(const std::vector<double> &weights);
+
+    /**
+     * Picks the next replica among those @p active allows (replicas
+     * the mask does not cover count as inactive). Returns -1 when
+     * none is active.
+     */
+    int pick(const std::vector<bool> &active);
+
+  private:
+    std::vector<double> weights_;
+    std::vector<double> credit_;
+};
+
+} // namespace cluster
+} // namespace comet
+
+#endif // COMET_CLUSTER_PLACEMENT_H_

@@ -74,3 +74,17 @@
 #include "comet/serve/engine.h"
 #include "comet/serve/request.h"
 #include "comet/serve/trace.h"
+
+#include "comet/server/admission.h"
+#include "comet/server/loadgen.h"
+#include "comet/server/server.h"
+#include "comet/server/streaming.h"
+
+#include "comet/cluster/cluster_loadgen.h"
+#include "comet/cluster/placement.h"
+#include "comet/cluster/router.h"
+
+#include "comet/chaos/failpoint.h"
+#include "comet/chaos/harness.h"
+#include "comet/chaos/invariants.h"
+#include "comet/chaos/script.h"

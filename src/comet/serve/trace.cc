@@ -156,6 +156,39 @@ TraceMetrics::publishTo(obs::MetricsRegistry &registry) const
 }
 
 TraceMetrics
+mergeTraceMetrics(const std::vector<TraceMetrics> &parts)
+{
+    TraceMetrics merged;
+    int64_t tokens = 0;
+    for (const TraceMetrics &part : parts) {
+        merged.per_request.insert(merged.per_request.end(),
+                                  part.per_request.begin(),
+                                  part.per_request.end());
+        merged.makespan_us =
+            std::max(merged.makespan_us, part.makespan_us);
+        for (const RequestLatency &latency : part.per_request)
+            tokens += latency.output_tokens;
+        merged.preemptions += part.preemptions;
+        merged.reprefill_tokens += part.reprefill_tokens;
+        merged.cancelled += part.cancelled;
+        merged.rejected += part.rejected;
+        merged.peak_running += part.peak_running;
+        merged.peak_queue_depth += part.peak_queue_depth;
+        merged.peak_used_blocks += part.peak_used_blocks;
+        merged.total_kv_blocks += part.total_kv_blocks;
+    }
+    if (merged.makespan_us > 0.0)
+        merged.throughput_tokens_per_s =
+            static_cast<double>(tokens) /
+            (merged.makespan_us * 1e-6);
+    if (merged.total_kv_blocks > 0)
+        merged.peak_kv_utilization =
+            static_cast<double>(merged.peak_used_blocks) /
+            static_cast<double>(merged.total_kv_blocks);
+    return merged;
+}
+
+TraceMetrics
 replayTrace(const ServingEngine &engine,
             const std::vector<TracedRequest> &trace)
 {

@@ -130,4 +130,17 @@ struct TraceMetrics {
 TraceMetrics replayTrace(const ServingEngine &engine,
                          const std::vector<TracedRequest> &trace);
 
+/**
+ * Merges per-replica trace metrics into one cluster-level rollup:
+ * per-request records concatenate, the makespan is the max over
+ * parts, throughput is recomputed from total generated tokens over
+ * the merged makespan, scheduling counters and KV pool sizes sum,
+ * per-replica peaks sum (an upper bound on the cluster-wide peak —
+ * replicas do not share a pool, so simultaneous peaks add), and the
+ * merged KV utilization is re-derived from the summed peak and pool.
+ * An empty input merges to a default TraceMetrics.
+ */
+TraceMetrics
+mergeTraceMetrics(const std::vector<TraceMetrics> &parts);
+
 } // namespace comet

@@ -16,17 +16,6 @@ namespace server {
 
 namespace {
 
-/** One pre-generated request, before ids are assigned. */
-struct GeneratedRequest {
-    int tenant = 0;
-    double arrival_us = 0.0;
-    int64_t prompt_tokens = 0;
-    int64_t declared_output_tokens = 0;
-    int64_t eos_output_tokens = 0;
-    /** Prompt content (empty unless shared_prompt_pools > 0). */
-    std::vector<int32_t> prompt_ids;
-};
-
 int64_t
 sampleLength(Rng &rng, int64_t lo, int64_t hi)
 {
@@ -50,12 +39,24 @@ tokenStream(uint64_t seed, int64_t tokens)
     return ids;
 }
 
-/** The whole workload, sorted by (arrival, generation order). */
-std::vector<GeneratedRequest>
-generateWorkload(const LoadgenConfig &config)
+/** p50/p99 of one latency series, sorted once; zeros when empty. */
+std::pair<double, double>
+p50p99OrZero(const std::vector<double> &values)
+{
+    if (values.empty())
+        return {0.0, 0.0};
+    const std::vector<double> ps = exactPercentiles(values,
+                                                    {50.0, 99.0});
+    return {ps[0], ps[1]};
+}
+
+} // namespace
+
+std::vector<LoadgenRequest>
+generateLoadgenWorkload(const LoadgenConfig &config)
 {
     Rng base(config.seed);
-    std::vector<GeneratedRequest> requests;
+    std::vector<LoadgenRequest> requests;
     for (size_t t = 0; t < config.tenants.size(); ++t) {
         const LoadgenTenant &tenant = config.tenants[t];
         COMET_CHECK(tenant.arrival_rate_per_s > 0.0);
@@ -69,7 +70,7 @@ generateWorkload(const LoadgenConfig &config)
             const double u = rng.uniform();
             arrival_us += -std::log(1.0 - u) /
                           tenant.arrival_rate_per_s * 1e6;
-            GeneratedRequest request;
+            LoadgenRequest request;
             request.tenant = static_cast<int>(t);
             request.arrival_us = arrival_us;
             request.prompt_tokens = sampleLength(
@@ -108,18 +109,15 @@ generateWorkload(const LoadgenConfig &config)
         }
     }
     std::stable_sort(requests.begin(), requests.end(),
-                     [](const GeneratedRequest &a,
-                        const GeneratedRequest &b) {
+                     [](const LoadgenRequest &a,
+                        const LoadgenRequest &b) {
                          return a.arrival_us < b.arrival_us;
                      });
     return requests;
 }
 
-/** Reduces one stream event into the outcome slot. Runs either on
- * the server loop thread (callback mode) or a client thread (pull
- * mode); each slot has exactly one writer at a time. */
 void
-recordEvent(RequestOutcome *outcome, const StreamEvent &event)
+recordLoadgenEvent(RequestOutcome *outcome, const StreamEvent &event)
 {
     switch (event.kind) {
       case StreamEventKind::kToken:
@@ -137,18 +135,18 @@ recordEvent(RequestOutcome *outcome, const StreamEvent &event)
     }
 }
 
-/** p50/p99 of one latency series, sorted once; zeros when empty. */
-std::pair<double, double>
-p50p99OrZero(const std::vector<double> &values)
+uint64_t
+deriveReplicaSeed(uint64_t seed, int replica)
 {
-    if (values.empty())
-        return {0.0, 0.0};
-    const std::vector<double> ps = exactPercentiles(values,
-                                                    {50.0, 99.0});
-    return {ps[0], ps[1]};
+    // SplitMix64 round over seed + replica-scaled increment: a
+    // platform-stable fold that keeps replica 0's stream distinct
+    // from the base seed's own stream.
+    uint64_t x = seed + (static_cast<uint64_t>(replica) + 1ull) *
+                            0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
 }
-
-} // namespace
 
 std::vector<TenantConfig>
 loadgenTenants(const LoadgenConfig &config)
@@ -167,8 +165,8 @@ runLoadgen(Server *server, const LoadgenConfig &config)
     COMET_CHECK(config.clients > 0);
     COMET_CHECK(!config.tenants.empty());
 
-    const std::vector<GeneratedRequest> workload =
-        generateWorkload(config);
+    const std::vector<LoadgenRequest> workload =
+        generateLoadgenWorkload(config);
     const size_t total = workload.size();
     std::vector<RequestOutcome> outcomes(total);
     for (size_t i = 0; i < total; ++i) {
@@ -194,7 +192,7 @@ runLoadgen(Server *server, const LoadgenConfig &config)
             // order, as the ingress contract requires.
             std::vector<std::pair<size_t, TokenStreamPtr>> streams;
             for (size_t i = c; i < total; i += clients) {
-                const GeneratedRequest &generated = workload[i];
+                const LoadgenRequest &generated = workload[i];
                 StreamRequest request;
                 request.id = static_cast<int64_t>(i);
                 request.tenant =
@@ -212,7 +210,7 @@ runLoadgen(Server *server, const LoadgenConfig &config)
                 if (config.callbacks) {
                     request.callback =
                         [outcome](const StreamEvent &event) {
-                            recordEvent(outcome, event);
+                            recordLoadgenEvent(outcome, event);
                         };
                 }
                 TokenStreamPtr stream = client.submit(request);
@@ -225,7 +223,8 @@ runLoadgen(Server *server, const LoadgenConfig &config)
             for (auto &entry : streams) {
                 StreamEvent event;
                 while (entry.second->next(&event))
-                    recordEvent(&outcomes[entry.first], event);
+                    recordLoadgenEvent(&outcomes[entry.first],
+                                       event);
             }
         });
     }
@@ -234,9 +233,17 @@ runLoadgen(Server *server, const LoadgenConfig &config)
     // Callback mode: events keep flowing on the loop thread until
     // the drain barrier below synchronizes the outcome slots.
     server->drain();
+    return finalizeLoadgenReport(config, std::move(outcomes),
+                                 server->virtualClockUs());
+}
 
+LoadgenReport
+finalizeLoadgenReport(const LoadgenConfig &config,
+                      std::vector<RequestOutcome> outcomes,
+                      double makespan_us)
+{
     LoadgenReport report;
-    report.makespan_us = server->virtualClockUs();
+    report.makespan_us = makespan_us;
     report.tenants.resize(config.tenants.size());
     std::vector<std::vector<double>> ttfts(config.tenants.size());
     std::vector<std::vector<double>> tpots(config.tenants.size());

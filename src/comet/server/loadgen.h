@@ -58,10 +58,26 @@ struct LoadgenConfig {
     std::vector<LoadgenTenant> tenants; ///< the workload mix
 };
 
+/** One pre-generated request of the open-loop workload, before
+ * stream ids are assigned (the request's index in the generated
+ * vector becomes its id). */
+struct LoadgenRequest {
+    int tenant = 0;          ///< tenant index into the config
+    double arrival_us = 0.0; ///< virtual arrival time
+    int64_t prompt_tokens = 0;          ///< sampled prompt length
+    int64_t declared_output_tokens = 0; ///< client-declared bound
+    int64_t eos_output_tokens = 0;      ///< actual EOS position
+    /** Prompt content (empty unless shared_prompt_pools > 0). */
+    std::vector<int32_t> prompt_ids;
+};
+
 /** What one request experienced, reduced from its stream events. */
 struct RequestOutcome {
     int tenant = 0;              ///< tenant index
     double arrival_us = 0.0;     ///< virtual arrival time
+    /** Replica the request was routed to (-1 when driven against a
+     * single server, or when it never reached a replica). */
+    int replica = -1;
     /** How the stream ended. */
     StreamEventKind terminal = StreamEventKind::kCancelled;
     RejectReason reason = RejectReason::kNone; ///< when rejected
@@ -112,6 +128,42 @@ struct LoadgenReport {
  * when constructing the Server the generator will drive). */
 std::vector<TenantConfig>
 loadgenTenants(const LoadgenConfig &config);
+
+/**
+ * Pre-computes the whole workload from the config's seed, sorted by
+ * (arrival, generation order). Pure function of the config: the
+ * single-server driver (runLoadgen) and the cluster driver
+ * (cluster::runClusterLoadgen) submit the identical request
+ * sequence, which is what makes their token streams comparable.
+ */
+std::vector<LoadgenRequest>
+generateLoadgenWorkload(const LoadgenConfig &config);
+
+/** Reduces one stream event into the outcome slot. Runs either on
+ * the server loop thread (callback mode) or a client thread (pull
+ * mode); each slot has exactly one writer at a time. */
+void recordLoadgenEvent(RequestOutcome *outcome,
+                        const StreamEvent &event);
+
+/**
+ * Aggregates recorded outcomes into the per-tenant report —
+ * percentiles, SLO attainment, goodput. Takes ownership of
+ * @p outcomes (they become LoadgenReport::outcomes). Deterministic:
+ * a pure function of the outcome vector and @p makespan_us.
+ */
+LoadgenReport finalizeLoadgenReport(const LoadgenConfig &config,
+                                    std::vector<RequestOutcome>
+                                        outcomes,
+                                    double makespan_us);
+
+/**
+ * A deterministic per-replica workload seed: folds @p replica into
+ * @p seed with a SplitMix64 round so replica workloads are
+ * uncorrelated but reproducible (replica 0 of a 4-replica run always
+ * draws the same stream, on every platform). Used by benches that
+ * drive per-replica single-server baselines next to a cluster run.
+ */
+uint64_t deriveReplicaSeed(uint64_t seed, int replica);
 
 /**
  * Runs the workload against @p server: spawns config.clients client

@@ -30,9 +30,10 @@ latencyBucketsUs()
 }
 
 obs::Counter &
-serverCounter(const char *name)
+serverCounter(const std::string &prefix, const char *name)
 {
-    return obs::MetricsRegistry::global().counter(name);
+    return obs::MetricsRegistry::global().counter(prefix + "." +
+                                                  name);
 }
 
 } // namespace
@@ -65,6 +66,15 @@ struct Server::Wake {
     ServerStats stats;
     SchedulerCounters sched;
     double clock_us = 0.0;
+    /**
+     * Settled horizon: every stream event stamped strictly below
+     * this has been delivered (see Server::waitSettled for the
+     * caller discipline under which the promise holds). Monotone;
+     * advances where the loop can prove no earlier-stamped event is
+     * still possible — committed clock jumps, gate parks bounded by
+     * the minimum client horizon, and session completion (infinity).
+     */
+    double settled_us = 0.0;
 };
 
 Server::Server(const ServingEngine *engine, ServerConfig config)
@@ -188,7 +198,7 @@ Server::submitFromClient(size_t client, const StreamRequest &request)
     {
         std::lock_guard<std::mutex> lock(wake_->mutex);
         ++wake_->submitted;
-        serverCounter("server.submitted").add();
+        serverCounter(config_.metrics_prefix, "submitted").add();
         COMET_CHECK(client < wake_->horizons.size());
         double &horizon = wake_->horizons[client];
         if (wake_->draining || horizon == kInfinity) {
@@ -236,7 +246,7 @@ Server::submitFromClient(size_t client, const StreamRequest &request)
         }
         if (early != RejectReason::kNone) {
             ++wake_->early_rejected;
-            serverCounter("server.rejected").add();
+            serverCounter(config_.metrics_prefix, "rejected").add();
             reject_clock_us = wake_->clock_us;
         }
     }
@@ -327,6 +337,26 @@ Server::tenants() const
     return config_.tenants;
 }
 
+void
+Server::waitSettled(double virtual_us) const
+{
+    std::unique_lock<std::mutex> lock(wake_->mutex);
+    wake_->done_cv.wait(
+        lock, [&] { return wake_->settled_us >= virtual_us; });
+}
+
+int64_t
+Server::kvTotalBlocks() const
+{
+    return cache_->totalBlocks();
+}
+
+int64_t
+Server::kvBlocksForTokens(int64_t tokens) const
+{
+    return cache_->blocksForTokens(tokens);
+}
+
 const PagedKvCache &
 Server::kvCacheForAudit() const
 {
@@ -357,9 +387,17 @@ Server::loop()
         {
             std::unique_lock<std::mutex> lock(wake_->mutex);
             wake_->cv.wait(lock, [&] {
-                return wake_->stop_requested || wake_->poked ||
-                       !wake_->inbox.empty() || !sessionIdle() ||
-                       (wake_->draining && !wake_->session_complete);
+                const bool wake =
+                    wake_->stop_requested || wake_->poked ||
+                    !wake_->inbox.empty() || !sessionIdle() ||
+                    (wake_->draining && !wake_->session_complete);
+                // Parked with no pending work: future events can
+                // only come from submissions at or beyond the
+                // minimum open horizon, so that floor is settled
+                // (re-evaluated as client horizons advance).
+                if (!wake && !wake_->horizons.empty())
+                    advanceSettledLocked(minHorizonLocked());
+                return wake;
             });
             incoming.swap(wake_->inbox);
             wake_->poked = false;
@@ -414,27 +452,60 @@ Server::safeHorizonLocked() const
 {
     if (!config_.deterministic_ingress || wake_->draining)
         return kInfinity;
-    double safe = kInfinity;
+    return minHorizonLocked();
+}
+
+double
+Server::minHorizonLocked() const
+{
+    double floor = kInfinity;
     for (double horizon : wake_->horizons)
-        safe = std::min(safe, horizon);
-    return safe;
+        floor = std::min(floor, horizon);
+    return floor;
+}
+
+void
+Server::advanceSettledLocked(double settled_us)
+{
+    if (settled_us > wake_->settled_us) {
+        wake_->settled_us = settled_us;
+        wake_->done_cv.notify_all();
+    }
 }
 
 bool
 Server::waitForSafe(double target_us)
 {
-    if (!config_.deterministic_ingress)
+    if (!config_.deterministic_ingress) {
+        std::lock_guard<std::mutex> lock(wake_->mutex);
+        advanceSettledLocked(target_us);
         return true;
+    }
     std::unique_lock<std::mutex> lock(wake_->mutex);
     // Strictly past the target: a client whose horizon sits exactly
     // at target_us may still submit more arrivals at that instant
     // (equal arrival times per handle are legal), so >= would let the
     // clock commit with such a tie racing the inbox drain.
     wake_->cv.wait(lock, [&] {
+        // While parked, events below min(target, horizon floor) are
+        // impossible (the pending step delivers at >= target once
+        // committed; later submissions arrive at >= the floor and
+        // are ingested after the commit): publish that as settled so
+        // a cluster router can await quiescence mid-step.
+        if (!(wake_->stop_requested && wake_->cancel_on_stop)) {
+            advanceSettledLocked(
+                std::min(target_us, minHorizonLocked()));
+        }
         return (wake_->stop_requested && wake_->cancel_on_stop) ||
                safeHorizonLocked() > target_us;
     });
-    return !(wake_->stop_requested && wake_->cancel_on_stop);
+    if (wake_->stop_requested && wake_->cancel_on_stop)
+        return false;
+    // The clock jump to target_us is now committed: every event the
+    // loop delivers from here on is stamped >= target_us, so the
+    // settled horizon reaches the target.
+    advanceSettledLocked(target_us);
+    return true;
 }
 
 Server::GateOutcome
@@ -444,6 +515,17 @@ Server::waitToAdvance(double target_us)
         return GateOutcome::kAdvance;
     std::unique_lock<std::mutex> lock(wake_->mutex);
     wake_->cv.wait(lock, [&] {
+        // While parked here, any future submission arrives at or
+        // beyond the minimum open horizon and is delivered at a
+        // clock at or beyond its arrival, so events below
+        // min(target, horizon floor) are impossible: publish that as
+        // the settled horizon (re-evaluated as horizons move) so a
+        // cluster router can await per-replica quiescence while the
+        // gate is held.
+        if (!(wake_->stop_requested && wake_->cancel_on_stop)) {
+            advanceSettledLocked(
+                std::min(target_us, minHorizonLocked()));
+        }
         return (wake_->stop_requested && wake_->cancel_on_stop) ||
                wake_->poked || !wake_->inbox.empty() ||
                safeHorizonLocked() > target_us;
@@ -463,6 +545,10 @@ Server::publishClock()
 {
     std::lock_guard<std::mutex> lock(wake_->mutex);
     wake_->clock_us = clock_;
+    // Everything delivered so far is stamped <= clock_, and future
+    // deliveries are stamped >= clock_, so events strictly below the
+    // committed clock are settled.
+    advanceSettledLocked(clock_);
 }
 
 void
@@ -515,7 +601,7 @@ Server::ingestDueArrivals()
             continue;
         }
         ++stats_.queued;
-        serverCounter("server.queued").add();
+        serverCounter(config_.metrics_prefix, "queued").add();
         live_.emplace(live_id, std::move(live));
     }
 }
@@ -525,7 +611,7 @@ Server::rejectPending(PendingRequest &&pending, RejectReason reason)
 {
     COMET_CHECK(pending.stream != nullptr);
     ++stats_.rejected;
-    serverCounter("server.rejected").add();
+    serverCounter(config_.metrics_prefix, "rejected").add();
     StreamEvent event;
     event.kind = StreamEventKind::kRejected;
     event.virtual_us = clock_;
@@ -753,7 +839,7 @@ Server::emitTokens(LiveRequest &live, int64_t generated_total)
         live.last_token_us = clock_;
         ++live.streamed_tokens;
         ++stats_.streamed_tokens;
-        serverCounter("server.streamed_tokens").add();
+        serverCounter(config_.metrics_prefix, "streamed_tokens").add();
     }
 }
 
@@ -783,7 +869,7 @@ Server::deliverRetired(const std::vector<Request> &retired)
             emitTokens(live, request.generated_tokens);
             event.kind = StreamEventKind::kFinished;
             ++stats_.completed;
-            serverCounter("server.completed").add();
+            serverCounter(config_.metrics_prefix, "completed").add();
             const TenantConfig &tenant_config =
                 config_.tenants[static_cast<size_t>(live.tenant)];
             const std::string &tenant = tenant_config.name;
@@ -792,7 +878,8 @@ Server::deliverRetired(const std::vector<Request> &retired)
             const double ttft =
                 live.first_token_us - live.arrival_us;
             registry
-                .histogram("server.tenant." + tenant + ".ttft_us",
+                .histogram(config_.metrics_prefix + ".tenant." +
+                               tenant + ".ttft_us",
                            latencyBucketsUs())
                 .observe(ttft);
             TenantSloStats &slo =
@@ -801,7 +888,8 @@ Server::deliverRetired(const std::vector<Request> &retired)
             if (tenant_config.ttft_slo_us > 0.0) {
                 const bool ok = ttft <= tenant_config.ttft_slo_us;
                 ++(ok ? slo.ttft_ok : slo.ttft_miss);
-                serverCounter(("server.tenant." + tenant +
+                serverCounter(config_.metrics_prefix,
+                              ("tenant." + tenant +
                                (ok ? ".slo.ttft_ok"
                                    : ".slo.ttft_miss"))
                                   .c_str())
@@ -812,15 +900,16 @@ Server::deliverRetired(const std::vector<Request> &retired)
                     (live.last_token_us - live.first_token_us) /
                     static_cast<double>(live.streamed_tokens - 1);
                 registry
-                    .histogram("server.tenant." + tenant +
-                                   ".tpot_us",
+                    .histogram(config_.metrics_prefix + ".tenant." +
+                                   tenant + ".tpot_us",
                                latencyBucketsUs())
                     .observe(tpot);
                 if (tenant_config.tpot_slo_us > 0.0) {
                     const bool ok =
                         tpot <= tenant_config.tpot_slo_us;
                     ++(ok ? slo.tpot_ok : slo.tpot_miss);
-                    serverCounter(("server.tenant." + tenant +
+                    serverCounter(config_.metrics_prefix,
+                                  ("tenant." + tenant +
                                    (ok ? ".slo.tpot_ok"
                                        : ".slo.tpot_miss"))
                                       .c_str())
@@ -833,12 +922,12 @@ Server::deliverRetired(const std::vector<Request> &retired)
             event.kind = StreamEventKind::kRejected;
             event.reject_reason = RejectReason::kTooLarge;
             ++stats_.rejected;
-            serverCounter("server.rejected").add();
+            serverCounter(config_.metrics_prefix, "rejected").add();
             break;
           case RequestState::kCancelled:
             event.kind = StreamEventKind::kCancelled;
             ++stats_.cancelled;
-            serverCounter("server.cancelled").add();
+            serverCounter(config_.metrics_prefix, "cancelled").add();
             break;
           default:
             COMET_CHECK_MSG(false,
@@ -912,7 +1001,7 @@ Server::cancelOne(int64_t id)
         live_.erase(it);
     }
     ++stats_.cancelled;
-    serverCounter("server.cancelled").add();
+    serverCounter(config_.metrics_prefix, "cancelled").add();
     StreamEvent event;
     event.kind = StreamEventKind::kCancelled;
     event.virtual_us = clock_;
@@ -950,7 +1039,7 @@ Server::cancelEverything()
     live_.clear();
     for (const auto &entry : streams) {
         ++stats_.cancelled;
-        serverCounter("server.cancelled").add();
+        serverCounter(config_.metrics_prefix, "cancelled").add();
         StreamEvent event;
         event.kind = StreamEventKind::kCancelled;
         event.virtual_us = clock_;
@@ -983,8 +1072,13 @@ Server::publish(bool complete)
     wake_->stats = stats_;
     wake_->sched = counters;
     wake_->clock_us = clock_;
+    advanceSettledLocked(clock_);
     if (complete) {
         wake_->session_complete = true;
+        // A complete session delivers nothing further: the settled
+        // horizon jumps to infinity so waitSettled never blocks on a
+        // drained replica.
+        advanceSettledLocked(kInfinity);
         wake_->done_cv.notify_all();
     }
 }

@@ -136,6 +136,14 @@ struct ServerConfig {
      * chunked_prefill_tokens > 0 (see
      * BatchSchedulerConfig::step_token_budget). */
     int64_t step_token_budget = 0;
+    /**
+     * Namespace prefix of every metric this server publishes
+     * (`<prefix>.submitted`, `<prefix>.tenant.<name>.ttft_us`, ...).
+     * The default keeps the historical `server.*` names; a cluster
+     * replica is constructed with `cluster.replica.<i>` so N replicas
+     * publish into disjoint namespaces of one registry.
+     */
+    std::string metrics_prefix = "server";
 };
 
 /** Per-tenant SLO attainment over a session's finished streams (all
@@ -290,6 +298,37 @@ class Server
      */
     const PagedKvCache &kvCacheForAudit() const;
 
+    /**
+     * Blocks until every stream event with a virtual timestamp
+     * strictly below @p virtual_us has been delivered (the server's
+     * *settled horizon* has reached @p virtual_us).
+     *
+     * The settled horizon only advances at points where the serving
+     * loop can prove no earlier-stamped event can still be produced,
+     * so the guarantee holds under the caller discipline the cluster
+     * router follows: every open client handle's horizon has been
+     * advanced to at least @p virtual_us before the call, and no new
+     * handle connects while waiting. (A handle connected mid-wait
+     * starts at the published clock, which may sit below an already
+     * settled horizon; early rejects on the submit path are likewise
+     * stamped with the published clock and are outside the
+     * guarantee — a router that validates tenants at its own edge
+     * never triggers them.) Returns immediately once the session is
+     * complete.
+     */
+    void waitSettled(double virtual_us) const;
+
+    /** Total KV block capacity of the session's paged cache. */
+    int64_t kvTotalBlocks() const;
+
+    /**
+     * KV blocks a request spanning @p tokens context tokens
+     * reserves at admission (pure ceiling division by the cache's
+     * block size — safe from any thread). The cluster router uses
+     * this for reserved-blocks load accounting.
+     */
+    int64_t kvBlocksForTokens(int64_t tokens) const;
+
   private:
     /** A submission as queued from a client thread to the loop. */
     struct SubmitRecord {
@@ -329,6 +368,8 @@ class Server
     int tenantIndexByName(const std::string &name) const;
     void acceptArrival(SubmitRecord &&record);
     double safeHorizonLocked() const;
+    double minHorizonLocked() const;
+    void advanceSettledLocked(double settled_us);
     bool waitForSafe(double target_us);
     GateOutcome waitToAdvance(double target_us);
     void publishClock();

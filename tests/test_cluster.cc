@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the multi-replica cluster router: single-server
+ * equivalence, placement affinity (replica-local prefix reuse),
+ * graceful drain with zero dropped streams, cross-replica fair
+ * admission, and bit-identical replays across thread counts.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comet/chaos/harness.h"
+#include "comet/chaos/script.h"
+#include "comet/cluster/cluster_loadgen.h"
+#include "comet/cluster/router.h"
+#include "comet/obs/metrics.h"
+#include "comet/runtime/thread_pool.h"
+#include "comet/serve/engine.h"
+#include "comet/server/loadgen.h"
+#include "comet/server/server.h"
+
+namespace comet {
+namespace cluster {
+namespace {
+
+using server::LoadgenConfig;
+using server::LoadgenReport;
+using server::RequestOutcome;
+using server::StreamEventKind;
+
+/** The small KV-bound engine every cluster test serves against. */
+EngineConfig
+testEngineConfig(int64_t kv_blocks = 2048)
+{
+    EngineConfig config;
+    config.model = LlmConfig::llama3_8b();
+    config.mode = ServingMode::kCometW4AxKv4;
+    config.input_tokens = 128;
+    config.output_tokens = 32;
+    return engineConfigWithKvBlocks(config, kv_blocks);
+}
+
+ClusterConfig
+clusterConfig(const ServingEngine *engine, int replicas,
+              const LoadgenConfig &workload,
+              RoutingPolicy policy = RoutingPolicy::kConsistentHash)
+{
+    ClusterConfig config;
+    for (int r = 0; r < replicas; ++r) {
+        ReplicaSpec spec;
+        spec.engine = engine;
+        config.replicas.push_back(spec);
+    }
+    config.policy = policy;
+    config.server.tenants = server::loadgenTenants(workload);
+    config.server.max_batch = 16;
+    return config;
+}
+
+class ClusterTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::MetricsRegistry::global().reset();
+    }
+};
+
+TEST_F(ClusterTest, OneReplicaClusterMatchesBareServer)
+{
+    const ServingEngine engine(testEngineConfig());
+    const LoadgenConfig workload =
+        server::mixedSloWorkload(31, /*smoke=*/true);
+
+    server::ServerConfig server_config;
+    server_config.tenants = server::loadgenTenants(workload);
+    server_config.max_batch = 16;
+    server::Server server(&engine, server_config);
+    const LoadgenReport single = runLoadgen(&server, workload);
+    server.stop();
+
+    ClusterRouter router(clusterConfig(&engine, 1, workload));
+    const LoadgenReport routed =
+        runClusterLoadgen(&router, workload);
+    router.stop(/*cancel_in_flight=*/false);
+
+    // Token-stream equality, request by request: same verdicts, same
+    // token counts, same virtual timestamps.
+    ASSERT_EQ(single.outcomes.size(), routed.outcomes.size());
+    for (size_t i = 0; i < single.outcomes.size(); ++i) {
+        const RequestOutcome &a = single.outcomes[i];
+        const RequestOutcome &b = routed.outcomes[i];
+        EXPECT_EQ(a.terminal, b.terminal) << "id " << i;
+        EXPECT_EQ(a.tokens, b.tokens) << "id " << i;
+        EXPECT_DOUBLE_EQ(a.first_token_us, b.first_token_us)
+            << "id " << i;
+        EXPECT_DOUBLE_EQ(a.last_token_us, b.last_token_us)
+            << "id " << i;
+        if (b.terminal == StreamEventKind::kRejected)
+            EXPECT_TRUE(b.replica == -1 || b.replica == 0);
+        else
+            EXPECT_EQ(b.replica, 0);
+    }
+    EXPECT_DOUBLE_EQ(single.makespan_us, routed.makespan_us);
+    EXPECT_EQ(server::renderLoadgenReport(single),
+              server::renderLoadgenReport(routed));
+
+    const ClusterStats stats = router.stats();
+    EXPECT_EQ(stats.submitted,
+              static_cast<int64_t>(routed.outcomes.size()));
+    EXPECT_EQ(stats.routed, stats.submitted - stats.rejected);
+}
+
+TEST_F(ClusterTest, HashAffinityKeepsPrefixReuseReplicaLocal)
+{
+    const ServingEngine engine(testEngineConfig());
+    LoadgenConfig workload =
+        server::mixedSloWorkload(7, /*smoke=*/true);
+    // Real prompt content drawn from shared per-tenant pools, and
+    // prefix caching on: the traffic the hash policy exists for.
+    for (server::LoadgenTenant &tenant : workload.tenants) {
+        tenant.shared_prompt_pools = 2;
+        tenant.admission.prefix_caching = true;
+    }
+
+    ClusterConfig config = clusterConfig(
+        &engine, 4, workload, RoutingPolicy::kConsistentHash);
+    config.server.enable_prefix_cache = true;
+    for (server::TenantConfig &tenant : config.server.tenants)
+        tenant.prefix_caching = true;
+    ClusterRouter router(config);
+    const LoadgenReport report =
+        runClusterLoadgen(&router, workload);
+
+    // Placement affinity: every pair of requests sharing (tenant,
+    // leading prompt tokens) landed on the same replica — prefix
+    // reuse never needs to cross a replica boundary, which is also
+    // the isolation property (replicas share no cache state).
+    const std::vector<server::LoadgenRequest> generated =
+        server::generateLoadgenWorkload(workload);
+    std::map<std::pair<int, int32_t>, int> group_replica;
+    for (size_t i = 0; i < generated.size(); ++i) {
+        if (report.outcomes[i].replica < 0)
+            continue;
+        ASSERT_FALSE(generated[i].prompt_ids.empty());
+        const std::pair<int, int32_t> group = {
+            generated[i].tenant, generated[i].prompt_ids[0]};
+        auto it = group_replica.find(group);
+        if (it == group_replica.end()) {
+            group_replica.emplace(group,
+                                  report.outcomes[i].replica);
+        } else {
+            EXPECT_EQ(it->second, report.outcomes[i].replica)
+                << "tenant " << group.first << " pool prompt moved "
+                << "across replicas (request " << i << ")";
+        }
+    }
+    EXPECT_GT(group_replica.size(), 1u);
+
+    // The grafts actually happened, replica-locally.
+    int64_t prefix_hits = 0;
+    for (int r = 0; r < router.numReplicas(); ++r)
+        prefix_hits += router.replicaStats(r).prefix_hits;
+    EXPECT_GT(prefix_hits, 0);
+    router.stop(/*cancel_in_flight=*/false);
+}
+
+TEST_F(ClusterTest, ScheduledDrainCompletesAllStreams)
+{
+    const ServingEngine engine(testEngineConfig());
+    const LoadgenConfig workload =
+        server::mixedSloWorkload(11, /*smoke=*/true);
+
+    ClusterConfig config = clusterConfig(
+        &engine, 4, workload, RoutingPolicy::kWeightedRoundRobin);
+    // Drain replica 2 mid-workload: the smoke mix spans several
+    // virtual seconds, so 0.4 s lands between arrivals.
+    ScheduledDrain drain;
+    drain.replica = 2;
+    drain.at_us = 4e5;
+    config.drains.push_back(drain);
+    ClusterRouter router(config);
+    const LoadgenReport report =
+        runClusterLoadgen(&router, workload);
+
+    const ClusterStats stats = router.stats();
+    EXPECT_EQ(stats.drains, 1);
+    EXPECT_EQ(stats.drains_skipped, 0);
+
+    // Zero dropped streams: every submission ended kFinished or
+    // kRejected — never kCancelled — and token conservation holds
+    // against the summed replica counters.
+    EXPECT_EQ(report.cancelled, 0);
+    EXPECT_EQ(report.completed + report.rejected, report.submitted);
+    int64_t replica_tokens = 0;
+    for (int r = 0; r < router.numReplicas(); ++r)
+        replica_tokens += router.replicaStats(r).streamed_tokens;
+    EXPECT_EQ(report.tokens, replica_tokens);
+
+    // Nothing was routed to the drained replica after the drain
+    // fired, but it did serve traffic before.
+    EXPECT_GT(stats.routed_per_replica[2], 0);
+    for (const RequestOutcome &outcome : report.outcomes) {
+        if (outcome.arrival_us >= drain.at_us)
+            EXPECT_NE(outcome.replica, 2)
+                << "arrival at " << outcome.arrival_us;
+    }
+    router.stop(/*cancel_in_flight=*/false);
+}
+
+TEST_F(ClusterTest, DrainingLastReplicaIsSkipped)
+{
+    const ServingEngine engine(testEngineConfig());
+    const LoadgenConfig workload =
+        server::mixedSloWorkload(13, /*smoke=*/true);
+
+    ClusterConfig config = clusterConfig(&engine, 2, workload);
+    for (int r = 0; r < 2; ++r) {
+        ScheduledDrain drain;
+        drain.replica = r;
+        drain.at_us = 1e5;
+        config.drains.push_back(drain);
+    }
+    ClusterRouter router(config);
+    const LoadgenReport report =
+        runClusterLoadgen(&router, workload);
+
+    // The first drain fires; the second would leave zero active
+    // replicas and is skipped — the workload still completes.
+    const ClusterStats stats = router.stats();
+    EXPECT_EQ(stats.drains, 1);
+    EXPECT_EQ(stats.drains_skipped, 1);
+    EXPECT_EQ(report.cancelled, 0);
+    EXPECT_EQ(report.completed + report.rejected, report.submitted);
+    router.stop(/*cancel_in_flight=*/false);
+}
+
+TEST_F(ClusterTest, PoliciesSpreadLoadAcrossReplicas)
+{
+    const ServingEngine engine(testEngineConfig());
+    const LoadgenConfig workload =
+        server::mixedSloWorkload(17, /*smoke=*/true);
+    for (RoutingPolicy policy :
+         {RoutingPolicy::kLeastLoaded,
+          RoutingPolicy::kWeightedRoundRobin}) {
+        obs::MetricsRegistry::global().reset();
+        ClusterRouter router(
+            clusterConfig(&engine, 4, workload, policy));
+        const LoadgenReport report =
+            runClusterLoadgen(&router, workload);
+        EXPECT_EQ(report.completed + report.rejected,
+                  report.submitted)
+            << routingPolicyName(policy);
+        const ClusterStats stats = router.stats();
+        for (int r = 0; r < 4; ++r) {
+            EXPECT_GT(stats.routed_per_replica[static_cast<size_t>(
+                          r)],
+                      0)
+                << routingPolicyName(policy) << " replica " << r;
+        }
+        // The per-policy placement counter matched the routed count.
+        EXPECT_EQ(obs::MetricsRegistry::global()
+                      .counter(std::string("cluster.policy.") +
+                               routingPolicyName(policy) +
+                               ".placements")
+                      .value(),
+                  stats.routed);
+        router.stop(/*cancel_in_flight=*/false);
+    }
+}
+
+TEST_F(ClusterTest, PerReplicaMetricsNamespacesAreDisjoint)
+{
+    const ServingEngine engine(testEngineConfig());
+    const LoadgenConfig workload =
+        server::mixedSloWorkload(19, /*smoke=*/true);
+    ClusterRouter router(clusterConfig(&engine, 2, workload));
+    const LoadgenReport report =
+        runClusterLoadgen(&router, workload);
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::global();
+    // Each replica publishes under its own prefix; the summed
+    // per-replica submissions equal the routed total.
+    const int64_t r0 =
+        registry.counter("cluster.replica.0.submitted").value();
+    const int64_t r1 =
+        registry.counter("cluster.replica.1.submitted").value();
+    EXPECT_GT(r0, 0);
+    EXPECT_GT(r1, 0);
+    EXPECT_EQ(r0 + r1, router.stats().routed);
+    EXPECT_EQ(registry.counter("cluster.routed").value(),
+              router.stats().routed);
+    EXPECT_EQ(registry.counter("cluster.submitted").value(),
+              report.submitted);
+    // The bare "server.*" namespace stayed empty: replicas never
+    // leak into the single-server names.
+    EXPECT_EQ(registry.counter("server.submitted").value(), 0);
+    router.stop(/*cancel_in_flight=*/false);
+}
+
+TEST_F(ClusterTest, RendersPerReplicaReport)
+{
+    const ServingEngine engine(testEngineConfig());
+    const LoadgenConfig workload =
+        server::mixedSloWorkload(23, /*smoke=*/true);
+    ClusterRouter router(clusterConfig(&engine, 2, workload));
+    const LoadgenReport report =
+        runClusterLoadgen(&router, workload);
+    const std::string rendered =
+        renderClusterLoadgenReport(report, 2);
+    EXPECT_NE(rendered.find("replica"), std::string::npos);
+    EXPECT_NE(rendered.find("ttft p99"), std::string::npos);
+    // Re-rendering is byte-stable.
+    EXPECT_EQ(rendered, renderClusterLoadgenReport(report, 2));
+    router.stop(/*cancel_in_flight=*/false);
+}
+
+TEST_F(ClusterTest, ReplicaSeedsAreDistinctAndStable)
+{
+    EXPECT_EQ(server::deriveReplicaSeed(42, 0),
+              server::deriveReplicaSeed(42, 0));
+    EXPECT_NE(server::deriveReplicaSeed(42, 0),
+              server::deriveReplicaSeed(42, 1));
+    EXPECT_NE(server::deriveReplicaSeed(42, 0),
+              server::deriveReplicaSeed(43, 0));
+    EXPECT_NE(server::deriveReplicaSeed(42, 0), 42u);
+}
+
+TEST_F(ClusterTest, FaultedClusterReplaysBitIdenticallyAcrossThreads)
+{
+    chaos::ChaosScriptConfig config;
+    config.seed = 29;
+    config.steps = 300;
+    const std::vector<chaos::ChaosStep> script =
+        chaos::generateChaosScript(config);
+    chaos::ChaosFaultConfig faults;
+    faults.seed = 29;
+    faults.route_every = 7;
+    faults.drain_every = 41;
+
+    ThreadPool::setGlobalThreads(1);
+    const chaos::ClusterChaosRunResult serial =
+        chaos::runClusterChaosScript(script, config, &faults, 4,
+                                     RoutingPolicy::kConsistentHash);
+    ThreadPool::setGlobalThreads(8);
+    const chaos::ClusterChaosRunResult pooled =
+        chaos::runClusterChaosScript(script, config, &faults, 4,
+                                     RoutingPolicy::kConsistentHash);
+    ThreadPool::setGlobalThreads(0); // back to the environment pick
+
+    EXPECT_TRUE(serial.ok) << serial.failure;
+    EXPECT_TRUE(pooled.ok) << pooled.failure;
+    ASSERT_FALSE(serial.event_log.empty());
+    EXPECT_EQ(serial.event_log, pooled.event_log);
+    EXPECT_EQ(serial.replica_streamed_tokens,
+              pooled.replica_streamed_tokens);
+    EXPECT_EQ(serial.cluster_stats.routed,
+              pooled.cluster_stats.routed);
+    EXPECT_EQ(serial.cluster_stats.rerouted,
+              pooled.cluster_stats.rerouted);
+    EXPECT_EQ(serial.cluster_stats.drains,
+              pooled.cluster_stats.drains);
+    EXPECT_EQ(serial.cluster_stats.routed_per_replica,
+              pooled.cluster_stats.routed_per_replica);
+    // The armed failpoints actually fired.
+    EXPECT_GT(serial.cluster_stats.rerouted, 0);
+    EXPECT_GT(serial.cluster_stats.drains, 0);
+}
+
+TEST_F(ClusterTest, UnfaultedClusterSoakHoldsAllInvariants)
+{
+    chaos::ChaosScriptConfig config;
+    config.seed = 37;
+    config.steps = 250;
+    const std::vector<chaos::ChaosStep> script =
+        chaos::generateChaosScript(config);
+    const chaos::ClusterChaosRunResult result =
+        chaos::runClusterChaosScript(script, config, nullptr, 3,
+                                     RoutingPolicy::kLeastLoaded);
+    EXPECT_TRUE(result.ok) << result.failure;
+    EXPECT_GT(result.replica_completed, 0);
+    EXPECT_FALSE(result.event_log.empty());
+}
+
+} // namespace
+} // namespace cluster
+} // namespace comet
