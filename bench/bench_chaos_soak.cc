@@ -107,8 +107,12 @@ clusterFaults(uint64_t seed)
  * script routed through a 4-replica cluster with cluster.route and
  * cluster.drain armed. Empty string when every invariant held and
  * the event logs matched byte for byte. */
+/** Mixed tensor-parallel degrees the `--tp --cluster` soak spreads
+ * across the 4 replicas (replica r gets entry r % size). */
+const std::vector<int> kHeterogeneousTp = {1, 2, 4, 2};
+
 std::string
-runClusterSoakSeed(uint64_t seed, int steps, bool prefix)
+runClusterSoakSeed(uint64_t seed, int steps, bool prefix, bool tp)
 {
     ChaosScriptConfig config;
     config.seed = seed;
@@ -118,13 +122,17 @@ runClusterSoakSeed(uint64_t seed, int steps, bool prefix)
         generateChaosScript(config);
     const ChaosFaultConfig faults = clusterFaults(seed);
     const cluster::RoutingPolicy policy = clusterPolicyForSeed(seed);
+    const std::vector<int> tp_degrees =
+        tp ? kHeterogeneousTp : std::vector<int>{};
 
     ThreadPool::setGlobalThreads(1);
-    const ClusterChaosRunResult serial = runClusterChaosScript(
-        script, config, &faults, kClusterReplicas, policy);
+    const ClusterChaosRunResult serial =
+        runClusterChaosScript(script, config, &faults,
+                              kClusterReplicas, policy, tp_degrees);
     ThreadPool::setGlobalThreads(8);
-    const ClusterChaosRunResult pooled = runClusterChaosScript(
-        script, config, &faults, kClusterReplicas, policy);
+    const ClusterChaosRunResult pooled =
+        runClusterChaosScript(script, config, &faults,
+                              kClusterReplicas, policy, tp_degrees);
     ThreadPool::setGlobalThreads(0);
 
     if (!serial.ok)
@@ -137,20 +145,27 @@ runClusterSoakSeed(uint64_t seed, int steps, bool prefix)
 }
 
 /** One seed's faulted double run (threads 1 vs 8). Empty string when
- * every invariant held and the logs matched. */
+ * every invariant held and the logs matched. With `tp` the script
+ * replays on a TP=2 engine with the tp.allreduce failpoint armed:
+ * sharding and degraded links shift the virtual clock (scripts carry
+ * time-triggered cancels, so streams legitimately differ from TP=1),
+ * but the replay must stay byte-identical across thread counts. */
 std::string
-runSoakSeed(uint64_t seed, int steps, bool prefix)
+runSoakSeed(uint64_t seed, int steps, bool prefix, bool tp)
 {
     ChaosScriptConfig config;
     config.seed = seed;
     config.steps = steps;
     config.prefix = prefix;
+    config.tp_degree = tp ? 2 : 1;
     const std::vector<ChaosStep> script =
         generateChaosScript(config);
     ChaosFaultConfig faults;
     faults.seed = seed;
     if (prefix)
         faults.graft_every = 23; // forced misses ride the soak too
+    if (tp)
+        faults.allreduce_every = 13;
 
     ThreadPool::setGlobalThreads(1);
     const ChaosRunResult serial =
@@ -172,15 +187,19 @@ runSoakSeed(uint64_t seed, int steps, bool prefix)
 /** Shrinks a failing seed's script and prints the minimal repro. */
 void
 reportFailure(uint64_t seed, int steps, bool prefix, bool clustered,
-              const std::string &failure)
+              bool tp, const std::string &failure)
 {
-    std::fprintf(stderr, "FAILING SEED %" PRIu64 " (steps=%d%s%s): %s\n",
+    std::fprintf(stderr,
+                 "FAILING SEED %" PRIu64 " (steps=%d%s%s%s): %s\n",
                  seed, steps, prefix ? ", prefix" : "",
-                 clustered ? ", cluster" : "", failure.c_str());
+                 clustered ? ", cluster" : "", tp ? ", tp" : "",
+                 failure.c_str());
     ChaosScriptConfig config;
     config.seed = seed;
     config.steps = steps;
     config.prefix = prefix;
+    if (tp && !clustered)
+        config.tp_degree = 2;
     const std::vector<ChaosStep> script =
         generateChaosScript(config);
     ChaosFaultConfig faults;
@@ -189,11 +208,16 @@ reportFailure(uint64_t seed, int steps, bool prefix, bool clustered,
         faults = clusterFaults(seed);
     else if (prefix)
         faults.graft_every = 23;
+    if (tp && !clustered)
+        faults.allreduce_every = 13;
+    const std::vector<int> tp_degrees =
+        (tp && clustered) ? kHeterogeneousTp : std::vector<int>{};
     const auto fails = [&](const std::vector<ChaosStep> &candidate) {
         if (clustered)
             return !runClusterChaosScript(candidate, config, &faults,
                                           kClusterReplicas,
-                                          clusterPolicyForSeed(seed))
+                                          clusterPolicyForSeed(seed),
+                                          tp_degrees)
                         .ok;
         return !runChaosScript(candidate, config, &faults).ok;
     };
@@ -208,7 +232,8 @@ reportFailure(uint64_t seed, int steps, bool prefix, bool clustered,
         const ClusterChaosRunResult cluster_minimal =
             runClusterChaosScript(shrunk, config, &faults,
                                   kClusterReplicas,
-                                  clusterPolicyForSeed(seed));
+                                  clusterPolicyForSeed(seed),
+                                  tp_degrees);
         minimal.ok = cluster_minimal.ok;
         minimal.failure = cluster_minimal.failure;
     } else {
@@ -232,9 +257,9 @@ reportFailure(uint64_t seed, int steps, bool prefix, bool clustered,
     }
     std::fprintf(stderr,
                  "repro: ./bench_chaos_soak --seed=%" PRIu64
-                 " --seeds=1 --steps=%d%s%s\n",
+                 " --seeds=1 --steps=%d%s%s%s\n",
                  seed, steps, prefix ? " --prefix" : "",
-                 clustered ? " --cluster" : "");
+                 clustered ? " --cluster" : "", tp ? " --tp" : "");
 }
 
 } // namespace
@@ -252,16 +277,21 @@ main(int argc, char **argv)
          {"--cluster", "cluster mode: route every script through a "
                        "4-replica ClusterRouter with cluster.route "
                        "and cluster.drain armed"},
+         {"--tp", "tensor-parallel mode: TP=2 engine with "
+                  "tp.allreduce armed (log must match tp=1); with "
+                  "--cluster, heterogeneous replica degrees 1/2/4/2"},
          {"--seed=", "first seed (default 1)"},
          {"--seeds=", "number of consecutive seeds (default 1)"},
          {"--steps=", "script steps per seed (default 10000)"}});
     const bool smoke = bench::smokeRequested(argc, argv);
     bool prefix = false;
     bool clustered = false;
+    bool tp = false;
     for (int i = 1; i < argc; ++i) {
         prefix = prefix || std::strcmp(argv[i], "--prefix") == 0;
         clustered =
             clustered || std::strcmp(argv[i], "--cluster") == 0;
+        tp = tp || std::strcmp(argv[i], "--tp") == 0;
     }
     const uint64_t first_seed = static_cast<uint64_t>(
         bench::flagValue(argc, argv, "--seed=", 1));
@@ -298,10 +328,11 @@ main(int argc, char **argv)
         const uint64_t seed = first_seed + static_cast<uint64_t>(i);
         if (clustered) {
             const std::string failure =
-                runClusterSoakSeed(seed, steps, prefix);
+                runClusterSoakSeed(seed, steps, prefix, tp);
             if (!failure.empty()) {
                 all_ok = false;
-                reportFailure(seed, steps, prefix, true, failure);
+                reportFailure(seed, steps, prefix, true, tp,
+                              failure);
                 continue;
             }
             // Re-run once at the ambient thread count for the row.
@@ -313,12 +344,13 @@ main(int argc, char **argv)
             const cluster::RoutingPolicy policy =
                 clusterPolicyForSeed(seed);
             const ClusterChaosRunResult result =
-                runClusterChaosScript(generateChaosScript(config),
-                                      config, &faults,
-                                      kClusterReplicas, policy);
+                runClusterChaosScript(
+                    generateChaosScript(config), config, &faults,
+                    kClusterReplicas, policy,
+                    tp ? kHeterogeneousTp : std::vector<int>{});
             if (!result.ok) {
                 all_ok = false;
-                reportFailure(seed, steps, prefix, true,
+                reportFailure(seed, steps, prefix, true, tp,
                               "ambient threads: " + result.failure);
                 continue;
             }
@@ -333,10 +365,11 @@ main(int argc, char **argv)
                  "bit-identical"});
             continue;
         }
-        const std::string failure = runSoakSeed(seed, steps, prefix);
+        const std::string failure =
+            runSoakSeed(seed, steps, prefix, tp);
         if (!failure.empty()) {
             all_ok = false;
-            reportFailure(seed, steps, prefix, false, failure);
+            reportFailure(seed, steps, prefix, false, tp, failure);
             continue;
         }
         // The fuzzers ride the same seed for cheap extra coverage.
@@ -364,15 +397,18 @@ main(int argc, char **argv)
         config.seed = seed;
         config.steps = steps;
         config.prefix = prefix;
+        config.tp_degree = tp ? 2 : 1;
         ChaosFaultConfig faults;
         faults.seed = seed;
         if (prefix)
             faults.graft_every = 23;
+        if (tp)
+            faults.allreduce_every = 13;
         const ChaosRunResult result = runChaosScript(
             generateChaosScript(config), config, &faults);
         if (!result.ok) {
             all_ok = false;
-            reportFailure(seed, steps, prefix, false,
+            reportFailure(seed, steps, prefix, false, tp,
                           "ambient threads: " + result.failure);
             continue;
         }

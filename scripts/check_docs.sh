@@ -85,7 +85,7 @@ log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 doxygen - > /dev/null 2> "$log" <<EOF || true
 @INCLUDE = Doxyfile
-INPUT = src/comet/obs src/comet/runtime src/comet/serve src/comet/server src/comet/chaos src/comet/simd src/comet/prefix src/comet/cluster
+INPUT = src/comet/obs src/comet/runtime src/comet/serve src/comet/server src/comet/chaos src/comet/simd src/comet/prefix src/comet/cluster src/comet/tp
 FILE_PATTERNS = *.h
 USE_MDFILE_AS_MAINPAGE =
 EXTRACT_ALL = NO
@@ -99,8 +99,8 @@ EOF
 if [ -s "$log" ]; then
     echo "check_docs.sh: undocumented public API (or other Doxygen" \
          "warnings) in obs/, runtime/, serve/, server/, chaos/," \
-         "simd/, prefix/ or cluster/:" >&2
+         "simd/, prefix/, cluster/ or tp/:" >&2
     cat "$log" >&2
     exit 1
 fi
-echo "check_docs.sh: obs/, runtime/, serve/, server/, chaos/, simd/, prefix/ and cluster/ public APIs are fully documented"
+echo "check_docs.sh: obs/, runtime/, serve/, server/, chaos/, simd/, prefix/, cluster/ and tp/ public APIs are fully documented"

@@ -36,6 +36,12 @@
 #     bench_chaos_soak run in --cluster mode routes the fault scripts
 #     through a 4-replica cluster with cluster.route/cluster.drain
 #     armed.
+#   - bench_tp_scaling --smoke: decode-step scaling at TP=1/2/4 on
+#     the 70B cost model against the all-reduce curve; the binary
+#     first re-proves the sharded GEMM/attention operators bitwise
+#     against TP=1 and aborts on any divergence. A fourth
+#     bench_chaos_soak run in --tp mode replays the fault scripts on
+#     a TP=2 engine with the tp.allreduce failpoint armed.
 #
 # Usage: scripts/ci_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -74,6 +80,9 @@ run "${bench_dir}/bench_slo_attainment" --smoke \
 run "${bench_dir}/bench_cluster_router" --smoke \
     --json="${json_dir}/cluster_router.json"
 
+run "${bench_dir}/bench_tp_scaling" --smoke \
+    --json="${json_dir}/tp_scaling.json"
+
 # Emitter smoke: the --json reports written above must parse under the
 # perf-gate schema (a self-diff exercises load + gated-metric checks
 # without depending on this machine's timings matching the baselines).
@@ -86,7 +95,9 @@ run python3 "$(dirname "$0")/check_bench.py" \
     "${json_dir}/slo_attainment.json" \
     "${json_dir}/slo_attainment.json" \
     "${json_dir}/cluster_router.json" \
-    "${json_dir}/cluster_router.json"
+    "${json_dir}/cluster_router.json" \
+    "${json_dir}/tp_scaling.json" \
+    "${json_dir}/tp_scaling.json"
 
 run "${bench_dir}/bench_runtime_scaling" --smoke
 
@@ -97,5 +108,7 @@ run "${bench_dir}/bench_chaos_soak" --smoke
 run "${bench_dir}/bench_chaos_soak" --smoke --prefix
 
 run "${bench_dir}/bench_chaos_soak" --smoke --cluster
+
+run "${bench_dir}/bench_chaos_soak" --smoke --tp
 
 echo "ci_smoke: all bench families passed"

@@ -27,15 +27,21 @@ using server::TokenStreamPtr;
 
 /** The small, KV-bound engine every chaos run serves against: 256
  * pages make exhaustion, preemption and queueing routine at the
- * script's request sizes. */
+ * script's request sizes. The pool is pinned to the same 256 blocks
+ * at every tensor-parallel degree, so TP changes only step latency —
+ * admission capacity (and the replay's cross-thread determinism)
+ * must not move. Streams can still differ from TP=1 where scripts
+ * carry time-triggered cancels: the virtual clock runs at a
+ * different rate. */
 EngineConfig
-chaosEngineConfig()
+chaosEngineConfig(int tp_degree = 1)
 {
     EngineConfig config;
     config.model = LlmConfig::llama3_8b();
     config.mode = ServingMode::kCometW4AxKv4;
     config.input_tokens = 128;
     config.output_tokens = 32;
+    config.tensor_parallel = tp_degree;
     return engineConfigWithKvBlocks(config, 256);
 }
 
@@ -116,6 +122,10 @@ armChaosFaults(const ChaosFaultConfig &faults)
         registry.arm("cluster.drain",
                      FailPointSpec::everyNth(faults.drain_every));
     }
+    if (faults.allreduce_every > 0) {
+        registry.arm("tp.allreduce",
+                     FailPointSpec::everyNth(faults.allreduce_every));
+    }
 }
 
 ChaosRunResult
@@ -135,7 +145,7 @@ runChaosScript(const std::vector<ChaosStep> &script,
     if (faults != nullptr)
         armChaosFaults(*faults);
 
-    const ServingEngine engine(chaosEngineConfig());
+    const ServingEngine engine(chaosEngineConfig(config.tp_degree));
     server::ServerConfig server_config;
     server_config.tenants = config.tenants.empty()
                                 ? defaultChaosTenants()
@@ -365,7 +375,8 @@ ClusterChaosRunResult
 runClusterChaosScript(const std::vector<ChaosStep> &script,
                       const ChaosScriptConfig &config,
                       const ChaosFaultConfig *faults, int replicas,
-                      cluster::RoutingPolicy policy)
+                      cluster::RoutingPolicy policy,
+                      const std::vector<int> &tp_degrees)
 {
     COMET_CHECK(replicas > 0);
     ClusterChaosRunResult result;
@@ -390,6 +401,10 @@ runClusterChaosScript(const std::vector<ChaosStep> &script,
         restricted.expire_every = 0;
         restricted.route_every = faults->route_every;
         restricted.drain_every = faults->drain_every;
+        // tp.allreduce stays excluded too: the engine cost path is
+        // evaluated on every replica's loop thread against one
+        // shared hit counter.
+        restricted.allreduce_every = 0;
         armChaosFaults(restricted);
     }
 
@@ -398,6 +413,19 @@ runClusterChaosScript(const std::vector<ChaosStep> &script,
     for (int r = 0; r < replicas; ++r) {
         cluster::ReplicaSpec spec;
         spec.engine = &engine;
+        if (!tp_degrees.empty()) {
+            spec.tp_degree =
+                tp_degrees[static_cast<size_t>(r) %
+                           tp_degrees.size()];
+            // Pin every derived engine to the template's 256-block
+            // pool: heterogeneous degrees must not skew per-replica
+            // admission capacity (TP=1 entries stay on the shared
+            // engine untouched).
+            if (spec.tp_degree > 1)
+                spec.kv_blocks = 256;
+            else
+                spec.tp_degree = 0;
+        }
         cluster_config.replicas.push_back(spec);
     }
     cluster_config.policy = policy;

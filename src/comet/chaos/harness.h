@@ -86,6 +86,13 @@ struct ChaosFaultConfig {
      * placement (`cluster.drain`; skipped when it would leave no
      * active replica). Only observable through a ClusterRouter. */
     int64_t drain_every = 0;
+    /** Fire the `tp.allreduce` failpoint on every Nth evaluation: in
+     * the engine's collective cost path the step's all-reduces run at
+     * degraded (halved) link bandwidth, in a ShardedW4AxGemm the fold
+     * is discarded and replayed byte-identically. Only observable
+     * with tensor parallelism on (ChaosScriptConfig::tp_degree > 1);
+     * latency-only, so event logs must not change. */
+    int64_t allreduce_every = 0;
 };
 
 /** Arms (replacing any armed schedule, resetting all counters) the
@@ -142,17 +149,26 @@ struct ClusterChaosRunResult {
  * thread, so their every-Nth schedules replay exactly) and the
  * thread-pool delay site. Per-replica failpoints (kv.alloc,
  * sched.preempt, admission.expire, server.ingress, prefix.graft,
- * sched.chunk) are deliberately excluded: their hit counters are
- * shared across all replica loop threads, so which replica's step
- * absorbs the Nth hit depends on wall-clock interleaving — armed,
- * they would break the bit-identical-replay guarantee this runner
- * audits. All failpoints are disarmed before returning.
+ * sched.chunk, tp.allreduce) are deliberately excluded: their hit
+ * counters are shared across all replica loop threads, so which
+ * replica's step absorbs the Nth hit depends on wall-clock
+ * interleaving — armed, they would break the bit-identical-replay
+ * guarantee this runner audits. All failpoints are disarmed before
+ * returning.
+ *
+ * @p tp_degrees, when non-empty, builds a heterogeneous cluster:
+ * replica r serves at degree `tp_degrees[r % tp_degrees.size()]`
+ * (via ReplicaSpec::tp_degree overrides of the one shared template
+ * engine), every overridden replica's KV pool pinned to the shared
+ * engine's 256 blocks so capacities — and the event log — match the
+ * homogeneous cluster's.
  */
 ClusterChaosRunResult
 runClusterChaosScript(const std::vector<ChaosStep> &script,
                       const ChaosScriptConfig &config,
                       const ChaosFaultConfig *faults, int replicas,
-                      cluster::RoutingPolicy policy);
+                      cluster::RoutingPolicy policy,
+                      const std::vector<int> &tp_degrees = {});
 
 /** Model-based KV-cache fuzz (see the file comment). OK when every
  * per-op invariant held and the drained cache is quiescent. */

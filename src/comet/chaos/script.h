@@ -98,6 +98,16 @@ struct ChaosScriptConfig {
      * at chunk edges; pair with ChaosFaultConfig::chunk_every to
      * drop chunks at their boundaries too. */
     int64_t chunk_tokens = 0;
+    /** Tensor-parallel degree of the engine the harness serves
+     * against (1 = the classic single-GPU soak). Higher degrees
+     * exercise the sharded KV-pool accounting and give the
+     * `tp.allreduce` failpoint (ChaosFaultConfig::allreduce_every) a
+     * live cost path; the KV pool is pinned to the same 256 blocks
+     * at every degree, so admission capacity never moves and the
+     * replay stays byte-identical across thread counts. (Streams may
+     * differ from a TP=1 replay of the same script: TP shifts the
+     * virtual clock, and scripts carry time-triggered cancels.) */
+    int tp_degree = 1;
 };
 
 /**

@@ -10,6 +10,7 @@
 #include "comet/common/status.h"
 #include "comet/obs/obs.h"
 #include "comet/obs/trace_session.h"
+#include "comet/tp/shard.h"
 
 namespace comet {
 namespace cluster {
@@ -63,6 +64,39 @@ requestPlacementKey(const server::StreamRequest &request)
 
 } // namespace
 
+Status
+validateClusterConfig(const ClusterConfig &config)
+{
+    if (config.replicas.empty()) {
+        return Status::invalidArgument(
+            "a cluster needs at least one replica");
+    }
+    for (size_t i = 0; i < config.replicas.size(); ++i) {
+        const ReplicaSpec &spec = config.replicas[i];
+        const std::string where = "replica " + std::to_string(i);
+        if (spec.engine == nullptr)
+            return Status::invalidArgument(where + " has no engine");
+        if (!(spec.weight > 0.0)) {
+            return Status::invalidArgument(
+                where + " needs a positive placement weight");
+        }
+        if (spec.tp_degree < 0 || spec.kv_blocks < 0) {
+            return Status::invalidArgument(
+                where +
+                " overrides must be non-negative (0 = inherit)");
+        }
+        if (spec.tp_degree > 0) {
+            const Status tp_ok = tp::validateTpDegree(
+                spec.engine->config().model, spec.tp_degree);
+            if (!tp_ok.isOk()) {
+                return Status::invalidArgument(where + ": " +
+                                               tp_ok.message());
+            }
+        }
+    }
+    return Status::ok();
+}
+
 /** Ingress state shared between cluster client threads and the
  * routing loop; the same single-mutex pattern Server::Wake uses. */
 struct ClusterRouter::Wake {
@@ -105,14 +139,26 @@ struct ClusterRouter::Wake {
 ClusterRouter::ClusterRouter(ClusterConfig config)
     : config_(std::move(config))
 {
+    const Status valid = validateClusterConfig(config_);
+    COMET_CHECK_MSG(valid.isOk(), valid.message().c_str());
     const size_t n = config_.replicas.size();
-    COMET_CHECK_MSG(n > 0, "a cluster needs at least one replica");
     ring_ = ConsistentHashRing(config_.hash_vnodes);
     std::vector<double> weights;
     for (size_t i = 0; i < n; ++i) {
         const ReplicaSpec &spec = config_.replicas[i];
-        COMET_CHECK(spec.engine != nullptr);
-        COMET_CHECK(spec.weight > 0.0);
+        const ServingEngine *engine = spec.engine;
+        if (spec.tp_degree > 0 || spec.kv_blocks > 0) {
+            EngineConfig derived = spec.engine->config();
+            if (spec.tp_degree > 0)
+                derived.tensor_parallel = spec.tp_degree;
+            if (spec.kv_blocks > 0) {
+                derived =
+                    engineConfigWithKvBlocks(derived, spec.kv_blocks);
+            }
+            owned_engines_.push_back(
+                std::make_unique<ServingEngine>(derived));
+            engine = owned_engines_.back().get();
+        }
         server::ServerConfig replica_config = config_.server;
         replica_config.metrics_prefix =
             "cluster.replica." + std::to_string(i);
@@ -122,7 +168,7 @@ ClusterRouter::ClusterRouter(ClusterConfig config)
         for (server::TenantConfig &tenant : replica_config.tenants)
             tenant.rate_limit_per_s = 0.0;
         servers_.push_back(std::make_unique<server::Server>(
-            spec.engine, std::move(replica_config)));
+            engine, std::move(replica_config)));
         ring_.addReplica(static_cast<int>(i), spec.weight);
         weights.push_back(spec.weight);
     }

@@ -66,6 +66,23 @@ struct ReplicaSpec {
     /** Placement weight for the hash ring (vnode share) and
      * weighted round-robin. Must be > 0. */
     double weight = 1.0;
+    /**
+     * Intra-replica tensor-parallel degree override. 0 (default)
+     * keeps the engine's own degree; > 0 makes the router derive an
+     * owned engine from `engine->config()` with this degree —
+     * heterogeneous clusters (say TP=4 next to TP=1 replicas) then
+     * need only one template engine. Must pass tp::validateTpDegree
+     * for the engine's model (see validateClusterConfig).
+     */
+    int tp_degree = 0;
+    /**
+     * Per-replica KV pool override, in full-model blocks. 0 keeps
+     * the engine's memory fraction; > 0 resizes the derived engine's
+     * pool via engineConfigWithKvBlocks — the knob that keeps a
+     * heterogeneous cluster's replicas at equal admission capacity
+     * when their TP degrees (and thus per-GPU budgets) differ.
+     */
+    int64_t kv_blocks = 0;
 };
 
 /** A replica drain scheduled at a virtual time: deterministic, and
@@ -98,6 +115,17 @@ struct ClusterConfig {
      * consistent-hash ring. */
     int hash_vnodes = 64;
 };
+
+/**
+ * Validates a cluster configuration before construction: at least
+ * one replica, every replica with an engine and positive weight, and
+ * every tp_degree/kv_blocks override legal for its engine's model
+ * (degree dividing the head, hidden, intermediate and vocab extents).
+ * Returns a descriptive invalid-argument Status naming the offending
+ * replica — the ClusterRouter constructor aborts on the same check,
+ * so callers wanting a recoverable error validate first.
+ */
+Status validateClusterConfig(const ClusterConfig &config);
 
 /** Router-level session counters (replica counters live in each
  * replica's ServerStats; see ClusterRouter::replicaStats). */
@@ -284,6 +312,10 @@ class ClusterRouter {
     void publish(bool complete);
 
     ClusterConfig config_;
+    /** Engines derived for replicas with tp_degree/kv_blocks
+     * overrides. Declared before servers_ so every Server's engine
+     * outlives it. */
+    std::vector<std::unique_ptr<ServingEngine>> owned_engines_;
     std::vector<std::unique_ptr<server::Server>> servers_;
     std::vector<server::Server::Client> handles_;
     std::unique_ptr<server::FairAdmissionQueue> fair_edge_;

@@ -84,6 +84,9 @@
 #include "comet/cluster/placement.h"
 #include "comet/cluster/router.h"
 
+#include "comet/tp/interconnect.h"
+#include "comet/tp/shard.h"
+
 #include "comet/chaos/failpoint.h"
 #include "comet/chaos/harness.h"
 #include "comet/chaos/invariants.h"

@@ -33,6 +33,7 @@ GpuSpec::a100Sxm480G()
     // 108 SMs x ~128 B/clk x 1.41 GHz.
     spec.smem_bandwidth = 19.5e12;
     spec.nvlink_bandwidth = 600.0e9; // NVLink 3
+    spec.nvlink_latency_us = 1.5;    // per-hop collective round
     return spec;
 }
 
@@ -52,6 +53,7 @@ GpuSpec::h100Sxm80G()
     spec.cuda_core_ops = spec.int8_tensor_ops / 32.0;
     spec.smem_bandwidth = 33.0e12;
     spec.nvlink_bandwidth = 900.0e9; // NVLink 4
+    spec.nvlink_latency_us = 1.0;    // NVSwitch generation ahead
     return spec;
 }
 

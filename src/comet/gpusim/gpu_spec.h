@@ -42,8 +42,15 @@ struct GpuSpec {
     double smem_bandwidth = 0.0;
 
     /** Per-GPU interconnect (NVLink) bandwidth, bytes/second; used by
-     * the tensor-parallel all-reduce model. */
+     * the tensor-parallel all-reduce model (comet::tp). */
     double nvlink_bandwidth = 0.0;
+
+    /** Per-hop interconnect latency, microseconds: the fixed cost of
+     * one collective round trip between neighbouring devices (link
+     * traversal + switch + kernel handoff). A ring all-reduce pays
+     * 2*(N-1) of these, a direct exchange pays one — the term that
+     * decides the ring/direct crossover in tp::InterconnectModel. */
+    double nvlink_latency_us = 0.0;
 
     /** Tensor-core throughput for @p precision_bits (4, 8 or 16). */
     double tensorOps(int precision_bits) const;

@@ -5,6 +5,8 @@
 #include "comet/common/table.h"
 #include "comet/model/layer_shapes.h"
 #include "comet/obs/trace_session.h"
+#include "comet/tp/interconnect.h"
+#include "comet/tp/shard.h"
 
 namespace comet {
 
@@ -16,26 +18,41 @@ CompilePlanner::CompilePlanner(GpuSpec spec,
 
 ModelPlan
 CompilePlanner::plan(const LlmConfig &model, int64_t batch,
-                     double w4a4_fraction) const
+                     double w4a4_fraction, int tensor_parallel) const
 {
     COMET_SPAN("gpusim/plan");
     COMET_CHECK(batch > 0);
     COMET_CHECK(w4a4_fraction >= 0.0 && w4a4_fraction <= 1.0);
+    const Status tp_ok = tp::validateTpDegree(model, tensor_parallel);
+    COMET_CHECK_MSG(tp_ok.isOk(), tp_ok.message().c_str());
 
     ModelPlan result;
     result.model_name = model.name;
     result.batch = batch;
+    result.tensor_parallel = tensor_parallel;
 
+    const auto tp_degree = static_cast<int64_t>(tensor_parallel);
     const auto &cal = model_.calibration();
     double naive_total = 0.0;
     for (const LayerGemm &gemm : decoderLayerGemms(model, batch)) {
         LayerPlan layer;
         layer.name = gemm.name;
         layer.shape = gemm.shape;
+        // Megatron sharding, matching ServingEngine: the block's
+        // first projection splits its output features, the second its
+        // input channels.
+        if (gemm.name == "qkv_proj" || gemm.name == "gate_up_proj" ||
+            gemm.name == "up_proj") {
+            layer.shape.n =
+                std::max<int64_t>(layer.shape.n / tp_degree, 1);
+        } else {
+            layer.shape.k =
+                std::max<int64_t>(layer.shape.k / tp_degree, 1);
+        }
         layer.total_tiles =
-            ((gemm.shape.m + cal.tile_m - 1) / cal.tile_m) *
-            ((gemm.shape.n + cal.tile_n - 1) / cal.tile_n) *
-            ((gemm.shape.k + cal.tile_k - 1) / cal.tile_k);
+            ((layer.shape.m + cal.tile_m - 1) / cal.tile_m) *
+            ((layer.shape.n + cal.tile_n - 1) / cal.tile_n) *
+            ((layer.shape.k + cal.tile_k - 1) / cal.tile_k);
         layer.w4a4_tile_fraction = w4a4_fraction;
 
         double best = 0.0;
@@ -48,7 +65,7 @@ CompilePlanner::plan(const LlmConfig &model, int64_t batch,
             features.scheduling = strategy;
             features.w4a4_fraction = w4a4_fraction;
             const KernelCost cost = model_.estimate(
-                gemm.shape, GemmKernelKind::kCometW4Ax, features);
+                layer.shape, GemmKernelKind::kCometW4Ax, features);
             if (strategy == SchedulingStrategy::kNaiveSync)
                 layer.naive_us = cost.total_us;
             if (best == 0.0 || cost.total_us < best) {
@@ -73,6 +90,15 @@ CompilePlanner::plan(const LlmConfig &model, int64_t batch,
     result.speedup_over_naive =
         result.step_gemm_us > 0.0 ? naive_total / result.step_gemm_us
                                   : 1.0;
+    if (tensor_parallel > 1) {
+        const tp::InterconnectModel link(model_.spec());
+        const double tensor_bytes = static_cast<double>(batch) *
+                                    static_cast<double>(
+                                        model.hidden_size) *
+                                    2.0;
+        result.allreduce_us =
+            2.0 * link.allReduceUs(tensor_bytes, tensor_parallel);
+    }
     return result;
 }
 
@@ -100,8 +126,18 @@ CompilePlanner::report(const ModelPlan &plan)
     }
     std::string out = "compile plan: " + plan.model_name +
                       ", decode batch " +
-                      std::to_string(plan.batch) + "\n";
+                      std::to_string(plan.batch);
+    if (plan.tensor_parallel > 1) {
+        out += ", TP " + std::to_string(plan.tensor_parallel);
+    }
+    out += "\n";
     out += table.render();
+    if (plan.tensor_parallel > 1) {
+        out += "tensor parallel " +
+               std::to_string(plan.tensor_parallel) + ": +" +
+               formatDouble(plan.allreduce_us, 1) +
+               " us/layer all-reduce\n";
+    }
     out += "per-layer GEMM time " +
            formatDouble(plan.step_gemm_us, 1) +
            " us; scheduling buys " +

@@ -38,8 +38,15 @@ struct LayerPlan {
 struct ModelPlan {
     std::string model_name;
     int64_t batch = 0;
+    /** Tensor-parallel degree the GEMM extents were sharded at. */
+    int tensor_parallel = 1;
     std::vector<LayerPlan> layers;    ///< one per distinct layer GEMM
     double step_gemm_us = 0.0;        ///< per decode step, all layers
+    /** Per-layer all-reduce cost the TP group pays on top of
+     * step_gemm_us (two collectives per decoder layer, priced by
+     * tp::InterconnectModel at the cheaper ring/direct algorithm;
+     * 0 at degree 1). */
+    double allreduce_us = 0.0;
     size_t bottleneck_layer = 0;      ///< index of the costliest GEMM
     double speedup_over_naive = 1.0;  ///< scheduling gain of the plan
 };
@@ -57,9 +64,14 @@ class CompilePlanner
      * Plans every decoder-layer GEMM of @p model at decode batch
      * @p batch. @p w4a4_fraction is the deployed FMPQ statistic
      * (Section 6.2; defaults to the paper's measured 84%).
+     * @p tensor_parallel shards each GEMM Megatron-style before
+     * planning (column-parallel first projections, row-parallel
+     * second; must pass tp::validateTpDegree for the model) and adds
+     * the per-layer all-reduce cost to the plan.
      */
     ModelPlan plan(const LlmConfig &model, int64_t batch,
-                   double w4a4_fraction = 0.84) const;
+                   double w4a4_fraction = 0.84,
+                   int tensor_parallel = 1) const;
 
     /** Renders a plan as an aligned text report. */
     static std::string report(const ModelPlan &plan);

@@ -159,7 +159,10 @@ W4AxGemm::run(const MixedQuantizedActivation &activation,
             stats->int8_tiles += run_stats.int8_tiles;
             stats->int4_mac_ops += run_stats.int4_mac_ops;
             stats->int8_mac_ops += run_stats.int8_mac_ops;
-            stats->conversion_instructions = counter.count();
+            // Accumulate (like the threaded path below does): callers
+            // summing several gemms into one sink — sharded TP runs —
+            // must not see the last gemm overwrite the total.
+            stats->conversion_instructions += counter.count();
         }
         return out;
     }

@@ -4,12 +4,15 @@
 #include <cmath>
 #include <map>
 
+#include "comet/chaos/failpoint.h"
 #include "comet/kvcache/kv_cache.h"
 #include "comet/model/layer_shapes.h"
+#include "comet/obs/metrics.h"
 #include "comet/obs/obs.h"
 #include "comet/obs/trace_session.h"
 #include "comet/runtime/thread_pool.h"
 #include "comet/serve/batch_scheduler.h"
+#include "comet/tp/interconnect.h"
 
 namespace comet {
 
@@ -82,12 +85,18 @@ engineConfigWithKvBlocks(EngineConfig config, int64_t blocks)
     // Half a block of headroom: the fraction is later inverted as
     // fraction * hbm - weights and floored into whole blocks, and a
     // bare N blocks can round-trip to N-1 through that arithmetic.
+    // Each GPU stores 1/tp of every block (head sharding), so only
+    // blocks/tp full-model bytes must fit beside this GPU's weight
+    // shard — sizing against the whole pool would hand a TP=N engine
+    // N times the requested capacity and silently fork its admission
+    // stream from the TP=1 run.
+    const auto tp = static_cast<double>(config.tensor_parallel);
     config.usable_memory_fraction =
         (weights + probe.blockBytes() *
-                       (static_cast<double>(blocks) + 0.5)) /
+                       (static_cast<double>(blocks) + 0.5) / tp) /
         config.gpu.hbm_capacity_bytes;
     probe_config.memory_budget_bytes =
-        std::max(ServingEngine(config).kvBudgetBytes(), 1.0);
+        std::max(ServingEngine(config).kvPoolBytes(), 1.0);
     const PagedKvCache check(config.model, probe_config);
     COMET_CHECK_MSG(check.totalBlocks() == blocks,
                     "KV fraction did not round-trip to the "
@@ -128,21 +137,25 @@ ServingEngine::allReduceLatencyUs(int64_t m_tokens) const
     if (tp == 1)
         return 0.0;
     // Two all-reduces per decoder layer (after the attention output
-    // and MLP down projections), ring algorithm: each GPU moves
-    // 2 * (tp - 1) / tp of the tensor over NVLink, plus a fixed
-    // per-collective launch latency.
-    constexpr double kCollectiveLaunchUs = 8.0;
+    // and MLP down projections), each costed by the interconnect
+    // model at the cheaper of its ring/direct algorithms for the
+    // step's FP16 activation tensor.
+    const tp::InterconnectModel link(config_.gpu);
     const double tensor_bytes =
         static_cast<double>(m_tokens) *
         static_cast<double>(config_.model.hidden_size) * 2.0;
-    const double ring_bytes = tensor_bytes * 2.0 *
-                              static_cast<double>(tp - 1) /
-                              static_cast<double>(tp);
-    const double per_layer =
-        ring_bytes / config_.gpu.nvlink_bandwidth * 1e6 +
-        kCollectiveLaunchUs;
-    return 2.0 * per_layer *
-           static_cast<double>(config_.model.num_layers);
+    double total = 2.0 * link.allReduceUs(tensor_bytes, tp) *
+                   static_cast<double>(config_.model.num_layers);
+    // A fired tp.allreduce failpoint in the cost path models a
+    // degraded link: the step's collectives run at half bandwidth.
+    if (COMET_FAILPOINT("tp.allreduce")) {
+        static obs::Counter &degraded =
+            obs::MetricsRegistry::global().counter(
+                "tp.allreduce.degraded");
+        degraded.add(1);
+        total *= 2.0;
+    }
+    return total;
 }
 
 double
@@ -151,6 +164,15 @@ ServingEngine::kvBudgetBytes() const
     const double usable = config_.gpu.hbm_capacity_bytes *
                           config_.usable_memory_fraction;
     return std::max(0.0, usable - weightBytes());
+}
+
+double
+ServingEngine::kvPoolBytes() const
+{
+    // Each GPU stores 1/tp of every sequence's KV (head sharding), so
+    // the per-GPU budget admits tp times as many full-model blocks.
+    return kvBudgetBytes() *
+           static_cast<double>(config_.tensor_parallel);
 }
 
 int64_t
@@ -162,10 +184,7 @@ ServingEngine::maxBatchSize() const
     KvCacheConfig cache_config;
     cache_config.bits_per_value = precision_.kv_bits;
     cache_config.block_tokens = config_.kv_block_tokens;
-    // Each GPU stores 1/tp of every sequence's KV (head sharding), so
-    // the per-GPU budget admits tp times as many full-model blocks.
-    cache_config.memory_budget_bytes =
-        budget * static_cast<double>(config_.tensor_parallel);
+    cache_config.memory_budget_bytes = kvPoolBytes();
     const PagedKvCache cache(config_.model, cache_config);
     const int64_t blocks_per_seq = cache.blocksForTokens(
         config_.input_tokens + config_.output_tokens);
@@ -326,8 +345,7 @@ ServingEngine::measureThroughputAtBatch(int64_t batch) const
     cache_config.bits_per_value = precision_.kv_bits;
     cache_config.block_tokens = config_.kv_block_tokens;
     cache_config.memory_budget_bytes =
-        std::max(kvBudgetBytes() *
-                     static_cast<double>(config_.tensor_parallel),
+        std::max(kvPoolBytes(),
                  1.0); // pinned-batch runs may exceed the auto budget
     PagedKvCache cache(config_.model, cache_config);
 

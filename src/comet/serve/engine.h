@@ -147,6 +147,14 @@ class ServingEngine
      * the weights alone exceed usable memory. */
     double kvBudgetBytes() const;
 
+    /** Full-model bytes the sharded KV pool holds: the per-GPU budget
+     * times the TP degree (each GPU stores 1/tp of every block, so
+     * the group jointly caches tp times the per-GPU budget). The
+     * scheduler's paged cache — and any component sizing one, like
+     * the server's streaming cache — must use this aggregate, not the
+     * per-GPU kvBudgetBytes(). */
+    double kvPoolBytes() const;
+
     /** Largest batch the KV budget admits for the configured
      * input+output length (capped at max_batch); 0 when the model
      * does not fit at all. */

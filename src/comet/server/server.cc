@@ -90,8 +90,12 @@ Server::Server(const ServingEngine *engine, ServerConfig config)
     KvCacheConfig cache_config;
     cache_config.bits_per_value = precision_.kv_bits;
     cache_config.block_tokens = engine_->config().kv_block_tokens;
+    // The paged cache counts full-model blocks, so it must be sized
+    // from the TP group's aggregate pool: kvBudgetBytes() alone is
+    // the per-GPU shard and would shrink a TP=N server's admission
+    // capacity N-fold relative to the engine's own scheduler.
     cache_config.memory_budget_bytes =
-        std::max(engine_->kvBudgetBytes(), 1.0);
+        std::max(engine_->kvPoolBytes(), 1.0);
     cache_config.enable_prefix_cache = config_.enable_prefix_cache;
     cache_ = std::make_unique<PagedKvCache>(engine_->config().model,
                                             cache_config);

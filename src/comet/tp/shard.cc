@@ -1,0 +1,448 @@
+#include "comet/tp/shard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "comet/chaos/failpoint.h"
+#include "comet/kernel/interleave.h"
+#include "comet/obs/metrics.h"
+#include "comet/obs/trace_session.h"
+
+namespace comet {
+namespace tp {
+
+namespace {
+
+obs::Counter &
+tpCounter(const char *name)
+{
+    return obs::MetricsRegistry::global().counter(
+        std::string("tp.") + name);
+}
+
+/** Byte-copies a [row_count, tile_k] column slice of a packed INT4
+ * tensor starting at (whole-byte-aligned) column @p k0. */
+Int4Tensor
+sliceInt4Columns(const Int4Tensor &src, int64_t k0, int64_t tile_k)
+{
+    COMET_CHECK(k0 % 2 == 0 && tile_k % 2 == 0);
+    Int4Tensor out(src.rows(), tile_k);
+    for (int64_t r = 0; r < src.rows(); ++r) {
+        std::memcpy(out.rowPtr(r), src.rowPtr(r) + k0 / 2,
+                    static_cast<size_t>(tile_k / 2));
+    }
+    return out;
+}
+
+/** Byte-copies a [row_count, tile_k] column slice of an INT8
+ * tensor. */
+Int8Tensor
+sliceInt8Columns(const Int8Tensor &src, int64_t k0, int64_t tile_k)
+{
+    Int8Tensor out(src.rows(), tile_k);
+    for (int64_t r = 0; r < src.rows(); ++r) {
+        std::memcpy(out.rowPtr(r), src.rowPtr(r) + k0,
+                    static_cast<size_t>(tile_k));
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+tpPartitionName(TpPartition partition)
+{
+    switch (partition) {
+      case TpPartition::kColumn: return "column";
+      case TpPartition::kRow: return "row";
+    }
+    return "?";
+}
+
+ShardRange
+shardRange(int64_t total, int degree, int rank)
+{
+    COMET_CHECK(degree >= 1 && rank >= 0 && rank < degree);
+    COMET_CHECK_MSG(total % degree == 0,
+                    "shardRange requires an even split");
+    const int64_t per = total / degree;
+    return {rank * per, (rank + 1) * per};
+}
+
+Status
+validateTpDegree(const LlmConfig &model, int degree)
+{
+    const auto reject = [&](const char *what, int64_t extent) {
+        return Status::invalidArgument(
+            "tensor-parallel degree " + std::to_string(degree) +
+            " does not divide " + model.name + "'s " + what + " (" +
+            std::to_string(extent) +
+            "): shard boundaries would cross head or "
+            "quantization-group geometry");
+    };
+    if (degree < 1) {
+        return Status::invalidArgument(
+            "tensor-parallel degree must be positive, got " +
+            std::to_string(degree));
+    }
+    if (model.num_heads % degree != 0)
+        return reject("query head count", model.num_heads);
+    if (model.num_kv_heads % degree != 0)
+        return reject("KV head count", model.num_kv_heads);
+    if (model.hidden_size % degree != 0)
+        return reject("hidden size", model.hidden_size);
+    if (model.intermediate_size % degree != 0)
+        return reject("intermediate size", model.intermediate_size);
+    if (model.vocab_size % degree != 0)
+        return reject("vocab size", model.vocab_size);
+    return Status::ok();
+}
+
+Result<ShardedW4AxGemm>
+ShardedW4AxGemm::create(const BlockQuantizedWeight &weight,
+                        const std::vector<BlockPrecision> &precisions,
+                        TpPartition partition, int degree,
+                        W4AxGemmConfig config)
+{
+    if (degree < 1) {
+        return Status::invalidArgument(
+            "tensor-parallel degree must be positive, got " +
+            std::to_string(degree));
+    }
+    if (weight.block_size <= 0 ||
+        weight.in_channels % weight.block_size != 0) {
+        return Status::invalidArgument(
+            "weight block size must divide its channel count");
+    }
+    const int64_t num_blocks = weight.in_channels / weight.block_size;
+    if (static_cast<int64_t>(precisions.size()) != num_blocks) {
+        return Status::invalidArgument(
+            "precision map must have one entry per k block");
+    }
+
+    ShardedW4AxGemm sharded;
+    sharded.partition_ = partition;
+    sharded.degree_ = degree;
+    sharded.out_features_ = weight.out_features;
+    sharded.in_channels_ = weight.in_channels;
+    sharded.block_size_ = weight.block_size;
+    sharded.tile_k_ = config.tile_k;
+    sharded.precisions_ = precisions;
+
+    if (degree == 1) {
+        // Degenerate group: the TP=1 operator itself, no collectives.
+        RankShard rank;
+        rank.gemms.emplace_back(weight, precisions, config);
+        rank.n_range = {0, weight.out_features};
+        sharded.ranks_.push_back(std::move(rank));
+        return sharded;
+    }
+
+    if (partition == TpPartition::kColumn) {
+        if (weight.out_features % degree != 0) {
+            return Status::invalidArgument(
+                "column partition needs out_features (" +
+                std::to_string(weight.out_features) +
+                ") divisible by the TP degree " +
+                std::to_string(degree));
+        }
+        for (int r = 0; r < degree; ++r) {
+            const ShardRange range =
+                shardRange(weight.out_features, degree, r);
+            // Whole packed rows: the shard is a byte-identical slice
+            // of the TP=1 layout.
+            Int4Tensor data(range.size(), weight.in_channels);
+            for (int64_t n = 0; n < range.size(); ++n) {
+                std::memcpy(
+                    data.rowPtr(n),
+                    weight.data.rowPtr(range.begin + n),
+                    static_cast<size_t>(weight.data.rowBytes()));
+            }
+            Tensor scales(range.size(), num_blocks);
+            for (int64_t n = 0; n < range.size(); ++n) {
+                for (int64_t b = 0; b < num_blocks; ++b) {
+                    scales.at(n, b) =
+                        weight.scales.at(range.begin + n, b);
+                }
+            }
+            BlockQuantizedWeight slice{range.size(),
+                                       weight.in_channels,
+                                       weight.block_size,
+                                       std::move(data),
+                                       std::move(scales)};
+            RankShard rank;
+            rank.gemms.emplace_back(std::move(slice), precisions,
+                                    config);
+            rank.n_range = range;
+            sharded.ranks_.push_back(std::move(rank));
+        }
+        return sharded;
+    }
+
+    // Row partition: split whole FMPQ channel blocks, then build one
+    // single-block operator per owned k tile so the all-reduce can
+    // fold contributions in the TP=1 accumulation order.
+    if (num_blocks % degree != 0) {
+        return Status::invalidArgument(
+            "row partition needs the FMPQ block count (" +
+            std::to_string(num_blocks) +
+            ") divisible by the TP degree " + std::to_string(degree) +
+            " so shard boundaries respect quantization groups");
+    }
+    if (config.tile_k <= 0 || weight.block_size % config.tile_k != 0 ||
+        config.tile_k % kInterleaveUnit != 0) {
+        return Status::invalidArgument(
+            "row partition needs tile_k dividing the quantization "
+            "block size and aligned to the interleave unit");
+    }
+    W4AxGemmConfig tile_config = config;
+    for (int r = 0; r < degree; ++r) {
+        const ShardRange blocks = shardRange(num_blocks, degree, r);
+        RankShard rank;
+        for (int64_t k0 = blocks.begin * weight.block_size;
+             k0 < blocks.end * weight.block_size;
+             k0 += config.tile_k) {
+            const int64_t block = k0 / weight.block_size;
+            Tensor scales(weight.out_features, 1);
+            for (int64_t n = 0; n < weight.out_features; ++n)
+                scales.at(n, 0) = weight.scales.at(n, block);
+            BlockQuantizedWeight slice{
+                weight.out_features, config.tile_k, config.tile_k,
+                sliceInt4Columns(weight.data, k0, config.tile_k),
+                std::move(scales)};
+            rank.gemms.emplace_back(
+                std::move(slice),
+                std::vector<BlockPrecision>{
+                    precisions[static_cast<size_t>(block)]},
+                tile_config);
+            rank.k_offsets.push_back(k0);
+        }
+        sharded.ranks_.push_back(std::move(rank));
+    }
+    return sharded;
+}
+
+Tensor
+ShardedW4AxGemm::run(const MixedQuantizedActivation &activation,
+                     W4AxGemmStats *stats) const
+{
+    COMET_CHECK(activation.channels == in_channels_);
+    COMET_CHECK(activation.block_size == block_size_);
+    COMET_CHECK_MSG(activation.precisions == precisions_,
+                    "activation block precisions must match the map "
+                    "the sharded operator was built for");
+    static obs::Counter &shard_runs = tpCounter("shard.runs");
+    shard_runs.add(1);
+
+    if (degree_ == 1)
+        return ranks_[0].gemms[0].run(activation, stats);
+
+    const int64_t m_dim = activation.tokens;
+    Tensor out(m_dim, out_features_);
+
+    if (partition_ == TpPartition::kColumn) {
+        // Every rank consumes the replicated activation and emits its
+        // own column slice; the all-gather concatenates them.
+        std::vector<Tensor> parts;
+        parts.reserve(ranks_.size());
+        for (const RankShard &rank : ranks_) {
+            COMET_SPAN("tp/shard_gemm");
+            parts.push_back(rank.gemms[0].run(activation, stats));
+        }
+        {
+            COMET_SPAN("tp/allgather");
+            for (size_t r = 0; r < ranks_.size(); ++r) {
+                const ShardRange &range = ranks_[r].n_range;
+                for (int64_t i = 0; i < m_dim; ++i) {
+                    for (int64_t j = 0; j < range.size(); ++j) {
+                        out.at(i, range.begin + j) =
+                            parts[r].at(i, j);
+                    }
+                }
+            }
+            static obs::Counter &count = tpCounter("allgather.count");
+            static obs::Counter &bytes = tpCounter("allgather.bytes");
+            count.add(1);
+            bytes.add(out.numel() * static_cast<int64_t>(sizeof(float)));
+        }
+        return out;
+    }
+
+    // Row partition: each rank computes one contribution tensor per
+    // owned k tile from its byte-identical activation slice...
+    std::vector<std::pair<int64_t, Tensor>> contributions;
+    for (const RankShard &rank : ranks_) {
+        COMET_SPAN("tp/shard_gemm");
+        for (size_t t = 0; t < rank.gemms.size(); ++t) {
+            const int64_t k0 = rank.k_offsets[t];
+            const int64_t block = k0 / block_size_;
+            const BlockPrecision precision =
+                precisions_[static_cast<size_t>(block)];
+            Tensor scales(m_dim, 1);
+            for (int64_t i = 0; i < m_dim; ++i)
+                scales.at(i, 0) = activation.scales.at(i, block);
+            MixedQuantizedActivation slice{
+                m_dim,
+                tile_k_,
+                tile_k_,
+                {precision},
+                precision == BlockPrecision::kInt4
+                    ? sliceInt4Columns(activation.int4_data, k0,
+                                       tile_k_)
+                    : Int4Tensor(m_dim, tile_k_),
+                precision == BlockPrecision::kInt8
+                    ? sliceInt8Columns(activation.int8_data, k0,
+                                       tile_k_)
+                    : Int8Tensor(m_dim, tile_k_),
+                std::move(scales)};
+            contributions.emplace_back(
+                k0, rank.gemms[t].run(slice, stats));
+        }
+    }
+
+    // ...and the modeled all-reduce folds them in ascending global
+    // k-tile order — the exact TP=1 addition sequence. A fired
+    // tp.allreduce failpoint simulates a degraded-link retry: the
+    // fold is discarded and replayed, byte-identically.
+    {
+        COMET_SPAN("tp/allreduce");
+        std::sort(contributions.begin(), contributions.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        const int rounds = COMET_FAILPOINT("tp.allreduce") ? 2 : 1;
+        for (int round = 0; round < rounds; ++round) {
+            std::fill(out.data(), out.data() + out.numel(), 0.0f);
+            for (const auto &[k0, contribution] : contributions) {
+                const float *src = contribution.data();
+                float *dst = out.data();
+                for (int64_t i = 0; i < out.numel(); ++i)
+                    dst[i] += src[i];
+            }
+        }
+        static obs::Counter &count = tpCounter("allreduce.count");
+        static obs::Counter &bytes = tpCounter("allreduce.bytes");
+        count.add(1);
+        bytes.add(out.numel() * static_cast<int64_t>(sizeof(float)));
+        if (rounds > 1) {
+            static obs::Counter &retries =
+                tpCounter("allreduce.retries");
+            retries.add(1);
+        }
+    }
+    return out;
+}
+
+Result<ShardedDecodeAttention>
+ShardedDecodeAttention::create(const AttentionConfig &config,
+                               int degree)
+{
+    if (degree < 1) {
+        return Status::invalidArgument(
+            "tensor-parallel degree must be positive, got " +
+            std::to_string(degree));
+    }
+    if (config.num_heads % degree != 0 ||
+        config.num_kv_heads % degree != 0) {
+        return Status::invalidArgument(
+            "head-sharded attention needs the TP degree " +
+            std::to_string(degree) + " to divide both the query (" +
+            std::to_string(config.num_heads) + ") and KV (" +
+            std::to_string(config.num_kv_heads) + ") head counts");
+    }
+    ShardedDecodeAttention sharded;
+    sharded.config_ = config;
+    sharded.degree_ = degree;
+    sharded.rank_config_ = config;
+    sharded.rank_config_.num_heads = config.num_heads / degree;
+    sharded.rank_config_.num_kv_heads = config.num_kv_heads / degree;
+    return sharded;
+}
+
+std::vector<float>
+ShardedDecodeAttention::run(const std::vector<float> &q,
+                            const Tensor &k, const Tensor &v) const
+{
+    COMET_CHECK(static_cast<int64_t>(q.size()) == config_.qDim());
+    if (degree_ == 1)
+        return decodeAttentionOnline(config_, q, k, v);
+    const int64_t tokens = k.shape().dim(0);
+    const int64_t q_per_rank = rank_config_.qDim();
+    const int64_t kv_per_rank = rank_config_.kvDim();
+    std::vector<float> out(static_cast<size_t>(config_.qDim()), 0.0f);
+    for (int r = 0; r < degree_; ++r) {
+        COMET_SPAN("tp/shard_attention");
+        const std::vector<float> q_slice(
+            q.begin() + static_cast<size_t>(r * q_per_rank),
+            q.begin() + static_cast<size_t>((r + 1) * q_per_rank));
+        Tensor k_slice(tokens, kv_per_rank);
+        Tensor v_slice(tokens, kv_per_rank);
+        const int64_t c0 = r * kv_per_rank;
+        for (int64_t t = 0; t < tokens; ++t) {
+            for (int64_t c = 0; c < kv_per_rank; ++c) {
+                k_slice.at(t, c) = k.at(t, c0 + c);
+                v_slice.at(t, c) = v.at(t, c0 + c);
+            }
+        }
+        const std::vector<float> part = decodeAttentionOnline(
+            rank_config_, q_slice, k_slice, v_slice);
+        std::copy(part.begin(), part.end(),
+                  out.begin() + static_cast<size_t>(r * q_per_rank));
+    }
+    return out;
+}
+
+std::vector<float>
+ShardedDecodeAttention::runQuantized(
+    const std::vector<float> &q, const QuantizedKv &k,
+    const QuantizedKv &v, const KvCacheQuantizer &quantizer) const
+{
+    COMET_CHECK(static_cast<int64_t>(q.size()) == config_.qDim());
+    if (degree_ == 1)
+        return decodeAttentionQuantized(config_, q, k, v, quantizer);
+    COMET_CHECK(k.channels == config_.kvDim() &&
+                v.channels == config_.kvDim());
+    const int64_t q_per_rank = rank_config_.qDim();
+    const int64_t kv_per_rank = rank_config_.kvDim();
+
+    // Per-channel quantization params make any channel slice exact:
+    // rank r's packed pages and params are byte-identical slices of
+    // the TP=1 cache.
+    const auto slice_kv = [&](const QuantizedKv &src, int64_t c0) {
+        QuantizedKv out{src.tokens, kv_per_rank, src.group_size,
+                        sliceInt8Columns(src.data, c0, kv_per_rank),
+                        {}};
+        const int64_t groups = src.numGroups();
+        out.params.reserve(
+            static_cast<size_t>(groups * kv_per_rank));
+        for (int64_t g = 0; g < groups; ++g) {
+            for (int64_t c = 0; c < kv_per_rank; ++c) {
+                out.params.push_back(
+                    src.params[static_cast<size_t>(
+                        g * src.channels + c0 + c)]);
+            }
+        }
+        return out;
+    };
+
+    std::vector<float> out(static_cast<size_t>(config_.qDim()), 0.0f);
+    for (int r = 0; r < degree_; ++r) {
+        COMET_SPAN("tp/shard_attention");
+        const std::vector<float> q_slice(
+            q.begin() + static_cast<size_t>(r * q_per_rank),
+            q.begin() + static_cast<size_t>((r + 1) * q_per_rank));
+        const int64_t c0 = r * kv_per_rank;
+        const QuantizedKv k_slice = slice_kv(k, c0);
+        const QuantizedKv v_slice = slice_kv(v, c0);
+        const std::vector<float> part = decodeAttentionQuantized(
+            rank_config_, q_slice, k_slice, v_slice, quantizer);
+        std::copy(part.begin(), part.end(),
+                  out.begin() + static_cast<size_t>(r * q_per_rank));
+    }
+    return out;
+}
+
+} // namespace tp
+} // namespace comet

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * `comet::tp` — bit-exact Megatron-style sharding of the W4Ax GEMM
+ * and decode attention across N simulated devices (DESIGN.md
+ * Section 16).
+ *
+ * Partitioning follows Megatron-LM: the first projection of each
+ * decoder block (qkv_proj, gate_up_proj/up_proj) splits its *output*
+ * features across ranks (column-parallel; the results concatenate via
+ * all-gather), the second (out_proj, down_proj) splits its *input*
+ * channels (row-parallel; the per-rank partial sums join via
+ * all-reduce). Decode attention shards by heads: each rank owns a
+ * contiguous query-head range and, because the degree divides the KV
+ * head count, the matching contiguous KV-head range — GQA's
+ * h -> h / (heads / kv_heads) mapping never crosses a shard boundary.
+ *
+ * Shard boundaries respect the quantization group geometry — column
+ * splits land on whole out-feature rows of the packed INT4 weight,
+ * row splits on whole FMPQ channel blocks — so every per-rank INT4
+ * page and scale column is a byte-identical slice of the TP=1 layout.
+ *
+ * The bit-exactness argument (proved by tests/test_tp.cc):
+ *
+ *  - Column-parallel: an output element's value depends only on its
+ *    own (row, column) dot product and the ascending-k tile
+ *    accumulation order, never on how the n dimension is tiled or
+ *    split, so each rank's slice equals the TP=1 output's columns
+ *    byte for byte and concatenation is exact.
+ *  - Row-parallel: summing per-rank *folded* partials would
+ *    re-associate float additions (((t0+t1)+(t2+t3)) differs from
+ *    ((((0+t0)+t1)+t2)+t3)). Instead each rank emits one contribution
+ *    tensor per k *tile* it owns, and the modeled all-reduce folds
+ *    the contributions in ascending global k-tile order — literally
+ *    the same sequence of float additions the TP=1 kernel performs.
+ *    (A tile contribution passes through a 0.0f + term store; an
+ *    accumulator that starts at +0.0 can never become -0.0, so the
+ *    flattening of a -0.0 term to +0.0 is unobservable.)
+ *  - Attention: each head's output depends only on its own query
+ *    slice and its KV head's cache columns; a head-range shard
+ *    computes exactly the per-head loops of the TP=1 kernel, so the
+ *    concatenated outputs (and the per-channel QuantizedKv slices)
+ *    match byte for byte.
+ *
+ * The modeled all-reduce carries the `tp.allreduce` failpoint: a fire
+ * simulates one degraded-link retry (the fold is discarded and
+ * replayed, `tp.allreduce.retries` ticks) with a byte-identical
+ * result — the hook bench_chaos_soak --tp arms.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comet/attention/decode_attention.h"
+#include "comet/common/status.h"
+#include "comet/kernel/gemm_w4ax.h"
+#include "comet/model/llm_config.h"
+#include "comet/quant/fmpq.h"
+#include "comet/quant/kv_quant.h"
+#include "comet/tensor/tensor.h"
+
+namespace comet {
+namespace tp {
+
+/** Which GEMM dimension a shard splits. */
+enum class TpPartition {
+    kColumn = 0, ///< split out_features (N); join via all-gather
+    kRow,        ///< split in_channels (K); join via all-reduce
+};
+
+/** Returns "column" / "row". */
+const char *tpPartitionName(TpPartition partition);
+
+/** Contiguous [begin, end) span rank @p rank owns of an evenly split
+ * dimension. */
+struct ShardRange {
+    int64_t begin = 0;
+    int64_t end = 0;
+
+    int64_t size() const { return end - begin; }
+};
+
+/** The span of @p total owned by @p rank under an even @p degree
+ * split. @pre total % degree == 0. */
+ShardRange shardRange(int64_t total, int degree, int rank);
+
+/**
+ * Validates that @p degree is a legal tensor-parallel degree for
+ * @p model: positive, and dividing the query-head, KV-head, hidden,
+ * intermediate and vocab extents so every shard boundary lands on
+ * head and quantization-group geometry. Returns a descriptive
+ * invalid-argument Status otherwise — the misconfiguration surfaces
+ * as a clear error, never as a silently misplanned capacity.
+ */
+Status validateTpDegree(const LlmConfig &model, int degree);
+
+/**
+ * A W4Ax GEMM partitioned across a TP group.
+ *
+ * Column shards hold one W4AxGemm per rank over that rank's
+ * out-feature rows; row shards hold one single-block W4AxGemm per
+ * (rank, k-tile) so the modeled all-reduce can replay the TP=1
+ * accumulation order exactly (see the file comment).
+ */
+class ShardedW4AxGemm
+{
+  public:
+    /**
+     * Builds the sharded operator. Fails with invalid-argument when
+     * the split does not respect the geometry: column needs
+     * out_features % degree == 0; row needs the FMPQ block count
+     * divisible by degree (and the block size tileable, which
+     * W4AxGemm itself enforces).
+     */
+    static Result<ShardedW4AxGemm> create(
+        const BlockQuantizedWeight &weight,
+        const std::vector<BlockPrecision> &precisions,
+        TpPartition partition, int degree, W4AxGemmConfig config = {});
+
+    TpPartition partition() const { return partition_; }
+    int degree() const { return degree_; }
+
+    /**
+     * Executes the sharded GEMM and joins the per-rank results
+     * (all-gather for column, ordered-fold all-reduce for row).
+     * Output and accumulated @p stats are bit-identical to the TP=1
+     * W4AxGemm::run on the unsharded weight.
+     */
+    Tensor run(const MixedQuantizedActivation &activation,
+               W4AxGemmStats *stats = nullptr) const;
+
+  private:
+    ShardedW4AxGemm() = default;
+
+    /** One rank's share of the operator. */
+    struct RankShard {
+        /** Column: the rank's single row-sliced GEMM. Row: one
+         * single-block GEMM per owned k tile, ascending k. */
+        std::vector<W4AxGemm> gemms;
+        /** Global k offset of each gemm (row shards; bytes for the
+         * activation slice). */
+        std::vector<int64_t> k_offsets;
+        /** The rank's out-feature span (column shards). */
+        ShardRange n_range;
+    };
+
+    TpPartition partition_ = TpPartition::kColumn;
+    int degree_ = 1;
+    int64_t out_features_ = 0;
+    int64_t in_channels_ = 0;
+    int64_t block_size_ = 0;
+    int64_t tile_k_ = 0;
+    std::vector<BlockPrecision> precisions_;
+    std::vector<RankShard> ranks_;
+};
+
+/**
+ * Head-sharded decode attention across a TP group: rank r runs the
+ * TP=1 kernel over its contiguous query/KV head ranges and the
+ * outputs concatenate (exact; see the file comment).
+ */
+class ShardedDecodeAttention
+{
+  public:
+    /** Fails with invalid-argument when @p degree does not divide
+     * both head counts. */
+    static Result<ShardedDecodeAttention> create(
+        const AttentionConfig &config, int degree);
+
+    int degree() const { return degree_; }
+
+    /** The per-rank attention geometry. */
+    const AttentionConfig &rankConfig() const { return rank_config_; }
+
+    /** Float-cache path; bit-identical to decodeAttentionOnline on
+     * the full config. */
+    std::vector<float> run(const std::vector<float> &q,
+                           const Tensor &k, const Tensor &v) const;
+
+    /** Quantized-cache path; bit-identical to
+     * decodeAttentionQuantized on the full config. */
+    std::vector<float> runQuantized(
+        const std::vector<float> &q, const QuantizedKv &k,
+        const QuantizedKv &v, const KvCacheQuantizer &quantizer) const;
+
+  private:
+    ShardedDecodeAttention() = default;
+
+    AttentionConfig config_;
+    AttentionConfig rank_config_;
+    int degree_ = 1;
+};
+
+} // namespace tp
+} // namespace comet
